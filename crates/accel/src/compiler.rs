@@ -1,0 +1,344 @@
+//! The compile stage: operator-support validation and static memory
+//! allocation.
+//!
+//! Mirrors what every vendor toolchain in the paper does before anything
+//! runs (§3.1): all tensor sizes are known here, memory is allocated here,
+//! and programs that do not fit *fail to compile* — reproducing the paper's
+//! observed failures (512×512 on SN30 and GroqChip, batch > 1000 on
+//! GroqChip).
+//!
+//! The allocation model has three components:
+//!
+//! * **constants + graph I/O tensors** must be resident in usable OCM
+//!   (intermediates are double-buffered inside the reserved fraction);
+//! * **instruction memory**: compiler-scheduled architectures (GroqChip's
+//!   TSP most of all) store the unrolled per-slice instruction schedule in
+//!   the same on-chip SRAM as data — this is what exhausts the GroqChip
+//!   beyond batch 1000 even though the raw tensor bytes would fit;
+//! * **per-memory-unit operand limit**: one SN30 PMU (0.5 MB) must hold a
+//!   full 2-D operand slice (§3.5.1), and GroqChip's MM modules cap matmul
+//!   dimensions at 320 (§4.2.2).
+
+use crate::graph::{Graph, Node, Op};
+use crate::spec::AcceleratorSpec;
+
+/// Why compilation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// An operator is not supported on the target platform (§3.1).
+    UnsupportedOperator { op: &'static str, platform: &'static str },
+    /// The program's working set (data + instruction schedule) exceeds
+    /// allocatable on-chip memory.
+    OutOfMemory { required: u64, available: u64 },
+    /// A single operand exceeds what one memory unit can hold (SN30's PMU
+    /// limit, §3.5.1).
+    OperandTooLarge { bytes: u64, limit: u64 },
+    /// A matmul dimension exceeds the hardware's MM module size (GroqChip's
+    /// 320 limit, §4.2.2).
+    MatmulDimTooLarge { dim: usize, limit: usize },
+    /// The graph is malformed (no outputs, etc.).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnsupportedOperator { op, platform } => {
+                write!(f, "operator `{op}` is not supported on {platform}")
+            }
+            CompileError::OutOfMemory { required, available } => {
+                write!(f, "on-chip memory exhausted: program needs {required} B, {available} B allocatable")
+            }
+            CompileError::OperandTooLarge { bytes, limit } => {
+                write!(f, "operand of {bytes} B exceeds the {limit} B per-memory-unit limit")
+            }
+            CompileError::MatmulDimTooLarge { dim, limit } => {
+                write!(f, "matmul dimension {dim} exceeds the {limit}-wide MM module")
+            }
+            CompileError::Malformed(m) => write!(f, "malformed graph: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Bytes of instruction schedule per scheduled slice-op on
+/// compiler-scheduled SIMD architectures (GroqChip). Dataflow and MIMD
+/// devices place computation spatially or run per-core programs, so their
+/// schedules do not grow with the batch.
+const SIMD_INSTR_BYTES_PER_SLICE_OP: u64 = 16 * 1024;
+const OTHER_INSTR_BYTES_PER_SLICE_OP: u64 = 16;
+
+/// Static memory plan produced by compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryPlan {
+    /// Bytes of compile-time constants (operator matrices) resident on chip.
+    pub constant_bytes: u64,
+    /// Bytes of graph input and output tensors.
+    pub io_bytes: u64,
+    /// Bytes of intermediate tensors (double-buffered; informational).
+    pub intermediate_bytes: u64,
+    /// Bytes of unrolled instruction schedule sharing the SRAM.
+    pub instruction_bytes: u64,
+    /// Largest single 2-D operand slice in the program.
+    pub max_operand_slice_bytes: u64,
+}
+
+impl MemoryPlan {
+    /// Bytes that must be resident in on-chip memory.
+    pub fn resident(&self) -> u64 {
+        self.constant_bytes + self.io_bytes + self.instruction_bytes
+    }
+}
+
+/// A validated, allocated program ready for the executor.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The (topologically ordered) graph.
+    pub graph: Graph,
+    /// Memory plan.
+    pub memory: MemoryPlan,
+}
+
+/// Compile a graph for a device.
+pub fn compile(graph: Graph, spec: &AcceleratorSpec) -> Result<CompiledProgram, CompileError> {
+    if graph.graph_outputs().is_empty() {
+        return Err(CompileError::Malformed("graph has no outputs".into()));
+    }
+
+    // 1. Operator support (§3.1).
+    for node in graph.nodes() {
+        let kind = node.op.kind();
+        if !kind.supported_on(spec.platform) {
+            return Err(CompileError::UnsupportedOperator {
+                op: kind.name(),
+                platform: spec.full_name,
+            });
+        }
+    }
+
+    // 2. Per-dimension hardware limits (GroqChip's 320-wide MM modules).
+    for node in graph.nodes() {
+        if let Op::MatMulRight { .. } | Op::MatMulLeft { .. } = node.op {
+            for dim in matmul_dims(&graph, node) {
+                if dim > spec.max_matmul_dim {
+                    return Err(CompileError::MatmulDimTooLarge {
+                        dim,
+                        limit: spec.max_matmul_dim,
+                    });
+                }
+            }
+        }
+    }
+
+    // 3. Memory plan.
+    let is_output = |idx: usize| graph.graph_outputs().iter().any(|o| o.0 == idx);
+    let mut constant_bytes = 0u64;
+    let mut io_bytes = 0u64;
+    let mut intermediate_bytes = 0u64;
+    let mut sched_slice_ops = 0u64;
+    let mut max_slice = 0u64;
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        match &node.op {
+            Op::Constant(_) => constant_bytes += node.bytes(),
+            Op::Input => io_bytes += node.bytes(),
+            _ => {
+                if is_output(idx) {
+                    io_bytes += node.bytes();
+                } else {
+                    intermediate_bytes += node.bytes();
+                }
+                sched_slice_ops += node.slices() as u64;
+            }
+        }
+        max_slice = max_slice.max(node.slice_bytes());
+    }
+    let per_slice_op = match spec.architecture {
+        crate::spec::Architecture::Simd => SIMD_INSTR_BYTES_PER_SLICE_OP,
+        _ => OTHER_INSTR_BYTES_PER_SLICE_OP,
+    };
+    let memory = MemoryPlan {
+        constant_bytes,
+        io_bytes,
+        intermediate_bytes,
+        instruction_bytes: sched_slice_ops * per_slice_op,
+        max_operand_slice_bytes: max_slice,
+    };
+
+    // 3a. Per-memory-unit operand limit (SN30's 0.5 MB PMU).
+    if memory.max_operand_slice_bytes > spec.max_operand_bytes {
+        return Err(CompileError::OperandTooLarge {
+            bytes: memory.max_operand_slice_bytes,
+            limit: spec.max_operand_bytes,
+        });
+    }
+
+    // 3b. Aggregate capacity. Devices with off-chip backing (SN30's 1 TB
+    //     DDR, IPU streaming memory) can spill whole-batch I/O tensors;
+    //     on-chip-only devices must hold them resident.
+    let budget = spec.usable_ocm() + spec.offchip_bytes;
+    if memory.resident() > budget {
+        return Err(CompileError::OutOfMemory { required: memory.resident(), available: budget });
+    }
+
+    Ok(CompiledProgram { graph, memory })
+}
+
+/// The dimensions of a matmul node (its own output and all operands').
+fn matmul_dims(graph: &Graph, node: &Node) -> Vec<usize> {
+    let mut dims = Vec::with_capacity(8);
+    let out = &node.shape;
+    dims.push(out[out.len() - 2]);
+    dims.push(out[out.len() - 1]);
+    for &input in &node.inputs {
+        let s = &graph.node(input).shape;
+        if s.len() >= 2 {
+            dims.push(s[s.len() - 2]);
+            dims.push(s[s.len() - 1]);
+        }
+    }
+    match &node.op {
+        Op::MatMulRight { rhs } => dims.extend_from_slice(&graph.node(*rhs).shape),
+        Op::MatMulLeft { lhs } => dims.extend_from_slice(&graph.node(*lhs).shape),
+        _ => {}
+    }
+    dims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Platform, CS2, GROQCHIP, IPU, SN30};
+    use aicomp_tensor::Tensor;
+
+    /// Build the DCT+Chop compression graph for `slices` matrices of side
+    /// `n` with chop factor `cf`.
+    fn compress_graph(slices: usize, n: usize, cf: usize) -> Graph {
+        let cs = cf * n / 8;
+        let mut g = Graph::new();
+        let a = g.input([slices, n, n]);
+        let rhs = g.constant(Tensor::zeros([n, cs]));
+        let lhs = g.constant(Tensor::zeros([cs, n]));
+        let t1 = g.matmul_right(a, rhs).unwrap();
+        let y = g.matmul_left(lhs, t1).unwrap();
+        g.output(y).unwrap();
+        g
+    }
+
+    #[test]
+    fn sn30_fails_at_512_resolution() {
+        // §4.2.2: "compilation fails for 512×512 resolution since the PMUs
+        // cannot fit the entire output matrix along with matrices required".
+        let g = compress_graph(300, 512, 4);
+        let err = compile(g, &SN30).unwrap_err();
+        assert!(matches!(err, CompileError::OperandTooLarge { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn sn30_compiles_at_256() {
+        let g = compress_graph(300, 256, 4);
+        assert!(compile(g, &SN30).is_ok());
+    }
+
+    #[test]
+    fn groq_fails_at_512_resolution() {
+        // §4.2.2: GroqChip "fails to compile for 512×512 resolution" (OCM +
+        // the 320-wide MM module limit).
+        let g = compress_graph(300, 512, 4);
+        let err = compile(g, &GROQCHIP).unwrap_err();
+        assert!(matches!(err, CompileError::MatmulDimTooLarge { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn groq_runs_resolution_sweep_up_to_256() {
+        // Fig. 10/11 include GroqChip series up to 256×256.
+        for n in [32, 64, 128, 256] {
+            for cf in 2..=7 {
+                let g = compress_graph(300, n, cf);
+                assert!(compile(g, &GROQCHIP).is_ok(), "n={n} cf={cf}");
+            }
+        }
+    }
+
+    #[test]
+    fn groq_fails_beyond_batch_1000() {
+        // §4.2.2: "the GroqChip fails to compile beyond a batch size of 1000
+        // since on-chip memory is exhausted" (64×64, 3 channels). The
+        // instruction schedule grows with the batch and shares the SRAM.
+        for cf in 2..=7 {
+            let ok = compress_graph(1000 * 3, 64, cf);
+            assert!(compile(ok, &GROQCHIP).is_ok(), "cf={cf} at 1000");
+            let too_big = compress_graph(2000 * 3, 64, cf);
+            let err = compile(too_big, &GROQCHIP).unwrap_err();
+            assert!(matches!(err, CompileError::OutOfMemory { .. }), "cf={cf}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn cs2_and_ipu_compile_at_512() {
+        // §4.2.3: the IPU "successfully ran no-serialization decompression
+        // for 512×512 images"; the CS-2's 40 GB never fails these sizes.
+        for spec in [&CS2, &IPU] {
+            let g = compress_graph(300, 512, 4);
+            assert!(compile(g, spec).is_ok(), "{}", spec.full_name);
+        }
+    }
+
+    #[test]
+    fn batch_5000_compiles_on_dataflow_and_ipu() {
+        // Fig. 12/13 sweep batch to 5000 on CS-2, SN30, IPU.
+        for spec in [&CS2, &SN30, &IPU] {
+            let g = compress_graph(5000 * 3, 64, 4);
+            assert!(compile(g, spec).is_ok(), "{}", spec.full_name);
+        }
+    }
+
+    #[test]
+    fn partial_serialization_unblocks_sn30_at_512() {
+        // The §3.5.1 fix: chunks of 256 compile where monolithic 512 fails.
+        let chunk = compress_graph(300, 256, 4);
+        assert!(compile(chunk, &SN30).is_ok());
+    }
+
+    #[test]
+    fn scatter_gather_rejected_off_ipu() {
+        for platform in [Platform::Cs2, Platform::Sn30, Platform::GroqChip] {
+            let mut g = Graph::new();
+            let x = g.input([10usize, 8, 8]);
+            let packed = g.gather(x, vec![0, 1, 2]).unwrap();
+            g.output(packed).unwrap();
+            let err = compile(g, platform.spec()).unwrap_err();
+            assert!(matches!(err, CompileError::UnsupportedOperator { .. }), "{platform}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn scatter_gather_compiles_on_ipu() {
+        let mut g = Graph::new();
+        let x = g.input([10usize, 8, 8]);
+        let packed = g.gather(x, vec![0, 1, 2]).unwrap();
+        g.output(packed).unwrap();
+        assert!(compile(g, &IPU).is_ok());
+    }
+
+    #[test]
+    fn empty_graph_is_malformed() {
+        let g = Graph::new();
+        assert!(matches!(compile(g, &CS2), Err(CompileError::Malformed(_))));
+    }
+
+    #[test]
+    fn memory_plan_accounts_all_classes() {
+        let g = compress_graph(10, 64, 4);
+        let p = compile(g, &CS2).unwrap();
+        let cs = 4 * 64 / 8;
+        let expect_const = ((64 * cs) + (cs * 64)) as u64 * 4;
+        assert_eq!(p.memory.constant_bytes, expect_const);
+        // input + final output are I/O; the A·RHS product is intermediate.
+        assert_eq!(p.memory.io_bytes, (10 * 64 * 64 + 10 * cs * cs) as u64 * 4);
+        assert_eq!(p.memory.intermediate_bytes, (10 * 64 * cs) as u64 * 4);
+        // Two matmul nodes × 10 slices each.
+        assert_eq!(p.memory.instruction_bytes, 20 * OTHER_INSTR_BYTES_PER_SLICE_OP);
+        assert_eq!(p.memory.max_operand_slice_bytes, (64 * 64 * 4) as u64);
+    }
+}

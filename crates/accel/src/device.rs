@@ -1,0 +1,150 @@
+//! Device facade: compile once, run many times, get outputs + simulated
+//! timing — the shape of the vendor toolchains' workflow (§4.1: compression
+//! and decompression are "compiled separately for each accelerator").
+
+use aicomp_tensor::Tensor;
+
+use crate::compiler::{compile, CompileError, CompiledProgram};
+use crate::exec::{execute, ExecError};
+use crate::graph::Graph;
+use crate::perf::{estimate, TimingReport};
+use crate::spec::{AcceleratorSpec, Platform};
+
+/// A simulated accelerator.
+#[derive(Debug, Clone, Copy)]
+pub struct Device {
+    spec: &'static AcceleratorSpec,
+}
+
+/// Errors from the device facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// Compilation failed (unsupported op, OOM, dimension limits).
+    Compile(CompileError),
+    /// Execution failed.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Compile(e) => write!(f, "compile error: {e}"),
+            DeviceError::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<CompileError> for DeviceError {
+    fn from(e: CompileError) -> Self {
+        DeviceError::Compile(e)
+    }
+}
+
+impl From<ExecError> for DeviceError {
+    fn from(e: ExecError) -> Self {
+        DeviceError::Exec(e)
+    }
+}
+
+impl Device {
+    /// A device for the given platform.
+    pub fn new(platform: Platform) -> Self {
+        Device { spec: platform.spec() }
+    }
+
+    /// The device's spec.
+    pub fn spec(&self) -> &'static AcceleratorSpec {
+        self.spec
+    }
+
+    /// The platform identity.
+    pub fn platform(&self) -> Platform {
+        self.spec.platform
+    }
+
+    /// Compile a graph for this device.
+    pub fn compile(&self, graph: Graph) -> Result<CompiledModel, DeviceError> {
+        let program = compile(graph, self.spec)?;
+        Ok(CompiledModel { program, spec: self.spec })
+    }
+}
+
+/// A compiled, allocated model bound to a device.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    program: CompiledProgram,
+    spec: &'static AcceleratorSpec,
+}
+
+/// Result of one run: outputs and the simulated timing report.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Graph outputs, in declaration order.
+    pub outputs: Vec<Tensor>,
+    /// Simulated timing (includes host-device transfers, like the paper's
+    /// measurements).
+    pub timing: TimingReport,
+}
+
+impl CompiledModel {
+    /// The underlying compiled program.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// Simulated timing without executing (the schedule fully determines
+    /// it — shapes are static).
+    pub fn timing(&self) -> TimingReport {
+        estimate(&self.program, self.spec)
+    }
+
+    /// Execute numerically and report simulated timing.
+    pub fn run(&self, inputs: &[&Tensor]) -> Result<RunResult, DeviceError> {
+        let outputs = execute(&self.program, inputs)?;
+        Ok(RunResult { outputs, timing: self.timing() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_and_run_roundtrip() {
+        let device = Device::new(Platform::Cs2);
+        let mut g = Graph::new();
+        let a = g.input([2usize, 8, 8]);
+        let c = g.constant(Tensor::eye(8));
+        let out = g.matmul_right(a, c).unwrap();
+        g.output(out).unwrap();
+        let model = device.compile(g).unwrap();
+        let x = Tensor::from_vec((0..128).map(|i| i as f32).collect(), [2usize, 8, 8]).unwrap();
+        let result = model.run(&[&x]).unwrap();
+        assert!(result.outputs[0].allclose(&x, 1e-5));
+        assert!(result.timing.seconds > 0.0);
+    }
+
+    #[test]
+    fn timing_is_deterministic() {
+        let device = Device::new(Platform::Sn30);
+        let mut g = Graph::new();
+        let a = g.input([4usize, 16, 16]);
+        let c = g.constant(Tensor::eye(16));
+        let out = g.matmul_right(a, c).unwrap();
+        g.output(out).unwrap();
+        let model = device.compile(g).unwrap();
+        assert_eq!(model.timing().seconds, model.timing().seconds);
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let device = Device::new(Platform::Cs2);
+        let mut g = Graph::new();
+        let x = g.input([1usize, 8, 8]);
+        let packed = g.gather(x, vec![0]).unwrap();
+        g.output(packed).unwrap();
+        assert!(matches!(device.compile(g), Err(DeviceError::Compile(_))));
+    }
+}

@@ -1,0 +1,141 @@
+//! Distributed data-parallel training with compressed gradient exchange —
+//! the §2.2 motivation quantified: "In distributed training environments,
+//! gradients must be communicated across interconnects or networks,
+//! incurring significant overhead. Compression can reduce gradient size,
+//! lowering distributed training communication costs."
+//!
+//! The model: each of `d` devices computes its shard's gradients
+//! (compute time from the device's training-throughput parameters), then a
+//! ring all-reduce exchanges `2·(d−1)/d × grad_bytes` per device over the
+//! interconnect. Gradient compression divides the exchanged bytes by the
+//! compressor's CR and charges the codec's (de)compression time on-device.
+
+use crate::spec::{AcceleratorSpec, Platform};
+
+/// Parameters of one simulated training step.
+#[derive(Debug, Clone, Copy)]
+pub struct StepModel {
+    /// Devices in the data-parallel group.
+    pub devices: usize,
+    /// Gradient bytes per device per step (= model parameter bytes).
+    pub grad_bytes: u64,
+    /// Per-device compute time per step, seconds (forward+backward on the
+    /// local shard).
+    pub compute_s: f64,
+    /// Interconnect bandwidth per link, bytes/s.
+    pub link_bw: f64,
+}
+
+impl StepModel {
+    /// A step model for `platform` using its spec's interconnect numbers
+    /// and a caller-supplied compute time and gradient size.
+    pub fn for_platform(
+        platform: Platform,
+        devices: usize,
+        grad_bytes: u64,
+        compute_s: f64,
+    ) -> StepModel {
+        let spec: &AcceleratorSpec = platform.spec();
+        // Interconnect bandwidth: reuse the host-link number as the
+        // device-to-device fabric rate (conservative; pods have dedicated
+        // fabrics at similar order).
+        StepModel { devices, grad_bytes, compute_s, link_bw: spec.link_in_bw }
+    }
+
+    /// Ring all-reduce bytes each device sends per step.
+    pub fn allreduce_bytes(&self, compression_ratio: f64) -> f64 {
+        if self.devices <= 1 {
+            return 0.0;
+        }
+        let factor = 2.0 * (self.devices as f64 - 1.0) / self.devices as f64;
+        factor * self.grad_bytes as f64 / compression_ratio.max(1.0)
+    }
+
+    /// Step time without gradient compression.
+    pub fn step_time_uncompressed(&self) -> f64 {
+        self.compute_s + self.allreduce_bytes(1.0) / self.link_bw
+    }
+
+    /// Step time with gradient compression at `cr`, paying `codec_s`
+    /// seconds of compression+decompression per step.
+    pub fn step_time_compressed(&self, cr: f64, codec_s: f64) -> f64 {
+        self.compute_s + self.allreduce_bytes(cr) / self.link_bw + codec_s
+    }
+
+    /// Speedup of compressed vs uncompressed exchange.
+    pub fn speedup(&self, cr: f64, codec_s: f64) -> f64 {
+        self.step_time_uncompressed() / self.step_time_compressed(cr, codec_s)
+    }
+
+    /// The codec time (s) above which compression stops paying off.
+    pub fn codec_budget(&self, cr: f64) -> f64 {
+        (self.allreduce_bytes(1.0) - self.allreduce_bytes(cr)) / self.link_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(devices: usize) -> StepModel {
+        StepModel {
+            devices,
+            grad_bytes: 100 * 1024 * 1024, // 100 MiB of gradients
+            compute_s: 50e-3,
+            link_bw: 10e9,
+        }
+    }
+
+    #[test]
+    fn single_device_has_no_exchange() {
+        let m = model(1);
+        assert_eq!(m.allreduce_bytes(1.0), 0.0);
+        assert_eq!(m.step_time_uncompressed(), m.compute_s);
+    }
+
+    #[test]
+    fn ring_allreduce_volume_formula() {
+        let m = model(4);
+        // 2·(d−1)/d × bytes = 1.5 × 100 MiB.
+        let expect = 1.5 * (100u64 * 1024 * 1024) as f64;
+        assert!((m.allreduce_bytes(1.0) - expect).abs() < 1.0);
+        // CR 4 divides it.
+        assert!((m.allreduce_bytes(4.0) - expect / 4.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn free_codec_always_speeds_up() {
+        let m = model(8);
+        for cr in [2.0, 4.0, 16.0] {
+            assert!(m.speedup(cr, 0.0) > 1.0, "cr={cr}");
+        }
+        // More compression → more speedup (free codec).
+        assert!(m.speedup(16.0, 0.0) > m.speedup(2.0, 0.0));
+    }
+
+    #[test]
+    fn slow_codec_can_lose() {
+        let m = model(8);
+        let budget = m.codec_budget(4.0);
+        assert!(m.speedup(4.0, budget * 0.5) > 1.0);
+        assert!(m.speedup(4.0, budget * 2.0) < 1.0);
+        // The breakeven point is exactly the budget.
+        assert!((m.speedup(4.0, budget) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_grows_with_device_count() {
+        // More devices → more exchange volume fraction → compression
+        // matters more.
+        let s2 = model(2).speedup(4.0, 1e-3);
+        let s16 = model(16).speedup(4.0, 1e-3);
+        assert!(s16 > s2, "{s16} !> {s2}");
+    }
+
+    #[test]
+    fn platform_constructor_uses_spec_link() {
+        let m = StepModel::for_platform(Platform::Ipu, 4, 1024, 1e-3);
+        assert_eq!(m.link_bw, Platform::Ipu.spec().link_in_bw);
+        assert_eq!(m.devices, 4);
+    }
+}

@@ -1,0 +1,235 @@
+//! Numeric execution of compiled programs.
+//!
+//! The executor walks the (topologically ordered) node list and evaluates
+//! each op with the host tensor kernels — the numerics are bit-identical to
+//! running `aicomp-core` directly; only the *timing* is simulated
+//! ([`crate::perf`]).
+
+use aicomp_tensor::Tensor;
+
+use crate::compiler::CompiledProgram;
+use crate::graph::{NodeId, Op};
+
+/// Execution errors (shape errors surface here only if a graph was built
+/// outside the checked builder API).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Wrong number of inputs supplied.
+    InputArity { expected: usize, got: usize },
+    /// An input tensor's shape does not match the graph's declared shape.
+    InputShape { index: usize, expected: Vec<usize>, got: Vec<usize> },
+    /// Tensor kernel failure.
+    Tensor(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::InputArity { expected, got } => {
+                write!(f, "expected {expected} inputs, got {got}")
+            }
+            ExecError::InputShape { index, expected, got } => {
+                write!(f, "input {index} has shape {got:?}, graph expects {expected:?}")
+            }
+            ExecError::Tensor(msg) => write!(f, "tensor error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Execute a compiled program on host tensors, returning the graph outputs.
+pub fn execute(program: &CompiledProgram, inputs: &[&Tensor]) -> Result<Vec<Tensor>, ExecError> {
+    let graph = &program.graph;
+    if inputs.len() != graph.graph_inputs().len() {
+        return Err(ExecError::InputArity {
+            expected: graph.graph_inputs().len(),
+            got: inputs.len(),
+        });
+    }
+    for (i, (&supplied, &declared)) in inputs.iter().zip(graph.graph_inputs().iter()).enumerate() {
+        let expect = &graph.node(declared).shape;
+        if supplied.dims() != expect.as_slice() {
+            return Err(ExecError::InputShape {
+                index: i,
+                expected: expect.clone(),
+                got: supplied.dims().to_vec(),
+            });
+        }
+    }
+
+    let terr = |e: aicomp_tensor::TensorError| ExecError::Tensor(e.to_string());
+    let mut values: Vec<Option<Tensor>> = vec![None; graph.nodes().len()];
+    let mut next_input = 0usize;
+
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        let value = match &node.op {
+            Op::Input => {
+                let t = inputs[next_input].clone();
+                next_input += 1;
+                t
+            }
+            Op::Constant(t) => t.clone(),
+            Op::MatMulRight { rhs } => {
+                let x = values[node.inputs[0].0].as_ref().expect("topo order");
+                let r = values[rhs.0].as_ref().expect("topo order");
+                x.matmul_broadcast(r).map_err(terr)?
+            }
+            Op::MatMulLeft { lhs } => {
+                let x = values[node.inputs[0].0].as_ref().expect("topo order");
+                let l = values[lhs.0].as_ref().expect("topo order");
+                x.lmatmul_broadcast(l).map_err(terr)?
+            }
+            Op::Gather { indices } => {
+                let x = values[node.inputs[0].0].as_ref().expect("topo order");
+                gather_slices(x, indices).map_err(terr)?
+            }
+            Op::Scatter { indices, rows, cols } => {
+                let x = values[node.inputs[0].0].as_ref().expect("topo order");
+                scatter_slices(x, indices, *rows, *cols).map_err(terr)?
+            }
+            Op::Add { other } => {
+                let a = values[node.inputs[0].0].as_ref().expect("topo order");
+                let b = values[other.0].as_ref().expect("topo order");
+                a.add(b).map_err(terr)?
+            }
+            Op::Reshape => values[node.inputs[0].0].as_ref().expect("topo order").clone(),
+        };
+        debug_assert_eq!(value.dims(), node.shape.as_slice(), "node {idx} shape drift");
+        values[idx] = Some(value);
+    }
+
+    Ok(graph
+        .graph_outputs()
+        .iter()
+        .map(|&NodeId(i)| values[i].clone().expect("outputs evaluated"))
+        .collect())
+}
+
+/// Per-slice gather: input `[..., rows, cols]` → `[..., indices.len()]`.
+fn gather_slices(x: &Tensor, indices: &[usize]) -> aicomp_tensor::Result<Tensor> {
+    let d = x.dims();
+    let per = d[d.len() - 2] * d[d.len() - 1];
+    let slices = x.numel() / per;
+    let mut out = Vec::with_capacity(slices * indices.len());
+    for s in 0..slices {
+        let base = s * per;
+        for &ix in indices {
+            out.push(x.data()[base + ix]);
+        }
+    }
+    let mut dims = d[..d.len() - 2].to_vec();
+    dims.push(indices.len());
+    Tensor::from_vec(out, dims)
+}
+
+/// Per-slice scatter: input `[..., packed]` → `[..., rows, cols]` zeros
+/// elsewhere.
+fn scatter_slices(
+    x: &Tensor,
+    indices: &[usize],
+    rows: usize,
+    cols: usize,
+) -> aicomp_tensor::Result<Tensor> {
+    let d = x.dims();
+    let plen = *d.last().unwrap();
+    let slices = x.numel() / plen;
+    let mut out = vec![0.0f32; slices * rows * cols];
+    for s in 0..slices {
+        for (k, &ix) in indices.iter().enumerate() {
+            out[s * rows * cols + ix] = x.data()[s * plen + k];
+        }
+    }
+    let mut dims = d[..d.len() - 1].to_vec();
+    dims.push(rows);
+    dims.push(cols);
+    Tensor::from_vec(out, dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::graph::Graph;
+    use crate::spec::{CS2, IPU};
+    use aicomp_core::ChopCompressor;
+
+    fn ramp(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|i| ((i % 29) as f32) / 4.0 - 3.0).collect(), dims.to_vec())
+            .unwrap()
+    }
+
+    #[test]
+    fn device_execution_matches_host_compressor() {
+        // The whole point: the graph the "device" runs is numerically the
+        // same two matmuls the host compressor performs.
+        let n = 32;
+        let cf = 4;
+        let slices = 6;
+        let comp = ChopCompressor::new(n, cf).unwrap();
+        let ops = comp.operators();
+
+        let mut g = Graph::new();
+        let a = g.input([slices, n, n]);
+        let rhs = g.constant(ops.c_rhs.clone());
+        let lhs = g.constant(ops.c_lhs.clone());
+        let t1 = g.matmul_right(a, rhs).unwrap();
+        let y = g.matmul_left(lhs, t1).unwrap();
+        g.output(y).unwrap();
+        let program = compile(g, &CS2).unwrap();
+
+        let x = ramp(&[slices, n, n]);
+        let out = execute(&program, &[&x]).unwrap();
+        let expect = comp.compress(&x).unwrap();
+        assert!(out[0].allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_on_ipu() {
+        let mut g = Graph::new();
+        let x = g.input([2usize, 4, 4]);
+        let idx = vec![0usize, 5, 10, 15];
+        let packed = g.gather(x, idx.clone()).unwrap();
+        let back = g.scatter(packed, idx, 4, 4).unwrap();
+        g.output(back).unwrap();
+        let program = compile(g, &IPU).unwrap();
+        let input = ramp(&[2, 4, 4]);
+        let out = execute(&program, &[&input]).unwrap();
+        // Diagonal survives, off-diagonal zeroed.
+        for s in 0..2 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    let got = out[0].at(&[s, i, j]);
+                    if i == j {
+                        assert_eq!(got, input.at(&[s, i, j]));
+                    } else {
+                        assert_eq!(got, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn input_arity_checked() {
+        let mut g = Graph::new();
+        let a = g.input([1usize, 8, 8]);
+        let b = g.input([1usize, 8, 8]);
+        let c = g.add(a, b).unwrap();
+        g.output(c).unwrap();
+        let program = compile(g, &CS2).unwrap();
+        let x = ramp(&[1, 8, 8]);
+        assert!(matches!(execute(&program, &[&x]), Err(ExecError::InputArity { .. })));
+    }
+
+    #[test]
+    fn input_shape_checked() {
+        let mut g = Graph::new();
+        let a = g.input([1usize, 8, 8]);
+        g.output(a).unwrap();
+        let program = compile(g, &CS2).unwrap();
+        let wrong = ramp(&[1, 4, 4]);
+        assert!(matches!(execute(&program, &[&wrong]), Err(ExecError::InputShape { .. })));
+    }
+}

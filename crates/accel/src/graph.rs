@@ -1,0 +1,397 @@
+//! Static-shape computation graphs.
+//!
+//! Every accelerator in the paper converts the model to a computation graph
+//! whose tensor sizes are fixed at compile time (§3.1 "Tensor Sizes"). This
+//! module is that representation: nodes carry an operator, input edges, and
+//! a *statically known* output shape. There is no dynamic shape anywhere —
+//! which is exactly why DCT+Chop's fixed compression ratio is required.
+
+use aicomp_tensor::Tensor;
+
+use crate::ops::OpKind;
+
+/// Node identifier (index into the graph's node list; the list is in
+/// topological order by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// The operator payload of a node.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// External input with static shape `[slices, rows, cols]`.
+    Input,
+    /// Compile-time constant (the compressor's LHS/RHS matrices).
+    Constant(Tensor),
+    /// `X[s, m, k] · B[k, n]` with a shared (constant) right operand.
+    MatMulRight { rhs: NodeId },
+    /// `A[m, k] · X[s, k, n]` with a shared (constant) left operand.
+    MatMulLeft { lhs: NodeId },
+    /// Gather `indices.len()` values from each slice's flattened matrix.
+    Gather { indices: Vec<usize> },
+    /// Scatter each slice's packed vector into a zeroed `[rows, cols]`
+    /// matrix at `indices`.
+    Scatter { indices: Vec<usize>, rows: usize, cols: usize },
+    /// Elementwise add of two same-shaped nodes.
+    Add { other: NodeId },
+    /// Reinterpret shape (element count preserved).
+    Reshape,
+}
+
+impl Op {
+    /// The operator kind, for support-matrix checks.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Input | Op::Constant(_) => OpKind::Reshape, // data nodes: always supported
+            Op::MatMulRight { .. } | Op::MatMulLeft { .. } => OpKind::MatMul,
+            Op::Gather { .. } => OpKind::Gather,
+            Op::Scatter { .. } => OpKind::Scatter,
+            Op::Add { .. } => OpKind::Add,
+            Op::Reshape => OpKind::Reshape,
+        }
+    }
+}
+
+/// One graph node: operator, data inputs, and static output shape.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The operator.
+    pub op: Op,
+    /// Data-dependency inputs (excluding the constant operand encoded in
+    /// the op itself).
+    pub inputs: Vec<NodeId>,
+    /// Static output shape.
+    pub shape: Vec<usize>,
+}
+
+impl Node {
+    /// Output element count.
+    pub fn numel(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Output bytes (f32).
+    pub fn bytes(&self) -> u64 {
+        self.numel() as u64 * 4
+    }
+
+    /// Bytes of one 2-D slice of the output (the unit a memory unit must
+    /// hold — drives SN30's PMU constraint).
+    pub fn slice_bytes(&self) -> u64 {
+        let d = &self.shape;
+        if d.len() < 2 {
+            return self.bytes();
+        }
+        (d[d.len() - 2] * d[d.len() - 1]) as u64 * 4
+    }
+
+    /// Number of independent slices (leading dims product).
+    pub fn slices(&self) -> usize {
+        let d = &self.shape;
+        if d.len() <= 2 {
+            1
+        } else {
+            d[..d.len() - 2].iter().product()
+        }
+    }
+}
+
+/// A static computation graph. Nodes are appended in topological order.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+/// Graph-construction errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// Referenced node does not exist.
+    UnknownNode(usize),
+    /// Static shapes are incompatible for the op.
+    ShapeMismatch { op: &'static str, detail: String },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownNode(i) => write!(f, "unknown node id {i}"),
+            GraphError::ShapeMismatch { op, detail } => {
+                write!(f, "shape mismatch in {op}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Declared external inputs.
+    pub fn graph_inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Declared outputs.
+    pub fn graph_outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(node);
+        id
+    }
+
+    fn check(&self, id: NodeId) -> Result<(), GraphError> {
+        if id.0 >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(id.0));
+        }
+        Ok(())
+    }
+
+    /// Declare an external input of static shape `[slices, rows, cols]`.
+    pub fn input(&mut self, shape: impl Into<Vec<usize>>) -> NodeId {
+        let id = self.push(Node { op: Op::Input, inputs: vec![], shape: shape.into() });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Embed a compile-time constant.
+    pub fn constant(&mut self, t: Tensor) -> NodeId {
+        let shape = t.dims().to_vec();
+        self.push(Node { op: Op::Constant(t), inputs: vec![], shape })
+    }
+
+    /// `x · rhs` where `rhs` is a `[k, n]` constant and `x` is `[..., m, k]`.
+    pub fn matmul_right(&mut self, x: NodeId, rhs: NodeId) -> Result<NodeId, GraphError> {
+        self.check(x)?;
+        self.check(rhs)?;
+        let xs = self.nodes[x.0].shape.clone();
+        let rs = self.nodes[rhs.0].shape.clone();
+        if rs.len() != 2 || xs.len() < 2 || xs[xs.len() - 1] != rs[0] {
+            return Err(GraphError::ShapeMismatch {
+                op: "matmul_right",
+                detail: format!("{xs:?} x {rs:?}"),
+            });
+        }
+        let mut out = xs;
+        let l = out.len();
+        out[l - 1] = rs[1];
+        Ok(self.push(Node { op: Op::MatMulRight { rhs }, inputs: vec![x], shape: out }))
+    }
+
+    /// `lhs · x` where `lhs` is a `[m, k]` constant and `x` is `[..., k, n]`.
+    pub fn matmul_left(&mut self, lhs: NodeId, x: NodeId) -> Result<NodeId, GraphError> {
+        self.check(x)?;
+        self.check(lhs)?;
+        let xs = self.nodes[x.0].shape.clone();
+        let ls = self.nodes[lhs.0].shape.clone();
+        if ls.len() != 2 || xs.len() < 2 || xs[xs.len() - 2] != ls[1] {
+            return Err(GraphError::ShapeMismatch {
+                op: "matmul_left",
+                detail: format!("{ls:?} x {xs:?}"),
+            });
+        }
+        let mut out = xs;
+        let l = out.len();
+        out[l - 2] = ls[0];
+        Ok(self.push(Node { op: Op::MatMulLeft { lhs }, inputs: vec![x], shape: out }))
+    }
+
+    /// Gather `indices` from each `[rows, cols]` slice of `x`, producing
+    /// `[..., indices.len()]`.
+    pub fn gather(&mut self, x: NodeId, indices: Vec<usize>) -> Result<NodeId, GraphError> {
+        self.check(x)?;
+        let xs = self.nodes[x.0].shape.clone();
+        if xs.len() < 2 {
+            return Err(GraphError::ShapeMismatch { op: "gather", detail: format!("{xs:?}") });
+        }
+        let per = xs[xs.len() - 2] * xs[xs.len() - 1];
+        if indices.iter().any(|&i| i >= per) {
+            return Err(GraphError::ShapeMismatch {
+                op: "gather",
+                detail: format!("index out of range for slice of {per}"),
+            });
+        }
+        let mut out = xs[..xs.len() - 2].to_vec();
+        out.push(indices.len());
+        Ok(self.push(Node { op: Op::Gather { indices }, inputs: vec![x], shape: out }))
+    }
+
+    /// Scatter each `[packed]` slice of `x` into a zeroed `[rows, cols]`.
+    pub fn scatter(
+        &mut self,
+        x: NodeId,
+        indices: Vec<usize>,
+        rows: usize,
+        cols: usize,
+    ) -> Result<NodeId, GraphError> {
+        self.check(x)?;
+        let xs = self.nodes[x.0].shape.clone();
+        if xs.is_empty() || *xs.last().unwrap() != indices.len() {
+            return Err(GraphError::ShapeMismatch {
+                op: "scatter",
+                detail: format!("packed len {:?} vs {} indices", xs.last(), indices.len()),
+            });
+        }
+        if indices.iter().any(|&i| i >= rows * cols) {
+            return Err(GraphError::ShapeMismatch {
+                op: "scatter",
+                detail: "index out of target range".into(),
+            });
+        }
+        let mut out = xs[..xs.len() - 1].to_vec();
+        out.push(rows);
+        out.push(cols);
+        Ok(self.push(Node { op: Op::Scatter { indices, rows, cols }, inputs: vec![x], shape: out }))
+    }
+
+    /// Elementwise addition of two same-shaped nodes.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, GraphError> {
+        self.check(a)?;
+        self.check(b)?;
+        if self.nodes[a.0].shape != self.nodes[b.0].shape {
+            return Err(GraphError::ShapeMismatch {
+                op: "add",
+                detail: format!("{:?} vs {:?}", self.nodes[a.0].shape, self.nodes[b.0].shape),
+            });
+        }
+        let shape = self.nodes[a.0].shape.clone();
+        Ok(self.push(Node { op: Op::Add { other: b }, inputs: vec![a, b], shape }))
+    }
+
+    /// Mark a node as a graph output.
+    pub fn output(&mut self, id: NodeId) -> Result<(), GraphError> {
+        self.check(id)?;
+        self.outputs.push(id);
+        Ok(())
+    }
+
+    /// Render the graph in Graphviz DOT format (for inspection of what the
+    /// "compiler" was given — shapes on every edge, constants boxed).
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut s = format!("digraph {name} {{\n  rankdir=LR;\n  node [fontname=\"monospace\"];\n");
+        for (i, node) in self.nodes.iter().enumerate() {
+            let (label, shape_attr) = match &node.op {
+                Op::Input => (format!("input\\n{:?}", node.shape), "shape=oval"),
+                Op::Constant(_) => (format!("const\\n{:?}", node.shape), "shape=box,style=dashed"),
+                op => (format!("{}\\n{:?}", op.kind().name(), node.shape), "shape=box"),
+            };
+            let outline = if self.outputs.iter().any(|o| o.0 == i) { ",peripheries=2" } else { "" };
+            s.push_str(&format!("  n{i} [label=\"{label}\",{shape_attr}{outline}];\n"));
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            for input in &node.inputs {
+                s.push_str(&format!("  n{} -> n{i};\n", input.0));
+            }
+            match &node.op {
+                Op::MatMulRight { rhs } => {
+                    s.push_str(&format!("  n{} -> n{i} [style=dashed];\n", rhs.0))
+                }
+                Op::MatMulLeft { lhs } => {
+                    s.push_str(&format!("  n{} -> n{i} [style=dashed];\n", lhs.0))
+                }
+                _ => {}
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_compressor_shaped_graph() {
+        // The compress graph: Y = LHS · (A · RHS).
+        let mut g = Graph::new();
+        let a = g.input([300usize, 256, 256]);
+        let rhs = g.constant(Tensor::zeros([256, 128]));
+        let lhs = g.constant(Tensor::zeros([128, 256]));
+        let t1 = g.matmul_right(a, rhs).unwrap();
+        assert_eq!(g.node(t1).shape, vec![300, 256, 128]);
+        let y = g.matmul_left(lhs, t1).unwrap();
+        assert_eq!(g.node(y).shape, vec![300, 128, 128]);
+        g.output(y).unwrap();
+        assert_eq!(g.graph_outputs().len(), 1);
+        assert_eq!(g.node(y).slices(), 300);
+        assert_eq!(g.node(y).slice_bytes(), 128 * 128 * 4);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_rejected() {
+        let mut g = Graph::new();
+        let a = g.input([2usize, 8, 8]);
+        let rhs = g.constant(Tensor::zeros([9, 4]));
+        assert!(g.matmul_right(a, rhs).is_err());
+    }
+
+    #[test]
+    fn gather_scatter_shapes() {
+        let mut g = Graph::new();
+        let x = g.input([5usize, 4, 4]);
+        let packed = g.gather(x, vec![0, 1, 4, 5]).unwrap();
+        assert_eq!(g.node(packed).shape, vec![5, 4]);
+        let back = g.scatter(packed, vec![0, 1, 4, 5], 4, 4).unwrap();
+        assert_eq!(g.node(back).shape, vec![5, 4, 4]);
+    }
+
+    #[test]
+    fn gather_rejects_out_of_range() {
+        let mut g = Graph::new();
+        let x = g.input([1usize, 2, 2]);
+        assert!(g.gather(x, vec![4]).is_err());
+    }
+
+    #[test]
+    fn scatter_rejects_len_mismatch() {
+        let mut g = Graph::new();
+        let x = g.input([1usize, 3]);
+        assert!(g.scatter(x, vec![0, 1], 2, 2).is_err());
+    }
+
+    #[test]
+    fn dot_export_contains_all_nodes_and_edges() {
+        let mut g = Graph::new();
+        let a = g.input([2usize, 8, 8]);
+        let c = g.constant(Tensor::eye(8));
+        let y = g.matmul_right(a, c).unwrap();
+        g.output(y).unwrap();
+        let dot = g.to_dot("compress");
+        assert!(dot.starts_with("digraph compress {"));
+        assert!(dot.contains("input"));
+        assert!(dot.contains("const"));
+        assert!(dot.contains("matmul"));
+        assert!(dot.contains("n0 -> n2"));
+        assert!(dot.contains("n1 -> n2 [style=dashed]")); // constant operand edge
+        assert!(dot.contains("peripheries=2")); // output marked
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn add_requires_same_shape() {
+        let mut g = Graph::new();
+        let a = g.input([2usize, 2, 2]);
+        let b = g.input([2usize, 2, 2]);
+        let c = g.input([1usize, 2, 2]);
+        assert!(g.add(a, b).is_ok());
+        assert!(g.add(a, c).is_err());
+    }
+}

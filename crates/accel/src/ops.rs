@@ -1,0 +1,127 @@
+//! Operator kinds and the per-platform support matrix (§3.1).
+//!
+//! The paper's central programmability observation: every platform's
+//! PyTorch dialect supports matmul, but bitwise-shift operators (needed by
+//! variable-length encoders) are supported *nowhere*, and
+//! `torch.scatter`/`torch.gather` only on the IPU. This module encodes that
+//! matrix; the compiler rejects graphs whose ops a platform lacks.
+
+use crate::spec::Platform;
+
+/// Kinds of tensor operators a graph node can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Dense matrix multiplication (`torch.matmul`) — supported everywhere,
+    /// which is the whole design premise of DCT+Chop.
+    MatMul,
+    /// `torch.gather` over precomputed indices.
+    Gather,
+    /// `torch.scatter` over precomputed indices.
+    Scatter,
+    /// Elementwise addition.
+    Add,
+    /// Elementwise multiplication.
+    Mul,
+    /// `torch.bitwise_not` (the paper notes SN30 has it).
+    BitwiseNot,
+    /// Bitwise shift — required by RLE/Huffman encoders, supported by no
+    /// accelerator (§3.1).
+    BitShift,
+    /// Shape-only reinterpretation.
+    Reshape,
+}
+
+impl OpKind {
+    /// Whether `platform`'s PyTorch dialect supports this operator.
+    ///
+    /// Sources: §3.1 (bit shifts missing everywhere, `bitwise_not` present
+    /// on SN30), §3.5.2 (scatter/gather IPU-only among the accelerators).
+    /// The A100 supports everything (full PyTorch).
+    pub fn supported_on(&self, platform: Platform) -> bool {
+        use OpKind::*;
+        use Platform::*;
+        match (self, platform) {
+            (_, A100) => true, // full PyTorch on GPU
+
+            (MatMul | Add | Mul | Reshape, _) => true,
+            (Gather | Scatter, Ipu) => true,
+            (Gather | Scatter, _) => false,
+            (BitwiseNot, Sn30) => true,
+            (BitwiseNot, _) => false,
+            (BitShift, _) => false,
+        }
+    }
+
+    /// Short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::MatMul => "matmul",
+            OpKind::Gather => "gather",
+            OpKind::Scatter => "scatter",
+            OpKind::Add => "add",
+            OpKind::Mul => "mul",
+            OpKind::BitwiseNot => "bitwise_not",
+            OpKind::BitShift => "bitshift",
+            OpKind::Reshape => "reshape",
+        }
+    }
+}
+
+/// Render the full support matrix (used by the Table 1 companion output).
+pub fn support_matrix() -> Vec<(OpKind, Vec<(Platform, bool)>)> {
+    use OpKind::*;
+    [MatMul, Gather, Scatter, Add, Mul, BitwiseNot, BitShift]
+        .into_iter()
+        .map(|op| (op, Platform::ALL.iter().map(|&p| (p, op.supported_on(p))).collect()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_everywhere() {
+        for p in Platform::ALL {
+            assert!(OpKind::MatMul.supported_on(p), "{p}");
+        }
+    }
+
+    #[test]
+    fn scatter_gather_ipu_and_gpu_only() {
+        assert!(OpKind::Gather.supported_on(Platform::Ipu));
+        assert!(OpKind::Scatter.supported_on(Platform::Ipu));
+        assert!(OpKind::Gather.supported_on(Platform::A100));
+        for p in [Platform::Cs2, Platform::Sn30, Platform::GroqChip] {
+            assert!(!OpKind::Gather.supported_on(p), "{p}");
+            assert!(!OpKind::Scatter.supported_on(p), "{p}");
+        }
+    }
+
+    #[test]
+    fn bitshift_on_no_accelerator() {
+        // §3.1: "The lack of support for PyTorch bitwise shift operators is
+        // common among many of the platforms" — the reason VLE schemes
+        // can't port.
+        for p in Platform::ACCELERATORS {
+            assert!(!OpKind::BitShift.supported_on(p), "{p}");
+        }
+    }
+
+    #[test]
+    fn bitwise_not_only_sn30_among_accelerators() {
+        assert!(OpKind::BitwiseNot.supported_on(Platform::Sn30));
+        for p in [Platform::Cs2, Platform::GroqChip, Platform::Ipu] {
+            assert!(!OpKind::BitwiseNot.supported_on(p));
+        }
+    }
+
+    #[test]
+    fn matrix_is_complete() {
+        let m = support_matrix();
+        assert_eq!(m.len(), 7);
+        for (_, row) in &m {
+            assert_eq!(row.len(), Platform::ALL.len());
+        }
+    }
+}

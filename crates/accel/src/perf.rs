@@ -1,0 +1,411 @@
+//! The analytic timing model.
+//!
+//! Numerics run on the host; *time* is simulated from the compiled
+//! schedule. For each run the model charges:
+//!
+//! ```text
+//! t = fixed_overhead
+//!   + bytes_in  / link_in_bw          (host → device transfer, §4.1:
+//!   + bytes_out / link_out_bw          "execution time includes
+//!                                       host-device communication")
+//!   + max(bytes_in, bytes_out) / proc_bw   (device streaming path)
+//!   + Σ_op flops / eff_flops          (compute roofline)
+//!   + Σ_op bytes_touched / ocm_stream_bw   (memory roofline)
+//!   + n_slice_ops × per_op_overhead   (scheduling overhead)
+//!   + Σ small-tensor penalties        (SN30's many-small-tensors cost)
+//! ```
+//!
+//! Every constant comes from [`crate::spec`] and is calibrated once per
+//! device against the paper's §4.2.2 throughput bands; the *shapes* of
+//! Figs. 10–15 and 17 (orderings, linearity, CR dependence, crossovers)
+//! are emergent.
+
+use crate::compiler::CompiledProgram;
+use crate::graph::Op;
+use crate::spec::AcceleratorSpec;
+
+/// Per-run timing breakdown, all in seconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimingBreakdown {
+    /// Fixed invocation overhead.
+    pub fixed: f64,
+    /// Host→device transfer.
+    pub transfer_in: f64,
+    /// Device→host transfer.
+    pub transfer_out: f64,
+    /// Device internal streaming (uncompressed-side processing).
+    pub processing: f64,
+    /// Compute roofline term.
+    pub compute: f64,
+    /// On-chip memory roofline term.
+    pub memory: f64,
+    /// Per-op scheduling overhead.
+    pub scheduling: f64,
+    /// Small-tensor penalty (SN30).
+    pub small_tensor: f64,
+    /// Indexed gather/scatter element cost (IPU's SG optimization).
+    pub indexed: f64,
+}
+
+impl TimingBreakdown {
+    /// Total simulated wall time.
+    pub fn total(&self) -> f64 {
+        self.fixed
+            + self.transfer_in
+            + self.transfer_out
+            + self.processing
+            + self.compute
+            + self.memory
+            + self.scheduling
+            + self.small_tensor
+            + self.indexed
+    }
+}
+
+/// A completed run's timing report.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Simulated wall-clock seconds (host perspective, includes transfers).
+    pub seconds: f64,
+    /// Term-by-term breakdown.
+    pub breakdown: TimingBreakdown,
+    /// Bytes moved host→device.
+    pub bytes_in: u64,
+    /// Bytes moved device→host.
+    pub bytes_out: u64,
+    /// Total FLOPs executed.
+    pub flops: u64,
+}
+
+impl TimingReport {
+    /// Throughput against an arbitrary reference byte count (the paper
+    /// measures against the *uncompressed* data size for both directions).
+    pub fn throughput(&self, reference_bytes: u64) -> f64 {
+        reference_bytes as f64 / self.seconds
+    }
+}
+
+/// Estimate the run time of a compiled program on its device.
+///
+/// `bytes_in` / `bytes_out` are the host-side transfer sizes (graph inputs
+/// and outputs).
+pub fn estimate(program: &CompiledProgram, spec: &AcceleratorSpec) -> TimingReport {
+    let graph = &program.graph;
+    let is_output = |idx: usize| graph.graph_outputs().iter().any(|o| o.0 == idx);
+
+    let mut bytes_in = 0u64;
+    let mut bytes_out = 0u64;
+    let mut flops = 0u64;
+    let mut touched = 0u64;
+    let mut slice_ops = 0u64;
+    let mut small_penalty = 0.0f64;
+    let mut indexed_elems = 0u64;
+
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        match &node.op {
+            Op::Input => bytes_in += node.bytes(),
+            Op::Constant(_) => {}
+            op => {
+                if is_output(idx) {
+                    bytes_out += node.bytes();
+                }
+                let slices = node.slices() as u64;
+                slice_ops += slices;
+                match op {
+                    // Moved elements = indices per slice × independent
+                    // slices. Gather output is [..., packed] (leading dims
+                    // are the slices); scatter output is [..., rows, cols]
+                    // (drop the trailing two dims for the slice count).
+                    Op::Gather { indices } => {
+                        let d = &node.shape;
+                        let n_slices: usize = d[..d.len().saturating_sub(1)].iter().product();
+                        indexed_elems += indices.len() as u64 * n_slices as u64;
+                    }
+                    Op::Scatter { indices, .. } => {
+                        let d = &node.shape;
+                        let n_slices: usize = d[..d.len().saturating_sub(2)].iter().product();
+                        indexed_elems += indices.len() as u64 * n_slices as u64;
+                    }
+                    _ => {}
+                }
+                // Bytes touched: every compute op reads its data input and
+                // writes its output (constants are resident).
+                let in_bytes: u64 = node.inputs.iter().map(|&i| graph.node(i).bytes()).sum();
+                touched += in_bytes + node.bytes();
+                flops += op_flops(graph, node, op);
+
+                // Small-tensor pipeline-bubble penalty (§4.2.2 "SN30"):
+                // when a matmul stage's input and output slices are badly
+                // size-imbalanced *and* the small side is below the PMU
+                // comfort threshold, the dataflow pipeline stalls — small
+                // tensors "may not be mapped to nearby memory locations".
+                // The stall cost scales with the large side's data volume
+                // and quadratically with the imbalance, so it vanishes at
+                // small resolutions and grows where the paper observed it
+                // (CR 16 at 256×256).
+                if spec.small_tensor_threshold > 0
+                    && matches!(op, Op::MatMulRight { .. } | Op::MatMulLeft { .. })
+                {
+                    if let Some(&data_in) = node.inputs.first() {
+                        let in_slice = graph.node(data_in).slice_bytes().max(1);
+                        let out_slice = node.slice_bytes().max(1);
+                        let min_slice = in_slice.min(out_slice);
+                        if min_slice < spec.small_tensor_threshold {
+                            let imbalance = in_slice.max(out_slice) as f64 / min_slice as f64;
+                            let bytes = graph.node(data_in).bytes().max(node.bytes()) as f64;
+                            small_penalty +=
+                                bytes * (imbalance - 1.0).powi(2) / spec.small_tensor_bubble_bw;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let breakdown = TimingBreakdown {
+        fixed: spec.fixed_overhead_s,
+        transfer_in: bytes_in as f64 / spec.link_in_bw,
+        transfer_out: bytes_out as f64 / spec.link_out_bw,
+        processing: bytes_in.max(bytes_out) as f64 / spec.proc_bw,
+        compute: flops as f64 / spec.eff_flops,
+        memory: touched as f64 / spec.ocm_stream_bw,
+        scheduling: slice_ops as f64 * spec.per_op_overhead_s,
+        small_tensor: small_penalty,
+        indexed: indexed_elems as f64 * spec.indexed_elem_cost_s,
+    };
+    TimingReport { seconds: breakdown.total(), breakdown, bytes_in, bytes_out, flops }
+}
+
+/// FLOPs for one node across all its slices.
+fn op_flops(graph: &Graph2, node: &crate::graph::Node, op: &Op) -> u64 {
+    let slices = node.slices() as u64;
+    match op {
+        Op::MatMulRight { rhs } => {
+            let out = &node.shape;
+            let (m, n) = (out[out.len() - 2] as u64, out[out.len() - 1] as u64);
+            let k = graph.node(*rhs).shape[0] as u64;
+            slices * (2 * m * k * n - m * n)
+        }
+        Op::MatMulLeft { lhs } => {
+            let out = &node.shape;
+            let (m, n) = (out[out.len() - 2] as u64, out[out.len() - 1] as u64);
+            let k = graph.node(*lhs).shape[1] as u64;
+            slices * (2 * m * k * n - m * n)
+        }
+        Op::Add { .. } => node.numel() as u64,
+        // Gather/scatter/reshape move data without arithmetic.
+        _ => 0,
+    }
+}
+
+type Graph2 = crate::graph::Graph;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::graph::Graph;
+    use crate::spec::{Platform, CS2, GROQCHIP, IPU, SN30};
+    use aicomp_tensor::Tensor;
+
+    fn compress_graph(slices: usize, n: usize, cf: usize) -> Graph {
+        let cs = cf * n / 8;
+        let mut g = Graph::new();
+        let a = g.input([slices, n, n]);
+        let rhs = g.constant(Tensor::zeros([n, cs]));
+        let lhs = g.constant(Tensor::zeros([cs, n]));
+        let t1 = g.matmul_right(a, rhs).unwrap();
+        let y = g.matmul_left(lhs, t1).unwrap();
+        g.output(y).unwrap();
+        g
+    }
+
+    fn decompress_graph(slices: usize, n: usize, cf: usize) -> Graph {
+        let cs = cf * n / 8;
+        let mut g = Graph::new();
+        let y = g.input([slices, cs, cs]);
+        let d_rhs = g.constant(Tensor::zeros([cs, n]));
+        let d_lhs = g.constant(Tensor::zeros([n, cs]));
+        let t1 = g.matmul_right(y, d_rhs).unwrap();
+        let a = g.matmul_left(d_lhs, t1).unwrap();
+        g.output(a).unwrap();
+        g
+    }
+
+    fn throughput_gbs(report: &TimingReport, uncompressed: u64) -> f64 {
+        report.throughput(uncompressed) / 1e9
+    }
+
+    /// 100 samples × 3 channels at resolution n — the Fig. 10/11 workload.
+    fn uncompressed_bytes(n: usize) -> u64 {
+        (100 * 3 * n * n * 4) as u64
+    }
+
+    #[test]
+    fn cs2_reaches_tens_of_gbs() {
+        // §4.2.2: CS-2 "generally ranging from 16 to 26 GB/s".
+        let p = compile(compress_graph(300, 256, 4), &CS2).unwrap();
+        let t = estimate(&p, &CS2);
+        let gbs = throughput_gbs(&t, uncompressed_bytes(256));
+        assert!((10.0..30.0).contains(&gbs), "CS-2 compression {gbs} GB/s");
+    }
+
+    #[test]
+    fn sn30_in_7_to_10_gbs_band() {
+        let p = compile(compress_graph(300, 256, 4), &SN30).unwrap();
+        let t = estimate(&p, &SN30);
+        let gbs = throughput_gbs(&t, uncompressed_bytes(256));
+        assert!((5.0..12.0).contains(&gbs), "SN30 compression {gbs} GB/s");
+    }
+
+    #[test]
+    fn groq_in_mbs_band() {
+        // §4.2.2: ≈150 MB/s compression, ≈200 MB/s decompression.
+        let p = compile(compress_graph(300, 256, 4), &GROQCHIP).unwrap();
+        let t = estimate(&p, &GROQCHIP);
+        let mbs = throughput_gbs(&t, uncompressed_bytes(256)) * 1000.0;
+        assert!((100.0..250.0).contains(&mbs), "Groq compression {mbs} MB/s");
+        let pd = compile(decompress_graph(300, 256, 4), &GROQCHIP).unwrap();
+        let td = estimate(&pd, &GROQCHIP);
+        let mbs_d = throughput_gbs(&td, uncompressed_bytes(256)) * 1000.0;
+        assert!(mbs_d > mbs, "decompression {mbs_d} !> compression {mbs}");
+    }
+
+    #[test]
+    fn ipu_compression_about_1gbs_decompression_rises_with_cr() {
+        let p = compile(compress_graph(300, 256, 4), &IPU).unwrap();
+        let t = estimate(&p, &IPU);
+        let gbs = throughput_gbs(&t, uncompressed_bytes(256));
+        assert!((0.8..2.0).contains(&gbs), "IPU compression {gbs} GB/s");
+
+        // Decompression: CR 16 (CF 2) should approach ~20 GB/s, CF 7 ~2.
+        let fast = estimate(&compile(decompress_graph(300, 256, 2), &IPU).unwrap(), &IPU);
+        let slow = estimate(&compile(decompress_graph(300, 256, 7), &IPU).unwrap(), &IPU);
+        let fast_gbs = throughput_gbs(&fast, uncompressed_bytes(256));
+        let slow_gbs = throughput_gbs(&slow, uncompressed_bytes(256));
+        assert!(fast_gbs > 12.0, "IPU CF2 decompression {fast_gbs} GB/s");
+        assert!((1.0..4.0).contains(&slow_gbs), "IPU CF7 decompression {slow_gbs} GB/s");
+    }
+
+    #[test]
+    fn a100_flat_around_2_5gbs() {
+        // Fig. 14: ≈2.5 GB/s with little CR variation.
+        let mut rates = vec![];
+        for cf in [2usize, 4, 7] {
+            let p = compile(decompress_graph(300, 256, cf), Platform::A100.spec()).unwrap();
+            let t = estimate(&p, Platform::A100.spec());
+            rates.push(throughput_gbs(&t, uncompressed_bytes(256)));
+        }
+        for r in &rates {
+            assert!((1.8..3.2).contains(r), "A100 {r} GB/s");
+        }
+        let spread = rates.iter().cloned().fold(f64::MIN, f64::max)
+            / rates.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1.5, "A100 spread {spread}");
+    }
+
+    #[test]
+    fn paper_platform_ordering_holds() {
+        // §4.2.2 "Comparison with GPU": CS-2 and SN30 beat the A100; a
+        // single GroqChip and single IPU are beaten by it (for compression).
+        let rate = |platform: Platform| {
+            let spec = platform.spec();
+            let p = compile(compress_graph(300, 256, 4), spec).unwrap();
+            estimate(&p, spec).throughput(uncompressed_bytes(256))
+        };
+        let (cs2, sn30, groq, ipu, a100) = (
+            rate(Platform::Cs2),
+            rate(Platform::Sn30),
+            rate(Platform::GroqChip),
+            rate(Platform::Ipu),
+            rate(Platform::A100),
+        );
+        assert!(cs2 > a100, "cs2 {cs2} vs a100 {a100}");
+        assert!(sn30 > a100, "sn30 {sn30} vs a100 {a100}");
+        assert!(a100 > ipu, "a100 {a100} vs ipu {ipu}");
+        assert!(a100 > groq, "a100 {a100} vs groq {groq}");
+        assert!(cs2 > sn30, "cs2 {cs2} vs sn30 {sn30}");
+        assert!(ipu > groq, "ipu {ipu} vs groq {groq}");
+    }
+
+    #[test]
+    fn compression_slower_than_decompression() {
+        // §4.2.2 takeaway: "Compression generally is slower than
+        // decompression" (more FLOPs, larger device-bound transfer).
+        for platform in [Platform::Cs2, Platform::Sn30, Platform::GroqChip, Platform::Ipu] {
+            let spec = platform.spec();
+            let c = estimate(&compile(compress_graph(300, 128, 4), spec).unwrap(), spec);
+            let d = estimate(&compile(decompress_graph(300, 128, 4), spec).unwrap(), spec);
+            assert!(
+                c.seconds >= d.seconds * 0.95,
+                "{platform}: compress {} decompress {}",
+                c.seconds,
+                d.seconds
+            );
+        }
+    }
+
+    #[test]
+    fn time_roughly_linear_in_pixels() {
+        // §4.2.2 takeaway: time is linearly related to pixel count.
+        for platform in Platform::ACCELERATORS {
+            let spec = platform.spec();
+            let t64 = estimate(&compile(compress_graph(300, 64, 4), spec).unwrap(), spec).seconds;
+            let t128 = estimate(&compile(compress_graph(300, 128, 4), spec).unwrap(), spec).seconds;
+            let t256 = estimate(&compile(compress_graph(300, 256, 4), spec).unwrap(), spec).seconds;
+            // Doubling resolution quadruples pixels; allow wide tolerance
+            // for fixed overheads at the small end.
+            let r1 = t128 / t64;
+            let r2 = t256 / t128;
+            assert!(r2 >= r1 * 0.5 && r2 < 8.0, "{platform}: {r1} {r2}");
+            assert!(t256 > t64, "{platform}");
+        }
+    }
+
+    #[test]
+    fn time_increases_with_batch() {
+        for platform in Platform::ACCELERATORS {
+            let spec = platform.spec();
+            let t100 =
+                estimate(&compile(compress_graph(100 * 3, 64, 4), spec).unwrap(), spec).seconds;
+            let t1000 =
+                estimate(&compile(compress_graph(1000 * 3, 64, 4), spec).unwrap(), spec).seconds;
+            assert!(t1000 > t100, "{platform}");
+        }
+    }
+
+    #[test]
+    fn sn30_cr16_decompression_slower_than_cr4() {
+        // §4.2.2: "the highest compression ratio, 16.0, is slower than both
+        // 4.0 and 7.11" on SN30 (small-tensor overhead).
+        let spec = &SN30;
+        let t_cf2 = estimate(&compile(decompress_graph(300, 256, 2), spec).unwrap(), spec).seconds;
+        let t_cf4 = estimate(&compile(decompress_graph(300, 256, 4), spec).unwrap(), spec).seconds;
+        let t_cf3 = estimate(&compile(decompress_graph(300, 256, 3), spec).unwrap(), spec).seconds;
+        assert!(t_cf2 > t_cf4, "CF2 {t_cf2} !> CF4 {t_cf4}");
+        assert!(t_cf2 > t_cf3, "CF2 {t_cf2} !> CF3 {t_cf3}");
+    }
+
+    #[test]
+    fn higher_cr_decompresses_faster_on_ipu_and_cs2() {
+        // §4.2.2 takeaway: "Higher compression ratios often have faster
+        // decompression."
+        for platform in [Platform::Ipu, Platform::Cs2] {
+            let spec = platform.spec();
+            let hi_cr =
+                estimate(&compile(decompress_graph(300, 256, 2), spec).unwrap(), spec).seconds;
+            let lo_cr =
+                estimate(&compile(decompress_graph(300, 256, 7), spec).unwrap(), spec).seconds;
+            assert!(hi_cr < lo_cr, "{platform}: {hi_cr} !< {lo_cr}");
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let p = compile(compress_graph(30, 64, 4), &SN30).unwrap();
+        let t = estimate(&p, &SN30);
+        assert!((t.breakdown.total() - t.seconds).abs() < 1e-12);
+        assert!(t.flops > 0);
+        assert_eq!(t.bytes_in, (30 * 64 * 64 * 4) as u64);
+    }
+}

@@ -1,0 +1,330 @@
+//! Deploying the DCT+Chop compressor onto a simulated device.
+//!
+//! Builds the exact graphs the paper's PyTorch implementation traces —
+//! `Y = LHS·(A·RHS)` for compression, `A' = RHS·(Y·LHS)` for decompression,
+//! optionally wrapped in the IPU's gather/scatter triangle packing — and
+//! compiles them per device. This is the entry point the benchmark
+//! harness uses for every timing figure (Figs. 10–15, 17).
+
+use aicomp_core::scatter_gather::ScatterGatherChop;
+use aicomp_core::{ChopCompressor, PartialSerialized};
+use aicomp_tensor::Tensor;
+
+use crate::device::{CompiledModel, Device, DeviceError, RunResult};
+use crate::graph::Graph;
+use crate::spec::Platform;
+
+/// Which compressor variant to deploy (§4.1's three designs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Baseline DCT+Chop ("DC").
+    Plain,
+    /// torch.scatter/gather triangle packing ("SG") — IPU only.
+    ScatterGather,
+}
+
+/// A compressor compiled for one device at fixed `(n, cf, slices)` — the
+/// static-shape contract of §3.1.
+#[derive(Debug, Clone)]
+pub struct CompressorDeployment {
+    platform: Platform,
+    variant: Variant,
+    n: usize,
+    cf: usize,
+    slices: usize,
+    compress_model: CompiledModel,
+    decompress_model: CompiledModel,
+}
+
+impl CompressorDeployment {
+    /// Compile plain DCT+Chop for `slices` matrices of side `n`, chop `cf`.
+    pub fn plain(
+        platform: Platform,
+        n: usize,
+        cf: usize,
+        slices: usize,
+    ) -> Result<Self, DeviceError> {
+        Self::build(platform, Variant::Plain, n, cf, slices)
+    }
+
+    /// Compile the scatter/gather variant (compiles only where the ops are
+    /// supported — the IPU among the accelerators).
+    pub fn scatter_gather(
+        platform: Platform,
+        n: usize,
+        cf: usize,
+        slices: usize,
+    ) -> Result<Self, DeviceError> {
+        Self::build(platform, Variant::ScatterGather, n, cf, slices)
+    }
+
+    fn build(
+        platform: Platform,
+        variant: Variant,
+        n: usize,
+        cf: usize,
+        slices: usize,
+    ) -> Result<Self, DeviceError> {
+        let device = Device::new(platform);
+        let comp = ChopCompressor::new(n, cf).map_err(|e| {
+            DeviceError::Compile(crate::compiler::CompileError::Malformed(e.to_string()))
+        })?;
+        let ops = comp.operators();
+        let cs = comp.compressed_side();
+
+        // --- compression graph ---
+        let mut cg = Graph::new();
+        let a = cg.input([slices, n, n]);
+        let c_rhs = cg.constant(ops.c_rhs.clone());
+        let c_lhs = cg.constant(ops.c_lhs.clone());
+        let t1 = cg.matmul_right(a, c_rhs).expect("static shapes");
+        let y = cg.matmul_left(c_lhs, t1).expect("static shapes");
+
+        // --- decompression graph ---
+        let mut dg = Graph::new();
+        let d_rhs_t = comp.operators().d_rhs.clone();
+        let d_lhs_t = comp.operators().d_lhs.clone();
+
+        match variant {
+            Variant::Plain => {
+                cg.output(y).expect("valid node");
+
+                let yin = dg.input([slices, cs, cs]);
+                let d_rhs = dg.constant(d_rhs_t);
+                let d_lhs = dg.constant(d_lhs_t);
+                let t2 = dg.matmul_right(yin, d_rhs).expect("static shapes");
+                let out = dg.matmul_left(d_lhs, t2).expect("static shapes");
+                dg.output(out).expect("valid node");
+            }
+            Variant::ScatterGather => {
+                let sg = ScatterGatherChop::new(n, cf).expect("validated params");
+                let idx = sg.indices().to_vec();
+                let packed = cg.gather(y, idx.clone()).expect("static shapes");
+                cg.output(packed).expect("valid node");
+
+                let pin = dg.input([slices, idx.len()]);
+                let scattered = dg.scatter(pin, idx, cs, cs).expect("static shapes");
+                let d_rhs = dg.constant(d_rhs_t);
+                let d_lhs = dg.constant(d_lhs_t);
+                let t2 = dg.matmul_right(scattered, d_rhs).expect("static shapes");
+                let out = dg.matmul_left(d_lhs, t2).expect("static shapes");
+                dg.output(out).expect("valid node");
+            }
+        }
+
+        Ok(CompressorDeployment {
+            platform,
+            variant,
+            n,
+            cf,
+            slices,
+            compress_model: device.compile(cg)?,
+            decompress_model: device.compile(dg)?,
+        })
+    }
+
+    /// Compress a `[slices, n, n]` tensor on the device.
+    pub fn compress(&self, x: &Tensor) -> Result<RunResult, DeviceError> {
+        let mut r = self.compress_model.run(&[x])?;
+        r.outputs.truncate(1);
+        Ok(r)
+    }
+
+    /// Decompress the compressed representation on the device.
+    pub fn decompress(&self, y: &Tensor) -> Result<RunResult, DeviceError> {
+        let mut r = self.decompress_model.run(&[y])?;
+        r.outputs.truncate(1);
+        Ok(r)
+    }
+
+    /// The compiled compression program (for trace inspection).
+    pub fn compress_program(&self) -> &crate::compiler::CompiledProgram {
+        self.compress_model.program()
+    }
+
+    /// The compiled decompression program.
+    pub fn decompress_program(&self) -> &crate::compiler::CompiledProgram {
+        self.decompress_model.program()
+    }
+
+    /// Simulated compression timing without running numerics.
+    pub fn compress_timing(&self) -> crate::perf::TimingReport {
+        self.compress_model.timing()
+    }
+
+    /// Simulated decompression timing without running numerics.
+    pub fn decompress_timing(&self) -> crate::perf::TimingReport {
+        self.decompress_model.timing()
+    }
+
+    /// Uncompressed data size in bytes (the paper's throughput reference).
+    pub fn uncompressed_bytes(&self) -> u64 {
+        (self.slices * self.n * self.n * 4) as u64
+    }
+
+    /// Compression ratio of the deployed variant.
+    pub fn compression_ratio(&self) -> f64 {
+        match self.variant {
+            Variant::Plain => 64.0 / (self.cf * self.cf) as f64,
+            Variant::ScatterGather => 64.0 / (self.cf as f64 * (self.cf as f64 + 1.0) / 2.0),
+        }
+    }
+
+    /// Deployment parameters.
+    pub fn params(&self) -> (Platform, Variant, usize, usize, usize) {
+        (self.platform, self.variant, self.n, self.cf, self.slices)
+    }
+}
+
+/// A partially-serialized deployment (§3.5.1): one chunk-sized model,
+/// invoked `s×s` times serially per batch; times accumulate.
+#[derive(Debug, Clone)]
+pub struct SerializedDeployment {
+    chunk: CompressorDeployment,
+    host: PartialSerialized,
+    s: usize,
+}
+
+impl SerializedDeployment {
+    /// Build for `[slices, n, n]` data with subdivision factor `s`.
+    pub fn new(
+        platform: Platform,
+        n: usize,
+        cf: usize,
+        slices: usize,
+        s: usize,
+    ) -> Result<Self, DeviceError> {
+        let host = PartialSerialized::new(n, cf, s).map_err(|e| {
+            DeviceError::Compile(crate::compiler::CompileError::Malformed(e.to_string()))
+        })?;
+        let chunk = CompressorDeployment::plain(platform, n / s, cf, slices)?;
+        Ok(SerializedDeployment { chunk, host, s })
+    }
+
+    /// Subdivision factor.
+    pub fn subdivision(&self) -> usize {
+        self.s
+    }
+
+    /// Simulated total compression time: `s²` serial chunk passes inside
+    /// one compiled program — the per-invocation fixed overhead is paid
+    /// once, the data terms per chunk.
+    pub fn compress_seconds(&self) -> f64 {
+        Self::serialize_time(self.chunk.compress_timing(), self.s)
+    }
+
+    /// Simulated total decompression time.
+    pub fn decompress_seconds(&self) -> f64 {
+        Self::serialize_time(self.chunk.decompress_timing(), self.s)
+    }
+
+    fn serialize_time(chunk: crate::perf::TimingReport, s: usize) -> f64 {
+        let fixed = chunk.breakdown.fixed;
+        fixed + (chunk.seconds - fixed) * (s * s) as f64
+    }
+
+    /// Full-image uncompressed bytes.
+    pub fn uncompressed_bytes(&self) -> u64 {
+        self.chunk.uncompressed_bytes() * (self.s * self.s) as u64
+    }
+
+    /// Numerically compress on the host path (identical math).
+    pub fn compress(&self, x: &Tensor) -> Result<Tensor, DeviceError> {
+        self.host.compress(x).map_err(|e| {
+            DeviceError::Compile(crate::compiler::CompileError::Malformed(e.to_string()))
+        })
+    }
+
+    /// Numerically decompress on the host path.
+    pub fn decompress(&self, y: &Tensor) -> Result<Tensor, DeviceError> {
+        self.host.decompress(y).map_err(|e| {
+            DeviceError::Compile(crate::compiler::CompileError::Malformed(e.to_string()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::CompileError;
+
+    fn ramp(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|i| ((i % 31) as f32) / 5.0 - 3.0).collect(), dims.to_vec())
+            .unwrap()
+    }
+
+    #[test]
+    fn deployment_matches_host_compressor() {
+        let dep = CompressorDeployment::plain(Platform::Cs2, 32, 4, 6).unwrap();
+        let x = ramp(&[6, 32, 32]);
+        let host = ChopCompressor::new(32, 4).unwrap();
+        let y = dep.compress(&x).unwrap();
+        assert!(y.outputs[0].allclose(&host.compress(&x).unwrap(), 1e-4));
+        let rec = dep.decompress(&y.outputs[0]).unwrap();
+        assert!(rec.outputs[0].allclose(&host.roundtrip(&x).unwrap(), 1e-4));
+        assert!(y.timing.seconds > 0.0);
+    }
+
+    #[test]
+    fn sg_deployment_matches_host_sg() {
+        let dep = CompressorDeployment::scatter_gather(Platform::Ipu, 16, 4, 3).unwrap();
+        let x = ramp(&[3, 16, 16]);
+        let host = ScatterGatherChop::new(16, 4).unwrap();
+        let packed = dep.compress(&x).unwrap();
+        assert_eq!(packed.outputs[0].dims(), &[3, host.packed_len()]);
+        let rec = dep.decompress(&packed.outputs[0]).unwrap();
+        assert!(rec.outputs[0].allclose(&host.roundtrip(&x).unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn sg_fails_to_compile_off_ipu() {
+        for p in [Platform::Cs2, Platform::Sn30, Platform::GroqChip] {
+            let err = CompressorDeployment::scatter_gather(p, 16, 4, 3).unwrap_err();
+            assert!(
+                matches!(err, DeviceError::Compile(CompileError::UnsupportedOperator { .. })),
+                "{p}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deployment_512_fails_on_sn30_and_groq_but_serialized_works() {
+        // The Fig. 15 story end to end.
+        for p in [Platform::Sn30, Platform::GroqChip] {
+            assert!(CompressorDeployment::plain(p, 512, 4, 300).is_err(), "{p}");
+        }
+        let ser = SerializedDeployment::new(Platform::Sn30, 512, 4, 300, 2).unwrap();
+        assert_eq!(ser.subdivision(), 2);
+        assert!(ser.compress_seconds() > 0.0);
+    }
+
+    #[test]
+    fn serialized_numerics_roundtrip() {
+        let ser = SerializedDeployment::new(Platform::Ipu, 32, 8, 2 * 3, 2).unwrap();
+        let x = ramp(&[2, 3, 32, 32]);
+        let y = ser.compress(&x).unwrap();
+        let rec = ser.decompress(&y).unwrap();
+        assert!(rec.allclose(&x, 1e-3)); // CF=8 lossless
+    }
+
+    #[test]
+    fn cr_reported_per_variant() {
+        let plain = CompressorDeployment::plain(Platform::Ipu, 32, 4, 1).unwrap();
+        assert_eq!(plain.compression_ratio(), 4.0);
+        let sg = CompressorDeployment::scatter_gather(Platform::Ipu, 32, 4, 1).unwrap();
+        assert!((sg.compression_ratio() - 6.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sg_slower_but_higher_cr_on_ipu() {
+        // Fig. 17: SG is 1.5–2.7× slower than plain DCT+Chop with 1.3–1.75×
+        // better ratio.
+        let plain = CompressorDeployment::plain(Platform::Ipu, 32, 4, 300).unwrap();
+        let sg = CompressorDeployment::scatter_gather(Platform::Ipu, 32, 4, 300).unwrap();
+        let t_plain = plain.decompress_timing().seconds;
+        let t_sg = sg.decompress_timing().seconds;
+        assert!(t_sg > t_plain, "sg {t_sg} !> plain {t_plain}");
+        assert!(sg.compression_ratio() > plain.compression_ratio());
+    }
+}

@@ -1,0 +1,384 @@
+//! Accelerator specifications (Table 1) and performance-model calibration.
+//!
+//! The *architectural* numbers (compute units, on-chip memory, per-CU
+//! memory, architecture class) are Table 1 of the paper verbatim. The
+//! *calibration* numbers (bandwidths, overheads) parameterize the roofline
+//! timing model in [`crate::perf`]; they are fitted once, per device, to the
+//! throughput bands the paper reports in §4.2.2 (CS-2 16–26 GB/s,
+//! SN30 7–10 GB/s, GroqChip ≈150–200 MB/s, IPU 1.2–21 GB/s,
+//! A100 ≈2.5 GB/s) and are *not* adjusted per experiment — every figure's
+//! shape must emerge from this one table.
+
+/// Architecture class (Table 1's "Arch." row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Compiler places computation physically; deep pipeline parallelism
+    /// (CS-2, SN30).
+    Dataflow,
+    /// Compiler-scheduled SIMD / tensor streaming (GroqChip).
+    Simd,
+    /// Independent instruction streams per core (IPU).
+    Mimd,
+    /// SIMT GPU (the A100 comparison platform).
+    Gpu,
+}
+
+/// Platform identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Cerebras CS-2 wafer-scale engine.
+    Cs2,
+    /// SambaNova SN30 (one RDU, as in the paper's evaluation).
+    Sn30,
+    /// Groq GroqChip (one chip).
+    GroqChip,
+    /// Graphcore Bow IPU (one IPU).
+    Ipu,
+    /// NVIDIA A100 (PCIe 4.0), the paper's GPU comparison point.
+    A100,
+}
+
+impl Platform {
+    /// All four accelerators plus the GPU.
+    pub const ALL: [Platform; 5] =
+        [Platform::Cs2, Platform::Sn30, Platform::GroqChip, Platform::Ipu, Platform::A100];
+
+    /// The four AI accelerators of Table 1 (no GPU).
+    pub const ACCELERATORS: [Platform; 4] =
+        [Platform::Cs2, Platform::Sn30, Platform::GroqChip, Platform::Ipu];
+
+    /// Lowercase name used in CSV output (matches the paper's figure labels
+    /// where it has them, e.g. "graphcore"/"samba" in Fig. 15).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Platform::Cs2 => "cs2",
+            Platform::Sn30 => "sn30",
+            Platform::GroqChip => "groqchip",
+            Platform::Ipu => "ipu",
+            Platform::A100 => "a100",
+        }
+    }
+
+    /// The full spec + calibration for this platform.
+    pub fn spec(&self) -> &'static AcceleratorSpec {
+        match self {
+            Platform::Cs2 => &CS2,
+            Platform::Sn30 => &SN30,
+            Platform::GroqChip => &GROQCHIP,
+            Platform::Ipu => &IPU,
+            Platform::A100 => &A100,
+        }
+    }
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full device description: Table 1 architecture facts plus the timing-model
+/// calibration constants.
+#[derive(Debug, Clone)]
+pub struct AcceleratorSpec {
+    /// Platform identity.
+    pub platform: Platform,
+    /// Human-readable device name.
+    pub full_name: &'static str,
+    /// Compute-unit count (Table 1 "CUs").
+    pub compute_units: u64,
+    /// Total on-chip memory in bytes (Table 1 "OCM").
+    pub ocm_bytes: u64,
+    /// Architecture class.
+    pub architecture: Architecture,
+    /// Software front-ends (Table 1 "Software").
+    pub software: &'static [&'static str],
+
+    // ---- compile-time constraints (drive the paper's OOM failures) ----
+    /// Fraction of OCM the compiler can actually allocate for one program
+    /// (the rest holds schedules, buffers, double-buffering).
+    pub usable_ocm_fraction: f64,
+    /// Off-chip device memory backing the OCM (SN30's 1 TB DDR, IPU's
+    /// streaming memory). `0` when everything must live on-chip.
+    pub offchip_bytes: u64,
+    /// Largest single 2-D tensor operand (bytes) a memory unit can hold —
+    /// SN30's 0.5 MB PMU constraint (§3.5.1: one PMU holds at most one
+    /// 362×362 f32 matrix). `u64::MAX` when unconstrained.
+    pub max_operand_bytes: u64,
+    /// Largest matmul dimension supported by the MM hardware — GroqChip's
+    /// 320×320 module limit (§4.2.2, citing the TSP paper). `usize::MAX`
+    /// when unconstrained.
+    pub max_matmul_dim: usize,
+
+    // ---- timing-model calibration (see module docs) ----
+    /// Fixed per-invocation overhead in seconds (host runtime, pipeline
+    /// fill, kernel launch).
+    pub fixed_overhead_s: f64,
+    /// Host→device link bandwidth, bytes/s.
+    pub link_in_bw: f64,
+    /// Device→host link bandwidth, bytes/s.
+    pub link_out_bw: f64,
+    /// End-to-end processing bandwidth applied to the uncompressed side of
+    /// the data (bytes/s); models the device-internal streaming rate.
+    /// `f64::INFINITY` disables the term.
+    pub proc_bw: f64,
+    /// Effective sustained FLOP/s for f32 matmul.
+    pub eff_flops: f64,
+    /// Aggregate on-chip memory bandwidth applied to all bytes touched by
+    /// the schedule (bytes/s). `f64::INFINITY` disables the term.
+    pub ocm_stream_bw: f64,
+    /// Per-scheduled-tensor-op overhead in seconds.
+    pub per_op_overhead_s: f64,
+    /// Matmul stages whose smaller operand slice is below this (bytes)
+    /// pay the pipeline-bubble penalty — the SN30 behaviour where CR 16
+    /// runs slower than CR 4 (§4.2.2: "many small tensors incur runtime
+    /// overhead"). 0 disables.
+    pub small_tensor_threshold: u64,
+    /// Effective bandwidth (bytes/s) of the stalled path when stage tensor
+    /// sizes are imbalanced below the threshold.
+    pub small_tensor_bubble_bw: f64,
+    /// Cost per element moved by indexed gather/scatter ops (they cannot
+    /// use the bulk streaming path). Only meaningful where the ops compile
+    /// (IPU, A100); calibrated to Fig. 17's 1.5–2.7× SG slowdown.
+    pub indexed_elem_cost_s: f64,
+    /// Devices in the typical deployed system (§4.2.2: Bow-Pod64 has 64
+    /// IPUs, a GroqNode has 8 GroqCards, an SN30 node has 8 RDUs, a DGX
+    /// has 8 A100s; the CS-2 is a single wafer).
+    pub typical_system_devices: u32,
+    /// Per-hop interconnect synchronization cost for data-parallel
+    /// scaling (seconds, charged log₂(d) times).
+    pub interconnect_sync_s: f64,
+}
+
+/// Cerebras CS-2: 850 000 PEs, 40 GB OCM, dataflow.
+pub static CS2: AcceleratorSpec = AcceleratorSpec {
+    platform: Platform::Cs2,
+    full_name: "Cerebras CS-2",
+    compute_units: 850_000,
+    ocm_bytes: 40 * GB,
+    architecture: Architecture::Dataflow,
+    software: &["TF", "PT", "CSL"],
+    usable_ocm_fraction: 0.9,
+    offchip_bytes: 0,
+    max_operand_bytes: u64::MAX,
+    max_matmul_dim: usize::MAX,
+    // Calibrated to 16–26 GB/s compression/decompression, flat batch
+    // scaling until transfers dominate (§4.2.2 "CS-2").
+    fixed_overhead_s: 2.5e-3,
+    link_in_bw: 80.0e9,
+    link_out_bw: 200.0e9,
+    proc_bw: f64::INFINITY,
+    eff_flops: 30.0e12,
+    ocm_stream_bw: f64::INFINITY,
+    per_op_overhead_s: 1.0e-6,
+    small_tensor_threshold: 0,
+    small_tensor_bubble_bw: f64::INFINITY,
+    indexed_elem_cost_s: 15.0e-9,
+    typical_system_devices: 1, // one wafer is the system
+    interconnect_sync_s: 0.0,
+};
+
+/// SambaNova SN30, one RDU: 1280 PCUs + 1280 PMUs, 640 MB OCM, dataflow.
+pub static SN30: AcceleratorSpec = AcceleratorSpec {
+    platform: Platform::Sn30,
+    full_name: "SambaNova SN30 (1 RDU)",
+    compute_units: 1280,
+    ocm_bytes: 640 * MB,
+    architecture: Architecture::Dataflow,
+    software: &["SF", "PT"],
+    usable_ocm_fraction: 0.9,
+    offchip_bytes: TB,
+    // One 0.5 MB PMU must hold a full 2-D operand (§3.5.1); 512×512 f32
+    // (1 MB) fails, 362×362 (~512 KB) is the stated fit limit.
+    max_operand_bytes: 512 * KB,
+    max_matmul_dim: usize::MAX,
+    // Calibrated to 7–10 GB/s with CR 4/7.11 fastest and CR 16 penalized by
+    // small-tensor overhead (§4.2.2 "SN30").
+    fixed_overhead_s: 1.5e-3,
+    link_in_bw: 22.0e9, // PCIe 4.0 x16 effective
+    link_out_bw: 22.0e9,
+    proc_bw: f64::INFINITY,
+    eff_flops: 100.0e12,
+    ocm_stream_bw: 32.0e9,
+    per_op_overhead_s: 0.5e-6,
+    small_tensor_threshold: 48 * KB,
+    small_tensor_bubble_bw: 20.0e9,
+    indexed_elem_cost_s: 15.0e-9,
+    typical_system_devices: 8, // SN30 node: 8 RDUs
+    interconnect_sync_s: 80.0e-6,
+};
+
+/// Groq GroqChip: 5120 ALUs, 230 MB OCM, compiler-scheduled SIMD.
+pub static GROQCHIP: AcceleratorSpec = AcceleratorSpec {
+    platform: Platform::GroqChip,
+    full_name: "Groq GroqChip",
+    compute_units: 5120,
+    ocm_bytes: 230 * MB,
+    architecture: Architecture::Simd,
+    software: &["PT", "Keras", "ONNX"],
+    // Data tensors *and* the unrolled instruction schedule share the
+    // 230 MB SRAM; together with the per-slice instruction cost in
+    // `compiler.rs` this yields the paper's compile failure beyond batch
+    // 1000 at 64×64×3 while the 256×256 resolution sweep still fits.
+    usable_ocm_fraction: 0.9,
+    offchip_bytes: 0,
+    max_operand_bytes: u64::MAX,
+    // 320×320 matrix-multiply module limit (§4.2.2) — 512×512 inputs fail.
+    max_matmul_dim: 320,
+    // Calibrated to ≈150 MB/s compression (flat) and ≈200 MB/s
+    // decompression (stratified by CR) (§4.2.2 "GroqChip").
+    fixed_overhead_s: 1.0e-3,
+    link_in_bw: 165.0e6,
+    link_out_bw: 300.0e6,
+    proc_bw: f64::INFINITY,
+    eff_flops: 40.0e12,
+    ocm_stream_bw: f64::INFINITY,
+    per_op_overhead_s: 50.0e-6,
+    small_tensor_threshold: 0,
+    small_tensor_bubble_bw: f64::INFINITY,
+    indexed_elem_cost_s: 15.0e-9,
+    typical_system_devices: 8, // GroqNode: 8 GroqCards
+    interconnect_sync_s: 100.0e-6,
+};
+
+/// Graphcore Bow IPU (one IPU): 1472 cores, 900 MB OCM, MIMD.
+pub static IPU: AcceleratorSpec = AcceleratorSpec {
+    platform: Platform::Ipu,
+    full_name: "Graphcore IPU (1 of Bow-Pod64)",
+    compute_units: 1472,
+    ocm_bytes: 900 * MB,
+    architecture: Architecture::Mimd,
+    software: &["TF", "PT", "PopArt"],
+    usable_ocm_fraction: 0.95,
+    offchip_bytes: 4100 * GB / 64, // share of the Pod64's 4.1 TB streaming memory
+    max_operand_bytes: u64::MAX,
+    max_matmul_dim: usize::MAX,
+    // Calibrated to ≈1.2 GB/s compression (flat) and 2–21 GB/s
+    // decompression rising with CR (§4.2.2 "IPU"): the compressed input
+    // stream is the bottleneck.
+    fixed_overhead_s: 0.8e-3,
+    link_in_bw: 1.35e9,
+    link_out_bw: f64::INFINITY,
+    proc_bw: f64::INFINITY,
+    eff_flops: 30.0e12,
+    ocm_stream_bw: f64::INFINITY,
+    per_op_overhead_s: 0.5e-6,
+    small_tensor_threshold: 0,
+    small_tensor_bubble_bw: f64::INFINITY,
+    // Calibrated to Fig. 17: SG decompression 1.5–2.7x slower than plain
+    // DCT+Chop on one IPU.
+    indexed_elem_cost_s: 24.0e-9,
+    typical_system_devices: 64, // Bow-Pod64
+    interconnect_sync_s: 50.0e-6,
+};
+
+/// NVIDIA A100 (PCIe 4.0) — the paper's GPU comparison (Fig. 14).
+pub static A100: AcceleratorSpec = AcceleratorSpec {
+    platform: Platform::A100,
+    full_name: "NVIDIA A100 (PCIe 4.0)",
+    compute_units: 6912, // CUDA cores
+    ocm_bytes: 40 * GB,  // HBM2e
+    architecture: Architecture::Gpu,
+    software: &["PT", "TF"],
+    usable_ocm_fraction: 0.95,
+    offchip_bytes: 0,
+    max_operand_bytes: u64::MAX,
+    max_matmul_dim: usize::MAX,
+    // Calibrated to ≈2.5 GB/s with little CR variation (§4.2.2 / Fig. 14):
+    // PCIe + kernel-launch path dominates, modeled by proc_bw on the
+    // uncompressed side.
+    fixed_overhead_s: 0.2e-3,
+    link_in_bw: 22.0e9,
+    link_out_bw: 22.0e9,
+    proc_bw: 2.9e9,
+    eff_flops: 19.0e12,
+    ocm_stream_bw: f64::INFINITY,
+    per_op_overhead_s: 8.0e-6,
+    small_tensor_threshold: 0,
+    small_tensor_bubble_bw: f64::INFINITY,
+    indexed_elem_cost_s: 0.5e-9, // massively parallel gather on GPU
+    typical_system_devices: 8,   // DGX A100
+    interconnect_sync_s: 30.0e-6,
+};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * KB;
+const GB: u64 = 1024 * MB;
+const TB: u64 = 1024 * GB;
+
+impl AcceleratorSpec {
+    /// OCM per compute unit in bytes (Table 1 "OCM/CUs").
+    pub fn ocm_per_cu(&self) -> f64 {
+        self.ocm_bytes as f64 / self.compute_units as f64
+    }
+
+    /// Bytes of on-chip memory the compiler may allocate.
+    pub fn usable_ocm(&self) -> u64 {
+        (self.ocm_bytes as f64 * self.usable_ocm_fraction) as u64
+    }
+
+    /// Whether working sets can spill to off-chip device memory.
+    pub fn has_offchip(&self) -> bool {
+        self.offchip_bytes > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_numbers() {
+        // The Table 1 facts, verbatim.
+        assert_eq!(CS2.compute_units, 850_000);
+        assert_eq!(CS2.ocm_bytes, 40 * GB);
+        assert_eq!(SN30.compute_units, 1280);
+        assert_eq!(SN30.ocm_bytes, 640 * MB);
+        assert_eq!(GROQCHIP.compute_units, 5120);
+        assert_eq!(GROQCHIP.ocm_bytes, 230 * MB);
+        assert_eq!(IPU.compute_units, 1472);
+        assert_eq!(IPU.ocm_bytes, 900 * MB);
+    }
+
+    #[test]
+    fn ocm_per_cu_matches_table1() {
+        // Table 1: 48 KB, 0.5 MB, 0.045 MB, 0.61 MB.
+        assert!((CS2.ocm_per_cu() / 1024.0 - 48.0).abs() < 3.0);
+        assert!((SN30.ocm_per_cu() / (1024.0 * 1024.0) - 0.5).abs() < 0.01);
+        assert!((GROQCHIP.ocm_per_cu() / (1024.0 * 1024.0) - 0.045).abs() < 0.003);
+        assert!((IPU.ocm_per_cu() / (1024.0 * 1024.0) - 0.61).abs() < 0.01);
+    }
+
+    #[test]
+    fn architectures_match_table1() {
+        assert_eq!(CS2.architecture, Architecture::Dataflow);
+        assert_eq!(SN30.architecture, Architecture::Dataflow);
+        assert_eq!(GROQCHIP.architecture, Architecture::Simd);
+        assert_eq!(IPU.architecture, Architecture::Mimd);
+    }
+
+    #[test]
+    fn sn30_pmu_holds_362_but_not_512() {
+        // §3.5.1: one PMU (0.5 MB) holds up to one 362×362 f32 matrix.
+        let bytes_362 = 362u64 * 362 * 4;
+        let bytes_512 = 512u64 * 512 * 4;
+        assert!(bytes_362 <= SN30.max_operand_bytes);
+        assert!(bytes_512 > SN30.max_operand_bytes);
+    }
+
+    #[test]
+    fn platform_lookup_roundtrip() {
+        for p in Platform::ALL {
+            assert_eq!(p.spec().platform, p);
+        }
+        assert_eq!(Platform::Ipu.name(), "ipu");
+    }
+
+    #[test]
+    fn only_sn30_and_ipu_have_offchip() {
+        assert!(SN30.has_offchip());
+        assert!(IPU.has_offchip());
+        assert!(!CS2.has_offchip());
+        assert!(!GROQCHIP.has_offchip());
+    }
+}

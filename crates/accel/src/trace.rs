@@ -1,0 +1,197 @@
+//! Execution-trace inspection: per-op accounting of the compiled schedule.
+//!
+//! The figure binaries report end-to-end times; this module exposes *why* —
+//! which ops move how many bytes and execute how many FLOPs — so the
+//! roofline behaviour of each platform (Figs. 10–13's shapes) can be
+//! inspected mechanistically.
+
+use crate::compiler::CompiledProgram;
+use crate::graph::Op;
+use crate::spec::AcceleratorSpec;
+
+/// One scheduled op's accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTrace {
+    /// Node index in the schedule.
+    pub node: usize,
+    /// Operator name.
+    pub op: &'static str,
+    /// Output shape.
+    pub shape: Vec<usize>,
+    /// Independent slices executed.
+    pub slices: usize,
+    /// FLOPs across all slices.
+    pub flops: u64,
+    /// Bytes read from inputs.
+    pub bytes_read: u64,
+    /// Bytes written to the output.
+    pub bytes_written: u64,
+    /// Arithmetic intensity (FLOPs per byte touched).
+    pub intensity: f64,
+}
+
+/// Full program trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Per-op rows in schedule order.
+    pub ops: Vec<OpTrace>,
+    /// Constant (operator-matrix) bytes resident on chip.
+    pub constant_bytes: u64,
+}
+
+impl Trace {
+    /// Total FLOPs.
+    pub fn total_flops(&self) -> u64 {
+        self.ops.iter().map(|o| o.flops).sum()
+    }
+
+    /// Total bytes touched (reads + writes).
+    pub fn total_bytes(&self) -> u64 {
+        self.ops.iter().map(|o| o.bytes_read + o.bytes_written).sum()
+    }
+
+    /// Whole-program arithmetic intensity.
+    pub fn intensity(&self) -> f64 {
+        self.total_flops() as f64 / self.total_bytes().max(1) as f64
+    }
+
+    /// Whether the program is compute-bound on `spec` (intensity above the
+    /// device's FLOPs/byte balance point).
+    pub fn compute_bound_on(&self, spec: &AcceleratorSpec) -> bool {
+        let balance = spec.eff_flops / spec.ocm_stream_bw.min(spec.link_in_bw);
+        self.intensity() > balance
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{:<5} {:<10} {:<20} {:>8} {:>14} {:>12} {:>12} {:>10}\n",
+            "node", "op", "shape", "slices", "flops", "read B", "write B", "F/B"
+        );
+        for o in &self.ops {
+            s.push_str(&format!(
+                "{:<5} {:<10} {:<20} {:>8} {:>14} {:>12} {:>12} {:>10.2}\n",
+                o.node,
+                o.op,
+                format!("{:?}", o.shape),
+                o.slices,
+                o.flops,
+                o.bytes_read,
+                o.bytes_written,
+                o.intensity
+            ));
+        }
+        s.push_str(&format!("constants resident: {} B\n", self.constant_bytes));
+        s
+    }
+}
+
+/// Build the trace of a compiled program.
+pub fn trace(program: &CompiledProgram) -> Trace {
+    let graph = &program.graph;
+    let mut ops = Vec::new();
+    let mut constant_bytes = 0u64;
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        match &node.op {
+            Op::Constant(_) => constant_bytes += node.bytes(),
+            Op::Input => {}
+            op => {
+                let bytes_read: u64 = node.inputs.iter().map(|&i| graph.node(i).bytes()).sum();
+                let bytes_written = node.bytes();
+                let flops = flops_of(graph, node, op);
+                ops.push(OpTrace {
+                    node: idx,
+                    op: op.kind().name(),
+                    shape: node.shape.clone(),
+                    slices: node.slices(),
+                    flops,
+                    bytes_read,
+                    bytes_written,
+                    intensity: flops as f64 / (bytes_read + bytes_written).max(1) as f64,
+                });
+            }
+        }
+    }
+    Trace { ops, constant_bytes }
+}
+
+fn flops_of(graph: &crate::graph::Graph, node: &crate::graph::Node, op: &Op) -> u64 {
+    let slices = node.slices() as u64;
+    match op {
+        Op::MatMulRight { rhs } => {
+            let out = &node.shape;
+            let (m, n) = (out[out.len() - 2] as u64, out[out.len() - 1] as u64);
+            let k = graph.node(*rhs).shape[0] as u64;
+            slices * (2 * m * k * n - m * n)
+        }
+        Op::MatMulLeft { lhs } => {
+            let out = &node.shape;
+            let (m, n) = (out[out.len() - 2] as u64, out[out.len() - 1] as u64);
+            let k = graph.node(*lhs).shape[1] as u64;
+            slices * (2 * m * k * n - m * n)
+        }
+        Op::Add { .. } => node.numel() as u64,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::graph::Graph;
+    use crate::spec::{CS2, GROQCHIP};
+    use aicomp_tensor::Tensor;
+
+    fn compress_program(slices: usize, n: usize, cf: usize) -> CompiledProgram {
+        let cs = cf * n / 8;
+        let mut g = Graph::new();
+        let a = g.input([slices, n, n]);
+        let rhs = g.constant(Tensor::zeros([n, cs]));
+        let lhs = g.constant(Tensor::zeros([cs, n]));
+        let t1 = g.matmul_right(a, rhs).unwrap();
+        let y = g.matmul_left(lhs, t1).unwrap();
+        g.output(y).unwrap();
+        compile(g, &CS2).unwrap()
+    }
+
+    #[test]
+    fn trace_has_two_matmuls() {
+        // The paper's headline: compression is exactly two matmuls.
+        let t = trace(&compress_program(10, 64, 4));
+        assert_eq!(t.ops.len(), 2);
+        assert!(t.ops.iter().all(|o| o.op == "matmul"));
+        assert_eq!(t.ops[0].slices, 10);
+    }
+
+    #[test]
+    fn trace_flops_match_closed_form() {
+        let t = trace(&compress_program(10, 64, 4));
+        let comp = aicomp_core::ChopCompressor::new(64, 4).unwrap();
+        assert_eq!(t.total_flops(), comp.compress_flops() * 10);
+    }
+
+    #[test]
+    fn constants_accounted() {
+        let t = trace(&compress_program(1, 64, 4));
+        assert_eq!(t.constant_bytes, (64 * 32 + 32 * 64) as u64 * 4);
+    }
+
+    #[test]
+    fn compressor_is_memory_bound_everywhere() {
+        // §4.2.2: "the compressor is memory-bounded" — arithmetic intensity
+        // of the two matmuls is far below any device's balance point.
+        let t = trace(&compress_program(300, 256, 4));
+        assert!(t.intensity() < 200.0, "intensity {}", t.intensity());
+        assert!(!t.compute_bound_on(&GROQCHIP));
+    }
+
+    #[test]
+    fn render_is_parseable() {
+        let t = trace(&compress_program(2, 32, 2));
+        let s = t.render();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("constants resident"));
+        assert_eq!(s.lines().count(), 1 + 2 + 1); // header + 2 ops + constants
+    }
+}

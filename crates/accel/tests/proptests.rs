@@ -1,0 +1,80 @@
+//! Property-based tests for the accelerator simulator's invariants.
+
+use aicomp_accel::{CompressorDeployment, Platform};
+use proptest::prelude::*;
+
+/// Valid (n, cf) compressor configurations.
+fn config() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=8, 1usize..=8).prop_map(|(k, cf)| (k * 8 * 4, cf)) // n ∈ {32..256 step 32}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Compile success is monotone in batch: if a batch compiles, any
+    /// smaller batch compiles (the compiler must not have capacity holes).
+    #[test]
+    fn compile_monotone_in_batch(platform_ix in 0usize..4, (n, cf) in config(), slices in 1usize..600) {
+        let platform = Platform::ACCELERATORS[platform_ix];
+        if n > 256 { return Ok(()); }
+        if CompressorDeployment::plain(platform, n, cf, slices).is_ok() {
+            for smaller in [1, slices / 2].into_iter().filter(|&s| s >= 1) {
+                prop_assert!(
+                    CompressorDeployment::plain(platform, n, cf, smaller).is_ok(),
+                    "{platform} n={n} cf={cf}: {slices} ok but {smaller} fails"
+                );
+            }
+        }
+    }
+
+    /// Simulated time is strictly positive and monotone in batch size.
+    #[test]
+    fn time_positive_and_monotone(platform_ix in 0usize..4, (n, cf) in config()) {
+        let platform = Platform::ACCELERATORS[platform_ix];
+        if n > 128 { return Ok(()); } // keep every platform compiling
+        let small = CompressorDeployment::plain(platform, n, cf, 30);
+        let large = CompressorDeployment::plain(platform, n, cf, 300);
+        if let (Ok(s), Ok(l)) = (small, large) {
+            let ts = s.compress_timing().seconds;
+            let tl = l.compress_timing().seconds;
+            prop_assert!(ts > 0.0);
+            prop_assert!(tl > ts, "{platform} n={n} cf={cf}: {tl} !> {ts}");
+        }
+    }
+
+    /// Compression never reports fewer input bytes than output bytes
+    /// (CF ≤ 8 ⇒ the compressed form is no larger), and vice versa for
+    /// decompression.
+    #[test]
+    fn transfer_direction_consistent(platform_ix in 0usize..4, (n, cf) in config()) {
+        let platform = Platform::ACCELERATORS[platform_ix];
+        if n > 128 { return Ok(()); }
+        if let Ok(dep) = CompressorDeployment::plain(platform, n, cf, 30) {
+            let c = dep.compress_timing();
+            let d = dep.decompress_timing();
+            prop_assert!(c.bytes_in >= c.bytes_out, "compress {} < {}", c.bytes_in, c.bytes_out);
+            prop_assert!(d.bytes_out >= d.bytes_in, "decompress {} < {}", d.bytes_out, d.bytes_in);
+            // Round trip conserves the uncompressed size.
+            prop_assert_eq!(c.bytes_in, d.bytes_out);
+            prop_assert_eq!(c.bytes_out, d.bytes_in);
+        }
+    }
+
+    /// Eq. 5/7: the simulator's FLOP accounting matches the compressor's
+    /// closed-form counts.
+    #[test]
+    fn simulator_flops_match_closed_form((n, cf) in config(), slices in 1usize..40) {
+        if n > 128 { return Ok(()); }
+        if let Ok(dep) = CompressorDeployment::plain(Platform::Cs2, n, cf, slices) {
+            let comp = aicomp_core::ChopCompressor::new(n, cf).unwrap();
+            prop_assert_eq!(
+                dep.compress_timing().flops,
+                comp.compress_flops() * slices as u64
+            );
+            prop_assert_eq!(
+                dep.decompress_timing().flops,
+                comp.decompress_flops() * slices as u64
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Bit-level I/O for the baseline codecs.
+//!
+//! The accelerators in the paper cannot express these operations (no
+//! bit-shift operators in their PyTorch dialects, §3.1) — this module is
+//! deliberately host-only.
+
+use bytes::{BufMut, BytesMut};
+
+/// MSB-first bit writer over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    /// Bits accumulated in `current`, from the MSB down.
+    current: u8,
+    filled: u8,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a single bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        self.current = (self.current << 1) | (bit as u8);
+        self.filled += 1;
+        if self.filled == 8 {
+            self.buf.put_u8(self.current);
+            self.current = 0;
+            self.filled = 0;
+        }
+    }
+
+    /// Append the low `n` bits of `value`, MSB first.
+    pub fn put_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.put_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.filled as usize
+    }
+
+    /// Flush the final partial byte (zero-padded) and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.current <<= 8 - self.filled;
+            self.buf.put_u8(self.current);
+        }
+        self.buf.to_vec()
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos_bits: 0 }
+    }
+
+    /// Remaining readable bits.
+    pub fn remaining_bits(&self) -> usize {
+        self.data.len() * 8 - self.pos_bits
+    }
+
+    /// Absolute bit position from the start of the stream.
+    pub fn position_bits(&self) -> usize {
+        self.pos_bits
+    }
+
+    /// Read one bit; `None` at end of stream.
+    pub fn get_bit(&mut self) -> Option<bool> {
+        if self.pos_bits >= self.data.len() * 8 {
+            return None;
+        }
+        let byte = self.data[self.pos_bits / 8];
+        let bit = (byte >> (7 - (self.pos_bits % 8))) & 1;
+        self.pos_bits += 1;
+        Some(bit == 1)
+    }
+
+    /// Read `n` bits MSB-first into the low bits of a u64.
+    pub fn get_bits(&mut self, n: u32) -> Option<u64> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | (self.get_bit()? as u64);
+        }
+        Some(v)
+    }
+}
+
+/// Signed → negabinary (base −2) mapping used by ZFP:
+/// `u = (i + 0xAAAAAAAA) ^ 0xAAAAAAAA` over 32-bit words. Negabinary makes
+/// magnitude decay align with bit planes regardless of sign.
+pub fn int_to_negabinary(i: i32) -> u32 {
+    const MASK: u32 = 0xAAAA_AAAA;
+    ((i as u32).wrapping_add(MASK)) ^ MASK
+}
+
+/// Negabinary → signed inverse of [`int_to_negabinary`].
+pub fn negabinary_to_int(u: u32) -> i32 {
+    const MASK: u32 = 0xAAAA_AAAA;
+    (u ^ MASK).wrapping_sub(MASK) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_bits() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.put_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.get_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn roundtrip_multi_bit_values() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1011, 4);
+        w.put_bits(0xDEADBEEF, 32);
+        w.put_bits(0x3, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(4), Some(0b1011));
+        assert_eq!(r.get_bits(32), Some(0xDEADBEEF));
+        assert_eq!(r.get_bits(2), Some(0x3));
+    }
+
+    #[test]
+    fn reader_detects_end() {
+        let mut w = BitWriter::new();
+        w.put_bits(0xFF, 8);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(8), Some(0xFF));
+        assert_eq!(r.get_bit(), None);
+    }
+
+    #[test]
+    fn negabinary_roundtrip() {
+        for i in [-1000, -1, 0, 1, 42, i32::MAX / 2, i32::MIN / 2] {
+            assert_eq!(negabinary_to_int(int_to_negabinary(i)), i, "i={i}");
+        }
+    }
+
+    #[test]
+    fn negabinary_small_magnitudes_use_low_planes() {
+        // Small |i| must occupy only low bit planes — the property bit-plane
+        // truncation relies on.
+        for i in -8i32..=8 {
+            let u = int_to_negabinary(i);
+            assert!(u < 64, "i={i} u={u:#x}");
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Color quantization via median cut (Heckbert 1982) — the other lossy
+//! image-compression family §2.2 mentions ("the range of color values is
+//! limited to some integer range").
+//!
+//! Builds a K-color palette over an RGB image batch by recursively
+//! splitting the color cloud along its widest axis at the median, then maps
+//! every pixel to its palette entry. Compressed form: `log2(K)` bits per
+//! pixel + the palette.
+
+use aicomp_tensor::Tensor;
+
+use crate::{BaselineError, Result};
+
+/// A K-color palette quantizer.
+#[derive(Debug, Clone)]
+pub struct ColorQuantizer {
+    palette: Vec<[f32; 3]>,
+}
+
+impl ColorQuantizer {
+    /// Build a palette of `k` colors (power of two, 2..=256) from an
+    /// `[B, 3, H, W]` batch by median cut.
+    pub fn fit(images: &Tensor, k: usize) -> Result<Self> {
+        if !k.is_power_of_two() || !(2..=256).contains(&k) {
+            return Err(BaselineError::Corrupt(format!(
+                "palette size {k} must be a power of two in 2..=256"
+            )));
+        }
+        let d = images.dims();
+        if d.len() != 4 || d[1] != 3 {
+            return Err(BaselineError::Corrupt("color quantization expects [B,3,H,W]".into()));
+        }
+        let (b, h, w) = (d[0], d[2], d[3]);
+        let plane = h * w;
+        let mut pixels: Vec<[f32; 3]> = Vec::with_capacity(b * plane);
+        for s in 0..b {
+            let base = s * 3 * plane;
+            for i in 0..plane {
+                pixels.push([
+                    images.data()[base + i],
+                    images.data()[base + plane + i],
+                    images.data()[base + 2 * plane + i],
+                ]);
+            }
+        }
+
+        // Median cut: repeatedly split the box with the widest color axis.
+        let mut boxes: Vec<Vec<[f32; 3]>> = vec![pixels];
+        while boxes.len() < k {
+            // Pick the box with the widest axis spread.
+            let (box_idx, axis) = boxes
+                .iter()
+                .enumerate()
+                .filter(|(_, px)| px.len() > 1)
+                .map(|(i, px)| {
+                    let (axis, spread) = widest_axis(px);
+                    (i, axis, spread)
+                })
+                .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite spreads"))
+                .map(|(i, axis, _)| (i, axis))
+                .unwrap_or((usize::MAX, 0));
+            if box_idx == usize::MAX {
+                break; // all boxes are singletons
+            }
+            let mut px = boxes.swap_remove(box_idx);
+            px.sort_by(|a, b| a[axis].partial_cmp(&b[axis]).expect("finite colors"));
+            let mid = px.len() / 2;
+            let hi = px.split_off(mid);
+            boxes.push(px);
+            boxes.push(hi);
+        }
+
+        let palette = boxes
+            .iter()
+            .filter(|px| !px.is_empty())
+            .map(|px| {
+                let n = px.len() as f32;
+                let mut mean = [0.0f32; 3];
+                for p in px {
+                    for c in 0..3 {
+                        mean[c] += p[c];
+                    }
+                }
+                [mean[0] / n, mean[1] / n, mean[2] / n]
+            })
+            .collect();
+        Ok(ColorQuantizer { palette })
+    }
+
+    /// The palette.
+    pub fn palette(&self) -> &[[f32; 3]] {
+        &self.palette
+    }
+
+    /// Index of the nearest palette color.
+    pub fn nearest(&self, color: [f32; 3]) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (i, p) in self.palette.iter().enumerate() {
+            let d =
+                (p[0] - color[0]).powi(2) + (p[1] - color[1]).powi(2) + (p[2] - color[2]).powi(2);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Quantize an `[B, 3, H, W]` batch to palette indices `[B, H, W]`
+    /// (stored as f32 indices for tensor compatibility).
+    pub fn quantize(&self, images: &Tensor) -> Result<Tensor> {
+        let d = images.dims();
+        if d.len() != 4 || d[1] != 3 {
+            return Err(BaselineError::Corrupt("expects [B,3,H,W]".into()));
+        }
+        let (b, h, w) = (d[0], d[2], d[3]);
+        let plane = h * w;
+        let mut out = Vec::with_capacity(b * plane);
+        for s in 0..b {
+            let base = s * 3 * plane;
+            for i in 0..plane {
+                let color = [
+                    images.data()[base + i],
+                    images.data()[base + plane + i],
+                    images.data()[base + 2 * plane + i],
+                ];
+                out.push(self.nearest(color) as f32);
+            }
+        }
+        Ok(Tensor::from_vec(out, [b, h, w])?)
+    }
+
+    /// Reconstruct `[B, 3, H, W]` images from palette indices.
+    pub fn dequantize(&self, indices: &Tensor) -> Result<Tensor> {
+        let d = indices.dims();
+        if d.len() != 3 {
+            return Err(BaselineError::Corrupt("expects [B,H,W] indices".into()));
+        }
+        let (b, h, w) = (d[0], d[1], d[2]);
+        let plane = h * w;
+        let mut out = vec![0.0f32; b * 3 * plane];
+        for s in 0..b {
+            for i in 0..plane {
+                let ix = indices.data()[s * plane + i] as usize;
+                let color = self
+                    .palette
+                    .get(ix)
+                    .ok_or_else(|| BaselineError::Corrupt(format!("index {ix} outside palette")))?;
+                let base = s * 3 * plane;
+                out[base + i] = color[0];
+                out[base + plane + i] = color[1];
+                out[base + 2 * plane + i] = color[2];
+            }
+        }
+        Ok(Tensor::from_vec(out, [b, 3, h, w])?)
+    }
+
+    /// Quantize + reconstruct.
+    pub fn roundtrip(&self, images: &Tensor) -> Result<Tensor> {
+        self.dequantize(&self.quantize(images)?)
+    }
+
+    /// Compression ratio vs f32 RGB: `3·32 bits / log2(K) bits` per pixel
+    /// (palette overhead excluded — amortized over the batch).
+    pub fn compression_ratio(&self) -> f64 {
+        96.0 / (self.palette.len() as f64).log2()
+    }
+}
+
+fn widest_axis(pixels: &[[f32; 3]]) -> (usize, f32) {
+    let mut best = (0usize, f32::NEG_INFINITY);
+    for axis in 0..3 {
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for p in pixels {
+            lo = lo.min(p[axis]);
+            hi = hi.max(p[axis]);
+        }
+        if hi - lo > best.1 {
+            best = (axis, hi - lo);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tone() -> Tensor {
+        // Half the pixels dark, half bright.
+        let mut data = Vec::new();
+        for c in 0..3 {
+            for i in 0..16 {
+                let v = if i < 8 { 0.1 } else { 0.9 };
+                data.push(v + c as f32 * 0.01);
+            }
+        }
+        Tensor::from_vec(data, [1usize, 3, 4, 4]).unwrap()
+    }
+
+    #[test]
+    fn fit_validates_params() {
+        let img = two_tone();
+        assert!(ColorQuantizer::fit(&img, 3).is_err()); // not a power of two
+        assert!(ColorQuantizer::fit(&img, 512).is_err());
+        assert!(ColorQuantizer::fit(&img, 16).is_ok());
+    }
+
+    #[test]
+    fn two_colors_recover_two_tone_image() {
+        let img = two_tone();
+        let q = ColorQuantizer::fit(&img, 2).unwrap();
+        let rec = q.roundtrip(&img).unwrap();
+        assert!(rec.mse(&img).unwrap() < 1e-6);
+        assert_eq!(q.palette().len(), 2);
+    }
+
+    #[test]
+    fn error_decreases_with_palette_size() {
+        let mut rng = Tensor::seeded_rng(5);
+        let img = Tensor::rand_uniform([2usize, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let e2 = ColorQuantizer::fit(&img, 2).unwrap().roundtrip(&img).unwrap().mse(&img).unwrap();
+        let e16 =
+            ColorQuantizer::fit(&img, 16).unwrap().roundtrip(&img).unwrap().mse(&img).unwrap();
+        let e64 =
+            ColorQuantizer::fit(&img, 64).unwrap().roundtrip(&img).unwrap().mse(&img).unwrap();
+        assert!(e16 < e2, "{e16} !< {e2}");
+        assert!(e64 < e16, "{e64} !< {e16}");
+    }
+
+    #[test]
+    fn compression_ratio_formula() {
+        let img = two_tone();
+        let q = ColorQuantizer::fit(&img, 16).unwrap();
+        assert_eq!(q.compression_ratio(), 24.0); // 96 / log2(16)
+    }
+
+    #[test]
+    fn quantize_produces_valid_indices() {
+        let mut rng = Tensor::seeded_rng(6);
+        let img = Tensor::rand_uniform([1usize, 3, 4, 4], 0.0, 1.0, &mut rng);
+        let q = ColorQuantizer::fit(&img, 8).unwrap();
+        let idx = q.quantize(&img).unwrap();
+        assert_eq!(idx.dims(), &[1, 4, 4]);
+        for &v in idx.data() {
+            assert!(v >= 0.0 && (v as usize) < q.palette().len());
+        }
+    }
+
+    #[test]
+    fn dequantize_rejects_bad_indices() {
+        let img = two_tone();
+        let q = ColorQuantizer::fit(&img, 2).unwrap();
+        let bad = Tensor::full([1, 2, 2], 9.0);
+        assert!(q.dequantize(&bad).is_err());
+    }
+}

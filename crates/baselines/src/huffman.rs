@@ -1,0 +1,302 @@
+//! Canonical Huffman coding — the other variable-length entropy stage the
+//! paper names (§2.2: "JPEG compresses the quantized DCT matrix using a
+//! variable-length encoding scheme, such as run-length encoding (RLE) or
+//! Huffman coding"). Like RLE, it is built on exactly the bit operations
+//! the accelerators lack (§3.1), which is the paper's point.
+//!
+//! Implementation: byte-alphabet Huffman with canonical code assignment
+//! (codes reconstructible from the length table alone, as in JPEG/DEFLATE),
+//! length-limited to 15 bits by frequency flattening.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{BaselineError, Result};
+
+const MAX_LEN: usize = 15;
+
+/// A canonical Huffman code over the byte alphabet.
+#[derive(Debug, Clone)]
+pub struct HuffmanCode {
+    /// Code length per symbol (0 = symbol absent).
+    lengths: [u8; 256],
+    /// Codeword per symbol (valid where length > 0).
+    codes: [u16; 256],
+}
+
+impl HuffmanCode {
+    /// Build from symbol frequencies (package-merge-free: plain Huffman,
+    /// then flatten frequencies and retry if any code exceeds 15 bits).
+    pub fn from_frequencies(freqs: &[u64; 256]) -> Result<HuffmanCode> {
+        let mut adjusted: Vec<u64> = freqs.to_vec();
+        loop {
+            let lengths = huffman_lengths(&adjusted)?;
+            if lengths.iter().all(|&l| (l as usize) <= MAX_LEN) {
+                return Ok(Self::from_lengths_array(lengths));
+            }
+            // Flatten the distribution: halving (floor at 1) shortens the
+            // deepest codes; converges because it approaches uniform.
+            for f in adjusted.iter_mut().filter(|f| **f > 0) {
+                *f = (*f / 2).max(1);
+            }
+        }
+    }
+
+    /// Build from an explicit length table (the decoder's entry point).
+    pub fn from_lengths(lengths: &[u8; 256]) -> Result<HuffmanCode> {
+        // Validate Kraft inequality for a prefix-free complete-enough code.
+        let mut kraft = 0.0f64;
+        for &l in lengths.iter() {
+            if l as usize > MAX_LEN {
+                return Err(BaselineError::Corrupt(format!("code length {l} exceeds {MAX_LEN}")));
+            }
+            if l > 0 {
+                kraft += (2f64).powi(-(l as i32));
+            }
+        }
+        if kraft > 1.0 + 1e-9 {
+            return Err(BaselineError::Corrupt("length table violates Kraft inequality".into()));
+        }
+        Ok(Self::from_lengths_array(*lengths))
+    }
+
+    fn from_lengths_array(lengths: [u8; 256]) -> HuffmanCode {
+        // Canonical assignment: sort by (length, symbol), assign
+        // consecutive codes.
+        let mut order: Vec<usize> = (0..256).filter(|&s| lengths[s] > 0).collect();
+        order.sort_by_key(|&s| (lengths[s], s));
+        let mut codes = [0u16; 256];
+        let mut code = 0u16;
+        let mut prev_len = 0u8;
+        for &s in &order {
+            code <<= lengths[s] - prev_len;
+            codes[s] = code;
+            code += 1;
+            prev_len = lengths[s];
+        }
+        HuffmanCode { lengths, codes }
+    }
+
+    /// The length table (what a container format would store).
+    pub fn lengths(&self) -> &[u8; 256] {
+        &self.lengths
+    }
+
+    /// Encode a byte slice.
+    pub fn encode(&self, data: &[u8], w: &mut BitWriter) -> Result<()> {
+        for &b in data {
+            let len = self.lengths[b as usize];
+            if len == 0 {
+                return Err(BaselineError::Corrupt(format!("symbol {b} has no code")));
+            }
+            w.put_bits(self.codes[b as usize] as u64, len as u32);
+        }
+        Ok(())
+    }
+
+    /// Decode exactly `count` symbols.
+    #[allow(clippy::needless_range_loop)] // per-length tables indexed by code length
+    pub fn decode(&self, r: &mut BitReader, count: usize) -> Result<Vec<u8>> {
+        // Build a (length, code) → symbol lookup. With ≤15-bit codes a
+        // linear scan per bit-extension is fine for this codec's role.
+        let mut by_len: Vec<Vec<(u16, u8)>> = vec![Vec::new(); MAX_LEN + 1];
+        for s in 0..256 {
+            let l = self.lengths[s] as usize;
+            if l > 0 {
+                by_len[l].push((self.codes[s], s as u8));
+            }
+        }
+        let mut out = Vec::with_capacity(count);
+        'symbols: for _ in 0..count {
+            let mut code = 0u16;
+            for len in 1..=MAX_LEN {
+                let bit = r
+                    .get_bit()
+                    .ok_or_else(|| BaselineError::Corrupt("truncated Huffman stream".into()))?;
+                code = (code << 1) | (bit as u16);
+                if let Some(&(_, sym)) = by_len[len].iter().find(|&&(c, _)| c == code) {
+                    out.push(sym);
+                    continue 'symbols;
+                }
+            }
+            return Err(BaselineError::Corrupt("invalid Huffman code".into()));
+        }
+        Ok(out)
+    }
+
+    /// Expected bits per symbol under `freqs`.
+    pub fn expected_bits(&self, freqs: &[u64; 256]) -> f64 {
+        let total: u64 = freqs.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        freqs.iter().enumerate().map(|(s, &f)| f as f64 * self.lengths[s] as f64).sum::<f64>()
+            / total as f64
+    }
+}
+
+/// Plain Huffman code lengths via the classic heap construction (arena
+/// nodes; the heap stores indices so no ordering on the tree is needed).
+fn huffman_lengths(freqs: &[u64]) -> Result<[u8; 256]> {
+    enum Node {
+        Leaf(usize),
+        Internal(usize, usize),
+    }
+    let mut arena: Vec<Node> = Vec::new();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        std::collections::BinaryHeap::new();
+    for (s, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            arena.push(Node::Leaf(s));
+            heap.push(std::cmp::Reverse((f, arena.len() - 1)));
+        }
+    }
+    let mut lengths = [0u8; 256];
+    match heap.len() {
+        0 => return Ok(lengths),
+        1 => {
+            let std::cmp::Reverse((_, ix)) = heap.pop().expect("one element");
+            if let Node::Leaf(s) = arena[ix] {
+                lengths[s] = 1; // single symbol: 1-bit code by convention
+            }
+            return Ok(lengths);
+        }
+        _ => {}
+    }
+    while heap.len() > 1 {
+        let std::cmp::Reverse((f1, n1)) = heap.pop().expect("len > 1");
+        let std::cmp::Reverse((f2, n2)) = heap.pop().expect("len > 1");
+        arena.push(Node::Internal(n1, n2));
+        heap.push(std::cmp::Reverse((f1 + f2, arena.len() - 1)));
+    }
+    let std::cmp::Reverse((_, root)) = heap.pop().expect("one root");
+    // Iterative depth assignment.
+    let mut stack = vec![(root, 0u8)];
+    while let Some((ix, depth)) = stack.pop() {
+        match arena[ix] {
+            Node::Leaf(s) => lengths[s] = depth.max(1),
+            Node::Internal(a, b) => {
+                stack.push((a, depth + 1));
+                stack.push((b, depth + 1));
+            }
+        }
+    }
+    Ok(lengths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freq_of(data: &[u8]) -> [u64; 256] {
+        let mut f = [0u64; 256];
+        for &b in data {
+            f[b as usize] += 1;
+        }
+        f
+    }
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let code = HuffmanCode::from_frequencies(&freq_of(data)).unwrap();
+        let mut w = BitWriter::new();
+        code.encode(data, &mut w).unwrap();
+        let bytes = w.finish();
+        // Decode via the canonical length table only (as a container would).
+        let decoder = HuffmanCode::from_lengths(code.lengths()).unwrap();
+        let mut r = BitReader::new(&bytes);
+        decoder.decode(&mut r, data.len()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let data = b"the quick brown fox jumps over the lazy dog, repeatedly the the the";
+        assert_eq!(roundtrip(data), data);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        let data = vec![42u8; 100];
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 90% zeros (like quantized DCT tails) → well under 8 bits/symbol.
+        let mut data = vec![0u8; 900];
+        data.extend((1..=100u8).collect::<Vec<_>>());
+        let code = HuffmanCode::from_frequencies(&freq_of(&data)).unwrap();
+        let bps = code.expected_bits(&freq_of(&data));
+        assert!(bps < 2.5, "expected bits/symbol {bps}");
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let data: Vec<u8> = (0..200u8).flat_map(|b| vec![b; (b as usize % 7) + 1]).collect();
+        let code = HuffmanCode::from_frequencies(&freq_of(&data)).unwrap();
+        for a in 0..256usize {
+            for b in 0..256usize {
+                let (la, lb) = (code.lengths[a], code.lengths[b]);
+                if a != b && la > 0 && lb > 0 && la <= lb {
+                    let prefix = code.codes[b] >> (lb - la);
+                    assert!(
+                        prefix != code.codes[a] || la == lb && code.codes[a] != code.codes[b],
+                        "code {a} is a prefix of {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_length_tables_rejected() {
+        let mut lengths = [1u8; 256]; // wildly violates Kraft
+        assert!(HuffmanCode::from_lengths(&lengths).is_err());
+        lengths = [0u8; 256];
+        lengths[0] = 16; // too long
+        assert!(HuffmanCode::from_lengths(&lengths).is_err());
+    }
+
+    #[test]
+    fn unknown_symbol_rejected_at_encode() {
+        let data = vec![1u8, 1, 1];
+        let code = HuffmanCode::from_frequencies(&freq_of(&data)).unwrap();
+        let mut w = BitWriter::new();
+        assert!(code.encode(&[2u8], &mut w).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let data = b"hello world hello world";
+        let code = HuffmanCode::from_frequencies(&freq_of(data)).unwrap();
+        let mut w = BitWriter::new();
+        code.encode(data, &mut w).unwrap();
+        let mut bytes = w.finish();
+        bytes.truncate(1);
+        let mut r = BitReader::new(&bytes);
+        assert!(code.decode(&mut r, data.len()).is_err());
+    }
+
+    #[test]
+    fn beats_fixed_rate_on_dct_like_data() {
+        // Quantized-DCT-like bytes: mostly zero, geometric tail.
+        let mut data = Vec::new();
+        for i in 0..2000usize {
+            let v = match i % 16 {
+                0 => (i % 11) as u8 + 1,
+                1 | 2 => 1,
+                _ => 0,
+            };
+            data.push(v);
+        }
+        let code = HuffmanCode::from_frequencies(&freq_of(&data)).unwrap();
+        let mut w = BitWriter::new();
+        code.encode(&data, &mut w).unwrap();
+        let bits = w.bit_len();
+        assert!(bits < data.len() * 8 / 3, "{bits} bits for {} bytes", data.len());
+    }
+}

@@ -1,0 +1,515 @@
+//! JPEG-style quantization of DCT coefficient blocks (the Fig. 3
+//! motivation study) plus a zig-zag + RLE encoder to measure achievable
+//! compression ratios.
+//!
+//! The quantizer reproduces JPEG's quality-factor behaviour: the standard
+//! luminance table scaled by the usual piecewise formula, so lower quality
+//! factors quantize harder, producing more zero coefficients — the heatmap
+//! data of Fig. 3.
+
+use aicomp_core::transform::{dct2, idct2};
+use aicomp_tensor::Tensor;
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::zigzag::{zigzag_order, N};
+use crate::{BaselineError, Result};
+
+/// The ITU T.81 Annex K.1 luminance quantization table.
+#[rustfmt::skip]
+pub const LUMINANCE_TABLE: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// A complete JPEG-pipeline stream (quantized, RLE'd, Huffman-coded).
+#[derive(Debug, Clone)]
+pub struct JpegStream {
+    /// Huffman-coded payload.
+    pub payload: Vec<u8>,
+    /// Canonical Huffman length table.
+    pub lengths: [u8; 256],
+    /// RLE byte count (needed to terminate Huffman decoding).
+    pub rle_len: usize,
+    /// Original tensor dims.
+    pub dims: Vec<usize>,
+    /// Level-shift offset.
+    pub lo: f32,
+    /// Level-shift span.
+    pub span: f32,
+    /// Quality factor the stream was encoded at.
+    pub quality: u32,
+}
+
+impl JpegStream {
+    /// Total stored bytes (payload + length table + header fields).
+    pub fn size_bytes(&self) -> usize {
+        self.payload.len() + 256 + 16
+    }
+}
+
+/// JPEG quantizer with a quality factor in 1..=100.
+#[derive(Debug, Clone)]
+pub struct JpegQuantizer {
+    quality: u32,
+    table: [f32; 64],
+}
+
+impl JpegQuantizer {
+    /// Build a quantizer for the given quality factor.
+    pub fn new(quality: u32) -> Result<Self> {
+        if quality == 0 || quality > 100 {
+            return Err(BaselineError::BadQuality { quality });
+        }
+        // The libjpeg quality scaling formula.
+        let scale =
+            if quality < 50 { 5000.0 / quality as f32 } else { 200.0 - 2.0 * quality as f32 };
+        let mut table = [0.0f32; 64];
+        for (t, &base) in table.iter_mut().zip(LUMINANCE_TABLE.iter()) {
+            *t = ((base as f32 * scale + 50.0) / 100.0).clamp(1.0, 255.0).floor();
+        }
+        Ok(JpegQuantizer { quality, table })
+    }
+
+    /// The quality factor.
+    pub fn quality(&self) -> u32 {
+        self.quality
+    }
+
+    /// The scaled quantization table.
+    pub fn table(&self) -> &[f32; 64] {
+        &self.table
+    }
+
+    /// Quantize one 8×8 DCT coefficient block to integers.
+    pub fn quantize(&self, dct_block: &Tensor) -> Result<Vec<i32>> {
+        if dct_block.dims() != [N, N] {
+            return Err(BaselineError::Corrupt("quantize expects an 8x8 block".into()));
+        }
+        Ok(dct_block
+            .data()
+            .iter()
+            .zip(self.table.iter())
+            .map(|(&d, &q)| (d / q).round() as i32)
+            .collect())
+    }
+
+    /// Dequantize back to (approximate) DCT coefficients.
+    pub fn dequantize(&self, quantized: &[i32]) -> Result<Tensor> {
+        if quantized.len() != N * N {
+            return Err(BaselineError::Corrupt("dequantize expects 64 values".into()));
+        }
+        let data = quantized.iter().zip(self.table.iter()).map(|(&v, &q)| v as f32 * q).collect();
+        Ok(Tensor::from_vec(data, [N, N])?)
+    }
+
+    /// Fig. 3's measurement: fraction of blocks (per coefficient position)
+    /// whose quantized value is nonzero, over a set of images.
+    ///
+    /// `images` is `[B, C, H, W]` with pixel values in any range (they are
+    /// rescaled to 0..255 as JPEG operates on 8-bit samples); `channel`
+    /// selects the color plane. Returns an 8×8 tensor of percentages.
+    pub fn nonzero_heatmap(&self, images: &Tensor, channel: usize) -> Result<Tensor> {
+        let d = images.dims();
+        if d.len() != 4 {
+            return Err(BaselineError::Corrupt("nonzero_heatmap expects [B,C,H,W]".into()));
+        }
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        if channel >= c {
+            return Err(BaselineError::Corrupt(format!("channel {channel} out of range {c}")));
+        }
+        if h % N != 0 || w % N != 0 {
+            return Err(BaselineError::Corrupt("image dims must be multiples of 8".into()));
+        }
+        let lo = images.min();
+        let hi = images.max();
+        let span = (hi - lo).max(1e-12);
+        let mut counts = vec![0u64; N * N];
+        let mut nblocks = 0u64;
+        for s in 0..b {
+            let plane_off = (s * c + channel) * h * w;
+            let plane = &images.data()[plane_off..plane_off + h * w];
+            for by in 0..h / N {
+                for bx in 0..w / N {
+                    let mut block = Tensor::zeros([N, N]);
+                    for i in 0..N {
+                        for j in 0..N {
+                            let px = plane[(by * N + i) * w + bx * N + j];
+                            // Rescale to JPEG's level-shifted 8-bit domain.
+                            let v = (px - lo) / span * 255.0 - 128.0;
+                            block.set(&[i, j], v);
+                        }
+                    }
+                    let q = self.quantize(
+                        &dct2(&block).map_err(|e| BaselineError::Corrupt(e.to_string()))?,
+                    )?;
+                    for (cnt, &v) in counts.iter_mut().zip(q.iter()) {
+                        if v != 0 {
+                            *cnt += 1;
+                        }
+                    }
+                    nblocks += 1;
+                }
+            }
+        }
+        let data = counts.iter().map(|&cnt| 100.0 * cnt as f32 / nblocks.max(1) as f32).collect();
+        Ok(Tensor::from_vec(data, [N, N])?)
+    }
+
+    /// Encode a quantized block with zig-zag + (run, value) RLE into a bit
+    /// stream. Runs are 6-bit, values are 16-bit signed. Run 63 is reserved
+    /// as the end-of-block marker and run 62 with value 0 as a zero-run
+    /// filler — a simplified but faithful sketch of the JPEG entropy stage
+    /// (without the Huffman tables).
+    pub fn rle_encode(&self, quantized: &[i32], writer: &mut BitWriter) -> Result<()> {
+        if quantized.len() != N * N {
+            return Err(BaselineError::Corrupt("rle_encode expects 64 values".into()));
+        }
+        let order = zigzag_order();
+        let mut run = 0u32;
+        for &pos in order.iter() {
+            let v = quantized[pos];
+            if v == 0 {
+                run += 1;
+                continue;
+            }
+            while run > 62 {
+                writer.put_bits(62, 6);
+                writer.put_bits(0, 16);
+                run -= 62;
+            }
+            writer.put_bits(run as u64, 6);
+            let clamped = v.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+            writer.put_bits(clamped as u16 as u64, 16);
+            run = 0;
+        }
+        // EOB marker terminates the block regardless of trailing zeros.
+        writer.put_bits(63, 6);
+        writer.put_bits(0, 16);
+        Ok(())
+    }
+
+    /// Decode one RLE block back to 64 quantized values.
+    pub fn rle_decode(&self, reader: &mut BitReader) -> Result<Vec<i32>> {
+        let order = zigzag_order();
+        let mut out = vec![0i32; N * N];
+        let mut k = 0usize;
+        loop {
+            let run = reader
+                .get_bits(6)
+                .ok_or_else(|| BaselineError::Corrupt("truncated RLE run".into()))?
+                as usize;
+            let value = reader
+                .get_bits(16)
+                .ok_or_else(|| BaselineError::Corrupt("truncated RLE value".into()))?
+                as u16 as i16 as i32;
+            if run == 63 {
+                break; // EOB
+            }
+            if run == 62 && value == 0 {
+                k += 62; // zero-run filler
+                continue;
+            }
+            k += run;
+            if k >= N * N {
+                return Err(BaselineError::Corrupt("RLE run overflows block".into()));
+            }
+            out[order[k]] = value;
+            k += 1;
+        }
+        Ok(out)
+    }
+
+    /// Full JPEG-style pipeline over a `[B, C, H, W]` batch: level-shifted
+    /// DCT → quantize → zig-zag RLE → canonical Huffman. Returns a
+    /// self-contained stream (range header + Huffman length table + payload).
+    pub fn pipeline_compress(&self, images: &Tensor) -> Result<JpegStream> {
+        let d = images.dims();
+        if d.len() != 4 {
+            return Err(BaselineError::Corrupt("pipeline expects [B,C,H,W]".into()));
+        }
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        if h % N != 0 || w % N != 0 {
+            return Err(BaselineError::Corrupt("dims must be multiples of 8".into()));
+        }
+        let lo = images.min();
+        let hi = images.max();
+        let span = (hi - lo).max(1e-12);
+
+        // Stage 1+2+3: per-block quantized coefficients, RLE into bits.
+        let mut rle = BitWriter::new();
+        let mut block = Tensor::zeros([N, N]);
+        for s_ix in 0..b * c {
+            let plane = &images.data()[s_ix * h * w..(s_ix + 1) * h * w];
+            for by in 0..h / N {
+                for bx in 0..w / N {
+                    for i in 0..N {
+                        for j in 0..N {
+                            let px = plane[(by * N + i) * w + bx * N + j];
+                            block.set(&[i, j], (px - lo) / span * 255.0 - 128.0);
+                        }
+                    }
+                    let q = self.quantize(
+                        &dct2(&block).map_err(|e| BaselineError::Corrupt(e.to_string()))?,
+                    )?;
+                    self.rle_encode(&q, &mut rle)?;
+                }
+            }
+        }
+        let rle_bytes = rle.finish();
+
+        // Stage 4: Huffman over the RLE byte stream.
+        let mut freqs = [0u64; 256];
+        for &byte in &rle_bytes {
+            freqs[byte as usize] += 1;
+        }
+        let code = crate::huffman::HuffmanCode::from_frequencies(&freqs)?;
+        let mut hw = BitWriter::new();
+        code.encode(&rle_bytes, &mut hw)?;
+
+        Ok(JpegStream {
+            payload: hw.finish(),
+            lengths: *code.lengths(),
+            rle_len: rle_bytes.len(),
+            dims: d.to_vec(),
+            lo,
+            span,
+            quality: self.quality,
+        })
+    }
+
+    /// Decode a [`JpegStream`] back to images.
+    pub fn pipeline_decompress(&self, stream: &JpegStream) -> Result<Tensor> {
+        if stream.quality != self.quality {
+            return Err(BaselineError::Corrupt(format!(
+                "stream encoded at quality {} but decoder configured for {}",
+                stream.quality, self.quality
+            )));
+        }
+        let code = crate::huffman::HuffmanCode::from_lengths(&stream.lengths)?;
+        let mut hr = BitReader::new(&stream.payload);
+        let rle_bytes = code.decode(&mut hr, stream.rle_len)?;
+        let mut rr = BitReader::new(&rle_bytes);
+
+        let d = &stream.dims;
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let mut out = vec![0.0f32; d.iter().product()];
+        for s_ix in 0..b * c {
+            for by in 0..h / N {
+                for bx in 0..w / N {
+                    let q = self.rle_decode(&mut rr)?;
+                    let coeffs = self.dequantize(&q)?;
+                    let block =
+                        idct2(&coeffs).map_err(|e| BaselineError::Corrupt(e.to_string()))?;
+                    for i in 0..N {
+                        for j in 0..N {
+                            let v = (block.at(&[i, j]) + 128.0) / 255.0 * stream.span + stream.lo;
+                            out[s_ix * h * w + (by * N + i) * w + bx * N + j] = v;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, d.clone())?)
+    }
+
+    /// Average compressed bits per 8×8 block for a batch of images —
+    /// used to report the compression ratios JPEG would reach, versus the
+    /// fixed CR of DCT+Chop.
+    pub fn mean_bits_per_block(&self, images: &Tensor, channel: usize) -> Result<f64> {
+        let d = images.dims();
+        if d.len() != 4 {
+            return Err(BaselineError::Corrupt("expects [B,C,H,W]".into()));
+        }
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let lo = images.min();
+        let span = (images.max() - lo).max(1e-12);
+        let mut writer = BitWriter::new();
+        let mut nblocks = 0u64;
+        for s in 0..b {
+            let plane_off = (s * c + channel) * h * w;
+            let plane = &images.data()[plane_off..plane_off + h * w];
+            for by in 0..h / N {
+                for bx in 0..w / N {
+                    let mut block = Tensor::zeros([N, N]);
+                    for i in 0..N {
+                        for j in 0..N {
+                            let px = plane[(by * N + i) * w + bx * N + j];
+                            block.set(&[i, j], (px - lo) / span * 255.0 - 128.0);
+                        }
+                    }
+                    let q = self.quantize(
+                        &dct2(&block).map_err(|e| BaselineError::Corrupt(e.to_string()))?,
+                    )?;
+                    self.rle_encode(&q, &mut writer)?;
+                    nblocks += 1;
+                }
+            }
+        }
+        Ok(writer.bit_len() as f64 / nblocks.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_validation() {
+        assert!(JpegQuantizer::new(0).is_err());
+        assert!(JpegQuantizer::new(101).is_err());
+        assert!(JpegQuantizer::new(50).is_ok());
+    }
+
+    #[test]
+    fn quality_50_is_base_table() {
+        let q = JpegQuantizer::new(50).unwrap();
+        for (t, &base) in q.table().iter().zip(LUMINANCE_TABLE.iter()) {
+            assert_eq!(*t, base as f32);
+        }
+    }
+
+    #[test]
+    fn lower_quality_quantizes_harder() {
+        let q10 = JpegQuantizer::new(10).unwrap();
+        let q90 = JpegQuantizer::new(90).unwrap();
+        for i in 0..64 {
+            assert!(q10.table()[i] >= q90.table()[i]);
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_bounded_error() {
+        let q = JpegQuantizer::new(75).unwrap();
+        let block =
+            Tensor::from_vec((0..64).map(|i| (i as f32) * 3.0 - 90.0).collect(), [8, 8]).unwrap();
+        let quantized = q.quantize(&block).unwrap();
+        let deq = q.dequantize(&quantized).unwrap();
+        // Error per coefficient bounded by half the quantization step.
+        for i in 0..8 {
+            for j in 0..8 {
+                let step = q.table()[i * 8 + j];
+                assert!((block.at(&[i, j]) - deq.at(&[i, j])).abs() <= step / 2.0 + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn rle_roundtrip() {
+        let q = JpegQuantizer::new(50).unwrap();
+        let mut quantized = vec![0i32; 64];
+        quantized[0] = 100; // DC
+        quantized[1] = -3;
+        quantized[8] = 7;
+        quantized[35] = 1;
+        let mut w = BitWriter::new();
+        q.rle_encode(&quantized, &mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let decoded = q.rle_decode(&mut r).unwrap();
+        assert_eq!(decoded, quantized);
+    }
+
+    #[test]
+    fn rle_all_zero_block_is_tiny() {
+        let q = JpegQuantizer::new(50).unwrap();
+        let zeros = vec![0i32; 64];
+        let mut w = BitWriter::new();
+        q.rle_encode(&zeros, &mut w).unwrap();
+        // Just the EOB marker: one 22-bit code.
+        assert_eq!(w.bit_len(), 22);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(q.rle_decode(&mut r).unwrap(), zeros);
+    }
+
+    #[test]
+    fn heatmap_dc_always_populated_lower_quality_more_zeros() {
+        // Structured images: smooth gradients plus texture.
+        let mut rng = Tensor::seeded_rng(3);
+        let imgs = {
+            let base = Tensor::rand_uniform([8usize, 3, 16, 16], 0.0, 1.0, &mut rng);
+            base.map(|v| v * 0.2)
+                .add(
+                    &Tensor::from_vec(
+                        (0..8 * 3 * 16 * 16)
+                            .map(|i| {
+                                let x = (i % 16) as f32;
+                                let y = ((i / 16) % 16) as f32;
+                                (x * 0.3).sin() * 0.5 + y * 0.02
+                            })
+                            .collect(),
+                        [8usize, 3, 16, 16],
+                    )
+                    .unwrap(),
+                )
+                .unwrap()
+        };
+        let q10 = JpegQuantizer::new(10).unwrap().nonzero_heatmap(&imgs, 0).unwrap();
+        let q90 = JpegQuantizer::new(90).unwrap().nonzero_heatmap(&imgs, 0).unwrap();
+        // The DC coefficient is (almost) always nonzero at high quality.
+        assert!(q90.at(&[0, 0]) > 90.0);
+        // Lower quality produces no more nonzeros anywhere.
+        let sum10: f32 = q10.data().iter().sum();
+        let sum90: f32 = q90.data().iter().sum();
+        assert!(sum10 < sum90, "q10 {sum10} !< q90 {sum90}");
+        // High-frequency corner is sparser than DC under q10.
+        assert!(q10.at(&[7, 7]) <= q10.at(&[0, 0]));
+    }
+
+    #[test]
+    fn full_pipeline_roundtrip() {
+        let mut rng = Tensor::seeded_rng(8);
+        let imgs = {
+            // Smooth structure + mild noise (image-like).
+            let base = Tensor::rand_uniform([2usize, 1, 16, 16], 0.0, 0.15, &mut rng);
+            base.add(
+                &Tensor::from_vec(
+                    (0..2 * 16 * 16).map(|i| ((i % 16) as f32 * 0.3).sin() * 0.4 + 0.5).collect(),
+                    [2usize, 1, 16, 16],
+                )
+                .unwrap(),
+            )
+            .unwrap()
+        };
+        let q = JpegQuantizer::new(85).unwrap();
+        let stream = q.pipeline_compress(&imgs).unwrap();
+        let rec = q.pipeline_decompress(&stream).unwrap();
+        assert_eq!(rec.dims(), imgs.dims());
+        // Error bounded by the quantization step in the 0..255 domain,
+        // scaled back: generous tolerance for QF 85.
+        let mse = rec.mse(&imgs).unwrap();
+        assert!(mse < 5e-3, "mse {mse}");
+    }
+
+    #[test]
+    fn pipeline_ratio_improves_at_lower_quality() {
+        let mut rng = Tensor::seeded_rng(9);
+        let imgs = Tensor::rand_uniform([2usize, 1, 16, 16], 0.0, 1.0, &mut rng);
+        let hi = JpegQuantizer::new(90).unwrap().pipeline_compress(&imgs).unwrap();
+        let lo = JpegQuantizer::new(10).unwrap().pipeline_compress(&imgs).unwrap();
+        assert!(lo.size_bytes() < hi.size_bytes(), "{} !< {}", lo.size_bytes(), hi.size_bytes());
+    }
+
+    #[test]
+    fn pipeline_rejects_quality_mismatch() {
+        let mut rng = Tensor::seeded_rng(10);
+        let imgs = Tensor::rand_uniform([1usize, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let stream = JpegQuantizer::new(50).unwrap().pipeline_compress(&imgs).unwrap();
+        assert!(JpegQuantizer::new(80).unwrap().pipeline_decompress(&stream).is_err());
+    }
+
+    #[test]
+    fn mean_bits_drops_with_quality() {
+        let mut rng = Tensor::seeded_rng(4);
+        let imgs = Tensor::rand_uniform([4usize, 1, 16, 16], 0.0, 1.0, &mut rng);
+        let hi = JpegQuantizer::new(95).unwrap().mean_bits_per_block(&imgs, 0).unwrap();
+        let lo = JpegQuantizer::new(5).unwrap().mean_bits_per_block(&imgs, 0).unwrap();
+        assert!(lo < hi, "{lo} !< {hi}");
+    }
+}

@@ -1,0 +1,103 @@
+//! The zig-zag scan order over an 8×8 block (Fig. 2, green dotted arrows).
+//!
+//! JPEG stores quantized DCT coefficients in zig-zag order so the trailing
+//! run of zeros (high-frequency coefficients) compresses well under RLE.
+
+/// Block side length for the JPEG path.
+pub const N: usize = 8;
+
+/// Flat indices of an 8×8 block in zig-zag order.
+///
+/// Generated algorithmically (anti-diagonals, alternating direction) rather
+/// than from a literal table, and verified against the standard's table in
+/// tests.
+pub fn zigzag_order() -> [usize; N * N] {
+    let mut order = [0usize; N * N];
+    let mut k = 0;
+    for d in 0..(2 * N - 1) {
+        // Anti-diagonal d holds cells (i, j) with i + j == d.
+        let range: Vec<(usize, usize)> = (0..N)
+            .filter_map(|i| {
+                let j = d.checked_sub(i)?;
+                (j < N).then_some((i, j))
+            })
+            .collect();
+        // Even diagonals run bottom-left → top-right; odd run the other way.
+        let iter: Box<dyn Iterator<Item = &(usize, usize)>> =
+            if d % 2 == 0 { Box::new(range.iter().rev()) } else { Box::new(range.iter()) };
+        for &(i, j) in iter {
+            order[k] = i * N + j;
+            k += 1;
+        }
+    }
+    order
+}
+
+/// Inverse permutation: `inv[flat_index] = zigzag_position`.
+pub fn zigzag_inverse() -> [usize; N * N] {
+    let fwd = zigzag_order();
+    let mut inv = [0usize; N * N];
+    for (pos, &flat) in fwd.iter().enumerate() {
+        inv[flat] = pos;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The first 16 entries of the standard JPEG zig-zag sequence
+    /// (ITU T.81 Figure 5), as (row, col) flat indices.
+    const STANDARD_PREFIX: [usize; 16] = [0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5];
+
+    #[test]
+    fn matches_standard_prefix() {
+        let order = zigzag_order();
+        assert_eq!(&order[..16], &STANDARD_PREFIX);
+    }
+
+    #[test]
+    fn is_a_permutation() {
+        let order = zigzag_order();
+        let mut seen = [false; 64];
+        for &ix in &order {
+            assert!(!seen[ix], "duplicate index {ix}");
+            seen[ix] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ends_at_bottom_right() {
+        let order = zigzag_order();
+        assert_eq!(order[63], 63);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let fwd = zigzag_order();
+        let inv = zigzag_inverse();
+        for flat in 0..64 {
+            assert_eq!(fwd[inv[flat]], flat);
+        }
+    }
+
+    #[test]
+    fn zigzag_position_monotone_in_diagonal() {
+        // Cells on earlier anti-diagonals always come before later ones —
+        // the property that makes "chop the high-frequency tail" sensible.
+        let inv = zigzag_inverse();
+        for i in 0..N {
+            for j in 0..N {
+                for i2 in 0..N {
+                    for j2 in 0..N {
+                        if i + j < i2 + j2 {
+                            assert!(inv[i * N + j] < inv[i2 * N + j2]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the baseline codecs: round-trips must hold for
+//! arbitrary inputs, not just the fixtures.
+
+use aicomp_baselines::bitio::{BitReader, BitWriter};
+use aicomp_baselines::huffman::HuffmanCode;
+use aicomp_baselines::{JpegQuantizer, ZfpFixedRate};
+use aicomp_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Bit I/O round-trips arbitrary (value, width) sequences.
+    #[test]
+    fn bitio_roundtrip(values in prop::collection::vec((0u64..u32::MAX as u64, 1u32..33), 1..40)) {
+        let mut w = BitWriter::new();
+        for &(v, bits) in &values {
+            w.put_bits(v & ((1u64 << bits) - 1), bits);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, bits) in &values {
+            prop_assert_eq!(r.get_bits(bits), Some(v & ((1u64 << bits) - 1)));
+        }
+    }
+
+    /// ZFP fixed-rate round-trip: output shape preserved, error bounded
+    /// relative to the data's magnitude at a generous rate.
+    #[test]
+    fn zfp_roundtrip_bounded(data in prop::collection::vec(-1000.0f32..1000.0, 64), rate in 8u32..28) {
+        let x = Tensor::from_vec(data, [1usize, 8, 8]).unwrap();
+        let z = ZfpFixedRate::new(rate).unwrap();
+        let rec = z.roundtrip(&x).unwrap();
+        prop_assert_eq!(rec.dims(), x.dims());
+        let scale = x.data().iter().fold(0.0f32, |a, &v| a.max(v.abs())).max(1.0);
+        let max_err = x.data().iter().zip(rec.data().iter())
+            .map(|(&a, &b)| (a - b).abs()).fold(0.0f32, f32::max);
+        // Worst-case bound from the plane budget: rate r keeps about
+        // (16r − 9)/17 bit planes of a ~29-plane significand, so the
+        // relative quantization step is ~2^(3 − kept). Dense high-entropy
+        // blocks at rate 8 sit near 12.5%; allow 2x headroom.
+        let kept_planes = ((16.0 * rate as f32 - 9.0) / 17.0).min(29.0);
+        // The inverse lifting can amplify dropped-plane error by a small
+        // constant, so allow one extra plane of slack (2^(5−kept)); floor
+        // at ~2^-19 for the block-floating-point + lifting-truncation
+        // residue that remains even at maximal rates.
+        let bound = (2f32.powf(5.0 - kept_planes)).min(0.4).max(2e-6);
+        prop_assert!(
+            max_err <= scale * bound,
+            "rate {rate}: err {max_err} scale {scale} bound {bound}"
+        );
+    }
+
+    /// ZFP stream size is exactly rate × values / 8 bytes, regardless of
+    /// content (that is what "fixed rate" means).
+    #[test]
+    fn zfp_rate_is_fixed(data in prop::collection::vec(-10.0f32..10.0, 256), rate in 1u32..32) {
+        let x = Tensor::from_vec(data, [1usize, 16, 16]).unwrap();
+        let z = ZfpFixedRate::new(rate).unwrap();
+        let stream = z.compress(&x).unwrap();
+        prop_assert_eq!(stream.size_bytes(), (rate as usize * 256).div_ceil(8));
+    }
+
+    /// Huffman round-trips arbitrary byte strings via the canonical table.
+    #[test]
+    fn huffman_roundtrip(data in prop::collection::vec(any::<u8>(), 1..600)) {
+        let mut freqs = [0u64; 256];
+        for &b in &data {
+            freqs[b as usize] += 1;
+        }
+        let code = HuffmanCode::from_frequencies(&freqs).unwrap();
+        let mut w = BitWriter::new();
+        code.encode(&data, &mut w).unwrap();
+        let bytes = w.finish();
+        let decoder = HuffmanCode::from_lengths(code.lengths()).unwrap();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(decoder.decode(&mut r, data.len()).unwrap(), data);
+    }
+
+    /// JPEG RLE round-trips arbitrary sparse quantized blocks.
+    #[test]
+    fn rle_roundtrip(pairs in prop::collection::vec((0usize..64, -3000i32..3000), 0..20)) {
+        let mut block = vec![0i32; 64];
+        for &(pos, v) in &pairs {
+            block[pos] = v;
+        }
+        let q = JpegQuantizer::new(50).unwrap();
+        let mut w = BitWriter::new();
+        q.rle_encode(&block, &mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(q.rle_decode(&mut r).unwrap(), block);
+    }
+
+    /// Full JPEG pipeline: round-trip error bounded by the quantization
+    /// coarseness for arbitrary smooth-ish images.
+    #[test]
+    fn jpeg_pipeline_roundtrip(seed in 0u64..10_000) {
+        let mut rng = Tensor::seeded_rng(seed);
+        let imgs = Tensor::rand_uniform([1usize, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let q = JpegQuantizer::new(90).unwrap();
+        let stream = q.pipeline_compress(&imgs).unwrap();
+        let rec = q.pipeline_decompress(&stream).unwrap();
+        prop_assert_eq!(rec.dims(), imgs.dims());
+        prop_assert!(rec.all_finite());
+        // QF 90 on 8-bit-scaled data: bounded pointwise error.
+        let max_err = imgs.data().iter().zip(rec.data().iter())
+            .map(|(&a, &b)| (a - b).abs()).fold(0.0f32, f32::max);
+        prop_assert!(max_err < 0.25, "seed {seed}: max err {max_err}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion benches comparing the codecs the paper discusses: DCT+Chop
+//! (two matmuls) against the bit-level baselines (ZFP fixed-rate, JPEG
+//! quantize+RLE) on the same data — quantifying why the matmul-only design
+//! is the one that ports.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use aicomp_baselines::bitio::BitWriter;
+use aicomp_baselines::{JpegQuantizer, ZfpFixedRate};
+use aicomp_core::transform::dct2;
+use aicomp_core::ChopCompressor;
+use aicomp_tensor::Tensor;
+
+fn images() -> Tensor {
+    let mut rng = Tensor::seeded_rng(21);
+    Tensor::rand_uniform([8usize, 1, 64, 64], 0.0, 1.0, &mut rng)
+}
+
+fn bench_roundtrips(c: &mut Criterion) {
+    let x = images();
+    let mut group = c.benchmark_group("codec_roundtrip_cr4");
+    group.throughput(Throughput::Bytes(x.size_bytes() as u64));
+
+    let chop = ChopCompressor::new(64, 4).unwrap();
+    group.bench_function("dct_chop", |b| b.iter(|| chop.roundtrip(&x).unwrap()));
+
+    let zfp = ZfpFixedRate::for_ratio(4.0).unwrap();
+    group.bench_function("zfp_fixed_rate", |b| b.iter(|| zfp.roundtrip(&x).unwrap()));
+
+    group.finish();
+}
+
+fn bench_jpeg_stage(c: &mut Criterion) {
+    let q = JpegQuantizer::new(50).unwrap();
+    let block = {
+        let mut rng = Tensor::seeded_rng(5);
+        dct2(&Tensor::rand_uniform([8usize, 8], -64.0, 64.0, &mut rng)).unwrap()
+    };
+    let quantized = q.quantize(&block).unwrap();
+
+    let mut group = c.benchmark_group("jpeg_stages");
+    group.bench_function("quantize", |b| b.iter(|| q.quantize(&block).unwrap()));
+    group.bench_function("rle_encode", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            q.rle_encode(&quantized, &mut w).unwrap();
+            w.finish()
+        })
+    });
+    group.finish();
+}
+
+fn bench_zfp_rates(c: &mut Criterion) {
+    let x = images();
+    let mut group = c.benchmark_group("zfp_by_rate");
+    group.throughput(Throughput::Bytes(x.size_bytes() as u64));
+    for rate in [2u32, 8, 16] {
+        let z = ZfpFixedRate::new(rate).unwrap();
+        group.bench_function(format!("rate_{rate}"), |b| b.iter(|| z.compress(&x).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_roundtrips, bench_jpeg_stage, bench_zfp_rates);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! §3.1 "Arithmetic Precision Support", quantified: the paper runs in FP32
+//! for portability because the platforms split between FP16 (CS-2,
+//! GroqChip, IPU) and BF16 (SN30). This ablation stores the *compressed
+//! coefficients* in each format and reports the reconstruction-quality cost
+//! and the effective compression-ratio gain.
+
+use aicomp_bench::{CsvOut, CF_SWEEP};
+use aicomp_core::metrics::quality;
+use aicomp_core::precision::Precision;
+use aicomp_core::ChopCompressor;
+use aicomp_sciml::{Dataset, DatasetKind};
+
+fn main() {
+    let data = Dataset::generate(DatasetKind::EmDenoise, 16, 404).targets; // structured lattices
+    let n = 64usize;
+
+    println!("16-bit coefficient storage: quality cost and effective CR gain (n = {n}):");
+    println!(
+        "{:<6} {:>8} {:<6} {:>10} {:>12} {:>12}",
+        "CF", "f32 CR", "fmt", "eff. CR", "PSNR dB", "dPSNR vs f32"
+    );
+    let mut csv = CsvOut::create(
+        "ablation_precision",
+        &["cf", "format", "effective_cr", "psnr_db", "dpsnr_vs_f32"],
+    );
+    for cf in CF_SWEEP.into_iter().chain([8]) {
+        let comp = ChopCompressor::new(n, cf).expect("valid");
+        let mut psnr_f32 = 0.0f64;
+        for precision in Precision::ALL {
+            let rec = comp.roundtrip_with_precision(&data, precision).expect("roundtrip");
+            let q = quality(&data, &rec).expect("same shapes");
+            if precision == Precision::Fp32 {
+                psnr_f32 = q.psnr_db;
+            }
+            let dpsnr = q.psnr_db - psnr_f32;
+            println!(
+                "{:<6} {:>8.2} {:<6} {:>10.2} {:>12.2} {:>12.2}",
+                cf,
+                comp.compression_ratio(),
+                precision.name(),
+                comp.ratio_with_precision(precision),
+                q.psnr_db,
+                dpsnr
+            );
+            csv.row(&[
+                cf.to_string(),
+                precision.name().into(),
+                format!("{:.2}", comp.ratio_with_precision(precision)),
+                format!("{:.3}", q.psnr_db),
+                format!("{dpsnr:.3}"),
+            ]);
+        }
+    }
+    println!("\nreading: at CF <= 7 the chop error dominates, so 16-bit coefficient storage");
+    println!("doubles the effective CR for free on every platform. Only near-lossless CF = 8");
+    println!("exposes the formats: bf16's 7-bit mantissa costs tens of dB there while fp16");
+    println!("stays close — a free 2x CR win the paper's all-FP32 portability choice leaves");
+    println!("on the table.");
+    println!("wrote {}", csv.path().display());
+}

@@ -1,0 +1,84 @@
+//! §4.2.2's masking argument, quantified: "To ensure that
+//! compression/decompression is not a bottleneck, the compression
+//! throughput should be at least as high as the throughput of the forward
+//! and backward passes." The paper reports CS-2 training ResNet34/CIFAR-10
+//! at ≈205 samples/s vs ≈330 000 samples/s decompression, and SN30 at
+//! ≈570 vs ≈220 000.
+//!
+//! This binary measures *our* benchmark networks' training rate (real
+//! wall-clock on the host, standing in for device training throughput) and
+//! each simulated device's decompression rate on the same sample shape, and
+//! prints the headroom factor — whether compression hides in the pipeline.
+
+use std::time::Instant;
+
+use aicomp_accel::{CompressorDeployment, Platform};
+use aicomp_bench::CsvOut;
+use aicomp_nn::{Adam, Optimizer, Tape};
+use aicomp_sciml::networks::ResNetLite;
+use aicomp_sciml::{Dataset, DatasetKind};
+use aicomp_tensor::Tensor;
+
+fn main() {
+    // Train-step rate of the classify benchmark (3×32×32 samples).
+    let batch = 32usize;
+    let steps = 6usize;
+    let ds = Dataset::generate(DatasetKind::Classify, batch, 2468);
+    let mut rng = Tensor::seeded_rng(1);
+    let net = ResNetLite::new(&mut rng);
+    let mut opt = Adam::new(net.params(), 1e-3);
+
+    // Warm-up step, then timed steps.
+    let run_step = |opt: &mut Adam| {
+        let mut tape = Tape::new();
+        let x = tape.input(ds.inputs.clone());
+        let logits = net.forward(&mut tape, x);
+        let loss = tape.softmax_cross_entropy(logits, &ds.labels);
+        tape.backward(loss);
+        opt.step();
+    };
+    run_step(&mut opt);
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        run_step(&mut opt);
+    }
+    let train_rate = (steps * batch) as f64 / t0.elapsed().as_secs_f64();
+    println!("training rate (ResNet-lite, batch {batch}, host): {train_rate:.0} samples/s\n");
+
+    // Per-device decompression rate for the same sample shape (CF = 4).
+    let slices = batch * 3;
+    println!("{:<10} {:>20} {:>16} {:>10}", "platform", "decomp samples/s", "headroom", "masked?");
+    let mut csv = CsvOut::create(
+        "analysis_pipeline_overlap",
+        &["platform", "train_samples_per_s", "decomp_samples_per_s", "headroom"],
+    );
+    for platform in Platform::ALL {
+        let dep = match CompressorDeployment::plain(platform, 32, 4, slices) {
+            Ok(d) => d,
+            Err(e) => {
+                println!("{:<10} compile failed: {e}", platform.name());
+                continue;
+            }
+        };
+        let secs = dep.decompress_timing().seconds;
+        let decomp_rate = batch as f64 / secs;
+        let headroom = decomp_rate / train_rate;
+        println!(
+            "{:<10} {:>20.0} {:>15.0}x {:>10}",
+            platform.name(),
+            decomp_rate,
+            headroom,
+            if headroom > 1.0 { "yes" } else { "NO" }
+        );
+        csv.row(&[
+            platform.name().into(),
+            format!("{train_rate:.1}"),
+            format!("{decomp_rate:.1}"),
+            format!("{headroom:.1}"),
+        ]);
+    }
+    println!("\npaper: decompression runs orders of magnitude faster than the forward and");
+    println!("backward passes, so the compressor's overhead is masked in the dataflow");
+    println!("pipeline (CS-2: ~205 samples/s training vs ~330,000 samples/s decompression).");
+    println!("wrote {}", csv.path().display());
+}

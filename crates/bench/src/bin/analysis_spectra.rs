@@ -1,0 +1,62 @@
+//! Why each benchmark behaves the way it does under DCT+Chop: the block
+//! spectrum of every dataset (energy per 8×8 DCT index band), the energy
+//! compaction each CF achieves, and the Parseval-exact predicted MSE —
+//! the mechanism behind Fig. 8's per-benchmark orderings.
+
+use aicomp_bench::{CsvOut, CF_SWEEP};
+use aicomp_core::tuning::{tune_for_psnr, BlockSpectrum};
+use aicomp_sciml::{Dataset, DatasetKind};
+
+fn main() {
+    let mut csv =
+        CsvOut::create("analysis_spectra", &["dataset", "cf", "compaction_pct", "predicted_mse"]);
+    for kind in DatasetKind::ALL {
+        let ds = Dataset::generate(kind, 24, 1717);
+        let spectrum = BlockSpectrum::measure(&ds.inputs).expect("8-divisible shapes");
+        println!("\n=== {} ({} blocks) ===", kind.name(), spectrum.blocks);
+
+        // Energy per anti-diagonal band (the zig-zag significance order).
+        let mut bands = [0.0f64; 15];
+        for i in 0..8 {
+            for j in 0..8 {
+                bands[i + j] += spectrum.energy[i][j];
+            }
+        }
+        let total = spectrum.total();
+        print!("energy by frequency band (i+j): ");
+        for (b, &e) in bands.iter().enumerate() {
+            if b < 8 {
+                print!("{b}:{:.1}% ", e / total * 100.0);
+            }
+        }
+        println!("(bands 8-14: {:.1}%)", bands[8..].iter().sum::<f64>() / total * 100.0);
+
+        println!("{:>4} {:>16} {:>16}", "CF", "compaction %", "predicted MSE");
+        for cf in CF_SWEEP {
+            let compaction = spectrum.compaction(cf) * 100.0;
+            let mse = spectrum.predicted_mse(cf);
+            println!("{cf:>4} {compaction:>16.2} {mse:>16.6}");
+            csv.row(&[
+                kind.name().into(),
+                cf.to_string(),
+                format!("{compaction:.3}"),
+                format!("{mse:.8}"),
+            ]);
+        }
+
+        // What the tuner would pick for a 30 dB target.
+        match tune_for_psnr(&ds.inputs, 30.0).expect("valid data") {
+            Some(c) => println!(
+                "tuner: 30 dB target -> CF {} (CR {:.2})",
+                c.chop_factor(),
+                c.compression_ratio()
+            ),
+            None => println!("tuner: 30 dB target unreachable"),
+        }
+    }
+    println!("\nreading: em_denoise inputs carry broadband *noise* energy (low compaction),");
+    println!("which is exactly what chop discards; classify textures sit in the low/mid");
+    println!("bands and erode monotonically; optics/cloud data are corner-compacted and");
+    println!("survive aggressive chop — the Fig. 8 orderings, from first principles.");
+    println!("wrote {}", csv.path().display());
+}

@@ -1,0 +1,11 @@
+//! Fig. 10: compression time for DCT+Chop across the four accelerators for
+//! varying resolution (100 samples x 3 channels; series per CR).
+
+use aicomp_accel::Platform;
+use aicomp_bench::timing::{report, resolution_sweep, Direction};
+
+fn main() {
+    println!("Fig. 10: compression time vs resolution (100 samples x 3 channels)");
+    let rows = resolution_sweep(&Platform::ACCELERATORS, Direction::Compress);
+    report("fig10_compress_resolution", "n", &rows, |n| (100 * 3 * n * n * 4) as u64);
+}

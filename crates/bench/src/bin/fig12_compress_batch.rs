@@ -1,0 +1,11 @@
+//! Fig. 12: compression time for DCT+Chop across the four accelerators for
+//! varying batch size (3-channel 64x64 samples; series per CR).
+
+use aicomp_accel::Platform;
+use aicomp_bench::timing::{batch_sweep, report, Direction};
+
+fn main() {
+    println!("Fig. 12: compression time vs batch size (3-channel 64x64 samples)");
+    let rows = batch_sweep(&Platform::ACCELERATORS, Direction::Compress);
+    report("fig12_compress_batch", "batch", &rows, |bd| (bd * 3 * 64 * 64 * 4) as u64);
+}

@@ -1,0 +1,16 @@
+//! Fig. 14: decompression time for DCT+Chop on the (simulated) NVIDIA A100
+//! for varying resolution (100 samples x 3 channels; series per CR).
+//! The paper notes compression trends are similar, so we print both.
+
+use aicomp_accel::Platform;
+use aicomp_bench::timing::{report, resolution_sweep, Direction};
+
+fn main() {
+    println!("Fig. 14: A100 decompression time vs resolution (100 samples x 3 channels)");
+    let rows = resolution_sweep(&[Platform::A100], Direction::Decompress);
+    report("fig14_gpu_decompress", "n", &rows, |n| (100 * 3 * n * n * 4) as u64);
+
+    println!("\n(compression, for reference — the paper omits this plot as trends match)");
+    let rows = resolution_sweep(&[Platform::A100], Direction::Compress);
+    report("fig14_gpu_compress", "n", &rows, |n| (100 * 3 * n * n * 4) as u64);
+}

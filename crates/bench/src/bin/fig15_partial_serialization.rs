@@ -1,0 +1,68 @@
+//! Fig. 15: decompression throughput with partial serialization s=2 on
+//! 100 3-channel 512×512 images, for IPU ("graphcore") and SN30 ("samba"),
+//! CF = 7..2 left to right — plus the paper's two companion observations:
+//! the slowdown vs native 256², and IPU native-512 vs serialized-512.
+
+use aicomp_accel::{CompressorDeployment, Platform, SerializedDeployment};
+use aicomp_bench::{cr, CsvOut};
+
+fn main() {
+    const SLICES: usize = 100 * 3;
+    const N: usize = 512;
+    let uncompressed = (SLICES * N * N * 4) as u64;
+
+    println!("Fig. 15: decompression throughput, partial serialization s=2, 100x3x512x512");
+    println!("{:>4} {:>8} {:>16} {:>16}", "CF", "CR", "graphcore GB/s", "samba GB/s");
+    let mut csv =
+        CsvOut::create("fig15_partial_serialization", &["platform", "cf", "cr", "seconds", "gbps"]);
+    for cf in (2..=7).rev() {
+        let mut cells = Vec::new();
+        for platform in [Platform::Ipu, Platform::Sn30] {
+            let dep = SerializedDeployment::new(platform, N, cf, SLICES, 2)
+                .expect("512/2 chunks compile everywhere");
+            let secs = dep.decompress_seconds();
+            let gbps = uncompressed as f64 / secs / 1e9;
+            cells.push(gbps);
+            csv.row(&[
+                platform.name().into(),
+                cf.to_string(),
+                format!("{:.2}", cr(cf)),
+                format!("{secs:.6}"),
+                format!("{gbps:.3}"),
+            ]);
+        }
+        println!("{:>4} {:>8.2} {:>16.2} {:>16.2}", cf, cr(cf), cells[0], cells[1]);
+    }
+
+    println!("\nslowdown vs native 256x256 decompression (paper: 2.5-3.8x SN30, 2.6-3.7x IPU):");
+    for platform in [Platform::Sn30, Platform::Ipu] {
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for cf in 2..=7usize {
+            let native = CompressorDeployment::plain(platform, 256, cf, SLICES)
+                .expect("256 compiles")
+                .decompress_timing()
+                .seconds;
+            let ser = SerializedDeployment::new(platform, N, cf, SLICES, 2)
+                .expect("chunks compile")
+                .decompress_seconds();
+            let slowdown = ser / native;
+            lo = lo.min(slowdown);
+            hi = hi.max(slowdown);
+        }
+        println!("  {platform}: {lo:.2}x – {hi:.2}x");
+    }
+
+    println!("\nIPU native 512 vs serialized 512 (paper: native only 1-8% faster):");
+    for cf in 2..=7usize {
+        let native = CompressorDeployment::plain(Platform::Ipu, N, cf, SLICES)
+            .expect("IPU compiles 512 natively")
+            .decompress_timing()
+            .seconds;
+        let ser = SerializedDeployment::new(Platform::Ipu, N, cf, SLICES, 2)
+            .expect("chunks compile")
+            .decompress_seconds();
+        println!("  CF {cf}: serialized/native = {:.3}", ser / native);
+    }
+    println!("\nwrote {}", csv.path().display());
+}

@@ -1,0 +1,64 @@
+//! §4.2.2 "Comparison with GPU", quantified: single-device throughput vs
+//! the A100, then data-parallel scaling up to each platform's typical
+//! system (Bow-Pod64 = 64 IPUs, GroqNode = 8 cards, SN30 node = 8 RDUs)
+//! with the crossover device count where the cluster overtakes one A100.
+
+use aicomp_accel::cluster::{crossover_devices, Cluster};
+use aicomp_accel::Platform;
+use aicomp_bench::CsvOut;
+
+fn main() {
+    const N: usize = 256;
+    const CF: usize = 4;
+    const SLICES: usize = 300; // 100 samples × 3 channels (Fig. 10 workload)
+
+    let a100 = Cluster::new(Platform::A100, 1, N, CF, SLICES).expect("A100 compiles");
+    let a100_tp = a100.compress_throughput();
+    println!("reference: 1x A100 compression throughput = {:.2} GB/s\n", a100_tp / 1e9);
+
+    let mut csv =
+        CsvOut::create("scaling_multichip", &["platform", "devices", "gbps", "efficiency"]);
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>14}",
+        "platform", "devices", "GB/s", "efficiency", "beats A100?"
+    );
+    for platform in [Platform::Cs2, Platform::Sn30, Platform::GroqChip, Platform::Ipu] {
+        let max = Cluster::typical_system(platform);
+        let mut d = 1usize;
+        while d <= max {
+            match Cluster::new(platform, d, N, CF, SLICES) {
+                Ok(c) => {
+                    let tp = c.compress_throughput();
+                    let eff = c.efficiency().unwrap_or(f64::NAN);
+                    println!(
+                        "{:<10} {:>8} {:>12.2} {:>12.2} {:>14}",
+                        platform.name(),
+                        d,
+                        tp / 1e9,
+                        eff,
+                        if tp > a100_tp { "yes" } else { "-" }
+                    );
+                    csv.row(&[
+                        platform.name().into(),
+                        d.to_string(),
+                        format!("{:.3}", tp / 1e9),
+                        format!("{eff:.3}"),
+                    ]);
+                }
+                Err(e) => println!("{:<10} {:>8} compile failed: {e}", platform.name(), d),
+            }
+            d *= 2;
+        }
+        match crossover_devices(platform, a100_tp, N, CF, SLICES) {
+            Some(1) => println!("  -> {platform} beats the A100 on a single device"),
+            Some(k) => println!("  -> {platform} overtakes the A100 at {k} devices"),
+            None => println!(
+                "  -> {platform} does not overtake the A100 within its {max}-device system"
+            ),
+        }
+        println!();
+    }
+    println!("paper: \"the CS-2 and SN30 RDU on their own can outperform the A100 ...");
+    println!("GroqChip and IPU rely on scalability to outperform GPU.\"");
+    println!("wrote {}", csv.path().display());
+}

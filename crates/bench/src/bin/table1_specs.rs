@@ -1,0 +1,55 @@
+//! Table 1: accelerator specifications, plus the §3.1 operator-support
+//! matrix that motivates the two-matmul design.
+
+use aicomp_accel::ops::support_matrix;
+use aicomp_accel::Platform;
+use aicomp_bench::CsvOut;
+
+fn main() {
+    println!("Table 1: Breakdown of accelerator specifications");
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:<12} {:<20}",
+        "platform", "CUs", "OCM (MB)", "OCM/CU (MB)", "arch", "software"
+    );
+    let mut csv = CsvOut::create(
+        "table1_specs",
+        &["platform", "cus", "ocm_mb", "ocm_per_cu_mb", "arch", "software"],
+    );
+    for p in Platform::ACCELERATORS {
+        let s = p.spec();
+        let ocm_mb = s.ocm_bytes as f64 / (1024.0 * 1024.0);
+        let per_cu = s.ocm_per_cu() / (1024.0 * 1024.0);
+        println!(
+            "{:<10} {:>10} {:>10.0} {:>12.3} {:<12} {:<20}",
+            p.name(),
+            s.compute_units,
+            ocm_mb,
+            per_cu,
+            format!("{:?}", s.architecture),
+            s.software.join(",")
+        );
+        csv.row(&[
+            p.name().into(),
+            s.compute_units.to_string(),
+            format!("{ocm_mb:.0}"),
+            format!("{per_cu:.4}"),
+            format!("{:?}", s.architecture),
+            s.software.join("|"),
+        ]);
+    }
+
+    println!("\nOperator support matrix (§3.1 / §3.5.2):");
+    print!("{:<14}", "operator");
+    for p in Platform::ALL {
+        print!("{:>10}", p.name());
+    }
+    println!();
+    for (op, row) in support_matrix() {
+        print!("{:<14}", op.name());
+        for (_, supported) in row {
+            print!("{:>10}", if supported { "yes" } else { "-" });
+        }
+        println!();
+    }
+    println!("\nwrote {}", csv.path().display());
+}

@@ -1,0 +1,59 @@
+//! Table 3: the four evaluation benchmarks, their networks and training
+//! parameters — paper values next to this reproduction's scaled defaults.
+
+use aicomp_bench::CsvOut;
+use aicomp_sciml::{Benchmark, TrainConfig};
+use aicomp_tensor::Tensor;
+
+fn main() {
+    println!("Table 3: tests performed during evaluation");
+    println!(
+        "{:<16} {:<22} {:<14} {:>12} {:>18} {:>20}",
+        "test", "network (paper)", "sample (paper)", "paper BS/LR", "repro sample", "repro params"
+    );
+    let mut csv = CsvOut::create(
+        "table3_benchmarks",
+        &["test", "paper_network", "paper_bs", "paper_lr", "repro_sample", "repro_params"],
+    );
+    let paper_net = [
+        ("classify", "ResNet34", "3x32x32"),
+        ("em_denoise", "Deep Encoder-Decoder", "1x256x256"),
+        ("optical_damage", "Autoencoder", "1x200x200"),
+        ("slstr_cloud", "UNet", "9x256x256"),
+    ];
+    for (benchmark, (_, net, sample)) in Benchmark::ALL.into_iter().zip(paper_net) {
+        let (bs, lr) = benchmark.paper_params();
+        let cfg = TrainConfig::quick(benchmark);
+        let [c, h, w] = benchmark.dataset_kind().sample_shape();
+        let nparams = repro_param_count(benchmark);
+        println!(
+            "{:<16} {:<22} {:<14} {:>12} {:>18} {:>20}",
+            benchmark.name(),
+            net,
+            sample,
+            format!("BS={bs} LR={lr}"),
+            format!("{c}x{h}x{w}"),
+            format!("BS={} LR={} |θ|={}", cfg.batch_size, cfg.lr, nparams),
+        );
+        csv.row(&[
+            benchmark.name().into(),
+            net.into(),
+            bs.to_string(),
+            lr.to_string(),
+            format!("{c}x{h}x{w}"),
+            nparams.to_string(),
+        ]);
+    }
+    println!("\nwrote {}", csv.path().display());
+}
+
+fn repro_param_count(benchmark: Benchmark) -> usize {
+    use aicomp_sciml::networks::*;
+    let mut rng = Tensor::seeded_rng(0);
+    match benchmark {
+        Benchmark::Classify => param_count(&ResNetLite::new(&mut rng).params()),
+        Benchmark::EmDenoise => param_count(&EncoderDecoder::new(1, &mut rng).params()),
+        Benchmark::OpticalDamage => param_count(&Autoencoder::new(&mut rng).params()),
+        Benchmark::SlstrCloud => param_count(&UNetLite::new(3, &mut rng).params()),
+    }
+}

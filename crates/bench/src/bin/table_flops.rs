@@ -1,0 +1,40 @@
+//! Analytic tables: Eq. 3 (compression ratio), Eq. 5/7 (FLOP counts), and
+//! the §3.2 parallel-run count — the closed forms the design rests on.
+
+use aicomp_bench::{cr, CsvOut, CF_SWEEP};
+use aicomp_core::compressor::parallel_runs;
+use aicomp_core::ChopCompressor;
+
+fn main() {
+    println!("Eq. 3/5/7: CR and FLOP counts per n x n matrix");
+    let mut csv = CsvOut::create(
+        "table_flops",
+        &["n", "cf", "cr", "compress_flops", "decompress_flops", "decomp_lt_comp"],
+    );
+    for n in [32usize, 64, 256] {
+        println!("\nn = {n}:");
+        println!(
+            "{:>4} {:>8} {:>16} {:>16} {:>10}",
+            "CF", "CR", "FLOPs compress", "FLOPs decompress", "decomp<comp"
+        );
+        for cf in CF_SWEEP {
+            let c = ChopCompressor::new(n, cf).expect("valid");
+            let (fc, fd) = (c.compress_flops(), c.decompress_flops());
+            println!("{:>4} {:>8.2} {:>16} {:>16} {:>10}", cf, cr(cf), fc, fd, fd < fc);
+            csv.row(&[
+                n.to_string(),
+                cf.to_string(),
+                format!("{:.2}", cr(cf)),
+                fc.to_string(),
+                fd.to_string(),
+                (fd < fc).to_string(),
+            ]);
+        }
+    }
+
+    println!("\n§3.2 parallel DCT+Chop runs for BD x C x n x n:");
+    for (bd, c, n) in [(100usize, 3usize, 64usize), (100, 3, 256), (32, 1, 256)] {
+        println!("  BD={bd} C={c} n={n}: {} parallel 8x8 block runs", parallel_runs(bd, c, n));
+    }
+    println!("\nwrote {}", csv.path().display());
+}

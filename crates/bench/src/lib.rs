@@ -1,0 +1,110 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper: it prints the series to stdout (same rows/series the paper
+//! plots) and writes a CSV under `results/`. EXPERIMENTS.md records the
+//! paper-vs-measured comparison for each.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+pub mod sweeps;
+pub mod timing;
+
+/// Resolve the `results/` directory (workspace root), creating it if
+/// needed.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = root.join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir.canonicalize().unwrap_or(dir)
+}
+
+/// A CSV writer that also keeps the header for pretty stdout printing.
+pub struct CsvOut {
+    file: fs::File,
+    path: PathBuf,
+}
+
+impl CsvOut {
+    /// Create `results/<name>.csv` with a header row.
+    pub fn create(name: &str, header: &[&str]) -> Self {
+        let path = results_dir().join(format!("{name}.csv"));
+        let mut file = fs::File::create(&path).expect("create csv");
+        writeln!(file, "{}", header.join(",")).expect("write header");
+        CsvOut { file, path }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, fields: &[String]) {
+        writeln!(self.file, "{}", fields.join(",")).expect("write row");
+    }
+
+    /// Where the CSV landed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Format an `f64` compactly for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.001 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Tiny `--key value` CLI parser: `arg(&args, "epochs", 6)`.
+pub fn arg<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    let flag = format!("--{key}");
+    args.windows(2).find(|w| w[0] == flag).and_then(|w| w[1].parse().ok()).unwrap_or(default)
+}
+
+/// True when `--flag` is present.
+pub fn has_flag(args: &[String], key: &str) -> bool {
+    let flag = format!("--{key}");
+    args.iter().any(|a| a == &flag)
+}
+
+/// The chop factors the paper sweeps (CF 2..7) with their CRs.
+pub const CF_SWEEP: [usize; 6] = [2, 3, 4, 5, 6, 7];
+
+/// Compression ratio for a chop factor (Eq. 3).
+pub fn cr(cf: usize) -> f64 {
+    64.0 / (cf * cf) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["prog", "--epochs", "12", "--lr", "0.5"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg(&args, "epochs", 3usize), 12);
+        assert_eq!(arg(&args, "lr", 0.1f64), 0.5);
+        assert_eq!(arg(&args, "missing", 7usize), 7);
+        assert!(!has_flag(&args, "quick"));
+    }
+
+    #[test]
+    fn cr_values() {
+        assert_eq!(cr(2), 16.0);
+        assert_eq!(cr(4), 4.0);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut out = CsvOut::create("_test_csv", &["a", "b"]);
+        out.row(&["1".into(), "2".into()]);
+        let content = std::fs::read_to_string(out.path()).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::fs::remove_file(out.path()).ok();
+    }
+}

@@ -1,0 +1,177 @@
+//! Shared timing sweeps for Figs. 10–14.
+
+use aicomp_accel::{CompressorDeployment, Platform};
+
+use crate::{cr, CsvOut, CF_SWEEP};
+
+/// Compression or decompression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Fig. 10/12.
+    Compress,
+    /// Fig. 11/13/14.
+    Decompress,
+}
+
+impl Direction {
+    /// Label used in output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Direction::Compress => "compress",
+            Direction::Decompress => "decompress",
+        }
+    }
+}
+
+/// The paper's resolution sweep (Figs. 10/11/14): 100 samples × 3 channels,
+/// resolution 32..512, CF 2..7. Returns `(platform, n, cf, seconds)` rows;
+/// configurations that fail to compile are reported with `None`.
+pub fn resolution_sweep(
+    platforms: &[Platform],
+    direction: Direction,
+) -> Vec<(Platform, usize, usize, Option<f64>)> {
+    const SAMPLES: usize = 100;
+    const CHANNELS: usize = 3;
+    let mut rows = Vec::new();
+    for &platform in platforms {
+        for n in [32usize, 64, 128, 256, 512] {
+            for cf in CF_SWEEP {
+                let t = CompressorDeployment::plain(platform, n, cf, SAMPLES * CHANNELS).ok().map(
+                    |dep| match direction {
+                        Direction::Compress => dep.compress_timing().seconds,
+                        Direction::Decompress => dep.decompress_timing().seconds,
+                    },
+                );
+                rows.push((platform, n, cf, t));
+            }
+        }
+    }
+    rows
+}
+
+/// The paper's batch sweep (Figs. 12/13): 3-channel 64×64 samples, batch
+/// size 10..5000, CF 2..7.
+pub fn batch_sweep(
+    platforms: &[Platform],
+    direction: Direction,
+) -> Vec<(Platform, usize, usize, Option<f64>)> {
+    const N: usize = 64;
+    const CHANNELS: usize = 3;
+    let mut rows = Vec::new();
+    for &platform in platforms {
+        for bd in [10usize, 50, 100, 500, 1000, 2000, 5000] {
+            for cf in CF_SWEEP {
+                let t =
+                    CompressorDeployment::plain(platform, N, cf, bd * CHANNELS).ok().map(|dep| {
+                        match direction {
+                            Direction::Compress => dep.compress_timing().seconds,
+                            Direction::Decompress => dep.decompress_timing().seconds,
+                        }
+                    });
+                rows.push((platform, bd, cf, t));
+            }
+        }
+    }
+    rows
+}
+
+/// Print a sweep as per-platform tables (series per CF, like the paper's
+/// figure panels) and write the CSV.
+pub fn report(
+    name: &str,
+    x_label: &str,
+    rows: &[(Platform, usize, usize, Option<f64>)],
+    uncompressed_bytes: impl Fn(usize) -> u64,
+) {
+    let mut csv = CsvOut::create(name, &["platform", x_label, "cf", "cr", "seconds", "gbps"]);
+    let mut platforms: Vec<Platform> = Vec::new();
+    for (p, ..) in rows {
+        if !platforms.contains(p) {
+            platforms.push(*p);
+        }
+    }
+    for platform in platforms {
+        println!("\n{platform} ({}):", platform.spec().full_name);
+        print!("{x_label:>8}");
+        for cf in CF_SWEEP {
+            print!("{:>14}", format!("CR={:.2}", cr(cf)));
+        }
+        println!();
+        let mut xs: Vec<usize> =
+            rows.iter().filter(|(p, ..)| *p == platform).map(|&(_, x, ..)| x).collect();
+        xs.dedup();
+        for x in xs {
+            print!("{x:>8}");
+            for cf in CF_SWEEP {
+                let cell = rows
+                    .iter()
+                    .find(|&&(p, rx, rcf, _)| p == platform && rx == x && rcf == cf)
+                    .and_then(|&(.., t)| t);
+                match cell {
+                    Some(t) => {
+                        let gbps = uncompressed_bytes(x) as f64 / t / 1e9;
+                        print!("{:>14}", format!("{:.3}ms", t * 1e3));
+                        csv.row(&[
+                            platform.name().into(),
+                            x.to_string(),
+                            cf.to_string(),
+                            format!("{:.2}", cr(cf)),
+                            format!("{t:.6}"),
+                            format!("{gbps:.3}"),
+                        ]);
+                    }
+                    None => {
+                        print!("{:>14}", "OOM");
+                        csv.row(&[
+                            platform.name().into(),
+                            x.to_string(),
+                            cf.to_string(),
+                            format!("{:.2}", cr(cf)),
+                            "compile_fail".into(),
+                            "".into(),
+                        ]);
+                    }
+                }
+            }
+            println!();
+        }
+    }
+    println!("\nwrote {}", csv.path().display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_sweep_covers_grid_and_marks_failures() {
+        let rows = resolution_sweep(&[Platform::Sn30], Direction::Compress);
+        // 5 resolutions × 6 CFs.
+        assert_eq!(rows.len(), 30);
+        // 512 fails on SN30 (PMU limit), everything else succeeds.
+        for (p, n, cf, t) in rows {
+            assert_eq!(p, Platform::Sn30);
+            if n == 512 {
+                assert!(t.is_none(), "512 cf={cf} unexpectedly compiled");
+            } else {
+                assert!(t.is_some(), "n={n} cf={cf} failed");
+                assert!(t.unwrap() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sweep_shows_groq_cliff() {
+        let rows = batch_sweep(&[Platform::GroqChip], Direction::Decompress);
+        let ok_1000 = rows.iter().filter(|&&(_, bd, _, t)| bd == 1000 && t.is_some()).count();
+        let fail_2000 = rows.iter().filter(|&&(_, bd, _, t)| bd == 2000 && t.is_none()).count();
+        assert_eq!(ok_1000, 6, "all CFs compile at batch 1000");
+        assert_eq!(fail_2000, 6, "all CFs fail at batch 2000");
+    }
+
+    #[test]
+    fn direction_names() {
+        assert_eq!(Direction::Compress.name(), "compress");
+        assert_eq!(Direction::Decompress.name(), "decompress");
+    }
+}

@@ -1,0 +1,252 @@
+//! 1-D DCT+Chop for scientific signal data — the paper's §6 observation
+//! that "general scientific floating point datasets" need variants beyond
+//! 2-D images, kept inside the same matmul-only operator budget.
+//!
+//! A `[..., len]` tensor is viewed as rows of `len/8` blocks of 8 samples;
+//! each block is transformed (DCT-II or any [`BlockTransform`]) and only
+//! its first `CF` coefficients survive. Both directions are a *single*
+//! matrix multiplication:
+//!
+//! ```text
+//! compress:   Y  = X · C   with C[bs·b+i, cf·b+j] = F[j][i]
+//! decompress: X' = Y · D   with D[cf·b+j, bs·b+i] = F⁻¹[i][j]
+//! ```
+//!
+//! For the orthonormal DCT, `D = Cᵀ` — decompression is the compression
+//! operator transposed.
+
+use aicomp_tensor::Tensor;
+
+use crate::transform::{BlockTransform, Dct};
+use crate::{CoreError, Result, BLOCK};
+
+/// 1-D blockwise Chop compressor.
+#[derive(Debug, Clone)]
+pub struct Chop1d {
+    len: usize,
+    bs: usize,
+    cf: usize,
+    /// `len × (cf·len/bs)`: applied on the right to compress.
+    c_op: Tensor,
+    /// `(cf·len/bs) × len`: applied on the right to decompress.
+    d_op: Tensor,
+}
+
+impl Chop1d {
+    /// DCT-II based 1-D chop for signals of length `len` (multiple of 8),
+    /// keeping `cf` of every 8 coefficients. `CR = 8/cf`.
+    ///
+    /// ```
+    /// use aicomp_core::Chop1d;
+    /// use aicomp_tensor::Tensor;
+    ///
+    /// let c = Chop1d::new(64, 2).unwrap(); // CR = 4
+    /// let x = Tensor::from_vec((0..64).map(|i| (i as f32 * 0.05).sin()).collect(), [1usize, 64]).unwrap();
+    /// let y = c.compress(&x).unwrap();
+    /// assert_eq!(y.dims(), &[1, 16]);
+    /// let rec = c.decompress(&y).unwrap();
+    /// assert!(rec.mse(&x).unwrap() < 1e-3); // smooth signal survives
+    /// ```
+    pub fn new(len: usize, cf: usize) -> Result<Self> {
+        Self::with_transform(&Dct::new(BLOCK), len, cf)
+    }
+
+    /// As [`Self::new`] with an arbitrary block transform.
+    pub fn with_transform(t: &dyn BlockTransform, len: usize, cf: usize) -> Result<Self> {
+        let bs = t.block_size();
+        if bs == 0 || len == 0 || !len.is_multiple_of(bs) {
+            return Err(CoreError::BadResolution { n: len, block: bs });
+        }
+        if cf == 0 || cf > bs {
+            return Err(CoreError::BadChopFactor { cf, block: bs });
+        }
+        let nblk = len / bs;
+        let kept = cf * nblk;
+        let f = t.forward_matrix();
+        let f_inv = t.inverse_matrix();
+
+        // c_op[i][j_kept]: coefficient j of block b comes from F[j][i_in_block].
+        let mut c_op = Tensor::zeros([len, kept]);
+        let mut d_op = Tensor::zeros([kept, len]);
+        for b in 0..nblk {
+            for j in 0..cf {
+                for i in 0..bs {
+                    // y[b·cf + j] = Σ_i F[j][i] · x[b·bs + i]
+                    c_op.set(&[b * bs + i, b * cf + j], f.at(&[j, i]));
+                    // x'[b·bs + i] = Σ_j F⁻¹[i][j] · y[b·cf + j]
+                    d_op.set(&[b * cf + j, b * bs + i], f_inv.at(&[i, j]));
+                }
+            }
+        }
+        Ok(Chop1d { len, bs, cf, c_op, d_op })
+    }
+
+    /// Signal length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false (constructor rejects zero length); parallels `len`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Chop factor.
+    pub fn chop_factor(&self) -> usize {
+        self.cf
+    }
+
+    /// Compression ratio `bs/cf` (8/CF for the DCT configuration).
+    pub fn compression_ratio(&self) -> f64 {
+        self.bs as f64 / self.cf as f64
+    }
+
+    /// Compressed length per signal.
+    pub fn compressed_len(&self) -> usize {
+        self.cf * self.len / self.bs
+    }
+
+    /// Compress `[..., len]` → `[..., compressed_len]`. One matmul.
+    pub fn compress(&self, x: &Tensor) -> Result<Tensor> {
+        let rows = self.check(x, self.len)?;
+        let flat = x.reshape([rows, self.len]).map_err(CoreError::Tensor)?;
+        let y = flat.matmul(&self.c_op).map_err(CoreError::Tensor)?;
+        let mut dims = x.dims().to_vec();
+        *dims.last_mut().expect("rank >= 1") = self.compressed_len();
+        y.reshaped(dims).map_err(CoreError::Tensor)
+    }
+
+    /// Decompress `[..., compressed_len]` → `[..., len]`. One matmul.
+    pub fn decompress(&self, y: &Tensor) -> Result<Tensor> {
+        let rows = self.check(y, self.compressed_len())?;
+        let flat = y.reshape([rows, self.compressed_len()]).map_err(CoreError::Tensor)?;
+        let x = flat.matmul(&self.d_op).map_err(CoreError::Tensor)?;
+        let mut dims = y.dims().to_vec();
+        *dims.last_mut().expect("rank >= 1") = self.len;
+        x.reshaped(dims).map_err(CoreError::Tensor)
+    }
+
+    /// Compress then decompress.
+    pub fn roundtrip(&self, x: &Tensor) -> Result<Tensor> {
+        self.decompress(&self.compress(x)?)
+    }
+
+    fn check(&self, t: &Tensor, expect_last: usize) -> Result<usize> {
+        let d = t.dims();
+        if d.is_empty() || d[d.len() - 1] != expect_last {
+            return Err(CoreError::Tensor(aicomp_tensor::TensorError::ShapeMismatch {
+                op: "chop1d",
+                lhs: d.to_vec(),
+                rhs: vec![expect_last],
+            }));
+        }
+        Ok(t.numel() / expect_last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::dct_matrix;
+    use crate::zfp_transform::ZfpTransform;
+
+    fn signal(len: usize, freq: f32) -> Tensor {
+        Tensor::from_vec((0..len).map(|i| (i as f32 * freq).sin()).collect(), [1usize, len])
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Chop1d::new(64, 4).is_ok());
+        assert!(Chop1d::new(60, 4).is_err());
+        assert!(Chop1d::new(64, 0).is_err());
+        assert!(Chop1d::new(64, 9).is_err());
+    }
+
+    #[test]
+    fn cf8_is_lossless() {
+        let c = Chop1d::new(64, 8).unwrap();
+        let x = signal(64, 0.7);
+        assert!(c.roundtrip(&x).unwrap().allclose(&x, 1e-4));
+        assert_eq!(c.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn smooth_signal_survives_heavy_chop() {
+        // A slow sinusoid lives in the first coefficients of each block.
+        let c = Chop1d::new(64, 2).unwrap();
+        let x = signal(64, 0.05);
+        let rec = c.roundtrip(&x).unwrap();
+        assert!(rec.mse(&x).unwrap() < 1e-3);
+        assert_eq!(c.compression_ratio(), 4.0);
+    }
+
+    #[test]
+    fn matches_per_block_dct_definition() {
+        let len = 16;
+        let cf = 3;
+        let c = Chop1d::new(len, cf).unwrap();
+        let x = Tensor::from_vec(
+            (0..len).map(|i| ((i * 7 % 13) as f32) - 6.0).collect(),
+            [1usize, len],
+        )
+        .unwrap();
+        let y = c.compress(&x).unwrap();
+        let t = dct_matrix(8);
+        for b in 0..len / 8 {
+            for j in 0..cf {
+                let mut expect = 0.0f32;
+                for i in 0..8 {
+                    expect += t.at(&[j, i]) * x.at(&[0, b * 8 + i]);
+                }
+                assert!((y.at(&[0, b * cf + j]) - expect).abs() < 1e-4, "block {b} coeff {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_and_batching() {
+        let c = Chop1d::new(32, 4).unwrap();
+        let x = Tensor::zeros([5, 3, 32]);
+        let y = c.compress(&x).unwrap();
+        assert_eq!(y.dims(), &[5, 3, 16]);
+        let rec = c.decompress(&y).unwrap();
+        assert_eq!(rec.dims(), &[5, 3, 32]);
+    }
+
+    #[test]
+    fn error_decreases_with_cf() {
+        let x = signal(64, 0.4);
+        let mut last = f64::INFINITY;
+        for cf in 1..=8usize {
+            let err = Chop1d::new(64, cf).unwrap().roundtrip(&x).unwrap().mse(&x).unwrap();
+            assert!(err <= last + 1e-9, "cf={cf}");
+            last = err;
+        }
+    }
+
+    #[test]
+    fn zfp_transform_variant_roundtrips() {
+        let t = ZfpTransform::new();
+        let c = Chop1d::with_transform(&t, 32, 4).unwrap(); // cf == bs → lossless
+        let x = signal(32, 0.3);
+        assert!(c.roundtrip(&x).unwrap().allclose(&x, 1e-4));
+        assert_eq!(c.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn chop_is_projection_1d() {
+        let c = Chop1d::new(32, 3).unwrap();
+        let x = signal(32, 0.9);
+        let y1 = c.compress(&x).unwrap();
+        let y2 = c.compress(&c.decompress(&y1).unwrap()).unwrap();
+        assert!(y1.allclose(&y2, 1e-4));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let c = Chop1d::new(32, 4).unwrap();
+        assert!(c.compress(&Tensor::zeros([2, 16])).is_err());
+        assert!(c.decompress(&Tensor::zeros([2, 32])).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Reconstruction-quality metrics for compressor evaluation.
+
+use aicomp_tensor::Tensor;
+
+use crate::Result;
+
+/// Quality report comparing original and reconstructed data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Mean squared error.
+    pub mse: f64,
+    /// Peak signal-to-noise ratio in dB, with the peak taken from the
+    /// original's value range. `f64::INFINITY` for exact reconstruction.
+    pub psnr_db: f64,
+    /// Largest absolute pointwise error.
+    pub max_abs_err: f32,
+    /// Value range of the original data (peak − trough).
+    pub range: f32,
+}
+
+/// Compare a reconstruction against the original.
+pub fn quality(original: &Tensor, reconstructed: &Tensor) -> Result<QualityReport> {
+    let mse = original.mse(reconstructed)?;
+    let range = original.max() - original.min();
+    let max_abs_err = original
+        .data()
+        .iter()
+        .zip(reconstructed.data().iter())
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    let psnr_db = if mse <= 0.0 {
+        f64::INFINITY
+    } else if range <= 0.0 {
+        0.0
+    } else {
+        10.0 * ((range as f64).powi(2) / mse).log10()
+    };
+    Ok(QualityReport { mse, psnr_db, max_abs_err, range })
+}
+
+/// Effective compression ratio from byte counts.
+pub fn effective_ratio(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    original_bytes as f64 / compressed_bytes.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_reconstruction_has_infinite_psnr() {
+        let a = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], [4]).unwrap();
+        let q = quality(&a, &a).unwrap();
+        assert_eq!(q.mse, 0.0);
+        assert!(q.psnr_db.is_infinite());
+        assert_eq!(q.max_abs_err, 0.0);
+        assert_eq!(q.range, 3.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let a = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], [4]).unwrap();
+        let small = a.add_scalar(0.01);
+        let large = a.add_scalar(0.5);
+        let q_small = quality(&a, &small).unwrap();
+        let q_large = quality(&a, &large).unwrap();
+        assert!(q_small.psnr_db > q_large.psnr_db);
+        assert!((q_large.max_abs_err - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn effective_ratio_computation() {
+        assert_eq!(effective_ratio(64, 16), 4.0);
+        assert_eq!(effective_ratio(64, 0), 64.0); // guards divide-by-zero
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let a = Tensor::zeros([4]);
+        let b = Tensor::zeros([5]);
+        assert!(quality(&a, &b).is_err());
+    }
+}

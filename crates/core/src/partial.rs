@@ -1,0 +1,236 @@
+//! Partial serialization (§3.5.1, Fig. 5).
+//!
+//! As resolution grows, the `LHS`/`RHS` matrices grow as `n²·CF/8` and
+//! per-compute-unit memory is exhausted (the paper reports compile failures
+//! at 512×512 on SN30 and GroqChip). Partial serialization subdivides the
+//! input spatially by a factor `s`, compressing each of the `s×s` chunks
+//! serially with operator matrices that are `s²×` smaller.
+
+use aicomp_tensor::Tensor;
+
+use crate::compressor::ChopCompressor;
+use crate::transform::{BlockTransform, Dct};
+use crate::{CoreError, Result, BLOCK};
+
+/// A partially-serialized Chop compressor.
+///
+/// Wraps a [`ChopCompressor`] built for resolution `n/s`; [`Self::compress`]
+/// slices a `[BD, C, n, n]` input into `s×s` spatial chunks, compresses each
+/// chunk serially, and tiles the compressed chunks into a
+/// `[BD, C, CF·n/8, CF·n/8]` output (same layout a non-serialized compressor
+/// would produce, chunk-tiled).
+#[derive(Debug, Clone)]
+pub struct PartialSerialized {
+    inner: ChopCompressor,
+    n: usize,
+    s: usize,
+}
+
+impl PartialSerialized {
+    /// Build a partially-serialized DCT+Chop compressor for `n×n` inputs,
+    /// chop factor `cf`, subdivision factor `s`.
+    pub fn new(n: usize, cf: usize, s: usize) -> Result<Self> {
+        Self::with_transform(&Dct::new(BLOCK), n, cf, s)
+    }
+
+    /// As [`Self::new`] with an explicit block transform.
+    pub fn with_transform(t: &dyn BlockTransform, n: usize, cf: usize, s: usize) -> Result<Self> {
+        if s == 0 || !n.is_multiple_of(s) || !(n / s).is_multiple_of(t.block_size()) {
+            return Err(CoreError::BadSubdivision { n, s });
+        }
+        let inner = ChopCompressor::with_transform(t, n / s, cf)?;
+        Ok(PartialSerialized { inner, n, s })
+    }
+
+    /// Subdivision factor `s`.
+    pub fn subdivision(&self) -> usize {
+        self.s
+    }
+
+    /// The inner per-chunk compressor (resolution `n/s`).
+    pub fn chunk_compressor(&self) -> &ChopCompressor {
+        &self.inner
+    }
+
+    /// Full input resolution `n`.
+    pub fn resolution(&self) -> usize {
+        self.n
+    }
+
+    /// Compression ratio — unchanged by serialization (Eq. 3).
+    pub fn compression_ratio(&self) -> f64 {
+        self.inner.compression_ratio()
+    }
+
+    /// Number of serial chunk passes: `s²`.
+    pub fn serial_passes(&self) -> usize {
+        self.s * self.s
+    }
+
+    /// Compressed side length for the *full* image: `CF·n/8`.
+    pub fn compressed_side(&self) -> usize {
+        self.inner.compressed_side() * self.s
+    }
+
+    /// Compress `[BD, C, n, n]` (or `[C, n, n]` / `[n, n]`).
+    pub fn compress(&self, input: &Tensor) -> Result<Tensor> {
+        self.apply(input, self.n, self.inner.resolution(), self.compressed_side(), |chunk| {
+            self.inner.compress(chunk)
+        })
+    }
+
+    /// Decompress back to `[..., n, n]`.
+    pub fn decompress(&self, compressed: &Tensor) -> Result<Tensor> {
+        self.apply(
+            compressed,
+            self.compressed_side(),
+            self.inner.compressed_side(),
+            self.n,
+            |chunk| self.inner.decompress(chunk),
+        )
+    }
+
+    /// Compress then decompress.
+    pub fn roundtrip(&self, input: &Tensor) -> Result<Tensor> {
+        self.decompress(&self.compress(input)?)
+    }
+
+    /// Shared chunk-loop: slice `[..., side, side]` into `s×s` chunks of
+    /// `chunk_in`, run `f` on each *serially* (that is the point of the
+    /// optimization — chunks do not share on-chip memory), reassemble into
+    /// `[..., out_total, out_total]`.
+    fn apply(
+        &self,
+        input: &Tensor,
+        side: usize,
+        chunk_in: usize,
+        out_total: usize,
+        f: impl Fn(&Tensor) -> Result<Tensor>,
+    ) -> Result<Tensor> {
+        let d = input.dims();
+        if d.len() < 2 || d[d.len() - 1] != side || d[d.len() - 2] != side {
+            return Err(CoreError::Tensor(aicomp_tensor::TensorError::ShapeMismatch {
+                op: "partial serialization",
+                lhs: d.to_vec(),
+                rhs: vec![side, side],
+            }));
+        }
+        let nmat = input.numel() / (side * side);
+        let s = self.s;
+        let chunk_out = out_total / s;
+        let mut out = vec![0.0f32; nmat * out_total * out_total];
+        let src = input.data();
+
+        // Serial over the s×s grid — matches Fig. 5's serialized processing.
+        for cy in 0..s {
+            for cx in 0..s {
+                // Gather this chunk across all matrices into one batch so the
+                // inner compressor still sees the full batch parallelism.
+                let mut chunk = vec![0.0f32; nmat * chunk_in * chunk_in];
+                for m in 0..nmat {
+                    let base = m * side * side;
+                    for r in 0..chunk_in {
+                        let srow = base + (cy * chunk_in + r) * side + cx * chunk_in;
+                        let drow = m * chunk_in * chunk_in + r * chunk_in;
+                        chunk[drow..drow + chunk_in].copy_from_slice(&src[srow..srow + chunk_in]);
+                    }
+                }
+                let chunk_t = Tensor::from_vec(chunk, [nmat, chunk_in, chunk_in])?;
+                let res = f(&chunk_t)?;
+                let rd = res.data();
+                for m in 0..nmat {
+                    let base = m * out_total * out_total;
+                    for r in 0..chunk_out {
+                        let drow = base + (cy * chunk_out + r) * out_total + cx * chunk_out;
+                        let srow = m * chunk_out * chunk_out + r * chunk_out;
+                        out[drow..drow + chunk_out].copy_from_slice(&rd[srow..srow + chunk_out]);
+                    }
+                }
+            }
+        }
+
+        let mut dims = d.to_vec();
+        let len = dims.len();
+        dims[len - 2] = out_total;
+        dims[len - 1] = out_total;
+        Ok(Tensor::from_vec(out, dims)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|i| ((i % 53) as f32) / 9.0 - 3.0).collect(), dims.to_vec())
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_subdivision() {
+        assert!(PartialSerialized::new(64, 4, 2).is_ok());
+        assert!(PartialSerialized::new(64, 4, 0).is_err());
+        assert!(PartialSerialized::new(64, 4, 3).is_err()); // 64 % 3 != 0
+        assert!(PartialSerialized::new(16, 4, 4).is_err()); // 16/4 = 4 < block 8
+    }
+
+    #[test]
+    fn matches_unserialized_compressor() {
+        // Partial serialization changes *where* the work happens, not the
+        // result: per-chunk compress == full compress restricted to the
+        // chunk, because DCT+Chop is blockwise and chunks align to blocks.
+        let n = 32;
+        let cf = 4;
+        let x = ramp(&[2, 3, n, n]);
+        let full = ChopCompressor::new(n, cf).unwrap();
+        let ps = PartialSerialized::new(n, cf, 2).unwrap();
+
+        let y_full = full.compress(&x).unwrap();
+        let y_ps = ps.compress(&x).unwrap();
+        assert_eq!(y_full.dims(), y_ps.dims());
+
+        // Compressed layouts differ only by chunk tiling; the decompressed
+        // images must agree exactly.
+        let rec_full = full.decompress(&y_full).unwrap();
+        let rec_ps = ps.decompress(&y_ps).unwrap();
+        assert!(rec_full.allclose(&rec_ps, 1e-4));
+    }
+
+    #[test]
+    fn roundtrip_shapes() {
+        let ps = PartialSerialized::new(64, 2, 4).unwrap();
+        let x = ramp(&[1, 3, 64, 64]);
+        let y = ps.compress(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 3, 16, 16]);
+        let rec = ps.decompress(&y).unwrap();
+        assert_eq!(rec.dims(), &[1, 3, 64, 64]);
+        assert_eq!(ps.serial_passes(), 16);
+    }
+
+    #[test]
+    fn memory_footprint_shrinks_quadratically() {
+        // The whole point of the optimization (§3.5.1): operator matrices
+        // shrink by s² (each dimension by s).
+        let full = ChopCompressor::new(512, 4).unwrap();
+        let ps = PartialSerialized::new(512, 4, 2).unwrap();
+        let f_bytes = full.operators().footprint_bytes();
+        let p_bytes = ps.chunk_compressor().operators().footprint_bytes();
+        assert_eq!(f_bytes, p_bytes * 4);
+    }
+
+    #[test]
+    fn s1_is_identity_wrapper() {
+        let n = 16;
+        let x = ramp(&[1, 1, n, n]);
+        let ps = PartialSerialized::new(n, 3, 1).unwrap();
+        let full = ChopCompressor::new(n, 3).unwrap();
+        assert!(ps.compress(&x).unwrap().allclose(&full.compress(&x).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn cr_unchanged_by_serialization() {
+        let ps = PartialSerialized::new(64, 5, 2).unwrap();
+        assert_eq!(ps.compression_ratio(), 64.0 / 25.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Reduced-precision simulation (§3.1 "Arithmetic Precision Support").
+//!
+//! The paper runs everything in FP32 for portability because the platforms
+//! disagree on 16-bit formats: CS-2, GroqChip and the IPU support IEEE
+//! FP16, while the SN30 supports BF16. This module simulates both formats
+//! (round-to-nearest-even through the actual bit layouts) so the cost of
+//! choosing either one can be quantified per platform — the study the
+//! paper defers.
+
+use aicomp_tensor::Tensor;
+
+use crate::compressor::ChopCompressor;
+use crate::Result;
+
+/// A floating-point storage format the compressor could run in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// IEEE 754 binary32 (the paper's portable choice).
+    Fp32,
+    /// IEEE 754 binary16: 5 exponent bits, 10 mantissa bits
+    /// (CS-2, GroqChip, IPU).
+    Fp16,
+    /// bfloat16: 8 exponent bits, 7 mantissa bits (SN30).
+    Bf16,
+}
+
+impl Precision {
+    /// All three formats.
+    pub const ALL: [Precision; 3] = [Precision::Fp32, Precision::Fp16, Precision::Bf16];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Precision::Fp32 => "fp32",
+            Precision::Fp16 => "fp16",
+            Precision::Bf16 => "bf16",
+        }
+    }
+
+    /// Bytes per element in this format.
+    pub fn bytes(&self) -> usize {
+        match self {
+            Precision::Fp32 => 4,
+            Precision::Fp16 | Precision::Bf16 => 2,
+        }
+    }
+
+    /// Round one f32 value through this format and back.
+    pub fn quantize(&self, v: f32) -> f32 {
+        match self {
+            Precision::Fp32 => v,
+            Precision::Fp16 => f16_to_f32(f32_to_f16(v)),
+            Precision::Bf16 => bf16_to_f32(f32_to_bf16(v)),
+        }
+    }
+
+    /// Round a whole tensor through this format.
+    pub fn quantize_tensor(&self, t: &Tensor) -> Tensor {
+        match self {
+            Precision::Fp32 => t.clone(),
+            _ => t.map(|v| self.quantize(v)),
+        }
+    }
+}
+
+/// f32 → IEEE binary16 bits, round-to-nearest-even, with overflow to ±inf
+/// and flush of sub-subnormal values to signed zero.
+pub fn f32_to_f16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN.
+        let payload = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7C00 | payload;
+    }
+    // Unbiased exponent.
+    let e = exp - 127;
+    if e > 15 {
+        return sign | 0x7C00; // overflow → inf
+    }
+    if e >= -14 {
+        // Normal half: 10-bit mantissa with round-to-nearest-even.
+        let mant16 = mant >> 13;
+        let rem = mant & 0x1FFF;
+        let mut h = sign | (((e + 15) as u16) << 10) | (mant16 as u16);
+        if rem > 0x1000 || (rem == 0x1000 && (mant16 & 1) == 1) {
+            h = h.wrapping_add(1); // may carry into the exponent — correct
+        }
+        return h;
+    }
+    if e >= -24 {
+        // Subnormal half: the 24-bit significand (1.m × 2^23) must be
+        // shifted so the result counts units of 2^-24; for exponent e the
+        // shift is (-1 − e) bits (14 at e = −15 … 23 at e = −24).
+        let drop = (-1 - e) as u32;
+        let significand = mant | 0x0080_0000; // implicit 1
+        let mant16 = significand >> drop;
+        let rem = significand & ((1u32 << drop) - 1);
+        let half = 1u32 << (drop - 1);
+        let mut h = sign | (mant16 as u16);
+        if rem > half || (rem == half && (mant16 & 1) == 1) {
+            h = h.wrapping_add(1);
+        }
+        return h;
+    }
+    sign // underflow → signed zero
+}
+
+/// IEEE binary16 bits → f32.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h as u32) & 0x8000) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x03FF) as u32;
+    let bits = if exp == 0x1F {
+        sign | 0x7F80_0000 | (mant << 13) // inf / NaN
+    } else if exp == 0 {
+        if mant == 0 {
+            sign // zero
+        } else {
+            // Subnormal (mant × 2⁻²⁴): normalize to 1.f × 2^e.
+            let mut e = -14i32;
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x03FF;
+            sign | (((e + 127) as u32) << 23) | (m << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// f32 → bfloat16 bits, round-to-nearest-even.
+pub fn f32_to_bf16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    if v.is_nan() {
+        return ((bits >> 16) as u16) | 0x0040; // keep NaN quiet
+    }
+    let lower = bits & 0xFFFF;
+    let upper = bits >> 16;
+    let mut h = upper as u16;
+    if lower > 0x8000 || (lower == 0x8000 && (upper & 1) == 1) {
+        h = h.wrapping_add(1);
+    }
+    h
+}
+
+/// bfloat16 bits → f32 (exact: bf16 is a truncated f32).
+pub fn bf16_to_f32(h: u16) -> f32 {
+    f32::from_bits((h as u32) << 16)
+}
+
+impl ChopCompressor {
+    /// Compress → quantize the stored representation to `precision` →
+    /// decompress. Models storing the compressed coefficients in a 16-bit
+    /// format, which doubles the effective compression ratio.
+    pub fn roundtrip_with_precision(&self, input: &Tensor, precision: Precision) -> Result<Tensor> {
+        let y = self.compress(input)?;
+        let yq = precision.quantize_tensor(&y);
+        self.decompress(&yq)
+    }
+
+    /// Effective CR when the compressed coefficients are stored in
+    /// `precision` (f32 input assumed).
+    pub fn ratio_with_precision(&self, precision: Precision) -> f64 {
+        self.compression_ratio() * 4.0 / precision.bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp16_exact_on_representable_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -0.25, 65504.0] {
+            assert_eq!(f16_to_f32(f32_to_f16(v)), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn fp16_overflow_to_inf() {
+        assert!(f16_to_f32(f32_to_f16(1e6)).is_infinite());
+        assert!(f16_to_f32(f32_to_f16(-1e6)).is_infinite());
+    }
+
+    #[test]
+    fn fp16_subnormals_roundtrip_with_bounded_error() {
+        // Smallest normal half is 2^-14; subnormals go down to 2^-24.
+        for v in [1e-5f32, 3e-6, 6e-8] {
+            let q = f16_to_f32(f32_to_f16(v));
+            assert!((q - v).abs() <= 2f32.powi(-24), "{v} → {q}");
+        }
+    }
+
+    #[test]
+    fn fp16_flushes_tiny_to_zero() {
+        assert_eq!(f16_to_f32(f32_to_f16(1e-9)), 0.0);
+        let neg = f16_to_f32(f32_to_f16(-1e-9));
+        assert_eq!(neg, 0.0);
+        assert!(neg.is_sign_negative());
+    }
+
+    #[test]
+    fn fp16_relative_error_bounded() {
+        // Normal range: relative error ≤ 2^-11.
+        let mut rng = Tensor::seeded_rng(1);
+        let t = Tensor::rand_uniform([1000], -100.0, 100.0, &mut rng);
+        for &v in t.data() {
+            let q = f16_to_f32(f32_to_f16(v));
+            assert!((q - v).abs() <= v.abs() * 2f32.powi(-11) + 1e-12, "{v} → {q}");
+        }
+    }
+
+    #[test]
+    fn bf16_truncates_mantissa() {
+        // bf16 keeps f32's exponent range: huge values survive.
+        let q = bf16_to_f32(f32_to_bf16(3.0e38));
+        assert!(q.is_finite() && (q - 3.0e38).abs() / 3.0e38 < 0.01);
+        // Relative error ≤ 2^-8.
+        let mut rng = Tensor::seeded_rng(2);
+        let t = Tensor::rand_uniform([1000], -1e20, 1e20, &mut rng);
+        for &v in t.data() {
+            let q = bf16_to_f32(f32_to_bf16(v));
+            assert!((q - v).abs() <= v.abs() * 2f32.powi(-8) + f32::MIN_POSITIVE, "{v} → {q}");
+        }
+    }
+
+    #[test]
+    fn bf16_nan_stays_nan() {
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn fp16_more_precise_than_bf16_in_unit_range() {
+        // In [-1, 1] (training-data range) FP16's 10-bit mantissa beats
+        // BF16's 7 bits — why FP16 platforms have the edge for image data.
+        let mut rng = Tensor::seeded_rng(3);
+        let t = Tensor::rand_uniform([4096], -1.0, 1.0, &mut rng);
+        let e16 = Precision::Fp16.quantize_tensor(&t).mse(&t).unwrap();
+        let ebf = Precision::Bf16.quantize_tensor(&t).mse(&t).unwrap();
+        assert!(e16 < ebf, "fp16 {e16} vs bf16 {ebf}");
+    }
+
+    #[test]
+    fn compressor_precision_roundtrip_quality_ordering() {
+        let mut rng = Tensor::seeded_rng(4);
+        let x = Tensor::rand_uniform([2usize, 1, 32, 32], -1.0, 1.0, &mut rng);
+        let c = ChopCompressor::new(32, 4).unwrap();
+        let base = c.roundtrip(&x).unwrap();
+        let e32 = c.roundtrip_with_precision(&x, Precision::Fp32).unwrap().mse(&base).unwrap();
+        let e16 = c.roundtrip_with_precision(&x, Precision::Fp16).unwrap().mse(&base).unwrap();
+        let ebf = c.roundtrip_with_precision(&x, Precision::Bf16).unwrap().mse(&base).unwrap();
+        assert_eq!(e32, 0.0);
+        assert!(e16 > 0.0 && ebf > e16, "fp16 {e16} bf16 {ebf}");
+    }
+
+    #[test]
+    fn effective_ratio_doubles_at_16bit() {
+        let c = ChopCompressor::new(32, 4).unwrap();
+        assert_eq!(c.ratio_with_precision(Precision::Fp32), 4.0);
+        assert_eq!(c.ratio_with_precision(Precision::Fp16), 8.0);
+        assert_eq!(c.ratio_with_precision(Precision::Bf16), 8.0);
+    }
+
+    #[test]
+    fn exhaustive_f16_bits_roundtrip() {
+        // Every finite half value must convert to f32 and back to the same
+        // bit pattern.
+        for bits in 0u16..=0xFFFF {
+            let exp = (bits >> 10) & 0x1F;
+            if exp == 0x1F {
+                continue; // inf/NaN payloads may not roundtrip exactly
+            }
+            let back = f32_to_f16(f16_to_f32(bits));
+            // -0.0 and 0.0 keep their signs.
+            assert_eq!(back, bits, "bits {bits:#06x}");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The Graphcore scatter/gather optimization (§3.5.2, Fig. 6).
+//!
+//! DCT+Chop keeps the upper-left `CF×CF` *square* of each block, but the
+//! significant coefficients live in the upper-left *triangle* (the zig-zag
+//! ordering of Fig. 2). On platforms that support `torch.gather` and
+//! `torch.scatter` (only the IPU among the four accelerators), the square's
+//! lower-right triangle can be dropped: compression runs DCT+Chop then
+//! gathers the `CF·(CF+1)/2` triangle values per block into a packed vector;
+//! decompression scatters them back (zeros elsewhere) and runs DCT+Chop
+//! decompression.
+
+use aicomp_tensor::Tensor;
+
+use crate::compressor::ChopCompressor;
+use crate::transform::{BlockTransform, Dct};
+use crate::{CoreError, Result, BLOCK};
+
+/// DCT+Chop with triangle packing via gather/scatter.
+#[derive(Debug, Clone)]
+pub struct ScatterGatherChop {
+    inner: ChopCompressor,
+    /// Flat indices (into one compressed `[side, side]` matrix) of the
+    /// upper-left-triangle values of every `CF×CF` block, precomputed at
+    /// construction ("compile") time — §3.5.2 notes the indices need not be
+    /// stored because sizes are static.
+    triangle_indices: Vec<usize>,
+}
+
+impl ScatterGatherChop {
+    /// Build for `n×n` inputs with chop factor `cf` (8×8 DCT blocks).
+    pub fn new(n: usize, cf: usize) -> Result<Self> {
+        Self::with_transform(&Dct::new(BLOCK), n, cf)
+    }
+
+    /// As [`Self::new`] with an explicit block transform.
+    pub fn with_transform(t: &dyn BlockTransform, n: usize, cf: usize) -> Result<Self> {
+        let inner = ChopCompressor::with_transform(t, n, cf)?;
+        let triangle_indices = triangle_indices(inner.compressed_side(), cf);
+        Ok(ScatterGatherChop { inner, triangle_indices })
+    }
+
+    /// The wrapped plain DCT+Chop compressor.
+    pub fn inner(&self) -> &ChopCompressor {
+        &self.inner
+    }
+
+    /// Values retained per channel matrix: `nblks · CF·(CF+1)/2`.
+    pub fn packed_len(&self) -> usize {
+        self.triangle_indices.len()
+    }
+
+    /// Compression ratio: `bs² / (CF·(CF+1)/2)` — §3.5.2 gives the
+    /// improvement factor `2CF/(CF+1)` over plain DCT+Chop.
+    pub fn compression_ratio(&self) -> f64 {
+        let cf = self.inner.chop_factor() as f64;
+        let bs = self.inner.block_size() as f64;
+        bs * bs / (cf * (cf + 1.0) / 2.0)
+    }
+
+    /// Ratio improvement over plain DCT+Chop: `2CF/(CF+1)`.
+    pub fn improvement_factor(&self) -> f64 {
+        let cf = self.inner.chop_factor() as f64;
+        2.0 * cf / (cf + 1.0)
+    }
+
+    /// Compress `[..., n, n]` to packed `[..., packed_len]` vectors:
+    /// DCT+Chop, then `gather` the triangle values.
+    pub fn compress(&self, input: &Tensor) -> Result<Tensor> {
+        let y = self.inner.compress(input)?;
+        let side = self.inner.compressed_side();
+        let per = side * side;
+        let nmat = y.numel() / per;
+        let plen = self.packed_len();
+        let mut out = Vec::with_capacity(nmat * plen);
+        let data = y.data();
+        for m in 0..nmat {
+            let base = m * per;
+            out.extend(self.triangle_indices.iter().map(|&ix| data[base + ix]));
+        }
+        let d = y.dims();
+        let mut dims = d[..d.len() - 2].to_vec();
+        dims.push(plen);
+        Ok(Tensor::from_vec(out, dims)?)
+    }
+
+    /// Decompress packed `[..., packed_len]` vectors back to `[..., n, n]`:
+    /// `scatter` the triangle values into the compressed layout (zeros
+    /// elsewhere), then DCT+Chop decompress.
+    pub fn decompress(&self, packed: &Tensor) -> Result<Tensor> {
+        let d = packed.dims();
+        let plen = self.packed_len();
+        if d.is_empty() || d[d.len() - 1] != plen {
+            return Err(CoreError::Tensor(aicomp_tensor::TensorError::ShapeMismatch {
+                op: "scatter_gather decompress",
+                lhs: d.to_vec(),
+                rhs: vec![plen],
+            }));
+        }
+        let side = self.inner.compressed_side();
+        let per = side * side;
+        let nmat = packed.numel() / plen;
+        let mut y = vec![0.0f32; nmat * per];
+        let src = packed.data();
+        for m in 0..nmat {
+            let base = m * per;
+            for (k, &ix) in self.triangle_indices.iter().enumerate() {
+                y[base + ix] = src[m * plen + k];
+            }
+        }
+        let mut dims = d[..d.len() - 1].to_vec();
+        dims.push(side);
+        dims.push(side);
+        let y = Tensor::from_vec(y, dims)?;
+        self.inner.decompress(&y)
+    }
+
+    /// Compress then decompress.
+    pub fn roundtrip(&self, input: &Tensor) -> Result<Tensor> {
+        self.decompress(&self.compress(input)?)
+    }
+}
+
+impl ScatterGatherChop {
+    /// The precomputed triangle indices (exposed so the accelerator
+    /// simulator can embed them in its gather/scatter graph nodes).
+    pub fn indices(&self) -> &[usize] {
+        &self.triangle_indices
+    }
+}
+
+/// Flat indices of the upper-left triangle (`i + j < cf`, i.e. above the
+/// anti-diagonal — the region the zig-zag of Fig. 2 visits first) within
+/// every `cf×cf` block of a `side×side` compressed matrix.
+pub fn triangle_indices(side: usize, cf: usize) -> Vec<usize> {
+    let nblk = side / cf;
+    let mut idx = Vec::with_capacity(nblk * nblk * cf * (cf + 1) / 2);
+    for bi in 0..nblk {
+        for bj in 0..nblk {
+            for i in 0..cf {
+                for j in 0..cf {
+                    if i + j < cf {
+                        idx.push((bi * cf + i) * side + bj * cf + j);
+                    }
+                }
+            }
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|i| ((i % 41) as f32) / 6.0 - 3.0).collect(), dims.to_vec())
+            .unwrap()
+    }
+
+    #[test]
+    fn packed_len_matches_formula() {
+        // §3.5.2: nblks · CF·(CF+1)/2 per 2-D matrix.
+        for cf in 1..=8usize {
+            let sg = ScatterGatherChop::new(32, cf).unwrap();
+            let nblks = (32 / 8) * (32 / 8);
+            assert_eq!(sg.packed_len(), nblks * cf * (cf + 1) / 2, "cf={cf}");
+        }
+    }
+
+    #[test]
+    fn cr_improvement_factor() {
+        for cf in 1..=8usize {
+            let sg = ScatterGatherChop::new(16, cf).unwrap();
+            let plain = sg.inner().compression_ratio();
+            assert!(
+                (sg.compression_ratio() / plain - sg.improvement_factor()).abs() < 1e-9,
+                "cf={cf}"
+            );
+        }
+        // Paper: improvement is 1.3–1.75× for CF 7..2 — check the endpoints.
+        assert!((ScatterGatherChop::new(16, 7).unwrap().improvement_factor() - 1.75).abs() < 1e-9);
+        assert!(
+            (ScatterGatherChop::new(16, 2).unwrap().improvement_factor() - 4.0 / 3.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn compress_shapes() {
+        let sg = ScatterGatherChop::new(16, 4).unwrap();
+        let x = ramp(&[2, 3, 16, 16]);
+        let packed = sg.compress(&x).unwrap();
+        assert_eq!(packed.dims(), &[2, 3, 4 * 10]); // 4 blocks × 10 triangle values
+        let rec = sg.decompress(&packed).unwrap();
+        assert_eq!(rec.dims(), &[2, 3, 16, 16]);
+    }
+
+    #[test]
+    fn sg_keeps_triangle_exactly() {
+        // Values on the kept triangle round-trip bit-exactly through
+        // gather→scatter (before the inverse DCT).
+        let sg = ScatterGatherChop::new(8, 4).unwrap();
+        let x = ramp(&[8, 8]);
+        let y_plain = sg.inner().compress(&x).unwrap();
+        let packed = sg.compress(&x).unwrap();
+        // packed values are y_plain at triangle positions, in order.
+        let idx = triangle_indices(4, 4);
+        for (k, &ix) in idx.iter().enumerate() {
+            assert_eq!(packed.data()[k], y_plain.data()[ix]);
+        }
+    }
+
+    #[test]
+    fn sg_error_at_least_plain_chop() {
+        // SG discards strictly more coefficients than plain DCT+Chop at the
+        // same CF, so reconstruction error can only grow.
+        let x = ramp(&[1, 1, 32, 32]);
+        for cf in 2..=7usize {
+            let sg = ScatterGatherChop::new(32, cf).unwrap();
+            let plain = sg.inner();
+            let e_sg = sg.roundtrip(&x).unwrap().mse(&x).unwrap();
+            let e_plain = plain.roundtrip(&x).unwrap().mse(&x).unwrap();
+            assert!(e_sg + 1e-12 >= e_plain, "cf={cf}: {e_sg} < {e_plain}");
+        }
+    }
+
+    #[test]
+    fn cf1_sg_equals_plain() {
+        // CF=1 keeps only the DC coefficient either way.
+        let x = ramp(&[1, 1, 16, 16]);
+        let sg = ScatterGatherChop::new(16, 1).unwrap();
+        let rec_sg = sg.roundtrip(&x).unwrap();
+        let rec_plain = sg.inner().roundtrip(&x).unwrap();
+        assert!(rec_sg.allclose(&rec_plain, 1e-5));
+    }
+
+    #[test]
+    fn decompress_rejects_wrong_len() {
+        let sg = ScatterGatherChop::new(16, 4).unwrap();
+        assert!(sg.decompress(&Tensor::zeros([2, 3, 7])).is_err());
+    }
+
+    #[test]
+    fn constant_image_exact_through_sg() {
+        let x = Tensor::full([1, 1, 16, 16], 2.5);
+        for cf in 1..=8usize {
+            let sg = ScatterGatherChop::new(16, cf).unwrap();
+            assert!(sg.roundtrip(&x).unwrap().allclose(&x, 1e-4), "cf={cf}");
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Streaming dataset compression — the §1/§2.3 motivation (training sets
+//! of 10s–100s of GB against 100s of MB of on-chip memory) as an API:
+//! compress or decompress an arbitrarily long stream of `[C, n, n]`
+//! samples in bounded-memory batches, with running statistics.
+//!
+//! The batch size plays the role of the accelerator's static `BD` (§3.1):
+//! it is fixed at construction, and the final partial batch is processed
+//! at the same shape with zero padding — exactly how a static-shape
+//! toolchain would handle a ragged tail.
+
+use aicomp_tensor::Tensor;
+
+use crate::compressor::ChopCompressor;
+use crate::{CoreError, Result};
+
+/// Running statistics of a streaming pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamStats {
+    /// Samples processed.
+    pub samples: u64,
+    /// Device-shaped batches issued (including the padded tail).
+    pub batches: u64,
+    /// Uncompressed bytes consumed.
+    pub bytes_in: u64,
+    /// Compressed bytes produced.
+    pub bytes_out: u64,
+}
+
+impl StreamStats {
+    /// Effective compression ratio so far.
+    pub fn ratio(&self) -> f64 {
+        self.bytes_in as f64 / self.bytes_out.max(1) as f64
+    }
+}
+
+/// Bounded-memory streaming compressor over `[C, n, n]` samples.
+#[derive(Debug)]
+pub struct StreamingCompressor {
+    compressor: ChopCompressor,
+    channels: usize,
+    batch: usize,
+    buffer: Vec<Tensor>,
+    stats: StreamStats,
+}
+
+impl StreamingCompressor {
+    /// Build for samples of `[channels, n, n]`, processing `batch` samples
+    /// per device invocation.
+    pub fn new(n: usize, cf: usize, channels: usize, batch: usize) -> Result<Self> {
+        if batch == 0 || channels == 0 {
+            return Err(CoreError::Tensor(aicomp_tensor::TensorError::Constraint(
+                "batch and channels must be positive".into(),
+            )));
+        }
+        Ok(StreamingCompressor {
+            compressor: ChopCompressor::new(n, cf)?,
+            channels,
+            batch,
+            buffer: Vec::new(),
+            stats: StreamStats::default(),
+        })
+    }
+
+    /// The underlying compressor.
+    pub fn compressor(&self) -> &ChopCompressor {
+        &self.compressor
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Feed one sample; returns a compressed batch when one fills.
+    pub fn push(&mut self, sample: Tensor) -> Result<Option<Tensor>> {
+        let n = self.compressor.resolution();
+        if sample.dims() != [self.channels, n, n] {
+            return Err(CoreError::Tensor(aicomp_tensor::TensorError::ShapeMismatch {
+                op: "streaming push",
+                lhs: sample.dims().to_vec(),
+                rhs: vec![self.channels, n, n],
+            }));
+        }
+        self.buffer.push(sample);
+        if self.buffer.len() == self.batch {
+            Ok(Some(self.flush_buffer(self.batch)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Flush a final partial batch (zero-padded to the static batch shape;
+    /// the returned tensor is truncated back to the real sample count).
+    /// Returns `None` when nothing is buffered.
+    pub fn finish(&mut self) -> Result<Option<Tensor>> {
+        if self.buffer.is_empty() {
+            return Ok(None);
+        }
+        let real = self.buffer.len();
+        let n = self.compressor.resolution();
+        while self.buffer.len() < self.batch {
+            self.buffer.push(Tensor::zeros([self.channels, n, n]));
+        }
+        let full = self.flush_buffer(real)?;
+        // Truncate the padded tail out of the compressed batch.
+        let out = full.slice0(0, real).map_err(CoreError::Tensor)?;
+        Ok(Some(out))
+    }
+
+    fn flush_buffer(&mut self, real_samples: usize) -> Result<Tensor> {
+        let n = self.compressor.resolution();
+        let refs: Vec<&Tensor> = self.buffer.iter().collect();
+        let stacked = Tensor::concat0(&refs).map_err(CoreError::Tensor)?;
+        let batch =
+            stacked.reshape([self.buffer.len(), self.channels, n, n]).map_err(CoreError::Tensor)?;
+        let compressed = self.compressor.compress(&batch)?;
+        self.buffer.clear();
+        self.stats.samples += real_samples as u64;
+        self.stats.batches += 1;
+        self.stats.bytes_in += (real_samples * self.channels * n * n * 4) as u64;
+        let cs = self.compressor.compressed_side();
+        self.stats.bytes_out += (real_samples * self.channels * cs * cs * 4) as u64;
+        Ok(compressed)
+    }
+}
+
+/// Compress an entire sample iterator, collecting the compressed batches.
+/// Memory stays bounded by one batch regardless of the stream length.
+pub fn compress_stream(
+    samples: impl IntoIterator<Item = Tensor>,
+    n: usize,
+    cf: usize,
+    channels: usize,
+    batch: usize,
+) -> Result<(Vec<Tensor>, StreamStats)> {
+    let mut sc = StreamingCompressor::new(n, cf, channels, batch)?;
+    let mut out = Vec::new();
+    for s in samples {
+        if let Some(b) = sc.push(s)? {
+            out.push(b);
+        }
+    }
+    if let Some(tail) = sc.finish()? {
+        out.push(tail);
+    }
+    Ok((out, sc.stats.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: usize) -> Tensor {
+        Tensor::from_vec(
+            (0..3 * 16 * 16).map(|k| ((k + i * 7) % 19) as f32 / 4.0).collect(),
+            [3usize, 16, 16],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batches_emit_when_full() {
+        let mut sc = StreamingCompressor::new(16, 4, 3, 4).unwrap();
+        for i in 0..3 {
+            assert!(sc.push(sample(i)).unwrap().is_none());
+        }
+        let b = sc.push(sample(3)).unwrap().expect("fourth sample fills the batch");
+        assert_eq!(b.dims(), &[4, 3, 8, 8]);
+        assert_eq!(sc.stats().batches, 1);
+        assert_eq!(sc.stats().samples, 4);
+    }
+
+    #[test]
+    fn partial_tail_is_padded_then_truncated() {
+        let mut sc = StreamingCompressor::new(16, 4, 3, 4).unwrap();
+        sc.push(sample(0)).unwrap();
+        sc.push(sample(1)).unwrap();
+        let tail = sc.finish().unwrap().expect("two samples buffered");
+        assert_eq!(tail.dims(), &[2, 3, 8, 8]);
+        assert_eq!(sc.stats().samples, 2);
+        assert!(sc.finish().unwrap().is_none());
+    }
+
+    #[test]
+    fn streaming_matches_monolithic_compression() {
+        let samples: Vec<Tensor> = (0..10).map(sample).collect();
+        let (batches, stats) = compress_stream(samples.clone(), 16, 4, 3, 4).unwrap();
+        assert_eq!(stats.samples, 10);
+        assert_eq!(stats.batches, 3); // 4 + 4 + 2(padded)
+
+        // Concatenate streamed output and compare with one-shot compression.
+        let refs: Vec<&Tensor> = batches.iter().collect();
+        let streamed = Tensor::concat0(&refs).unwrap();
+        let refs2: Vec<&Tensor> = samples.iter().collect();
+        let all = Tensor::concat0(&refs2).unwrap().reshape([10, 3, 16, 16]).unwrap();
+        let mono = ChopCompressor::new(16, 4).unwrap().compress(&all).unwrap();
+        assert!(streamed.allclose(&mono, 1e-5));
+    }
+
+    #[test]
+    fn stats_ratio_matches_eq3() {
+        let samples: Vec<Tensor> = (0..8).map(sample).collect();
+        let (_, stats) = compress_stream(samples, 16, 4, 3, 4).unwrap();
+        assert!((stats.ratio() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_sample_shape_rejected() {
+        let mut sc = StreamingCompressor::new(16, 4, 3, 4).unwrap();
+        assert!(sc.push(Tensor::zeros([1, 16, 16])).is_err());
+        assert!(sc.push(Tensor::zeros([3, 8, 8])).is_err());
+    }
+
+    #[test]
+    fn zero_batch_rejected() {
+        assert!(StreamingCompressor::new(16, 4, 3, 0).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! DCT-II: summation form (Eq. 1) and matrix form (Eq. 2).
+//!
+//! The matrix form is what the compressor uses on-device (it's a matmul);
+//! the summation form exists so tests can cross-check the two, exactly as
+//! the paper presents both.
+
+use aicomp_tensor::Tensor;
+
+use crate::{CoreError, Result};
+
+/// A separable 2-D block transform `D = F · A · Fᵀ` with a known inverse.
+///
+/// DCT-II is orthonormal (`F⁻¹ = Fᵀ`); the ZFP block transform
+/// ([`crate::zfp_transform::ZfpTransform`]) is not, so the trait exposes an
+/// explicit inverse matrix.
+pub trait BlockTransform {
+    /// Side length of the blocks this transform operates on.
+    fn block_size(&self) -> usize;
+    /// The forward transform matrix `F` (block_size × block_size).
+    fn forward_matrix(&self) -> &Tensor;
+    /// The inverse transform matrix `F⁻¹`.
+    fn inverse_matrix(&self) -> &Tensor;
+    /// Short human-readable name (used in bench output).
+    fn name(&self) -> &'static str;
+}
+
+/// The orthonormal DCT-II transform of Eq. 2.
+#[derive(Debug, Clone)]
+pub struct Dct {
+    n: usize,
+    forward: Tensor,
+    inverse: Tensor,
+}
+
+impl Dct {
+    /// Build the `n×n` DCT-II matrix `T` of Eq. 2:
+    /// `T[0][j] = 1/√N`, `T[i][j] = √(2/N)·cos(π(2j+1)i / 2N)` for `i > 0`.
+    pub fn new(n: usize) -> Self {
+        let forward = dct_matrix(n);
+        let inverse = forward.transpose().expect("square matrix");
+        Dct { n, forward, inverse }
+    }
+}
+
+impl BlockTransform for Dct {
+    fn block_size(&self) -> usize {
+        self.n
+    }
+    fn forward_matrix(&self) -> &Tensor {
+        &self.forward
+    }
+    fn inverse_matrix(&self) -> &Tensor {
+        &self.inverse
+    }
+    fn name(&self) -> &'static str {
+        "dct2"
+    }
+}
+
+/// The DCT-II matrix `T` of Eq. 2.
+pub fn dct_matrix(n: usize) -> Tensor {
+    let mut t = Tensor::zeros([n, n]);
+    let nf = n as f64;
+    for i in 0..n {
+        for j in 0..n {
+            let v = if i == 0 {
+                1.0 / nf.sqrt()
+            } else {
+                (2.0 / nf).sqrt()
+                    * ((std::f64::consts::PI * (2.0 * j as f64 + 1.0) * i as f64) / (2.0 * nf))
+                        .cos()
+            };
+            t.set(&[i, j], v as f32);
+        }
+    }
+    t
+}
+
+/// Direct evaluation of the DCT-II summation (Eq. 1) on one `n×n` block.
+///
+/// `D[i][j] = 1/√(2N) · C(i)·C(j) · Σ_x Σ_y p(x,y)·S(x,i)·S(y,j)` with
+/// `S(u,v) = cos((2u+1)vπ / 2N)`, `C(0) = 1/√2`, `C(w>0) = 1`.
+///
+/// The paper's Eq. 1 normalization corresponds to applying the Eq. 2 matrix
+/// on both sides up to the standard `2/N = 1/√(2N)·...` bookkeeping; tests
+/// verify `dct2_naive(A) == T·A·Tᵀ` elementwise.
+pub fn dct2_naive(block: &Tensor) -> Result<Tensor> {
+    let d = block.dims();
+    if d.len() != 2 || d[0] != d[1] {
+        return Err(CoreError::Tensor(aicomp_tensor::TensorError::Constraint(
+            "dct2_naive requires a square matrix".into(),
+        )));
+    }
+    let n = d[0];
+    let nf = n as f64;
+    let c = |w: usize| if w == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+    let s = |u: usize, v: usize| {
+        ((2.0 * u as f64 + 1.0) * v as f64 * std::f64::consts::PI / (2.0 * nf)).cos()
+    };
+    let mut out = Tensor::zeros([n, n]);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for x in 0..n {
+                for y in 0..n {
+                    acc += block.at(&[x, y]) as f64 * s(x, i) * s(y, j);
+                }
+            }
+            // The 2-D orthonormal normalization: (2/N)·C(i)·C(j). The paper
+            // prints 1/√(2N) for the 1-D factor; squared over both
+            // dimensions and combined with C(i)C(j) this is the standard
+            // orthonormal DCT-II, identical to T·A·Tᵀ with T from Eq. 2.
+            out.set(&[i, j], ((2.0 / nf) * c(i) * c(j) * acc) as f32);
+        }
+    }
+    Ok(out)
+}
+
+/// Apply the 2-D matrix-form DCT: `D = T·A·Tᵀ`.
+pub fn dct2(block: &Tensor) -> Result<Tensor> {
+    let n = block.dims()[0];
+    let t = dct_matrix(n);
+    Ok(t.matmul(block)?.matmul(&t.transpose()?)?)
+}
+
+/// Inverse 2-D DCT: `A = Tᵀ·D·T`.
+pub fn idct2(coeffs: &Tensor) -> Result<Tensor> {
+    let n = coeffs.dims()[0];
+    let t = dct_matrix(n);
+    Ok(t.transpose()?.matmul(coeffs)?.matmul(&t)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_matrix_first_row_is_uniform() {
+        let t = dct_matrix(8);
+        let expect = 1.0 / (8f32).sqrt();
+        for j in 0..8 {
+            assert!((t.at(&[0, j]) - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dct_matrix_is_orthonormal() {
+        for n in [4, 8, 16] {
+            let t = dct_matrix(n);
+            let prod = t.matmul(&t.transpose().unwrap()).unwrap();
+            assert!(prod.allclose(&Tensor::eye(n), 1e-5), "n={n}");
+        }
+    }
+
+    #[test]
+    fn matrix_form_matches_naive_summation() {
+        // Eq. 1 (summation) and Eq. 2 (matrix) must agree.
+        let n = 8;
+        let block =
+            Tensor::from_vec((0..n * n).map(|i| ((i * 31 % 17) as f32) - 8.0).collect(), [n, n])
+                .unwrap();
+        let via_matrix = dct2(&block).unwrap();
+        let via_sum = dct2_naive(&block).unwrap();
+        assert!(via_matrix.allclose(&via_sum, 1e-4));
+    }
+
+    #[test]
+    fn dc_coefficient_is_scaled_mean() {
+        // D[0][0] = N * mean(A) for the orthonormal DCT (the paper calls it
+        // "representative of the average value of A").
+        let n = 8;
+        let block = Tensor::full([n, n], 3.0);
+        let d = dct2(&block).unwrap();
+        assert!((d.at(&[0, 0]) - (n as f32) * 3.0).abs() < 1e-4);
+        // Every other coefficient of a constant block is zero.
+        for i in 0..n {
+            for j in 0..n {
+                if i != 0 || j != 0 {
+                    assert!(d.at(&[i, j]).abs() < 1e-4, "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dct_roundtrip_is_identity() {
+        let n = 8;
+        let block =
+            Tensor::from_vec((0..n * n).map(|i| (i as f32).sin()).collect(), [n, n]).unwrap();
+        let rec = idct2(&dct2(&block).unwrap()).unwrap();
+        assert!(rec.allclose(&block, 1e-5));
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        // Orthonormal transform preserves the Frobenius norm.
+        let n = 8;
+        let block =
+            Tensor::from_vec((0..n * n).map(|i| ((i % 9) as f32) - 4.0).collect(), [n, n]).unwrap();
+        let d = dct2(&block).unwrap();
+        assert!((block.sq_norm() - d.sq_norm()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn naive_rejects_non_square() {
+        let m = Tensor::zeros([2, 3]);
+        assert!(dct2_naive(&m).is_err());
+    }
+
+    #[test]
+    fn dct_struct_inverse_is_transpose() {
+        let d = Dct::new(8);
+        let ft = d.forward_matrix().transpose().unwrap();
+        assert!(d.inverse_matrix().allclose(&ft, 0.0));
+        assert_eq!(d.name(), "dct2");
+        assert_eq!(d.block_size(), 8);
+    }
+}

@@ -1,0 +1,227 @@
+//! Chop-factor selection: spectral analysis and quality-targeted tuning.
+//!
+//! The paper sweeps CF 2..7 and reads accuracy off the plots; this module
+//! gives the downstream user the tool the paper implies: measure where a
+//! dataset's energy lives in the 8×8 DCT spectrum, predict the
+//! reconstruction error each CF would incur (exact, by Parseval — chop
+//! error equals the discarded coefficient energy), and pick the smallest
+//! CF (highest CR) meeting a quality target.
+
+use aicomp_tensor::Tensor;
+
+use crate::compressor::ChopCompressor;
+use crate::transform::dct_matrix;
+use crate::{CoreError, Result, BLOCK};
+
+/// Mean squared DCT coefficient magnitude per 8×8 index over a dataset —
+/// the data's block spectrum.
+#[derive(Debug, Clone)]
+pub struct BlockSpectrum {
+    /// `energy[i][j]` = mean of `D[i][j]²` over all blocks.
+    pub energy: [[f64; BLOCK]; BLOCK],
+    /// Number of blocks measured.
+    pub blocks: u64,
+}
+
+impl BlockSpectrum {
+    /// Measure the spectrum of `[..., n, n]` data (n divisible by 8).
+    #[allow(clippy::needless_range_loop)] // 2-D energy accumulation reads naturally indexed
+    pub fn measure(data: &Tensor) -> Result<BlockSpectrum> {
+        let d = data.dims();
+        if d.len() < 2 {
+            return Err(CoreError::Tensor(aicomp_tensor::TensorError::Constraint(
+                "spectrum needs at least rank-2 data".into(),
+            )));
+        }
+        let n = d[d.len() - 1];
+        if d[d.len() - 2] != n || !n.is_multiple_of(BLOCK) {
+            return Err(CoreError::BadResolution { n, block: BLOCK });
+        }
+        let t = dct_matrix(BLOCK);
+        let tt = t.transpose()?;
+        let slices = data.numel() / (n * n);
+        let mut energy = [[0.0f64; BLOCK]; BLOCK];
+        let mut blocks = 0u64;
+        for s in 0..slices {
+            let plane = Tensor::from_vec(data.data()[s * n * n..(s + 1) * n * n].to_vec(), [n, n])?;
+            let blk = plane.to_blocks(BLOCK)?;
+            for chunk in blk.data().chunks_exact(BLOCK * BLOCK) {
+                let b = Tensor::from_vec(chunk.to_vec(), [BLOCK, BLOCK])?;
+                let d = t.matmul(&b)?.matmul(&tt)?;
+                for i in 0..BLOCK {
+                    for j in 0..BLOCK {
+                        let v = d.at(&[i, j]) as f64;
+                        energy[i][j] += v * v;
+                    }
+                }
+                blocks += 1;
+            }
+        }
+        for row in &mut energy {
+            for e in row.iter_mut() {
+                *e /= blocks.max(1) as f64;
+            }
+        }
+        Ok(BlockSpectrum { energy, blocks })
+    }
+
+    /// Total mean energy per block (equals the data's mean squared value
+    /// × 64, by Parseval).
+    pub fn total(&self) -> f64 {
+        self.energy.iter().flatten().sum()
+    }
+
+    /// Energy retained by a `cf×cf` chop.
+    pub fn retained(&self, cf: usize) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..cf.min(BLOCK) {
+            for j in 0..cf.min(BLOCK) {
+                acc += self.energy[i][j];
+            }
+        }
+        acc
+    }
+
+    /// Predicted per-pixel MSE of DCT+Chop at `cf`: the discarded energy
+    /// divided by the block's pixel count (exact for the orthonormal DCT).
+    pub fn predicted_mse(&self, cf: usize) -> f64 {
+        (self.total() - self.retained(cf)) / (BLOCK * BLOCK) as f64
+    }
+
+    /// Fraction of energy inside the `cf×cf` corner.
+    pub fn compaction(&self, cf: usize) -> f64 {
+        self.retained(cf) / self.total().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Pick the smallest CF (highest CR) whose *predicted* PSNR meets
+/// `min_psnr_db` for data shaped like `sample`. Returns the configured
+/// compressor, or `None` if even CF 8 (lossless) can't be predicted to meet
+/// it (only possible for degenerate zero-range data).
+pub fn tune_for_psnr(sample: &Tensor, min_psnr_db: f64) -> Result<Option<ChopCompressor>> {
+    let spectrum = BlockSpectrum::measure(sample)?;
+    let range = (sample.max() - sample.min()) as f64;
+    if range <= 0.0 {
+        // Constant data: CF 1 keeps the DC coefficient — exact.
+        let n = sample.dims()[sample.dims().len() - 1];
+        return Ok(Some(ChopCompressor::new(n, 1)?));
+    }
+    let n = sample.dims()[sample.dims().len() - 1];
+    for cf in 1..=BLOCK {
+        let mse = spectrum.predicted_mse(cf);
+        let psnr = if mse <= 0.0 { f64::INFINITY } else { 10.0 * (range * range / mse).log10() };
+        if psnr >= min_psnr_db {
+            return Ok(Some(ChopCompressor::new(n, cf)?));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::quality;
+
+    fn smooth(n: usize) -> Tensor {
+        Tensor::from_vec(
+            (0..n * n)
+                .map(|i| {
+                    let (y, x) = (i / n, i % n);
+                    ((y as f32) * 0.12).sin() + ((x as f32) * 0.1).cos()
+                })
+                .collect(),
+            [1usize, 1, n, n],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parseval_total_energy() {
+        let x = smooth(32);
+        let s = BlockSpectrum::measure(&x).unwrap();
+        // Mean block energy = 64 × mean squared pixel value.
+        let mean_sq = x.sq_norm() / x.numel() as f64;
+        assert!((s.total() - 64.0 * mean_sq).abs() / (64.0 * mean_sq) < 1e-4);
+    }
+
+    #[test]
+    fn predicted_mse_matches_actual_chop_error() {
+        // The headline property: chop error == discarded energy (Parseval).
+        let x = smooth(32);
+        let s = BlockSpectrum::measure(&x).unwrap();
+        for cf in [2usize, 4, 6] {
+            let c = ChopCompressor::new(32, cf).unwrap();
+            let actual = c.roundtrip(&x).unwrap().mse(&x).unwrap();
+            let predicted = s.predicted_mse(cf);
+            assert!(
+                (actual - predicted).abs() <= 1e-6 + predicted * 0.01,
+                "cf={cf}: actual {actual} vs predicted {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_increases_with_cf() {
+        let x = smooth(32);
+        let s = BlockSpectrum::measure(&x).unwrap();
+        let mut last = 0.0;
+        for cf in 1..=8 {
+            let c = s.compaction(cf);
+            assert!(c >= last);
+            last = c;
+        }
+        assert!((last - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smooth_data_is_compact() {
+        // Low-frequency data concentrates in the 2×2 corner.
+        let s = BlockSpectrum::measure(&smooth(32)).unwrap();
+        assert!(s.compaction(2) > 0.95, "compaction {}", s.compaction(2));
+    }
+
+    #[test]
+    fn tuner_meets_its_target() {
+        let x = smooth(32);
+        for target in [20.0f64, 35.0, 60.0] {
+            let comp = tune_for_psnr(&x, target).unwrap().expect("achievable");
+            let rec = comp.roundtrip(&x).unwrap();
+            let q = quality(&x, &rec).unwrap();
+            assert!(
+                q.psnr_db >= target - 0.5,
+                "target {target}: got {} at CF {}",
+                q.psnr_db,
+                comp.chop_factor()
+            );
+        }
+    }
+
+    #[test]
+    fn tuner_prefers_higher_cr_for_looser_targets() {
+        let x = {
+            // Mixed-frequency data so different targets pick different CFs.
+            let mut t = smooth(32);
+            let mut rng = Tensor::seeded_rng(9);
+            let noise = Tensor::rand_uniform([1usize, 1, 32, 32], -0.2, 0.2, &mut rng);
+            t = t.add(&noise).unwrap();
+            t
+        };
+        let loose = tune_for_psnr(&x, 15.0).unwrap().unwrap();
+        let tight = tune_for_psnr(&x, 50.0).unwrap().unwrap();
+        assert!(loose.chop_factor() < tight.chop_factor());
+        assert!(loose.compression_ratio() > tight.compression_ratio());
+    }
+
+    #[test]
+    fn constant_data_tunes_to_cf1() {
+        let x = Tensor::full([1, 1, 16, 16], 3.0);
+        let comp = tune_for_psnr(&x, 100.0).unwrap().unwrap();
+        assert_eq!(comp.chop_factor(), 1);
+    }
+
+    #[test]
+    fn spectrum_rejects_bad_shapes() {
+        assert!(BlockSpectrum::measure(&Tensor::zeros([5])).is_err());
+        assert!(BlockSpectrum::measure(&Tensor::zeros([12, 12])).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! The ZFP block transform as an alternative to DCT-II — the paper's
+//! future-work item ("we can test using the ZFP block transform instead of
+//! DCT-II", §6).
+//!
+//! ZFP's decorrelating transform operates on 4-element vectors and is
+//! implemented in the original codec as a lifting scheme. Its matrix form is
+//!
+//! ```text
+//!          ( 4  4  4  4)
+//! 1/16 ·   ( 5  1 -1 -5)
+//!          (-4  4  4 -4)
+//!          (-2  6 -6  2)
+//! ```
+//!
+//! Unlike DCT-II it is *not* orthonormal, so the Chop pipeline must use its
+//! explicit inverse on the decompression side (`ChopCompressor` handles this
+//! through the [`BlockTransform`] trait).
+
+use aicomp_tensor::Tensor;
+
+use crate::transform::BlockTransform;
+
+/// The 4-point ZFP decorrelating transform.
+#[derive(Debug, Clone)]
+pub struct ZfpTransform {
+    forward: Tensor,
+    inverse: Tensor,
+}
+
+impl ZfpTransform {
+    /// Build the transform (and its exact inverse).
+    pub fn new() -> Self {
+        let forward = zfp_forward_matrix();
+        let inverse = invert4(&forward);
+        ZfpTransform { forward, inverse }
+    }
+}
+
+impl Default for ZfpTransform {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockTransform for ZfpTransform {
+    fn block_size(&self) -> usize {
+        4
+    }
+    fn forward_matrix(&self) -> &Tensor {
+        &self.forward
+    }
+    fn inverse_matrix(&self) -> &Tensor {
+        &self.inverse
+    }
+    fn name(&self) -> &'static str {
+        "zfp-block"
+    }
+}
+
+/// The ZFP forward transform matrix (1/16 scaling folded in).
+pub fn zfp_forward_matrix() -> Tensor {
+    let m = [
+        [4.0, 4.0, 4.0, 4.0],
+        [5.0, 1.0, -1.0, -5.0],
+        [-4.0, 4.0, 4.0, -4.0],
+        [-2.0, 6.0, -6.0, 2.0],
+    ];
+    let data: Vec<f32> = m.iter().flatten().map(|&v: &f32| v / 16.0).collect();
+    Tensor::from_vec(data, [4, 4]).expect("static 4x4")
+}
+
+/// The ZFP forward transform as the lifting scheme the real codec uses
+/// (floating-point variant: shifts become halvings). Used to cross-check
+/// the matrix form.
+pub fn zfp_forward_lift(v: [f32; 4]) -> [f32; 4] {
+    let [mut x, mut y, mut z, mut w] = v;
+    x += w;
+    x /= 2.0;
+    w -= x;
+    z += y;
+    z /= 2.0;
+    y -= z;
+    x += z;
+    x /= 2.0;
+    z -= x;
+    w += y;
+    w /= 2.0;
+    y -= w;
+    w += y / 2.0;
+    y -= w / 2.0;
+    [x, y, z, w]
+}
+
+/// Invert a 4×4 matrix by Gauss-Jordan elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // Gauss-Jordan reads naturally with indices
+fn invert4(m: &Tensor) -> Tensor {
+    let n = 4usize;
+    let mut a = [[0.0f64; 8]; 4];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = m.at(&[i, j]) as f64;
+        }
+        a[i][n + i] = 1.0;
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&r1, &r2| a[r1][col].abs().partial_cmp(&a[r2][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, pivot);
+        let p = a[col][col];
+        assert!(p.abs() > 1e-12, "singular transform matrix");
+        for j in 0..2 * n {
+            a[col][j] /= p;
+        }
+        for r in 0..n {
+            if r != col {
+                let f = a[r][col];
+                for j in 0..2 * n {
+                    a[r][j] -= f * a[col][j];
+                }
+            }
+        }
+    }
+    let mut out = Tensor::zeros([n, n]);
+    for i in 0..n {
+        for j in 0..n {
+            out.set(&[i, j], a[i][n + j] as f32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::ChopCompressor;
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn matrix_matches_lifting_scheme() {
+        // Applying the matrix to basis vectors must reproduce the lifting
+        // scheme's output columns.
+        let f = zfp_forward_matrix();
+        for basis in 0..4 {
+            let mut v = [0.0f32; 4];
+            v[basis] = 1.0;
+            let lifted = zfp_forward_lift(v);
+            for row in 0..4 {
+                assert!(
+                    (f.at(&[row, basis]) - lifted[row]).abs() < 1e-6,
+                    "row {row} basis {basis}: {} vs {}",
+                    f.at(&[row, basis]),
+                    lifted[row]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_exact() {
+        let t = ZfpTransform::new();
+        let prod = t.forward_matrix().matmul(t.inverse_matrix()).unwrap();
+        assert!(prod.allclose(&Tensor::eye(4), 1e-5));
+    }
+
+    #[test]
+    fn transform_is_not_orthonormal() {
+        // The reason ChopCompressor carries an explicit inverse.
+        let t = ZfpTransform::new();
+        let ftf = t.forward_matrix().matmul(&t.forward_matrix().transpose().unwrap()).unwrap();
+        assert!(!ftf.allclose(&Tensor::eye(4), 1e-3));
+    }
+
+    #[test]
+    fn chop_with_zfp_transform_full_cf_is_lossless() {
+        let t = ZfpTransform::new();
+        let c = ChopCompressor::with_transform(&t, 16, 4).unwrap();
+        let x =
+            Tensor::from_vec((0..256).map(|i| ((i % 23) as f32) - 11.0).collect(), [1, 1, 16, 16])
+                .unwrap();
+        let rec = c.roundtrip(&x).unwrap();
+        assert!(rec.allclose(&x, 1e-4));
+    }
+
+    #[test]
+    fn chop_with_zfp_transform_lossy_roundtrip_reasonable() {
+        // Smooth data should survive a cf=2 (CR=4) chop with modest error.
+        let t = ZfpTransform::new();
+        let c = ChopCompressor::with_transform(&t, 16, 2).unwrap();
+        let x = Tensor::from_vec(
+            (0..256)
+                .map(|i| {
+                    let (r, cidx) = (i / 16, i % 16);
+                    ((r as f32) * 0.1 + (cidx as f32) * 0.05).sin()
+                })
+                .collect(),
+            [1, 1, 16, 16],
+        )
+        .unwrap();
+        let rec = c.roundtrip(&x).unwrap();
+        let mse = rec.mse(&x).unwrap();
+        assert!(mse < 0.05, "mse {mse}");
+        assert_eq!(c.compression_ratio(), 4.0);
+    }
+
+    #[test]
+    fn dc_row_averages() {
+        // First row of the ZFP transform is the block mean (all 4/16).
+        let f = zfp_forward_matrix();
+        for j in 0..4 {
+            assert!((f.at(&[0, j]) - 0.25).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the DCT+Chop compressor invariants.
+
+use aicomp_core::compressor::ChopCompressor;
+use aicomp_core::scatter_gather::ScatterGatherChop;
+use aicomp_core::transform::{dct2, idct2};
+use aicomp_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(n: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-100.0f32..100.0, n * n)
+        .prop_map(move |v| Tensor::from_vec(v, [1usize, 1, n, n]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Orthonormal DCT round-trips any block exactly (within fp tolerance).
+    #[test]
+    fn dct_roundtrip(v in prop::collection::vec(-1000.0f32..1000.0, 64)) {
+        let block = Tensor::from_vec(v, [8usize, 8]).unwrap();
+        let rec = idct2(&dct2(&block).unwrap()).unwrap();
+        prop_assert!(rec.allclose(&block, 1e-2));
+    }
+
+    /// Parseval: the DCT preserves energy.
+    #[test]
+    fn dct_preserves_energy(v in prop::collection::vec(-100.0f32..100.0, 64)) {
+        let block = Tensor::from_vec(v, [8usize, 8]).unwrap();
+        let d = dct2(&block).unwrap();
+        let rel = (block.sq_norm() - d.sq_norm()).abs() / block.sq_norm().max(1.0);
+        prop_assert!(rel < 1e-4);
+    }
+
+    /// Chop is a projection: compressing a reconstruction reproduces the
+    /// same compressed representation.
+    #[test]
+    fn chop_is_projection(x in tensor_strategy(16), cf in 1usize..=8) {
+        let c = ChopCompressor::new(16, cf).unwrap();
+        let y1 = c.compress(&x).unwrap();
+        let y2 = c.compress(&c.decompress(&y1).unwrap()).unwrap();
+        prop_assert!(y1.allclose(&y2, 1e-2));
+    }
+
+    /// Reconstruction energy never exceeds input energy (orthonormal
+    /// transform + coefficient discarding).
+    #[test]
+    fn chop_energy_contraction(x in tensor_strategy(16), cf in 1usize..=8) {
+        let c = ChopCompressor::new(16, cf).unwrap();
+        let rec = c.roundtrip(&x).unwrap();
+        prop_assert!(rec.sq_norm() <= x.sq_norm() * (1.0 + 1e-4) + 1e-3);
+    }
+
+    /// CF=8 is lossless for any input.
+    #[test]
+    fn cf8_lossless(x in tensor_strategy(16)) {
+        let c = ChopCompressor::new(16, 8).unwrap();
+        let rec = c.roundtrip(&x).unwrap();
+        let rel_tol = 1e-4 * (1.0 + x.max().abs().max(x.min().abs()));
+        prop_assert!(rec.allclose(&x, rel_tol));
+    }
+
+    /// The compressor is linear: C(a·x + y) == a·C(x) + C(y).
+    #[test]
+    fn compressor_is_linear(
+        xv in prop::collection::vec(-10.0f32..10.0, 256),
+        yv in prop::collection::vec(-10.0f32..10.0, 256),
+        a in -4.0f32..4.0,
+    ) {
+        let x = Tensor::from_vec(xv, [1usize, 1, 16, 16]).unwrap();
+        let y = Tensor::from_vec(yv, [1usize, 1, 16, 16]).unwrap();
+        let c = ChopCompressor::new(16, 5).unwrap();
+        let lhs = c.compress(&x.scale(a).add(&y).unwrap()).unwrap();
+        let rhs = c.compress(&x).unwrap().scale(a).add(&c.compress(&y).unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 0.05));
+    }
+
+    /// Scatter/gather packing is exactly invertible back to the chopped
+    /// representation (the loss relative to plain chop comes only from the
+    /// dropped lower-right triangle).
+    #[test]
+    fn sg_roundtrip_matches_triangle_mask(x in tensor_strategy(16), cf in 1usize..=8) {
+        let sg = ScatterGatherChop::new(16, cf).unwrap();
+        let rec1 = sg.roundtrip(&x).unwrap();
+        let rec2 = sg.roundtrip(&rec1).unwrap();
+        // After one SG roundtrip the data lies in the kept-triangle
+        // subspace; a second roundtrip must be (nearly) the identity.
+        prop_assert!(rec2.allclose(&rec1, 0.02));
+    }
+}

@@ -1,0 +1,162 @@
+//! Lossy-compression hooks for activations and gradients — the paper's
+//! future-work compression targets (Fig. 1's blue targets; §2.2 cites
+//! ActNN/COMET for activations and QSGD/3LC for gradients).
+//!
+//! * [`Tape::lossy`] inserts a compress→decompress round-trip into the
+//!   forward pass at any point (activation compression). The backward pass
+//!   either passes gradients straight through (the standard
+//!   straight-through estimator, as ActNN-style training uses) or
+//!   round-trips the gradient too (modeling compressed gradient exchange).
+//! * [`CompressedGradients`] wraps an optimizer and round-trips every
+//!   parameter gradient before the update (distributed-training gradient
+//!   compression, where gradients cross the interconnect compressed).
+
+use std::rc::Rc;
+
+use aicomp_tensor::Tensor;
+
+use crate::optim::Optimizer;
+use crate::tape::{Param, Tape, Var};
+
+/// A lossy round-trip applied inside the training graph.
+pub type LossyFn = Rc<dyn Fn(&Tensor) -> Tensor>;
+
+/// What the backward pass does at a lossy node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossyBackward {
+    /// Straight-through estimator: `dx = dy` (activation compression).
+    StraightThrough,
+    /// Round-trip the gradient as well (gradient compression).
+    CompressGradient,
+}
+
+impl Tape {
+    /// Insert a lossy round-trip: forward emits `f(x)`, backward per
+    /// `mode`. The round-trip must preserve the tensor's shape.
+    pub fn lossy(&mut self, x: Var, f: LossyFn, mode: LossyBackward) -> Var {
+        let input = self.value(x).clone();
+        let out = f(&input);
+        assert_eq!(out.dims(), input.dims(), "lossy round-trip must preserve shape");
+        let f_back = f.clone();
+        self.push(
+            out,
+            vec![x.0],
+            Some(Box::new(move |g: &Tensor| match mode {
+                LossyBackward::StraightThrough => vec![g.clone()],
+                LossyBackward::CompressGradient => vec![f_back(g)],
+            })),
+        )
+    }
+}
+
+/// Optimizer wrapper that compresses every parameter gradient before the
+/// inner optimizer consumes it.
+pub struct CompressedGradients<O: Optimizer> {
+    inner: O,
+    roundtrip: Rc<dyn Fn(&Tensor) -> Tensor>,
+}
+
+impl<O: Optimizer> CompressedGradients<O> {
+    /// Wrap `inner`; `roundtrip` is applied to each gradient (any shape).
+    pub fn new(inner: O, roundtrip: Rc<dyn Fn(&Tensor) -> Tensor>) -> Self {
+        CompressedGradients { inner, roundtrip }
+    }
+}
+
+impl<O: Optimizer> Optimizer for CompressedGradients<O> {
+    fn step(&mut self) {
+        for p in self.inner.params() {
+            let g = p.grad();
+            let compressed = (self.roundtrip)(&g);
+            p.zero_grad();
+            p.accumulate_grad(&compressed);
+        }
+        self.inner.step();
+    }
+
+    fn zero_grad(&mut self) {
+        self.inner.zero_grad();
+    }
+
+    fn params(&self) -> &[Param] {
+        self.inner.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    fn halving_roundtrip() -> LossyFn {
+        Rc::new(|t: &Tensor| t.scale(0.5))
+    }
+
+    #[test]
+    fn lossy_forward_applies_roundtrip() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::full([4], 2.0));
+        let y = tape.lossy(x, halving_roundtrip(), LossyBackward::StraightThrough);
+        assert_eq!(tape.value(y).data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn straight_through_passes_gradient_unchanged() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::full([4], 2.0));
+        let y = tape.lossy(x, halving_roundtrip(), LossyBackward::StraightThrough);
+        let loss = tape.mean_all(y);
+        let grads = tape.backward(loss);
+        // d mean(0.5x)/dx would be 0.125 per element, but straight-through
+        // reports the post-roundtrip gradient 0.25 unchanged.
+        assert_eq!(grads[x.0].as_ref().unwrap().data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn compress_gradient_mode_roundtrips_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::full([4], 2.0));
+        let y = tape.lossy(x, halving_roundtrip(), LossyBackward::CompressGradient);
+        let loss = tape.mean_all(y);
+        let grads = tape.backward(loss);
+        assert_eq!(grads[x.0].as_ref().unwrap().data(), &[0.125; 4]);
+    }
+
+    #[test]
+    fn compressed_gradients_modify_update() {
+        let p = Param::new(Tensor::zeros([2]), "w");
+        let mut opt =
+            CompressedGradients::new(Sgd::new(vec![p.clone()], 1.0, 0.0), halving_roundtrip());
+        p.accumulate_grad(&Tensor::ones([2]));
+        opt.step();
+        // Update = −lr × 0.5·g.
+        assert_eq!(p.value().data(), &[-0.5, -0.5]);
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn lossless_roundtrip_is_transparent_to_training() {
+        // Identity round-trip: training must proceed exactly as without
+        // the hook.
+        let identity: LossyFn = Rc::new(|t: &Tensor| t.clone());
+        let target = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+        let run = |with_hook: bool| {
+            let w = Param::new(Tensor::zeros([2]), "w");
+            let mut opt = Sgd::new(vec![w.clone()], 0.5, 0.0);
+            for _ in 0..5 {
+                let mut tape = Tape::new();
+                let wv = tape.param(&w);
+                let v = if with_hook {
+                    tape.lossy(wv, identity.clone(), LossyBackward::CompressGradient)
+                } else {
+                    wv
+                };
+                let loss = tape.mse_loss(v, &target);
+                tape.backward(loss);
+                opt.step();
+            }
+            w.value()
+        };
+        assert!(run(true).allclose(&run(false), 1e-7));
+    }
+}

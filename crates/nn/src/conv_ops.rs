@@ -1,0 +1,652 @@
+//! Convolution, pooling, upsampling, concat, and batch-norm tape ops.
+
+use aicomp_tensor::conv::{col2im, conv_out_size, im2col};
+use aicomp_tensor::Tensor;
+
+use crate::tape::{Tape, Var};
+
+#[allow(clippy::needless_range_loop)] // conv index arithmetic is clearer with explicit loops
+impl Tape {
+    /// 2-D convolution: `x [B,C,H,W]`, `w [OC,C,KH,KW]`, `b [OC]`.
+    pub fn conv2d(&mut self, x: Var, w: Var, b: Var, stride: usize, pad: usize) -> Var {
+        let xv = self.value(x).clone();
+        let wv = self.value(w).clone();
+        let bv = self.value(b).clone();
+        let (bs, c, h, wd) = {
+            let d = xv.dims();
+            (d[0], d[1], d[2], d[3])
+        };
+        let (oc, kh, kw) = {
+            let d = wv.dims();
+            (d[0], d[2], d[3])
+        };
+        let oh = conv_out_size(h, kh, stride, pad);
+        let ow = conv_out_size(wd, kw, stride, pad);
+
+        // Forward via im2col; cache the column matrix for backward.
+        let cols = im2col(&xv, kh, kw, stride, pad).expect("conv shapes"); // [B, C*KH*KW, OH*OW]
+        let wmat = wv.reshape([oc, c * kh * kw]).expect("weight reshape");
+        let mut out = cols.lmatmul_broadcast(&wmat).expect("conv matmul");
+        out = out.reshaped([bs, oc, oh, ow]).expect("conv output shape");
+        {
+            let plane = oh * ow;
+            let data = out.data_mut();
+            for n in 0..bs {
+                for o in 0..oc {
+                    let bias = bv.data()[o];
+                    let off = (n * oc + o) * plane;
+                    for v in &mut data[off..off + plane] {
+                        *v += bias;
+                    }
+                }
+            }
+        }
+
+        self.push(
+            out,
+            vec![x.0, w.0, b.0],
+            Some(Box::new(move |g: &Tensor| {
+                let plane = oh * ow;
+                // dB: sum over batch and spatial.
+                let mut db = vec![0.0f32; oc];
+                for n in 0..bs {
+                    for o in 0..oc {
+                        let off = (n * oc + o) * plane;
+                        db[o] += g.data()[off..off + plane].iter().sum::<f32>();
+                    }
+                }
+                // Gradient as matrices: g is [B, OC, OH*OW].
+                let gmat = g.reshape([bs, oc, plane]).expect("grad reshape");
+                // dW = Σ_b g_b · cols_bᵀ  → [OC, C*KH*KW]
+                let colst = cols.transpose_last2().expect("cols transpose"); // [B, OH*OW, CKK]
+                let dw_batched = gmat.bmm(&colst).expect("dW bmm"); // [B, OC, CKK]
+                let ckk = c * kh * kw;
+                let mut dw = vec![0.0f32; oc * ckk];
+                for bch in dw_batched.data().chunks_exact(oc * ckk) {
+                    for (acc, &v) in dw.iter_mut().zip(bch.iter()) {
+                        *acc += v;
+                    }
+                }
+                let dw = Tensor::from_vec(dw, [oc, c, kh, kw]).expect("dW shape");
+                // dX = col2im(Wᵀ · g)
+                let wmat_t = wmat.transpose().expect("2d"); // [CKK, OC]
+                let dcols = gmat.lmatmul_broadcast(&wmat_t).expect("dcols"); // [B, CKK, OH*OW]
+                let dx = col2im(&dcols, bs, c, h, wd, kh, kw, stride, pad).expect("col2im");
+                vec![dx, dw, Tensor::from_vec(db, [oc]).expect("db shape")]
+            })),
+        )
+    }
+
+    /// 2×2 max pooling with stride 2 on `[B,C,H,W]` (H, W even).
+    pub fn maxpool2(&mut self, x: Var) -> Var {
+        let xv = self.value(x).clone();
+        let d = xv.dims();
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        assert!(h % 2 == 0 && w % 2 == 0, "maxpool2 requires even dims");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let mut argmax = vec![0usize; b * c * oh * ow];
+        let src = xv.data();
+        for img in 0..b * c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_ix = 0usize;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let ix = img * h * w + (oy * 2 + dy) * w + ox * 2 + dx;
+                            if src[ix] > best {
+                                best = src[ix];
+                                best_ix = ix;
+                            }
+                        }
+                    }
+                    let o = img * oh * ow + oy * ow + ox;
+                    out[o] = best;
+                    argmax[o] = best_ix;
+                }
+            }
+        }
+        let numel_in = xv.numel();
+        let value = Tensor::from_vec(out, [b, c, oh, ow]).expect("pool shape");
+        self.push(
+            value,
+            vec![x.0],
+            Some(Box::new(move |g: &Tensor| {
+                let mut dx = vec![0.0f32; numel_in];
+                for (o, &src_ix) in argmax.iter().enumerate() {
+                    dx[src_ix] += g.data()[o];
+                }
+                vec![Tensor::from_vec(dx, [b, c, h, w]).expect("pool grad shape")]
+            })),
+        )
+    }
+
+    /// 2×2 average pooling with stride 2.
+    pub fn avgpool2(&mut self, x: Var) -> Var {
+        let xv = self.value(x).clone();
+        let d = xv.dims();
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        assert!(h % 2 == 0 && w % 2 == 0, "avgpool2 requires even dims");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let src = xv.data();
+        for img in 0..b * c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            acc += src[img * h * w + (oy * 2 + dy) * w + ox * 2 + dx];
+                        }
+                    }
+                    out[img * oh * ow + oy * ow + ox] = acc / 4.0;
+                }
+            }
+        }
+        let value = Tensor::from_vec(out, [b, c, oh, ow]).expect("pool shape");
+        self.push(
+            value,
+            vec![x.0],
+            Some(Box::new(move |g: &Tensor| {
+                let mut dx = vec![0.0f32; b * c * h * w];
+                for img in 0..b * c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let gv = g.data()[img * oh * ow + oy * ow + ox] / 4.0;
+                            for dy in 0..2 {
+                                for dx2 in 0..2 {
+                                    dx[img * h * w + (oy * 2 + dy) * w + ox * 2 + dx2] += gv;
+                                }
+                            }
+                        }
+                    }
+                }
+                vec![Tensor::from_vec(dx, [b, c, h, w]).expect("pool grad shape")]
+            })),
+        )
+    }
+
+    /// Global average pooling: `[B,C,H,W] → [B,C]`.
+    pub fn global_avgpool(&mut self, x: Var) -> Var {
+        let xv = self.value(x).clone();
+        let d = xv.dims();
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let plane = h * w;
+        let mut out = vec![0.0f32; b * c];
+        for (i, chunk) in xv.data().chunks_exact(plane).enumerate() {
+            out[i] = chunk.iter().sum::<f32>() / plane as f32;
+        }
+        let value = Tensor::from_vec(out, [b, c]).expect("gap shape");
+        self.push(
+            value,
+            vec![x.0],
+            Some(Box::new(move |g: &Tensor| {
+                let mut dx = vec![0.0f32; b * c * plane];
+                for (i, chunk) in dx.chunks_exact_mut(plane).enumerate() {
+                    let gv = g.data()[i] / plane as f32;
+                    for v in chunk {
+                        *v = gv;
+                    }
+                }
+                vec![Tensor::from_vec(dx, [b, c, h, w]).expect("gap grad shape")]
+            })),
+        )
+    }
+
+    /// Nearest-neighbour 2× upsampling.
+    pub fn upsample2(&mut self, x: Var) -> Var {
+        let xv = self.value(x).clone();
+        let d = xv.dims();
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let (oh, ow) = (h * 2, w * 2);
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let src = xv.data();
+        for img in 0..b * c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    out[img * oh * ow + oy * ow + ox] = src[img * h * w + (oy / 2) * w + ox / 2];
+                }
+            }
+        }
+        let value = Tensor::from_vec(out, [b, c, oh, ow]).expect("upsample shape");
+        self.push(
+            value,
+            vec![x.0],
+            Some(Box::new(move |g: &Tensor| {
+                let mut dx = vec![0.0f32; b * c * h * w];
+                for img in 0..b * c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            dx[img * h * w + (oy / 2) * w + ox / 2] +=
+                                g.data()[img * oh * ow + oy * ow + ox];
+                        }
+                    }
+                }
+                vec![Tensor::from_vec(dx, [b, c, h, w]).expect("upsample grad shape")]
+            })),
+        )
+    }
+
+    /// Channel concat of two `[B,C?,H,W]` tensors (UNet skip connections).
+    pub fn concat_channels(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let v = av.concat_channels(&bv).expect("concat shapes");
+        let (bs, c1, h, w) = {
+            let d = av.dims();
+            (d[0], d[1], d[2], d[3])
+        };
+        let c2 = bv.dims()[1];
+        self.push(
+            v,
+            vec![a.0, b.0],
+            Some(Box::new(move |g: &Tensor| {
+                let plane = h * w;
+                let mut da = vec![0.0f32; bs * c1 * plane];
+                let mut db = vec![0.0f32; bs * c2 * plane];
+                for n in 0..bs {
+                    let src = &g.data()[n * (c1 + c2) * plane..(n + 1) * (c1 + c2) * plane];
+                    da[n * c1 * plane..(n + 1) * c1 * plane].copy_from_slice(&src[..c1 * plane]);
+                    db[n * c2 * plane..(n + 1) * c2 * plane].copy_from_slice(&src[c1 * plane..]);
+                }
+                vec![
+                    Tensor::from_vec(da, [bs, c1, h, w]).expect("concat grad a"),
+                    Tensor::from_vec(db, [bs, c2, h, w]).expect("concat grad b"),
+                ]
+            })),
+        )
+    }
+
+    /// Batch normalization over `[B,C,H,W]` (training mode): per-channel
+    /// standardization with learnable `gamma [C]`, `beta [C]`.
+    pub fn batchnorm2d(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        self.batchnorm2d_with_stats(x, gamma, beta, eps).0
+    }
+
+    /// As [`Tape::batchnorm2d`], also returning the batch's per-channel
+    /// (mean, variance) so layers can maintain running statistics for
+    /// inference mode.
+    pub fn batchnorm2d_with_stats(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    ) -> (Var, Vec<f32>, Vec<f32>) {
+        let xv = self.value(x).clone();
+        let gv = self.value(gamma).clone();
+        let bv = self.value(beta).clone();
+        let d = xv.dims();
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let m = (b * h * w) as f32; // reduction size per channel
+        let plane = h * w;
+
+        // Per-channel mean and variance.
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for ci in 0..c {
+            let mut acc = 0.0f64;
+            for n in 0..b {
+                let off = (n * c + ci) * plane;
+                acc += xv.data()[off..off + plane].iter().map(|&v| v as f64).sum::<f64>();
+            }
+            mean[ci] = (acc / m as f64) as f32;
+        }
+        for ci in 0..c {
+            let mu = mean[ci] as f64;
+            let mut acc = 0.0f64;
+            for n in 0..b {
+                let off = (n * c + ci) * plane;
+                acc += xv.data()[off..off + plane]
+                    .iter()
+                    .map(|&v| {
+                        let d = v as f64 - mu;
+                        d * d
+                    })
+                    .sum::<f64>();
+            }
+            var[ci] = (acc / m as f64) as f32;
+        }
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+
+        // xhat and output.
+        let mut xhat = vec![0.0f32; xv.numel()];
+        let mut out = vec![0.0f32; xv.numel()];
+        for n in 0..b {
+            for ci in 0..c {
+                let off = (n * c + ci) * plane;
+                for k in 0..plane {
+                    let xh = (xv.data()[off + k] - mean[ci]) * inv_std[ci];
+                    xhat[off + k] = xh;
+                    out[off + k] = gv.data()[ci] * xh + bv.data()[ci];
+                }
+            }
+        }
+        let xhat_t = Tensor::from_vec(xhat, d.to_vec()).expect("xhat shape");
+        let value = Tensor::from_vec(out, d.to_vec()).expect("bn shape");
+
+        let mean_out = mean.clone();
+        let var_out = var.clone();
+        let out_var = self.push(
+            value,
+            vec![x.0, gamma.0, beta.0],
+            Some(Box::new(move |g: &Tensor| {
+                // Standard BN backward:
+                // dβ_c = Σ g, dγ_c = Σ g·x̂,
+                // dx = γ/σ · (g − mean(g) − x̂·mean(g·x̂))  per channel.
+                let mut dgamma = vec![0.0f32; c];
+                let mut dbeta = vec![0.0f32; c];
+                let mut mean_g = vec![0.0f32; c];
+                let mut mean_gx = vec![0.0f32; c];
+                for n in 0..b {
+                    for ci in 0..c {
+                        let off = (n * c + ci) * plane;
+                        for k in 0..plane {
+                            let gi = g.data()[off + k];
+                            let xh = xhat_t.data()[off + k];
+                            dbeta[ci] += gi;
+                            dgamma[ci] += gi * xh;
+                        }
+                    }
+                }
+                for ci in 0..c {
+                    mean_g[ci] = dbeta[ci] / m;
+                    mean_gx[ci] = dgamma[ci] / m;
+                }
+                let mut dx = vec![0.0f32; g.numel()];
+                for n in 0..b {
+                    for ci in 0..c {
+                        let off = (n * c + ci) * plane;
+                        let scale = gv.data()[ci] * inv_std[ci];
+                        for k in 0..plane {
+                            let gi = g.data()[off + k];
+                            let xh = xhat_t.data()[off + k];
+                            dx[off + k] = scale * (gi - mean_g[ci] - xh * mean_gx[ci]);
+                        }
+                    }
+                }
+                vec![
+                    Tensor::from_vec(dx, vec![b, c, h, w]).expect("bn dx"),
+                    Tensor::from_vec(dgamma, [c]).expect("bn dgamma"),
+                    Tensor::from_vec(dbeta, [c]).expect("bn dbeta"),
+                ]
+            })),
+        );
+        (out_var, mean_out, var_out)
+    }
+
+    /// Batch normalization in *inference* mode: normalize with fixed
+    /// running statistics instead of batch moments. Gradients flow through
+    /// the affine transform (`dx = g·γ/σ` per channel).
+    pub fn batchnorm2d_eval(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        running_mean: &[f32],
+        running_var: &[f32],
+        eps: f32,
+    ) -> Var {
+        let xv = self.value(x).clone();
+        let gv = self.value(gamma).clone();
+        let bv = self.value(beta).clone();
+        let d = xv.dims();
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        assert_eq!(running_mean.len(), c, "running mean per channel");
+        assert_eq!(running_var.len(), c, "running var per channel");
+        let plane = h * w;
+        let inv_std: Vec<f32> = running_var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        let mut out = vec![0.0f32; xv.numel()];
+        let mut xhat = vec![0.0f32; xv.numel()];
+        // Straightforward per-channel affine with the stored statistics.
+        for n in 0..b {
+            for ci in 0..c {
+                let off = (n * c + ci) * plane;
+                for k in 0..plane {
+                    let xh = (xv.data()[off + k] - running_mean[ci]) * inv_std[ci];
+                    xhat[off + k] = xh;
+                    out[off + k] = gv.data()[ci] * xh + bv.data()[ci];
+                }
+            }
+        }
+        let xhat_t = Tensor::from_vec(xhat, d.to_vec()).expect("xhat shape");
+        let value = Tensor::from_vec(out, d.to_vec()).expect("bn eval shape");
+        self.push(
+            value,
+            vec![x.0, gamma.0, beta.0],
+            Some(Box::new(move |g: &Tensor| {
+                let mut dx = vec![0.0f32; g.numel()];
+                let mut dgamma = vec![0.0f32; c];
+                let mut dbeta = vec![0.0f32; c];
+                for n in 0..b {
+                    for ci in 0..c {
+                        let off = (n * c + ci) * plane;
+                        let scale = gv.data()[ci] * inv_std[ci];
+                        for k in 0..plane {
+                            let gi = g.data()[off + k];
+                            dx[off + k] = gi * scale;
+                            dgamma[ci] += gi * xhat_t.data()[off + k];
+                            dbeta[ci] += gi;
+                        }
+                    }
+                }
+                vec![
+                    Tensor::from_vec(dx, vec![b, c, h, w]).expect("bn eval dx"),
+                    Tensor::from_vec(dgamma, [c]).expect("bn eval dgamma"),
+                    Tensor::from_vec(dbeta, [c]).expect("bn eval dbeta"),
+                ]
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::gradcheck::check;
+
+    fn image(b: usize, c: usize, h: usize, w: usize, seed: u64) -> Tensor {
+        let mut rng = Tensor::seeded_rng(seed);
+        Tensor::rand_uniform([b, c, h, w], -1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn conv2d_forward_matches_tensor_kernel() {
+        let x = image(2, 3, 6, 6, 1);
+        let mut rng = Tensor::seeded_rng(2);
+        let w = Tensor::rand_uniform([4usize, 3, 3, 3], -0.5, 0.5, &mut rng);
+        let b = Tensor::rand_uniform([4usize], -0.1, 0.1, &mut rng);
+        let mut tape = Tape::new();
+        let (xv, wv, bv) = (tape.input(x.clone()), tape.input(w.clone()), tape.input(b.clone()));
+        let y = tape.conv2d(xv, wv, bv, 1, 1);
+        let expect = aicomp_tensor::conv::conv2d(&x, &w, Some(&b), 1, 1).unwrap();
+        assert!(tape.value(y).allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn conv2d_input_grad() {
+        let x = image(1, 2, 5, 5, 3);
+        let mut rng = Tensor::seeded_rng(4);
+        let w = Tensor::rand_uniform([3usize, 2, 3, 3], -0.5, 0.5, &mut rng);
+        let b = Tensor::rand_uniform([3usize], -0.1, 0.1, &mut rng);
+        check(
+            &|t, v| {
+                let wv = t.input(w.clone());
+                let bv = t.input(b.clone());
+                let y = t.conv2d(v, wv, bv, 1, 1);
+                let sq = t.mul(y, y);
+                t.mean_all(sq)
+            },
+            &x,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn conv2d_weight_grad() {
+        let x = image(2, 2, 4, 4, 5);
+        let mut rng = Tensor::seeded_rng(6);
+        let w0 = Tensor::rand_uniform([2usize, 2, 3, 3], -0.5, 0.5, &mut rng);
+        check(
+            &|t, v| {
+                let w = t.reshape(v, vec![2, 2, 3, 3]);
+                let xv = t.input(x.clone());
+                let b = t.input(Tensor::zeros([2]));
+                let y = t.conv2d(xv, w, b, 1, 1);
+                let sq = t.mul(y, y);
+                t.mean_all(sq)
+            },
+            &w0.reshape([2 * 2 * 3 * 3]).unwrap(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn conv2d_stride2_grads() {
+        let x = image(1, 1, 6, 6, 7);
+        let mut rng = Tensor::seeded_rng(8);
+        let w = Tensor::rand_uniform([2usize, 1, 3, 3], -0.5, 0.5, &mut rng);
+        check(
+            &|t, v| {
+                let wv = t.input(w.clone());
+                let b = t.input(Tensor::zeros([2]));
+                let y = t.conv2d(v, wv, b, 2, 1);
+                let sq = t.mul(y, y);
+                t.mean_all(sq)
+            },
+            &x,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn maxpool_forward_and_grad_routing() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
+            [1usize, 1, 4, 4],
+        )
+        .unwrap();
+        let mut tape = Tape::new();
+        let xv = tape.input(x);
+        let y = tape.maxpool2(xv);
+        assert_eq!(tape.value(y).data(), &[6.0, 8.0, 14.0, 16.0]);
+        let loss = tape.mean_all(y);
+        let grads = tape.backward(loss);
+        let gx = grads[xv.0].as_ref().unwrap();
+        // Only max positions receive gradient (0.25 each).
+        assert_eq!(gx.at(&[0, 0, 1, 1]), 0.25);
+        assert_eq!(gx.at(&[0, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn avgpool_grad() {
+        let x = image(1, 2, 4, 4, 9);
+        check(
+            &|t, v| {
+                let y = t.avgpool2(v);
+                let sq = t.mul(y, y);
+                t.mean_all(sq)
+            },
+            &x,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn global_avgpool_grad() {
+        let x = image(2, 3, 4, 4, 10);
+        check(
+            &|t, v| {
+                let y = t.global_avgpool(v);
+                let sq = t.mul(y, y);
+                t.mean_all(sq)
+            },
+            &x,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn upsample_forward_and_grad() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1usize, 1, 2, 2]).unwrap();
+        let mut tape = Tape::new();
+        let xv = tape.input(x.clone());
+        let y = tape.upsample2(xv);
+        assert_eq!(tape.value(y).dims(), &[1, 1, 4, 4]);
+        assert_eq!(tape.value(y).at(&[0, 0, 0, 1]), 1.0);
+        assert_eq!(tape.value(y).at(&[0, 0, 3, 3]), 4.0);
+        check(
+            &|t, v| {
+                let y = t.upsample2(v);
+                let sq = t.mul(y, y);
+                t.mean_all(sq)
+            },
+            &x,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn concat_channels_grad() {
+        let x = image(2, 2, 3, 3, 11);
+        let other = image(2, 1, 3, 3, 12);
+        check(
+            &|t, v| {
+                let o = t.input(other.clone());
+                let y = t.concat_channels(v, o);
+                let sq = t.mul(y, y);
+                t.mean_all(sq)
+            },
+            &x,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn batchnorm_normalizes_and_grad_checks() {
+        let x = image(3, 2, 4, 4, 13).scale(3.0).add_scalar(1.5);
+        let mut tape = Tape::new();
+        let xv = tape.input(x.clone());
+        let g = tape.input(Tensor::ones([2]));
+        let b = tape.input(Tensor::zeros([2]));
+        let y = tape.batchnorm2d(xv, g, b, 1e-5);
+        // Output is standardized per channel.
+        let yv = tape.value(y);
+        let plane = 16;
+        for ci in 0..2 {
+            let mut acc = 0.0f64;
+            let mut count = 0;
+            for n in 0..3 {
+                for k in 0..plane {
+                    acc += yv.at(&[n, ci, k / 4, k % 4]) as f64;
+                    count += 1;
+                }
+            }
+            assert!((acc / count as f64).abs() < 1e-4, "channel {ci} mean");
+        }
+
+        // Gradient check w.r.t. the input.
+        check(
+            &|t, v| {
+                let g = t.input(Tensor::from_vec(vec![1.2, 0.7], [2]).unwrap());
+                let b = t.input(Tensor::from_vec(vec![0.1, -0.3], [2]).unwrap());
+                let y = t.batchnorm2d(v, g, b, 1e-5);
+                let w = t.input(weights_for(&x));
+                let prod = t.mul(y, w);
+                t.mean_all(prod)
+            },
+            &x,
+            3e-2,
+        );
+    }
+
+    /// Fixed random weights so the BN gradcheck loss is not symmetric.
+    fn weights_for(x: &Tensor) -> Tensor {
+        let mut rng = Tensor::seeded_rng(99);
+        Tensor::rand_uniform(x.dims().to_vec(), -1.0, 1.0, &mut rng)
+    }
+}

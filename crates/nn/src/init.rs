@@ -1,0 +1,45 @@
+//! Weight initializers.
+
+use aicomp_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Kaiming/He uniform init for a conv weight `[OC, C, KH, KW]` or linear
+/// weight `[K, N]` (fan-in from all but the first dim for conv, first dim
+/// for linear-style `[in, out]`).
+pub fn kaiming_uniform(dims: &[usize], fan_in: usize, rng: &mut StdRng) -> Tensor {
+    let bound = (6.0 / fan_in as f32).sqrt();
+    Tensor::rand_uniform(dims.to_vec(), -bound, bound, rng)
+}
+
+/// Fan-in of a conv weight `[OC, C, KH, KW]`.
+pub fn conv_fan_in(c: usize, kh: usize, kw: usize) -> usize {
+    c * kh * kw
+}
+
+/// Xavier/Glorot uniform for linear weights `[in, out]`.
+pub fn xavier_uniform(inp: usize, out: usize, rng: &mut StdRng) -> Tensor {
+    let bound = (6.0 / (inp + out) as f32).sqrt();
+    Tensor::rand_uniform([inp, out], -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_bound_respected() {
+        let mut rng = Tensor::seeded_rng(1);
+        let w = kaiming_uniform(&[8, 4, 3, 3], conv_fan_in(4, 3, 3), &mut rng);
+        let bound = (6.0 / 36.0f32).sqrt();
+        assert!(w.max() <= bound && w.min() >= -bound);
+        assert_eq!(w.dims(), &[8, 4, 3, 3]);
+    }
+
+    #[test]
+    fn xavier_scales_with_dims() {
+        let mut rng = Tensor::seeded_rng(2);
+        let small = xavier_uniform(10, 10, &mut rng);
+        let large = xavier_uniform(1000, 1000, &mut rng);
+        assert!(small.max() > large.max());
+    }
+}

@@ -1,0 +1,365 @@
+//! Parameterized layers built on [`Param`] handles.
+
+use aicomp_tensor::Tensor;
+use rand::rngs::StdRng;
+
+use crate::init::{conv_fan_in, kaiming_uniform, xavier_uniform};
+use crate::tape::{Param, Tape, Var};
+
+/// 2-D convolution layer.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Weight `[OC, C, KH, KW]`.
+    pub weight: Param,
+    /// Bias `[OC]`.
+    pub bias: Param,
+    stride: usize,
+    pad: usize,
+}
+
+impl Conv2d {
+    /// New conv layer with Kaiming init.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut StdRng,
+        name: &str,
+    ) -> Self {
+        let weight = Param::new(
+            kaiming_uniform(&[out_ch, in_ch, k, k], conv_fan_in(in_ch, k, k), rng),
+            format!("{name}.weight"),
+        );
+        let bias = Param::new(Tensor::zeros([out_ch]), format!("{name}.bias"));
+        Conv2d { weight, bias, stride, pad }
+    }
+
+    /// Forward on a tape.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let w = tape.param(&self.weight);
+        let b = tape.param(&self.bias);
+        tape.conv2d(x, w, b, self.stride, self.pad)
+    }
+
+    /// Layer parameters.
+    pub fn params(&self) -> Vec<Param> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+/// Fully-connected layer (`x [B, in] → [B, out]`).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight `[in, out]`.
+    pub weight: Param,
+    /// Bias `[out]`.
+    pub bias: Param,
+}
+
+impl Linear {
+    /// New linear layer with Xavier init.
+    pub fn new(inp: usize, out: usize, rng: &mut StdRng, name: &str) -> Self {
+        Linear {
+            weight: Param::new(xavier_uniform(inp, out, rng), format!("{name}.weight")),
+            bias: Param::new(Tensor::zeros([out]), format!("{name}.bias")),
+        }
+    }
+
+    /// Forward on a tape.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let w = tape.param(&self.weight);
+        let b = tape.param(&self.bias);
+        tape.linear(x, w, b)
+    }
+
+    /// Layer parameters.
+    pub fn params(&self) -> Vec<Param> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+/// Batch normalization layer with running statistics: batch moments during
+/// training (exponential moving average maintained), stored moments in
+/// inference mode.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    /// Scale `[C]`.
+    pub gamma: Param,
+    /// Shift `[C]`.
+    pub beta: Param,
+    running: std::rc::Rc<std::cell::RefCell<RunningStats>>,
+    momentum: f32,
+    eps: f32,
+}
+
+/// Exponential-moving-average batch statistics.
+#[derive(Debug, Clone)]
+struct RunningStats {
+    mean: Vec<f32>,
+    var: Vec<f32>,
+    /// Batches observed (0 ⇒ stats uninitialized; first batch seeds them).
+    batches: u64,
+}
+
+impl BatchNorm2d {
+    /// New BN layer (γ=1, β=0, running stats at standard-normal defaults).
+    pub fn new(channels: usize, name: &str) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones([channels]), format!("{name}.gamma")),
+            beta: Param::new(Tensor::zeros([channels]), format!("{name}.beta")),
+            running: std::rc::Rc::new(std::cell::RefCell::new(RunningStats {
+                mean: vec![0.0; channels],
+                var: vec![1.0; channels],
+                batches: 0,
+            })),
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// Training-mode forward: normalize with batch moments and fold them
+    /// into the running statistics.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let g = tape.param(&self.gamma);
+        let b = tape.param(&self.beta);
+        let (out, mean, var) = tape.batchnorm2d_with_stats(x, g, b, self.eps);
+        let mut stats = self.running.borrow_mut();
+        if stats.batches == 0 {
+            stats.mean = mean;
+            stats.var = var;
+        } else {
+            for (m, &bm) in stats.mean.iter_mut().zip(mean.iter()) {
+                *m = (1.0 - self.momentum) * *m + self.momentum * bm;
+            }
+            for (v, &bv) in stats.var.iter_mut().zip(var.iter()) {
+                *v = (1.0 - self.momentum) * *v + self.momentum * bv;
+            }
+        }
+        stats.batches += 1;
+        out
+    }
+
+    /// Inference-mode forward: normalize with the running statistics.
+    pub fn forward_eval(&self, tape: &mut Tape, x: Var) -> Var {
+        let g = tape.param(&self.gamma);
+        let b = tape.param(&self.beta);
+        let stats = self.running.borrow();
+        tape.batchnorm2d_eval(x, g, b, &stats.mean, &stats.var, self.eps)
+    }
+
+    /// Number of training batches folded into the running stats.
+    pub fn batches_seen(&self) -> u64 {
+        self.running.borrow().batches
+    }
+
+    /// Current running (mean, var) snapshot.
+    pub fn running_stats(&self) -> (Vec<f32>, Vec<f32>) {
+        let s = self.running.borrow();
+        (s.mean.clone(), s.var.clone())
+    }
+
+    /// Layer parameters.
+    pub fn params(&self) -> Vec<Param> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+/// Conv → BN → ReLU block, the workhorse of all four benchmark networks.
+#[derive(Debug, Clone)]
+pub struct ConvBnRelu {
+    /// Convolution.
+    pub conv: Conv2d,
+    /// Normalization.
+    pub bn: BatchNorm2d,
+}
+
+impl ConvBnRelu {
+    /// New block.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut StdRng,
+        name: &str,
+    ) -> Self {
+        ConvBnRelu {
+            conv: Conv2d::new(in_ch, out_ch, k, stride, pad, rng, &format!("{name}.conv")),
+            bn: BatchNorm2d::new(out_ch, &format!("{name}.bn")),
+        }
+    }
+
+    /// Forward on a tape (training mode — batch statistics).
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        self.forward_mode(tape, x, true)
+    }
+
+    /// Forward with explicit mode: `train = false` uses the BN layer's
+    /// running statistics (inference).
+    pub fn forward_mode(&self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let c = self.conv.forward(tape, x);
+        let n = if train { self.bn.forward(tape, c) } else { self.bn.forward_eval(tape, c) };
+        tape.relu(n)
+    }
+
+    /// Layer parameters.
+    pub fn params(&self) -> Vec<Param> {
+        let mut p = self.conv.params();
+        p.extend(self.bn.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_layer_shapes() {
+        let mut rng = Tensor::seeded_rng(1);
+        let layer = Conv2d::new(3, 8, 3, 1, 1, &mut rng, "c1");
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros([2, 3, 8, 8]));
+        let y = layer.forward(&mut tape, x);
+        assert_eq!(tape.value(y).dims(), &[2, 8, 8, 8]);
+        assert_eq!(layer.params().len(), 2);
+    }
+
+    #[test]
+    fn linear_layer_shapes() {
+        let mut rng = Tensor::seeded_rng(2);
+        let layer = Linear::new(16, 4, &mut rng, "fc");
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros([3, 16]));
+        let y = layer.forward(&mut tape, x);
+        assert_eq!(tape.value(y).dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn conv_bn_relu_output_nonnegative() {
+        let mut rng = Tensor::seeded_rng(3);
+        let block = ConvBnRelu::new(1, 4, 3, 1, 1, &mut rng, "b");
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::rand_normal([2, 1, 6, 6], 0.0, 1.0, &mut rng));
+        let y = block.forward(&mut tape, x);
+        assert!(tape.value(y).min() >= 0.0);
+        assert_eq!(block.params().len(), 4);
+    }
+
+    #[test]
+    fn bn_running_stats_track_batch_moments() {
+        let bn = BatchNorm2d::new(2, "bn");
+        assert_eq!(bn.batches_seen(), 0);
+        let mut rng = Tensor::seeded_rng(11);
+        // Feed batches with channel means ~(3, -1).
+        for _ in 0..20 {
+            let mut x = Tensor::rand_normal([4, 2, 4, 4], 0.0, 0.5, &mut rng);
+            {
+                let data = x.data_mut();
+                for n in 0..4 {
+                    for k in 0..16 {
+                        data[(n * 2) * 16 + k] += 3.0;
+                        data[(n * 2 + 1) * 16 + k] += -1.0;
+                    }
+                }
+            }
+            let mut tape = Tape::new();
+            let xv = tape.input(x);
+            bn.forward(&mut tape, xv);
+        }
+        assert_eq!(bn.batches_seen(), 20);
+        let (mean, var) = bn.running_stats();
+        assert!((mean[0] - 3.0).abs() < 0.3, "mean0 {}", mean[0]);
+        assert!((mean[1] + 1.0).abs() < 0.3, "mean1 {}", mean[1]);
+        assert!((var[0] - 0.25).abs() < 0.15, "var0 {}", var[0]);
+    }
+
+    #[test]
+    fn bn_eval_mode_is_batch_size_independent() {
+        // Train mode normalizes per batch; eval mode must give the same
+        // per-sample output whether the sample is alone or in a batch.
+        let bn = BatchNorm2d::new(1, "bn");
+        let mut rng = Tensor::seeded_rng(12);
+        for _ in 0..5 {
+            let x = Tensor::rand_normal([8, 1, 4, 4], 1.0, 2.0, &mut rng);
+            let mut tape = Tape::new();
+            let xv = tape.input(x);
+            bn.forward(&mut tape, xv);
+        }
+        let sample = Tensor::rand_normal([1, 1, 4, 4], 1.0, 2.0, &mut rng);
+        let batch =
+            Tensor::concat0(&[&sample, &Tensor::rand_normal([3, 1, 4, 4], -5.0, 1.0, &mut rng)])
+                .unwrap();
+
+        let solo = {
+            let mut tape = Tape::new();
+            let xv = tape.input(sample.clone());
+            let y = bn.forward_eval(&mut tape, xv);
+            tape.value(y).clone()
+        };
+        let in_batch = {
+            let mut tape = Tape::new();
+            let xv = tape.input(batch);
+            let y = bn.forward_eval(&mut tape, xv);
+            tape.value(y).slice0(0, 1).unwrap()
+        };
+        assert!(solo.allclose(&in_batch, 1e-5));
+    }
+
+    #[test]
+    fn bn_eval_gradient_checks() {
+        use crate::tape::gradcheck::check;
+        let mut rng = Tensor::seeded_rng(13);
+        let x = Tensor::rand_normal([2, 2, 3, 3], 0.5, 1.5, &mut rng);
+        let mean = vec![0.4f32, 0.6];
+        let var = vec![1.2f32, 0.8];
+        check(
+            &|t, v| {
+                let g = t.input(Tensor::from_vec(vec![1.1, 0.9], [2]).unwrap());
+                let b = t.input(Tensor::from_vec(vec![0.2, -0.1], [2]).unwrap());
+                let y = t.batchnorm2d_eval(v, g, b, &mean, &var, 1e-5);
+                let sq = t.mul(y, y);
+                t.mean_all(sq)
+            },
+            &x,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn training_step_reduces_linear_regression_loss() {
+        // One layer, one target: a couple of SGD steps must reduce MSE.
+        let mut rng = Tensor::seeded_rng(4);
+        let layer = Linear::new(4, 1, &mut rng, "fc");
+        let x = Tensor::rand_uniform([8, 4], -1.0, 1.0, &mut rng);
+        let target = Tensor::rand_uniform([8, 1], -1.0, 1.0, &mut rng);
+
+        let loss_at = |layer: &Linear| {
+            let mut tape = Tape::new();
+            let xv = tape.input(x.clone());
+            let y = layer.forward(&mut tape, xv);
+            let l = tape.mse_loss(y, &target);
+            tape.value(l).data()[0]
+        };
+
+        let initial = loss_at(&layer);
+        for _ in 0..50 {
+            for p in layer.params() {
+                p.zero_grad();
+            }
+            let mut tape = Tape::new();
+            let xv = tape.input(x.clone());
+            let y = layer.forward(&mut tape, xv);
+            let l = tape.mse_loss(y, &target);
+            tape.backward(l);
+            for p in layer.params() {
+                p.apply_update(&p.grad().scale(-0.1));
+            }
+        }
+        let fin = loss_at(&layer);
+        assert!(fin < initial * 0.5, "initial {initial} final {fin}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Loss functions as tape ops.
+
+use aicomp_tensor::Tensor;
+
+use crate::tape::{Tape, Var};
+
+impl Tape {
+    /// Mean squared error between a prediction var and a fixed target.
+    pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Var {
+        let pv = self.value(pred).clone();
+        assert_eq!(pv.dims(), target.dims(), "mse target shape");
+        let n = pv.numel() as f32;
+        let loss = pv.mse(target).expect("same shapes") as f32;
+        let diff = pv.sub(target).expect("same shapes");
+        self.push(
+            Tensor::from_vec(vec![loss], [1usize]).expect("scalar"),
+            vec![pred.0],
+            Some(Box::new(move |g: &Tensor| {
+                // d/dp mean((p-t)²) = 2(p-t)/n
+                vec![diff.scale(2.0 / n * g.data()[0])]
+            })),
+        )
+    }
+
+    /// Softmax + cross-entropy over logits `[B, K]` with integer labels.
+    /// Returns the mean loss (scalar var).
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let lv = self.value(logits).clone();
+        let (b, k) = (lv.dims()[0], lv.dims()[1]);
+        assert_eq!(labels.len(), b, "one label per row");
+        // Stable softmax.
+        let mut probs = vec![0.0f32; b * k];
+        let mut loss = 0.0f64;
+        for r in 0..b {
+            let row = &lv.data()[r * k..(r + 1) * k];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for (c, &e) in exps.iter().enumerate() {
+                probs[r * k + c] = e / sum;
+            }
+            let p = probs[r * k + labels[r]].max(1e-12);
+            loss -= (p as f64).ln();
+        }
+        loss /= b as f64;
+        let probs_t = Tensor::from_vec(probs, [b, k]).expect("probs shape");
+        let labels = labels.to_vec();
+        self.push(
+            Tensor::from_vec(vec![loss as f32], [1usize]).expect("scalar"),
+            vec![logits.0],
+            Some(Box::new(move |g: &Tensor| {
+                // dL/dlogits = (softmax − onehot)/B
+                let mut d = probs_t.clone();
+                {
+                    let data = d.data_mut();
+                    for (r, &lbl) in labels.iter().enumerate() {
+                        data[r * k + lbl] -= 1.0;
+                    }
+                }
+                vec![d.scale(g.data()[0] / b as f32)]
+            })),
+        )
+    }
+
+    /// Binary cross-entropy on probabilities in (0,1) against a 0/1 target
+    /// mask of the same shape — the pixel-segmentation loss (slstr_cloud).
+    pub fn bce_loss(&mut self, probs: Var, target: &Tensor) -> Var {
+        let pv = self.value(probs).clone();
+        assert_eq!(pv.dims(), target.dims(), "bce target shape");
+        let n = pv.numel() as f32;
+        let eps = 1e-7f32;
+        let mut loss = 0.0f64;
+        for (&p, &t) in pv.data().iter().zip(target.data().iter()) {
+            let p = p.clamp(eps, 1.0 - eps);
+            loss -= (t as f64) * (p as f64).ln() + (1.0 - t as f64) * (1.0 - p as f64).ln();
+        }
+        loss /= n as f64;
+        let target = target.clone();
+        self.push(
+            Tensor::from_vec(vec![loss as f32], [1usize]).expect("scalar"),
+            vec![probs.0],
+            Some(Box::new(move |g: &Tensor| {
+                let mut d = Tensor::zeros(pv.dims().to_vec());
+                for i in 0..pv.numel() {
+                    let p = pv.data()[i].clamp(eps, 1.0 - eps);
+                    let t = target.data()[i];
+                    d.data_mut()[i] = ((p - t) / (p * (1.0 - p))) / n * g.data()[0];
+                }
+                vec![d]
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::gradcheck::check;
+
+    #[test]
+    fn mse_value_and_grad() {
+        let target = Tensor::from_vec(vec![0.5, -0.5, 1.0, 0.0], [4]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.5, -0.5], [4]).unwrap();
+        let mut tape = Tape::new();
+        let xv = tape.input(x.clone());
+        let loss = tape.mse_loss(xv, &target);
+        assert!((tape.value(loss).data()[0] - 0.25).abs() < 1e-6);
+        check(&|t, v| t.mse_loss(v, &target), &x, 1e-2);
+    }
+
+    #[test]
+    fn cross_entropy_value_for_uniform_logits() {
+        // Uniform logits over K classes → loss = ln K.
+        let mut tape = Tape::new();
+        let logits = tape.input(Tensor::zeros([2, 4]));
+        let loss = tape.softmax_cross_entropy(logits, &[0, 3]);
+        assert!((tape.value(loss).data()[0] - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad() {
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.8, 0.1, -0.6, 0.4], [2, 3]).unwrap();
+        let labels = vec![2usize, 0];
+        check(
+            &|t, v| {
+                let logits = t.reshape(v, vec![2, 3]);
+                t.softmax_cross_entropy(logits, &labels)
+            },
+            &x.reshape([6]).unwrap(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn cross_entropy_decreases_when_correct_logit_grows() {
+        let lo = {
+            let mut t = Tape::new();
+            let l = t.input(Tensor::from_vec(vec![2.0, 0.0], [1, 2]).unwrap());
+            let loss = t.softmax_cross_entropy(l, &[0]);
+            t.value(loss).data()[0]
+        };
+        let hi = {
+            let mut t = Tape::new();
+            let l = t.input(Tensor::from_vec(vec![0.0, 2.0], [1, 2]).unwrap());
+            let loss = t.softmax_cross_entropy(l, &[0]);
+            t.value(loss).data()[0]
+        };
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn bce_value_and_grad() {
+        let target = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], [4]).unwrap();
+        // Perfect predictions → ~0 loss.
+        let mut tape = Tape::new();
+        let perfect = tape.input(Tensor::from_vec(vec![0.999, 0.001, 0.999, 0.001], [4]).unwrap());
+        let loss = tape.bce_loss(perfect, &target);
+        assert!(tape.value(loss).data()[0] < 0.01);
+
+        let x = Tensor::from_vec(vec![0.7, 0.3, 0.6, 0.45], [4]).unwrap();
+        check(&|t, v| t.bce_loss(v, &target), &x, 1e-2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Optimizers: SGD with momentum and Adam (the paper's Table 3 benchmarks
+//! train with fixed learning rates).
+
+use aicomp_tensor::Tensor;
+
+use crate::tape::Param;
+
+/// Clip the global gradient norm across `params` to `max_norm`; returns the
+/// pre-clip norm. Standard stabilizer for the deeper benchmark networks.
+pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f64 {
+    let total: f64 = params.iter().map(|p| p.grad().sq_norm()).sum();
+    let norm = total.sqrt();
+    if norm > max_norm as f64 && norm > 0.0 {
+        let scale = (max_norm as f64 / norm) as f32;
+        for p in params {
+            let scaled = p.grad().scale(scale);
+            p.zero_grad();
+            p.accumulate_grad(&scaled);
+        }
+    }
+    norm
+}
+
+/// Common optimizer interface.
+pub trait Optimizer {
+    /// Apply one update step from the accumulated gradients, then zero them.
+    fn step(&mut self);
+    /// Zero all parameter gradients without stepping.
+    fn zero_grad(&mut self);
+    /// The managed parameters.
+    fn params(&self) -> &[Param];
+}
+
+/// SGD with classical momentum.
+pub struct Sgd {
+    params: Vec<Param>,
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// New SGD optimizer over `params`.
+    pub fn new(params: Vec<Param>, lr: f32, momentum: f32) -> Self {
+        let velocity = params.iter().map(|p| Tensor::zeros(p.value().dims().to_vec())).collect();
+        Sgd { params, lr, momentum, velocity }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
+            let g = p.grad();
+            // v = momentum·v − lr·g ; w += v
+            *v = v.scale(self.momentum);
+            v.axpy(-self.lr, &g).expect("velocity shape");
+            p.apply_update(v);
+            p.zero_grad();
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Param] {
+        &self.params
+    }
+}
+
+/// Adam optimizer.
+pub struct Adam {
+    params: Vec<Param>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u32,
+}
+
+impl Adam {
+    /// New Adam with standard betas (0.9, 0.999).
+    pub fn new(params: Vec<Param>, lr: f32) -> Self {
+        let m = params.iter().map(|p| Tensor::zeros(p.value().dims().to_vec())).collect();
+        let v = params.iter().map(|p| Tensor::zeros(p.value().dims().to_vec())).collect();
+        Adam { params, lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m, v, t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            let g = p.grad();
+            let mut update = Tensor::zeros(g.dims().to_vec());
+            for i in 0..g.numel() {
+                let gi = g.data()[i];
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * gi;
+                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * gi * gi;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                update.data_mut()[i] = -self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.apply_update(&update);
+            p.zero_grad();
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Param] {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimize f(w) = mean((w − target)²) with each optimizer.
+    fn quadratic_descent(opt_for: impl Fn(Vec<Param>) -> Box<dyn Optimizer>) -> f32 {
+        let target = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], [4]).unwrap();
+        let w = Param::new(Tensor::zeros([4]), "w");
+        let mut opt = opt_for(vec![w.clone()]);
+        for _ in 0..300 {
+            let mut tape = Tape::new();
+            let wv = tape.param(&w);
+            let loss = tape.mse_loss(wv, &target);
+            tape.backward(loss);
+            opt.step();
+        }
+        let mut tape = Tape::new();
+        let wv = tape.param(&w);
+        let loss = tape.mse_loss(wv, &target);
+        tape.value(loss).data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let loss = quadratic_descent(|p| Box::new(Sgd::new(p, 0.1, 0.9)));
+        assert!(loss < 1e-4, "sgd loss {loss}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let loss = quadratic_descent(|p| Box::new(Adam::new(p, 0.05)));
+        assert!(loss < 1e-3, "adam loss {loss}");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let w = Param::new(Tensor::zeros([2]), "w");
+        let mut opt = Sgd::new(vec![w.clone()], 0.1, 0.0);
+        w.accumulate_grad(&Tensor::ones([2]));
+        opt.step();
+        assert_eq!(w.grad().data(), &[0.0, 0.0]);
+        assert!((w.value().data()[0] + 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only_when_needed() {
+        let a = Param::new(Tensor::zeros([2]), "a");
+        let b = Param::new(Tensor::zeros([2]), "b");
+        a.accumulate_grad(&Tensor::from_vec(vec![3.0, 0.0], [2]).unwrap());
+        b.accumulate_grad(&Tensor::from_vec(vec![0.0, 4.0], [2]).unwrap());
+        // Global norm = 5; clip to 2.5 → halved.
+        let norm = clip_grad_norm(&[a.clone(), b.clone()], 2.5);
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert!((a.grad().data()[0] - 1.5).abs() < 1e-6);
+        assert!((b.grad().data()[1] - 2.0).abs() < 1e-6);
+        // Under the limit: untouched.
+        let norm2 = clip_grad_norm(&[a.clone(), b.clone()], 100.0);
+        assert!((norm2 - 2.5).abs() < 1e-6);
+        assert!((a.grad().data()[0] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        // With the same lr, momentum reaches a lower loss in few steps.
+        let run = |momentum: f32| {
+            let target = Tensor::from_vec(vec![4.0], [1]).unwrap();
+            let w = Param::new(Tensor::zeros([1]), "w");
+            let mut opt = Sgd::new(vec![w.clone()], 0.01, momentum);
+            for _ in 0..40 {
+                let mut tape = Tape::new();
+                let wv = tape.param(&w);
+                let loss = tape.mse_loss(wv, &target);
+                tape.backward(loss);
+                opt.step();
+            }
+            (w.value().data()[0] - 4.0).abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+}

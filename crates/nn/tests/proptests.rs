@@ -1,0 +1,90 @@
+//! Property-based gradient checks through the public API: for random
+//! inputs and random op chains, the tape's gradient must match central
+//! differences.
+
+use aicomp_nn::{Param, Tape, Var};
+use aicomp_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Central-difference gradient of `f` at `x`.
+fn numerical_grad(f: &dyn Fn(&Tensor) -> f64, x: &Tensor, eps: f32) -> Tensor {
+    let mut g = Tensor::zeros(x.dims().to_vec());
+    for i in 0..x.numel() {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        g.data_mut()[i] = ((f(&xp) - f(&xm)) / (2.0 * eps as f64)) as f32;
+    }
+    g
+}
+
+/// A small randomized op chain, applied identically in both evaluations.
+fn chain(tape: &mut Tape, x: Var, ops: &[u8]) -> Var {
+    let mut v = x;
+    for &op in ops {
+        v = match op % 4 {
+            0 => tape.sigmoid(v),
+            1 => tape.tanh(v),
+            2 => tape.leaky_relu(v, 0.2),
+            _ => tape.scale(v, 0.7),
+        };
+    }
+    let sq = tape.mul(v, v);
+    tape.mean_all(sq)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random elementwise chains gradcheck against central differences.
+    #[test]
+    fn random_chains_gradcheck(
+        data in prop::collection::vec(-1.2f32..1.2, 6),
+        ops in prop::collection::vec(any::<u8>(), 1..5),
+    ) {
+        let x = Tensor::from_vec(data, [6usize]).unwrap();
+        let mut tape = Tape::new();
+        let xv = tape.input(x.clone());
+        let loss = chain(&mut tape, xv, &ops);
+        let grads = tape.backward(loss);
+        let auto = grads[xv.index()].clone().unwrap();
+
+        let f = |t: &Tensor| {
+            let mut tp = Tape::new();
+            let v = tp.input(t.clone());
+            let l = chain(&mut tp, v, &ops);
+            tp.value(l).data()[0] as f64
+        };
+        let numeric = numerical_grad(&f, &x, 1e-3);
+        for i in 0..x.numel() {
+            let (a, n) = (auto.data()[i], numeric.data()[i]);
+            let denom = 1.0f32.max(a.abs()).max(n.abs());
+            prop_assert!((a - n).abs() / denom < 3e-2, "i={i}: auto {a} numeric {n}");
+        }
+    }
+
+    /// Parameter gradients accumulate linearly: backward on k identical
+    /// tapes gives k times one tape's gradient.
+    #[test]
+    fn param_grads_accumulate_linearly(data in prop::collection::vec(-2.0f32..2.0, 4), k in 1usize..5) {
+        let target = Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.0], [4]).unwrap();
+        let once = {
+            let p = Param::new(Tensor::from_vec(data.clone(), [4]).unwrap(), "p");
+            let mut tape = Tape::new();
+            let v = tape.param(&p);
+            let l = tape.mse_loss(v, &target);
+            tape.backward(l);
+            p.grad()
+        };
+        let p = Param::new(Tensor::from_vec(data, [4]).unwrap(), "p");
+        for _ in 0..k {
+            let mut tape = Tape::new();
+            let v = tape.param(&p);
+            let l = tape.mse_loss(v, &target);
+            tape.backward(l);
+        }
+        let expect = once.scale(k as f32);
+        prop_assert!(p.grad().allclose(&expect, 1e-4));
+    }
+}

@@ -1,0 +1,105 @@
+//! The pluggable compressor slot in the training loop.
+//!
+//! §4.1: "During training, each batch is first compressed and then
+//! decompressed, so that increasing levels of loss and compression ratio
+//! can be studied against model accuracy." This trait is that hook.
+
+use aicomp_baselines::ZfpFixedRate;
+use aicomp_core::{ChopCompressor, ScatterGatherChop};
+use aicomp_tensor::Tensor;
+
+/// A lossy round-trip applied to every training batch.
+pub trait DataCompressor {
+    /// Compress + decompress a `[B, C, n, n]` batch.
+    fn roundtrip(&self, batch: &Tensor) -> Tensor;
+    /// Nominal compression ratio.
+    fn ratio(&self) -> f64;
+    /// Display label for figure legends.
+    fn label(&self) -> String;
+}
+
+/// No compression — the paper's "base" series.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCompression;
+
+impl DataCompressor for NoCompression {
+    fn roundtrip(&self, batch: &Tensor) -> Tensor {
+        batch.clone()
+    }
+    fn ratio(&self) -> f64 {
+        1.0
+    }
+    fn label(&self) -> String {
+        "base".into()
+    }
+}
+
+impl DataCompressor for ChopCompressor {
+    fn roundtrip(&self, batch: &Tensor) -> Tensor {
+        ChopCompressor::roundtrip(self, batch).expect("batch side matches compressor")
+    }
+    fn ratio(&self) -> f64 {
+        self.compression_ratio()
+    }
+    fn label(&self) -> String {
+        format!("dct_cr{:.2}", self.compression_ratio())
+    }
+}
+
+impl DataCompressor for ScatterGatherChop {
+    fn roundtrip(&self, batch: &Tensor) -> Tensor {
+        ScatterGatherChop::roundtrip(self, batch).expect("batch side matches compressor")
+    }
+    fn ratio(&self) -> f64 {
+        self.compression_ratio()
+    }
+    fn label(&self) -> String {
+        format!("sg_cr{:.2}", self.compression_ratio())
+    }
+}
+
+impl DataCompressor for ZfpFixedRate {
+    fn roundtrip(&self, batch: &Tensor) -> Tensor {
+        ZfpFixedRate::roundtrip(self, batch).expect("zfp roundtrip")
+    }
+    fn ratio(&self) -> f64 {
+        self.compression_ratio()
+    }
+    fn label(&self) -> String {
+        format!("zfp_cr{:.2}", self.compression_ratio())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_compression_is_identity() {
+        let x = Tensor::from_vec((0..32).map(|i| i as f32).collect(), [2usize, 1, 4, 4]).unwrap();
+        let c = NoCompression;
+        assert!(c.roundtrip(&x).allclose(&x, 0.0));
+        assert_eq!(c.ratio(), 1.0);
+        assert_eq!(c.label(), "base");
+    }
+
+    #[test]
+    fn chop_impl_preserves_shape_and_ratio() {
+        let c = ChopCompressor::new(32, 4).unwrap();
+        let x = Tensor::zeros([2, 3, 32, 32]);
+        let r = DataCompressor::roundtrip(&c, &x);
+        assert_eq!(r.dims(), x.dims());
+        assert_eq!(DataCompressor::ratio(&c), 4.0);
+        assert_eq!(c.label(), "dct_cr4.00");
+    }
+
+    #[test]
+    fn sg_and_zfp_labels() {
+        let sg = ScatterGatherChop::new(32, 4).unwrap();
+        assert!(sg.label().starts_with("sg_cr"));
+        let z = ZfpFixedRate::new(8).unwrap();
+        assert_eq!(z.label(), "zfp_cr4.00");
+        let x = Tensor::zeros([1, 1, 32, 32]);
+        assert_eq!(DataCompressor::roundtrip(&z, &x).dims(), x.dims());
+    }
+}

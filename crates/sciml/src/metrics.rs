@@ -1,0 +1,147 @@
+//! Task-specific quality metrics beyond raw loss: PSNR for the
+//! reconstruction tasks, IoU/Dice for segmentation, top-1 accuracy for
+//! classification. (The paper reports loss/accuracy; these give the
+//! benchmarks a richer evaluation surface.)
+
+use aicomp_tensor::Tensor;
+
+/// Peak signal-to-noise ratio in dB between a reconstruction and its
+/// reference, with the peak taken from the reference's range.
+pub fn psnr_db(reference: &Tensor, reconstruction: &Tensor) -> f64 {
+    let mse = reference.mse(reconstruction).expect("same shapes");
+    let range = (reference.max() - reference.min()) as f64;
+    if mse <= 0.0 {
+        f64::INFINITY
+    } else if range <= 0.0 {
+        0.0
+    } else {
+        10.0 * (range * range / mse).log10()
+    }
+}
+
+/// Intersection-over-union of a probability mask against a binary target
+/// at `threshold`.
+pub fn iou(probs: &Tensor, target: &Tensor, threshold: f32) -> f64 {
+    let (mut inter, mut union) = (0u64, 0u64);
+    for (&p, &t) in probs.data().iter().zip(target.data().iter()) {
+        let p = p >= threshold;
+        let t = t >= 0.5;
+        if p && t {
+            inter += 1;
+        }
+        if p || t {
+            union += 1;
+        }
+    }
+    if union == 0 {
+        1.0 // both empty: perfect agreement
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Dice coefficient (F1 over pixels) of a probability mask vs binary
+/// target.
+pub fn dice(probs: &Tensor, target: &Tensor, threshold: f32) -> f64 {
+    let (mut inter, mut p_sum, mut t_sum) = (0u64, 0u64, 0u64);
+    for (&p, &t) in probs.data().iter().zip(target.data().iter()) {
+        let p = p >= threshold;
+        let t = t >= 0.5;
+        if p && t {
+            inter += 1;
+        }
+        if p {
+            p_sum += 1;
+        }
+        if t {
+            t_sum += 1;
+        }
+    }
+    if p_sum + t_sum == 0 {
+        1.0
+    } else {
+        2.0 * inter as f64 / (p_sum + t_sum) as f64
+    }
+}
+
+/// Top-1 accuracy of logits `[B, K]` against labels.
+pub fn top1_accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let preds = logits.argmax_rows().expect("logits are 2-D");
+    let correct = preds.iter().zip(labels.iter()).filter(|(p, t)| p == t).count();
+    correct as f64 / labels.len().max(1) as f64
+}
+
+/// Per-class confusion matrix `[K, K]` (rows = truth, cols = prediction).
+pub fn confusion_matrix(logits: &Tensor, labels: &[usize], k: usize) -> Vec<Vec<u64>> {
+    let preds = logits.argmax_rows().expect("logits are 2-D");
+    let mut m = vec![vec![0u64; k]; k];
+    for (&p, &t) in preds.iter().zip(labels.iter()) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psnr_perfect_is_infinite() {
+        let a = Tensor::from_vec(vec![0.0, 1.0], [2]).unwrap();
+        assert!(psnr_db(&a, &a).is_infinite());
+    }
+
+    #[test]
+    fn psnr_orders_by_error() {
+        let a = Tensor::from_vec(vec![0.0, 1.0, 0.5, 0.25], [4]).unwrap();
+        let near = a.add_scalar(0.01);
+        let far = a.add_scalar(0.3);
+        assert!(psnr_db(&a, &near) > psnr_db(&a, &far));
+    }
+
+    #[test]
+    fn iou_and_dice_basic_cases() {
+        let p = Tensor::from_vec(vec![0.9, 0.9, 0.1, 0.1], [4]).unwrap();
+        let t = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], [4]).unwrap();
+        // Pred {0,1}, truth {0}: inter 1, union 2.
+        assert_eq!(iou(&p, &t, 0.5), 0.5);
+        assert!((dice(&p, &t, 0.5) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_mask_scores_one() {
+        let t = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], [4]).unwrap();
+        assert_eq!(iou(&t, &t, 0.5), 1.0);
+        assert_eq!(dice(&t, &t, 0.5), 1.0);
+    }
+
+    #[test]
+    fn empty_masks_agree() {
+        let z = Tensor::zeros([4]);
+        assert_eq!(iou(&z, &z, 0.5), 1.0);
+        assert_eq!(dice(&z, &z, 0.5), 1.0);
+    }
+
+    #[test]
+    fn accuracy_and_confusion() {
+        let logits = Tensor::from_vec(
+            vec![2.0, 0.0, 0.0, /*row2*/ 0.0, 3.0, 0.0, /*row3*/ 0.0, 0.0, 1.0],
+            [3, 3],
+        )
+        .unwrap();
+        let labels = [0usize, 1, 0];
+        assert!((top1_accuracy(&logits, &labels) - 2.0 / 3.0).abs() < 1e-12);
+        let m = confusion_matrix(&logits, &labels, 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[0][2], 1); // third sample: truth 0 predicted 2
+    }
+
+    #[test]
+    fn dice_bounds_iou() {
+        // Dice ≥ IoU always.
+        let p = Tensor::from_vec(vec![0.9, 0.1, 0.9, 0.9, 0.1, 0.9], [6]).unwrap();
+        let t = Tensor::from_vec(vec![1.0, 1.0, 0.0, 1.0, 0.0, 0.0], [6]).unwrap();
+        assert!(dice(&p, &t, 0.5) >= iou(&p, &t, 0.5));
+    }
+}

@@ -1,0 +1,390 @@
+//! The four benchmark networks (Table 3), scaled for CPU training.
+//!
+//! Same architecture families as the paper: a residual CNN for
+//! classification (ResNet34 → ResNet-lite), a deep encoder-decoder for
+//! denoising, a convolutional autoencoder for reconstruction, and a UNet
+//! with skip connections for segmentation.
+
+use aicomp_nn::layers::{Conv2d, ConvBnRelu};
+use aicomp_nn::{Linear, Param, Tape, Var};
+use rand::rngs::StdRng;
+
+/// A residual block: conv-bn-relu → conv-bn (+ projection skip) → relu.
+#[derive(Debug, Clone)]
+pub struct ResidualBlock {
+    conv1: ConvBnRelu,
+    conv2: Conv2d,
+    bn2: aicomp_nn::BatchNorm2d,
+    /// 1×1 projection when the shape changes.
+    projection: Option<Conv2d>,
+    stride: usize,
+}
+
+impl ResidualBlock {
+    /// New block; `stride == 2` halves the resolution and needs projection.
+    pub fn new(in_ch: usize, out_ch: usize, stride: usize, rng: &mut StdRng, name: &str) -> Self {
+        let projection = if stride != 1 || in_ch != out_ch {
+            Some(Conv2d::new(in_ch, out_ch, 1, stride, 0, rng, &format!("{name}.proj")))
+        } else {
+            None
+        };
+        ResidualBlock {
+            conv1: ConvBnRelu::new(in_ch, out_ch, 3, stride, 1, rng, &format!("{name}.c1")),
+            conv2: Conv2d::new(out_ch, out_ch, 3, 1, 1, rng, &format!("{name}.c2")),
+            bn2: aicomp_nn::BatchNorm2d::new(out_ch, &format!("{name}.bn2")),
+            projection,
+            stride,
+        }
+    }
+
+    /// Forward pass (training mode).
+    pub fn forward(&self, t: &mut Tape, x: Var) -> Var {
+        self.forward_mode(t, x, true)
+    }
+
+    /// Forward with explicit train/eval mode.
+    pub fn forward_mode(&self, t: &mut Tape, x: Var, train: bool) -> Var {
+        let h = self.conv1.forward_mode(t, x, train);
+        let h = self.conv2.forward(t, h);
+        let h = if train { self.bn2.forward(t, h) } else { self.bn2.forward_eval(t, h) };
+        let skip = match &self.projection {
+            Some(p) => p.forward(t, x),
+            None => x,
+        };
+        let sum = t.add(h, skip);
+        t.relu(sum)
+    }
+
+    /// Parameters.
+    pub fn params(&self) -> Vec<Param> {
+        let mut p = self.conv1.params();
+        p.extend(self.conv2.params());
+        p.extend(self.bn2.params());
+        if let Some(proj) = &self.projection {
+            p.extend(proj.params());
+        }
+        p
+    }
+
+    /// Stride (for tests).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+}
+
+/// ResNet-lite classifier for 3×32×32 inputs, 10 classes.
+#[derive(Debug, Clone)]
+pub struct ResNetLite {
+    stem: ConvBnRelu,
+    blocks: Vec<ResidualBlock>,
+    head: Linear,
+}
+
+impl ResNetLite {
+    /// Build with a seeded RNG.
+    pub fn new(rng: &mut StdRng) -> Self {
+        ResNetLite {
+            stem: ConvBnRelu::new(3, 16, 3, 1, 1, rng, "stem"),
+            blocks: vec![
+                ResidualBlock::new(16, 16, 1, rng, "b1"),
+                ResidualBlock::new(16, 32, 2, rng, "b2"),
+                ResidualBlock::new(32, 64, 2, rng, "b3"),
+            ],
+            head: Linear::new(64, 10, rng, "head"),
+        }
+    }
+
+    /// Forward: logits `[B, 10]` (training mode).
+    pub fn forward(&self, t: &mut Tape, x: Var) -> Var {
+        self.forward_mode(t, x, true)
+    }
+
+    /// Forward with explicit train/eval mode.
+    pub fn forward_mode(&self, t: &mut Tape, x: Var, train: bool) -> Var {
+        let mut h = self.stem.forward_mode(t, x, train);
+        for b in &self.blocks {
+            h = b.forward_mode(t, h, train);
+        }
+        let pooled = t.global_avgpool(h); // [B, 64]
+        self.head.forward(t, pooled)
+    }
+
+    /// Parameters.
+    pub fn params(&self) -> Vec<Param> {
+        let mut p = self.stem.params();
+        for b in &self.blocks {
+            p.extend(b.params());
+        }
+        p.extend(self.head.params());
+        p
+    }
+}
+
+/// Deep encoder-decoder for denoising 1×64×64 micrographs.
+#[derive(Debug, Clone)]
+pub struct EncoderDecoder {
+    enc1: ConvBnRelu,
+    enc2: ConvBnRelu,
+    enc3: ConvBnRelu,
+    dec2: ConvBnRelu,
+    dec1: ConvBnRelu,
+    out: Conv2d,
+}
+
+impl EncoderDecoder {
+    /// Build with a seeded RNG. `in_ch` is 1 for em_denoise.
+    pub fn new(in_ch: usize, rng: &mut StdRng) -> Self {
+        EncoderDecoder {
+            enc1: ConvBnRelu::new(in_ch, 16, 3, 1, 1, rng, "e1"),
+            enc2: ConvBnRelu::new(16, 32, 3, 2, 1, rng, "e2"), // /2
+            enc3: ConvBnRelu::new(32, 64, 3, 2, 1, rng, "e3"), // /4
+            dec2: ConvBnRelu::new(64, 32, 3, 1, 1, rng, "d2"),
+            dec1: ConvBnRelu::new(32, 16, 3, 1, 1, rng, "d1"),
+            out: Conv2d::new(16, in_ch, 3, 1, 1, rng, "out"),
+        }
+    }
+
+    /// Forward: reconstruction of the input's shape (training mode).
+    pub fn forward(&self, t: &mut Tape, x: Var) -> Var {
+        self.forward_hooked(t, x, None)
+    }
+
+    /// Forward with explicit train/eval mode.
+    pub fn forward_mode(&self, t: &mut Tape, x: Var, train: bool) -> Var {
+        self.forward_hooked_mode(t, x, None, train)
+    }
+
+    /// Forward with an optional lossy round-trip at the bottleneck — the
+    /// paper's future-work *activation compression* target (Fig. 1). The
+    /// bottleneck activation is `[B, 64, H/4, W/4]`, so for 64×64 inputs
+    /// the hook sees 16×16 planes (8-divisible, DCT+Chop-compatible).
+    pub fn forward_hooked(
+        &self,
+        t: &mut Tape,
+        x: Var,
+        hook: Option<(&aicomp_nn::LossyFn, aicomp_nn::LossyBackward)>,
+    ) -> Var {
+        self.forward_hooked_mode(t, x, hook, true)
+    }
+
+    /// [`Self::forward_hooked`] with explicit train/eval mode.
+    pub fn forward_hooked_mode(
+        &self,
+        t: &mut Tape,
+        x: Var,
+        hook: Option<(&aicomp_nn::LossyFn, aicomp_nn::LossyBackward)>,
+        train: bool,
+    ) -> Var {
+        let h = self.enc1.forward_mode(t, x, train);
+        let h = self.enc2.forward_mode(t, h, train);
+        let mut h = self.enc3.forward_mode(t, h, train);
+        if let Some((f, mode)) = hook {
+            h = t.lossy(h, f.clone(), mode);
+        }
+        let h = t.upsample2(h);
+        let h = self.dec2.forward_mode(t, h, train);
+        let h = t.upsample2(h);
+        let h = self.dec1.forward_mode(t, h, train);
+        self.out.forward(t, h)
+    }
+
+    /// Parameters.
+    pub fn params(&self) -> Vec<Param> {
+        [&self.enc1, &self.enc2, &self.enc3, &self.dec2, &self.dec1]
+            .iter()
+            .flat_map(|l| l.params())
+            .chain(self.out.params())
+            .collect()
+    }
+}
+
+/// Convolutional autoencoder for optics reconstruction (bottlenecked —
+/// unlike the denoiser it compresses through a narrow latent).
+#[derive(Debug, Clone)]
+pub struct Autoencoder {
+    enc1: ConvBnRelu,
+    enc2: ConvBnRelu,
+    bottleneck: ConvBnRelu,
+    dec2: ConvBnRelu,
+    dec1: ConvBnRelu,
+    out: Conv2d,
+}
+
+impl Autoencoder {
+    /// Build with a seeded RNG.
+    pub fn new(rng: &mut StdRng) -> Self {
+        Autoencoder {
+            enc1: ConvBnRelu::new(1, 8, 3, 2, 1, rng, "e1"), // /2
+            enc2: ConvBnRelu::new(8, 16, 3, 2, 1, rng, "e2"), // /4
+            bottleneck: ConvBnRelu::new(16, 8, 3, 1, 1, rng, "z"), // narrow
+            dec2: ConvBnRelu::new(8, 16, 3, 1, 1, rng, "d2"),
+            dec1: ConvBnRelu::new(16, 8, 3, 1, 1, rng, "d1"),
+            out: Conv2d::new(8, 1, 3, 1, 1, rng, "out"),
+        }
+    }
+
+    /// Forward: reconstruction (training mode).
+    pub fn forward(&self, t: &mut Tape, x: Var) -> Var {
+        self.forward_mode(t, x, true)
+    }
+
+    /// Forward with explicit train/eval mode.
+    pub fn forward_mode(&self, t: &mut Tape, x: Var, train: bool) -> Var {
+        let h = self.enc1.forward_mode(t, x, train);
+        let h = self.enc2.forward_mode(t, h, train);
+        let h = self.bottleneck.forward_mode(t, h, train);
+        let h = t.upsample2(h);
+        let h = self.dec2.forward_mode(t, h, train);
+        let h = t.upsample2(h);
+        let h = self.dec1.forward_mode(t, h, train);
+        self.out.forward(t, h)
+    }
+
+    /// Parameters.
+    pub fn params(&self) -> Vec<Param> {
+        [&self.enc1, &self.enc2, &self.bottleneck, &self.dec2, &self.dec1]
+            .iter()
+            .flat_map(|l| l.params())
+            .chain(self.out.params())
+            .collect()
+    }
+}
+
+/// UNet-lite for cloud segmentation: two-scale encoder, skip connections,
+/// sigmoid mask output.
+#[derive(Debug, Clone)]
+pub struct UNetLite {
+    enc1: ConvBnRelu,
+    enc2: ConvBnRelu,
+    bottleneck: ConvBnRelu,
+    dec2: ConvBnRelu,
+    dec1: ConvBnRelu,
+    out: Conv2d,
+}
+
+impl UNetLite {
+    /// Build with a seeded RNG. `in_ch` is 3 for slstr_cloud.
+    pub fn new(in_ch: usize, rng: &mut StdRng) -> Self {
+        UNetLite {
+            enc1: ConvBnRelu::new(in_ch, 16, 3, 1, 1, rng, "e1"),
+            enc2: ConvBnRelu::new(16, 32, 3, 1, 1, rng, "e2"),
+            bottleneck: ConvBnRelu::new(32, 64, 3, 1, 1, rng, "z"),
+            dec2: ConvBnRelu::new(64 + 32, 32, 3, 1, 1, rng, "d2"),
+            dec1: ConvBnRelu::new(32 + 16, 16, 3, 1, 1, rng, "d1"),
+            out: Conv2d::new(16, 1, 1, 1, 0, rng, "out"),
+        }
+    }
+
+    /// Forward: cloud probability mask `[B, 1, H, W]` (training mode).
+    pub fn forward(&self, t: &mut Tape, x: Var) -> Var {
+        self.forward_mode(t, x, true)
+    }
+
+    /// Forward with explicit train/eval mode.
+    pub fn forward_mode(&self, t: &mut Tape, x: Var, train: bool) -> Var {
+        let e1 = self.enc1.forward_mode(t, x, train); // H
+        let p1 = t.maxpool2(e1); // H/2
+        let e2 = self.enc2.forward_mode(t, p1, train); // H/2
+        let p2 = t.maxpool2(e2); // H/4
+        let z = self.bottleneck.forward_mode(t, p2, train); // H/4
+
+        let u2 = t.upsample2(z); // H/2
+        let c2 = t.concat_channels(u2, e2);
+        let d2 = self.dec2.forward_mode(t, c2, train);
+
+        let u1 = t.upsample2(d2); // H
+        let c1 = t.concat_channels(u1, e1);
+        let d1 = self.dec1.forward_mode(t, c1, train);
+
+        let logits = self.out.forward(t, d1);
+        t.sigmoid(logits)
+    }
+
+    /// Parameters.
+    pub fn params(&self) -> Vec<Param> {
+        [&self.enc1, &self.enc2, &self.bottleneck, &self.dec2, &self.dec1]
+            .iter()
+            .flat_map(|l| l.params())
+            .chain(self.out.params())
+            .collect()
+    }
+}
+
+/// Total scalar parameter count of a parameter list.
+pub fn param_count(params: &[Param]) -> usize {
+    params.iter().map(|p| p.numel()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aicomp_tensor::Tensor;
+
+    #[test]
+    fn resnet_output_shape() {
+        let mut rng = Tensor::seeded_rng(1);
+        let net = ResNetLite::new(&mut rng);
+        let mut t = Tape::new();
+        let x = t.input(Tensor::rand_uniform([2, 3, 32, 32], -1.0, 1.0, &mut rng));
+        let y = net.forward(&mut t, x);
+        assert_eq!(t.value(y).dims(), &[2, 10]);
+        assert!(param_count(&net.params()) > 10_000);
+    }
+
+    #[test]
+    fn encoder_decoder_reconstruction_shape() {
+        let mut rng = Tensor::seeded_rng(2);
+        let net = EncoderDecoder::new(1, &mut rng);
+        let mut t = Tape::new();
+        let x = t.input(Tensor::rand_uniform([1, 1, 64, 64], -1.0, 1.0, &mut rng));
+        let y = net.forward(&mut t, x);
+        assert_eq!(t.value(y).dims(), &[1, 1, 64, 64]);
+    }
+
+    #[test]
+    fn autoencoder_shape() {
+        let mut rng = Tensor::seeded_rng(3);
+        let net = Autoencoder::new(&mut rng);
+        let mut t = Tape::new();
+        let x = t.input(Tensor::rand_uniform([2, 1, 64, 64], 0.0, 1.0, &mut rng));
+        let y = net.forward(&mut t, x);
+        assert_eq!(t.value(y).dims(), &[2, 1, 64, 64]);
+    }
+
+    #[test]
+    fn unet_mask_in_unit_interval() {
+        let mut rng = Tensor::seeded_rng(4);
+        let net = UNetLite::new(3, &mut rng);
+        let mut t = Tape::new();
+        let x = t.input(Tensor::rand_uniform([1, 3, 32, 32], -1.0, 1.0, &mut rng));
+        let y = net.forward(&mut t, x);
+        assert_eq!(t.value(y).dims(), &[1, 1, 32, 32]);
+        assert!(t.value(y).min() >= 0.0 && t.value(y).max() <= 1.0);
+    }
+
+    #[test]
+    fn residual_block_identity_path() {
+        // Same-shape block has no projection.
+        let mut rng = Tensor::seeded_rng(5);
+        let same = ResidualBlock::new(8, 8, 1, &mut rng, "s");
+        assert_eq!(same.params().len(), 8); // conv1(2) + bn1(2) + conv2(2) + bn2(2)
+        let down = ResidualBlock::new(8, 16, 2, &mut rng, "d");
+        assert_eq!(down.params().len(), 10); // + projection conv
+        assert_eq!(down.stride(), 2);
+    }
+
+    #[test]
+    fn networks_backprop_end_to_end() {
+        // One training step on each network must produce finite gradients.
+        let mut rng = Tensor::seeded_rng(6);
+        let net = ResNetLite::new(&mut rng);
+        let mut t = Tape::new();
+        let x = t.input(Tensor::rand_uniform([2, 3, 32, 32], -1.0, 1.0, &mut rng));
+        let logits = net.forward(&mut t, x);
+        let loss = t.softmax_cross_entropy(logits, &[3, 7]);
+        t.backward(loss);
+        for p in net.params() {
+            assert!(p.grad().all_finite(), "{} grad not finite", p.name());
+        }
+    }
+}

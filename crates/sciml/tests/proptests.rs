@@ -1,0 +1,75 @@
+//! Property-based tests on the synthetic dataset generators and training
+//! utilities: the invariants the accuracy experiments rely on must hold
+//! for arbitrary seeds and sizes, not just the defaults.
+
+use aicomp_core::ChopCompressor;
+use aicomp_sciml::{Dataset, DatasetKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generators produce the declared shapes and finite values for any
+    /// seed/size.
+    #[test]
+    fn generators_shape_and_finiteness(seed in 0u64..10_000, n in 1usize..12) {
+        for kind in DatasetKind::ALL {
+            let ds = Dataset::generate(kind, n, seed);
+            let [c, h, w] = kind.sample_shape();
+            prop_assert_eq!(ds.inputs.dims(), &[n, c, h, w]);
+            prop_assert!(ds.inputs.all_finite(), "{} seed {seed}", kind.name());
+            if kind == DatasetKind::Classify {
+                prop_assert_eq!(ds.labels.len(), n);
+                prop_assert!(ds.labels.iter().all(|&l| l < 10));
+            } else {
+                prop_assert_eq!(ds.targets.dims()[0], n);
+                prop_assert!(ds.targets.all_finite());
+            }
+        }
+    }
+
+    /// The em_denoise construction property (what makes Fig. 8b work):
+    /// chopping the noisy input moves it closer to the clean target, for
+    /// any seed and any CF in the sweep.
+    #[test]
+    fn chop_always_denoises_em_inputs(seed in 0u64..5_000, cf in 2usize..=7) {
+        let ds = Dataset::generate(DatasetKind::EmDenoise, 4, seed);
+        let comp = ChopCompressor::new(64, cf).unwrap();
+        let rec = comp.roundtrip(&ds.inputs).unwrap();
+        let before = ds.inputs.mse(&ds.targets).unwrap();
+        let after = rec.mse(&ds.targets).unwrap();
+        prop_assert!(after < before, "seed {seed} cf {cf}: {after} !< {before}");
+    }
+
+    /// Classification inputs survive mild chop much better than heavy chop
+    /// (the monotone mechanism behind Fig. 8a), for any seed.
+    #[test]
+    fn classify_distortion_monotone_in_cr(seed in 0u64..5_000) {
+        let ds = Dataset::generate(DatasetKind::Classify, 6, seed);
+        let heavy = ChopCompressor::new(32, 2).unwrap().roundtrip(&ds.inputs).unwrap();
+        let mild = ChopCompressor::new(32, 6).unwrap().roundtrip(&ds.inputs).unwrap();
+        let e_heavy = heavy.mse(&ds.inputs).unwrap();
+        let e_mild = mild.mse(&ds.inputs).unwrap();
+        prop_assert!(e_heavy > e_mild, "seed {seed}: {e_heavy} !> {e_mild}");
+    }
+
+    /// Cloud masks stay consistent with their inputs: cloudy pixels are
+    /// brighter on average in channel 0, for any seed.
+    #[test]
+    fn cloud_mask_brightness_correlation(seed in 0u64..5_000) {
+        let ds = Dataset::generate(DatasetKind::SlstrCloud, 4, seed);
+        let hw = 64 * 64;
+        let (mut cloud, mut clear, mut nc, mut ncl) = (0.0f64, 0.0f64, 0u64, 0u64);
+        for s in 0..4 {
+            for i in 0..hw {
+                let m = ds.targets.data()[s * hw + i];
+                let v = ds.inputs.data()[s * 3 * hw + i] as f64;
+                if m > 0.5 { cloud += v; nc += 1; } else { clear += v; ncl += 1; }
+            }
+        }
+        // Degenerate all-cloud / no-cloud scenes can occur; skip those.
+        if nc > 50 && ncl > 50 {
+            prop_assert!(cloud / nc as f64 > clear / ncl as f64, "seed {seed}");
+        }
+    }
+}

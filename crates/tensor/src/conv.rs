@@ -1,0 +1,269 @@
+//! im2col / col2im and a conv2d forward helper.
+//!
+//! On every accelerator in the paper, convolutions lower to matrix multiply;
+//! we do the same so that the training benchmarks exercise the identical
+//! kernel the compressor uses.
+
+use rayon::prelude::*;
+
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+/// Output spatial size of a convolution.
+pub fn conv_out_size(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// im2col: unfold a `[B, C, H, W]` input into a `[B, C*KH*KW, OH*OW]` matrix
+/// so that convolution with a `[OC, C*KH*KW]` weight matrix is one matmul
+/// per sample.
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> Result<Tensor> {
+    let d = input.dims();
+    if d.len() != 4 {
+        return Err(TensorError::Constraint("im2col requires [B,C,H,W]".into()));
+    }
+    let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let oh = conv_out_size(h, kh, stride, pad);
+    let ow = conv_out_size(w, kw, stride, pad);
+    let cols_per_sample = c * kh * kw * oh * ow;
+    let mut out = vec![0.0f32; b * cols_per_sample];
+    let src = input.data();
+
+    out.par_chunks_mut(cols_per_sample).enumerate().for_each(|(n, chunk)| {
+        let img = &src[n * c * h * w..(n + 1) * c * h * w];
+        // chunk layout: [(c, ki, kj), (oy, ox)]
+        for ci in 0..c {
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = (ci * kh + ki) * kw + kj;
+                    let base = row * oh * ow;
+                    for oy in 0..oh {
+                        let iy = (oy * stride + ki) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // leave zeros (implicit padding)
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = (ox * stride + kj) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            chunk[base + oy * ow + ox] = img[ci * h * w + iy * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, [b, c * kh * kw, oh * ow])
+}
+
+/// col2im: fold a `[B, C*KH*KW, OH*OW]` gradient back to `[B, C, H, W]`,
+/// accumulating overlapping contributions (the adjoint of [`im2col`]).
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols: &Tensor,
+    b: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let oh = conv_out_size(h, kh, stride, pad);
+    let ow = conv_out_size(w, kw, stride, pad);
+    let expect = [b, c * kh * kw, oh * ow];
+    if cols.dims() != expect {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols.dims().to_vec(),
+            rhs: expect.to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; b * c * h * w];
+    let src = cols.data();
+    let per_sample_out = c * h * w;
+    let per_sample_cols = c * kh * kw * oh * ow;
+    out.par_chunks_mut(per_sample_out).enumerate().for_each(|(n, img)| {
+        let chunk = &src[n * per_sample_cols..(n + 1) * per_sample_cols];
+        for ci in 0..c {
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = (ci * kh + ki) * kw + kj;
+                    let base = row * oh * ow;
+                    for oy in 0..oh {
+                        let iy = (oy * stride + ki) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = (ox * stride + kj) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            img[ci * h * w + iy * w + ix as usize] += chunk[base + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, [b, c, h, w])
+}
+
+/// Convolution forward pass:
+/// input `[B, C, H, W]`, weight `[OC, C, KH, KW]`, bias `[OC]` (optional).
+/// Returns `[B, OC, OH, OW]`.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let wd = weight.dims();
+    if wd.len() != 4 {
+        return Err(TensorError::Constraint("conv2d weight must be [OC,C,KH,KW]".into()));
+    }
+    let (oc, c, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    let d = input.dims();
+    if d.len() != 4 || d[1] != c {
+        return Err(TensorError::ShapeMismatch { op: "conv2d", lhs: d.to_vec(), rhs: wd.to_vec() });
+    }
+    let (b, h, w) = (d[0], d[2], d[3]);
+    let oh = conv_out_size(h, kh, stride, pad);
+    let ow = conv_out_size(w, kw, stride, pad);
+
+    let cols = im2col(input, kh, kw, stride, pad)?; // [B, C*KH*KW, OH*OW]
+    let wmat = weight.reshape([oc, c * kh * kw])?;
+    let out = cols.lmatmul_broadcast(&wmat)?; // [B, OC, OH*OW]
+    let mut out = out.reshaped([b, oc, oh, ow])?;
+    if let Some(bias) = bias {
+        if bias.dims() != [oc] {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d bias",
+                lhs: bias.dims().to_vec(),
+                rhs: vec![oc],
+            });
+        }
+        let plane = oh * ow;
+        let data = out.data_mut();
+        for n in 0..b {
+            for o in 0..oc {
+                let bval = bias.data()[o];
+                let off = (n * oc + o) * plane;
+                for v in &mut data[off..off + plane] {
+                    *v += bval;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (sliding-window) convolution for cross-checking.
+    fn conv2d_naive(input: &Tensor, weight: &Tensor, stride: usize, pad: usize) -> Tensor {
+        let d = input.dims();
+        let wd = weight.dims();
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let (oc, kh, kw) = (wd[0], wd[2], wd[3]);
+        let oh = conv_out_size(h, kh, stride, pad);
+        let ow = conv_out_size(w, kw, stride, pad);
+        let mut out = Tensor::zeros([b, oc, oh, ow]);
+        for n in 0..b {
+            for o in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ci in 0..c {
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let iy = (oy * stride + ki) as isize - pad as isize;
+                                    let ix = (ox * stride + kj) as isize - pad as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += input.at(&[n, ci, iy as usize, ix as usize])
+                                        * weight.at(&[o, ci, ki, kj]);
+                                }
+                            }
+                        }
+                        out.set(&[n, o, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn out_size_formula() {
+        assert_eq!(conv_out_size(32, 3, 1, 1), 32);
+        assert_eq!(conv_out_size(32, 3, 2, 1), 16);
+        assert_eq!(conv_out_size(8, 2, 2, 0), 4);
+    }
+
+    #[test]
+    fn conv2d_matches_naive() {
+        let input = Tensor::from_vec(
+            (0..2 * 3 * 6 * 6).map(|x| ((x % 11) as f32) - 5.0).collect(),
+            [2, 3, 6, 6],
+        )
+        .unwrap();
+        let weight = Tensor::from_vec(
+            (0..4 * 3 * 3 * 3).map(|x| ((x % 7) as f32) * 0.1).collect(),
+            [4, 3, 3, 3],
+        )
+        .unwrap();
+        for (stride, pad) in [(1, 1), (2, 1), (1, 0), (2, 0)] {
+            let fast = conv2d(&input, &weight, None, stride, pad).unwrap();
+            let slow = conv2d_naive(&input, &weight, stride, pad);
+            assert!(fast.allclose(&slow, 1e-3), "stride={stride} pad={pad}");
+        }
+    }
+
+    #[test]
+    fn conv2d_bias_adds_per_channel() {
+        let input = Tensor::ones([1, 1, 3, 3]);
+        let weight = Tensor::zeros([2, 1, 1, 1]);
+        let bias = Tensor::from_vec(vec![1.0, -2.0], [2]).unwrap();
+        let out = conv2d(&input, &weight, Some(&bias), 1, 0).unwrap();
+        assert_eq!(out.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(out.at(&[0, 1, 2, 2]), -2.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property,
+        // which is exactly what backprop through conv relies on.
+        let (b, c, h, w, kh, kw, stride, pad) = (1, 2, 5, 5, 3, 3, 1, 1);
+        let x =
+            Tensor::from_vec((0..b * c * h * w).map(|i| (i as f32).sin()).collect(), [b, c, h, w])
+                .unwrap();
+        let cols = im2col(&x, kh, kw, stride, pad).unwrap();
+        let y = Tensor::from_vec(
+            (0..cols.numel()).map(|i| ((i * 7 % 13) as f32) - 6.0).collect(),
+            cols.dims().to_vec(),
+        )
+        .unwrap();
+        let lhs: f64 =
+            cols.data().iter().zip(y.data().iter()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let folded = col2im(&y, b, c, h, w, kh, kw, stride, pad).unwrap();
+        let rhs: f64 =
+            x.data().iter().zip(folded.data().iter()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_rejects_bad_rank() {
+        let x = Tensor::zeros([3, 3]);
+        assert!(im2col(&x, 3, 3, 1, 1).is_err());
+    }
+}

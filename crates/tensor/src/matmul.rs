@@ -1,0 +1,286 @@
+//! Matrix multiplication kernels.
+//!
+//! The DCT+Chop compressor is *two matmuls per direction* (Eq. 4 and Eq. 6 in
+//! the paper), so this is the hottest kernel in the reproduction. We use a
+//! cache-blocked i-k-j loop order over contiguous row-major buffers and
+//! parallelize over row panels with Rayon, following the HPC guide idioms
+//! (chunked slices, no per-element bounds checks in the inner loop).
+
+use rayon::prelude::*;
+
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+/// Row-panel height processed per Rayon task.
+const PAR_ROWS: usize = 32;
+/// Cache block along the k dimension.
+const BLOCK_K: usize = 64;
+
+/// `C = A * B` for row-major buffers: A is m×k, B is k×n, C is m×n.
+///
+/// Serial kernel over one row panel; the inner j loop vectorizes.
+fn gemm_panel(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize) {
+    let m = c.len() / n;
+    for kk in (0..k).step_by(BLOCK_K) {
+        let k_end = (kk + BLOCK_K).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for p in kk..k_end {
+                let aval = a_row[p];
+                if aval == 0.0 {
+                    // The mask/transform matrices in the compressor are very
+                    // sparse (M has one nonzero per row, T_L is block
+                    // diagonal); skipping zero multipliers is a large win.
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *cv += aval * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Raw GEMM: multiply row-major `a` (m×k) by `b` (k×n) into a fresh m×n buffer.
+pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "lhs buffer size");
+    assert_eq!(b.len(), k * n, "rhs buffer size");
+    let mut c = vec![0.0f32; m * n];
+    if m * n * k < 32 * 32 * 32 {
+        // Small problems: skip the thread-pool overhead.
+        gemm_panel(a, b, &mut c, k, n);
+        return c;
+    }
+    c.par_chunks_mut(PAR_ROWS * n)
+        .zip(a.par_chunks(PAR_ROWS * k))
+        .for_each(|(c_panel, a_panel)| gemm_panel(a_panel, b, c_panel, k, n));
+    c
+}
+
+impl Tensor {
+    /// 2-D matrix multiply. `self` must be `[m, k]`, `rhs` `[k, n]`.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (ld, rd) = (self.dims(), rhs.dims());
+        if ld.len() != 2 || rd.len() != 2 || ld[1] != rd[0] {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: ld.to_vec(),
+                rhs: rd.to_vec(),
+            });
+        }
+        let (m, k, n) = (ld[0], ld[1], rd[1]);
+        let c = gemm(self.data(), rhs.data(), m, k, n);
+        Tensor::from_vec(c, [m, n])
+    }
+
+    /// Batched matmul with a shared right-hand side:
+    /// `self` is `[batch, m, k]` (or `[m, k]`), `rhs` is `[k, n]`.
+    /// Every batch slice is multiplied by the same `rhs` — this is exactly
+    /// the compressor's `torch.matmul(A, RHS)` broadcast pattern.
+    pub fn matmul_broadcast(&self, rhs: &Tensor) -> Result<Tensor> {
+        let rd = rhs.dims();
+        if rd.len() != 2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_broadcast",
+                lhs: self.dims().to_vec(),
+                rhs: rd.to_vec(),
+            });
+        }
+        let ld = self.dims();
+        if ld.len() < 2 || ld[ld.len() - 1] != rd[0] {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_broadcast",
+                lhs: ld.to_vec(),
+                rhs: rd.to_vec(),
+            });
+        }
+        let k = rd[0];
+        let n = rd[1];
+        let m = ld[ld.len() - 2];
+        let batch = self.numel() / (m * k);
+        let mut out = vec![0.0f32; batch * m * n];
+        out.par_chunks_mut(m * n)
+            .zip(self.data().par_chunks(m * k))
+            .for_each(|(c, a)| gemm_panel(a, rhs.data(), c, k, n));
+        let mut dims = ld.to_vec();
+        let len = dims.len();
+        dims[len - 2] = m;
+        dims[len - 1] = n;
+        Tensor::from_vec(out, dims)
+    }
+
+    /// Batched matmul with a shared *left*-hand side:
+    /// `lhs` is `[m, k]`, `self` is `[batch, k, n]` — the compressor's
+    /// `torch.matmul(LHS, X)` broadcast pattern.
+    pub fn lmatmul_broadcast(&self, lhs: &Tensor) -> Result<Tensor> {
+        let ldm = lhs.dims();
+        if ldm.len() != 2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "lmatmul_broadcast",
+                lhs: ldm.to_vec(),
+                rhs: self.dims().to_vec(),
+            });
+        }
+        let sd = self.dims();
+        if sd.len() < 2 || sd[sd.len() - 2] != ldm[1] {
+            return Err(TensorError::ShapeMismatch {
+                op: "lmatmul_broadcast",
+                lhs: ldm.to_vec(),
+                rhs: sd.to_vec(),
+            });
+        }
+        let m = ldm[0];
+        let k = ldm[1];
+        let n = sd[sd.len() - 1];
+        let batch = self.numel() / (k * n);
+        let mut out = vec![0.0f32; batch * m * n];
+        out.par_chunks_mut(m * n)
+            .zip(self.data().par_chunks(k * n))
+            .for_each(|(c, x)| gemm_panel(lhs.data(), x, c, k, n));
+        let mut dims = sd.to_vec();
+        let len = dims.len();
+        dims[len - 2] = m;
+        dims[len - 1] = n;
+        Tensor::from_vec(out, dims)
+    }
+
+    /// Fully batched matmul: `[batch, m, k] × [batch, k, n] → [batch, m, n]`.
+    pub fn bmm(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (ld, rd) = (self.dims(), rhs.dims());
+        if ld.len() != 3 || rd.len() != 3 || ld[0] != rd[0] || ld[2] != rd[1] {
+            return Err(TensorError::ShapeMismatch {
+                op: "bmm",
+                lhs: ld.to_vec(),
+                rhs: rd.to_vec(),
+            });
+        }
+        let (batch, m, k, n) = (ld[0], ld[1], ld[2], rd[2]);
+        let mut out = vec![0.0f32; batch * m * n];
+        out.par_chunks_mut(m * n)
+            .zip(self.data().par_chunks(m * k).zip(rhs.data().par_chunks(k * n)))
+            .for_each(|(c, (a, b))| gemm_panel(a, b, c, k, n));
+        Tensor::from_vec(out, [batch, m, n])
+    }
+}
+
+/// FLOP count of an `m×k · k×n` matmul (multiply-add counted as 2 FLOPs),
+/// used by the accelerator performance model.
+pub fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                c.set(&[i, j], acc);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), [2, 3]).unwrap();
+        let b = Tensor::from_vec((0..12).map(|x| (x as f32) * 0.5).collect(), [3, 4]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c.allclose(&naive(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec((0..64).map(|x| x as f32).collect(), [8, 8]).unwrap();
+        let i = Tensor::eye(8);
+        assert!(a.matmul(&i).unwrap().allclose(&a, 1e-6));
+        assert!(i.matmul(&a).unwrap().allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 3]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn large_matmul_matches_naive() {
+        // Big enough to take the parallel path.
+        let m = 70;
+        let k = 80;
+        let n = 90;
+        let a = Tensor::from_vec((0..m * k).map(|x| ((x % 13) as f32) - 6.0).collect(), [m, k])
+            .unwrap();
+        let b = Tensor::from_vec((0..k * n).map(|x| ((x % 7) as f32) * 0.25).collect(), [k, n])
+            .unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c.allclose(&naive(&a, &b), 1e-2));
+    }
+
+    #[test]
+    fn broadcast_matmul_matches_per_slice() {
+        let batch = 3;
+        let a =
+            Tensor::from_vec((0..batch * 4 * 5).map(|x| (x as f32) * 0.1).collect(), [batch, 4, 5])
+                .unwrap();
+        let b = Tensor::from_vec((0..5 * 6).map(|x| (x as f32) * 0.01).collect(), [5, 6]).unwrap();
+        let c = a.matmul_broadcast(&b).unwrap();
+        assert_eq!(c.dims(), &[batch, 4, 6]);
+        for s in 0..batch {
+            let slice = Tensor::from_vec(a.data()[s * 20..(s + 1) * 20].to_vec(), [4, 5]).unwrap();
+            let expect = slice.matmul(&b).unwrap();
+            let got = Tensor::from_vec(c.data()[s * 24..(s + 1) * 24].to_vec(), [4, 6]).unwrap();
+            assert!(got.allclose(&expect, 1e-5));
+        }
+    }
+
+    #[test]
+    fn left_broadcast_matches_per_slice() {
+        let batch = 2;
+        let lhs = Tensor::from_vec((0..3 * 4).map(|x| x as f32).collect(), [3, 4]).unwrap();
+        let x =
+            Tensor::from_vec((0..batch * 4 * 5).map(|x| (x as f32) * 0.1).collect(), [batch, 4, 5])
+                .unwrap();
+        let c = x.lmatmul_broadcast(&lhs).unwrap();
+        assert_eq!(c.dims(), &[batch, 3, 5]);
+        for s in 0..batch {
+            let slice = Tensor::from_vec(x.data()[s * 20..(s + 1) * 20].to_vec(), [4, 5]).unwrap();
+            let expect = lhs.matmul(&slice).unwrap();
+            let got = Tensor::from_vec(c.data()[s * 15..(s + 1) * 15].to_vec(), [3, 5]).unwrap();
+            assert!(got.allclose(&expect, 1e-5));
+        }
+    }
+
+    #[test]
+    fn bmm_matches_per_slice() {
+        let a =
+            Tensor::from_vec((0..2 * 3 * 4).map(|x| x as f32 * 0.1).collect(), [2, 3, 4]).unwrap();
+        let b =
+            Tensor::from_vec((0..2 * 4 * 2).map(|x| x as f32 * 0.2).collect(), [2, 4, 2]).unwrap();
+        let c = a.bmm(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 3, 2]);
+        for s in 0..2 {
+            let sa = Tensor::from_vec(a.data()[s * 12..(s + 1) * 12].to_vec(), [3, 4]).unwrap();
+            let sb = Tensor::from_vec(b.data()[s * 8..(s + 1) * 8].to_vec(), [4, 2]).unwrap();
+            let expect = sa.matmul(&sb).unwrap();
+            let got = Tensor::from_vec(c.data()[s * 6..(s + 1) * 6].to_vec(), [3, 2]).unwrap();
+            assert!(got.allclose(&expect, 1e-5));
+        }
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(matmul_flops(2, 3, 4), 48);
+    }
+}

@@ -1,0 +1,362 @@
+//! Structural tensor operations: transpose, concat, pad, slicing, block
+//! extraction, and gather/scatter (the IPU-only operators from §3.5.2).
+
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+impl Tensor {
+    /// 2-D transpose (materializing).
+    pub fn transpose(&self) -> Result<Tensor> {
+        let d = self.dims();
+        if d.len() != 2 {
+            return Err(TensorError::Constraint(format!(
+                "transpose requires rank-2 tensor, got rank {}",
+                d.len()
+            )));
+        }
+        let (r, c) = (d[0], d[1]);
+        let src = self.data();
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = src[i * c + j];
+            }
+        }
+        Tensor::from_vec(out, [c, r])
+    }
+
+    /// Swap the last two axes of an N-D tensor (batched transpose).
+    pub fn transpose_last2(&self) -> Result<Tensor> {
+        let d = self.dims();
+        if d.len() < 2 {
+            return Err(TensorError::Constraint("transpose_last2 requires rank >= 2".into()));
+        }
+        let (r, c) = (d[d.len() - 2], d[d.len() - 1]);
+        let batch = self.numel() / (r * c);
+        let src = self.data();
+        let mut out = vec![0.0f32; self.numel()];
+        for b in 0..batch {
+            let s = &src[b * r * c..(b + 1) * r * c];
+            let o = &mut out[b * r * c..(b + 1) * r * c];
+            for i in 0..r {
+                for j in 0..c {
+                    o[j * r + i] = s[i * c + j];
+                }
+            }
+        }
+        let mut dims = d.to_vec();
+        let len = dims.len();
+        dims.swap(len - 2, len - 1);
+        Tensor::from_vec(out, dims)
+    }
+
+    /// Concatenate along axis 0. All other dims must match.
+    pub fn concat0(tensors: &[&Tensor]) -> Result<Tensor> {
+        if tensors.is_empty() {
+            return Err(TensorError::Constraint("concat0 of empty list".into()));
+        }
+        let tail = &tensors[0].dims()[1..];
+        for t in tensors {
+            if &t.dims()[1..] != tail {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat0",
+                    lhs: tensors[0].dims().to_vec(),
+                    rhs: t.dims().to_vec(),
+                });
+            }
+        }
+        let total0: usize = tensors.iter().map(|t| t.dims()[0]).sum();
+        let mut data = Vec::with_capacity(total0 * tail.iter().product::<usize>());
+        for t in tensors {
+            data.extend_from_slice(t.data());
+        }
+        let mut dims = vec![total0];
+        dims.extend_from_slice(tail);
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Concatenate two rank-4 `[B, C, H, W]` tensors along the channel axis
+    /// (needed by UNet skip connections).
+    pub fn concat_channels(&self, other: &Tensor) -> Result<Tensor> {
+        let (a, b) = (self.dims(), other.dims());
+        if a.len() != 4 || b.len() != 4 || a[0] != b[0] || a[2] != b[2] || a[3] != b[3] {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat_channels",
+                lhs: a.to_vec(),
+                rhs: b.to_vec(),
+            });
+        }
+        let (bs, c1, h, w) = (a[0], a[1], a[2], a[3]);
+        let c2 = b[1];
+        let plane = h * w;
+        let mut out = Vec::with_capacity(bs * (c1 + c2) * plane);
+        for n in 0..bs {
+            out.extend_from_slice(&self.data()[n * c1 * plane..(n + 1) * c1 * plane]);
+            out.extend_from_slice(&other.data()[n * c2 * plane..(n + 1) * c2 * plane]);
+        }
+        Tensor::from_vec(out, [bs, c1 + c2, h, w])
+    }
+
+    /// Extract rows `[start, end)` along axis 0 (materializing slice).
+    pub fn slice0(&self, start: usize, end: usize) -> Result<Tensor> {
+        let d = self.dims();
+        if start > end || end > d[0] {
+            return Err(TensorError::OutOfRange { what: "slice0 end", index: end, bound: d[0] });
+        }
+        let row: usize = d[1..].iter().product();
+        let data = self.data()[start * row..end * row].to_vec();
+        let mut dims = d.to_vec();
+        dims[0] = end - start;
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Zero-pad a `[B, C, H, W]` tensor spatially by `p` on each side.
+    pub fn pad2d(&self, p: usize) -> Result<Tensor> {
+        let d = self.dims();
+        if d.len() != 4 {
+            return Err(TensorError::Constraint("pad2d requires [B,C,H,W]".into()));
+        }
+        if p == 0 {
+            return Ok(self.clone());
+        }
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let (nh, nw) = (h + 2 * p, w + 2 * p);
+        let mut out = vec![0.0f32; b * c * nh * nw];
+        let src = self.data();
+        for img in 0..b * c {
+            for i in 0..h {
+                let srow = &src[img * h * w + i * w..img * h * w + (i + 1) * w];
+                let dst_off = img * nh * nw + (i + p) * nw + p;
+                out[dst_off..dst_off + w].copy_from_slice(srow);
+            }
+        }
+        Tensor::from_vec(out, [b, c, nh, nw])
+    }
+
+    /// Remove `p` pixels of border from a `[B, C, H, W]` tensor (inverse of
+    /// [`Tensor::pad2d`]).
+    pub fn unpad2d(&self, p: usize) -> Result<Tensor> {
+        let d = self.dims();
+        if d.len() != 4 {
+            return Err(TensorError::Constraint("unpad2d requires [B,C,H,W]".into()));
+        }
+        if p == 0 {
+            return Ok(self.clone());
+        }
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        if h <= 2 * p || w <= 2 * p {
+            return Err(TensorError::Constraint("unpad2d: padding exceeds size".into()));
+        }
+        let (nh, nw) = (h - 2 * p, w - 2 * p);
+        let mut out = vec![0.0f32; b * c * nh * nw];
+        let src = self.data();
+        for img in 0..b * c {
+            for i in 0..nh {
+                let src_off = img * h * w + (i + p) * w + p;
+                let dst_off = img * nh * nw + i * nw;
+                out[dst_off..dst_off + nw].copy_from_slice(&src[src_off..src_off + nw]);
+            }
+        }
+        Tensor::from_vec(out, [b, c, nh, nw])
+    }
+
+    /// Gather: `out[i] = self_flat[indices[i]]`. This mirrors
+    /// `torch.gather` on a flattened tensor, the IPU-only operator used by
+    /// the scatter/gather optimization (§3.5.2).
+    pub fn gather_flat(&self, indices: &[usize]) -> Result<Tensor> {
+        let n = self.numel();
+        let mut out = Vec::with_capacity(indices.len());
+        for &ix in indices {
+            if ix >= n {
+                return Err(TensorError::OutOfRange { what: "gather index", index: ix, bound: n });
+            }
+            out.push(self.data()[ix]);
+        }
+        Tensor::from_vec(out, [indices.len()])
+    }
+
+    /// Scatter into a zeroed tensor of `shape`:
+    /// `out_flat[indices[i]] = self_flat[i]` (mirrors `torch.scatter`).
+    pub fn scatter_flat(
+        &self,
+        indices: &[usize],
+        shape: impl Into<crate::Shape>,
+    ) -> Result<Tensor> {
+        let shape = shape.into();
+        if indices.len() != self.numel() {
+            return Err(TensorError::Constraint(format!(
+                "scatter: {} indices for {} values",
+                indices.len(),
+                self.numel()
+            )));
+        }
+        let mut out = vec![0.0f32; shape.numel()];
+        for (&ix, &v) in indices.iter().zip(self.data().iter()) {
+            if ix >= out.len() {
+                return Err(TensorError::OutOfRange {
+                    what: "scatter index",
+                    index: ix,
+                    bound: out.len(),
+                });
+            }
+            out[ix] = v;
+        }
+        Tensor::from_vec(out, shape)
+    }
+
+    /// View an `n×n` matrix as `bs×bs` blocks and return them as a
+    /// `[nblks, bs, bs]` tensor in row-major block order. Needed for the
+    /// naive (per-block) DCT reference and the Fig-3 heatmap analysis.
+    pub fn to_blocks(&self, bs: usize) -> Result<Tensor> {
+        let d = self.dims();
+        if d.len() != 2 {
+            return Err(TensorError::Constraint("to_blocks requires rank-2 tensor".into()));
+        }
+        let (h, w) = (d[0], d[1]);
+        if h % bs != 0 || w % bs != 0 {
+            return Err(TensorError::Constraint(format!(
+                "dims {h}x{w} not divisible by block size {bs}"
+            )));
+        }
+        let (bh, bw) = (h / bs, w / bs);
+        let mut out = Vec::with_capacity(h * w);
+        let src = self.data();
+        for bi in 0..bh {
+            for bj in 0..bw {
+                for i in 0..bs {
+                    let row = bi * bs + i;
+                    let off = row * w + bj * bs;
+                    out.extend_from_slice(&src[off..off + bs]);
+                }
+            }
+        }
+        Tensor::from_vec(out, [bh * bw, bs, bs])
+    }
+
+    /// Inverse of [`Tensor::to_blocks`]: reassemble `[nblks, bs, bs]` blocks
+    /// into an `h×w` matrix (`h*w == nblks*bs*bs`, `h % bs == 0`).
+    pub fn from_blocks(&self, h: usize, w: usize) -> Result<Tensor> {
+        let d = self.dims();
+        if d.len() != 3 || d[1] != d[2] {
+            return Err(TensorError::Constraint("from_blocks requires [nblks, bs, bs]".into()));
+        }
+        let bs = d[1];
+        if !h.is_multiple_of(bs) || !w.is_multiple_of(bs) || d[0] * bs * bs != h * w {
+            return Err(TensorError::Constraint(format!(
+                "cannot assemble {} blocks of {bs}x{bs} into {h}x{w}",
+                d[0]
+            )));
+        }
+        let bw = w / bs;
+        let mut out = vec![0.0f32; h * w];
+        let src = self.data();
+        for (blk, chunk) in src.chunks_exact(bs * bs).enumerate() {
+            let bi = blk / bw;
+            let bj = blk % bw;
+            for i in 0..bs {
+                let row = bi * bs + i;
+                let off = row * w + bj * bs;
+                out[off..off + bs].copy_from_slice(&chunk[i * bs..(i + 1) * bs]);
+            }
+        }
+        Tensor::from_vec(out, [h, w])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [3, 4]).unwrap();
+        let t = a.transpose().unwrap();
+        assert_eq!(t.dims(), &[4, 3]);
+        assert_eq!(t.at(&[0, 1]), a.at(&[1, 0]));
+        assert!(t.transpose().unwrap().allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn transpose_last2_batched() {
+        let a = Tensor::from_vec((0..2 * 2 * 3).map(|x| x as f32).collect(), [2, 2, 3]).unwrap();
+        let t = a.transpose_last2().unwrap();
+        assert_eq!(t.dims(), &[2, 3, 2]);
+        assert_eq!(t.at(&[1, 2, 0]), a.at(&[1, 0, 2]));
+    }
+
+    #[test]
+    fn concat0_stacks() {
+        let a = Tensor::ones([2, 3]);
+        let b = Tensor::zeros([1, 3]);
+        let c = Tensor::concat0(&[&a, &b]).unwrap();
+        assert_eq!(c.dims(), &[3, 3]);
+        assert_eq!(c.at(&[0, 0]), 1.0);
+        assert_eq!(c.at(&[2, 2]), 0.0);
+    }
+
+    #[test]
+    fn concat_channels_interleaves_per_sample() {
+        let a = Tensor::full([2, 1, 2, 2], 1.0);
+        let b = Tensor::full([2, 2, 2, 2], 2.0);
+        let c = a.concat_channels(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 3, 2, 2]);
+        // Sample 0: channel 0 from a, channels 1-2 from b.
+        assert_eq!(c.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(c.at(&[0, 1, 0, 0]), 2.0);
+        assert_eq!(c.at(&[1, 0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn pad_unpad_roundtrip() {
+        let a = Tensor::from_vec((0..16).map(|x| x as f32).collect(), [1, 1, 4, 4]).unwrap();
+        let p = a.pad2d(2).unwrap();
+        assert_eq!(p.dims(), &[1, 1, 8, 8]);
+        assert_eq!(p.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(p.at(&[0, 0, 2, 2]), 0.0_f32.max(a.at(&[0, 0, 0, 0])));
+        let u = p.unpad2d(2).unwrap();
+        assert!(u.allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let n = 8;
+        let a = Tensor::from_vec((0..n * n).map(|x| x as f32).collect(), [n, n]).unwrap();
+        let blocks = a.to_blocks(4).unwrap();
+        assert_eq!(blocks.dims(), &[4, 4, 4]);
+        // First block's first row is the matrix's first 4 elements.
+        assert_eq!(&blocks.data()[..4], &[0.0, 1.0, 2.0, 3.0]);
+        let back = blocks.from_blocks(n, n).unwrap();
+        assert!(back.allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn blocks_reject_indivisible() {
+        let a = Tensor::zeros([6, 6]);
+        assert!(a.to_blocks(4).is_err());
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let a = Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0], [2, 2]).unwrap();
+        let idx = vec![3, 0];
+        let g = a.gather_flat(&idx).unwrap();
+        assert_eq!(g.data(), &[40.0, 10.0]);
+        let s = g.scatter_flat(&idx, [2, 2]).unwrap();
+        assert_eq!(s.data(), &[10.0, 0.0, 0.0, 40.0]);
+    }
+
+    #[test]
+    fn gather_rejects_out_of_range() {
+        let a = Tensor::zeros([2, 2]);
+        assert!(a.gather_flat(&[4]).is_err());
+    }
+
+    #[test]
+    fn slice0_extracts_rows() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [4, 3]).unwrap();
+        let s = a.slice0(1, 3).unwrap();
+        assert_eq!(s.dims(), &[2, 3]);
+        assert_eq!(s.at(&[0, 0]), 3.0);
+        assert!(a.slice0(3, 5).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Axis-wise reductions.
+
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+impl Tensor {
+    /// Sum along `axis`, removing it from the shape.
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor> {
+        self.reduce_axis(axis, 0.0, |acc, v| acc + v, |acc, _| acc)
+    }
+
+    /// Mean along `axis`, removing it from the shape.
+    pub fn mean_axis(&self, axis: usize) -> Result<Tensor> {
+        let n = *self.dims().get(axis).ok_or(TensorError::OutOfRange {
+            what: "axis",
+            index: axis,
+            bound: self.dims().len(),
+        })? as f32;
+        self.reduce_axis(axis, 0.0, |acc, v| acc + v, move |acc, _| acc / n)
+    }
+
+    /// Maximum along `axis`, removing it from the shape.
+    pub fn max_axis(&self, axis: usize) -> Result<Tensor> {
+        self.reduce_axis(axis, f32::NEG_INFINITY, f32::max, |acc, _| acc)
+    }
+
+    /// Minimum along `axis`, removing it from the shape.
+    pub fn min_axis(&self, axis: usize) -> Result<Tensor> {
+        self.reduce_axis(axis, f32::INFINITY, f32::min, |acc, _| acc)
+    }
+
+    /// Population variance along `axis` (two-pass for stability).
+    pub fn var_axis(&self, axis: usize) -> Result<Tensor> {
+        let mean = self.mean_axis(axis)?;
+        let d = self.dims();
+        let n = d[axis];
+        let outer: usize = d[..axis].iter().product();
+        let inner: usize = d[axis + 1..].iter().product();
+        let mut out = vec![0.0f32; outer * inner];
+        for o in 0..outer {
+            for i in 0..inner {
+                let mu = mean.data()[o * inner + i] as f64;
+                let mut acc = 0.0f64;
+                for k in 0..n {
+                    let v = self.data()[(o * n + k) * inner + i] as f64 - mu;
+                    acc += v * v;
+                }
+                out[o * inner + i] = (acc / n as f64) as f32;
+            }
+        }
+        Tensor::from_vec(out, mean.dims().to_vec())
+    }
+
+    fn reduce_axis(
+        &self,
+        axis: usize,
+        init: f32,
+        fold: impl Fn(f32, f32) -> f32,
+        finish: impl Fn(f32, usize) -> f32,
+    ) -> Result<Tensor> {
+        let d = self.dims();
+        if axis >= d.len() {
+            return Err(TensorError::OutOfRange { what: "axis", index: axis, bound: d.len() });
+        }
+        let n = d[axis];
+        let outer: usize = d[..axis].iter().product();
+        let inner: usize = d[axis + 1..].iter().product();
+        let mut out = vec![init; outer * inner];
+        let src = self.data();
+        for o in 0..outer {
+            for k in 0..n {
+                let base = (o * n + k) * inner;
+                let dst = &mut out[o * inner..(o + 1) * inner];
+                for (acc, &v) in dst.iter_mut().zip(&src[base..base + inner]) {
+                    *acc = fold(*acc, v);
+                }
+            }
+        }
+        for acc in &mut out {
+            *acc = finish(*acc, n);
+        }
+        let mut dims: Vec<usize> = d[..axis].to_vec();
+        dims.extend_from_slice(&d[axis + 1..]);
+        if dims.is_empty() {
+            dims.push(1);
+        }
+        Tensor::from_vec(out, dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::from_vec((0..24).map(|x| x as f32).collect(), [2, 3, 4]).unwrap()
+    }
+
+    #[test]
+    fn sum_axis_shapes_and_values() {
+        let t = sample();
+        let s0 = t.sum_axis(0).unwrap();
+        assert_eq!(s0.dims(), &[3, 4]);
+        assert_eq!(s0.at(&[0, 0]), 0.0 + 12.0);
+        let s2 = t.sum_axis(2).unwrap();
+        assert_eq!(s2.dims(), &[2, 3]);
+        assert_eq!(s2.at(&[0, 0]), 0.0 + 1.0 + 2.0 + 3.0);
+    }
+
+    #[test]
+    fn mean_axis_divides() {
+        let t = sample();
+        let m = t.mean_axis(1).unwrap();
+        assert_eq!(m.dims(), &[2, 4]);
+        assert_eq!(m.at(&[0, 0]), (0.0 + 4.0 + 8.0) / 3.0);
+    }
+
+    #[test]
+    fn max_min_axis() {
+        let t = sample();
+        assert_eq!(t.max_axis(2).unwrap().at(&[1, 2]), 23.0);
+        assert_eq!(t.min_axis(0).unwrap().at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn var_axis_matches_definition() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], [4]).unwrap();
+        let v = t.var_axis(0).unwrap();
+        assert_eq!(v.dims(), &[1]);
+        assert!((v.data()[0] - 5.0).abs() < 1e-6); // var of 1,3,5,7
+    }
+
+    #[test]
+    fn reductions_consistent_with_global() {
+        let t = sample();
+        let total: f64 =
+            t.sum_axis(0).unwrap().sum_axis(0).unwrap().sum_axis(0).unwrap().data()[0] as f64;
+        assert!((total - t.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bad_axis_rejected() {
+        assert!(sample().sum_axis(3).is_err());
+    }
+
+    #[test]
+    fn scalar_result_keeps_rank1() {
+        let t = Tensor::from_vec(vec![2.0, 4.0], [2]).unwrap();
+        let s = t.sum_axis(0).unwrap();
+        assert_eq!(s.dims(), &[1]);
+        assert_eq!(s.data()[0], 6.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Shape and stride bookkeeping for row-major dense tensors.
+
+use crate::{Result, TensorError};
+
+/// The shape of a dense, row-major tensor.
+///
+/// Stores the dimension sizes; strides are always the contiguous row-major
+/// strides (the accelerators in the paper require static shapes known at
+/// compile time, so we never need views with exotic strides — transposes and
+/// slices materialize).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Create a shape from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape { dims: dims.into() }
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Size of dimension `axis`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major (C-order) strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// Panics in debug builds if the index rank does not match.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let strides = self.strides();
+        index.iter().zip(strides.iter()).map(|(i, s)| i * s).sum()
+    }
+
+    /// Check two shapes match exactly for an elementwise op.
+    pub fn check_same(&self, other: &Shape, op: &'static str) -> Result<()> {
+        if self.dims != other.dims {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.dims.clone(),
+                rhs: other.dims.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Interpret this shape as a 2-D matrix `(rows, cols)`, flattening all
+    /// leading dimensions into `rows`. Errors on rank 0.
+    pub fn as_matrix(&self) -> Result<(usize, usize)> {
+        match self.dims.len() {
+            0 => Err(TensorError::Constraint("rank-0 tensor is not a matrix".into())),
+            1 => Ok((1, self.dims[0])),
+            _ => {
+                let cols = *self.dims.last().unwrap();
+                let rows = self.numel() / cols.max(1);
+                Ok((rows, cols))
+            }
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+    }
+
+    #[test]
+    fn offset_matches_manual_computation() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+    }
+
+    #[test]
+    fn scalar_and_vector_shapes() {
+        let v = Shape::new([5]);
+        assert_eq!(v.rank(), 1);
+        assert_eq!(v.strides(), vec![1]);
+        assert_eq!(v.as_matrix().unwrap(), (1, 5));
+    }
+
+    #[test]
+    fn as_matrix_flattens_leading_dims() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.as_matrix().unwrap(), (6, 4));
+    }
+
+    #[test]
+    fn check_same_rejects_mismatch() {
+        let a = Shape::new([2, 3]);
+        let b = Shape::new([3, 2]);
+        assert!(a.check_same(&b, "add").is_err());
+        assert!(a.check_same(&a.clone(), "add").is_ok());
+    }
+
+    #[test]
+    fn rank0_is_not_a_matrix() {
+        let s = Shape::new(Vec::<usize>::new());
+        assert!(s.as_matrix().is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! The dense `f32` tensor type and its elementwise operations.
+
+use crate::shape::Shape;
+use crate::{Result, TensorError};
+
+/// A dense, row-major, owned `f32` tensor.
+///
+/// This is the numeric workhorse of the reproduction: the compressor, the
+/// accelerator simulator's executor, and the neural-network layers all
+/// operate on `Tensor`s. Elementwise arithmetic is implemented here; matmul
+/// and convolution kernels live in [`crate::matmul`] and [`crate::conv`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Build a tensor from raw data and a shape. The data length must equal
+    /// the shape's element count.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.numel() {
+            return Err(TensorError::Constraint(format!(
+                "data length {} does not match shape {} ({} elements)",
+                data.len(),
+                shape,
+                shape.numel()
+            )));
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![0.0; shape.numel()], shape }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![value; shape.numel()], shape }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros([n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Size in bytes of the underlying f32 buffer (what the paper's
+    /// throughput figures are measured against).
+    pub fn size_bytes(&self) -> usize {
+        self.numel() * std::mem::size_of::<f32>()
+    }
+
+    /// Immutable view of the underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Set element at a multi-dimensional index.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Reshape without moving data. Element counts must match.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(TensorError::BadReshape {
+                from: self.dims().to_vec(),
+                to: shape.dims().to_vec(),
+            });
+        }
+        Ok(Tensor { data: self.data.clone(), shape })
+    }
+
+    /// In-place reshape (no data copy).
+    pub fn reshaped(mut self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(TensorError::BadReshape {
+                from: self.dims().to_vec(),
+                to: shape.dims().to_vec(),
+            });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// Apply a function to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let data = self.data.iter().map(|&x| f(x)).collect();
+        Tensor { data, shape: self.shape.clone() }
+    }
+
+    /// Apply a function to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise binary op with shape checking.
+    pub fn zip(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
+        self.shape.check_same(&other.shape, op)?;
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Tensor { data, shape: self.shape.clone() })
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise division.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "div", |a, b| a / b)
+    }
+
+    /// Scale by a constant.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|x| x * k)
+    }
+
+    /// Add a constant.
+    pub fn add_scalar(&self, k: f32) -> Tensor {
+        self.map(|x| x + k)
+    }
+
+    /// In-place axpy: `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        self.shape.check_same(&other.shape, "axpy")?;
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64).sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum element (NaN-ignoring; returns -inf for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sum of squares (f64 accumulator).
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum()
+    }
+
+    /// Frobenius / L2 norm.
+    pub fn norm(&self) -> f64 {
+        self.sq_norm().sqrt()
+    }
+
+    /// Mean squared error against another tensor of the same shape.
+    pub fn mse(&self, other: &Tensor) -> Result<f64> {
+        self.shape.check_same(&other.shape, "mse")?;
+        let n = self.data.len().max(1) as f64;
+        let sum: f64 = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum();
+        Ok(sum / n)
+    }
+
+    /// True when every element is finite (no NaN/inf).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Approximate equality within an absolute tolerance.
+    pub fn allclose(&self, other: &Tensor, atol: f32) -> bool {
+        self.shape == other.shape
+            && self.data.iter().zip(other.data.iter()).all(|(&a, &b)| (a - b).abs() <= atol)
+    }
+
+    /// Index of the maximum element along the last axis, per leading row.
+    /// For a `[rows, cols]` tensor this is per-row argmax.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        let (rows, cols) = self.shape.as_matrix()?;
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], [2, 3]).is_ok());
+        assert!(Tensor::from_vec(vec![1.0; 5], [2, 3]).is_err());
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.at(&[0, 0]), 1.0);
+        assert_eq!(i.at(&[1, 1]), 1.0);
+        assert_eq!(i.at(&[0, 1]), 0.0);
+        assert_eq!(i.sum(), 3.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 3.0, 2.0, 1.0], [2, 2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(a.sub(&b).unwrap().data(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch_errors() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([3, 2]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [3, 4]).unwrap();
+        let b = a.reshape([2, 6]).unwrap();
+        assert_eq!(a.data(), b.data());
+        assert!(a.reshape([5, 2]).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0, -4.0], [4]).unwrap();
+        assert_eq!(a.sum(), -2.0);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -4.0);
+        assert!((a.sq_norm() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]).unwrap();
+        assert_eq!(a.mse(&a).unwrap(), 0.0);
+        let b = Tensor::from_vec(vec![2.0, 3.0, 4.0], [3]).unwrap();
+        assert!((a.mse(&b).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn argmax_rows_works() {
+        let a = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], [2, 3]).unwrap();
+        assert_eq!(a.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones([3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]).unwrap();
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut a = Tensor::ones([2]);
+        assert!(a.all_finite());
+        a.data_mut()[0] = f32::NAN;
+        assert!(!a.all_finite());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the tensor substrate's algebraic invariants.
+
+use aicomp_tensor::conv::{conv2d, im2col};
+use aicomp_tensor::Tensor;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, [rows, cols]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// (A·B)·C == A·(B·C) within fp tolerance.
+    #[test]
+    fn matmul_associative(a in matrix(4, 5), b in matrix(5, 6), c in matrix(6, 3)) {
+        let lhs = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 0.5)); // magnitudes up to ~3000
+    }
+
+    /// A·(B + C) == A·B + A·C.
+    #[test]
+    fn matmul_distributive(a in matrix(4, 5), b in matrix(5, 4), c in matrix(5, 4)) {
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 0.1));
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in matrix(3, 5), b in matrix(5, 4)) {
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    /// Blocking and unblocking is the identity.
+    #[test]
+    fn block_roundtrip(v in prop::collection::vec(-100.0f32..100.0, 16 * 16)) {
+        let m = Tensor::from_vec(v, [16usize, 16]).unwrap();
+        for bs in [2usize, 4, 8] {
+            let back = m.to_blocks(bs).unwrap().from_blocks(16, 16).unwrap();
+            prop_assert!(back.allclose(&m, 0.0), "bs={bs}");
+        }
+    }
+
+    /// Convolution is linear in the input.
+    #[test]
+    fn conv_linear_in_input(
+        xv in prop::collection::vec(-5.0f32..5.0, 2 * 36),
+        yv in prop::collection::vec(-5.0f32..5.0, 2 * 36),
+        k in -3.0f32..3.0,
+    ) {
+        let x = Tensor::from_vec(xv, [1usize, 2, 6, 6]).unwrap();
+        let y = Tensor::from_vec(yv, [1usize, 2, 6, 6]).unwrap();
+        let mut rng = Tensor::seeded_rng(7);
+        let w = Tensor::rand_uniform([3usize, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let lhs = conv2d(&x.scale(k).add(&y).unwrap(), &w, None, 1, 1).unwrap();
+        let rhs = conv2d(&x, &w, None, 1, 1).unwrap().scale(k)
+            .add(&conv2d(&y, &w, None, 1, 1).unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 0.05));
+    }
+
+    /// im2col of a zero-padded convolution never reads outside the image:
+    /// all column values come from the input's value set ∪ {0}.
+    #[test]
+    fn im2col_values_bounded(xv in prop::collection::vec(1.0f32..2.0, 16)) {
+        let x = Tensor::from_vec(xv, [1usize, 1, 4, 4]).unwrap();
+        let cols = im2col(&x, 3, 3, 1, 1).unwrap();
+        for &v in cols.data() {
+            prop_assert!(v == 0.0 || (1.0..2.0).contains(&v));
+        }
+    }
+
+    /// Pad/unpad roundtrip is exact for any padding.
+    #[test]
+    fn pad_roundtrip(v in prop::collection::vec(-100.0f32..100.0, 2 * 3 * 4 * 4), p in 1usize..4) {
+        let x = Tensor::from_vec(v, [2usize, 3, 4, 4]).unwrap();
+        let back = x.pad2d(p).unwrap().unpad2d(p).unwrap();
+        prop_assert!(back.allclose(&x, 0.0));
+    }
+
+    /// Gather∘scatter restricted to the gathered positions is the identity.
+    #[test]
+    fn scatter_gather_partial_identity(
+        v in prop::collection::vec(-10.0f32..10.0, 12),
+        ix in prop::collection::hash_set(0usize..12, 1..6),
+    ) {
+        let x = Tensor::from_vec(v, [3usize, 4]).unwrap();
+        let indices: Vec<usize> = ix.into_iter().collect();
+        let packed = x.gather_flat(&indices).unwrap();
+        let scattered = packed.scatter_flat(&indices, [3usize, 4]).unwrap();
+        for (k, &i) in indices.iter().enumerate() {
+            prop_assert_eq!(scattered.data()[i], packed.data()[k]);
+        }
+        // Unselected positions are zero.
+        for i in 0..12 {
+            if !indices.contains(&i) {
+                prop_assert_eq!(scattered.data()[i], 0.0);
+            }
+        }
+    }
+}

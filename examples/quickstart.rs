@@ -1,0 +1,49 @@
+//! Quickstart: compress and decompress a batch of images with DCT+Chop,
+//! inspect the compression ratio and reconstruction quality at every chop
+//! factor, and see the FLOP counts of Eq. 5/7.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use aicomp::dct::metrics::quality;
+use aicomp::{DctChop, Tensor};
+
+fn main() {
+    // A batch of 8 RGB images, 64×64, with smooth structure + mild noise
+    // (roughly what training data looks like spectrally).
+    let mut rng = Tensor::seeded_rng(42);
+    let noise = Tensor::rand_uniform([8usize, 3, 64, 64], -0.05, 0.05, &mut rng);
+    let mut smooth = Tensor::zeros([8, 3, 64, 64]);
+    for (i, v) in smooth.data_mut().iter_mut().enumerate() {
+        let x = (i % 64) as f32;
+        let y = ((i / 64) % 64) as f32;
+        *v = (x * 0.11).sin() * 0.5 + (y * 0.07).cos() * 0.5;
+    }
+    let batch = smooth.add(&noise).expect("same shapes");
+    println!("input: {:?} = {} KiB", batch.dims(), batch.size_bytes() / 1024);
+    println!();
+    println!(
+        "{:>3} {:>7} {:>12} {:>10} {:>12} {:>14} {:>14}",
+        "CF", "CR", "compressed", "PSNR dB", "max |err|", "FLOPs comp", "FLOPs decomp"
+    );
+
+    for cf in (1..=8).rev() {
+        let compressor = DctChop::new(64, cf).expect("64 divisible by 8, cf in range");
+        let compressed = compressor.compress(&batch).expect("shape matches");
+        let restored = compressor.decompress(&compressed).expect("shape matches");
+        let q = quality(&batch, &restored).expect("same shapes");
+        println!(
+            "{:>3} {:>7.2} {:>9} KiB {:>10.1} {:>12.4} {:>14} {:>14}",
+            cf,
+            compressor.compression_ratio(),
+            compressed.size_bytes() / 1024,
+            q.psnr_db,
+            q.max_abs_err,
+            compressor.compress_flops(),
+            compressor.decompress_flops(),
+        );
+    }
+
+    println!();
+    println!("CF = 8 keeps all coefficients (lossless); lower CF discards");
+    println!("higher-frequency DCT coefficients per 8x8 block (Eq. 3: CR = 64/CF^2).");
+}

@@ -1,0 +1,88 @@
+//! Downstream-user workflow: measure your dataset's block spectrum, let
+//! the tuner pick the highest compression ratio meeting a PSNR target
+//! (exact prediction via Parseval), then stream the dataset through the
+//! compressor in bounded memory — the §1 scenario where the training set
+//! is far larger than device memory.
+//!
+//! Run with: `cargo run --release --example tune_and_stream`
+
+use aicomp::dct::streaming::compress_stream;
+use aicomp::dct::tuning::{tune_for_psnr, BlockSpectrum};
+use aicomp::Tensor;
+
+fn main() {
+    // A "dataset": 200 synthetic 3x64x64 samples (think: a shard of the
+    // 187 GB cloud_slstr_ds1 from Table 2).
+    let make_sample = |i: usize| {
+        Tensor::from_vec(
+            (0..3 * 64 * 64)
+                .map(|k| {
+                    let x = (k % 64) as f32;
+                    let y = ((k / 64) % 64) as f32;
+                    ((x * 0.08 + i as f32 * 0.3).sin() + (y * 0.06).cos()) * 0.5
+                        + ((k * 31 + i) % 17) as f32 * 0.004
+                })
+                .collect(),
+            [3usize, 64, 64],
+        )
+        .expect("static shape")
+    };
+
+    // Step 1: measure the spectrum on a calibration slice.
+    let calibration = {
+        let samples: Vec<Tensor> = (0..16).map(make_sample).collect();
+        let refs: Vec<&Tensor> = samples.iter().collect();
+        Tensor::concat0(&refs).expect("same shapes").reshape([16, 3, 64, 64]).expect("counts match")
+    };
+    let spectrum = BlockSpectrum::measure(&calibration).expect("8-divisible");
+    println!("block spectrum (energy compaction into the CFxCF corner):");
+    for cf in 1..=8 {
+        println!(
+            "  CF {cf}: {:>6.2}% of energy, predicted MSE {:.6}",
+            spectrum.compaction(cf) * 100.0,
+            spectrum.predicted_mse(cf)
+        );
+    }
+
+    // Step 2: tune for a 35 dB PSNR target.
+    let target_db = 35.0;
+    let compressor =
+        tune_for_psnr(&calibration, target_db).expect("valid data").expect("achievable target");
+    println!(
+        "\ntuner: {target_db} dB target -> CF {} (CR {:.2})",
+        compressor.chop_factor(),
+        compressor.compression_ratio()
+    );
+
+    // Step 3: stream the full dataset through at that setting.
+    let (batches, stats) = compress_stream(
+        (0..200).map(make_sample),
+        64,
+        compressor.chop_factor(),
+        3,
+        32, // static device batch
+    )
+    .expect("stream compresses");
+    println!(
+        "\nstreamed {} samples in {} device batches: {:.1} MiB -> {:.1} MiB (CR {:.2})",
+        stats.samples,
+        stats.batches,
+        stats.bytes_in as f64 / (1024.0 * 1024.0),
+        stats.bytes_out as f64 / (1024.0 * 1024.0),
+        stats.ratio()
+    );
+
+    // Step 4: verify the target held on real reconstructions.
+    let rec = compressor.decompress(&batches[0]).expect("shapes match");
+    let first_batch = {
+        let samples: Vec<Tensor> = (0..32).map(make_sample).collect();
+        let refs: Vec<&Tensor> = samples.iter().collect();
+        Tensor::concat0(&refs).expect("same shapes").reshape([32, 3, 64, 64]).expect("counts match")
+    };
+    let q = aicomp::dct::metrics::quality(&first_batch, &rec).expect("same shapes");
+    println!(
+        "measured PSNR on the first batch: {:.1} dB (target {target_db} dB) -> {}",
+        q.psnr_db,
+        if q.psnr_db >= target_db { "met" } else { "MISSED" }
+    );
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration tests: the compressor deployed on simulated
+//! accelerators must agree numerically with the host implementation, and
+//! the §4.2.2 "Key Takeaways" must hold end to end.
+
+use aicomp::accel::{CompressorDeployment, Platform, SerializedDeployment};
+use aicomp::dct::metrics::quality;
+use aicomp::{ChopCompressor, ScatterGatherChop, Tensor};
+
+fn batch(slices: usize, n: usize, seed: u64) -> Tensor {
+    let mut rng = Tensor::seeded_rng(seed);
+    Tensor::rand_uniform([slices, n, n], -1.0, 1.0, &mut rng)
+}
+
+#[test]
+fn all_platforms_agree_numerically() {
+    // The same graph compiles on every platform and produces identical
+    // bytes — the portability claim.
+    let x = batch(6, 32, 1);
+    let host = ChopCompressor::new(32, 4).unwrap();
+    let expect = host.compress(&x).unwrap();
+    for platform in Platform::ALL {
+        let dep = CompressorDeployment::plain(platform, 32, 4, 6).unwrap();
+        let got = dep.compress(&x).unwrap();
+        assert!(got.outputs[0].allclose(&expect, 1e-4), "{platform}");
+        let rec = dep.decompress(&got.outputs[0]).unwrap();
+        assert!(rec.outputs[0].allclose(&host.roundtrip(&x).unwrap(), 1e-4), "{platform}");
+    }
+}
+
+#[test]
+fn reconstruction_quality_improves_with_cf_on_device() {
+    let x = batch(3, 64, 2);
+    let mut last_psnr = 0.0f64;
+    for cf in [2usize, 4, 6, 8] {
+        let dep = CompressorDeployment::plain(Platform::Cs2, 64, cf, 3).unwrap();
+        let y = dep.compress(&x).unwrap();
+        let rec = dep.decompress(&y.outputs[0]).unwrap();
+        let q = quality(&x, &rec.outputs[0]).unwrap();
+        assert!(q.psnr_db > last_psnr, "cf={cf}: {} !> {last_psnr}", q.psnr_db);
+        last_psnr = q.psnr_db;
+    }
+    assert!(last_psnr.is_infinite() || last_psnr > 60.0); // cf=8 lossless
+}
+
+#[test]
+fn takeaway_compression_slower_than_decompression_everywhere() {
+    for platform in Platform::ACCELERATORS {
+        let dep = CompressorDeployment::plain(platform, 128, 4, 300).unwrap();
+        let c = dep.compress_timing().seconds;
+        let d = dep.decompress_timing().seconds;
+        assert!(c >= d * 0.95, "{platform}: compress {c} decompress {d}");
+    }
+}
+
+#[test]
+fn takeaway_time_linear_in_batch() {
+    // §4.2.2: "Execution time and batch size are linearly related."
+    for platform in [Platform::Cs2, Platform::Sn30, Platform::Ipu] {
+        let t_of = |bd: usize| {
+            CompressorDeployment::plain(platform, 64, 4, bd * 3).unwrap().compress_timing().seconds
+        };
+        let (t500, t1000, t2000) = (t_of(500), t_of(1000), t_of(2000));
+        let g1 = t1000 - t500;
+        let g2 = t2000 - t1000;
+        // Increments should scale ~2x (linear in batch), generous tolerance.
+        assert!(g2 > g1 * 1.2 && g2 < g1 * 3.5, "{platform}: {g1} {g2}");
+    }
+}
+
+#[test]
+fn fig15_partial_serialization_slowdown_band() {
+    // §4.2.3: going from native 256² to serialized 512² (s=2, 4× the data)
+    // costs only 2.5–3.8× (SN30) / 2.6–3.7× (IPU) in decompression time.
+    for platform in [Platform::Sn30, Platform::Ipu] {
+        for cf in 2..=7usize {
+            let native = CompressorDeployment::plain(platform, 256, cf, 300).unwrap();
+            let serialized = SerializedDeployment::new(platform, 512, cf, 300, 2).unwrap();
+            let slowdown = serialized.decompress_seconds() / native.decompress_timing().seconds;
+            assert!((1.8..4.5).contains(&slowdown), "{platform} cf={cf}: slowdown {slowdown}");
+        }
+    }
+}
+
+#[test]
+fn fig15_ipu_native_512_close_to_serialized() {
+    // §4.2.3: on the IPU, no-serialization 512² decompression is only 1–8%
+    // faster than s=2 partial serialization.
+    for cf in [2usize, 4, 7] {
+        let native = CompressorDeployment::plain(Platform::Ipu, 512, cf, 300).unwrap();
+        let serialized = SerializedDeployment::new(Platform::Ipu, 512, cf, 300, 2).unwrap();
+        let ratio = serialized.decompress_seconds() / native.decompress_timing().seconds;
+        assert!((0.95..1.4).contains(&ratio), "cf={cf}: ratio {ratio}");
+    }
+}
+
+#[test]
+fn sg_end_to_end_on_ipu_beats_plain_ratio_at_cost() {
+    let x = batch(10, 32, 3);
+    let plain = CompressorDeployment::plain(Platform::Ipu, 32, 4, 10).unwrap();
+    let sg = CompressorDeployment::scatter_gather(Platform::Ipu, 32, 4, 10).unwrap();
+
+    // Higher CR...
+    assert!(sg.compression_ratio() > plain.compression_ratio());
+    // ...slower decompression at the Fig. 17 workload size (100 samples ×
+    // 3 channels; at tiny batch the fixed overhead hides the gather cost)...
+    let plain_big = CompressorDeployment::plain(Platform::Ipu, 32, 4, 300).unwrap();
+    let sg_big = CompressorDeployment::scatter_gather(Platform::Ipu, 32, 4, 300).unwrap();
+    let slowdown = sg_big.decompress_timing().seconds / plain_big.decompress_timing().seconds;
+    assert!((1.2..3.5).contains(&slowdown), "slowdown {slowdown}");
+    // ...and worse (but bounded) reconstruction error.
+    let host_sg = ScatterGatherChop::new(32, 4).unwrap();
+    let y = sg.compress(&x).unwrap();
+    let rec = sg.decompress(&y.outputs[0]).unwrap();
+    assert!(rec.outputs[0].allclose(&host_sg.roundtrip(&x).unwrap(), 1e-4));
+}
+
+#[test]
+fn cr_grid_matches_paper_legend() {
+    // The six CR values the paper's figure legends report for CF 2..7.
+    let expect = [16.0, 7.11, 4.0, 2.56, 1.78, 1.31];
+    for (cf, want) in (2..=7).zip(expect) {
+        let c = ChopCompressor::new(64, cf).unwrap();
+        assert!((c.compression_ratio() - want).abs() < 0.005, "cf={cf}");
+    }
+}

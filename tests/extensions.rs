@@ -1,0 +1,112 @@
+//! Integration tests across the extension modules: precision simulation,
+//! 1-D chop, clustering, and the lossy training hooks working together.
+
+use std::rc::Rc;
+
+use aicomp::accel::cluster::Cluster;
+use aicomp::accel::Platform;
+use aicomp::dct::chop1d::Chop1d;
+use aicomp::dct::precision::Precision;
+use aicomp::nn::{LossyBackward, LossyFn, Tape};
+use aicomp::{ChopCompressor, Tensor};
+
+#[test]
+fn precision_quantizers_commute_with_chop_linearity() {
+    // Quantizing the compressed representation is the same as quantizing
+    // each coefficient independently — storage format must not interact
+    // with which coefficients are kept.
+    let mut rng = Tensor::seeded_rng(4);
+    let x = Tensor::rand_uniform([2usize, 1, 16, 16], -1.0, 1.0, &mut rng);
+    let c = ChopCompressor::new(16, 4).unwrap();
+    let y = c.compress(&x).unwrap();
+    let y16 = Precision::Fp16.quantize_tensor(&y);
+    // Every element individually quantized:
+    for (a, &b) in y16.data().iter().zip(y.data().iter()) {
+        assert_eq!(*a, Precision::Fp16.quantize(b));
+    }
+    // And decompression of the quantized form stays close to the f32 path.
+    let rec = c.decompress(&y16).unwrap();
+    let rec_f32 = c.decompress(&y).unwrap();
+    assert!(rec.mse(&rec_f32).unwrap() < 1e-5);
+}
+
+#[test]
+fn chop1d_and_chop2d_agree_on_separable_data() {
+    // A rank-1 image (outer product of a row signal with a constant) is
+    // compressed identically by 1-D chop on rows as by 2-D chop restricted
+    // to the first row of coefficient blocks with matching CF handling —
+    // sanity that the two share the same transform convention. Verified
+    // indirectly: both reconstruct a constant row exactly at CF 1.
+    let row = Tensor::full([4, 16], 2.5);
+    let c1 = Chop1d::new(16, 1).unwrap();
+    assert!(c1.roundtrip(&row).unwrap().allclose(&row, 1e-4));
+
+    let img = Tensor::full([1, 1, 16, 16], 2.5);
+    let c2 = ChopCompressor::new(16, 1).unwrap();
+    assert!(c2.roundtrip(&img).unwrap().allclose(&img, 1e-4));
+}
+
+#[test]
+fn cluster_shards_preserve_numerics() {
+    // Sharding is a deployment choice: per-shard device runs must produce
+    // the same bytes the unsharded host compressor produces.
+    let mut rng = Tensor::seeded_rng(7);
+    let slices = 12usize;
+    let x = Tensor::rand_uniform([slices, 32, 32], -1.0, 1.0, &mut rng);
+    let host = ChopCompressor::new(32, 4).unwrap();
+    let expect = host.compress(&x).unwrap();
+
+    let devices = 3usize;
+    let cluster = Cluster::new(Platform::Ipu, devices, 32, 4, slices).unwrap();
+    assert_eq!(cluster.devices(), devices);
+    // Emulate the shard execution: each shard deployment compresses its
+    // slice range; concatenation must equal the monolithic result.
+    let shard_size = slices / devices;
+    let dep = aicomp::accel::CompressorDeployment::plain(Platform::Ipu, 32, 4, shard_size).unwrap();
+    let mut outputs = Vec::new();
+    for d in 0..devices {
+        let shard = x.slice0(d * shard_size, (d + 1) * shard_size).unwrap();
+        outputs.push(dep.compress(&shard).unwrap().outputs[0].clone());
+    }
+    let refs: Vec<&Tensor> = outputs.iter().collect();
+    let combined = Tensor::concat0(&refs).unwrap();
+    assert!(combined.allclose(&expect, 1e-5));
+}
+
+#[test]
+fn lossy_hook_with_real_compressor_trains() {
+    // The activation-compression hook with an actual DCT+Chop round-trip
+    // must backprop finitely through a small model.
+    let comp = ChopCompressor::new(8, 4).unwrap();
+    let hook: LossyFn = Rc::new(move |t: &Tensor| comp.roundtrip(t).expect("shape matches"));
+
+    let mut rng = Tensor::seeded_rng(12);
+    let x = Tensor::rand_uniform([2usize, 1, 8, 8], -1.0, 1.0, &mut rng);
+    let target = Tensor::rand_uniform([2usize, 1, 8, 8], -1.0, 1.0, &mut rng);
+
+    let mut tape = Tape::new();
+    let xv = tape.input(x);
+    let compressed = tape.lossy(xv, hook, LossyBackward::StraightThrough);
+    let loss = tape.mse_loss(compressed, &target);
+    let grads = tape.backward(loss);
+    let g = grads[xv.index()].as_ref().unwrap();
+    assert!(g.all_finite());
+    assert!(g.norm() > 0.0);
+}
+
+#[test]
+fn effective_cr_with_fp16_exceeds_sg_at_equal_quality_class() {
+    // Combining extensions: CF 4 + fp16 storage reaches CR 8 — beating the
+    // SG optimization's CR 6.4 at CF 4 — without needing scatter/gather
+    // support. (Quality is chop-dominated at CF 4, so the comparison is
+    // fair; asserted via PSNR within 0.5 dB.)
+    let mut rng = Tensor::seeded_rng(21);
+    let x = Tensor::rand_uniform([2usize, 1, 32, 32], -1.0, 1.0, &mut rng);
+    let c = ChopCompressor::new(32, 4).unwrap();
+    let rec32 = c.roundtrip(&x).unwrap();
+    let rec16 = c.roundtrip_with_precision(&x, Precision::Fp16).unwrap();
+    let q32 = aicomp::dct::metrics::quality(&x, &rec32).unwrap();
+    let q16 = aicomp::dct::metrics::quality(&x, &rec16).unwrap();
+    assert!(c.ratio_with_precision(Precision::Fp16) > 6.4);
+    assert!((q32.psnr_db - q16.psnr_db).abs() < 0.5, "{} vs {}", q32.psnr_db, q16.psnr_db);
+}

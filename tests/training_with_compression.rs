@@ -1,0 +1,75 @@
+//! Integration: the §4.1 training protocol across compressors and
+//! benchmarks (tiny configurations — the figure binaries run the full
+//! sweeps).
+
+use aicomp::baselines::ZfpFixedRate;
+use aicomp::sciml::compressors::NoCompression;
+use aicomp::sciml::{tasks, Benchmark, TrainConfig};
+use aicomp::ChopCompressor;
+
+fn tiny(benchmark: Benchmark, epochs: usize) -> TrainConfig {
+    TrainConfig {
+        benchmark,
+        epochs,
+        train_size: 48,
+        test_size: 16,
+        batch_size: 8,
+        lr: 2e-3,
+        seed: 11,
+    }
+}
+
+#[test]
+fn all_benchmarks_train_with_dct_chop() {
+    for benchmark in Benchmark::ALL {
+        let n = benchmark.dataset_kind().sample_shape()[1];
+        let comp = ChopCompressor::new(n, 4).unwrap();
+        let r = tasks::train(&tiny(benchmark, 1), &comp);
+        assert_eq!(r.epochs.len(), 1, "{}", benchmark.name());
+        assert!(r.final_test_loss().is_finite(), "{}", benchmark.name());
+    }
+}
+
+#[test]
+fn zfp_comparator_trains_classify() {
+    let z = ZfpFixedRate::for_ratio(4.0).unwrap();
+    let r = tasks::train(&tiny(Benchmark::Classify, 1), &z);
+    assert!(r.compressor.starts_with("zfp_cr"));
+    assert!(r.final_test_accuracy().unwrap() >= 0.0);
+}
+
+#[test]
+fn denoise_compression_helps() {
+    // The paper's Fig. 8b headline: with the compressor in the data path,
+    // em_denoise test loss *improves* (the chop removes exactly the
+    // high-frequency noise the denoiser fights).
+    let cfg = tiny(Benchmark::EmDenoise, 3);
+    let base = tasks::train(&cfg, &NoCompression);
+    let comp = ChopCompressor::new(64, 4).unwrap();
+    let compressed = tasks::train(&cfg, &comp);
+    let pct = compressed.test_loss_pct_diff(&base);
+    assert!(pct < 0.0, "em_denoise pct diff {pct} (expected improvement)");
+}
+
+#[test]
+fn classify_degrades_gracefully_not_catastrophically() {
+    let cfg = tiny(Benchmark::Classify, 3);
+    let base = tasks::train(&cfg, &NoCompression);
+    let heavy = tasks::train(&cfg, &ChopCompressor::new(32, 2).unwrap());
+    // Heavy compression (CR 16) should not be *better* than base by a large
+    // margin, and the run must stay numerically sane.
+    assert!(heavy.final_test_loss().is_finite());
+    assert!(base.final_test_loss().is_finite());
+}
+
+#[test]
+fn epoch_series_has_expected_length_and_monotone_epochs_field() {
+    let cfg = tiny(Benchmark::OpticalDamage, 4);
+    let r = tasks::train(&cfg, &NoCompression);
+    assert_eq!(r.epochs.len(), 4);
+    // Training loss at the end should not exceed the start by much —
+    // crude non-divergence check.
+    let first = r.epochs[0].train_loss;
+    let last = r.epochs[3].train_loss;
+    assert!(last <= first * 1.5, "diverged: {first} → {last}");
+}
