@@ -44,7 +44,7 @@ proptest! {
         // constant, so allow one extra plane of slack (2^(5−kept)); floor
         // at ~2^-19 for the block-floating-point + lifting-truncation
         // residue that remains even at maximal rates.
-        let bound = (2f32.powf(5.0 - kept_planes)).min(0.4).max(2e-6);
+        let bound = (2f32.powf(5.0 - kept_planes)).clamp(2e-6, 0.4);
         prop_assert!(
             max_err <= scale * bound,
             "rate {rate}: err {max_err} scale {scale} bound {bound}"

@@ -20,16 +20,28 @@ pub struct StreamStats {
     pub samples: u64,
     /// Device-shaped batches issued (including the padded tail).
     pub batches: u64,
-    /// Uncompressed bytes consumed.
+    /// Uncompressed bytes consumed (counted as samples are pushed).
     pub bytes_in: u64,
-    /// Compressed bytes produced.
+    /// Compressed bytes produced (counted as batches flush).
     pub bytes_out: u64,
+    /// Chop factor of the compressor driving this stream.
+    pub cf: u32,
+    /// Progressive frequency bands per block (== `cf` rings for Chop) —
+    /// metadata a downstream container format persists alongside the
+    /// stream (see `aicomp-store`).
+    pub bands: u32,
 }
 
 impl StreamStats {
-    /// Effective compression ratio so far.
+    /// Effective compression ratio so far; 0.0 until the first batch has
+    /// been flushed (a mid-stream ratio of `bytes_in / 1` would be
+    /// meaningless).
     pub fn ratio(&self) -> f64 {
-        self.bytes_in as f64 / self.bytes_out.max(1) as f64
+        if self.bytes_out == 0 {
+            0.0
+        } else {
+            self.bytes_in as f64 / self.bytes_out as f64
+        }
     }
 }
 
@@ -52,13 +64,9 @@ impl StreamingCompressor {
                 "batch and channels must be positive".into(),
             )));
         }
-        Ok(StreamingCompressor {
-            compressor: ChopCompressor::new(n, cf)?,
-            channels,
-            batch,
-            buffer: Vec::new(),
-            stats: StreamStats::default(),
-        })
+        let compressor = ChopCompressor::new(n, cf)?;
+        let stats = StreamStats { cf: cf as u32, bands: cf as u32, ..StreamStats::default() };
+        Ok(StreamingCompressor { compressor, channels, batch, buffer: Vec::new(), stats })
     }
 
     /// The underlying compressor.
@@ -81,6 +89,7 @@ impl StreamingCompressor {
                 rhs: vec![self.channels, n, n],
             }));
         }
+        self.stats.bytes_in += (self.channels * n * n * 4) as u64;
         self.buffer.push(sample);
         if self.buffer.len() == self.batch {
             Ok(Some(self.flush_buffer(self.batch)?))
@@ -117,7 +126,6 @@ impl StreamingCompressor {
         self.buffer.clear();
         self.stats.samples += real_samples as u64;
         self.stats.batches += 1;
-        self.stats.bytes_in += (real_samples * self.channels * n * n * 4) as u64;
         let cs = self.compressor.compressed_side();
         self.stats.bytes_out += (real_samples * self.channels * cs * cs * 4) as u64;
         Ok(compressed)
@@ -202,6 +210,33 @@ mod tests {
         let samples: Vec<Tensor> = (0..8).map(sample).collect();
         let (_, stats) = compress_stream(samples, 16, 4, 3, 4).unwrap();
         assert!((stats.ratio() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stream_ratio_is_zero() {
+        let sc = StreamingCompressor::new(16, 4, 3, 4).unwrap();
+        assert_eq!(sc.stats().ratio(), 0.0);
+    }
+
+    #[test]
+    fn midstream_ratio_stays_zero_until_first_flush() {
+        // bytes_in accrues per push, but no compressed bytes exist before a
+        // batch flushes — ratio() must not report bytes_in / 1.
+        let mut sc = StreamingCompressor::new(16, 4, 3, 4).unwrap();
+        sc.push(sample(0)).unwrap();
+        assert!(sc.stats().bytes_in > 0);
+        assert_eq!(sc.stats().ratio(), 0.0);
+        for i in 1..4 {
+            sc.push(sample(i)).unwrap();
+        }
+        assert!((sc.stats().ratio() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_carry_band_metadata() {
+        let sc = StreamingCompressor::new(16, 5, 3, 4).unwrap();
+        assert_eq!(sc.stats().cf, 5);
+        assert_eq!(sc.stats().bands, 5);
     }
 
     #[test]

@@ -17,6 +17,50 @@ use crate::compressors::DataCompressor;
 use crate::data::{Dataset, DatasetKind};
 use crate::networks::{Autoencoder, EncoderDecoder, ResNetLite, UNetLite};
 
+/// Where training/test *input* batches come from.
+///
+/// [`train`] uses an in-memory dataset with a [`DataCompressor`] round-trip
+/// on every batch; `aicomp-store` implements this trait to feed batches
+/// decoded straight from a packed `.dcz` container ([`train_from_source`]),
+/// so the same epoch loop runs against either path. Targets and labels are
+/// never compressed and always come from the generated dataset.
+///
+/// Methods take `&mut self` because file-backed sources advance read
+/// cursors and restart prefetch passes between epochs.
+pub trait BatchSource {
+    /// Training inputs for samples `start..end`, shaped `[end-start, C, n, n]`.
+    fn train_batch(&mut self, start: usize, end: usize) -> Tensor;
+    /// Test inputs for samples `start..end`.
+    fn test_batch(&mut self, start: usize, end: usize) -> Tensor;
+    /// Nominal compression ratio of the data path.
+    fn ratio(&self) -> f64;
+    /// Display label for figure legends.
+    fn label(&self) -> String;
+}
+
+/// The in-memory path: dataset batches through a compressor round-trip.
+struct CompressorSource<'a> {
+    compressor: &'a dyn DataCompressor,
+    train: &'a Dataset,
+    test: &'a Dataset,
+}
+
+impl BatchSource for CompressorSource<'_> {
+    fn train_batch(&mut self, start: usize, end: usize) -> Tensor {
+        // §4.1: compress + decompress the training batch.
+        self.compressor.roundtrip(&self.train.input_batch(start, end))
+    }
+    fn test_batch(&mut self, start: usize, end: usize) -> Tensor {
+        self.compressor.roundtrip(&self.test.input_batch(start, end))
+    }
+    fn ratio(&self) -> f64 {
+        self.compressor.ratio()
+    }
+    fn label(&self) -> String {
+        self.compressor.label()
+    }
+}
+
 /// One of the paper's four benchmarks (Table 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Benchmark {
@@ -158,8 +202,7 @@ impl TrainResult {
     }
 }
 
-/// Train a benchmark with a compressor in the training-data path.
-pub fn train(config: &TrainConfig, compressor: &dyn DataCompressor) -> TrainResult {
+fn generate_datasets(config: &TrainConfig) -> (Dataset, Dataset) {
     let train_ds =
         Dataset::generate(config.benchmark.dataset_kind(), config.train_size, config.seed);
     let test_ds = Dataset::generate(
@@ -167,33 +210,58 @@ pub fn train(config: &TrainConfig, compressor: &dyn DataCompressor) -> TrainResu
         config.test_size,
         config.seed.wrapping_add(1),
     );
+    (train_ds, test_ds)
+}
+
+/// Train a benchmark with a compressor in the training-data path.
+pub fn train(config: &TrainConfig, compressor: &dyn DataCompressor) -> TrainResult {
+    let (train_ds, test_ds) = generate_datasets(config);
+    let mut source = CompressorSource { compressor, train: &train_ds, test: &test_ds };
+    train_impl(config, &mut source, &train_ds, &test_ds)
+}
+
+/// Train a benchmark with inputs from an external [`BatchSource`] (e.g. a
+/// packed `.dcz` container). Targets and labels come from the same seeded
+/// datasets [`train`] would generate, so a source that serves bit-identical
+/// inputs reproduces [`train`]'s losses exactly.
+pub fn train_from_source(config: &TrainConfig, source: &mut dyn BatchSource) -> TrainResult {
+    let (train_ds, test_ds) = generate_datasets(config);
+    train_impl(config, source, &train_ds, &test_ds)
+}
+
+fn train_impl(
+    config: &TrainConfig,
+    source: &mut dyn BatchSource,
+    train_ds: &Dataset,
+    test_ds: &Dataset,
+) -> TrainResult {
     let mut rng = Tensor::seeded_rng(config.seed.wrapping_add(2));
 
     match config.benchmark {
         Benchmark::Classify => {
             let net = ResNetLite::new(&mut rng);
-            run_loop(config, compressor, &train_ds, &test_ds, net.params(), |tape, batch, train| {
+            run_loop(config, source, train_ds, test_ds, net.params(), |tape, batch, train| {
                 let x = tape.input(batch.clone());
                 net.forward_mode(tape, x, train)
             })
         }
         Benchmark::EmDenoise => {
             let net = EncoderDecoder::new(1, &mut rng);
-            run_loop(config, compressor, &train_ds, &test_ds, net.params(), |tape, batch, train| {
+            run_loop(config, source, train_ds, test_ds, net.params(), |tape, batch, train| {
                 let x = tape.input(batch.clone());
                 net.forward_mode(tape, x, train)
             })
         }
         Benchmark::OpticalDamage => {
             let net = Autoencoder::new(&mut rng);
-            run_loop(config, compressor, &train_ds, &test_ds, net.params(), |tape, batch, train| {
+            run_loop(config, source, train_ds, test_ds, net.params(), |tape, batch, train| {
                 let x = tape.input(batch.clone());
                 net.forward_mode(tape, x, train)
             })
         }
         Benchmark::SlstrCloud => {
             let net = UNetLite::new(3, &mut rng);
-            run_loop(config, compressor, &train_ds, &test_ds, net.params(), |tape, batch, train| {
+            run_loop(config, source, train_ds, test_ds, net.params(), |tape, batch, train| {
                 let x = tape.input(batch.clone());
                 net.forward_mode(tape, x, train)
             })
@@ -205,7 +273,7 @@ pub fn train(config: &TrainConfig, compressor: &dyn DataCompressor) -> TrainResu
 /// from the benchmark kind.
 fn run_loop(
     config: &TrainConfig,
-    compressor: &dyn DataCompressor,
+    source: &mut dyn BatchSource,
     train_ds: &Dataset,
     test_ds: &Dataset,
     params: Vec<aicomp_nn::Param>,
@@ -219,9 +287,7 @@ fn run_loop(
         let mut train_loss = 0.0f64;
         for b in 0..nbatches.max(1) {
             let (start, end) = batch_range(b, config.batch_size, train_ds.len());
-            let raw = train_ds.input_batch(start, end);
-            // §4.1: compress + decompress the training batch.
-            let batch = compressor.roundtrip(&raw);
+            let batch = source.train_batch(start, end);
 
             let mut tape = Tape::new();
             let pred = forward(&mut tape, &batch, true);
@@ -232,14 +298,14 @@ fn run_loop(
         }
         train_loss /= nbatches.max(1) as f64;
 
-        let (test_loss, test_accuracy) = evaluate(config, compressor, test_ds, &forward);
+        let (test_loss, test_accuracy) = evaluate(config, source, test_ds, &forward);
         epochs.push(EpochMetrics { train_loss, test_loss, test_accuracy });
     }
 
     TrainResult {
         benchmark: config.benchmark,
-        compressor: compressor.label(),
-        ratio: compressor.ratio(),
+        compressor: source.label(),
+        ratio: source.ratio(),
         epochs,
     }
 }
@@ -271,12 +337,12 @@ fn benchmark_loss(
 }
 
 /// Test-set evaluation: loss always, accuracy for classification. Test
-/// inputs pass through the same compressor round-trip as training inputs
+/// inputs pass through the same compressed data path as training inputs
 /// (the compressor lives in the data-loading path); batch norm runs in
 /// inference mode (running statistics).
 fn evaluate(
     config: &TrainConfig,
-    compressor: &dyn DataCompressor,
+    source: &mut dyn BatchSource,
     test_ds: &Dataset,
     forward: &impl Fn(&mut Tape, &Tensor, bool) -> aicomp_nn::Var,
 ) -> (f64, Option<f64>) {
@@ -288,7 +354,7 @@ fn evaluate(
         if start >= end {
             break;
         }
-        let batch = compressor.roundtrip(&test_ds.input_batch(start, end));
+        let batch = source.test_batch(start, end);
         let mut tape = Tape::new();
         let pred = forward(&mut tape, &batch, false);
         let l = benchmark_loss(&mut tape, config.benchmark, pred, test_ds, start, end);
@@ -370,6 +436,45 @@ mod tests {
         let lossless = train(&cfg, &ChopCompressor::new(32, 8).unwrap());
         let d = (base.epochs[0].train_loss - lossless.epochs[0].train_loss).abs();
         assert!(d < 1e-3, "first-epoch divergence {d}");
+    }
+
+    #[test]
+    fn train_from_source_matches_train_for_equivalent_source() {
+        // A source serving the same (uncompressed) inputs must reproduce
+        // train()'s losses exactly — the loop, seeds, and targets are
+        // shared; only the input plumbing differs.
+        struct MemSource {
+            train: Dataset,
+            test: Dataset,
+        }
+        impl BatchSource for MemSource {
+            fn train_batch(&mut self, start: usize, end: usize) -> Tensor {
+                self.train.input_batch(start, end)
+            }
+            fn test_batch(&mut self, start: usize, end: usize) -> Tensor {
+                self.test.input_batch(start, end)
+            }
+            fn ratio(&self) -> f64 {
+                1.0
+            }
+            fn label(&self) -> String {
+                "mem".into()
+            }
+        }
+
+        let cfg = tiny(Benchmark::OpticalDamage);
+        let base = train(&cfg, &NoCompression);
+        let kind = cfg.benchmark.dataset_kind();
+        let mut source = MemSource {
+            train: Dataset::generate(kind, cfg.train_size, cfg.seed),
+            test: Dataset::generate(kind, cfg.test_size, cfg.seed.wrapping_add(1)),
+        };
+        let r = train_from_source(&cfg, &mut source);
+        assert_eq!(r.compressor, "mem");
+        for (a, b) in base.epochs.iter().zip(&r.epochs) {
+            assert_eq!(a.train_loss, b.train_loss);
+            assert_eq!(a.test_loss, b.test_loss);
+        }
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! `dcz` — command-line front end for `.dcz` containers.
+//!
+//! ```text
+//! dcz gen     --dataset classify --count 64 --seed 1 --out raw.f32
+//! dcz pack    --input raw.f32 --n 32 --channels 3 --cf 4 --chunk 16 --out data.dcz
+//! dcz unpack  --input data.dcz --out raw.f32 [--cf 2]
+//! dcz inspect --input data.dcz
+//! dcz verify  --input data.dcz
+//! ```
+//!
+//! `gen` writes a seeded sciml benchmark dataset's inputs as raw
+//! little-endian f32 (the interchange format `pack` consumes), so the full
+//! pack → verify → unpack path can be exercised without any external data.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::process::ExitCode;
+
+use aicomp_sciml::{Dataset, DatasetKind};
+use aicomp_store::writer::{DczWriter, StoreOptions};
+use aicomp_store::DczReader;
+use aicomp_tensor::Tensor;
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn required(args: &[String], name: &str) -> Result<String, String> {
+    arg(args, name).ok_or_else(|| format!("missing required flag {name} <value>"))
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match arg(args, name) {
+        Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn usage() -> String {
+    "usage: dcz <gen|pack|unpack|inspect|verify> [flags]\n\
+     \x20 gen     --dataset <classify|em_denoise|optical_damage|slstr_cloud> \
+     --count <N> --seed <S> --out <raw.f32>\n\
+     \x20 pack    --input <raw.f32> --n <side> --channels <C> --cf <1..8> \
+     --chunk <samples> --out <file.dcz>\n\
+     \x20 unpack  --input <file.dcz> --out <raw.f32> [--cf <coarser>]\n\
+     \x20 inspect --input <file.dcz>\n\
+     \x20 verify  --input <file.dcz>"
+        .into()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match args.first() {
+        Some(c) => c.clone(),
+        None => {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "gen" => gen(&args),
+        "pack" => pack(&args),
+        "unpack" => unpack(&args),
+        "inspect" => inspect(&args),
+        "verify" => verify(&args),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dcz {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn gen(args: &[String]) -> Result<(), String> {
+    let name = required(args, "--dataset")?;
+    let kind = DatasetKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let count: usize = parse(args, "--count", 64)?;
+    let seed: u64 = parse(args, "--seed", 1)?;
+    let out = required(args, "--out")?;
+
+    let ds = Dataset::generate(kind, count, seed);
+    let inputs = ds.input_batch(0, ds.len());
+    let mut w = BufWriter::new(File::create(&out).map_err(|e| e.to_string())?);
+    for v in inputs.data() {
+        w.write_all(&v.to_le_bytes()).map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())?;
+    let [c, h, _] = kind.sample_shape();
+    println!("wrote {count} samples of {name} to {out}");
+    println!("pack with: --n {h} --channels {c}");
+    Ok(())
+}
+
+fn pack(args: &[String]) -> Result<(), String> {
+    let input = required(args, "--input")?;
+    let out = required(args, "--out")?;
+    let n: usize = required(args, "--n")?.parse().map_err(|_| "bad --n".to_string())?;
+    let channels: usize =
+        required(args, "--channels")?.parse().map_err(|_| "bad --channels".to_string())?;
+    let cf: usize = parse(args, "--cf", 4)?;
+    let chunk_size: usize = parse(args, "--chunk", 16)?;
+
+    let mut raw = Vec::new();
+    File::open(&input)
+        .and_then(|mut f| f.read_to_end(&mut raw))
+        .map_err(|e| format!("{input}: {e}"))?;
+    let sample_bytes = channels * n * n * 4;
+    if sample_bytes == 0 || raw.len() % sample_bytes != 0 {
+        return Err(format!(
+            "{input} is {} bytes, not a multiple of the {sample_bytes}-byte sample \
+             ([{channels}, {n}, {n}] f32)",
+            raw.len()
+        ));
+    }
+    let count = raw.len() / sample_bytes;
+
+    let opts = StoreOptions { n, channels, cf, chunk_size };
+    let mut writer = DczWriter::create(&out, &opts).map_err(|e| e.to_string())?;
+    for s in 0..count {
+        let floats: Vec<f32> = raw[s * sample_bytes..(s + 1) * sample_bytes]
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        let t = Tensor::from_vec(floats, [channels, n, n]).map_err(|e| e.to_string())?;
+        writer.push(t).map_err(|e| e.to_string())?;
+    }
+    let (_, summary) = writer.finish().map_err(|e| e.to_string())?;
+    println!(
+        "packed {} samples into {} chunks: {} -> {} bytes \
+         (chop x{:.2}, entropy x{:.2}, total x{:.2})",
+        summary.samples,
+        summary.chunks,
+        summary.stream.bytes_in,
+        summary.payload_bytes,
+        summary.chop_ratio(),
+        summary.entropy_gain(),
+        summary.total_ratio()
+    );
+    Ok(())
+}
+
+fn unpack(args: &[String]) -> Result<(), String> {
+    let input = required(args, "--input")?;
+    let out = required(args, "--out")?;
+    let mut reader = DczReader::open(&input).map_err(|e| e.to_string())?;
+    let stored_cf = reader.header().cf as usize;
+    let read_cf: usize = parse(args, "--cf", stored_cf)?;
+
+    let mut w = BufWriter::new(File::create(&out).map_err(|e| e.to_string())?);
+    let mut samples = 0u64;
+    for chunk in 0..reader.chunk_count() {
+        let batch = if read_cf == stored_cf {
+            reader.decompress_chunk(chunk)
+        } else {
+            reader.decompress_chunk_at(chunk, read_cf)
+        }
+        .map_err(|e| e.to_string())?;
+        samples += batch.dims()[0] as u64;
+        for v in batch.data() {
+            w.write_all(&v.to_le_bytes()).map_err(|e| e.to_string())?;
+        }
+    }
+    w.flush().map_err(|e| e.to_string())?;
+    let payload: u64 = reader.index().iter().map(|e| e.len as u64).sum();
+    println!(
+        "unpacked {samples} samples at chop factor {read_cf} \
+         ({} of {payload} payload bytes read)",
+        reader.bytes_read()
+    );
+    Ok(())
+}
+
+fn inspect(args: &[String]) -> Result<(), String> {
+    let input = required(args, "--input")?;
+    let reader = DczReader::open(&input).map_err(|e| e.to_string())?;
+    let h = reader.header().clone();
+    println!("{input}:");
+    println!("  transform    {} (block {})", h.transform, h.block);
+    println!("  samples      {} x [{}, {}, {}]", h.sample_count, h.channels, h.n, h.n);
+    println!("  chop factor  {} (compressed side {})", h.cf, h.compressed_side());
+    println!("  chunks       {} x {} samples", h.chunk_count, h.chunk_size);
+    println!("  chunk  offset      bytes  first  samples  crc32");
+    for (i, e) in reader.index().to_vec().iter().enumerate() {
+        println!(
+            "  {i:>5}  {:>10}  {:>9}  {:>5}  {:>7}  {:08x}",
+            e.offset, e.len, e.first_sample, e.samples, e.crc
+        );
+    }
+    Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), String> {
+    let input = required(args, "--input")?;
+    let mut reader = DczReader::open(&input).map_err(|e| e.to_string())?;
+    let report = reader.verify().map_err(|e| format!("FAILED: {e}"))?;
+    println!(
+        "{input}: OK ({} chunks, {} payload bytes, {} samples)",
+        report.chunks,
+        report.payload_bytes,
+        reader.sample_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,226 @@
+//! Chunk encoding/decoding: Chop coefficients → progressive ring sections
+//! → entropy-coded payload (and back).
+//!
+//! Chunk layout (offsets relative to the chunk's index entry):
+//!
+//! ```text
+//! ring_count   u16                    == header.cf
+//! section_len  u32 × ring_count       bytes per ring section
+//! tables       4 × 256 bytes          per-plane Huffman code lengths
+//! sections     ring 0 … ring cf−1     byte-aligned Huffman bitstreams
+//! ```
+//!
+//! The prelude (everything before the sections) has a length computable
+//! from `cf` alone, so a progressive reader fetches the prelude, learns
+//! the section lengths, and then reads only the ring prefix it needs.
+
+use aicomp_tensor::Tensor;
+
+use crate::bands::{assemble_rings, gather_rings, ring_values};
+use crate::entropy::{PlaneCodes, TABLES_LEN};
+use crate::layout::Header;
+use crate::{Result, StoreError};
+
+/// Byte length of a chunk's prelude for chop factor `cf`.
+pub fn prelude_len(cf: usize) -> usize {
+    2 + 4 * cf + TABLES_LEN
+}
+
+/// Parsed chunk prelude.
+#[derive(Debug, Clone)]
+pub struct ChunkPrelude {
+    /// Byte length of each ring section.
+    pub section_lens: Vec<u32>,
+    /// The chunk's entropy codes.
+    pub codes: PlaneCodes,
+}
+
+impl ChunkPrelude {
+    /// Bytes to read past the prelude to cover rings `0..read_cf`.
+    pub fn prefix_len(&self, read_cf: usize) -> usize {
+        self.section_lens[..read_cf].iter().map(|&l| l as usize).sum()
+    }
+}
+
+/// Encode one chunk: `[S, C, cs, cs]` Chop coefficients → chunk bytes.
+pub fn encode_chunk(coeffs: &Tensor, cf: usize) -> Result<Vec<u8>> {
+    let rings = gather_rings(coeffs, cf)?;
+    let codes = PlaneCodes::fit(rings.iter().map(|r| r.as_slice()))?;
+    let sections: Vec<Vec<u8>> = rings.iter().map(|r| codes.encode(r)).collect::<Result<_>>()?;
+
+    let payload: usize = sections.iter().map(|s| s.len()).sum();
+    let mut bytes = Vec::with_capacity(prelude_len(cf) + payload);
+    bytes.extend_from_slice(&(cf as u16).to_le_bytes());
+    for s in &sections {
+        bytes.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    }
+    bytes.extend_from_slice(&codes.length_tables());
+    for s in &sections {
+        bytes.extend_from_slice(s);
+    }
+    Ok(bytes)
+}
+
+/// Parse a chunk prelude (`bytes` must be exactly [`prelude_len`] long).
+pub fn decode_prelude(bytes: &[u8], header: &Header) -> Result<ChunkPrelude> {
+    let cf = header.cf as usize;
+    if bytes.len() != prelude_len(cf) {
+        return Err(StoreError::Format(format!(
+            "chunk prelude is {} bytes, expected {}",
+            bytes.len(),
+            prelude_len(cf)
+        )));
+    }
+    let ring_count = u16::from_le_bytes(bytes[0..2].try_into().expect("sized")) as usize;
+    if ring_count != cf {
+        return Err(StoreError::Format(format!(
+            "chunk declares {ring_count} rings, header chop factor is {cf}"
+        )));
+    }
+    let mut section_lens = Vec::with_capacity(cf);
+    for r in 0..cf {
+        let at = 2 + 4 * r;
+        section_lens.push(u32::from_le_bytes(bytes[at..at + 4].try_into().expect("sized")));
+    }
+    let codes = PlaneCodes::from_length_tables(&bytes[2 + 4 * cf..])?;
+    Ok(ChunkPrelude { section_lens, codes })
+}
+
+/// Decode rings `0..read_cf` from `section_bytes` (the bytes immediately
+/// after the prelude, at least [`ChunkPrelude::prefix_len`] of them) into
+/// the `[S, C, CF'·nb, CF'·nb]` coefficient tensor.
+pub fn decode_sections(
+    prelude: &ChunkPrelude,
+    section_bytes: &[u8],
+    header: &Header,
+    samples: usize,
+    read_cf: usize,
+) -> Result<Tensor> {
+    let cf = header.cf as usize;
+    if read_cf == 0 || read_cf > cf {
+        return Err(StoreError::InvalidArg(format!("read chop factor {read_cf} outside 1..={cf}")));
+    }
+    if section_bytes.len() < prelude.prefix_len(read_cf) {
+        return Err(StoreError::Format("chunk sections truncated".into()));
+    }
+    let (channels, nb) = (header.channels as usize, header.blocks_per_side() as usize);
+    let mut rings = Vec::with_capacity(read_cf);
+    let mut at = 0usize;
+    for (r, &len) in prelude.section_lens.iter().enumerate().take(read_cf) {
+        let len = len as usize;
+        let section = &section_bytes[at..at + len];
+        rings.push(prelude.codes.decode(section, ring_values(samples, channels, nb, r))?);
+        at += len;
+    }
+    assemble_rings(&rings, samples, channels, nb, read_cf)
+}
+
+/// Decode a full chunk blob (prelude + all sections) at fidelity `read_cf`.
+pub fn decode_chunk(
+    bytes: &[u8],
+    header: &Header,
+    samples: usize,
+    read_cf: usize,
+) -> Result<Tensor> {
+    let plen = prelude_len(header.cf as usize);
+    if bytes.len() < plen {
+        return Err(StoreError::Format("chunk shorter than its prelude".into()));
+    }
+    let prelude = decode_prelude(&bytes[..plen], header)?;
+    let expected: usize = prelude.section_lens.iter().map(|&l| l as usize).sum();
+    if bytes.len() != plen + expected {
+        return Err(StoreError::Format(format!(
+            "chunk is {} bytes, prelude promises {}",
+            bytes.len(),
+            plen + expected
+        )));
+    }
+    decode_sections(&prelude, &bytes[plen..], header, samples, read_cf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aicomp_core::ChopCompressor;
+
+    fn header(n: u32, channels: u32, cf: u32) -> Header {
+        Header {
+            n,
+            channels,
+            block: 8,
+            cf,
+            sample_count: 0,
+            chunk_size: 4,
+            chunk_count: 0,
+            transform: "dct2".into(),
+        }
+    }
+
+    fn coeffs(samples: usize, channels: usize, n: usize, cf: usize) -> Tensor {
+        let x = Tensor::from_vec(
+            (0..samples * channels * n * n).map(|i| ((i * 23 % 89) as f32) / 11.0 - 4.0).collect(),
+            [samples, channels, n, n],
+        )
+        .unwrap();
+        ChopCompressor::new(n, cf).unwrap().compress(&x).unwrap()
+    }
+
+    #[test]
+    fn chunk_roundtrip_is_bit_exact() {
+        let y = coeffs(5, 2, 16, 4);
+        let h = header(16, 2, 4);
+        let bytes = encode_chunk(&y, 4).unwrap();
+        let back = decode_chunk(&bytes, &h, 5, 4).unwrap();
+        assert_eq!(back.dims(), y.dims());
+        let a: Vec<u32> = y.data().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = back.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn progressive_decode_matches_direct_chop() {
+        let n = 16;
+        let x = Tensor::from_vec(
+            (0..2 * n * n).map(|i| ((i * 13 % 71) as f32) / 7.0).collect(),
+            [2usize, 1, n, n],
+        )
+        .unwrap();
+        let full = ChopCompressor::new(n, 6).unwrap().compress(&x).unwrap();
+        let h = header(n as u32, 1, 6);
+        let bytes = encode_chunk(&full, 6).unwrap();
+        let plen = prelude_len(6);
+        let prelude = decode_prelude(&bytes[..plen], &h).unwrap();
+        for read_cf in 1..=6usize {
+            let prefix = prelude.prefix_len(read_cf);
+            // Only the prefix bytes are handed over — a reader never has
+            // the rest.
+            let got =
+                decode_sections(&prelude, &bytes[plen..plen + prefix], &h, 2, read_cf).unwrap();
+            let want = ChopCompressor::new(n, read_cf).unwrap().compress(&x).unwrap();
+            let a: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "read_cf={read_cf}");
+        }
+    }
+
+    #[test]
+    fn malformed_chunks_error_not_panic() {
+        let y = coeffs(3, 1, 16, 3);
+        let h = header(16, 1, 3);
+        let bytes = encode_chunk(&y, 3).unwrap();
+
+        // Truncations at every structural boundary.
+        for cut in [0, 1, prelude_len(3) - 1, prelude_len(3), bytes.len() - 1] {
+            assert!(decode_chunk(&bytes[..cut], &h, 3, 3).is_err(), "cut={cut}");
+        }
+        // Wrong declared ring count.
+        let mut wrong = bytes.clone();
+        wrong[0] = 7;
+        assert!(decode_chunk(&wrong, &h, 3, 3).is_err());
+        // Wrong sample count → ring size mismatch.
+        assert!(decode_chunk(&bytes, &h, 4, 3).is_err());
+        // Fidelity outside the stored range.
+        assert!(decode_chunk(&bytes, &h, 3, 4).is_err());
+        assert!(decode_chunk(&bytes, &h, 3, 0).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! The `.dcz` byte-level layout (see `FORMAT.md` for the narrative spec).
+//!
+//! ```text
+//! ┌────────┬────────┬─────┬────────┬───────┬────────┐
+//! │ header │ chunk0 │  …  │ chunkN │ index │ footer │
+//! └────────┴────────┴─────┴────────┴───────┴────────┘
+//! ```
+//!
+//! All integers little-endian. The header is written first with
+//! placeholder counts and patched by the writer at finish (its length is
+//! fixed once the transform name is known), so chunks stream straight to
+//! the sink. The index lives at the end — located via the fixed-size
+//! footer — so the writer never buffers chunk metadata longer than the
+//! run, and a reader gets random access with two seeks.
+
+use std::io::{Read, Write};
+
+use crate::{crc::crc32, Result, StoreError};
+
+/// Leading file magic.
+pub const MAGIC: [u8; 4] = *b"DCZF";
+/// Trailing footer magic.
+pub const END_MAGIC: [u8; 4] = *b"DCZE";
+/// Format version this build reads and writes.
+pub const VERSION: u16 = 1;
+/// Footer size: index offset (8) + index CRC (4) + chunk count (4) + magic (4).
+pub const FOOTER_LEN: u64 = 20;
+/// Serialized index entry size.
+pub const INDEX_ENTRY_LEN: usize = 28;
+
+/// Container header: everything needed to rebuild the compressor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Sample resolution `n` (samples are `[channels, n, n]`).
+    pub n: u32,
+    /// Channels per sample.
+    pub channels: u32,
+    /// Transform block size (8 for the paper's DCT+Chop).
+    pub block: u32,
+    /// Chop factor the coefficients were stored at.
+    pub cf: u32,
+    /// Total samples in the container.
+    pub sample_count: u64,
+    /// Samples per chunk (the last chunk may hold fewer).
+    pub chunk_size: u32,
+    /// Number of chunks.
+    pub chunk_count: u32,
+    /// Block-transform name (`"dct2"` for the paper's pipeline).
+    pub transform: String,
+}
+
+impl Header {
+    /// Serialized length (fixed once `transform` is set).
+    pub fn serialized_len(&self) -> u64 {
+        // magic + version + flags + 4×u32 + u64 + 2×u32 + name len + name
+        (4 + 2 + 2 + 16 + 8 + 8 + 2 + self.transform.len()) as u64
+    }
+
+    /// Compressed side length `CF·n/8`.
+    pub fn compressed_side(&self) -> u32 {
+        self.cf * self.n / self.block
+    }
+
+    /// Blocks per sample side.
+    pub fn blocks_per_side(&self) -> u32 {
+        self.n / self.block
+    }
+
+    /// Write the header at the sink's current position.
+    pub fn write(&self, w: &mut impl Write) -> Result<()> {
+        w.write_all(&MAGIC)?;
+        write_u16(w, VERSION)?;
+        write_u16(w, 0)?; // flags, reserved
+        write_u32(w, self.n)?;
+        write_u32(w, self.channels)?;
+        write_u32(w, self.block)?;
+        write_u32(w, self.cf)?;
+        write_u64(w, self.sample_count)?;
+        write_u32(w, self.chunk_size)?;
+        write_u32(w, self.chunk_count)?;
+        let name = self.transform.as_bytes();
+        write_u16(w, name.len() as u16)?;
+        w.write_all(name)?;
+        Ok(())
+    }
+
+    /// Read and validate a header from the source's current position.
+    pub fn read(r: &mut impl Read) -> Result<Header> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).map_err(truncated)?;
+        if magic != MAGIC {
+            return Err(StoreError::Format(format!("bad magic {magic:02x?}")));
+        }
+        let version = read_u16(r)?;
+        if version != VERSION {
+            return Err(StoreError::Unsupported(format!(
+                "container version {version}, this build reads {VERSION}"
+            )));
+        }
+        let _flags = read_u16(r)?;
+        let n = read_u32(r)?;
+        let channels = read_u32(r)?;
+        let block = read_u32(r)?;
+        let cf = read_u32(r)?;
+        let sample_count = read_u64(r)?;
+        let chunk_size = read_u32(r)?;
+        let chunk_count = read_u32(r)?;
+        let name_len = read_u16(r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name).map_err(truncated)?;
+        let transform = String::from_utf8(name)
+            .map_err(|_| StoreError::Format("transform name is not UTF-8".into()))?;
+        let h = Header { n, channels, block, cf, sample_count, chunk_size, chunk_count, transform };
+        h.validate()?;
+        Ok(h)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.block == 0 || self.n == 0 || !self.n.is_multiple_of(self.block) {
+            return Err(StoreError::Format(format!(
+                "resolution {} not divisible by block {}",
+                self.n, self.block
+            )));
+        }
+        if self.cf == 0 || self.cf > self.block {
+            return Err(StoreError::Format(format!(
+                "chop factor {} outside 1..={}",
+                self.cf, self.block
+            )));
+        }
+        if self.channels == 0 || self.chunk_size == 0 {
+            return Err(StoreError::Format("zero channels or chunk size".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Per-chunk index entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Byte offset of the chunk from the start of the file.
+    pub offset: u64,
+    /// Chunk length in bytes (prelude + sections).
+    pub len: u32,
+    /// Index of the chunk's first sample.
+    pub first_sample: u64,
+    /// Samples in this chunk.
+    pub samples: u32,
+    /// CRC-32 of the chunk bytes.
+    pub crc: u32,
+}
+
+impl IndexEntry {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+        out.extend_from_slice(&self.first_sample.to_le_bytes());
+        out.extend_from_slice(&self.samples.to_le_bytes());
+        out.extend_from_slice(&self.crc.to_le_bytes());
+    }
+
+    fn read(b: &[u8; INDEX_ENTRY_LEN]) -> IndexEntry {
+        IndexEntry {
+            offset: u64::from_le_bytes(b[0..8].try_into().expect("sized")),
+            len: u32::from_le_bytes(b[8..12].try_into().expect("sized")),
+            first_sample: u64::from_le_bytes(b[12..20].try_into().expect("sized")),
+            samples: u32::from_le_bytes(b[20..24].try_into().expect("sized")),
+            crc: u32::from_le_bytes(b[24..28].try_into().expect("sized")),
+        }
+    }
+}
+
+/// Serialize the index + footer (appended after the last chunk).
+pub fn write_index(w: &mut impl Write, index: &[IndexEntry], index_offset: u64) -> Result<()> {
+    let mut bytes = Vec::with_capacity(index.len() * INDEX_ENTRY_LEN);
+    for e in index {
+        e.write(&mut bytes);
+    }
+    let crc = crc32(&bytes);
+    w.write_all(&bytes)?;
+    write_u64(w, index_offset)?;
+    write_u32(w, crc)?;
+    write_u32(w, index.len() as u32)?;
+    w.write_all(&END_MAGIC)?;
+    Ok(())
+}
+
+/// Parse a footer blob (the file's last [`FOOTER_LEN`] bytes) into
+/// `(index_offset, index_crc, chunk_count)`.
+pub fn read_footer(bytes: &[u8]) -> Result<(u64, u32, u32)> {
+    if bytes.len() != FOOTER_LEN as usize {
+        return Err(StoreError::Format("truncated footer".into()));
+    }
+    if bytes[16..20] != END_MAGIC {
+        return Err(StoreError::Format("bad footer magic (truncated or overwritten file?)".into()));
+    }
+    let offset = u64::from_le_bytes(bytes[0..8].try_into().expect("sized"));
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("sized"));
+    let count = u32::from_le_bytes(bytes[12..16].try_into().expect("sized"));
+    Ok((offset, crc, count))
+}
+
+/// Parse and CRC-check the index region.
+pub fn read_index(bytes: &[u8], expect_crc: u32, count: u32) -> Result<Vec<IndexEntry>> {
+    if bytes.len() != count as usize * INDEX_ENTRY_LEN {
+        return Err(StoreError::Format(format!(
+            "index region is {} bytes for {count} chunks",
+            bytes.len()
+        )));
+    }
+    if crc32(bytes) != expect_crc {
+        return Err(StoreError::Format("index CRC mismatch".into()));
+    }
+    Ok(bytes
+        .chunks_exact(INDEX_ENTRY_LEN)
+        .map(|c| IndexEntry::read(c.try_into().expect("chunks_exact")))
+        .collect())
+}
+
+fn truncated(e: std::io::Error) -> StoreError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        StoreError::Format("truncated container".into())
+    } else {
+        StoreError::Io(e)
+    }
+}
+
+pub(crate) fn read_u16(r: &mut impl Read) -> Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b).map_err(truncated)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+pub(crate) fn read_u32(r: &mut impl Read) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(truncated)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+pub(crate) fn read_u64(r: &mut impl Read) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(truncated)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+pub(crate) fn write_u16(w: &mut impl Write, v: u16) -> Result<()> {
+    Ok(w.write_all(&v.to_le_bytes())?)
+}
+
+pub(crate) fn write_u32(w: &mut impl Write, v: u32) -> Result<()> {
+    Ok(w.write_all(&v.to_le_bytes())?)
+}
+
+pub(crate) fn write_u64(w: &mut impl Write, v: u64) -> Result<()> {
+    Ok(w.write_all(&v.to_le_bytes())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn header() -> Header {
+        Header {
+            n: 32,
+            channels: 3,
+            block: 8,
+            cf: 4,
+            sample_count: 100,
+            chunk_size: 16,
+            chunk_count: 7,
+            transform: "dct2".into(),
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = header();
+        let mut buf = Vec::new();
+        h.write(&mut buf).unwrap();
+        assert_eq!(buf.len() as u64, h.serialized_len());
+        let back = Header::read(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn corrupted_headers_rejected() {
+        let h = header();
+        let mut buf = Vec::new();
+        h.write(&mut buf).unwrap();
+
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(Header::read(&mut Cursor::new(&bad_magic)).is_err());
+
+        let mut bad_version = buf.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            Header::read(&mut Cursor::new(&bad_version)),
+            Err(StoreError::Unsupported(_))
+        ));
+
+        let truncated = &buf[..10];
+        assert!(Header::read(&mut Cursor::new(truncated)).is_err());
+
+        let mut bad_cf = buf.clone();
+        bad_cf[20] = 9; // cf field
+        assert!(Header::read(&mut Cursor::new(&bad_cf)).is_err());
+    }
+
+    #[test]
+    fn index_roundtrip_and_crc() {
+        let entries: Vec<IndexEntry> = (0..5u64)
+            .map(|i| IndexEntry {
+                offset: 100 + i * 1000,
+                len: 900 + i as u32,
+                first_sample: i * 16,
+                samples: 16,
+                crc: 0xABCD_0000 | i as u32,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_index(&mut buf, &entries, 5100).unwrap();
+        let footer_at = buf.len() - FOOTER_LEN as usize;
+        let (off, crc, count) = read_footer(&buf[footer_at..]).unwrap();
+        assert_eq!(off, 5100);
+        assert_eq!(count, 5);
+        let back = read_index(&buf[..footer_at], crc, count).unwrap();
+        assert_eq!(back, entries);
+
+        let mut corrupt = buf.clone();
+        corrupt[3] ^= 0x10;
+        assert!(read_index(&corrupt[..footer_at], crc, count).is_err());
+    }
+
+    #[test]
+    fn bad_footer_detected() {
+        assert!(read_footer(&[0u8; 19]).is_err());
+        assert!(read_footer(&[0u8; 20]).is_err()); // zeroed magic
+    }
+}

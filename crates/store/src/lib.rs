@@ -1,0 +1,143 @@
+//! # aicomp-store — the `.dcz` container format and training loader
+//!
+//! The paper's motivation (§1, §2.3) is training datasets of 10s–100s of
+//! GB against 100s of MB of on-chip memory, yet the reproduction's
+//! compressed tensors only ever lived in RAM. This crate is the missing
+//! persistence layer: a chunked, checksummed, seekable on-disk container
+//! for DCT+Chop-compressed `[C, n, n]` sample streams, and the loading
+//! path that trains the four Table 3 benchmarks straight from a packed
+//! file.
+//!
+//! Two related systems shape the design:
+//!
+//! * **Progressive Compressed Records** (Kuchnik et al., arXiv:1911.00472):
+//!   storing compressed training data in *frequency-progressive scans*
+//!   lets one file serve multiple fidelities — a reader consumes only a
+//!   prefix. `.dcz` chunks store the chopped DCT coefficients grouped by
+//!   frequency *ring* (the cells `max(i,j) == r` of each block's kept
+//!   `CF×CF` corner), so reading rings `0..CF'` of a `CF`-file yields
+//!   bit-exactly the `CF'` compressed representation — without reading
+//!   the rest of the chunk.
+//! * **EBPC** (Cavigelli et al., arXiv:1908.11645): an entropy stage
+//!   stacked on a transform stage buys real extra ratio. Chunk payloads
+//!   are entropy-coded (canonical Huffman per f32 byte plane, reusing
+//!   [`aicomp_baselines::huffman`]/[`aicomp_baselines::bitio`]) —
+//!   losslessly, so the bit-exactness invariant between the host and
+//!   device paths extends to disk.
+//!
+//! Module map:
+//!
+//! * [`layout`] — the byte-level container format (header, chunk index,
+//!   footer); documented in `FORMAT.md`.
+//! * [`crc`] — CRC-32 (IEEE) for chunk and index integrity.
+//! * [`bands`] — frequency-ring ordering: tensor layout ↔ progressive
+//!   scan order.
+//! * [`entropy`] — lossless byte-plane Huffman coding of coefficient
+//!   sections.
+//! * [`chunk`] — chunk encode/decode (compress → ring order → entropy).
+//! * [`writer`] — [`DczWriter`]: streaming writer, chunk encoding fanned
+//!   out over rayon.
+//! * [`reader`] — [`DczReader`]: header/index access, sequential
+//!   bounded-memory iteration, random chunk access, progressive prefix
+//!   reads, `verify`.
+//! * [`prefetch`] — [`PrefetchLoader`]: background worker threads decode
+//!   ahead of the training loop (crossbeam channels).
+//! * [`loader`] — [`StoreBatchSource`]: plugs packed files into
+//!   [`aicomp_sciml::tasks`] so the benchmarks train from `.dcz`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use aicomp_store::{DczReader, DczWriter, StoreOptions};
+//! use aicomp_tensor::Tensor;
+//! use std::io::Cursor;
+//!
+//! let opts = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 4 };
+//! let mut rng = Tensor::seeded_rng(3);
+//! let samples: Vec<Tensor> =
+//!     (0..6).map(|_| Tensor::rand_uniform([1usize, 16, 16], 0.0, 1.0, &mut rng)).collect();
+//!
+//! let (file, summary) =
+//!     DczWriter::pack(Cursor::new(Vec::new()), &opts, samples.clone()).unwrap();
+//! assert_eq!(summary.samples, 6);
+//!
+//! let mut reader = DczReader::new(Cursor::new(file.into_inner())).unwrap();
+//! assert_eq!(reader.sample_count(), 6);
+//! let restored = reader.decompress_chunk(0).unwrap(); // [4, 1, 16, 16]
+//! assert_eq!(restored.dims(), &[4, 1, 16, 16]);
+//! ```
+
+pub mod bands;
+pub mod chunk;
+pub mod crc;
+pub mod entropy;
+pub mod layout;
+pub mod loader;
+pub mod prefetch;
+pub mod reader;
+pub mod writer;
+
+pub use layout::{Header, IndexEntry};
+pub use loader::StoreBatchSource;
+pub use prefetch::{PrefetchConfig, PrefetchLoader};
+pub use reader::{DczReader, VerifyReport};
+pub use writer::{DczWriter, StoreOptions, StoreSummary};
+
+/// Errors from the container format and loaders.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed container: bad magic, truncated structure, CRC mismatch.
+    Format(String),
+    /// Well-formed but not decodable by this build (version, transform).
+    Unsupported(String),
+    /// Invalid API usage (shape mismatch, chop factor out of range, …).
+    InvalidArg(String),
+    /// Compressor-layer failure.
+    Core(aicomp_core::CoreError),
+    /// Entropy-coding failure.
+    Codec(aicomp_baselines::BaselineError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Format(msg) => write!(f, "malformed .dcz container: {msg}"),
+            StoreError::Unsupported(msg) => write!(f, "unsupported .dcz feature: {msg}"),
+            StoreError::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
+            StoreError::Core(e) => write!(f, "compressor error: {e}"),
+            StoreError::Codec(e) => write!(f, "entropy codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<aicomp_core::CoreError> for StoreError {
+    fn from(e: aicomp_core::CoreError) -> Self {
+        StoreError::Core(e)
+    }
+}
+
+impl From<aicomp_baselines::BaselineError> for StoreError {
+    fn from(e: aicomp_baselines::BaselineError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl From<aicomp_tensor::TensorError> for StoreError {
+    fn from(e: aicomp_tensor::TensorError) -> Self {
+        StoreError::Core(aicomp_core::CoreError::Tensor(e))
+    }
+}
+
+/// Crate result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

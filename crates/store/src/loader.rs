@@ -1,0 +1,229 @@
+//! [`StoreBatchSource`] — train the sciml benchmarks straight from packed
+//! `.dcz` files.
+//!
+//! Implements [`aicomp_sciml::BatchSource`]: training and test inputs are
+//! decoded from two containers by background [`PrefetchLoader`]s while the
+//! model computes, replacing the in-memory dataset + compressor round-trip.
+//! Because the container preserves Chop's output bit-exactly and chunked
+//! compression equals batched compression bitwise, a `.dcz` packed from a
+//! dataset's inputs reproduces `tasks::train`'s losses exactly (the root
+//! `store_training` integration test asserts this).
+//!
+//! The epoch loop reads batches in ascending sample order and rewinds to
+//! sample 0 each epoch; [`PassReader`] detects the rewind (a batch start
+//! below the retained window) and restarts its prefetch pass.
+
+use std::path::{Path, PathBuf};
+
+use aicomp_sciml::BatchSource;
+use aicomp_tensor::Tensor;
+
+use crate::prefetch::{PrefetchConfig, PrefetchLoader};
+use crate::reader::DczReader;
+use crate::{Result, StoreError};
+
+/// One sequential decode pass over a container, restartable on rewind.
+#[derive(Debug)]
+struct PassReader {
+    path: PathBuf,
+    cfg: PrefetchConfig,
+    loader: Option<PrefetchLoader>,
+    /// Decoded chunks covering `[window start, next_sample)`:
+    /// `(first_sample, [S, C, n', n'])`.
+    window: Vec<(u64, Tensor)>,
+    /// First sample index not yet pulled from the loader.
+    next_sample: u64,
+}
+
+impl PassReader {
+    fn new(path: PathBuf, cfg: PrefetchConfig) -> PassReader {
+        PassReader { path, cfg, loader: None, window: Vec::new(), next_sample: 0 }
+    }
+
+    /// First sample still available without restarting.
+    fn low(&self) -> u64 {
+        self.window.first().map_or(self.next_sample, |(s, _)| *s)
+    }
+
+    fn restart(&mut self) -> Result<()> {
+        self.loader = Some(PrefetchLoader::open(&self.path, self.cfg)?);
+        self.window.clear();
+        self.next_sample = 0;
+        Ok(())
+    }
+
+    fn batch(&mut self, start: usize, end: usize) -> Result<Tensor> {
+        let (start, end) = (start as u64, end as u64);
+        if start >= end {
+            return Err(StoreError::InvalidArg(format!("empty batch {start}..{end}")));
+        }
+        if self.loader.is_none() || start < self.low() {
+            self.restart()?;
+        }
+        // Drop chunks that end at or before the batch start.
+        self.window.retain(|(first, data)| first + data.dims()[0] as u64 > start);
+        // Pull until the window covers the batch end.
+        while self.next_sample < end {
+            let loader = self.loader.as_mut().expect("restarted above");
+            let chunk = loader.next_chunk().ok_or_else(|| {
+                StoreError::InvalidArg(format!(
+                    "batch {start}..{end} past the container's {} samples",
+                    self.next_sample
+                ))
+            })??;
+            self.next_sample = chunk.first_sample + chunk.data.dims()[0] as u64;
+            self.window.push((chunk.first_sample, chunk.data));
+        }
+        // Assemble the batch from the overlapping chunk slices.
+        let mut parts = Vec::new();
+        for (first, data) in &self.window {
+            let len = data.dims()[0] as u64;
+            let lo = start.max(*first);
+            let hi = end.min(first + len);
+            if lo < hi {
+                parts.push(data.slice0((lo - first) as usize, (hi - first) as usize)?);
+            }
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Ok(Tensor::concat0(&refs)?)
+    }
+}
+
+/// [`BatchSource`] over a pair of packed containers (train + test inputs).
+#[derive(Debug)]
+pub struct StoreBatchSource {
+    train: PassReader,
+    test: PassReader,
+    ratio: f64,
+    label: String,
+}
+
+impl StoreBatchSource {
+    /// Open `train_path`/`test_path`, validating both containers and the
+    /// requested read fidelity up front.
+    pub fn open(
+        train_path: impl AsRef<Path>,
+        test_path: impl AsRef<Path>,
+        cfg: PrefetchConfig,
+    ) -> Result<StoreBatchSource> {
+        let header = DczReader::open(&train_path)?.header().clone();
+        let test_header = DczReader::open(&test_path)?.header().clone();
+        if (test_header.n, test_header.channels, test_header.cf, test_header.block)
+            != (header.n, header.channels, header.cf, header.block)
+        {
+            return Err(StoreError::InvalidArg(
+                "train and test containers have mismatched geometry".into(),
+            ));
+        }
+        let read_cf = cfg.read_cf.unwrap_or(header.cf as usize);
+        if read_cf == 0 || read_cf > header.cf as usize {
+            return Err(StoreError::InvalidArg(format!(
+                "read chop factor {read_cf} outside 1..={}",
+                header.cf
+            )));
+        }
+        let ratio = (header.block as f64 / read_cf as f64).powi(2);
+        Ok(StoreBatchSource {
+            train: PassReader::new(train_path.as_ref().to_path_buf(), cfg),
+            test: PassReader::new(test_path.as_ref().to_path_buf(), cfg),
+            ratio,
+            label: format!("dcz_cr{ratio:.2}"),
+        })
+    }
+}
+
+impl BatchSource for StoreBatchSource {
+    fn train_batch(&mut self, start: usize, end: usize) -> Tensor {
+        self.train.batch(start, end).expect("train container serves requested batch")
+    }
+    fn test_batch(&mut self, start: usize, end: usize) -> Tensor {
+        self.test.batch(start, end).expect("test container serves requested batch")
+    }
+    fn ratio(&self) -> f64 {
+        self.ratio
+    }
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{pack_file, StoreOptions};
+    use aicomp_core::ChopCompressor;
+
+    fn sample(i: usize, channels: usize, n: usize) -> Tensor {
+        Tensor::from_vec(
+            (0..channels * n * n).map(|k| ((k * 3 + i * 17) % 31) as f32 / 4.0 - 3.5).collect(),
+            [channels, n, n],
+        )
+        .unwrap()
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("aicomp_loader_{tag}_{}.dcz", std::process::id()))
+    }
+
+    #[test]
+    fn batches_match_roundtrip_across_chunk_boundaries_and_epochs() {
+        let train = temp_path("train");
+        let test = temp_path("test");
+        let opts = StoreOptions { n: 16, channels: 2, cf: 4, chunk_size: 3 };
+        let samples: Vec<Tensor> = (0..10).map(|i| sample(i, 2, 16)).collect();
+        pack_file(&train, &opts, samples.iter().cloned()).unwrap();
+        pack_file(&test, &opts, samples.iter().take(4).cloned()).unwrap();
+
+        let mut src = StoreBatchSource::open(&train, &test, PrefetchConfig::default()).unwrap();
+        assert_eq!(src.ratio(), 4.0);
+        assert_eq!(src.label(), "dcz_cr4.00");
+
+        let comp = ChopCompressor::new(16, 4).unwrap();
+        let expect = |lo: usize, hi: usize| {
+            let refs: Vec<&Tensor> = samples[lo..hi].iter().collect();
+            let b = Tensor::concat0(&refs).unwrap().reshape([hi - lo, 2usize, 16, 16]).unwrap();
+            comp.roundtrip(&b).unwrap()
+        };
+
+        // Two epochs of batch_size 4 over 10 samples (straddles the
+        // chunk_size-3 boundaries), with a test read in between.
+        for _epoch in 0..2 {
+            for (lo, hi) in [(0usize, 4usize), (4, 8), (8, 10)] {
+                let got = src.train_batch(lo, hi);
+                let want = expect(lo, hi);
+                let a: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "batch {lo}..{hi}");
+            }
+            let t = src.test_batch(0, 4);
+            assert_eq!(t.dims(), &[4, 2, 16, 16]);
+        }
+        std::fs::remove_file(&train).ok();
+        std::fs::remove_file(&test).ok();
+    }
+
+    #[test]
+    fn out_of_range_batch_panics_with_context() {
+        let train = temp_path("range");
+        let opts = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 2 };
+        pack_file(&train, &opts, (0..4).map(|i| sample(i, 1, 16))).unwrap();
+        let mut src = StoreBatchSource::open(&train, &train, PrefetchConfig::default()).unwrap();
+        assert!(src.train.batch(2, 8).is_err());
+        std::fs::remove_file(&train).ok();
+    }
+
+    #[test]
+    fn mismatched_containers_rejected() {
+        let a = temp_path("geom_a");
+        let b = temp_path("geom_b");
+        let opts_a = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 2 };
+        let opts_b = StoreOptions { n: 16, channels: 1, cf: 5, chunk_size: 2 };
+        pack_file(&a, &opts_a, (0..2).map(|i| sample(i, 1, 16))).unwrap();
+        pack_file(&b, &opts_b, (0..2).map(|i| sample(i, 1, 16))).unwrap();
+        assert!(StoreBatchSource::open(&a, &b, PrefetchConfig::default()).is_err());
+        let bad = PrefetchConfig { read_cf: Some(7), ..PrefetchConfig::default() };
+        assert!(StoreBatchSource::open(&a, &a, bad).is_err());
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+}

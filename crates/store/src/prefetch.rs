@@ -1,0 +1,272 @@
+//! [`PrefetchLoader`] — background-decoded chunk streaming.
+//!
+//! Training wants decoded batches faster than a single thread can Huffman-
+//! decode and inverse-transform them, and the paper's whole premise (§1)
+//! is that data loading must not stall the accelerator. The loader spawns
+//! worker threads, each with its **own** [`DczReader`] over the same file
+//! (seek positions are per-handle, so workers never contend on a shared
+//! cursor), claiming chunk indices from a shared atomic counter and
+//! pushing decoded tensors through a bounded crossbeam channel. The
+//! consumer reorders them with a small buffer so chunks arrive in file
+//! order regardless of which worker finished first.
+//!
+//! Memory is bounded by `lookahead + workers + reorder window` chunks.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use aicomp_tensor::Tensor;
+use crossbeam::channel::{bounded, Receiver};
+
+use crate::reader::DczReader;
+use crate::{Result, StoreError};
+
+/// Prefetching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchConfig {
+    /// Decoder threads.
+    pub workers: usize,
+    /// Decoded chunks the channel may buffer ahead of the consumer.
+    pub lookahead: usize,
+    /// Read at this chop factor instead of the stored one (progressive
+    /// prefix reads); `None` reads full fidelity.
+    pub read_cf: Option<usize>,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig { workers: 2, lookahead: 4, read_cf: None }
+    }
+}
+
+/// Decoded chunk with its position in the sample stream.
+#[derive(Debug)]
+pub struct PrefetchedChunk {
+    /// Chunk index in the container.
+    pub chunk: usize,
+    /// Index of this chunk's first sample.
+    pub first_sample: u64,
+    /// Reconstructed samples, `[S, C, n', n']`.
+    pub data: Tensor,
+}
+
+/// Multi-threaded, in-order chunk iterator over a `.dcz` file.
+#[derive(Debug)]
+pub struct PrefetchLoader {
+    rx: Option<Receiver<(usize, Result<PrefetchedChunk>)>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Reorder buffer for chunks that finished ahead of their turn.
+    pending: BTreeMap<usize, Result<PrefetchedChunk>>,
+    next: usize,
+    chunk_count: usize,
+}
+
+impl PrefetchLoader {
+    /// Open `path` and start prefetching from chunk 0.
+    pub fn open(path: impl AsRef<Path>, cfg: PrefetchConfig) -> Result<PrefetchLoader> {
+        let path: PathBuf = path.as_ref().to_path_buf();
+        // Validate the container (and the requested fidelity) up front, on
+        // the caller's thread, so configuration errors surface here rather
+        // than as a worker-side failure mid-iteration.
+        let probe = DczReader::open(&path)?;
+        let chunk_count = probe.chunk_count();
+        let stored_cf = probe.header().cf as usize;
+        if let Some(cf) = cfg.read_cf {
+            if cf == 0 || cf > stored_cf {
+                return Err(StoreError::InvalidArg(format!(
+                    "read chop factor {cf} outside 1..={stored_cf}"
+                )));
+            }
+        }
+        drop(probe);
+
+        let workers_n = cfg.workers.max(1);
+        let (tx, rx) = bounded(cfg.lookahead.max(1));
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::with_capacity(workers_n);
+        for _ in 0..workers_n {
+            let tx = tx.clone();
+            let cursor = Arc::clone(&cursor);
+            let path = path.clone();
+            let read_cf = cfg.read_cf;
+            workers.push(std::thread::spawn(move || {
+                let mut reader = match DczReader::open(&path) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // Report the failure against whichever chunk this
+                        // worker would have produced next.
+                        let at = cursor.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send((at, Err(e)));
+                        return;
+                    }
+                };
+                loop {
+                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= reader.chunk_count() {
+                        return;
+                    }
+                    let first_sample = reader.index()[chunk].first_sample;
+                    let decoded = match read_cf {
+                        Some(cf) => reader.decompress_chunk_at(chunk, cf),
+                        None => reader.decompress_chunk(chunk),
+                    }
+                    .map(|data| PrefetchedChunk { chunk, first_sample, data });
+                    if tx.send((chunk, decoded)).is_err() {
+                        return; // consumer dropped
+                    }
+                }
+            }));
+        }
+        Ok(PrefetchLoader { rx: Some(rx), workers, pending: BTreeMap::new(), next: 0, chunk_count })
+    }
+
+    /// Chunks in the underlying container.
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_count
+    }
+
+    /// The next chunk in file order; `None` once the container is drained.
+    pub fn next_chunk(&mut self) -> Option<Result<PrefetchedChunk>> {
+        if self.next >= self.chunk_count {
+            return None;
+        }
+        loop {
+            if let Some(ready) = self.pending.remove(&self.next) {
+                self.next += 1;
+                return Some(ready);
+            }
+            let rx = self.rx.as_ref()?;
+            match rx.recv() {
+                Ok((chunk, result)) => {
+                    self.pending.insert(chunk, result);
+                }
+                Err(_) => {
+                    // All workers exited without producing our chunk.
+                    self.next = self.chunk_count;
+                    return Some(Err(StoreError::Format("prefetch workers exited early".into())));
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for PrefetchLoader {
+    type Item = Result<PrefetchedChunk>;
+
+    fn next(&mut self) -> Option<Result<PrefetchedChunk>> {
+        self.next_chunk()
+    }
+}
+
+impl Drop for PrefetchLoader {
+    fn drop(&mut self) {
+        // Dropping the receiver makes pending sends fail, unblocking any
+        // worker waiting on the bounded channel; then joining is safe.
+        self.rx = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{pack_file, StoreOptions};
+    use aicomp_core::ChopCompressor;
+
+    fn sample(i: usize, channels: usize, n: usize) -> Tensor {
+        Tensor::from_vec(
+            (0..channels * n * n).map(|k| ((k * 11 + i * 29) % 37) as f32 / 5.0 - 3.0).collect(),
+            [channels, n, n],
+        )
+        .unwrap()
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("aicomp_prefetch_{tag}_{}.dcz", std::process::id()))
+    }
+
+    #[test]
+    fn chunks_arrive_in_order_and_bit_exact() {
+        let path = temp_path("order");
+        let opts = StoreOptions { n: 16, channels: 2, cf: 4, chunk_size: 2 };
+        let samples: Vec<Tensor> = (0..9).map(|i| sample(i, 2, 16)).collect();
+        pack_file(&path, &opts, samples.iter().cloned()).unwrap();
+
+        let cfg = PrefetchConfig { workers: 3, lookahead: 2, read_cf: None };
+        let loader = PrefetchLoader::open(&path, cfg).unwrap();
+        let comp = ChopCompressor::new(16, 4).unwrap();
+        let mut seen = 0usize;
+        for (i, item) in loader.enumerate() {
+            let c = item.unwrap();
+            assert_eq!(c.chunk, i);
+            assert_eq!(c.first_sample, (i * 2) as u64);
+            let lo = i * 2;
+            let hi = (lo + 2).min(9);
+            let refs: Vec<&Tensor> = samples[lo..hi].iter().collect();
+            let batch = Tensor::concat0(&refs).unwrap().reshape([hi - lo, 2usize, 16, 16]).unwrap();
+            let want = comp.roundtrip(&batch).unwrap();
+            let a: Vec<u32> = c.data.data().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "chunk {i}");
+            seen += 1;
+        }
+        assert_eq!(seen, 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn progressive_prefetch_matches_direct_chop() {
+        let path = temp_path("prog");
+        let opts = StoreOptions { n: 16, channels: 1, cf: 6, chunk_size: 3 };
+        let samples: Vec<Tensor> = (0..6).map(|i| sample(i, 1, 16)).collect();
+        pack_file(&path, &opts, samples.iter().cloned()).unwrap();
+
+        let cfg = PrefetchConfig { workers: 2, lookahead: 2, read_cf: Some(3) };
+        let loader = PrefetchLoader::open(&path, cfg).unwrap();
+        let comp = ChopCompressor::new(16, 3).unwrap();
+        for (i, item) in loader.enumerate() {
+            let c = item.unwrap();
+            let refs: Vec<&Tensor> = samples[i * 3..i * 3 + 3].iter().collect();
+            let batch = Tensor::concat0(&refs).unwrap().reshape([3usize, 1, 16, 16]).unwrap();
+            let want = comp.roundtrip(&batch).unwrap();
+            let a: Vec<u32> = c.data.data().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn early_drop_joins_cleanly() {
+        let path = temp_path("drop");
+        let opts = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 1 };
+        pack_file(&path, &opts, (0..12).map(|i| sample(i, 1, 16))).unwrap();
+
+        let cfg = PrefetchConfig { workers: 2, lookahead: 1, read_cf: None };
+        let mut loader = PrefetchLoader::open(&path, cfg).unwrap();
+        let first = loader.next_chunk().unwrap().unwrap();
+        assert_eq!(first.chunk, 0);
+        drop(loader); // must not hang on blocked senders
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let path = temp_path("cfg");
+        let opts = StoreOptions { n: 16, channels: 1, cf: 3, chunk_size: 2 };
+        pack_file(&path, &opts, (0..2).map(|i| sample(i, 1, 16))).unwrap();
+        let cfg = PrefetchConfig { workers: 1, lookahead: 1, read_cf: Some(5) };
+        assert!(PrefetchLoader::open(&path, cfg).is_err());
+        assert!(PrefetchLoader::open(
+            std::env::temp_dir().join("aicomp_no_such_file.dcz"),
+            PrefetchConfig::default()
+        )
+        .is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,417 @@
+//! [`DczReader`] — random-access and sequential `.dcz` reading.
+//!
+//! Three access patterns, matching how training consumes data:
+//!
+//! 1. **Sequential** ([`DczReader::samples`]): bounded-memory iteration,
+//!    holding one decoded chunk at a time.
+//! 2. **Random chunk access** ([`DczReader::read_chunk`] /
+//!    [`DczReader::decompress_chunk`]): the footer index maps chunk → byte
+//!    range, so any chunk is one seek away.
+//! 3. **Progressive** ([`DczReader::read_chunk_at`]): read only the ring
+//!    prefix covering a coarser chop factor — the PCR-style trade of
+//!    fidelity for I/O. Bytes actually read are tracked and exposed via
+//!    [`DczReader::bytes_read`] so callers (and tests) can verify the
+//!    saving is real.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use aicomp_core::ChopCompressor;
+use aicomp_tensor::Tensor;
+
+use crate::chunk::{decode_chunk, decode_prelude, decode_sections, prelude_len};
+use crate::crc::crc32;
+use crate::layout::{read_footer, read_index, Header, IndexEntry, FOOTER_LEN, INDEX_ENTRY_LEN};
+use crate::{Result, StoreError};
+
+/// Outcome of a full-container [`DczReader::verify`] pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Chunks checked (CRC + full decode).
+    pub chunks: u32,
+    /// Total chunk payload bytes covered.
+    pub payload_bytes: u64,
+}
+
+/// `.dcz` reader over any `Read + Seek` source.
+#[derive(Debug)]
+pub struct DczReader<R: Read + Seek> {
+    src: R,
+    header: Header,
+    index: Vec<IndexEntry>,
+    bytes_read: u64,
+    /// Per-fidelity decompressors, built lazily (`read_cf → compressor`).
+    decompressors: HashMap<usize, ChopCompressor>,
+}
+
+impl DczReader<BufReader<File>> {
+    /// Open a `.dcz` file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read + Seek> DczReader<R> {
+    /// Parse the header, footer, and index of `src`.
+    pub fn new(mut src: R) -> Result<Self> {
+        let header = Header::read(&mut src)?;
+
+        let end = src.seek(SeekFrom::End(0))?;
+        if end < header.serialized_len() + FOOTER_LEN {
+            return Err(StoreError::Format("file too short for a footer".into()));
+        }
+        src.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        src.read_exact(&mut footer)?;
+        let (index_offset, index_crc, count) = read_footer(&footer)?;
+
+        if count != header.chunk_count {
+            return Err(StoreError::Format(format!(
+                "footer lists {count} chunks, header lists {}",
+                header.chunk_count
+            )));
+        }
+        let index_len = count as u64 * INDEX_ENTRY_LEN as u64;
+        if index_offset.checked_add(index_len).is_none_or(|e| e + FOOTER_LEN != end) {
+            return Err(StoreError::Format("index does not sit between payload and footer".into()));
+        }
+        src.seek(SeekFrom::Start(index_offset))?;
+        let mut index_bytes = vec![0u8; index_len as usize];
+        src.read_exact(&mut index_bytes)?;
+        let index = read_index(&index_bytes, index_crc, count)?;
+
+        // Index coherence: chunks are contiguous in both bytes and samples.
+        let mut offset = header.serialized_len();
+        let mut sample = 0u64;
+        for (i, e) in index.iter().enumerate() {
+            if e.offset != offset || e.first_sample != sample || e.samples == 0 {
+                return Err(StoreError::Format(format!("index entry {i} is incoherent")));
+            }
+            offset += e.len as u64;
+            sample += e.samples as u64;
+        }
+        if offset != index_offset || sample != header.sample_count {
+            return Err(StoreError::Format("index totals disagree with header".into()));
+        }
+
+        Ok(DczReader { src, header, index, bytes_read: 0, decompressors: HashMap::new() })
+    }
+
+    /// The container header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// The chunk index.
+    pub fn index(&self) -> &[IndexEntry] {
+        &self.index
+    }
+
+    /// Chunks in the container.
+    pub fn chunk_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Samples in the container.
+    pub fn sample_count(&self) -> u64 {
+        self.header.sample_count
+    }
+
+    /// Payload bytes actually read so far (excludes header/index parsing).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    fn entry(&self, chunk: usize) -> Result<IndexEntry> {
+        self.index.get(chunk).copied().ok_or_else(|| {
+            StoreError::InvalidArg(format!(
+                "chunk {chunk} out of range (container has {})",
+                self.index.len()
+            ))
+        })
+    }
+
+    fn read_payload(&mut self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.src.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        self.src.read_exact(&mut buf)?;
+        self.bytes_read += len as u64;
+        Ok(buf)
+    }
+
+    /// Read chunk `chunk` in full (CRC-checked) and decode its coefficient
+    /// tensor at the stored chop factor.
+    pub fn read_chunk(&mut self, chunk: usize) -> Result<Tensor> {
+        let e = self.entry(chunk)?;
+        let bytes = self.read_payload(e.offset, e.len as usize)?;
+        if crc32(&bytes) != e.crc {
+            return Err(StoreError::Format(format!("chunk {chunk} fails its CRC check")));
+        }
+        decode_chunk(&bytes, &self.header, e.samples as usize, self.header.cf as usize)
+    }
+
+    /// Read only the prefix of chunk `chunk` covering chop factor
+    /// `read_cf` and decode the `[S, C, cf'·nb, cf'·nb]` coefficients.
+    ///
+    /// Reads `prelude + rings 0..read_cf` — strictly fewer bytes than the
+    /// chunk for `read_cf < cf`. The chunk CRC covers the whole payload, so
+    /// prefix reads rely on the per-section Huffman self-checks instead.
+    pub fn read_chunk_at(&mut self, chunk: usize, read_cf: usize) -> Result<Tensor> {
+        let e = self.entry(chunk)?;
+        let plen = prelude_len(self.header.cf as usize);
+        if (e.len as usize) < plen {
+            return Err(StoreError::Format(format!("chunk {chunk} shorter than its prelude")));
+        }
+        let prelude_bytes = self.read_payload(e.offset, plen)?;
+        let prelude = decode_prelude(&prelude_bytes, &self.header)?;
+        if read_cf == 0 || read_cf > self.header.cf as usize {
+            return Err(StoreError::InvalidArg(format!(
+                "read chop factor {read_cf} outside 1..={}",
+                self.header.cf
+            )));
+        }
+        let prefix = prelude.prefix_len(read_cf);
+        if plen + prefix > e.len as usize {
+            return Err(StoreError::Format(format!("chunk {chunk} sections truncated")));
+        }
+        let sections = self.read_payload(e.offset + plen as u64, prefix)?;
+        decode_sections(&prelude, &sections, &self.header, e.samples as usize, read_cf)
+    }
+
+    fn decompressor(&mut self, read_cf: usize) -> Result<ChopCompressor> {
+        if self.header.transform != "dct2" {
+            return Err(StoreError::Unsupported(format!(
+                "cannot decompress transform {:?}",
+                self.header.transform
+            )));
+        }
+        if let Some(c) = self.decompressors.get(&read_cf) {
+            return Ok(c.clone());
+        }
+        let c = ChopCompressor::new(self.header.n as usize, read_cf)?;
+        self.decompressors.insert(read_cf, c.clone());
+        Ok(c)
+    }
+
+    /// Read chunk `chunk` and reconstruct samples: `[S, C, n, n]` —
+    /// bit-identical to `ChopCompressor::decompress` on the host path.
+    pub fn decompress_chunk(&mut self, chunk: usize) -> Result<Tensor> {
+        let coeffs = self.read_chunk(chunk)?;
+        let c = self.decompressor(self.header.cf as usize)?;
+        Ok(c.decompress(&coeffs)?)
+    }
+
+    /// Progressive variant of [`Self::decompress_chunk`]: reconstruct at
+    /// chop factor `read_cf` from a prefix read.
+    pub fn decompress_chunk_at(&mut self, chunk: usize, read_cf: usize) -> Result<Tensor> {
+        let coeffs = self.read_chunk_at(chunk, read_cf)?;
+        let c = self.decompressor(read_cf)?;
+        Ok(c.decompress(&coeffs)?)
+    }
+
+    /// CRC-check and fully decode every chunk.
+    pub fn verify(&mut self) -> Result<VerifyReport> {
+        let mut payload_bytes = 0u64;
+        for i in 0..self.index.len() {
+            self.read_chunk(i)?;
+            payload_bytes += self.index[i].len as u64;
+        }
+        Ok(VerifyReport { chunks: self.index.len() as u32, payload_bytes })
+    }
+
+    /// Sequential bounded-memory iteration over reconstructed samples
+    /// (`[C, n, n]` each), decoding one chunk at a time.
+    pub fn samples(&mut self) -> SampleIter<'_, R> {
+        SampleIter { reader: self, chunk: 0, window: Vec::new(), at: 0 }
+    }
+}
+
+/// Iterator returned by [`DczReader::samples`].
+#[derive(Debug)]
+pub struct SampleIter<'a, R: Read + Seek> {
+    reader: &'a mut DczReader<R>,
+    chunk: usize,
+    window: Vec<Tensor>,
+    at: usize,
+}
+
+impl<R: Read + Seek> Iterator for SampleIter<'_, R> {
+    type Item = Result<Tensor>;
+
+    fn next(&mut self) -> Option<Result<Tensor>> {
+        if self.at == self.window.len() {
+            if self.chunk == self.reader.chunk_count() {
+                return None;
+            }
+            let batch = match self.reader.decompress_chunk(self.chunk) {
+                Ok(b) => b,
+                Err(e) => {
+                    // Poison the iterator: skip to the end after an error.
+                    self.chunk = self.reader.chunk_count();
+                    return Some(Err(e));
+                }
+            };
+            self.chunk += 1;
+            let d = batch.dims().to_vec();
+            self.window.clear();
+            self.at = 0;
+            for s in 0..d[0] {
+                let one = batch
+                    .slice0(s, s + 1)
+                    .and_then(|t| t.reshaped([d[1], d[2], d[3]]))
+                    .map_err(StoreError::from);
+                match one {
+                    Ok(t) => self.window.push(t),
+                    Err(e) => {
+                        self.chunk = self.reader.chunk_count();
+                        return Some(Err(e));
+                    }
+                }
+            }
+        }
+        let t = self.window[self.at].clone();
+        self.at += 1;
+        Some(Ok(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{DczWriter, StoreOptions};
+    use std::io::Cursor;
+
+    fn sample(i: usize, channels: usize, n: usize) -> Tensor {
+        Tensor::from_vec(
+            (0..channels * n * n).map(|k| ((k * 7 + i * 31) % 41) as f32 / 6.0 - 3.0).collect(),
+            [channels, n, n],
+        )
+        .unwrap()
+    }
+
+    fn pack(samples: &[Tensor], opts: &StoreOptions) -> Vec<u8> {
+        let (cur, _) =
+            DczWriter::pack(Cursor::new(Vec::new()), opts, samples.iter().cloned()).unwrap();
+        cur.into_inner()
+    }
+
+    #[test]
+    fn random_access_matches_host_decompress() {
+        let opts = StoreOptions { n: 16, channels: 2, cf: 4, chunk_size: 3 };
+        let samples: Vec<Tensor> = (0..8).map(|i| sample(i, 2, 16)).collect();
+        let file = pack(&samples, &opts);
+        let mut r = DczReader::new(Cursor::new(file)).unwrap();
+        assert_eq!(r.chunk_count(), 3);
+        assert_eq!(r.sample_count(), 8);
+
+        let comp = ChopCompressor::new(16, 4).unwrap();
+        // Read chunks out of order to exercise seeking.
+        for chunk in [2usize, 0, 1] {
+            let got = r.decompress_chunk(chunk).unwrap();
+            let lo = chunk * 3;
+            let hi = (lo + 3).min(8);
+            let refs: Vec<&Tensor> = samples[lo..hi].iter().collect();
+            let batch = Tensor::concat0(&refs).unwrap().reshape([hi - lo, 2usize, 16, 16]).unwrap();
+            let want = comp.roundtrip(&batch).unwrap();
+            let a: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn sequential_iteration_is_bit_exact() {
+        let opts = StoreOptions { n: 16, channels: 1, cf: 5, chunk_size: 4 };
+        let samples: Vec<Tensor> = (0..6).map(|i| sample(i, 1, 16)).collect();
+        let file = pack(&samples, &opts);
+        let mut r = DczReader::new(Cursor::new(file)).unwrap();
+        let comp = ChopCompressor::new(16, 5).unwrap();
+
+        let got: Vec<Tensor> = r.samples().collect::<Result<_>>().unwrap();
+        assert_eq!(got.len(), 6);
+        for (g, s) in got.iter().zip(&samples) {
+            let batch = s.clone().reshaped([1usize, 1, 16, 16]).unwrap();
+            let want = comp.roundtrip(&batch).unwrap().reshaped([1usize, 16, 16]).unwrap();
+            let a: Vec<u32> = g.data().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn progressive_read_is_cheaper_and_exact() {
+        let opts = StoreOptions { n: 16, channels: 1, cf: 7, chunk_size: 4 };
+        let samples: Vec<Tensor> = (0..4).map(|i| sample(i, 1, 16)).collect();
+        let file = pack(&samples, &opts);
+        let mut r = DczReader::new(Cursor::new(file)).unwrap();
+        let full_len = r.index()[0].len as u64;
+
+        let got = r.read_chunk_at(0, 2).unwrap();
+        assert!(
+            r.bytes_read() < full_len,
+            "prefix read {} should be under the full chunk {}",
+            r.bytes_read(),
+            full_len
+        );
+        let refs: Vec<&Tensor> = samples.iter().collect();
+        let batch = Tensor::concat0(&refs).unwrap().reshape([4usize, 1, 16, 16]).unwrap();
+        let want = ChopCompressor::new(16, 2).unwrap().compress(&batch).unwrap();
+        let a: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let opts = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 4 };
+        let samples: Vec<Tensor> = (0..4).map(|i| sample(i, 1, 16)).collect();
+        let file = pack(&samples, &opts);
+
+        // Flip a payload byte → CRC failure on full read.
+        let mut bad = file.clone();
+        let payload_at = {
+            let r = DczReader::new(Cursor::new(file.clone())).unwrap();
+            let e = r.entry(0).unwrap();
+            (e.offset + e.len as u64 - 1) as usize
+        };
+        bad[payload_at] ^= 0x40;
+        let mut r = DczReader::new(Cursor::new(bad)).unwrap();
+        assert!(matches!(r.read_chunk(0), Err(StoreError::Format(_))));
+        assert!(r.verify().is_err());
+
+        // Truncated file → index/footer errors at open.
+        for cut in [0usize, 4, file.len() - 1, file.len() - 10] {
+            assert!(DczReader::new(Cursor::new(file[..cut].to_vec())).is_err(), "cut={cut}");
+        }
+
+        // Corrupted index CRC.
+        let mut bad_index = file.clone();
+        let at = file.len() - FOOTER_LEN as usize + 2;
+        bad_index[at] ^= 0x01;
+        assert!(DczReader::new(Cursor::new(bad_index)).is_err());
+    }
+
+    #[test]
+    fn verify_covers_all_chunks() {
+        let opts = StoreOptions { n: 16, channels: 2, cf: 3, chunk_size: 2 };
+        let samples: Vec<Tensor> = (0..7).map(|i| sample(i, 2, 16)).collect();
+        let file = pack(&samples, &opts);
+        let mut r = DczReader::new(Cursor::new(file)).unwrap();
+        let report = r.verify().unwrap();
+        assert_eq!(report.chunks, 4);
+        assert_eq!(report.payload_bytes, r.index().iter().map(|e| e.len as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn out_of_range_chunk_rejected() {
+        let opts = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 4 };
+        let samples: Vec<Tensor> = (0..4).map(|i| sample(i, 1, 16)).collect();
+        let file = pack(&samples, &opts);
+        let mut r = DczReader::new(Cursor::new(file)).unwrap();
+        assert!(r.read_chunk(1).is_err());
+        assert!(r.read_chunk_at(0, 9).is_err());
+        assert!(r.read_chunk_at(0, 0).is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! [`DczWriter`] — streaming `.dcz` writer.
+//!
+//! Samples flow through a [`StreamingCompressor`] (the §1 bounded-memory
+//! path), whose full batches become chunks. Completed chunks accumulate in
+//! a small pending queue and are entropy-encoded **in parallel** with
+//! rayon — chunk encoding (ring gather + Huffman fit + bit packing) is the
+//! writer's dominant cost and every chunk is independent — then written to
+//! the sink in order. Memory stays bounded by
+//! `pending-queue length × chunk size` regardless of stream length.
+
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use aicomp_core::streaming::{StreamStats, StreamingCompressor};
+use aicomp_tensor::Tensor;
+use rayon::prelude::*;
+
+use crate::chunk::encode_chunk;
+use crate::crc::crc32;
+use crate::layout::{write_index, Header, IndexEntry, FOOTER_LEN, INDEX_ENTRY_LEN};
+use crate::{Result, StoreError};
+
+/// Container creation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Sample resolution (samples are `[channels, n, n]`).
+    pub n: usize,
+    /// Channels per sample.
+    pub channels: usize,
+    /// Chop factor to compress at (1..=8; store at the *highest* fidelity
+    /// you may ever read — coarser chop factors decode from a prefix).
+    pub cf: usize,
+    /// Samples per chunk: the random-access and prefetch granularity.
+    pub chunk_size: usize,
+}
+
+/// What a finished pack achieved.
+#[derive(Debug, Clone)]
+pub struct StoreSummary {
+    /// Samples packed.
+    pub samples: u64,
+    /// Chunks written.
+    pub chunks: u32,
+    /// Entropy-coded chunk payload bytes (prelude + sections).
+    pub payload_bytes: u64,
+    /// Total container size including header, index, and footer.
+    pub file_bytes: u64,
+    /// The streaming-compression statistics (raw vs. coefficient bytes).
+    pub stream: StreamStats,
+}
+
+impl StoreSummary {
+    /// Chop's own ratio (Eq. 3): raw bytes / coefficient bytes.
+    pub fn chop_ratio(&self) -> f64 {
+        self.stream.ratio()
+    }
+
+    /// Extra factor the entropy stage buys on top of Chop.
+    pub fn entropy_gain(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            0.0
+        } else {
+            self.stream.bytes_out as f64 / self.payload_bytes as f64
+        }
+    }
+
+    /// End-to-end ratio: raw bytes / stored payload bytes.
+    pub fn total_ratio(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            0.0
+        } else {
+            self.stream.bytes_in as f64 / self.payload_bytes as f64
+        }
+    }
+}
+
+/// Streaming `.dcz` writer over any `Write + Seek` sink.
+#[derive(Debug)]
+pub struct DczWriter<W: Write + Seek> {
+    sink: W,
+    header: Header,
+    streamer: StreamingCompressor,
+    /// Chunks compressed but not yet encoded: `(coefficients, samples)`.
+    pending: Vec<(Tensor, usize)>,
+    index: Vec<IndexEntry>,
+    offset: u64,
+    samples_written: u64,
+    payload_bytes: u64,
+    /// Pending-queue length that triggers a parallel encode+flush.
+    fanout: usize,
+}
+
+impl DczWriter<BufWriter<File>> {
+    /// Create a `.dcz` file at `path`.
+    pub fn create(path: impl AsRef<Path>, opts: &StoreOptions) -> Result<Self> {
+        Self::new(BufWriter::new(File::create(path)?), opts)
+    }
+}
+
+impl<W: Write + Seek> DczWriter<W> {
+    /// Start a container on `sink` (positioned at its beginning).
+    pub fn new(mut sink: W, opts: &StoreOptions) -> Result<Self> {
+        let streamer = StreamingCompressor::new(opts.n, opts.cf, opts.channels, opts.chunk_size)?;
+        let header = Header {
+            n: opts.n as u32,
+            channels: opts.channels as u32,
+            block: streamer.compressor().block_size() as u32,
+            cf: opts.cf as u32,
+            sample_count: 0, // patched at finish
+            chunk_size: opts.chunk_size as u32,
+            chunk_count: 0, // patched at finish
+            transform: streamer.compressor().transform_name().to_string(),
+        };
+        header.write(&mut sink)?;
+        let offset = header.serialized_len();
+        Ok(DczWriter {
+            sink,
+            header,
+            streamer,
+            pending: Vec::new(),
+            index: Vec::new(),
+            offset,
+            samples_written: 0,
+            payload_bytes: 0,
+            fanout: rayon::current_num_threads().max(2),
+        })
+    }
+
+    /// Append one `[channels, n, n]` sample.
+    pub fn push(&mut self, sample: Tensor) -> Result<()> {
+        if let Some(batch) = self.streamer.push(sample)? {
+            let samples = batch.dims()[0];
+            self.pending.push((batch, samples));
+            if self.pending.len() >= self.fanout {
+                self.flush_pending()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Append every sample of a `[B, channels, n, n]` batch.
+    pub fn push_batch(&mut self, batch: &Tensor) -> Result<()> {
+        let d = batch.dims().to_vec();
+        if d.len() != 4 {
+            return Err(StoreError::InvalidArg(format!(
+                "push_batch expects [B, C, n, n], got {d:?}"
+            )));
+        }
+        for s in 0..d[0] {
+            self.push(batch.slice0(s, s + 1)?.reshaped([d[1], d[2], d[3]])?)?;
+        }
+        Ok(())
+    }
+
+    /// Encode all pending chunks in parallel and write them in order.
+    fn flush_pending(&mut self) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let cf = self.header.cf as usize;
+        let drained: Vec<(Tensor, usize)> = std::mem::take(&mut self.pending);
+        let encoded: Vec<(Vec<u8>, usize)> = drained
+            .par_iter()
+            .map(|(coeffs, samples)| encode_chunk(coeffs, cf).map(|b| (b, *samples)))
+            .collect::<Result<_>>()?;
+        for (bytes, samples) in encoded {
+            self.index.push(IndexEntry {
+                offset: self.offset,
+                len: bytes.len() as u32,
+                first_sample: self.samples_written,
+                samples: samples as u32,
+                crc: crc32(&bytes),
+            });
+            self.sink.write_all(&bytes)?;
+            self.offset += bytes.len() as u64;
+            self.payload_bytes += bytes.len() as u64;
+            self.samples_written += samples as u64;
+        }
+        Ok(())
+    }
+
+    /// Flush the tail, write index + footer, patch the header, and return
+    /// the sink with a [`StoreSummary`].
+    pub fn finish(mut self) -> Result<(W, StoreSummary)> {
+        if let Some(tail) = self.streamer.finish()? {
+            let samples = tail.dims()[0];
+            self.pending.push((tail, samples));
+        }
+        self.flush_pending()?;
+
+        let index_offset = self.offset;
+        write_index(&mut self.sink, &self.index, index_offset)?;
+        let file_bytes = index_offset + (self.index.len() * INDEX_ENTRY_LEN) as u64 + FOOTER_LEN;
+
+        self.header.sample_count = self.samples_written;
+        self.header.chunk_count = self.index.len() as u32;
+        self.sink.seek(SeekFrom::Start(0))?;
+        self.header.write(&mut self.sink)?;
+        self.sink.seek(SeekFrom::Start(file_bytes))?;
+        self.sink.flush()?;
+
+        let summary = StoreSummary {
+            samples: self.samples_written,
+            chunks: self.index.len() as u32,
+            payload_bytes: self.payload_bytes,
+            file_bytes,
+            stream: self.streamer.stats().clone(),
+        };
+        Ok((self.sink, summary))
+    }
+
+    /// One-shot: pack a whole sample stream into `sink`.
+    pub fn pack(
+        sink: W,
+        opts: &StoreOptions,
+        samples: impl IntoIterator<Item = Tensor>,
+    ) -> Result<(W, StoreSummary)> {
+        let mut w = DczWriter::new(sink, opts)?;
+        for s in samples {
+            w.push(s)?;
+        }
+        w.finish()
+    }
+}
+
+/// Pack a sample stream into a fresh file at `path`.
+pub fn pack_file(
+    path: impl AsRef<Path>,
+    opts: &StoreOptions,
+    samples: impl IntoIterator<Item = Tensor>,
+) -> Result<StoreSummary> {
+    let (_, summary) = DczWriter::pack(BufWriter::new(File::create(path)?), opts, samples)?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample(i: usize, channels: usize, n: usize) -> Tensor {
+        Tensor::from_vec(
+            (0..channels * n * n).map(|k| ((k + i * 13) % 23) as f32 / 5.0 - 2.0).collect(),
+            [channels, n, n],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn writes_well_formed_container() {
+        let opts = StoreOptions { n: 16, channels: 2, cf: 4, chunk_size: 4 };
+        let samples: Vec<Tensor> = (0..10).map(|i| sample(i, 2, 16)).collect();
+        let (cur, summary) = DczWriter::pack(Cursor::new(Vec::new()), &opts, samples).unwrap();
+        let bytes = cur.into_inner();
+        assert_eq!(summary.samples, 10);
+        assert_eq!(summary.chunks, 3); // 4 + 4 + 2 (ragged tail)
+        assert_eq!(summary.file_bytes, bytes.len() as u64);
+        assert!(summary.chop_ratio() > 3.9);
+        assert!(summary.entropy_gain() > 0.5, "gain {}", summary.entropy_gain());
+
+        let h = Header::read(&mut Cursor::new(&bytes)).unwrap();
+        assert_eq!(h.sample_count, 10);
+        assert_eq!(h.chunk_count, 3);
+        assert_eq!(h.transform, "dct2");
+    }
+
+    #[test]
+    fn empty_stream_is_valid() {
+        let opts = StoreOptions { n: 16, channels: 1, cf: 3, chunk_size: 4 };
+        let (cur, summary) =
+            DczWriter::pack(Cursor::new(Vec::new()), &opts, std::iter::empty()).unwrap();
+        assert_eq!(summary.samples, 0);
+        assert_eq!(summary.chunks, 0);
+        assert_eq!(summary.total_ratio(), 0.0);
+        let bytes = cur.into_inner();
+        let h = Header::read(&mut Cursor::new(&bytes)).unwrap();
+        assert_eq!(h.chunk_count, 0);
+    }
+
+    #[test]
+    fn bad_options_rejected() {
+        let opts = StoreOptions { n: 30, channels: 1, cf: 4, chunk_size: 4 };
+        assert!(DczWriter::new(Cursor::new(Vec::new()), &opts).is_err());
+        let opts = StoreOptions { n: 16, channels: 1, cf: 0, chunk_size: 4 };
+        assert!(DczWriter::new(Cursor::new(Vec::new()), &opts).is_err());
+        let opts = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 0 };
+        assert!(DczWriter::new(Cursor::new(Vec::new()), &opts).is_err());
+    }
+
+    #[test]
+    fn wrong_sample_shape_rejected() {
+        let opts = StoreOptions { n: 16, channels: 2, cf: 4, chunk_size: 4 };
+        let mut w = DczWriter::new(Cursor::new(Vec::new()), &opts).unwrap();
+        assert!(w.push(sample(0, 1, 16)).is_err());
+        assert!(w.push(sample(0, 2, 8)).is_err());
+    }
+}

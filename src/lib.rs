@@ -14,6 +14,9 @@
 //!   benchmarks.
 //! * [`sciml`] — the four Table 3 benchmarks on synthetic datasets.
 //! * [`baselines`] — ZFP-style fixed-rate codec and JPEG quantization.
+//! * [`store`] — the `.dcz` on-disk container for compressed sample
+//!   streams (chunked, checksummed, frequency-band-progressive) and the
+//!   prefetching training loader over it.
 //!
 //! ## Quickstart
 //!
@@ -48,7 +51,9 @@ pub use aicomp_baselines as baselines;
 pub use aicomp_core as dct;
 pub use aicomp_nn as nn;
 pub use aicomp_sciml as sciml;
+pub use aicomp_store as store;
 pub use aicomp_tensor as tensor;
 
 pub use aicomp_core::{ChopCompressor, DctChop, PartialSerialized, ScatterGatherChop};
+pub use aicomp_store::{DczReader, PrefetchLoader, StoreBatchSource};
 pub use aicomp_tensor::{Shape, Tensor};

@@ -1,0 +1,75 @@
+//! Integration: training straight from packed `.dcz` containers must
+//! reproduce in-memory compressed training *exactly*. Chunked container
+//! compression is batch-size independent and bit-identical to the host
+//! compressor, so every per-epoch loss must match to the last bit.
+
+use aicomp::sciml::Dataset;
+use aicomp::sciml::{tasks, Benchmark, TrainConfig};
+use aicomp::store::writer::pack_file;
+use aicomp::store::{PrefetchConfig, StoreOptions};
+use aicomp::{ChopCompressor, StoreBatchSource};
+
+fn cfg() -> TrainConfig {
+    TrainConfig {
+        benchmark: Benchmark::Classify,
+        epochs: 2,
+        train_size: 24,
+        test_size: 8,
+        batch_size: 8,
+        lr: 2e-3,
+        seed: 11,
+    }
+}
+
+#[test]
+fn training_from_packed_file_matches_in_memory_losses() {
+    let config = cfg();
+    let kind = config.benchmark.dataset_kind();
+    let [channels, n, _] = kind.sample_shape();
+    let cf = 4usize;
+
+    // Pack the exact datasets the training protocol generates (train uses
+    // `seed`, test uses `seed + 1`), with a chunk size that straddles
+    // batch boundaries.
+    let dir = std::env::temp_dir();
+    let train_path = dir.join(format!("aicomp_store_train_{}.dcz", std::process::id()));
+    let test_path = dir.join(format!("aicomp_store_test_{}.dcz", std::process::id()));
+    let opts = StoreOptions { n, channels, cf, chunk_size: 5 };
+    for (path, count, seed) in [
+        (&train_path, config.train_size, config.seed),
+        (&test_path, config.test_size, config.seed + 1),
+    ] {
+        let ds = Dataset::generate(kind, count, seed);
+        let samples: Vec<_> = (0..count)
+            .map(|s| ds.input_batch(s, s + 1).reshaped([channels, n, n]).expect("sample shape"))
+            .collect();
+        pack_file(path, &opts, samples).expect("pack dataset");
+    }
+
+    let reference = tasks::train(&config, &ChopCompressor::new(n, cf).expect("compressor"));
+
+    let mut source = StoreBatchSource::open(&train_path, &test_path, PrefetchConfig::default())
+        .expect("open packed pair");
+    let from_store = tasks::train_from_source(&config, &mut source);
+
+    let _ = std::fs::remove_file(&train_path);
+    let _ = std::fs::remove_file(&test_path);
+
+    assert_eq!(reference.epochs.len(), from_store.epochs.len());
+    for (e, (a, b)) in reference.epochs.iter().zip(&from_store.epochs).enumerate() {
+        assert_eq!(
+            a.train_loss.to_bits(),
+            b.train_loss.to_bits(),
+            "epoch {e}: train loss diverged ({} vs {})",
+            a.train_loss,
+            b.train_loss
+        );
+        assert_eq!(
+            a.test_loss.to_bits(),
+            b.test_loss.to_bits(),
+            "epoch {e}: test loss diverged ({} vs {})",
+            a.test_loss,
+            b.test_loss
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Self-contained stand-in for the subset of the `bytes` API this
+//! workspace uses (a growable byte buffer with `BufMut::put_u8`), so the
+//! workspace builds with no registry access.
+
+/// Growable byte buffer, mirroring `bytes::BytesMut` for the operations
+/// the bit-I/O layer performs.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Bytes currently stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no bytes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy the contents out as a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.data.extend(iter);
+    }
+}
+
+/// Byte-appending operations, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_read_back() {
+        let mut b = BytesMut::new();
+        assert!(b.is_empty());
+        b.put_u8(0xAB);
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.to_vec(), vec![0xAB, 1, 2, 3]);
+        assert_eq!(&b[1..], &[1, 2, 3]);
+    }
+}

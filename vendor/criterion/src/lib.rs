@@ -1,0 +1,239 @@
+//! Self-contained stand-in for the subset of the `criterion` API this
+//! workspace uses, so `cargo bench` works with no registry access.
+//!
+//! A deliberately small harness: each benchmark is warmed up, then timed
+//! over a fixed measurement window, and the mean/min wall-clock per
+//! iteration is printed with throughput where configured. No statistical
+//! analysis, plots, or saved baselines. `cargo bench -- --test` (the
+//! smoke mode the repo's docs reference) runs every benchmark exactly
+//! once and skips timing.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput labeling for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Display name for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by its parameter's `Display` form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// `function_name/parameter` form.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function_name.into()) }
+    }
+}
+
+/// Runs the closure under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    measure: Duration,
+    mean: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, discarding its output via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            (self.mean, self.min, self.iters) = (Duration::ZERO, Duration::ZERO, 1);
+            return;
+        }
+        // Warm-up and calibration: find an iteration count that fills the
+        // measurement window, without trusting a single cold first call.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let first = warm_start.elapsed().max(Duration::from_nanos(1));
+        let target_iters =
+            (self.measure.as_secs_f64() / first.as_secs_f64()).clamp(1.0, 1e7) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters = 0u64;
+        while iters < target_iters && total < self.measure {
+            let t = Instant::now();
+            black_box(routine());
+            let dt = t.elapsed();
+            total += dt;
+            min = min.min(dt);
+            iters += 1;
+        }
+        self.mean = total / iters.max(1) as u32;
+        self.min = min;
+        self.iters = iters;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Label subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(&mut self, id: S, mut f: F) {
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            measure: self.criterion.measurement_time,
+            mean: Duration::ZERO,
+            min: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(&id.into(), &b);
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id.id.clone(), |b| f(b, input));
+    }
+
+    /// Finish the group (printing is per-benchmark; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if self.criterion.test_mode {
+            println!("{}/{id}: ok (ran once, --test mode)", self.name);
+            return;
+        }
+        let per_iter = b.mean.as_secs_f64();
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:>9.3} MiB/s", n as f64 / per_iter / (1u64 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:>9.3} Melem/s", n as f64 / per_iter / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: mean {:>12?}  min {:>12?}  ({} iters){rate}",
+            self.name, b.mean, b.min, b.iters
+        );
+    }
+}
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: false, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Apply command-line flags: `--test` selects run-once smoke mode;
+    /// unknown flags (e.g. the bench-name filter cargo passes) are
+    /// ignored, as the full harness does for flags it owns.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    /// Change the per-benchmark measurement window.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_every_benchmark() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_at_least_one_iter() {
+        let mut b = Bencher {
+            test_mode: false,
+            measure: Duration::from_millis(5),
+            mean: Duration::ZERO,
+            min: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter(|| black_box(2 + 2));
+        assert!(b.iters >= 1);
+        assert!(b.min <= b.mean);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+        assert_eq!(BenchmarkId::new("f", 64).id, "f/64");
+    }
+}

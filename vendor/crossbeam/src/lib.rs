@@ -1,0 +1,131 @@
+//! Self-contained stand-in for the subset of the `crossbeam` API this
+//! workspace uses (a bounded MPSC channel), so the workspace builds with
+//! no registry access.
+//!
+//! Backed by `std::sync::mpsc::sync_channel`, which has the same
+//! semantics for the operations exercised here: cloneable blocking
+//! senders with backpressure at the bound, and `send`/`recv` returning
+//! `Err` once the other side is dropped.
+
+pub mod channel {
+    //! Bounded multi-producer single-consumer channel.
+
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone;
+    /// carries the rejected message like `crossbeam_channel::SendError`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Cloneable sending half; `send` blocks while the channel is full.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver `msg`, blocking on a full channel; `Err` once the
+        /// receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// Receiving half; dropping it disconnects all senders.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Take the next message, blocking while the channel is empty;
+        /// `Err` once every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking iteration over already-delivered messages is not
+        /// needed here; blocking iteration mirrors crossbeam's.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(|| self.recv().ok())
+        }
+    }
+
+    /// Channel holding at most `cap` in-flight messages (`cap` ≥ 1;
+    /// crossbeam's zero-capacity rendezvous mode is not supported).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "this crossbeam stand-in does not support rendezvous channels");
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvError, SendError};
+
+    #[test]
+    fn multi_producer_delivery_and_disconnect() {
+        let (tx, rx) = bounded::<u32>(2);
+        let tx2 = tx.clone();
+        let h1 = std::thread::spawn(move || {
+            for v in 0..50 {
+                tx.send(v).unwrap()
+            }
+        });
+        let h2 = std::thread::spawn(move || {
+            for v in 50..100 {
+                tx2.send(v).unwrap()
+            }
+        });
+        let mut got: Vec<u32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        h1.join().unwrap();
+        h2.join().unwrap();
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn dropped_receiver_fails_send() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn send_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2).unwrap());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,187 @@
+//! Self-contained stand-in for the subset of the `rayon` API this
+//! workspace uses, so the workspace builds with no registry access.
+//!
+//! Real data parallelism (not a sequential fake): parallel iterators are
+//! materialized into an item list, split into contiguous per-thread parts,
+//! and executed on `std::thread::scope` threads — outputs are reassembled
+//! in order, so results are deterministic and identical to sequential
+//! execution. Work-stealing and splitting heuristics are gone, but the hot
+//! callers here (panel-parallel matmul, im2col, chunk encoding) all have
+//! coarse uniform items where contiguous splitting is the right schedule
+//! anyway.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads (mirrors `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Run `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// returning outputs in input order.
+fn run_parallel<T, R, F>(mut items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let per = items.len().div_ceil(threads);
+    let mut parts = Vec::with_capacity(threads);
+    while !items.is_empty() {
+        let rest = items.split_off(per.min(items.len()));
+        parts.push(std::mem::replace(&mut items, rest));
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| s.spawn(move || part.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("rayon-shim worker panicked")).collect()
+    })
+}
+
+/// An eagerly-materialized "parallel iterator".
+#[derive(Debug)]
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Pair up with another parallel iterator (truncates to the shorter).
+    pub fn zip<J: Send>(self, other: ParIter<J>) -> ParIter<(I, J)> {
+        ParIter { items: self.items.into_iter().zip(other.items).collect() }
+    }
+
+    /// Attach indices.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Lazily map; the closure runs on the worker threads.
+    pub fn map<R: Send, F: Fn(I) -> R + Sync>(self, f: F) -> Map<I, F> {
+        Map { items: self.items, f }
+    }
+
+    /// Run `f` over every item in parallel.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        run_parallel(self.items, &|item| f(item));
+    }
+
+    /// Items staged for execution.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator, executed at `collect`.
+#[derive(Debug)]
+pub struct Map<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, R: Send, F: Fn(I) -> R + Sync> Map<I, F> {
+    /// Execute in parallel and collect (e.g. into `Vec<R>` or
+    /// `Result<Vec<R>, E>`).
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_parallel(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// `par_iter`/`par_chunks` over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over non-overlapping chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter { items: self.chunks(chunk_size).collect() }
+    }
+}
+
+/// `par_chunks_mut` over exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+pub mod prelude {
+    //! Everything callers normally glob-import.
+    pub use crate::{Map, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_zip_for_each_matches_sequential() {
+        let mut par = vec![0u64; 1000];
+        let src: Vec<u64> = (0..1000).collect();
+        par.par_chunks_mut(7).zip(src.par_chunks(7)).for_each(|(dst, s)| {
+            for (d, v) in dst.iter_mut().zip(s) {
+                *d = v * 3 + 1;
+            }
+        });
+        let seq: Vec<u64> = src.iter().map(|v| v * 3 + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn map_collect_preserves_order_and_results() {
+        let items: Vec<usize> = (0..257).collect();
+        let out: Vec<usize> = items.par_iter().map(|&x| x * x).collect();
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_collect_into_result_short_circuits_to_err() {
+        let items: Vec<usize> = (0..64).collect();
+        let out: Result<Vec<usize>, String> =
+            items.par_iter().map(|&x| if x == 40 { Err("boom".into()) } else { Ok(x) }).collect();
+        assert_eq!(out, Err("boom".into()));
+    }
+
+    #[test]
+    fn enumerate_indices_are_stable() {
+        let mut out = vec![0usize; 100];
+        let items: Vec<usize> = (0..100).rev().collect();
+        out.par_chunks_mut(1).enumerate().for_each(|(i, c)| c[0] = i);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        assert_eq!(items.len(), 100);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [5u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![6]);
+    }
+}
