@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_block_size-09cfd4ad6ea40bc1.d: crates/bench/src/bin/ablation_block_size.rs
+
+/root/repo/target/debug/deps/ablation_block_size-09cfd4ad6ea40bc1: crates/bench/src/bin/ablation_block_size.rs
+
+crates/bench/src/bin/ablation_block_size.rs:

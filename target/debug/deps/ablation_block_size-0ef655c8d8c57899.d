@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_block_size-0ef655c8d8c57899.d: crates/bench/src/bin/ablation_block_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_block_size-0ef655c8d8c57899.rmeta: crates/bench/src/bin/ablation_block_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_block_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_block_size-3738df1ae9e45be2.d: crates/bench/src/bin/ablation_block_size.rs
+
+/root/repo/target/debug/deps/ablation_block_size-3738df1ae9e45be2: crates/bench/src/bin/ablation_block_size.rs
+
+crates/bench/src/bin/ablation_block_size.rs:

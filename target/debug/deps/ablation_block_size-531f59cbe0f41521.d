@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_block_size-531f59cbe0f41521.d: crates/bench/src/bin/ablation_block_size.rs
+
+/root/repo/target/debug/deps/ablation_block_size-531f59cbe0f41521: crates/bench/src/bin/ablation_block_size.rs
+
+crates/bench/src/bin/ablation_block_size.rs:

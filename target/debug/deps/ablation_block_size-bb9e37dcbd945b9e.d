@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_block_size-bb9e37dcbd945b9e.d: crates/bench/src/bin/ablation_block_size.rs
+
+/root/repo/target/debug/deps/ablation_block_size-bb9e37dcbd945b9e: crates/bench/src/bin/ablation_block_size.rs
+
+crates/bench/src/bin/ablation_block_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_block_size-c5c4fecb6789f7da.d: crates/bench/src/bin/ablation_block_size.rs
+
+/root/repo/target/debug/deps/libablation_block_size-c5c4fecb6789f7da.rmeta: crates/bench/src/bin/ablation_block_size.rs
+
+crates/bench/src/bin/ablation_block_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_block_size-ee25b2614e70a691.d: crates/bench/src/bin/ablation_block_size.rs
+
+/root/repo/target/debug/deps/libablation_block_size-ee25b2614e70a691.rmeta: crates/bench/src/bin/ablation_block_size.rs
+
+crates/bench/src/bin/ablation_block_size.rs:

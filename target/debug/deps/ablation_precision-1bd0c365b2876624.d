@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_precision-1bd0c365b2876624.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/debug/deps/libablation_precision-1bd0c365b2876624.rmeta: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

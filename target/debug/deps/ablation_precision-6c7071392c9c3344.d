@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_precision-6c7071392c9c3344.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/debug/deps/ablation_precision-6c7071392c9c3344: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

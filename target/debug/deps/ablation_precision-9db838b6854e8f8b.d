@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_precision-9db838b6854e8f8b.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/debug/deps/ablation_precision-9db838b6854e8f8b: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

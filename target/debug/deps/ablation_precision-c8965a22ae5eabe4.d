@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_precision-c8965a22ae5eabe4.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/debug/deps/ablation_precision-c8965a22ae5eabe4: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

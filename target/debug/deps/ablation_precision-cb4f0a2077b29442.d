@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_precision-cb4f0a2077b29442.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/debug/deps/libablation_precision-cb4f0a2077b29442.rmeta: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_precision-da1fe92819a03eb8.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/debug/deps/ablation_precision-da1fe92819a03eb8: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

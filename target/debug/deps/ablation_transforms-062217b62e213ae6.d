@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transforms-062217b62e213ae6.d: crates/bench/src/bin/ablation_transforms.rs
+
+/root/repo/target/debug/deps/ablation_transforms-062217b62e213ae6: crates/bench/src/bin/ablation_transforms.rs
+
+crates/bench/src/bin/ablation_transforms.rs:

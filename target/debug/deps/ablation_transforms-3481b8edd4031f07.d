@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transforms-3481b8edd4031f07.d: crates/bench/src/bin/ablation_transforms.rs
+
+/root/repo/target/debug/deps/ablation_transforms-3481b8edd4031f07: crates/bench/src/bin/ablation_transforms.rs
+
+crates/bench/src/bin/ablation_transforms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_transforms-35e738ee7f9ac9b0.d: crates/bench/src/bin/ablation_transforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_transforms-35e738ee7f9ac9b0.rmeta: crates/bench/src/bin/ablation_transforms.rs Cargo.toml
+
+crates/bench/src/bin/ablation_transforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

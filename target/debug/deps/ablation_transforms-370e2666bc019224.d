@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transforms-370e2666bc019224.d: crates/bench/src/bin/ablation_transforms.rs
+
+/root/repo/target/debug/deps/libablation_transforms-370e2666bc019224.rmeta: crates/bench/src/bin/ablation_transforms.rs
+
+crates/bench/src/bin/ablation_transforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transforms-5199fa74d7fd66fc.d: crates/bench/src/bin/ablation_transforms.rs
+
+/root/repo/target/debug/deps/libablation_transforms-5199fa74d7fd66fc.rmeta: crates/bench/src/bin/ablation_transforms.rs
+
+crates/bench/src/bin/ablation_transforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transforms-8225857cb2585b84.d: crates/bench/src/bin/ablation_transforms.rs
+
+/root/repo/target/debug/deps/ablation_transforms-8225857cb2585b84: crates/bench/src/bin/ablation_transforms.rs
+
+crates/bench/src/bin/ablation_transforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transforms-c96a88c00e2ee758.d: crates/bench/src/bin/ablation_transforms.rs
+
+/root/repo/target/debug/deps/ablation_transforms-c96a88c00e2ee758: crates/bench/src/bin/ablation_transforms.rs
+
+crates/bench/src/bin/ablation_transforms.rs:

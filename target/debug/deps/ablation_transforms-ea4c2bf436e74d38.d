@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_transforms-ea4c2bf436e74d38.d: crates/bench/src/bin/ablation_transforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_transforms-ea4c2bf436e74d38.rmeta: crates/bench/src/bin/ablation_transforms.rs Cargo.toml
+
+crates/bench/src/bin/ablation_transforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aicomp-37367da69f07cb27.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaicomp-37367da69f07cb27.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aicomp-4418e09c05d2b07a.d: src/lib.rs
+
+/root/repo/target/debug/deps/aicomp-4418e09c05d2b07a: src/lib.rs
+
+src/lib.rs:

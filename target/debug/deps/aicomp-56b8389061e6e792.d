@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aicomp-56b8389061e6e792.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaicomp-56b8389061e6e792.rmeta: src/lib.rs
+
+src/lib.rs:

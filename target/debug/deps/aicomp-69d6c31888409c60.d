@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aicomp-69d6c31888409c60.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaicomp-69d6c31888409c60.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

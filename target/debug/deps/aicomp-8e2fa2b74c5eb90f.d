@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aicomp-8e2fa2b74c5eb90f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaicomp-8e2fa2b74c5eb90f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

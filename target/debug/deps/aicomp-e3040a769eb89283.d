@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aicomp-e3040a769eb89283.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaicomp-e3040a769eb89283.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaicomp-e3040a769eb89283.rmeta: src/lib.rs
+
+src/lib.rs:

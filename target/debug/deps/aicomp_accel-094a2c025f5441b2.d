@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/aicomp_accel-094a2c025f5441b2.d: crates/accel/src/lib.rs crates/accel/src/cluster.rs crates/accel/src/compiler.rs crates/accel/src/device.rs crates/accel/src/distributed.rs crates/accel/src/exec.rs crates/accel/src/graph.rs crates/accel/src/ops.rs crates/accel/src/perf.rs crates/accel/src/pipeline.rs crates/accel/src/spec.rs crates/accel/src/trace.rs
+
+/root/repo/target/debug/deps/aicomp_accel-094a2c025f5441b2: crates/accel/src/lib.rs crates/accel/src/cluster.rs crates/accel/src/compiler.rs crates/accel/src/device.rs crates/accel/src/distributed.rs crates/accel/src/exec.rs crates/accel/src/graph.rs crates/accel/src/ops.rs crates/accel/src/perf.rs crates/accel/src/pipeline.rs crates/accel/src/spec.rs crates/accel/src/trace.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/cluster.rs:
+crates/accel/src/compiler.rs:
+crates/accel/src/device.rs:
+crates/accel/src/distributed.rs:
+crates/accel/src/exec.rs:
+crates/accel/src/graph.rs:
+crates/accel/src/ops.rs:
+crates/accel/src/perf.rs:
+crates/accel/src/pipeline.rs:
+crates/accel/src/spec.rs:
+crates/accel/src/trace.rs:

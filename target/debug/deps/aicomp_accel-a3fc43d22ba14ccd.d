@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/aicomp_accel-a3fc43d22ba14ccd.d: crates/accel/src/lib.rs crates/accel/src/cluster.rs crates/accel/src/compiler.rs crates/accel/src/device.rs crates/accel/src/distributed.rs crates/accel/src/exec.rs crates/accel/src/graph.rs crates/accel/src/ops.rs crates/accel/src/perf.rs crates/accel/src/pipeline.rs crates/accel/src/spec.rs crates/accel/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaicomp_accel-a3fc43d22ba14ccd.rmeta: crates/accel/src/lib.rs crates/accel/src/cluster.rs crates/accel/src/compiler.rs crates/accel/src/device.rs crates/accel/src/distributed.rs crates/accel/src/exec.rs crates/accel/src/graph.rs crates/accel/src/ops.rs crates/accel/src/perf.rs crates/accel/src/pipeline.rs crates/accel/src/spec.rs crates/accel/src/trace.rs Cargo.toml
+
+crates/accel/src/lib.rs:
+crates/accel/src/cluster.rs:
+crates/accel/src/compiler.rs:
+crates/accel/src/device.rs:
+crates/accel/src/distributed.rs:
+crates/accel/src/exec.rs:
+crates/accel/src/graph.rs:
+crates/accel/src/ops.rs:
+crates/accel/src/perf.rs:
+crates/accel/src/pipeline.rs:
+crates/accel/src/spec.rs:
+crates/accel/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

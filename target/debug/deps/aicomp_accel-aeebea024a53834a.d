@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/aicomp_accel-aeebea024a53834a.d: crates/accel/src/lib.rs crates/accel/src/cluster.rs crates/accel/src/compiler.rs crates/accel/src/device.rs crates/accel/src/distributed.rs crates/accel/src/exec.rs crates/accel/src/graph.rs crates/accel/src/ops.rs crates/accel/src/perf.rs crates/accel/src/pipeline.rs crates/accel/src/spec.rs crates/accel/src/trace.rs
+
+/root/repo/target/debug/deps/libaicomp_accel-aeebea024a53834a.rlib: crates/accel/src/lib.rs crates/accel/src/cluster.rs crates/accel/src/compiler.rs crates/accel/src/device.rs crates/accel/src/distributed.rs crates/accel/src/exec.rs crates/accel/src/graph.rs crates/accel/src/ops.rs crates/accel/src/perf.rs crates/accel/src/pipeline.rs crates/accel/src/spec.rs crates/accel/src/trace.rs
+
+/root/repo/target/debug/deps/libaicomp_accel-aeebea024a53834a.rmeta: crates/accel/src/lib.rs crates/accel/src/cluster.rs crates/accel/src/compiler.rs crates/accel/src/device.rs crates/accel/src/distributed.rs crates/accel/src/exec.rs crates/accel/src/graph.rs crates/accel/src/ops.rs crates/accel/src/perf.rs crates/accel/src/pipeline.rs crates/accel/src/spec.rs crates/accel/src/trace.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/cluster.rs:
+crates/accel/src/compiler.rs:
+crates/accel/src/device.rs:
+crates/accel/src/distributed.rs:
+crates/accel/src/exec.rs:
+crates/accel/src/graph.rs:
+crates/accel/src/ops.rs:
+crates/accel/src/perf.rs:
+crates/accel/src/pipeline.rs:
+crates/accel/src/spec.rs:
+crates/accel/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/aicomp_baselines-0362aa3eae4ab17c.d: crates/baselines/src/lib.rs crates/baselines/src/bitio.rs crates/baselines/src/colorquant.rs crates/baselines/src/huffman.rs crates/baselines/src/jpeg.rs crates/baselines/src/zfp.rs crates/baselines/src/zigzag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaicomp_baselines-0362aa3eae4ab17c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/bitio.rs crates/baselines/src/colorquant.rs crates/baselines/src/huffman.rs crates/baselines/src/jpeg.rs crates/baselines/src/zfp.rs crates/baselines/src/zigzag.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bitio.rs:
+crates/baselines/src/colorquant.rs:
+crates/baselines/src/huffman.rs:
+crates/baselines/src/jpeg.rs:
+crates/baselines/src/zfp.rs:
+crates/baselines/src/zigzag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aicomp_baselines-5cdae285567f536c.d: crates/baselines/src/lib.rs crates/baselines/src/bitio.rs crates/baselines/src/colorquant.rs crates/baselines/src/huffman.rs crates/baselines/src/jpeg.rs crates/baselines/src/zfp.rs crates/baselines/src/zigzag.rs
+
+/root/repo/target/debug/deps/libaicomp_baselines-5cdae285567f536c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/bitio.rs crates/baselines/src/colorquant.rs crates/baselines/src/huffman.rs crates/baselines/src/jpeg.rs crates/baselines/src/zfp.rs crates/baselines/src/zigzag.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bitio.rs:
+crates/baselines/src/colorquant.rs:
+crates/baselines/src/huffman.rs:
+crates/baselines/src/jpeg.rs:
+crates/baselines/src/zfp.rs:
+crates/baselines/src/zigzag.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aicomp_baselines-9ff3706cba4462ca.d: crates/baselines/src/lib.rs crates/baselines/src/bitio.rs crates/baselines/src/colorquant.rs crates/baselines/src/huffman.rs crates/baselines/src/jpeg.rs crates/baselines/src/zfp.rs crates/baselines/src/zigzag.rs
+
+/root/repo/target/debug/deps/aicomp_baselines-9ff3706cba4462ca: crates/baselines/src/lib.rs crates/baselines/src/bitio.rs crates/baselines/src/colorquant.rs crates/baselines/src/huffman.rs crates/baselines/src/jpeg.rs crates/baselines/src/zfp.rs crates/baselines/src/zigzag.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bitio.rs:
+crates/baselines/src/colorquant.rs:
+crates/baselines/src/huffman.rs:
+crates/baselines/src/jpeg.rs:
+crates/baselines/src/zfp.rs:
+crates/baselines/src/zigzag.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aicomp_bench-1e0d7df5079aac45.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaicomp_bench-1e0d7df5079aac45.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

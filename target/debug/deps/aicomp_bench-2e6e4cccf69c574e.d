@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aicomp_bench-2e6e4cccf69c574e.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/aicomp_bench-2e6e4cccf69c574e: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:
+crates/bench/src/timing.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aicomp_bench-722aff63f8dd6bc5.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libaicomp_bench-722aff63f8dd6bc5.rlib: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libaicomp_bench-722aff63f8dd6bc5.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:
+crates/bench/src/timing.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aicomp_bench-c2d9eb73f998e57a.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libaicomp_bench-c2d9eb73f998e57a.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:
+crates/bench/src/timing.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

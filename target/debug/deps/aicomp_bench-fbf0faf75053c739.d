@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aicomp_bench-fbf0faf75053c739.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/aicomp_bench-fbf0faf75053c739: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:
+crates/bench/src/timing.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

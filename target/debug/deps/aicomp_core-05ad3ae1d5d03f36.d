@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/aicomp_core-05ad3ae1d5d03f36.d: crates/core/src/lib.rs crates/core/src/chop1d.rs crates/core/src/compressor.rs crates/core/src/matrices.rs crates/core/src/metrics.rs crates/core/src/partial.rs crates/core/src/precision.rs crates/core/src/scatter_gather.rs crates/core/src/streaming.rs crates/core/src/transform.rs crates/core/src/tuning.rs crates/core/src/zfp_transform.rs
+
+/root/repo/target/debug/deps/libaicomp_core-05ad3ae1d5d03f36.rlib: crates/core/src/lib.rs crates/core/src/chop1d.rs crates/core/src/compressor.rs crates/core/src/matrices.rs crates/core/src/metrics.rs crates/core/src/partial.rs crates/core/src/precision.rs crates/core/src/scatter_gather.rs crates/core/src/streaming.rs crates/core/src/transform.rs crates/core/src/tuning.rs crates/core/src/zfp_transform.rs
+
+/root/repo/target/debug/deps/libaicomp_core-05ad3ae1d5d03f36.rmeta: crates/core/src/lib.rs crates/core/src/chop1d.rs crates/core/src/compressor.rs crates/core/src/matrices.rs crates/core/src/metrics.rs crates/core/src/partial.rs crates/core/src/precision.rs crates/core/src/scatter_gather.rs crates/core/src/streaming.rs crates/core/src/transform.rs crates/core/src/tuning.rs crates/core/src/zfp_transform.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chop1d.rs:
+crates/core/src/compressor.rs:
+crates/core/src/matrices.rs:
+crates/core/src/metrics.rs:
+crates/core/src/partial.rs:
+crates/core/src/precision.rs:
+crates/core/src/scatter_gather.rs:
+crates/core/src/streaming.rs:
+crates/core/src/transform.rs:
+crates/core/src/tuning.rs:
+crates/core/src/zfp_transform.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/aicomp_core-ea6856302889b505.d: crates/core/src/lib.rs crates/core/src/chop1d.rs crates/core/src/compressor.rs crates/core/src/matrices.rs crates/core/src/metrics.rs crates/core/src/partial.rs crates/core/src/precision.rs crates/core/src/scatter_gather.rs crates/core/src/streaming.rs crates/core/src/transform.rs crates/core/src/tuning.rs crates/core/src/zfp_transform.rs
+
+/root/repo/target/debug/deps/aicomp_core-ea6856302889b505: crates/core/src/lib.rs crates/core/src/chop1d.rs crates/core/src/compressor.rs crates/core/src/matrices.rs crates/core/src/metrics.rs crates/core/src/partial.rs crates/core/src/precision.rs crates/core/src/scatter_gather.rs crates/core/src/streaming.rs crates/core/src/transform.rs crates/core/src/tuning.rs crates/core/src/zfp_transform.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chop1d.rs:
+crates/core/src/compressor.rs:
+crates/core/src/matrices.rs:
+crates/core/src/metrics.rs:
+crates/core/src/partial.rs:
+crates/core/src/precision.rs:
+crates/core/src/scatter_gather.rs:
+crates/core/src/streaming.rs:
+crates/core/src/transform.rs:
+crates/core/src/tuning.rs:
+crates/core/src/zfp_transform.rs:

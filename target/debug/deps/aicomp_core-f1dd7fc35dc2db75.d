@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/aicomp_core-f1dd7fc35dc2db75.d: crates/core/src/lib.rs crates/core/src/chop1d.rs crates/core/src/compressor.rs crates/core/src/matrices.rs crates/core/src/metrics.rs crates/core/src/partial.rs crates/core/src/precision.rs crates/core/src/scatter_gather.rs crates/core/src/streaming.rs crates/core/src/transform.rs crates/core/src/tuning.rs crates/core/src/zfp_transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaicomp_core-f1dd7fc35dc2db75.rmeta: crates/core/src/lib.rs crates/core/src/chop1d.rs crates/core/src/compressor.rs crates/core/src/matrices.rs crates/core/src/metrics.rs crates/core/src/partial.rs crates/core/src/precision.rs crates/core/src/scatter_gather.rs crates/core/src/streaming.rs crates/core/src/transform.rs crates/core/src/tuning.rs crates/core/src/zfp_transform.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/chop1d.rs:
+crates/core/src/compressor.rs:
+crates/core/src/matrices.rs:
+crates/core/src/metrics.rs:
+crates/core/src/partial.rs:
+crates/core/src/precision.rs:
+crates/core/src/scatter_gather.rs:
+crates/core/src/streaming.rs:
+crates/core/src/transform.rs:
+crates/core/src/tuning.rs:
+crates/core/src/zfp_transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

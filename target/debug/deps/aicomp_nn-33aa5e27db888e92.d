@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/aicomp_nn-33aa5e27db888e92.d: crates/nn/src/lib.rs crates/nn/src/compressed.rs crates/nn/src/conv_ops.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/losses.rs crates/nn/src/optim.rs crates/nn/src/tape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaicomp_nn-33aa5e27db888e92.rmeta: crates/nn/src/lib.rs crates/nn/src/compressed.rs crates/nn/src/conv_ops.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/losses.rs crates/nn/src/optim.rs crates/nn/src/tape.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/compressed.rs:
+crates/nn/src/conv_ops.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/losses.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aicomp_nn-c32d716654c31019.d: crates/nn/src/lib.rs crates/nn/src/compressed.rs crates/nn/src/conv_ops.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/losses.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/libaicomp_nn-c32d716654c31019.rmeta: crates/nn/src/lib.rs crates/nn/src/compressed.rs crates/nn/src/conv_ops.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/losses.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/compressed.rs:
+crates/nn/src/conv_ops.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/losses.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:

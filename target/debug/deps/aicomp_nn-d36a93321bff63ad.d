@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aicomp_nn-d36a93321bff63ad.d: crates/nn/src/lib.rs crates/nn/src/compressed.rs crates/nn/src/conv_ops.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/losses.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/aicomp_nn-d36a93321bff63ad: crates/nn/src/lib.rs crates/nn/src/compressed.rs crates/nn/src/conv_ops.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/losses.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/compressed.rs:
+crates/nn/src/conv_ops.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/losses.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aicomp_sciml-50a9065f4024b673.d: crates/sciml/src/lib.rs crates/sciml/src/compressors.rs crates/sciml/src/data.rs crates/sciml/src/metrics.rs crates/sciml/src/networks.rs crates/sciml/src/tasks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaicomp_sciml-50a9065f4024b673.rmeta: crates/sciml/src/lib.rs crates/sciml/src/compressors.rs crates/sciml/src/data.rs crates/sciml/src/metrics.rs crates/sciml/src/networks.rs crates/sciml/src/tasks.rs Cargo.toml
+
+crates/sciml/src/lib.rs:
+crates/sciml/src/compressors.rs:
+crates/sciml/src/data.rs:
+crates/sciml/src/metrics.rs:
+crates/sciml/src/networks.rs:
+crates/sciml/src/tasks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

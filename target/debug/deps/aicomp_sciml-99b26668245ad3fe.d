@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aicomp_sciml-99b26668245ad3fe.d: crates/sciml/src/lib.rs crates/sciml/src/compressors.rs crates/sciml/src/data.rs crates/sciml/src/metrics.rs crates/sciml/src/networks.rs crates/sciml/src/tasks.rs
+
+/root/repo/target/debug/deps/libaicomp_sciml-99b26668245ad3fe.rlib: crates/sciml/src/lib.rs crates/sciml/src/compressors.rs crates/sciml/src/data.rs crates/sciml/src/metrics.rs crates/sciml/src/networks.rs crates/sciml/src/tasks.rs
+
+/root/repo/target/debug/deps/libaicomp_sciml-99b26668245ad3fe.rmeta: crates/sciml/src/lib.rs crates/sciml/src/compressors.rs crates/sciml/src/data.rs crates/sciml/src/metrics.rs crates/sciml/src/networks.rs crates/sciml/src/tasks.rs
+
+crates/sciml/src/lib.rs:
+crates/sciml/src/compressors.rs:
+crates/sciml/src/data.rs:
+crates/sciml/src/metrics.rs:
+crates/sciml/src/networks.rs:
+crates/sciml/src/tasks.rs:

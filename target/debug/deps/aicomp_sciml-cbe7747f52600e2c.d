@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aicomp_sciml-cbe7747f52600e2c.d: crates/sciml/src/lib.rs crates/sciml/src/compressors.rs crates/sciml/src/data.rs crates/sciml/src/metrics.rs crates/sciml/src/networks.rs crates/sciml/src/tasks.rs
+
+/root/repo/target/debug/deps/libaicomp_sciml-cbe7747f52600e2c.rmeta: crates/sciml/src/lib.rs crates/sciml/src/compressors.rs crates/sciml/src/data.rs crates/sciml/src/metrics.rs crates/sciml/src/networks.rs crates/sciml/src/tasks.rs
+
+crates/sciml/src/lib.rs:
+crates/sciml/src/compressors.rs:
+crates/sciml/src/data.rs:
+crates/sciml/src/metrics.rs:
+crates/sciml/src/networks.rs:
+crates/sciml/src/tasks.rs:

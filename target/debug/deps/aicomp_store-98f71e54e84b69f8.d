@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/aicomp_store-98f71e54e84b69f8.d: crates/store/src/lib.rs crates/store/src/bands.rs crates/store/src/chunk.rs crates/store/src/crc.rs crates/store/src/entropy.rs crates/store/src/layout.rs crates/store/src/loader.rs crates/store/src/prefetch.rs crates/store/src/reader.rs crates/store/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaicomp_store-98f71e54e84b69f8.rmeta: crates/store/src/lib.rs crates/store/src/bands.rs crates/store/src/chunk.rs crates/store/src/crc.rs crates/store/src/entropy.rs crates/store/src/layout.rs crates/store/src/loader.rs crates/store/src/prefetch.rs crates/store/src/reader.rs crates/store/src/writer.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/bands.rs:
+crates/store/src/chunk.rs:
+crates/store/src/crc.rs:
+crates/store/src/entropy.rs:
+crates/store/src/layout.rs:
+crates/store/src/loader.rs:
+crates/store/src/prefetch.rs:
+crates/store/src/reader.rs:
+crates/store/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aicomp_store-f2b755ac13fc21cf.d: crates/store/src/lib.rs crates/store/src/bands.rs crates/store/src/chunk.rs crates/store/src/crc.rs crates/store/src/entropy.rs crates/store/src/layout.rs crates/store/src/loader.rs crates/store/src/prefetch.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/debug/deps/libaicomp_store-f2b755ac13fc21cf.rmeta: crates/store/src/lib.rs crates/store/src/bands.rs crates/store/src/chunk.rs crates/store/src/crc.rs crates/store/src/entropy.rs crates/store/src/layout.rs crates/store/src/loader.rs crates/store/src/prefetch.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+crates/store/src/lib.rs:
+crates/store/src/bands.rs:
+crates/store/src/chunk.rs:
+crates/store/src/crc.rs:
+crates/store/src/entropy.rs:
+crates/store/src/layout.rs:
+crates/store/src/loader.rs:
+crates/store/src/prefetch.rs:
+crates/store/src/reader.rs:
+crates/store/src/writer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aicomp_tensor-3fee1c1efb6d3651.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libaicomp_tensor-3fee1c1efb6d3651.rmeta: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/reduce.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_codecs-1265462b8a89f40c.d: crates/bench/src/bin/analysis_codecs.rs
+
+/root/repo/target/debug/deps/analysis_codecs-1265462b8a89f40c: crates/bench/src/bin/analysis_codecs.rs
+
+crates/bench/src/bin/analysis_codecs.rs:

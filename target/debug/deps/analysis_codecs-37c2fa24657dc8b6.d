@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_codecs-37c2fa24657dc8b6.d: crates/bench/src/bin/analysis_codecs.rs
+
+/root/repo/target/debug/deps/analysis_codecs-37c2fa24657dc8b6: crates/bench/src/bin/analysis_codecs.rs
+
+crates/bench/src/bin/analysis_codecs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_codecs-4fbe14ced652e4f4.d: crates/bench/src/bin/analysis_codecs.rs
+
+/root/repo/target/debug/deps/libanalysis_codecs-4fbe14ced652e4f4.rmeta: crates/bench/src/bin/analysis_codecs.rs
+
+crates/bench/src/bin/analysis_codecs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_codecs-8914fd27d4c2a664.d: crates/bench/src/bin/analysis_codecs.rs
+
+/root/repo/target/debug/deps/analysis_codecs-8914fd27d4c2a664: crates/bench/src/bin/analysis_codecs.rs
+
+crates/bench/src/bin/analysis_codecs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_codecs-962845f832efb0d4.d: crates/bench/src/bin/analysis_codecs.rs
+
+/root/repo/target/debug/deps/libanalysis_codecs-962845f832efb0d4.rmeta: crates/bench/src/bin/analysis_codecs.rs
+
+crates/bench/src/bin/analysis_codecs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_codecs-e087c9b0620f3c37.d: crates/bench/src/bin/analysis_codecs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_codecs-e087c9b0620f3c37.rmeta: crates/bench/src/bin/analysis_codecs.rs Cargo.toml
+
+crates/bench/src/bin/analysis_codecs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

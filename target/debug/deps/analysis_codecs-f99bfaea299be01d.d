@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_codecs-f99bfaea299be01d.d: crates/bench/src/bin/analysis_codecs.rs
+
+/root/repo/target/debug/deps/analysis_codecs-f99bfaea299be01d: crates/bench/src/bin/analysis_codecs.rs
+
+crates/bench/src/bin/analysis_codecs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_container-11147684c6a94608.d: crates/bench/src/bin/analysis_container.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_container-11147684c6a94608.rmeta: crates/bench/src/bin/analysis_container.rs Cargo.toml
+
+crates/bench/src/bin/analysis_container.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

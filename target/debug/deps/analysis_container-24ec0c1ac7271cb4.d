@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_container-24ec0c1ac7271cb4.d: crates/bench/src/bin/analysis_container.rs
+
+/root/repo/target/debug/deps/libanalysis_container-24ec0c1ac7271cb4.rmeta: crates/bench/src/bin/analysis_container.rs
+
+crates/bench/src/bin/analysis_container.rs:

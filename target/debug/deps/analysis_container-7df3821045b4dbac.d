@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_container-7df3821045b4dbac.d: crates/bench/src/bin/analysis_container.rs
+
+/root/repo/target/debug/deps/analysis_container-7df3821045b4dbac: crates/bench/src/bin/analysis_container.rs
+
+crates/bench/src/bin/analysis_container.rs:

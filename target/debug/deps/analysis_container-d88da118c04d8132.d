@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_container-d88da118c04d8132.d: crates/bench/src/bin/analysis_container.rs
+
+/root/repo/target/debug/deps/libanalysis_container-d88da118c04d8132.rmeta: crates/bench/src/bin/analysis_container.rs
+
+crates/bench/src/bin/analysis_container.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_container-e25fe058f49a5855.d: crates/bench/src/bin/analysis_container.rs
+
+/root/repo/target/debug/deps/analysis_container-e25fe058f49a5855: crates/bench/src/bin/analysis_container.rs
+
+crates/bench/src/bin/analysis_container.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_distributed-155a6f5a892ed110.d: crates/bench/src/bin/analysis_distributed.rs
+
+/root/repo/target/debug/deps/analysis_distributed-155a6f5a892ed110: crates/bench/src/bin/analysis_distributed.rs
+
+crates/bench/src/bin/analysis_distributed.rs:

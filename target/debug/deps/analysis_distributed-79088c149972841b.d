@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_distributed-79088c149972841b.d: crates/bench/src/bin/analysis_distributed.rs
+
+/root/repo/target/debug/deps/libanalysis_distributed-79088c149972841b.rmeta: crates/bench/src/bin/analysis_distributed.rs
+
+crates/bench/src/bin/analysis_distributed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_distributed-9cc25cc50c6f1efb.d: crates/bench/src/bin/analysis_distributed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_distributed-9cc25cc50c6f1efb.rmeta: crates/bench/src/bin/analysis_distributed.rs Cargo.toml
+
+crates/bench/src/bin/analysis_distributed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

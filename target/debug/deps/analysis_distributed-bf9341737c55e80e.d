@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_distributed-bf9341737c55e80e.d: crates/bench/src/bin/analysis_distributed.rs
+
+/root/repo/target/debug/deps/analysis_distributed-bf9341737c55e80e: crates/bench/src/bin/analysis_distributed.rs
+
+crates/bench/src/bin/analysis_distributed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_distributed-bfa4b60e29687cbc.d: crates/bench/src/bin/analysis_distributed.rs
+
+/root/repo/target/debug/deps/analysis_distributed-bfa4b60e29687cbc: crates/bench/src/bin/analysis_distributed.rs
+
+crates/bench/src/bin/analysis_distributed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_distributed-c923b26fa596c9b2.d: crates/bench/src/bin/analysis_distributed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_distributed-c923b26fa596c9b2.rmeta: crates/bench/src/bin/analysis_distributed.rs Cargo.toml
+
+crates/bench/src/bin/analysis_distributed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

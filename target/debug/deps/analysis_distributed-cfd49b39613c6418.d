@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_distributed-cfd49b39613c6418.d: crates/bench/src/bin/analysis_distributed.rs
+
+/root/repo/target/debug/deps/libanalysis_distributed-cfd49b39613c6418.rmeta: crates/bench/src/bin/analysis_distributed.rs
+
+crates/bench/src/bin/analysis_distributed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_distributed-f2a255793d2bc52d.d: crates/bench/src/bin/analysis_distributed.rs
+
+/root/repo/target/debug/deps/analysis_distributed-f2a255793d2bc52d: crates/bench/src/bin/analysis_distributed.rs
+
+crates/bench/src/bin/analysis_distributed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_pipeline_overlap-02613139e1333bbc.d: crates/bench/src/bin/analysis_pipeline_overlap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_pipeline_overlap-02613139e1333bbc.rmeta: crates/bench/src/bin/analysis_pipeline_overlap.rs Cargo.toml
+
+crates/bench/src/bin/analysis_pipeline_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

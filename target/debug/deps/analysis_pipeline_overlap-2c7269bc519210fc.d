@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_pipeline_overlap-2c7269bc519210fc.d: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+/root/repo/target/debug/deps/analysis_pipeline_overlap-2c7269bc519210fc: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+crates/bench/src/bin/analysis_pipeline_overlap.rs:

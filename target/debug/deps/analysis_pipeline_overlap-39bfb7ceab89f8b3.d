@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_pipeline_overlap-39bfb7ceab89f8b3.d: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+/root/repo/target/debug/deps/libanalysis_pipeline_overlap-39bfb7ceab89f8b3.rmeta: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+crates/bench/src/bin/analysis_pipeline_overlap.rs:

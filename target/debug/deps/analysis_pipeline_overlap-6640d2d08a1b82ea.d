@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_pipeline_overlap-6640d2d08a1b82ea.d: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+/root/repo/target/debug/deps/analysis_pipeline_overlap-6640d2d08a1b82ea: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+crates/bench/src/bin/analysis_pipeline_overlap.rs:

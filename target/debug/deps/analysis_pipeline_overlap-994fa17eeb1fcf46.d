@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_pipeline_overlap-994fa17eeb1fcf46.d: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+/root/repo/target/debug/deps/analysis_pipeline_overlap-994fa17eeb1fcf46: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+crates/bench/src/bin/analysis_pipeline_overlap.rs:

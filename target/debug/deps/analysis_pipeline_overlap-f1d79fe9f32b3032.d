@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_pipeline_overlap-f1d79fe9f32b3032.d: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+/root/repo/target/debug/deps/analysis_pipeline_overlap-f1d79fe9f32b3032: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+crates/bench/src/bin/analysis_pipeline_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_spectra-1a6f5be584f1d63a.d: crates/bench/src/bin/analysis_spectra.rs
+
+/root/repo/target/debug/deps/analysis_spectra-1a6f5be584f1d63a: crates/bench/src/bin/analysis_spectra.rs
+
+crates/bench/src/bin/analysis_spectra.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_spectra-26ed191308252213.d: crates/bench/src/bin/analysis_spectra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_spectra-26ed191308252213.rmeta: crates/bench/src/bin/analysis_spectra.rs Cargo.toml
+
+crates/bench/src/bin/analysis_spectra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

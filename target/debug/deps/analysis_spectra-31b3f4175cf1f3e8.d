@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_spectra-31b3f4175cf1f3e8.d: crates/bench/src/bin/analysis_spectra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_spectra-31b3f4175cf1f3e8.rmeta: crates/bench/src/bin/analysis_spectra.rs Cargo.toml
+
+crates/bench/src/bin/analysis_spectra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_spectra-3c09b8a3add8b47e.d: crates/bench/src/bin/analysis_spectra.rs
+
+/root/repo/target/debug/deps/analysis_spectra-3c09b8a3add8b47e: crates/bench/src/bin/analysis_spectra.rs
+
+crates/bench/src/bin/analysis_spectra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_spectra-52b2ea5f703f17ce.d: crates/bench/src/bin/analysis_spectra.rs
+
+/root/repo/target/debug/deps/libanalysis_spectra-52b2ea5f703f17ce.rmeta: crates/bench/src/bin/analysis_spectra.rs
+
+crates/bench/src/bin/analysis_spectra.rs:

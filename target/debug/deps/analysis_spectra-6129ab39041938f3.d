@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_spectra-6129ab39041938f3.d: crates/bench/src/bin/analysis_spectra.rs
+
+/root/repo/target/debug/deps/analysis_spectra-6129ab39041938f3: crates/bench/src/bin/analysis_spectra.rs
+
+crates/bench/src/bin/analysis_spectra.rs:

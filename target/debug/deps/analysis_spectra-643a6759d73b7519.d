@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_spectra-643a6759d73b7519.d: crates/bench/src/bin/analysis_spectra.rs
+
+/root/repo/target/debug/deps/libanalysis_spectra-643a6759d73b7519.rmeta: crates/bench/src/bin/analysis_spectra.rs
+
+crates/bench/src/bin/analysis_spectra.rs:

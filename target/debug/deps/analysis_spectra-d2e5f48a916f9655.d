@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_spectra-d2e5f48a916f9655.d: crates/bench/src/bin/analysis_spectra.rs
+
+/root/repo/target/debug/deps/analysis_spectra-d2e5f48a916f9655: crates/bench/src/bin/analysis_spectra.rs
+
+crates/bench/src/bin/analysis_spectra.rs:

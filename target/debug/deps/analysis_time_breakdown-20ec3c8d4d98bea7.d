@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_time_breakdown-20ec3c8d4d98bea7.d: crates/bench/src/bin/analysis_time_breakdown.rs
+
+/root/repo/target/debug/deps/libanalysis_time_breakdown-20ec3c8d4d98bea7.rmeta: crates/bench/src/bin/analysis_time_breakdown.rs
+
+crates/bench/src/bin/analysis_time_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_time_breakdown-378bb5ccfbc84482.d: crates/bench/src/bin/analysis_time_breakdown.rs
+
+/root/repo/target/debug/deps/analysis_time_breakdown-378bb5ccfbc84482: crates/bench/src/bin/analysis_time_breakdown.rs
+
+crates/bench/src/bin/analysis_time_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_time_breakdown-3edc068f012df70c.d: crates/bench/src/bin/analysis_time_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_time_breakdown-3edc068f012df70c.rmeta: crates/bench/src/bin/analysis_time_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/analysis_time_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

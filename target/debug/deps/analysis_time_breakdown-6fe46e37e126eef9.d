@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_time_breakdown-6fe46e37e126eef9.d: crates/bench/src/bin/analysis_time_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_time_breakdown-6fe46e37e126eef9.rmeta: crates/bench/src/bin/analysis_time_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/analysis_time_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

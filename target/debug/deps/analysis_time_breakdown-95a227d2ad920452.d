@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_time_breakdown-95a227d2ad920452.d: crates/bench/src/bin/analysis_time_breakdown.rs
+
+/root/repo/target/debug/deps/analysis_time_breakdown-95a227d2ad920452: crates/bench/src/bin/analysis_time_breakdown.rs
+
+crates/bench/src/bin/analysis_time_breakdown.rs:

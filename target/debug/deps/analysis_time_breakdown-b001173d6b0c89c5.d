@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_time_breakdown-b001173d6b0c89c5.d: crates/bench/src/bin/analysis_time_breakdown.rs
+
+/root/repo/target/debug/deps/libanalysis_time_breakdown-b001173d6b0c89c5.rmeta: crates/bench/src/bin/analysis_time_breakdown.rs
+
+crates/bench/src/bin/analysis_time_breakdown.rs:

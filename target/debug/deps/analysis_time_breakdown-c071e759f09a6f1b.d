@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_time_breakdown-c071e759f09a6f1b.d: crates/bench/src/bin/analysis_time_breakdown.rs
+
+/root/repo/target/debug/deps/analysis_time_breakdown-c071e759f09a6f1b: crates/bench/src/bin/analysis_time_breakdown.rs
+
+crates/bench/src/bin/analysis_time_breakdown.rs:

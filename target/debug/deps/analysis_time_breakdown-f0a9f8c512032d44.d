@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_time_breakdown-f0a9f8c512032d44.d: crates/bench/src/bin/analysis_time_breakdown.rs
+
+/root/repo/target/debug/deps/analysis_time_breakdown-f0a9f8c512032d44: crates/bench/src/bin/analysis_time_breakdown.rs
+
+crates/bench/src/bin/analysis_time_breakdown.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-3ef56dd9725ff94d.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-3ef56dd9725ff94d.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-3ef56dd9725ff94d.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

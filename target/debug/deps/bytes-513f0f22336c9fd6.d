@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-513f0f22336c9fd6.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-513f0f22336c9fd6.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_comparison-365f1bcb0aa5670b.d: crates/bench/benches/codec_comparison.rs
+
+/root/repo/target/debug/deps/libcodec_comparison-365f1bcb0aa5670b.rmeta: crates/bench/benches/codec_comparison.rs
+
+crates/bench/benches/codec_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec_comparison-5e02fea21d6fc56a.d: crates/bench/benches/codec_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_comparison-5e02fea21d6fc56a.rmeta: crates/bench/benches/codec_comparison.rs Cargo.toml
+
+crates/bench/benches/codec_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

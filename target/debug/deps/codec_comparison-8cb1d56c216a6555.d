@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_comparison-8cb1d56c216a6555.d: crates/bench/benches/codec_comparison.rs
+
+/root/repo/target/debug/deps/codec_comparison-8cb1d56c216a6555: crates/bench/benches/codec_comparison.rs
+
+crates/bench/benches/codec_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compression_kernels-2202a7a897fac4d7.d: crates/bench/benches/compression_kernels.rs
+
+/root/repo/target/debug/deps/libcompression_kernels-2202a7a897fac4d7.rmeta: crates/bench/benches/compression_kernels.rs
+
+crates/bench/benches/compression_kernels.rs:

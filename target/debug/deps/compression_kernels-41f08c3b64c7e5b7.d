@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compression_kernels-41f08c3b64c7e5b7.d: crates/bench/benches/compression_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompression_kernels-41f08c3b64c7e5b7.rmeta: crates/bench/benches/compression_kernels.rs Cargo.toml
+
+crates/bench/benches/compression_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compression_kernels-4f0fe41ef97ab8ad.d: crates/bench/benches/compression_kernels.rs
+
+/root/repo/target/debug/deps/compression_kernels-4f0fe41ef97ab8ad: crates/bench/benches/compression_kernels.rs
+
+crates/bench/benches/compression_kernels.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-e064b660b7d38527.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e064b660b7d38527.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e064b660b7d38527.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

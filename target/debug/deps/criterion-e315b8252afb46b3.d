@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-e315b8252afb46b3.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e315b8252afb46b3.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-5944f31cbb0ff9c5.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-5944f31cbb0ff9c5.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-5944f31cbb0ff9c5.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

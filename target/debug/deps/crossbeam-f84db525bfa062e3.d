@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-f84db525bfa062e3.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-f84db525bfa062e3.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcz-10b4c2d248eebd27.d: crates/store/src/bin/dcz.rs
+
+/root/repo/target/debug/deps/libdcz-10b4c2d248eebd27.rmeta: crates/store/src/bin/dcz.rs
+
+crates/store/src/bin/dcz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcz-70873ca6764e5303.d: crates/store/src/bin/dcz.rs
+
+/root/repo/target/debug/deps/dcz-70873ca6764e5303: crates/store/src/bin/dcz.rs
+
+crates/store/src/bin/dcz.rs:

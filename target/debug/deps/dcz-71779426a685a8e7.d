@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcz-71779426a685a8e7.d: crates/store/src/bin/dcz.rs
+
+/root/repo/target/debug/deps/dcz-71779426a685a8e7: crates/store/src/bin/dcz.rs
+
+crates/store/src/bin/dcz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcz-7ec19b2eb0d32ecd.d: crates/store/src/bin/dcz.rs
+
+/root/repo/target/debug/deps/libdcz-7ec19b2eb0d32ecd.rmeta: crates/store/src/bin/dcz.rs
+
+crates/store/src/bin/dcz.rs:

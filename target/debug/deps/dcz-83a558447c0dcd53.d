@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcz-83a558447c0dcd53.d: crates/store/src/bin/dcz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcz-83a558447c0dcd53.rmeta: crates/store/src/bin/dcz.rs Cargo.toml
+
+crates/store/src/bin/dcz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

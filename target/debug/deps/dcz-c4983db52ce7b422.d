@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcz-c4983db52ce7b422.d: crates/store/src/bin/dcz.rs
+
+/root/repo/target/debug/deps/dcz-c4983db52ce7b422: crates/store/src/bin/dcz.rs
+
+crates/store/src/bin/dcz.rs:

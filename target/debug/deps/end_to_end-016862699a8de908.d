@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-016862699a8de908.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-016862699a8de908.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

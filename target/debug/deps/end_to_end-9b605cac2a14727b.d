@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9b605cac2a14727b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9b605cac2a14727b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

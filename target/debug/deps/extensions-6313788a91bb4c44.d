@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-6313788a91bb4c44.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-6313788a91bb4c44: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-c9ef8e023c940ce5.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-c9ef8e023c940ce5.rmeta: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_modes-9b813a1d954596a8.d: tests/failure_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_modes-9b813a1d954596a8.rmeta: tests/failure_modes.rs Cargo.toml
+
+tests/failure_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_modes-9fcc54787a1a46e0.d: tests/failure_modes.rs
+
+/root/repo/target/debug/deps/failure_modes-9fcc54787a1a46e0: tests/failure_modes.rs
+
+tests/failure_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_modes-e8368701783e8771.d: tests/failure_modes.rs
+
+/root/repo/target/debug/deps/libfailure_modes-e8368701783e8771.rmeta: tests/failure_modes.rs
+
+tests/failure_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_jpeg_heatmap-00e02da62626f437.d: crates/bench/src/bin/fig03_jpeg_heatmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_jpeg_heatmap-00e02da62626f437.rmeta: crates/bench/src/bin/fig03_jpeg_heatmap.rs Cargo.toml
+
+crates/bench/src/bin/fig03_jpeg_heatmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

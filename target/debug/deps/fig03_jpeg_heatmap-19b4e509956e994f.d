@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_jpeg_heatmap-19b4e509956e994f.d: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+/root/repo/target/debug/deps/fig03_jpeg_heatmap-19b4e509956e994f: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+crates/bench/src/bin/fig03_jpeg_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_jpeg_heatmap-614a3bcf7b5450f4.d: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+/root/repo/target/debug/deps/libfig03_jpeg_heatmap-614a3bcf7b5450f4.rmeta: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+crates/bench/src/bin/fig03_jpeg_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_jpeg_heatmap-c4dbc270f1ddaa35.d: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+/root/repo/target/debug/deps/fig03_jpeg_heatmap-c4dbc270f1ddaa35: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+crates/bench/src/bin/fig03_jpeg_heatmap.rs:

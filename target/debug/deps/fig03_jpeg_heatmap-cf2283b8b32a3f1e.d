@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_jpeg_heatmap-cf2283b8b32a3f1e.d: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+/root/repo/target/debug/deps/libfig03_jpeg_heatmap-cf2283b8b32a3f1e.rmeta: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+crates/bench/src/bin/fig03_jpeg_heatmap.rs:

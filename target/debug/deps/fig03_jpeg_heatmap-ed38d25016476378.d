@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_jpeg_heatmap-ed38d25016476378.d: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+/root/repo/target/debug/deps/fig03_jpeg_heatmap-ed38d25016476378: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+crates/bench/src/bin/fig03_jpeg_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_training_loss-1bbfee31180bc18c.d: crates/bench/src/bin/fig07_training_loss.rs
+
+/root/repo/target/debug/deps/fig07_training_loss-1bbfee31180bc18c: crates/bench/src/bin/fig07_training_loss.rs
+
+crates/bench/src/bin/fig07_training_loss.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_training_loss-25135a1e6d075f0e.d: crates/bench/src/bin/fig07_training_loss.rs
+
+/root/repo/target/debug/deps/fig07_training_loss-25135a1e6d075f0e: crates/bench/src/bin/fig07_training_loss.rs
+
+crates/bench/src/bin/fig07_training_loss.rs:

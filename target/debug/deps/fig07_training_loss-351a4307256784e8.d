@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_training_loss-351a4307256784e8.d: crates/bench/src/bin/fig07_training_loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_training_loss-351a4307256784e8.rmeta: crates/bench/src/bin/fig07_training_loss.rs Cargo.toml
+
+crates/bench/src/bin/fig07_training_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

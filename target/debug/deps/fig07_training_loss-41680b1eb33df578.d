@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_training_loss-41680b1eb33df578.d: crates/bench/src/bin/fig07_training_loss.rs
+
+/root/repo/target/debug/deps/fig07_training_loss-41680b1eb33df578: crates/bench/src/bin/fig07_training_loss.rs
+
+crates/bench/src/bin/fig07_training_loss.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_training_loss-7e83ed6a1695b8f5.d: crates/bench/src/bin/fig07_training_loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_training_loss-7e83ed6a1695b8f5.rmeta: crates/bench/src/bin/fig07_training_loss.rs Cargo.toml
+
+crates/bench/src/bin/fig07_training_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_training_loss-cae8b83fbdda9f79.d: crates/bench/src/bin/fig07_training_loss.rs
+
+/root/repo/target/debug/deps/fig07_training_loss-cae8b83fbdda9f79: crates/bench/src/bin/fig07_training_loss.rs
+
+crates/bench/src/bin/fig07_training_loss.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_training_loss-e1f11ab3e8a72d71.d: crates/bench/src/bin/fig07_training_loss.rs
+
+/root/repo/target/debug/deps/libfig07_training_loss-e1f11ab3e8a72d71.rmeta: crates/bench/src/bin/fig07_training_loss.rs
+
+crates/bench/src/bin/fig07_training_loss.rs:

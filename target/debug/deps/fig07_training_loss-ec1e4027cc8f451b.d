@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_training_loss-ec1e4027cc8f451b.d: crates/bench/src/bin/fig07_training_loss.rs
+
+/root/repo/target/debug/deps/libfig07_training_loss-ec1e4027cc8f451b.rmeta: crates/bench/src/bin/fig07_training_loss.rs
+
+crates/bench/src/bin/fig07_training_loss.rs:

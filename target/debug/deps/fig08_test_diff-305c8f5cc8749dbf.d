@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_test_diff-305c8f5cc8749dbf.d: crates/bench/src/bin/fig08_test_diff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_test_diff-305c8f5cc8749dbf.rmeta: crates/bench/src/bin/fig08_test_diff.rs Cargo.toml
+
+crates/bench/src/bin/fig08_test_diff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_test_diff-57f3bbe111256778.d: crates/bench/src/bin/fig08_test_diff.rs
+
+/root/repo/target/debug/deps/libfig08_test_diff-57f3bbe111256778.rmeta: crates/bench/src/bin/fig08_test_diff.rs
+
+crates/bench/src/bin/fig08_test_diff.rs:

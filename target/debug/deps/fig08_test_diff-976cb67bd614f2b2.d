@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_test_diff-976cb67bd614f2b2.d: crates/bench/src/bin/fig08_test_diff.rs
+
+/root/repo/target/debug/deps/fig08_test_diff-976cb67bd614f2b2: crates/bench/src/bin/fig08_test_diff.rs
+
+crates/bench/src/bin/fig08_test_diff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_test_diff-a5d8981359256ec9.d: crates/bench/src/bin/fig08_test_diff.rs
+
+/root/repo/target/debug/deps/fig08_test_diff-a5d8981359256ec9: crates/bench/src/bin/fig08_test_diff.rs
+
+crates/bench/src/bin/fig08_test_diff.rs:

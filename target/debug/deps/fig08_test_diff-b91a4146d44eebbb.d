@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_test_diff-b91a4146d44eebbb.d: crates/bench/src/bin/fig08_test_diff.rs
+
+/root/repo/target/debug/deps/fig08_test_diff-b91a4146d44eebbb: crates/bench/src/bin/fig08_test_diff.rs
+
+crates/bench/src/bin/fig08_test_diff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_zfp_compare-05427e8423fd0cc0.d: crates/bench/src/bin/fig09_zfp_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_zfp_compare-05427e8423fd0cc0.rmeta: crates/bench/src/bin/fig09_zfp_compare.rs Cargo.toml
+
+crates/bench/src/bin/fig09_zfp_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

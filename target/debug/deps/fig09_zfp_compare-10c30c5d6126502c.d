@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_zfp_compare-10c30c5d6126502c.d: crates/bench/src/bin/fig09_zfp_compare.rs
+
+/root/repo/target/debug/deps/libfig09_zfp_compare-10c30c5d6126502c.rmeta: crates/bench/src/bin/fig09_zfp_compare.rs
+
+crates/bench/src/bin/fig09_zfp_compare.rs:

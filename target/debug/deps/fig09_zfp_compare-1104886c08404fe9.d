@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_zfp_compare-1104886c08404fe9.d: crates/bench/src/bin/fig09_zfp_compare.rs
+
+/root/repo/target/debug/deps/libfig09_zfp_compare-1104886c08404fe9.rmeta: crates/bench/src/bin/fig09_zfp_compare.rs
+
+crates/bench/src/bin/fig09_zfp_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_zfp_compare-3fc5ab6803a8b2b8.d: crates/bench/src/bin/fig09_zfp_compare.rs
+
+/root/repo/target/debug/deps/fig09_zfp_compare-3fc5ab6803a8b2b8: crates/bench/src/bin/fig09_zfp_compare.rs
+
+crates/bench/src/bin/fig09_zfp_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_zfp_compare-587ecc409fca0753.d: crates/bench/src/bin/fig09_zfp_compare.rs
+
+/root/repo/target/debug/deps/fig09_zfp_compare-587ecc409fca0753: crates/bench/src/bin/fig09_zfp_compare.rs
+
+crates/bench/src/bin/fig09_zfp_compare.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_zfp_compare-bb124bb2f9aa8234.d: crates/bench/src/bin/fig09_zfp_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_zfp_compare-bb124bb2f9aa8234.rmeta: crates/bench/src/bin/fig09_zfp_compare.rs Cargo.toml
+
+crates/bench/src/bin/fig09_zfp_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

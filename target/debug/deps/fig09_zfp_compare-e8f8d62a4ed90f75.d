@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_zfp_compare-e8f8d62a4ed90f75.d: crates/bench/src/bin/fig09_zfp_compare.rs
+
+/root/repo/target/debug/deps/fig09_zfp_compare-e8f8d62a4ed90f75: crates/bench/src/bin/fig09_zfp_compare.rs
+
+crates/bench/src/bin/fig09_zfp_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_compress_resolution-15f2c64c72224e6e.d: crates/bench/src/bin/fig10_compress_resolution.rs
+
+/root/repo/target/debug/deps/fig10_compress_resolution-15f2c64c72224e6e: crates/bench/src/bin/fig10_compress_resolution.rs
+
+crates/bench/src/bin/fig10_compress_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_compress_resolution-27fdcaf14d7e4b41.d: crates/bench/src/bin/fig10_compress_resolution.rs
+
+/root/repo/target/debug/deps/fig10_compress_resolution-27fdcaf14d7e4b41: crates/bench/src/bin/fig10_compress_resolution.rs
+
+crates/bench/src/bin/fig10_compress_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_compress_resolution-2dc9ed91363a446d.d: crates/bench/src/bin/fig10_compress_resolution.rs
+
+/root/repo/target/debug/deps/fig10_compress_resolution-2dc9ed91363a446d: crates/bench/src/bin/fig10_compress_resolution.rs
+
+crates/bench/src/bin/fig10_compress_resolution.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_compress_resolution-654025b90468c65b.d: crates/bench/src/bin/fig10_compress_resolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_compress_resolution-654025b90468c65b.rmeta: crates/bench/src/bin/fig10_compress_resolution.rs Cargo.toml
+
+crates/bench/src/bin/fig10_compress_resolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_compress_resolution-9cfee3bffc330b40.d: crates/bench/src/bin/fig10_compress_resolution.rs
+
+/root/repo/target/debug/deps/fig10_compress_resolution-9cfee3bffc330b40: crates/bench/src/bin/fig10_compress_resolution.rs
+
+crates/bench/src/bin/fig10_compress_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_compress_resolution-c32848b63b0b45ff.d: crates/bench/src/bin/fig10_compress_resolution.rs
+
+/root/repo/target/debug/deps/libfig10_compress_resolution-c32848b63b0b45ff.rmeta: crates/bench/src/bin/fig10_compress_resolution.rs
+
+crates/bench/src/bin/fig10_compress_resolution.rs:

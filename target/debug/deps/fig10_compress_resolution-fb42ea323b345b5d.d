@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_compress_resolution-fb42ea323b345b5d.d: crates/bench/src/bin/fig10_compress_resolution.rs
+
+/root/repo/target/debug/deps/libfig10_compress_resolution-fb42ea323b345b5d.rmeta: crates/bench/src/bin/fig10_compress_resolution.rs
+
+crates/bench/src/bin/fig10_compress_resolution.rs:

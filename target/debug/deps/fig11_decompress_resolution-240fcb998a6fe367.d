@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_decompress_resolution-240fcb998a6fe367.d: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+/root/repo/target/debug/deps/fig11_decompress_resolution-240fcb998a6fe367: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+crates/bench/src/bin/fig11_decompress_resolution.rs:

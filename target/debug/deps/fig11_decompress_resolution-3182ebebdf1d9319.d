@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_decompress_resolution-3182ebebdf1d9319.d: crates/bench/src/bin/fig11_decompress_resolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_decompress_resolution-3182ebebdf1d9319.rmeta: crates/bench/src/bin/fig11_decompress_resolution.rs Cargo.toml
+
+crates/bench/src/bin/fig11_decompress_resolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

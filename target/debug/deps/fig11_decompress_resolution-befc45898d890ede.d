@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_decompress_resolution-befc45898d890ede.d: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+/root/repo/target/debug/deps/libfig11_decompress_resolution-befc45898d890ede.rmeta: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+crates/bench/src/bin/fig11_decompress_resolution.rs:

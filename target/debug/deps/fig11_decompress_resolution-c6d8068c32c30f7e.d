@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_decompress_resolution-c6d8068c32c30f7e.d: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+/root/repo/target/debug/deps/fig11_decompress_resolution-c6d8068c32c30f7e: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+crates/bench/src/bin/fig11_decompress_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_decompress_resolution-c89f4844f770e62c.d: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+/root/repo/target/debug/deps/fig11_decompress_resolution-c89f4844f770e62c: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+crates/bench/src/bin/fig11_decompress_resolution.rs:

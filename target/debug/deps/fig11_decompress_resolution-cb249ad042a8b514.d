@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_decompress_resolution-cb249ad042a8b514.d: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+/root/repo/target/debug/deps/fig11_decompress_resolution-cb249ad042a8b514: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+crates/bench/src/bin/fig11_decompress_resolution.rs:

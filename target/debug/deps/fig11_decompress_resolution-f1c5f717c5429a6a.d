@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_decompress_resolution-f1c5f717c5429a6a.d: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+/root/repo/target/debug/deps/libfig11_decompress_resolution-f1c5f717c5429a6a.rmeta: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+crates/bench/src/bin/fig11_decompress_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_compress_batch-1313c301a5fc3a9a.d: crates/bench/src/bin/fig12_compress_batch.rs
+
+/root/repo/target/debug/deps/fig12_compress_batch-1313c301a5fc3a9a: crates/bench/src/bin/fig12_compress_batch.rs
+
+crates/bench/src/bin/fig12_compress_batch.rs:

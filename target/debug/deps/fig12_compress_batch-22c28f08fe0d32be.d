@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_compress_batch-22c28f08fe0d32be.d: crates/bench/src/bin/fig12_compress_batch.rs
+
+/root/repo/target/debug/deps/libfig12_compress_batch-22c28f08fe0d32be.rmeta: crates/bench/src/bin/fig12_compress_batch.rs
+
+crates/bench/src/bin/fig12_compress_batch.rs:

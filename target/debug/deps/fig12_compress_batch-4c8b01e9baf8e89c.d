@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_compress_batch-4c8b01e9baf8e89c.d: crates/bench/src/bin/fig12_compress_batch.rs
+
+/root/repo/target/debug/deps/fig12_compress_batch-4c8b01e9baf8e89c: crates/bench/src/bin/fig12_compress_batch.rs
+
+crates/bench/src/bin/fig12_compress_batch.rs:

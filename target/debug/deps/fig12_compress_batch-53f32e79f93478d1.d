@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_compress_batch-53f32e79f93478d1.d: crates/bench/src/bin/fig12_compress_batch.rs
+
+/root/repo/target/debug/deps/fig12_compress_batch-53f32e79f93478d1: crates/bench/src/bin/fig12_compress_batch.rs
+
+crates/bench/src/bin/fig12_compress_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_compress_batch-7228fd82ccdb5d12.d: crates/bench/src/bin/fig12_compress_batch.rs
+
+/root/repo/target/debug/deps/libfig12_compress_batch-7228fd82ccdb5d12.rmeta: crates/bench/src/bin/fig12_compress_batch.rs
+
+crates/bench/src/bin/fig12_compress_batch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_compress_batch-8e3694e4e3c55aba.d: crates/bench/src/bin/fig12_compress_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_compress_batch-8e3694e4e3c55aba.rmeta: crates/bench/src/bin/fig12_compress_batch.rs Cargo.toml
+
+crates/bench/src/bin/fig12_compress_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_compress_batch-ecaae57670559fb0.d: crates/bench/src/bin/fig12_compress_batch.rs
+
+/root/repo/target/debug/deps/fig12_compress_batch-ecaae57670559fb0: crates/bench/src/bin/fig12_compress_batch.rs
+
+crates/bench/src/bin/fig12_compress_batch.rs:

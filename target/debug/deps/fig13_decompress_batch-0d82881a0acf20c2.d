@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_decompress_batch-0d82881a0acf20c2.d: crates/bench/src/bin/fig13_decompress_batch.rs
+
+/root/repo/target/debug/deps/fig13_decompress_batch-0d82881a0acf20c2: crates/bench/src/bin/fig13_decompress_batch.rs
+
+crates/bench/src/bin/fig13_decompress_batch.rs:

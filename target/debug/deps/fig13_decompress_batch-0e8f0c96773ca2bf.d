@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_decompress_batch-0e8f0c96773ca2bf.d: crates/bench/src/bin/fig13_decompress_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_decompress_batch-0e8f0c96773ca2bf.rmeta: crates/bench/src/bin/fig13_decompress_batch.rs Cargo.toml
+
+crates/bench/src/bin/fig13_decompress_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_decompress_batch-39716c1e34f67409.d: crates/bench/src/bin/fig13_decompress_batch.rs
+
+/root/repo/target/debug/deps/fig13_decompress_batch-39716c1e34f67409: crates/bench/src/bin/fig13_decompress_batch.rs
+
+crates/bench/src/bin/fig13_decompress_batch.rs:

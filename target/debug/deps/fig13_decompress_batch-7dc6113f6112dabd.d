@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_decompress_batch-7dc6113f6112dabd.d: crates/bench/src/bin/fig13_decompress_batch.rs
+
+/root/repo/target/debug/deps/fig13_decompress_batch-7dc6113f6112dabd: crates/bench/src/bin/fig13_decompress_batch.rs
+
+crates/bench/src/bin/fig13_decompress_batch.rs:

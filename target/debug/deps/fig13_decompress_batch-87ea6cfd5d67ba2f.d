@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_decompress_batch-87ea6cfd5d67ba2f.d: crates/bench/src/bin/fig13_decompress_batch.rs
+
+/root/repo/target/debug/deps/fig13_decompress_batch-87ea6cfd5d67ba2f: crates/bench/src/bin/fig13_decompress_batch.rs
+
+crates/bench/src/bin/fig13_decompress_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_decompress_batch-8e9797d1c75f6c19.d: crates/bench/src/bin/fig13_decompress_batch.rs
+
+/root/repo/target/debug/deps/libfig13_decompress_batch-8e9797d1c75f6c19.rmeta: crates/bench/src/bin/fig13_decompress_batch.rs
+
+crates/bench/src/bin/fig13_decompress_batch.rs:

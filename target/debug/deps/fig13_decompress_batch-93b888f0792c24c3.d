@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_decompress_batch-93b888f0792c24c3.d: crates/bench/src/bin/fig13_decompress_batch.rs
+
+/root/repo/target/debug/deps/libfig13_decompress_batch-93b888f0792c24c3.rmeta: crates/bench/src/bin/fig13_decompress_batch.rs
+
+crates/bench/src/bin/fig13_decompress_batch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_decompress_batch-e272e02b48157040.d: crates/bench/src/bin/fig13_decompress_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_decompress_batch-e272e02b48157040.rmeta: crates/bench/src/bin/fig13_decompress_batch.rs Cargo.toml
+
+crates/bench/src/bin/fig13_decompress_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

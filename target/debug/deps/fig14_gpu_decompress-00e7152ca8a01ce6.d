@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_gpu_decompress-00e7152ca8a01ce6.d: crates/bench/src/bin/fig14_gpu_decompress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_gpu_decompress-00e7152ca8a01ce6.rmeta: crates/bench/src/bin/fig14_gpu_decompress.rs Cargo.toml
+
+crates/bench/src/bin/fig14_gpu_decompress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

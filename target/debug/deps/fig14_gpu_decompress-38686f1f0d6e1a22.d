@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_gpu_decompress-38686f1f0d6e1a22.d: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+/root/repo/target/debug/deps/fig14_gpu_decompress-38686f1f0d6e1a22: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+crates/bench/src/bin/fig14_gpu_decompress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_gpu_decompress-3999ad930383c812.d: crates/bench/src/bin/fig14_gpu_decompress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_gpu_decompress-3999ad930383c812.rmeta: crates/bench/src/bin/fig14_gpu_decompress.rs Cargo.toml
+
+crates/bench/src/bin/fig14_gpu_decompress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_gpu_decompress-47943b31f4db12f0.d: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+/root/repo/target/debug/deps/libfig14_gpu_decompress-47943b31f4db12f0.rmeta: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+crates/bench/src/bin/fig14_gpu_decompress.rs:

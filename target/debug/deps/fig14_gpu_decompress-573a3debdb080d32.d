@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_gpu_decompress-573a3debdb080d32.d: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+/root/repo/target/debug/deps/fig14_gpu_decompress-573a3debdb080d32: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+crates/bench/src/bin/fig14_gpu_decompress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_gpu_decompress-960f86f3c80864b2.d: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+/root/repo/target/debug/deps/fig14_gpu_decompress-960f86f3c80864b2: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+crates/bench/src/bin/fig14_gpu_decompress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_gpu_decompress-b5064544c0187404.d: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+/root/repo/target/debug/deps/libfig14_gpu_decompress-b5064544c0187404.rmeta: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+crates/bench/src/bin/fig14_gpu_decompress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_gpu_decompress-c24353e5d9cabbf6.d: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+/root/repo/target/debug/deps/fig14_gpu_decompress-c24353e5d9cabbf6: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+crates/bench/src/bin/fig14_gpu_decompress.rs:

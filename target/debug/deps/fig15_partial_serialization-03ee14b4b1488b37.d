@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_partial_serialization-03ee14b4b1488b37.d: crates/bench/src/bin/fig15_partial_serialization.rs
+
+/root/repo/target/debug/deps/fig15_partial_serialization-03ee14b4b1488b37: crates/bench/src/bin/fig15_partial_serialization.rs
+
+crates/bench/src/bin/fig15_partial_serialization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_partial_serialization-0d94052581daaced.d: crates/bench/src/bin/fig15_partial_serialization.rs
+
+/root/repo/target/debug/deps/libfig15_partial_serialization-0d94052581daaced.rmeta: crates/bench/src/bin/fig15_partial_serialization.rs
+
+crates/bench/src/bin/fig15_partial_serialization.rs:

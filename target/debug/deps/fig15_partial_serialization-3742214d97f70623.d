@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_partial_serialization-3742214d97f70623.d: crates/bench/src/bin/fig15_partial_serialization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_partial_serialization-3742214d97f70623.rmeta: crates/bench/src/bin/fig15_partial_serialization.rs Cargo.toml
+
+crates/bench/src/bin/fig15_partial_serialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_partial_serialization-3914936a3c05be14.d: crates/bench/src/bin/fig15_partial_serialization.rs
+
+/root/repo/target/debug/deps/fig15_partial_serialization-3914936a3c05be14: crates/bench/src/bin/fig15_partial_serialization.rs
+
+crates/bench/src/bin/fig15_partial_serialization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_partial_serialization-4281fdce73228e8b.d: crates/bench/src/bin/fig15_partial_serialization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_partial_serialization-4281fdce73228e8b.rmeta: crates/bench/src/bin/fig15_partial_serialization.rs Cargo.toml
+
+crates/bench/src/bin/fig15_partial_serialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_partial_serialization-4b75ea757a6688d5.d: crates/bench/src/bin/fig15_partial_serialization.rs
+
+/root/repo/target/debug/deps/fig15_partial_serialization-4b75ea757a6688d5: crates/bench/src/bin/fig15_partial_serialization.rs
+
+crates/bench/src/bin/fig15_partial_serialization.rs:

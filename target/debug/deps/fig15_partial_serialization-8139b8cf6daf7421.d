@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_partial_serialization-8139b8cf6daf7421.d: crates/bench/src/bin/fig15_partial_serialization.rs
+
+/root/repo/target/debug/deps/libfig15_partial_serialization-8139b8cf6daf7421.rmeta: crates/bench/src/bin/fig15_partial_serialization.rs
+
+crates/bench/src/bin/fig15_partial_serialization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_partial_serialization-cc50652f7493a47e.d: crates/bench/src/bin/fig15_partial_serialization.rs
+
+/root/repo/target/debug/deps/fig15_partial_serialization-cc50652f7493a47e: crates/bench/src/bin/fig15_partial_serialization.rs
+
+crates/bench/src/bin/fig15_partial_serialization.rs:

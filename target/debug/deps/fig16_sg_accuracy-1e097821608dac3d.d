@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_sg_accuracy-1e097821608dac3d.d: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+/root/repo/target/debug/deps/libfig16_sg_accuracy-1e097821608dac3d.rmeta: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+crates/bench/src/bin/fig16_sg_accuracy.rs:

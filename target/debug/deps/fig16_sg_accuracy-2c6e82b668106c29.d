@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_sg_accuracy-2c6e82b668106c29.d: crates/bench/src/bin/fig16_sg_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_sg_accuracy-2c6e82b668106c29.rmeta: crates/bench/src/bin/fig16_sg_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/fig16_sg_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_sg_accuracy-53e5d7a55ad9c1a7.d: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+/root/repo/target/debug/deps/fig16_sg_accuracy-53e5d7a55ad9c1a7: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+crates/bench/src/bin/fig16_sg_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_sg_accuracy-6a7bccd8b484de4c.d: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+/root/repo/target/debug/deps/fig16_sg_accuracy-6a7bccd8b484de4c: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+crates/bench/src/bin/fig16_sg_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_sg_accuracy-7e30795bc98f0bce.d: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+/root/repo/target/debug/deps/fig16_sg_accuracy-7e30795bc98f0bce: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+crates/bench/src/bin/fig16_sg_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_sg_accuracy-a40d427a997f0a92.d: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+/root/repo/target/debug/deps/libfig16_sg_accuracy-a40d427a997f0a92.rmeta: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+crates/bench/src/bin/fig16_sg_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_sg_accuracy-b6b62888d9daa1e5.d: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+/root/repo/target/debug/deps/fig16_sg_accuracy-b6b62888d9daa1e5: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+crates/bench/src/bin/fig16_sg_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_sg_throughput-2039d67ce6c51f85.d: crates/bench/src/bin/fig17_sg_throughput.rs
+
+/root/repo/target/debug/deps/fig17_sg_throughput-2039d67ce6c51f85: crates/bench/src/bin/fig17_sg_throughput.rs
+
+crates/bench/src/bin/fig17_sg_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_sg_throughput-44610505c364617d.d: crates/bench/src/bin/fig17_sg_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_sg_throughput-44610505c364617d.rmeta: crates/bench/src/bin/fig17_sg_throughput.rs Cargo.toml
+
+crates/bench/src/bin/fig17_sg_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

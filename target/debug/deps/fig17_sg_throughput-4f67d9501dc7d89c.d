@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_sg_throughput-4f67d9501dc7d89c.d: crates/bench/src/bin/fig17_sg_throughput.rs
+
+/root/repo/target/debug/deps/fig17_sg_throughput-4f67d9501dc7d89c: crates/bench/src/bin/fig17_sg_throughput.rs
+
+crates/bench/src/bin/fig17_sg_throughput.rs:

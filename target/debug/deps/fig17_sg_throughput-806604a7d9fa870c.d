@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_sg_throughput-806604a7d9fa870c.d: crates/bench/src/bin/fig17_sg_throughput.rs
+
+/root/repo/target/debug/deps/fig17_sg_throughput-806604a7d9fa870c: crates/bench/src/bin/fig17_sg_throughput.rs
+
+crates/bench/src/bin/fig17_sg_throughput.rs:

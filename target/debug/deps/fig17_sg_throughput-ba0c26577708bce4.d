@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_sg_throughput-ba0c26577708bce4.d: crates/bench/src/bin/fig17_sg_throughput.rs
+
+/root/repo/target/debug/deps/libfig17_sg_throughput-ba0c26577708bce4.rmeta: crates/bench/src/bin/fig17_sg_throughput.rs
+
+crates/bench/src/bin/fig17_sg_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_sg_throughput-d7bf2a1c54a3a93e.d: crates/bench/src/bin/fig17_sg_throughput.rs
+
+/root/repo/target/debug/deps/fig17_sg_throughput-d7bf2a1c54a3a93e: crates/bench/src/bin/fig17_sg_throughput.rs
+
+crates/bench/src/bin/fig17_sg_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_sg_throughput-faedb40ed49195d0.d: crates/bench/src/bin/fig17_sg_throughput.rs
+
+/root/repo/target/debug/deps/libfig17_sg_throughput-faedb40ed49195d0.rmeta: crates/bench/src/bin/fig17_sg_throughput.rs
+
+crates/bench/src/bin/fig17_sg_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_targets-2291b0b9bff741a5.d: crates/bench/src/bin/future_targets.rs
+
+/root/repo/target/debug/deps/future_targets-2291b0b9bff741a5: crates/bench/src/bin/future_targets.rs
+
+crates/bench/src/bin/future_targets.rs:

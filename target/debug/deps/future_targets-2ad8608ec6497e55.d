@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_targets-2ad8608ec6497e55.d: crates/bench/src/bin/future_targets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_targets-2ad8608ec6497e55.rmeta: crates/bench/src/bin/future_targets.rs Cargo.toml
+
+crates/bench/src/bin/future_targets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

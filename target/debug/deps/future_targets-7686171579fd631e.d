@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_targets-7686171579fd631e.d: crates/bench/src/bin/future_targets.rs
+
+/root/repo/target/debug/deps/future_targets-7686171579fd631e: crates/bench/src/bin/future_targets.rs
+
+crates/bench/src/bin/future_targets.rs:

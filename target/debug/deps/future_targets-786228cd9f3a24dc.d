@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_targets-786228cd9f3a24dc.d: crates/bench/src/bin/future_targets.rs
+
+/root/repo/target/debug/deps/future_targets-786228cd9f3a24dc: crates/bench/src/bin/future_targets.rs
+
+crates/bench/src/bin/future_targets.rs:

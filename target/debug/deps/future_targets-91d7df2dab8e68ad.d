@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_targets-91d7df2dab8e68ad.d: crates/bench/src/bin/future_targets.rs
+
+/root/repo/target/debug/deps/libfuture_targets-91d7df2dab8e68ad.rmeta: crates/bench/src/bin/future_targets.rs
+
+crates/bench/src/bin/future_targets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_targets-a5a76d709f9cbf3b.d: crates/bench/src/bin/future_targets.rs
+
+/root/repo/target/debug/deps/libfuture_targets-a5a76d709f9cbf3b.rmeta: crates/bench/src/bin/future_targets.rs
+
+crates/bench/src/bin/future_targets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_targets-cba7719b2c44e093.d: crates/bench/src/bin/future_targets.rs
+
+/root/repo/target/debug/deps/future_targets-cba7719b2c44e093: crates/bench/src/bin/future_targets.rs
+
+crates/bench/src/bin/future_targets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-7ad6e8b3147944a0.d: crates/tensor/benches/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-7ad6e8b3147944a0.rmeta: crates/tensor/benches/kernels.rs Cargo.toml
+
+crates/tensor/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-cd28fefc464c006e.d: crates/tensor/benches/kernels.rs
+
+/root/repo/target/debug/deps/libkernels-cd28fefc464c006e.rmeta: crates/tensor/benches/kernels.rs
+
+crates/tensor/benches/kernels.rs:

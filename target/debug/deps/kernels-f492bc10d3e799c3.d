@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-f492bc10d3e799c3.d: crates/tensor/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-f492bc10d3e799c3: crates/tensor/benches/kernels.rs
+
+crates/tensor/benches/kernels.rs:

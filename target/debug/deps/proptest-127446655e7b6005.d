@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-127446655e7b6005.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-127446655e7b6005.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-127446655e7b6005.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

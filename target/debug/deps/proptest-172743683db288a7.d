@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-172743683db288a7.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-172743683db288a7.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

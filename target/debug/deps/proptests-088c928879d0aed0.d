@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-088c928879d0aed0.d: crates/store/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-088c928879d0aed0: crates/store/tests/proptests.rs
+
+crates/store/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-127efcf8e09894ee.d: crates/sciml/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-127efcf8e09894ee: crates/sciml/tests/proptests.rs
+
+crates/sciml/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2d846c2e680197a0.d: crates/sciml/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-2d846c2e680197a0.rmeta: crates/sciml/tests/proptests.rs
+
+crates/sciml/tests/proptests.rs:

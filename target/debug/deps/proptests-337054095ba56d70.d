@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-337054095ba56d70.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-337054095ba56d70.rmeta: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

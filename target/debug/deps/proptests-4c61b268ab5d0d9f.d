@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-4c61b268ab5d0d9f.d: crates/store/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-4c61b268ab5d0d9f.rmeta: crates/store/tests/proptests.rs Cargo.toml
+
+crates/store/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7d4e5d38a7fe2c2a.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7d4e5d38a7fe2c2a: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

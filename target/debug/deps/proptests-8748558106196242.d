@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8748558106196242.d: crates/baselines/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8748558106196242: crates/baselines/tests/proptests.rs
+
+crates/baselines/tests/proptests.rs:

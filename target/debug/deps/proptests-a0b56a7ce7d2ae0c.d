@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a0b56a7ce7d2ae0c.d: crates/accel/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-a0b56a7ce7d2ae0c.rmeta: crates/accel/tests/proptests.rs
+
+crates/accel/tests/proptests.rs:

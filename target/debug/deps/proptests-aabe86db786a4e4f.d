@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-aabe86db786a4e4f.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-aabe86db786a4e4f.rmeta: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-b10b3c55cf566936.d: crates/sciml/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-b10b3c55cf566936.rmeta: crates/sciml/tests/proptests.rs Cargo.toml
+
+crates/sciml/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c2bfc44d75014d75.d: crates/store/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-c2bfc44d75014d75.rmeta: crates/store/tests/proptests.rs
+
+crates/store/tests/proptests.rs:

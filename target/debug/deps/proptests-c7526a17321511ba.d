@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c7526a17321511ba.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c7526a17321511ba: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cbacb771ec0fde7e.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-cbacb771ec0fde7e.rmeta: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d37ef09b85815d43.d: crates/baselines/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-d37ef09b85815d43.rmeta: crates/baselines/tests/proptests.rs
+
+crates/baselines/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f87352952ad97a07.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f87352952ad97a07: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

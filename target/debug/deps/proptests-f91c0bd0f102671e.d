@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f91c0bd0f102671e.d: crates/accel/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f91c0bd0f102671e: crates/accel/tests/proptests.rs
+
+crates/accel/tests/proptests.rs:

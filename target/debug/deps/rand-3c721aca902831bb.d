@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-3c721aca902831bb.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3c721aca902831bb.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3c721aca902831bb.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

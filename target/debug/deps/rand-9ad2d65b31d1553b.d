@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-9ad2d65b31d1553b.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9ad2d65b31d1553b.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-38f012e2ea50f854.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-38f012e2ea50f854.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-38f012e2ea50f854.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

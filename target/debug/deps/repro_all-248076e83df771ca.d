@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-248076e83df771ca.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/librepro_all-248076e83df771ca.rmeta: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-3226afdfc51550b9.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-3226afdfc51550b9: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

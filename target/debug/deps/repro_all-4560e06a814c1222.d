@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-4560e06a814c1222.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-4560e06a814c1222: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-59272ab519e44cf9.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-59272ab519e44cf9: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-63409b7195f0fc4e.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/librepro_all-63409b7195f0fc4e.rmeta: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

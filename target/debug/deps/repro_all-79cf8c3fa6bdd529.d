@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-79cf8c3fa6bdd529.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-79cf8c3fa6bdd529: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

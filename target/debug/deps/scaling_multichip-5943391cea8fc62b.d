@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_multichip-5943391cea8fc62b.d: crates/bench/src/bin/scaling_multichip.rs
+
+/root/repo/target/debug/deps/libscaling_multichip-5943391cea8fc62b.rmeta: crates/bench/src/bin/scaling_multichip.rs
+
+crates/bench/src/bin/scaling_multichip.rs:

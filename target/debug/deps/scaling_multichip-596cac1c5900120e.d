@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling_multichip-596cac1c5900120e.d: crates/bench/src/bin/scaling_multichip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling_multichip-596cac1c5900120e.rmeta: crates/bench/src/bin/scaling_multichip.rs Cargo.toml
+
+crates/bench/src/bin/scaling_multichip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

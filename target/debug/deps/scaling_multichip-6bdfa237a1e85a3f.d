@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_multichip-6bdfa237a1e85a3f.d: crates/bench/src/bin/scaling_multichip.rs
+
+/root/repo/target/debug/deps/scaling_multichip-6bdfa237a1e85a3f: crates/bench/src/bin/scaling_multichip.rs
+
+crates/bench/src/bin/scaling_multichip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling_multichip-a238943328d990b1.d: crates/bench/src/bin/scaling_multichip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling_multichip-a238943328d990b1.rmeta: crates/bench/src/bin/scaling_multichip.rs Cargo.toml
+
+crates/bench/src/bin/scaling_multichip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_multichip-aa19803f5bdb2704.d: crates/bench/src/bin/scaling_multichip.rs
+
+/root/repo/target/debug/deps/scaling_multichip-aa19803f5bdb2704: crates/bench/src/bin/scaling_multichip.rs
+
+crates/bench/src/bin/scaling_multichip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_multichip-d1483ee108ab514e.d: crates/bench/src/bin/scaling_multichip.rs
+
+/root/repo/target/debug/deps/scaling_multichip-d1483ee108ab514e: crates/bench/src/bin/scaling_multichip.rs
+
+crates/bench/src/bin/scaling_multichip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_multichip-ef8ca0e03dbd18db.d: crates/bench/src/bin/scaling_multichip.rs
+
+/root/repo/target/debug/deps/scaling_multichip-ef8ca0e03dbd18db: crates/bench/src/bin/scaling_multichip.rs
+
+crates/bench/src/bin/scaling_multichip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_multichip-fe5ad4a264b2a2a8.d: crates/bench/src/bin/scaling_multichip.rs
+
+/root/repo/target/debug/deps/libscaling_multichip-fe5ad4a264b2a2a8.rmeta: crates/bench/src/bin/scaling_multichip.rs
+
+crates/bench/src/bin/scaling_multichip.rs:

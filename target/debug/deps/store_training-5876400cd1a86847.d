@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/store_training-5876400cd1a86847.d: tests/store_training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstore_training-5876400cd1a86847.rmeta: tests/store_training.rs Cargo.toml
+
+tests/store_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

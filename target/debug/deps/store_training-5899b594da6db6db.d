@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_training-5899b594da6db6db.d: tests/store_training.rs
+
+/root/repo/target/debug/deps/store_training-5899b594da6db6db: tests/store_training.rs
+
+tests/store_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_training-8e934f8956692876.d: tests/store_training.rs
+
+/root/repo/target/debug/deps/libstore_training-8e934f8956692876.rmeta: tests/store_training.rs
+
+tests/store_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_and_tuning-43cdf5a6c5c0e6e4.d: tests/streaming_and_tuning.rs
+
+/root/repo/target/debug/deps/streaming_and_tuning-43cdf5a6c5c0e6e4: tests/streaming_and_tuning.rs
+
+tests/streaming_and_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_and_tuning-c4f355be56748359.d: tests/streaming_and_tuning.rs
+
+/root/repo/target/debug/deps/libstreaming_and_tuning-c4f355be56748359.rmeta: tests/streaming_and_tuning.rs
+
+tests/streaming_and_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming_and_tuning-cdb4b8fe61b7116f.d: tests/streaming_and_tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming_and_tuning-cdb4b8fe61b7116f.rmeta: tests/streaming_and_tuning.rs Cargo.toml
+
+tests/streaming_and_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

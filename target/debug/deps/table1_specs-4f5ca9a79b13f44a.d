@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_specs-4f5ca9a79b13f44a.d: crates/bench/src/bin/table1_specs.rs
+
+/root/repo/target/debug/deps/table1_specs-4f5ca9a79b13f44a: crates/bench/src/bin/table1_specs.rs
+
+crates/bench/src/bin/table1_specs.rs:

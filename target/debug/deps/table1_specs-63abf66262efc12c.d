@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_specs-63abf66262efc12c.d: crates/bench/src/bin/table1_specs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_specs-63abf66262efc12c.rmeta: crates/bench/src/bin/table1_specs.rs Cargo.toml
+
+crates/bench/src/bin/table1_specs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_specs-9f86684825ff036e.d: crates/bench/src/bin/table1_specs.rs
+
+/root/repo/target/debug/deps/libtable1_specs-9f86684825ff036e.rmeta: crates/bench/src/bin/table1_specs.rs
+
+crates/bench/src/bin/table1_specs.rs:

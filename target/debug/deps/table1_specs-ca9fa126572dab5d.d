@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_specs-ca9fa126572dab5d.d: crates/bench/src/bin/table1_specs.rs
+
+/root/repo/target/debug/deps/table1_specs-ca9fa126572dab5d: crates/bench/src/bin/table1_specs.rs
+
+crates/bench/src/bin/table1_specs.rs:

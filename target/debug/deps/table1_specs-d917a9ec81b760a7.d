@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_specs-d917a9ec81b760a7.d: crates/bench/src/bin/table1_specs.rs
+
+/root/repo/target/debug/deps/table1_specs-d917a9ec81b760a7: crates/bench/src/bin/table1_specs.rs
+
+crates/bench/src/bin/table1_specs.rs:

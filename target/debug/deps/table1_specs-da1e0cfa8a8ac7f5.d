@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_specs-da1e0cfa8a8ac7f5.d: crates/bench/src/bin/table1_specs.rs
+
+/root/repo/target/debug/deps/libtable1_specs-da1e0cfa8a8ac7f5.rmeta: crates/bench/src/bin/table1_specs.rs
+
+crates/bench/src/bin/table1_specs.rs:

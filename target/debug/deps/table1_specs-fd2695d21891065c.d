@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_specs-fd2695d21891065c.d: crates/bench/src/bin/table1_specs.rs
+
+/root/repo/target/debug/deps/table1_specs-fd2695d21891065c: crates/bench/src/bin/table1_specs.rs
+
+crates/bench/src/bin/table1_specs.rs:

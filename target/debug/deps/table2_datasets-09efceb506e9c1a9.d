@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_datasets-09efceb506e9c1a9.d: crates/bench/src/bin/table2_datasets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_datasets-09efceb506e9c1a9.rmeta: crates/bench/src/bin/table2_datasets.rs Cargo.toml
+
+crates/bench/src/bin/table2_datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

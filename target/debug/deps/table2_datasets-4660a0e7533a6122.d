@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_datasets-4660a0e7533a6122.d: crates/bench/src/bin/table2_datasets.rs
+
+/root/repo/target/debug/deps/libtable2_datasets-4660a0e7533a6122.rmeta: crates/bench/src/bin/table2_datasets.rs
+
+crates/bench/src/bin/table2_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_datasets-505eb92c66b80b11.d: crates/bench/src/bin/table2_datasets.rs
+
+/root/repo/target/debug/deps/table2_datasets-505eb92c66b80b11: crates/bench/src/bin/table2_datasets.rs
+
+crates/bench/src/bin/table2_datasets.rs:

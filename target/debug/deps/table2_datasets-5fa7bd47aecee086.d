@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_datasets-5fa7bd47aecee086.d: crates/bench/src/bin/table2_datasets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_datasets-5fa7bd47aecee086.rmeta: crates/bench/src/bin/table2_datasets.rs Cargo.toml
+
+crates/bench/src/bin/table2_datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_datasets-b3187b56ba6f1336.d: crates/bench/src/bin/table2_datasets.rs
+
+/root/repo/target/debug/deps/libtable2_datasets-b3187b56ba6f1336.rmeta: crates/bench/src/bin/table2_datasets.rs
+
+crates/bench/src/bin/table2_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_datasets-c8e61a061ae91a53.d: crates/bench/src/bin/table2_datasets.rs
+
+/root/repo/target/debug/deps/table2_datasets-c8e61a061ae91a53: crates/bench/src/bin/table2_datasets.rs
+
+crates/bench/src/bin/table2_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_datasets-f66a7834331ccab1.d: crates/bench/src/bin/table2_datasets.rs
+
+/root/repo/target/debug/deps/table2_datasets-f66a7834331ccab1: crates/bench/src/bin/table2_datasets.rs
+
+crates/bench/src/bin/table2_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_datasets-faae16e89fc1cb7a.d: crates/bench/src/bin/table2_datasets.rs
+
+/root/repo/target/debug/deps/table2_datasets-faae16e89fc1cb7a: crates/bench/src/bin/table2_datasets.rs
+
+crates/bench/src/bin/table2_datasets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_benchmarks-079d9c419f812030.d: crates/bench/src/bin/table3_benchmarks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_benchmarks-079d9c419f812030.rmeta: crates/bench/src/bin/table3_benchmarks.rs Cargo.toml
+
+crates/bench/src/bin/table3_benchmarks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

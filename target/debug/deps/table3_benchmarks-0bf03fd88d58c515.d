@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_benchmarks-0bf03fd88d58c515.d: crates/bench/src/bin/table3_benchmarks.rs
+
+/root/repo/target/debug/deps/table3_benchmarks-0bf03fd88d58c515: crates/bench/src/bin/table3_benchmarks.rs
+
+crates/bench/src/bin/table3_benchmarks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_benchmarks-1b23695ea7a4296c.d: crates/bench/src/bin/table3_benchmarks.rs
+
+/root/repo/target/debug/deps/table3_benchmarks-1b23695ea7a4296c: crates/bench/src/bin/table3_benchmarks.rs
+
+crates/bench/src/bin/table3_benchmarks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_benchmarks-2431a74bf1cf6167.d: crates/bench/src/bin/table3_benchmarks.rs
+
+/root/repo/target/debug/deps/libtable3_benchmarks-2431a74bf1cf6167.rmeta: crates/bench/src/bin/table3_benchmarks.rs
+
+crates/bench/src/bin/table3_benchmarks.rs:

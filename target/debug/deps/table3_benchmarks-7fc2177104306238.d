@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_benchmarks-7fc2177104306238.d: crates/bench/src/bin/table3_benchmarks.rs
+
+/root/repo/target/debug/deps/table3_benchmarks-7fc2177104306238: crates/bench/src/bin/table3_benchmarks.rs
+
+crates/bench/src/bin/table3_benchmarks.rs:

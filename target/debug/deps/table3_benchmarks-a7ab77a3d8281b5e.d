@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_benchmarks-a7ab77a3d8281b5e.d: crates/bench/src/bin/table3_benchmarks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_benchmarks-a7ab77a3d8281b5e.rmeta: crates/bench/src/bin/table3_benchmarks.rs Cargo.toml
+
+crates/bench/src/bin/table3_benchmarks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_benchmarks-b18e43e29a628b04.d: crates/bench/src/bin/table3_benchmarks.rs
+
+/root/repo/target/debug/deps/table3_benchmarks-b18e43e29a628b04: crates/bench/src/bin/table3_benchmarks.rs
+
+crates/bench/src/bin/table3_benchmarks.rs:

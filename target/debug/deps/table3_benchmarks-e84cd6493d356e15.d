@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_benchmarks-e84cd6493d356e15.d: crates/bench/src/bin/table3_benchmarks.rs
+
+/root/repo/target/debug/deps/libtable3_benchmarks-e84cd6493d356e15.rmeta: crates/bench/src/bin/table3_benchmarks.rs
+
+crates/bench/src/bin/table3_benchmarks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_flops-7d69c2223ecee713.d: crates/bench/src/bin/table_flops.rs
+
+/root/repo/target/debug/deps/table_flops-7d69c2223ecee713: crates/bench/src/bin/table_flops.rs
+
+crates/bench/src/bin/table_flops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_flops-b2b61eb9cf41f71c.d: crates/bench/src/bin/table_flops.rs
+
+/root/repo/target/debug/deps/table_flops-b2b61eb9cf41f71c: crates/bench/src/bin/table_flops.rs
+
+crates/bench/src/bin/table_flops.rs:

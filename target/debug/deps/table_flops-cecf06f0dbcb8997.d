@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_flops-cecf06f0dbcb8997.d: crates/bench/src/bin/table_flops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_flops-cecf06f0dbcb8997.rmeta: crates/bench/src/bin/table_flops.rs Cargo.toml
+
+crates/bench/src/bin/table_flops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_flops-e10a42ea5d8ed92b.d: crates/bench/src/bin/table_flops.rs
+
+/root/repo/target/debug/deps/table_flops-e10a42ea5d8ed92b: crates/bench/src/bin/table_flops.rs
+
+crates/bench/src/bin/table_flops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_flops-e97811d9cb9199be.d: crates/bench/src/bin/table_flops.rs
+
+/root/repo/target/debug/deps/libtable_flops-e97811d9cb9199be.rmeta: crates/bench/src/bin/table_flops.rs
+
+crates/bench/src/bin/table_flops.rs:

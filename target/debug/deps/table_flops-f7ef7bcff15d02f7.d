@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_flops-f7ef7bcff15d02f7.d: crates/bench/src/bin/table_flops.rs
+
+/root/repo/target/debug/deps/libtable_flops-f7ef7bcff15d02f7.rmeta: crates/bench/src/bin/table_flops.rs
+
+crates/bench/src/bin/table_flops.rs:

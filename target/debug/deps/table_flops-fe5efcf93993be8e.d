@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_flops-fe5efcf93993be8e.d: crates/bench/src/bin/table_flops.rs
+
+/root/repo/target/debug/deps/table_flops-fe5efcf93993be8e: crates/bench/src/bin/table_flops.rs
+
+crates/bench/src/bin/table_flops.rs:

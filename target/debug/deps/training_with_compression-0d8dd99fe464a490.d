@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training_with_compression-0d8dd99fe464a490.d: tests/training_with_compression.rs
+
+/root/repo/target/debug/deps/training_with_compression-0d8dd99fe464a490: tests/training_with_compression.rs
+
+tests/training_with_compression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training_with_compression-99d07d7e27aa4212.d: tests/training_with_compression.rs
+
+/root/repo/target/debug/deps/libtraining_with_compression-99d07d7e27aa4212.rmeta: tests/training_with_compression.rs
+
+tests/training_with_compression.rs:

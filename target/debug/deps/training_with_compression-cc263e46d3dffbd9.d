@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training_with_compression-cc263e46d3dffbd9.d: tests/training_with_compression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining_with_compression-cc263e46d3dffbd9.rmeta: tests/training_with_compression.rs Cargo.toml
+
+tests/training_with_compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_portability-54563c239b9b42ac.d: examples/accelerator_portability.rs
+
+/root/repo/target/debug/examples/libaccelerator_portability-54563c239b9b42ac.rmeta: examples/accelerator_portability.rs
+
+examples/accelerator_portability.rs:

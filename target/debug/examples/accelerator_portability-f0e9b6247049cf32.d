@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/accelerator_portability-f0e9b6247049cf32.d: examples/accelerator_portability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccelerator_portability-f0e9b6247049cf32.rmeta: examples/accelerator_portability.rs Cargo.toml
+
+examples/accelerator_portability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_portability-fc093e5b222fdcc8.d: examples/accelerator_portability.rs
+
+/root/repo/target/debug/examples/accelerator_portability-fc093e5b222fdcc8: examples/accelerator_portability.rs
+
+examples/accelerator_portability.rs:

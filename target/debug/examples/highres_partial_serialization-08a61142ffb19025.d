@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/highres_partial_serialization-08a61142ffb19025.d: examples/highres_partial_serialization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhighres_partial_serialization-08a61142ffb19025.rmeta: examples/highres_partial_serialization.rs Cargo.toml
+
+examples/highres_partial_serialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/highres_partial_serialization-69069b68f9b3db46.d: examples/highres_partial_serialization.rs
+
+/root/repo/target/debug/examples/highres_partial_serialization-69069b68f9b3db46: examples/highres_partial_serialization.rs
+
+examples/highres_partial_serialization.rs:

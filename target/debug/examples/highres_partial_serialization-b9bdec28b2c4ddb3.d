@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/highres_partial_serialization-b9bdec28b2c4ddb3.d: examples/highres_partial_serialization.rs
+
+/root/repo/target/debug/examples/libhighres_partial_serialization-b9bdec28b2c4ddb3.rmeta: examples/highres_partial_serialization.rs
+
+examples/highres_partial_serialization.rs:

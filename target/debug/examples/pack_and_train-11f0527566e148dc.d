@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pack_and_train-11f0527566e148dc.d: examples/pack_and_train.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpack_and_train-11f0527566e148dc.rmeta: examples/pack_and_train.rs Cargo.toml
+
+examples/pack_and_train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pack_and_train-56abf5e785fbe399.d: examples/pack_and_train.rs
+
+/root/repo/target/debug/examples/pack_and_train-56abf5e785fbe399: examples/pack_and_train.rs
+
+examples/pack_and_train.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pack_and_train-70415cf5ee49952d.d: examples/pack_and_train.rs
+
+/root/repo/target/debug/examples/libpack_and_train-70415cf5ee49952d.rmeta: examples/pack_and_train.rs
+
+examples/pack_and_train.rs:

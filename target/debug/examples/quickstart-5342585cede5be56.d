@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5342585cede5be56.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-5342585cede5be56.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b27e98d53f69081d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b27e98d53f69081d: examples/quickstart.rs
+
+examples/quickstart.rs:

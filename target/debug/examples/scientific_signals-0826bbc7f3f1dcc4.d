@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scientific_signals-0826bbc7f3f1dcc4.d: examples/scientific_signals.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscientific_signals-0826bbc7f3f1dcc4.rmeta: examples/scientific_signals.rs Cargo.toml
+
+examples/scientific_signals.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scientific_signals-0f31e98ea83d42cb.d: examples/scientific_signals.rs
+
+/root/repo/target/debug/examples/scientific_signals-0f31e98ea83d42cb: examples/scientific_signals.rs
+
+examples/scientific_signals.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scientific_signals-1531d016aa2ac6a2.d: examples/scientific_signals.rs
+
+/root/repo/target/debug/examples/libscientific_signals-1531d016aa2ac6a2.rmeta: examples/scientific_signals.rs
+
+examples/scientific_signals.rs:

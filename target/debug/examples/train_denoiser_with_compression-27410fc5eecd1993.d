@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_denoiser_with_compression-27410fc5eecd1993.d: examples/train_denoiser_with_compression.rs
+
+/root/repo/target/debug/examples/libtrain_denoiser_with_compression-27410fc5eecd1993.rmeta: examples/train_denoiser_with_compression.rs
+
+examples/train_denoiser_with_compression.rs:

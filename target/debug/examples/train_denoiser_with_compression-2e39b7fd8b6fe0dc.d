@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_denoiser_with_compression-2e39b7fd8b6fe0dc.d: examples/train_denoiser_with_compression.rs
+
+/root/repo/target/debug/examples/train_denoiser_with_compression-2e39b7fd8b6fe0dc: examples/train_denoiser_with_compression.rs
+
+examples/train_denoiser_with_compression.rs:

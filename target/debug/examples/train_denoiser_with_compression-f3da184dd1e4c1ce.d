@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_denoiser_with_compression-f3da184dd1e4c1ce.d: examples/train_denoiser_with_compression.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_denoiser_with_compression-f3da184dd1e4c1ce.rmeta: examples/train_denoiser_with_compression.rs Cargo.toml
+
+examples/train_denoiser_with_compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tune_and_stream-3c199b8e8ee57fa7.d: examples/tune_and_stream.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtune_and_stream-3c199b8e8ee57fa7.rmeta: examples/tune_and_stream.rs Cargo.toml
+
+examples/tune_and_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tune_and_stream-68b985f268fbb3d3.d: examples/tune_and_stream.rs
+
+/root/repo/target/debug/examples/libtune_and_stream-68b985f268fbb3d3.rmeta: examples/tune_and_stream.rs
+
+examples/tune_and_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tune_and_stream-e2c426a8c3f2afa6.d: examples/tune_and_stream.rs
+
+/root/repo/target/debug/examples/tune_and_stream-e2c426a8c3f2afa6: examples/tune_and_stream.rs
+
+examples/tune_and_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_block_size-3a0cbe576564bf9f.d: crates/bench/src/bin/ablation_block_size.rs
+
+/root/repo/target/release/deps/ablation_block_size-3a0cbe576564bf9f: crates/bench/src/bin/ablation_block_size.rs
+
+crates/bench/src/bin/ablation_block_size.rs:

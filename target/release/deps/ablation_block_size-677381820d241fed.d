@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_block_size-677381820d241fed.d: crates/bench/src/bin/ablation_block_size.rs
+
+/root/repo/target/release/deps/ablation_block_size-677381820d241fed: crates/bench/src/bin/ablation_block_size.rs
+
+crates/bench/src/bin/ablation_block_size.rs:

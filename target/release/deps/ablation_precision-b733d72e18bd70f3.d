@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_precision-b733d72e18bd70f3.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/release/deps/ablation_precision-b733d72e18bd70f3: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_precision-bf423807a0d808b3.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/release/deps/ablation_precision-bf423807a0d808b3: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

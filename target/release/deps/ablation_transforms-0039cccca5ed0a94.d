@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_transforms-0039cccca5ed0a94.d: crates/bench/src/bin/ablation_transforms.rs
+
+/root/repo/target/release/deps/ablation_transforms-0039cccca5ed0a94: crates/bench/src/bin/ablation_transforms.rs
+
+crates/bench/src/bin/ablation_transforms.rs:

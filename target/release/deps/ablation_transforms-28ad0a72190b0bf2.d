@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_transforms-28ad0a72190b0bf2.d: crates/bench/src/bin/ablation_transforms.rs
+
+/root/repo/target/release/deps/ablation_transforms-28ad0a72190b0bf2: crates/bench/src/bin/ablation_transforms.rs
+
+crates/bench/src/bin/ablation_transforms.rs:

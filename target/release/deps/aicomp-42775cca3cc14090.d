@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aicomp-42775cca3cc14090.d: src/lib.rs
+
+/root/repo/target/release/deps/aicomp-42775cca3cc14090: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/aicomp-70e138c51cf555ec.d: src/lib.rs
+
+/root/repo/target/release/deps/libaicomp-70e138c51cf555ec.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libaicomp-70e138c51cf555ec.rmeta: src/lib.rs
+
+src/lib.rs:

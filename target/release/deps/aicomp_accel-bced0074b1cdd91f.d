@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/aicomp_accel-bced0074b1cdd91f.d: crates/accel/src/lib.rs crates/accel/src/cluster.rs crates/accel/src/compiler.rs crates/accel/src/device.rs crates/accel/src/distributed.rs crates/accel/src/exec.rs crates/accel/src/graph.rs crates/accel/src/ops.rs crates/accel/src/perf.rs crates/accel/src/pipeline.rs crates/accel/src/spec.rs crates/accel/src/trace.rs
+
+/root/repo/target/release/deps/libaicomp_accel-bced0074b1cdd91f.rlib: crates/accel/src/lib.rs crates/accel/src/cluster.rs crates/accel/src/compiler.rs crates/accel/src/device.rs crates/accel/src/distributed.rs crates/accel/src/exec.rs crates/accel/src/graph.rs crates/accel/src/ops.rs crates/accel/src/perf.rs crates/accel/src/pipeline.rs crates/accel/src/spec.rs crates/accel/src/trace.rs
+
+/root/repo/target/release/deps/libaicomp_accel-bced0074b1cdd91f.rmeta: crates/accel/src/lib.rs crates/accel/src/cluster.rs crates/accel/src/compiler.rs crates/accel/src/device.rs crates/accel/src/distributed.rs crates/accel/src/exec.rs crates/accel/src/graph.rs crates/accel/src/ops.rs crates/accel/src/perf.rs crates/accel/src/pipeline.rs crates/accel/src/spec.rs crates/accel/src/trace.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/cluster.rs:
+crates/accel/src/compiler.rs:
+crates/accel/src/device.rs:
+crates/accel/src/distributed.rs:
+crates/accel/src/exec.rs:
+crates/accel/src/graph.rs:
+crates/accel/src/ops.rs:
+crates/accel/src/perf.rs:
+crates/accel/src/pipeline.rs:
+crates/accel/src/spec.rs:
+crates/accel/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aicomp_baselines-02bfa4980167988e.d: crates/baselines/src/lib.rs crates/baselines/src/bitio.rs crates/baselines/src/colorquant.rs crates/baselines/src/huffman.rs crates/baselines/src/jpeg.rs crates/baselines/src/zfp.rs crates/baselines/src/zigzag.rs
+
+/root/repo/target/release/deps/aicomp_baselines-02bfa4980167988e: crates/baselines/src/lib.rs crates/baselines/src/bitio.rs crates/baselines/src/colorquant.rs crates/baselines/src/huffman.rs crates/baselines/src/jpeg.rs crates/baselines/src/zfp.rs crates/baselines/src/zigzag.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bitio.rs:
+crates/baselines/src/colorquant.rs:
+crates/baselines/src/huffman.rs:
+crates/baselines/src/jpeg.rs:
+crates/baselines/src/zfp.rs:
+crates/baselines/src/zigzag.rs:

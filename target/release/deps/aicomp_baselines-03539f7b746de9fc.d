@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/aicomp_baselines-03539f7b746de9fc.d: crates/baselines/src/lib.rs crates/baselines/src/bitio.rs crates/baselines/src/colorquant.rs crates/baselines/src/huffman.rs crates/baselines/src/jpeg.rs crates/baselines/src/zfp.rs crates/baselines/src/zigzag.rs
+
+/root/repo/target/release/deps/libaicomp_baselines-03539f7b746de9fc.rlib: crates/baselines/src/lib.rs crates/baselines/src/bitio.rs crates/baselines/src/colorquant.rs crates/baselines/src/huffman.rs crates/baselines/src/jpeg.rs crates/baselines/src/zfp.rs crates/baselines/src/zigzag.rs
+
+/root/repo/target/release/deps/libaicomp_baselines-03539f7b746de9fc.rmeta: crates/baselines/src/lib.rs crates/baselines/src/bitio.rs crates/baselines/src/colorquant.rs crates/baselines/src/huffman.rs crates/baselines/src/jpeg.rs crates/baselines/src/zfp.rs crates/baselines/src/zigzag.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bitio.rs:
+crates/baselines/src/colorquant.rs:
+crates/baselines/src/huffman.rs:
+crates/baselines/src/jpeg.rs:
+crates/baselines/src/zfp.rs:
+crates/baselines/src/zigzag.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aicomp_bench-0a4cc5cfa1fc4aa3.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libaicomp_bench-0a4cc5cfa1fc4aa3.rlib: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libaicomp_bench-0a4cc5cfa1fc4aa3.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:
+crates/bench/src/timing.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/aicomp_bench-4152cc64bfd5634f.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/aicomp_bench-4152cc64bfd5634f: crates/bench/src/lib.rs crates/bench/src/sweeps.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:
+crates/bench/src/timing.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/aicomp_core-d243865197b2d2aa.d: crates/core/src/lib.rs crates/core/src/chop1d.rs crates/core/src/compressor.rs crates/core/src/matrices.rs crates/core/src/metrics.rs crates/core/src/partial.rs crates/core/src/precision.rs crates/core/src/scatter_gather.rs crates/core/src/streaming.rs crates/core/src/transform.rs crates/core/src/tuning.rs crates/core/src/zfp_transform.rs
+
+/root/repo/target/release/deps/libaicomp_core-d243865197b2d2aa.rlib: crates/core/src/lib.rs crates/core/src/chop1d.rs crates/core/src/compressor.rs crates/core/src/matrices.rs crates/core/src/metrics.rs crates/core/src/partial.rs crates/core/src/precision.rs crates/core/src/scatter_gather.rs crates/core/src/streaming.rs crates/core/src/transform.rs crates/core/src/tuning.rs crates/core/src/zfp_transform.rs
+
+/root/repo/target/release/deps/libaicomp_core-d243865197b2d2aa.rmeta: crates/core/src/lib.rs crates/core/src/chop1d.rs crates/core/src/compressor.rs crates/core/src/matrices.rs crates/core/src/metrics.rs crates/core/src/partial.rs crates/core/src/precision.rs crates/core/src/scatter_gather.rs crates/core/src/streaming.rs crates/core/src/transform.rs crates/core/src/tuning.rs crates/core/src/zfp_transform.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chop1d.rs:
+crates/core/src/compressor.rs:
+crates/core/src/matrices.rs:
+crates/core/src/metrics.rs:
+crates/core/src/partial.rs:
+crates/core/src/precision.rs:
+crates/core/src/scatter_gather.rs:
+crates/core/src/streaming.rs:
+crates/core/src/transform.rs:
+crates/core/src/tuning.rs:
+crates/core/src/zfp_transform.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/aicomp_nn-2229055cbeed22f0.d: crates/nn/src/lib.rs crates/nn/src/compressed.rs crates/nn/src/conv_ops.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/losses.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+/root/repo/target/release/deps/libaicomp_nn-2229055cbeed22f0.rlib: crates/nn/src/lib.rs crates/nn/src/compressed.rs crates/nn/src/conv_ops.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/losses.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+/root/repo/target/release/deps/libaicomp_nn-2229055cbeed22f0.rmeta: crates/nn/src/lib.rs crates/nn/src/compressed.rs crates/nn/src/conv_ops.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/losses.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/compressed.rs:
+crates/nn/src/conv_ops.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/losses.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aicomp_nn-2c9ef66c6412bc0c.d: crates/nn/src/lib.rs crates/nn/src/compressed.rs crates/nn/src/conv_ops.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/losses.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+/root/repo/target/release/deps/aicomp_nn-2c9ef66c6412bc0c: crates/nn/src/lib.rs crates/nn/src/compressed.rs crates/nn/src/conv_ops.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/losses.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/compressed.rs:
+crates/nn/src/conv_ops.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/losses.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:

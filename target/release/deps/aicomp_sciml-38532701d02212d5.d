@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/aicomp_sciml-38532701d02212d5.d: crates/sciml/src/lib.rs crates/sciml/src/compressors.rs crates/sciml/src/data.rs crates/sciml/src/metrics.rs crates/sciml/src/networks.rs crates/sciml/src/tasks.rs
+
+/root/repo/target/release/deps/aicomp_sciml-38532701d02212d5: crates/sciml/src/lib.rs crates/sciml/src/compressors.rs crates/sciml/src/data.rs crates/sciml/src/metrics.rs crates/sciml/src/networks.rs crates/sciml/src/tasks.rs
+
+crates/sciml/src/lib.rs:
+crates/sciml/src/compressors.rs:
+crates/sciml/src/data.rs:
+crates/sciml/src/metrics.rs:
+crates/sciml/src/networks.rs:
+crates/sciml/src/tasks.rs:

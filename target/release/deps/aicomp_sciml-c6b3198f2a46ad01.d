@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aicomp_sciml-c6b3198f2a46ad01.d: crates/sciml/src/lib.rs crates/sciml/src/compressors.rs crates/sciml/src/data.rs crates/sciml/src/metrics.rs crates/sciml/src/networks.rs crates/sciml/src/tasks.rs
+
+/root/repo/target/release/deps/libaicomp_sciml-c6b3198f2a46ad01.rlib: crates/sciml/src/lib.rs crates/sciml/src/compressors.rs crates/sciml/src/data.rs crates/sciml/src/metrics.rs crates/sciml/src/networks.rs crates/sciml/src/tasks.rs
+
+/root/repo/target/release/deps/libaicomp_sciml-c6b3198f2a46ad01.rmeta: crates/sciml/src/lib.rs crates/sciml/src/compressors.rs crates/sciml/src/data.rs crates/sciml/src/metrics.rs crates/sciml/src/networks.rs crates/sciml/src/tasks.rs
+
+crates/sciml/src/lib.rs:
+crates/sciml/src/compressors.rs:
+crates/sciml/src/data.rs:
+crates/sciml/src/metrics.rs:
+crates/sciml/src/networks.rs:
+crates/sciml/src/tasks.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/aicomp_store-b58023cdbd1b92bd.d: crates/store/src/lib.rs crates/store/src/bands.rs crates/store/src/chunk.rs crates/store/src/crc.rs crates/store/src/entropy.rs crates/store/src/layout.rs crates/store/src/loader.rs crates/store/src/prefetch.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/release/deps/libaicomp_store-b58023cdbd1b92bd.rlib: crates/store/src/lib.rs crates/store/src/bands.rs crates/store/src/chunk.rs crates/store/src/crc.rs crates/store/src/entropy.rs crates/store/src/layout.rs crates/store/src/loader.rs crates/store/src/prefetch.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/release/deps/libaicomp_store-b58023cdbd1b92bd.rmeta: crates/store/src/lib.rs crates/store/src/bands.rs crates/store/src/chunk.rs crates/store/src/crc.rs crates/store/src/entropy.rs crates/store/src/layout.rs crates/store/src/loader.rs crates/store/src/prefetch.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+crates/store/src/lib.rs:
+crates/store/src/bands.rs:
+crates/store/src/chunk.rs:
+crates/store/src/crc.rs:
+crates/store/src/entropy.rs:
+crates/store/src/layout.rs:
+crates/store/src/loader.rs:
+crates/store/src/prefetch.rs:
+crates/store/src/reader.rs:
+crates/store/src/writer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/aicomp_tensor-df22092fa522db40.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libaicomp_tensor-df22092fa522db40.rlib: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libaicomp_tensor-df22092fa522db40.rmeta: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/reduce.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

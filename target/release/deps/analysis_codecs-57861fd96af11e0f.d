@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_codecs-57861fd96af11e0f.d: crates/bench/src/bin/analysis_codecs.rs
+
+/root/repo/target/release/deps/analysis_codecs-57861fd96af11e0f: crates/bench/src/bin/analysis_codecs.rs
+
+crates/bench/src/bin/analysis_codecs.rs:

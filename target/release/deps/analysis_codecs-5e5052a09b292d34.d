@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_codecs-5e5052a09b292d34.d: crates/bench/src/bin/analysis_codecs.rs
+
+/root/repo/target/release/deps/analysis_codecs-5e5052a09b292d34: crates/bench/src/bin/analysis_codecs.rs
+
+crates/bench/src/bin/analysis_codecs.rs:

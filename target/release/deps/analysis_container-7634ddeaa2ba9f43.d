@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_container-7634ddeaa2ba9f43.d: crates/bench/src/bin/analysis_container.rs
+
+/root/repo/target/release/deps/analysis_container-7634ddeaa2ba9f43: crates/bench/src/bin/analysis_container.rs
+
+crates/bench/src/bin/analysis_container.rs:

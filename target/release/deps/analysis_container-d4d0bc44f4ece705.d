@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_container-d4d0bc44f4ece705.d: crates/bench/src/bin/analysis_container.rs
+
+/root/repo/target/release/deps/analysis_container-d4d0bc44f4ece705: crates/bench/src/bin/analysis_container.rs
+
+crates/bench/src/bin/analysis_container.rs:

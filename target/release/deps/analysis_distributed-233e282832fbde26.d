@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_distributed-233e282832fbde26.d: crates/bench/src/bin/analysis_distributed.rs
+
+/root/repo/target/release/deps/analysis_distributed-233e282832fbde26: crates/bench/src/bin/analysis_distributed.rs
+
+crates/bench/src/bin/analysis_distributed.rs:

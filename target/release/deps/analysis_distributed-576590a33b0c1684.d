@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_distributed-576590a33b0c1684.d: crates/bench/src/bin/analysis_distributed.rs
+
+/root/repo/target/release/deps/analysis_distributed-576590a33b0c1684: crates/bench/src/bin/analysis_distributed.rs
+
+crates/bench/src/bin/analysis_distributed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_pipeline_overlap-0dc22747772559a2.d: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+/root/repo/target/release/deps/analysis_pipeline_overlap-0dc22747772559a2: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+crates/bench/src/bin/analysis_pipeline_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_pipeline_overlap-311b90e239a2ea91.d: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+/root/repo/target/release/deps/analysis_pipeline_overlap-311b90e239a2ea91: crates/bench/src/bin/analysis_pipeline_overlap.rs
+
+crates/bench/src/bin/analysis_pipeline_overlap.rs:

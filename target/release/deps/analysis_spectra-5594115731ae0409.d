@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_spectra-5594115731ae0409.d: crates/bench/src/bin/analysis_spectra.rs
+
+/root/repo/target/release/deps/analysis_spectra-5594115731ae0409: crates/bench/src/bin/analysis_spectra.rs
+
+crates/bench/src/bin/analysis_spectra.rs:

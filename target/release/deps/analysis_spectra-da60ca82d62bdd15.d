@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_spectra-da60ca82d62bdd15.d: crates/bench/src/bin/analysis_spectra.rs
+
+/root/repo/target/release/deps/analysis_spectra-da60ca82d62bdd15: crates/bench/src/bin/analysis_spectra.rs
+
+crates/bench/src/bin/analysis_spectra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_time_breakdown-2df4e5fe0f12387b.d: crates/bench/src/bin/analysis_time_breakdown.rs
+
+/root/repo/target/release/deps/analysis_time_breakdown-2df4e5fe0f12387b: crates/bench/src/bin/analysis_time_breakdown.rs
+
+crates/bench/src/bin/analysis_time_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_time_breakdown-e184deccf55d96c5.d: crates/bench/src/bin/analysis_time_breakdown.rs
+
+/root/repo/target/release/deps/analysis_time_breakdown-e184deccf55d96c5: crates/bench/src/bin/analysis_time_breakdown.rs
+
+crates/bench/src/bin/analysis_time_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec_comparison-bc6d95501c7eb7b5.d: crates/bench/benches/codec_comparison.rs
+
+/root/repo/target/release/deps/codec_comparison-bc6d95501c7eb7b5: crates/bench/benches/codec_comparison.rs
+
+crates/bench/benches/codec_comparison.rs:

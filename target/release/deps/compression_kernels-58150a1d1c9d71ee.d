@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compression_kernels-58150a1d1c9d71ee.d: crates/bench/benches/compression_kernels.rs
+
+/root/repo/target/release/deps/compression_kernels-58150a1d1c9d71ee: crates/bench/benches/compression_kernels.rs
+
+crates/bench/benches/compression_kernels.rs:

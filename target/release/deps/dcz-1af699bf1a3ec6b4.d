@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcz-1af699bf1a3ec6b4.d: crates/store/src/bin/dcz.rs
+
+/root/repo/target/release/deps/dcz-1af699bf1a3ec6b4: crates/store/src/bin/dcz.rs
+
+crates/store/src/bin/dcz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcz-dc7a07a9c1c2d338.d: crates/store/src/bin/dcz.rs
+
+/root/repo/target/release/deps/dcz-dc7a07a9c1c2d338: crates/store/src/bin/dcz.rs
+
+crates/store/src/bin/dcz.rs:

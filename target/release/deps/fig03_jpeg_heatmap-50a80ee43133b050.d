@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_jpeg_heatmap-50a80ee43133b050.d: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+/root/repo/target/release/deps/fig03_jpeg_heatmap-50a80ee43133b050: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+crates/bench/src/bin/fig03_jpeg_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_jpeg_heatmap-553e9a690ca7a9d2.d: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+/root/repo/target/release/deps/fig03_jpeg_heatmap-553e9a690ca7a9d2: crates/bench/src/bin/fig03_jpeg_heatmap.rs
+
+crates/bench/src/bin/fig03_jpeg_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_training_loss-2e070266475c454e.d: crates/bench/src/bin/fig07_training_loss.rs
+
+/root/repo/target/release/deps/fig07_training_loss-2e070266475c454e: crates/bench/src/bin/fig07_training_loss.rs
+
+crates/bench/src/bin/fig07_training_loss.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_training_loss-58841c9fb257c300.d: crates/bench/src/bin/fig07_training_loss.rs
+
+/root/repo/target/release/deps/fig07_training_loss-58841c9fb257c300: crates/bench/src/bin/fig07_training_loss.rs
+
+crates/bench/src/bin/fig07_training_loss.rs:

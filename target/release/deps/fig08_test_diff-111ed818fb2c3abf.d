@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_test_diff-111ed818fb2c3abf.d: crates/bench/src/bin/fig08_test_diff.rs
+
+/root/repo/target/release/deps/fig08_test_diff-111ed818fb2c3abf: crates/bench/src/bin/fig08_test_diff.rs
+
+crates/bench/src/bin/fig08_test_diff.rs:

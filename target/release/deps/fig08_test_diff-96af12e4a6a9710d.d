@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_test_diff-96af12e4a6a9710d.d: crates/bench/src/bin/fig08_test_diff.rs
+
+/root/repo/target/release/deps/fig08_test_diff-96af12e4a6a9710d: crates/bench/src/bin/fig08_test_diff.rs
+
+crates/bench/src/bin/fig08_test_diff.rs:

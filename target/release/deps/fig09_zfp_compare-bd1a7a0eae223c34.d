@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_zfp_compare-bd1a7a0eae223c34.d: crates/bench/src/bin/fig09_zfp_compare.rs
+
+/root/repo/target/release/deps/fig09_zfp_compare-bd1a7a0eae223c34: crates/bench/src/bin/fig09_zfp_compare.rs
+
+crates/bench/src/bin/fig09_zfp_compare.rs:

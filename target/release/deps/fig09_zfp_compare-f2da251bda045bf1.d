@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_zfp_compare-f2da251bda045bf1.d: crates/bench/src/bin/fig09_zfp_compare.rs
+
+/root/repo/target/release/deps/fig09_zfp_compare-f2da251bda045bf1: crates/bench/src/bin/fig09_zfp_compare.rs
+
+crates/bench/src/bin/fig09_zfp_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_compress_resolution-1349a4e76c846458.d: crates/bench/src/bin/fig10_compress_resolution.rs
+
+/root/repo/target/release/deps/fig10_compress_resolution-1349a4e76c846458: crates/bench/src/bin/fig10_compress_resolution.rs
+
+crates/bench/src/bin/fig10_compress_resolution.rs:

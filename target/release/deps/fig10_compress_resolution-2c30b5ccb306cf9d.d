@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_compress_resolution-2c30b5ccb306cf9d.d: crates/bench/src/bin/fig10_compress_resolution.rs
+
+/root/repo/target/release/deps/fig10_compress_resolution-2c30b5ccb306cf9d: crates/bench/src/bin/fig10_compress_resolution.rs
+
+crates/bench/src/bin/fig10_compress_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_decompress_resolution-229333e45f9cc39b.d: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+/root/repo/target/release/deps/fig11_decompress_resolution-229333e45f9cc39b: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+crates/bench/src/bin/fig11_decompress_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_decompress_resolution-82981e9a33a60ab3.d: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+/root/repo/target/release/deps/fig11_decompress_resolution-82981e9a33a60ab3: crates/bench/src/bin/fig11_decompress_resolution.rs
+
+crates/bench/src/bin/fig11_decompress_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_compress_batch-8c5d835d221581f2.d: crates/bench/src/bin/fig12_compress_batch.rs
+
+/root/repo/target/release/deps/fig12_compress_batch-8c5d835d221581f2: crates/bench/src/bin/fig12_compress_batch.rs
+
+crates/bench/src/bin/fig12_compress_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_compress_batch-a394400d75558bc4.d: crates/bench/src/bin/fig12_compress_batch.rs
+
+/root/repo/target/release/deps/fig12_compress_batch-a394400d75558bc4: crates/bench/src/bin/fig12_compress_batch.rs
+
+crates/bench/src/bin/fig12_compress_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_decompress_batch-7237b0aa00dc0c6e.d: crates/bench/src/bin/fig13_decompress_batch.rs
+
+/root/repo/target/release/deps/fig13_decompress_batch-7237b0aa00dc0c6e: crates/bench/src/bin/fig13_decompress_batch.rs
+
+crates/bench/src/bin/fig13_decompress_batch.rs:

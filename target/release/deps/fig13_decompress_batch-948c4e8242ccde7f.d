@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_decompress_batch-948c4e8242ccde7f.d: crates/bench/src/bin/fig13_decompress_batch.rs
+
+/root/repo/target/release/deps/fig13_decompress_batch-948c4e8242ccde7f: crates/bench/src/bin/fig13_decompress_batch.rs
+
+crates/bench/src/bin/fig13_decompress_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_gpu_decompress-0b1d77cd6ee9f8fe.d: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+/root/repo/target/release/deps/fig14_gpu_decompress-0b1d77cd6ee9f8fe: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+crates/bench/src/bin/fig14_gpu_decompress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_gpu_decompress-5af6d2fbf9614da5.d: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+/root/repo/target/release/deps/fig14_gpu_decompress-5af6d2fbf9614da5: crates/bench/src/bin/fig14_gpu_decompress.rs
+
+crates/bench/src/bin/fig14_gpu_decompress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_partial_serialization-d37569252dc1fd99.d: crates/bench/src/bin/fig15_partial_serialization.rs
+
+/root/repo/target/release/deps/fig15_partial_serialization-d37569252dc1fd99: crates/bench/src/bin/fig15_partial_serialization.rs
+
+crates/bench/src/bin/fig15_partial_serialization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_partial_serialization-d4040eaae39085fe.d: crates/bench/src/bin/fig15_partial_serialization.rs
+
+/root/repo/target/release/deps/fig15_partial_serialization-d4040eaae39085fe: crates/bench/src/bin/fig15_partial_serialization.rs
+
+crates/bench/src/bin/fig15_partial_serialization.rs:

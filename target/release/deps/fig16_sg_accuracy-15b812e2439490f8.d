@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_sg_accuracy-15b812e2439490f8.d: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+/root/repo/target/release/deps/fig16_sg_accuracy-15b812e2439490f8: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+crates/bench/src/bin/fig16_sg_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_sg_accuracy-7dda0efafa628cd0.d: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+/root/repo/target/release/deps/fig16_sg_accuracy-7dda0efafa628cd0: crates/bench/src/bin/fig16_sg_accuracy.rs
+
+crates/bench/src/bin/fig16_sg_accuracy.rs:

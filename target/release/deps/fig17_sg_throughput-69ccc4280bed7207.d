@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_sg_throughput-69ccc4280bed7207.d: crates/bench/src/bin/fig17_sg_throughput.rs
+
+/root/repo/target/release/deps/fig17_sg_throughput-69ccc4280bed7207: crates/bench/src/bin/fig17_sg_throughput.rs
+
+crates/bench/src/bin/fig17_sg_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_sg_throughput-df75985d3ad9a18f.d: crates/bench/src/bin/fig17_sg_throughput.rs
+
+/root/repo/target/release/deps/fig17_sg_throughput-df75985d3ad9a18f: crates/bench/src/bin/fig17_sg_throughput.rs
+
+crates/bench/src/bin/fig17_sg_throughput.rs:

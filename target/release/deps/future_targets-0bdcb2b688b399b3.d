@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_targets-0bdcb2b688b399b3.d: crates/bench/src/bin/future_targets.rs
+
+/root/repo/target/release/deps/future_targets-0bdcb2b688b399b3: crates/bench/src/bin/future_targets.rs
+
+crates/bench/src/bin/future_targets.rs:

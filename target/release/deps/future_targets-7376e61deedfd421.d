@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_targets-7376e61deedfd421.d: crates/bench/src/bin/future_targets.rs
+
+/root/repo/target/release/deps/future_targets-7376e61deedfd421: crates/bench/src/bin/future_targets.rs
+
+crates/bench/src/bin/future_targets.rs:

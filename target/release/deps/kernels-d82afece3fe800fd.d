@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-d82afece3fe800fd.d: crates/tensor/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-d82afece3fe800fd: crates/tensor/benches/kernels.rs
+
+crates/tensor/benches/kernels.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-ca1b4265b21d1103.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-ca1b4265b21d1103.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-ca1b4265b21d1103.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

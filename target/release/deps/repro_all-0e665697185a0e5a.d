@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-0e665697185a0e5a.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-0e665697185a0e5a: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

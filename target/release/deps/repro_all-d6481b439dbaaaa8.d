@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-d6481b439dbaaaa8.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-d6481b439dbaaaa8: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling_multichip-1f7ee531808c96ae.d: crates/bench/src/bin/scaling_multichip.rs
+
+/root/repo/target/release/deps/scaling_multichip-1f7ee531808c96ae: crates/bench/src/bin/scaling_multichip.rs
+
+crates/bench/src/bin/scaling_multichip.rs:

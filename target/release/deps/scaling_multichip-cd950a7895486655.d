@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling_multichip-cd950a7895486655.d: crates/bench/src/bin/scaling_multichip.rs
+
+/root/repo/target/release/deps/scaling_multichip-cd950a7895486655: crates/bench/src/bin/scaling_multichip.rs
+
+crates/bench/src/bin/scaling_multichip.rs:

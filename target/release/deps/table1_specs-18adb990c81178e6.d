@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_specs-18adb990c81178e6.d: crates/bench/src/bin/table1_specs.rs
+
+/root/repo/target/release/deps/table1_specs-18adb990c81178e6: crates/bench/src/bin/table1_specs.rs
+
+crates/bench/src/bin/table1_specs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_specs-84068c32b3ba24c6.d: crates/bench/src/bin/table1_specs.rs
+
+/root/repo/target/release/deps/table1_specs-84068c32b3ba24c6: crates/bench/src/bin/table1_specs.rs
+
+crates/bench/src/bin/table1_specs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_datasets-13c717ae81936018.d: crates/bench/src/bin/table2_datasets.rs
+
+/root/repo/target/release/deps/table2_datasets-13c717ae81936018: crates/bench/src/bin/table2_datasets.rs
+
+crates/bench/src/bin/table2_datasets.rs:

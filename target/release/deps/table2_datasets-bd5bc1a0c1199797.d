@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_datasets-bd5bc1a0c1199797.d: crates/bench/src/bin/table2_datasets.rs
+
+/root/repo/target/release/deps/table2_datasets-bd5bc1a0c1199797: crates/bench/src/bin/table2_datasets.rs
+
+crates/bench/src/bin/table2_datasets.rs:

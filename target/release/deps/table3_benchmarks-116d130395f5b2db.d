@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_benchmarks-116d130395f5b2db.d: crates/bench/src/bin/table3_benchmarks.rs
+
+/root/repo/target/release/deps/table3_benchmarks-116d130395f5b2db: crates/bench/src/bin/table3_benchmarks.rs
+
+crates/bench/src/bin/table3_benchmarks.rs:

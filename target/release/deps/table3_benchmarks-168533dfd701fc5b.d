@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_benchmarks-168533dfd701fc5b.d: crates/bench/src/bin/table3_benchmarks.rs
+
+/root/repo/target/release/deps/table3_benchmarks-168533dfd701fc5b: crates/bench/src/bin/table3_benchmarks.rs
+
+crates/bench/src/bin/table3_benchmarks.rs:

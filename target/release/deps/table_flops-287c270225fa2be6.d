@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_flops-287c270225fa2be6.d: crates/bench/src/bin/table_flops.rs
+
+/root/repo/target/release/deps/table_flops-287c270225fa2be6: crates/bench/src/bin/table_flops.rs
+
+crates/bench/src/bin/table_flops.rs:

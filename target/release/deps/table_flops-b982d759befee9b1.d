@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_flops-b982d759befee9b1.d: crates/bench/src/bin/table_flops.rs
+
+/root/repo/target/release/deps/table_flops-b982d759befee9b1: crates/bench/src/bin/table_flops.rs
+
+crates/bench/src/bin/table_flops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pack_and_train-4a0a5a70a14553fe.d: examples/pack_and_train.rs
+
+/root/repo/target/release/examples/pack_and_train-4a0a5a70a14553fe: examples/pack_and_train.rs
+
+examples/pack_and_train.rs:

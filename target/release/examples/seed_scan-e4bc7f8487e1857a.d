@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seed_scan-e4bc7f8487e1857a.d: examples/seed_scan.rs
+
+/root/repo/target/release/examples/seed_scan-e4bc7f8487e1857a: examples/seed_scan.rs
+
+examples/seed_scan.rs:
