@@ -84,8 +84,13 @@ impl Cluster {
 
     /// Parallel efficiency vs a single device (1.0 = perfect scaling).
     pub fn efficiency(&self) -> Result<f64, DeviceError> {
-        let single =
-            Cluster::new(self.platform, 1, self.n, self.shard.params().3, self.total_slices)?;
+        let single = Cluster::new(
+            self.platform,
+            1,
+            self.n,
+            self.shard.spec().chop_factor(),
+            self.total_slices,
+        )?;
         Ok(single.compress_seconds() / (self.compress_seconds() * self.devices as f64))
     }
 }

@@ -41,6 +41,6 @@ pub use device::{CompiledModel, Device, DeviceError, RunResult};
 pub use graph::Graph;
 pub use ops::OpKind;
 pub use perf::TimingReport;
-pub use pipeline::{CompressorDeployment, SerializedDeployment, Variant};
+pub use pipeline::{lower, CompressorDeployment, SerializedDeployment};
 pub use spec::{AcceleratorSpec, Architecture, Platform};
 pub use trace::{trace, Trace};

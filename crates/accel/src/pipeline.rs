@@ -1,50 +1,175 @@
-//! Deploying the DCT+Chop compressor onto a simulated device.
+//! Deploying compressor variants onto a simulated device, lowered from the
+//! same [`CodecSpec`] the host path uses.
 //!
-//! Builds the exact graphs the paper's PyTorch implementation traces —
-//! `Y = LHS·(A·RHS)` for compression, `A' = RHS·(Y·LHS)` for decompression,
-//! optionally wrapped in the IPU's gather/scatter triangle packing — and
-//! compiles them per device. This is the entry point the benchmark
-//! harness uses for every timing figure (Figs. 10–15, 17).
+//! [`lower`] turns a spec into the exact graphs the paper's PyTorch
+//! implementation traces — `Y = LHS·(A·RHS)` for compression,
+//! `A' = RHS·(Y·LHS)` for decompression (§3.3–3.4), optionally wrapped in
+//! the IPU's gather/scatter triangle packing (§3.5.2), a single matmul per
+//! direction for the 1-D variant, or a chunk-sized program for partial
+//! serialization (§3.5.1). Because the graph constants are the *same*
+//! operator matrices the host [`aicomp_core::Codec`] multiplies by,
+//! host/device bit-identity is structural, not coincidental. This is the
+//! entry point the benchmark harness uses for every timing figure
+//! (Figs. 10–15, 17).
 
-use aicomp_core::scatter_gather::ScatterGatherChop;
-use aicomp_core::{ChopCompressor, PartialSerialized};
+use aicomp_core::codec::CodecSpec;
+use aicomp_core::partial::{split_chunks, tile_chunks};
+use aicomp_core::zfp_transform::ZfpTransform;
+use aicomp_core::{Chop1d, ChopCompressor, PartialSerialized, ScatterGatherChop};
 use aicomp_tensor::Tensor;
 
+use crate::compiler::CompileError;
 use crate::device::{CompiledModel, Device, DeviceError, RunResult};
 use crate::graph::Graph;
+use crate::perf::{TimingBreakdown, TimingReport};
 use crate::spec::Platform;
 
-/// Which compressor variant to deploy (§4.1's three designs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Variant {
-    /// Baseline DCT+Chop ("DC").
-    Plain,
-    /// torch.scatter/gather triangle packing ("SG") — IPU only.
-    ScatterGather,
+fn core_err(e: aicomp_core::CoreError) -> DeviceError {
+    DeviceError::Compile(CompileError::Malformed(e.to_string()))
 }
 
-/// A compressor compiled for one device at fixed `(n, cf, slices)` — the
+/// Lower a codec spec to its `(compress, decompress)` device graphs for
+/// `slices` parallel units — the one host-spec → device-program path.
+///
+/// For [`CodecSpec::Partial`] the returned graphs are the chunk-sized
+/// program (resolution `n/s`); the deployment invokes it `s²` times
+/// serially per batch, exactly as §3.5.1 prescribes.
+pub fn lower(spec: CodecSpec, slices: usize) -> Result<(Graph, Graph), DeviceError> {
+    match spec {
+        CodecSpec::Dct2d { n, cf } => {
+            Ok(lower_chop2d(&ChopCompressor::new(n, cf).map_err(core_err)?, slices))
+        }
+        CodecSpec::Zfp { n, cf } => Ok(lower_chop2d(
+            &ChopCompressor::with_transform(&ZfpTransform::new(), n, cf).map_err(core_err)?,
+            slices,
+        )),
+        CodecSpec::Partial { n, cf, s } => {
+            let ps = PartialSerialized::new(n, cf, s).map_err(core_err)?;
+            Ok(lower_chop2d(ps.chunk_compressor(), slices))
+        }
+        CodecSpec::ScatterGather { n, cf } => {
+            Ok(lower_sg(&ScatterGatherChop::new(n, cf).map_err(core_err)?, slices))
+        }
+        CodecSpec::Chop1d { len, cf } => {
+            Ok(lower_chop1d(&Chop1d::new(len, cf).map_err(core_err)?, slices))
+        }
+    }
+}
+
+/// The two-matmul graphs of Eq. 4 / Eq. 6 (plain 2-D Chop, any transform).
+fn lower_chop2d(comp: &ChopCompressor, slices: usize) -> (Graph, Graph) {
+    let ops = comp.operators();
+    let n = comp.resolution();
+    let cs = comp.compressed_side();
+
+    let mut cg = Graph::new();
+    let a = cg.input([slices, n, n]);
+    let c_rhs = cg.constant(ops.c_rhs.clone());
+    let c_lhs = cg.constant(ops.c_lhs.clone());
+    let t1 = cg.matmul_right(a, c_rhs).expect("static shapes");
+    let y = cg.matmul_left(c_lhs, t1).expect("static shapes");
+    cg.output(y).expect("valid node");
+
+    let mut dg = Graph::new();
+    let yin = dg.input([slices, cs, cs]);
+    let d_rhs = dg.constant(ops.d_rhs.clone());
+    let d_lhs = dg.constant(ops.d_lhs.clone());
+    let t2 = dg.matmul_right(yin, d_rhs).expect("static shapes");
+    let out = dg.matmul_left(d_lhs, t2).expect("static shapes");
+    dg.output(out).expect("valid node");
+    (cg, dg)
+}
+
+/// Plain Chop plus the triangle gather/scatter of §3.5.2 (IPU-only ops —
+/// compilation fails elsewhere, reproducing the paper's portability table).
+fn lower_sg(sg: &ScatterGatherChop, slices: usize) -> (Graph, Graph) {
+    let comp = sg.inner();
+    let ops = comp.operators();
+    let n = comp.resolution();
+    let cs = comp.compressed_side();
+    let idx = sg.indices().to_vec();
+
+    let mut cg = Graph::new();
+    let a = cg.input([slices, n, n]);
+    let c_rhs = cg.constant(ops.c_rhs.clone());
+    let c_lhs = cg.constant(ops.c_lhs.clone());
+    let t1 = cg.matmul_right(a, c_rhs).expect("static shapes");
+    let y = cg.matmul_left(c_lhs, t1).expect("static shapes");
+    let packed = cg.gather(y, idx.clone()).expect("static shapes");
+    cg.output(packed).expect("valid node");
+
+    let mut dg = Graph::new();
+    let pin = dg.input([slices, idx.len()]);
+    let scattered = dg.scatter(pin, idx, cs, cs).expect("static shapes");
+    let d_rhs = dg.constant(ops.d_rhs.clone());
+    let d_lhs = dg.constant(ops.d_lhs.clone());
+    let t2 = dg.matmul_right(scattered, d_rhs).expect("static shapes");
+    let out = dg.matmul_left(d_lhs, t2).expect("static shapes");
+    dg.output(out).expect("valid node");
+    (cg, dg)
+}
+
+/// The 1-D variant (§6): one matmul per direction on `[slices, len]` rows.
+fn lower_chop1d(c: &Chop1d, slices: usize) -> (Graph, Graph) {
+    let mut cg = Graph::new();
+    let x = cg.input([slices, c.len()]);
+    let c_op = cg.constant(c.compress_operator().clone());
+    let y = cg.matmul_right(x, c_op).expect("static shapes");
+    cg.output(y).expect("valid node");
+
+    let mut dg = Graph::new();
+    let yin = dg.input([slices, c.compressed_len()]);
+    let d_op = dg.constant(c.decompress_operator().clone());
+    let out = dg.matmul_right(yin, d_op).expect("static shapes");
+    dg.output(out).expect("valid node");
+    (cg, dg)
+}
+
+/// A codec compiled for one device at fixed `(spec, slices)` — the
 /// static-shape contract of §3.1.
 #[derive(Debug, Clone)]
 pub struct CompressorDeployment {
     platform: Platform,
-    variant: Variant,
-    n: usize,
-    cf: usize,
+    spec: CodecSpec,
     slices: usize,
+    /// Compression ratio, delegated from the host codec at build time.
+    ratio: f64,
+    /// Elements per uncompressed unit (`n²` or `len`).
+    unit_elems: usize,
     compress_model: CompiledModel,
     decompress_model: CompiledModel,
 }
 
 impl CompressorDeployment {
-    /// Compile plain DCT+Chop for `slices` matrices of side `n`, chop `cf`.
+    /// Compile any codec spec for a platform — the one deployment path.
+    pub fn from_spec(
+        platform: Platform,
+        spec: CodecSpec,
+        slices: usize,
+    ) -> Result<Self, DeviceError> {
+        let codec = spec.build().map_err(core_err)?;
+        let (cg, dg) = lower(spec, slices)?;
+        let device = Device::new(platform);
+        Ok(CompressorDeployment {
+            platform,
+            spec,
+            slices,
+            ratio: codec.compression_ratio(),
+            unit_elems: codec.input_shape().iter().product(),
+            compress_model: device.compile(cg)?,
+            decompress_model: device.compile(dg)?,
+        })
+    }
+
+    /// Compile plain DCT+Chop for `slices` matrices of side `n`, chop `cf`
+    /// (convenience over [`Self::from_spec`]).
     pub fn plain(
         platform: Platform,
         n: usize,
         cf: usize,
         slices: usize,
     ) -> Result<Self, DeviceError> {
-        Self::build(platform, Variant::Plain, n, cf, slices)
+        Self::from_spec(platform, CodecSpec::Dct2d { n, cf }, slices)
     }
 
     /// Compile the scatter/gather variant (compiles only where the ops are
@@ -55,84 +180,26 @@ impl CompressorDeployment {
         cf: usize,
         slices: usize,
     ) -> Result<Self, DeviceError> {
-        Self::build(platform, Variant::ScatterGather, n, cf, slices)
+        Self::from_spec(platform, CodecSpec::ScatterGather { n, cf }, slices)
     }
 
-    fn build(
-        platform: Platform,
-        variant: Variant,
-        n: usize,
-        cf: usize,
-        slices: usize,
-    ) -> Result<Self, DeviceError> {
-        let device = Device::new(platform);
-        let comp = ChopCompressor::new(n, cf).map_err(|e| {
-            DeviceError::Compile(crate::compiler::CompileError::Malformed(e.to_string()))
-        })?;
-        let ops = comp.operators();
-        let cs = comp.compressed_side();
-
-        // --- compression graph ---
-        let mut cg = Graph::new();
-        let a = cg.input([slices, n, n]);
-        let c_rhs = cg.constant(ops.c_rhs.clone());
-        let c_lhs = cg.constant(ops.c_lhs.clone());
-        let t1 = cg.matmul_right(a, c_rhs).expect("static shapes");
-        let y = cg.matmul_left(c_lhs, t1).expect("static shapes");
-
-        // --- decompression graph ---
-        let mut dg = Graph::new();
-        let d_rhs_t = comp.operators().d_rhs.clone();
-        let d_lhs_t = comp.operators().d_lhs.clone();
-
-        match variant {
-            Variant::Plain => {
-                cg.output(y).expect("valid node");
-
-                let yin = dg.input([slices, cs, cs]);
-                let d_rhs = dg.constant(d_rhs_t);
-                let d_lhs = dg.constant(d_lhs_t);
-                let t2 = dg.matmul_right(yin, d_rhs).expect("static shapes");
-                let out = dg.matmul_left(d_lhs, t2).expect("static shapes");
-                dg.output(out).expect("valid node");
-            }
-            Variant::ScatterGather => {
-                let sg = ScatterGatherChop::new(n, cf).expect("validated params");
-                let idx = sg.indices().to_vec();
-                let packed = cg.gather(y, idx.clone()).expect("static shapes");
-                cg.output(packed).expect("valid node");
-
-                let pin = dg.input([slices, idx.len()]);
-                let scattered = dg.scatter(pin, idx, cs, cs).expect("static shapes");
-                let d_rhs = dg.constant(d_rhs_t);
-                let d_lhs = dg.constant(d_lhs_t);
-                let t2 = dg.matmul_right(scattered, d_rhs).expect("static shapes");
-                let out = dg.matmul_left(d_lhs, t2).expect("static shapes");
-                dg.output(out).expect("valid node");
-            }
-        }
-
-        Ok(CompressorDeployment {
-            platform,
-            variant,
-            n,
-            cf,
-            slices,
-            compress_model: device.compile(cg)?,
-            decompress_model: device.compile(dg)?,
-        })
-    }
-
-    /// Compress a `[slices, n, n]` tensor on the device.
+    /// Compress on the device. For [`CodecSpec::Partial`] this runs the
+    /// chunk program `s²` times serially and tiles the outputs, matching
+    /// the host codec's layout exactly.
     pub fn compress(&self, x: &Tensor) -> Result<RunResult, DeviceError> {
-        let mut r = self.compress_model.run(&[x])?;
-        r.outputs.truncate(1);
-        Ok(r)
+        self.run(&self.compress_model, x)
     }
 
     /// Decompress the compressed representation on the device.
     pub fn decompress(&self, y: &Tensor) -> Result<RunResult, DeviceError> {
-        let mut r = self.decompress_model.run(&[y])?;
+        self.run(&self.decompress_model, y)
+    }
+
+    fn run(&self, model: &CompiledModel, x: &Tensor) -> Result<RunResult, DeviceError> {
+        if let CodecSpec::Partial { s, .. } = self.spec {
+            return run_serialized(model, x, s);
+        }
+        let mut r = model.run(&[x])?;
         r.outputs.truncate(1);
         Ok(r)
     }
@@ -147,41 +214,92 @@ impl CompressorDeployment {
         self.decompress_model.program()
     }
 
-    /// Simulated compression timing without running numerics.
-    pub fn compress_timing(&self) -> crate::perf::TimingReport {
-        self.compress_model.timing()
+    /// Simulated compression timing without running numerics (serialized
+    /// `s²`-pass total for [`CodecSpec::Partial`]).
+    pub fn compress_timing(&self) -> TimingReport {
+        self.model_timing(&self.compress_model)
     }
 
     /// Simulated decompression timing without running numerics.
-    pub fn decompress_timing(&self) -> crate::perf::TimingReport {
-        self.decompress_model.timing()
+    pub fn decompress_timing(&self) -> TimingReport {
+        self.model_timing(&self.decompress_model)
+    }
+
+    fn model_timing(&self, model: &CompiledModel) -> TimingReport {
+        match self.spec {
+            CodecSpec::Partial { s, .. } => serialize_timing(model.timing(), s),
+            _ => model.timing(),
+        }
     }
 
     /// Uncompressed data size in bytes (the paper's throughput reference).
     pub fn uncompressed_bytes(&self) -> u64 {
-        (self.slices * self.n * self.n * 4) as u64
+        (self.slices * self.unit_elems * 4) as u64
     }
 
-    /// Compression ratio of the deployed variant.
+    /// Compression ratio of the deployed codec (Eq. 3 and variants).
     pub fn compression_ratio(&self) -> f64 {
-        match self.variant {
-            Variant::Plain => 64.0 / (self.cf * self.cf) as f64,
-            Variant::ScatterGather => 64.0 / (self.cf as f64 * (self.cf as f64 + 1.0) / 2.0),
-        }
+        self.ratio
     }
 
-    /// Deployment parameters.
-    pub fn params(&self) -> (Platform, Variant, usize, usize, usize) {
-        (self.platform, self.variant, self.n, self.cf, self.slices)
+    /// The spec this deployment was lowered from.
+    pub fn spec(&self) -> CodecSpec {
+        self.spec
+    }
+
+    /// Deployment parameters: `(platform, spec, slices)`.
+    pub fn params(&self) -> (Platform, CodecSpec, usize) {
+        (self.platform, self.spec, self.slices)
+    }
+}
+
+/// Run a chunk-sized model over the `s×s` grid serially and tile the
+/// outputs — the device execution of §3.5.1. The fixed invocation overhead
+/// is paid once (one compiled program, repeatedly invoked); data terms
+/// accumulate per pass.
+fn run_serialized(model: &CompiledModel, x: &Tensor, s: usize) -> Result<RunResult, DeviceError> {
+    let chunks = split_chunks(x, s).map_err(core_err)?;
+    let mut outs = Vec::with_capacity(chunks.len());
+    for chunk in &chunks {
+        let r = model.run(&[chunk])?;
+        outs.push(r.outputs.into_iter().next().expect("one declared output"));
+    }
+    let d = x.dims();
+    let tiled = tile_chunks(&outs, &d[..d.len() - 2], s).map_err(core_err)?;
+    Ok(RunResult { outputs: vec![tiled], timing: serialize_timing(model.timing(), s) })
+}
+
+/// Total timing for `s²` serial invocations of one chunk program: the fixed
+/// overhead once, every data-dependent term (and byte/FLOP count) `s²`×.
+fn serialize_timing(unit: TimingReport, s: usize) -> TimingReport {
+    let passes = (s * s) as f64;
+    let b = &unit.breakdown;
+    let breakdown = TimingBreakdown {
+        fixed: b.fixed,
+        transfer_in: b.transfer_in * passes,
+        transfer_out: b.transfer_out * passes,
+        processing: b.processing * passes,
+        compute: b.compute * passes,
+        memory: b.memory * passes,
+        scheduling: b.scheduling * passes,
+        small_tensor: b.small_tensor * passes,
+        indexed: b.indexed * passes,
+    };
+    TimingReport {
+        seconds: breakdown.total(),
+        breakdown,
+        bytes_in: unit.bytes_in * (s * s) as u64,
+        bytes_out: unit.bytes_out * (s * s) as u64,
+        flops: unit.flops * (s * s) as u64,
     }
 }
 
 /// A partially-serialized deployment (§3.5.1): one chunk-sized model,
-/// invoked `s×s` times serially per batch; times accumulate.
+/// invoked `s×s` times serially per batch; times accumulate. A thin wrapper
+/// over [`CompressorDeployment::from_spec`] with [`CodecSpec::Partial`].
 #[derive(Debug, Clone)]
 pub struct SerializedDeployment {
-    chunk: CompressorDeployment,
-    host: PartialSerialized,
+    dep: CompressorDeployment,
     s: usize,
 }
 
@@ -194,11 +312,9 @@ impl SerializedDeployment {
         slices: usize,
         s: usize,
     ) -> Result<Self, DeviceError> {
-        let host = PartialSerialized::new(n, cf, s).map_err(|e| {
-            DeviceError::Compile(crate::compiler::CompileError::Malformed(e.to_string()))
-        })?;
-        let chunk = CompressorDeployment::plain(platform, n / s, cf, slices)?;
-        Ok(SerializedDeployment { chunk, host, s })
+        let dep =
+            CompressorDeployment::from_spec(platform, CodecSpec::Partial { n, cf, s }, slices)?;
+        Ok(SerializedDeployment { dep, s })
     }
 
     /// Subdivision factor.
@@ -210,36 +326,28 @@ impl SerializedDeployment {
     /// one compiled program — the per-invocation fixed overhead is paid
     /// once, the data terms per chunk.
     pub fn compress_seconds(&self) -> f64 {
-        Self::serialize_time(self.chunk.compress_timing(), self.s)
+        self.dep.compress_timing().seconds
     }
 
     /// Simulated total decompression time.
     pub fn decompress_seconds(&self) -> f64 {
-        Self::serialize_time(self.chunk.decompress_timing(), self.s)
-    }
-
-    fn serialize_time(chunk: crate::perf::TimingReport, s: usize) -> f64 {
-        let fixed = chunk.breakdown.fixed;
-        fixed + (chunk.seconds - fixed) * (s * s) as f64
+        self.dep.decompress_timing().seconds
     }
 
     /// Full-image uncompressed bytes.
     pub fn uncompressed_bytes(&self) -> u64 {
-        self.chunk.uncompressed_bytes() * (self.s * self.s) as u64
+        self.dep.uncompressed_bytes()
     }
 
-    /// Numerically compress on the host path (identical math).
+    /// Compress on the device (`s²` serial chunk passes; identical math to
+    /// the host [`PartialSerialized`]).
     pub fn compress(&self, x: &Tensor) -> Result<Tensor, DeviceError> {
-        self.host.compress(x).map_err(|e| {
-            DeviceError::Compile(crate::compiler::CompileError::Malformed(e.to_string()))
-        })
+        Ok(self.dep.compress(x)?.outputs.remove(0))
     }
 
-    /// Numerically decompress on the host path.
+    /// Decompress on the device.
     pub fn decompress(&self, y: &Tensor) -> Result<Tensor, DeviceError> {
-        self.host.decompress(y).map_err(|e| {
-            DeviceError::Compile(crate::compiler::CompileError::Malformed(e.to_string()))
-        })
+        Ok(self.dep.decompress(y)?.outputs.remove(0))
     }
 }
 
@@ -326,5 +434,39 @@ mod tests {
         let t_sg = sg.decompress_timing().seconds;
         assert!(t_sg > t_plain, "sg {t_sg} !> plain {t_plain}");
         assert!(sg.compression_ratio() > plain.compression_ratio());
+    }
+
+    #[test]
+    fn chop1d_deployment_matches_host() {
+        let spec = CodecSpec::Chop1d { len: 64, cf: 2 };
+        let dep = CompressorDeployment::from_spec(Platform::Cs2, spec, 5).unwrap();
+        let host = spec.build().unwrap();
+        let x = ramp(&[5, 64]);
+        let y = dep.compress(&x).unwrap();
+        assert_eq!(y.outputs[0].dims(), &[5, 16]);
+        assert!(y.outputs[0].allclose(&host.compress(&x).unwrap(), 1e-5));
+        let rec = dep.decompress(&y.outputs[0]).unwrap();
+        assert!(rec.outputs[0].allclose(&host.roundtrip(&x).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn partial_deployment_matches_host_layout() {
+        let spec = CodecSpec::Partial { n: 32, cf: 4, s: 2 };
+        let dep = CompressorDeployment::from_spec(Platform::Sn30, spec, 6).unwrap();
+        let host = spec.build().unwrap();
+        let x = ramp(&[6, 32, 32]);
+        let y = dep.compress(&x).unwrap();
+        assert!(y.outputs[0].allclose(&host.compress(&x).unwrap(), 1e-5));
+        let rec = dep.decompress(&y.outputs[0]).unwrap();
+        assert!(rec.outputs[0].allclose(&host.roundtrip(&x).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn serialized_timing_pays_fixed_once() {
+        let ser = SerializedDeployment::new(Platform::Sn30, 64, 4, 12, 2).unwrap();
+        let chunk = CompressorDeployment::plain(Platform::Sn30, 32, 4, 12).unwrap();
+        let t_chunk = chunk.compress_timing();
+        let expect = t_chunk.breakdown.fixed + (t_chunk.seconds - t_chunk.breakdown.fixed) * 4.0;
+        assert!((ser.compress_seconds() - expect).abs() < 1e-12);
     }
 }

@@ -7,7 +7,7 @@
 use aicomp_baselines::{ColorQuantizer, JpegQuantizer, ZfpFixedRate};
 use aicomp_bench::CsvOut;
 use aicomp_core::metrics::quality;
-use aicomp_core::{ChopCompressor, ScatterGatherChop};
+use aicomp_core::CodecSpec;
 use aicomp_sciml::{Dataset, DatasetKind};
 
 fn main() {
@@ -25,11 +25,11 @@ fn main() {
         let mut rows: Vec<(String, f64, f64, bool)> = Vec::new();
 
         for cf in [2usize, 4] {
-            let c = ChopCompressor::new(n, cf).expect("valid");
+            let c = CodecSpec::Dct2d { n, cf }.build().expect("valid");
             let q = quality(imgs, &c.roundtrip(imgs).expect("roundtrip")).expect("shapes");
             rows.push((format!("dct_chop_cf{cf}"), c.compression_ratio(), q.psnr_db, true));
 
-            let sg = ScatterGatherChop::new(n, cf).expect("valid");
+            let sg = CodecSpec::ScatterGather { n, cf }.build().expect("valid");
             let q = quality(imgs, &sg.roundtrip(imgs).expect("roundtrip")).expect("shapes");
             rows.push((format!("scatter_gather_cf{cf}"), sg.compression_ratio(), q.psnr_db, true));
         }

@@ -28,7 +28,7 @@ const SEED: u64 = 2929;
 
 fn pack_in_memory(inputs: &Tensor, cf: usize) -> (DczReader<Cursor<Vec<u8>>>, f64, f64, f64, u64) {
     let d = inputs.dims();
-    let opts = StoreOptions { n: d[2], channels: d[1], cf, chunk_size: CHUNK };
+    let opts = StoreOptions::dct(d[2], cf, d[1], CHUNK);
     let mut w = DczWriter::new(Cursor::new(Vec::new()), &opts).expect("writer");
     w.push_batch(inputs).expect("push");
     let (sink, summary) = w.finish().expect("finish");

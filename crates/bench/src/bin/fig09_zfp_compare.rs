@@ -8,7 +8,7 @@
 use aicomp_baselines::ZfpFixedRate;
 use aicomp_bench::sweeps::sweep_config;
 use aicomp_bench::{arg, CsvOut};
-use aicomp_core::ChopCompressor;
+use aicomp_core::CodecSpec;
 use aicomp_sciml::compressors::{DataCompressor, NoCompression};
 use aicomp_sciml::{tasks, Benchmark};
 
@@ -28,8 +28,8 @@ fn main() {
         let base = tasks::train(&cfg, &NoCompression);
 
         let codecs: Vec<Box<dyn DataCompressor>> = vec![
-            Box::new(ChopCompressor::new(n, 2).expect("cf 2")), // CR 16
-            Box::new(ChopCompressor::new(n, 4).expect("cf 4")), // CR 4
+            Box::new(CodecSpec::Dct2d { n, cf: 2 }.build().expect("cf 2")), // CR 16
+            Box::new(CodecSpec::Dct2d { n, cf: 4 }.build().expect("cf 4")), // CR 4
             Box::new(ZfpFixedRate::for_ratio(16.0).expect("rate 2")),
             Box::new(ZfpFixedRate::for_ratio(4.0).expect("rate 8")),
         ];

@@ -4,7 +4,7 @@
 //! the slowdown vs native 256², and IPU native-512 vs serialized-512.
 
 use aicomp_accel::{CompressorDeployment, Platform, SerializedDeployment};
-use aicomp_bench::{cr, CsvOut};
+use aicomp_bench::{chop_ratio, CsvOut};
 
 fn main() {
     const SLICES: usize = 100 * 3;
@@ -26,12 +26,12 @@ fn main() {
             csv.row(&[
                 platform.name().into(),
                 cf.to_string(),
-                format!("{:.2}", cr(cf)),
+                format!("{:.2}", chop_ratio(cf)),
                 format!("{secs:.6}"),
                 format!("{gbps:.3}"),
             ]);
         }
-        println!("{:>4} {:>8.2} {:>16.2} {:>16.2}", cf, cr(cf), cells[0], cells[1]);
+        println!("{:>4} {:>8.2} {:>16.2} {:>16.2}", cf, chop_ratio(cf), cells[0], cells[1]);
     }
 
     println!("\nslowdown vs native 256x256 decompression (paper: 2.5-3.8x SN30, 2.6-3.7x IPU):");

@@ -8,7 +8,7 @@
 
 use aicomp_bench::sweeps::sweep_config;
 use aicomp_bench::{arg, CsvOut};
-use aicomp_core::{ChopCompressor, ScatterGatherChop};
+use aicomp_core::CodecSpec;
 use aicomp_sciml::compressors::{DataCompressor, NoCompression};
 use aicomp_sciml::{tasks, Benchmark};
 
@@ -30,10 +30,10 @@ fn main() {
         let base = tasks::train(&cfg, &NoCompression);
 
         let series: Vec<Box<dyn DataCompressor>> = vec![
-            Box::new(ScatterGatherChop::new(n, 2).expect("cf 2")),
-            Box::new(ScatterGatherChop::new(n, 7).expect("cf 7")),
-            Box::new(ChopCompressor::new(n, 2).expect("cf 2")),
-            Box::new(ChopCompressor::new(n, 7).expect("cf 7")),
+            Box::new(CodecSpec::ScatterGather { n, cf: 2 }.build().expect("cf 2")),
+            Box::new(CodecSpec::ScatterGather { n, cf: 7 }.build().expect("cf 7")),
+            Box::new(CodecSpec::Dct2d { n, cf: 2 }.build().expect("cf 2")),
+            Box::new(CodecSpec::Dct2d { n, cf: 7 }.build().expect("cf 7")),
         ];
 
         println!("\n{}:", benchmark.name());

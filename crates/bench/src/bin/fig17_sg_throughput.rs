@@ -3,7 +3,7 @@
 //! 100 3-channel 32×32 images, CF 2..7.
 
 use aicomp_accel::{CompressorDeployment, Platform};
-use aicomp_bench::{cr, CsvOut, CF_SWEEP};
+use aicomp_bench::{CsvOut, CF_SWEEP};
 
 fn main() {
     const SLICES: usize = 100 * 3;
@@ -34,7 +34,7 @@ fn main() {
         println!(
             "{:>4} {:>10.2} {:>10.2} {:>12.2} {:>12.2} {:>10.2} {:>12.2}",
             cf,
-            cr(cf),
+            dct.compression_ratio(),
             opt.compression_ratio(),
             g_dct,
             g_opt,
@@ -43,7 +43,7 @@ fn main() {
         );
         csv.row(&[
             cf.to_string(),
-            format!("{:.2}", cr(cf)),
+            format!("{:.2}", dct.compression_ratio()),
             format!("{:.2}", opt.compression_ratio()),
             format!("{g_dct:.3}"),
             format!("{g_opt:.3}"),

@@ -1,9 +1,9 @@
 //! Analytic tables: Eq. 3 (compression ratio), Eq. 5/7 (FLOP counts), and
 //! the §3.2 parallel-run count — the closed forms the design rests on.
 
-use aicomp_bench::{cr, CsvOut, CF_SWEEP};
+use aicomp_bench::{CsvOut, CF_SWEEP};
 use aicomp_core::compressor::parallel_runs;
-use aicomp_core::ChopCompressor;
+use aicomp_core::CodecSpec;
 
 fn main() {
     println!("Eq. 3/5/7: CR and FLOP counts per n x n matrix");
@@ -18,13 +18,20 @@ fn main() {
             "CF", "CR", "FLOPs compress", "FLOPs decompress", "decomp<comp"
         );
         for cf in CF_SWEEP {
-            let c = ChopCompressor::new(n, cf).expect("valid");
+            let c = CodecSpec::Dct2d { n, cf }.build().expect("valid");
             let (fc, fd) = (c.compress_flops(), c.decompress_flops());
-            println!("{:>4} {:>8.2} {:>16} {:>16} {:>10}", cf, cr(cf), fc, fd, fd < fc);
+            println!(
+                "{:>4} {:>8.2} {:>16} {:>16} {:>10}",
+                cf,
+                c.compression_ratio(),
+                fc,
+                fd,
+                fd < fc
+            );
             csv.row(&[
                 n.to_string(),
                 cf.to_string(),
-                format!("{:.2}", cr(cf)),
+                format!("{:.2}", c.compression_ratio()),
                 fc.to_string(),
                 fd.to_string(),
                 (fd < fc).to_string(),

@@ -74,9 +74,14 @@ pub fn has_flag(args: &[String], key: &str) -> bool {
 /// The chop factors the paper sweeps (CF 2..7) with their CRs.
 pub const CF_SWEEP: [usize; 6] = [2, 3, 4, 5, 6, 7];
 
-/// Compression ratio for a chop factor (Eq. 3).
-pub fn cr(cf: usize) -> f64 {
-    64.0 / (cf * cf) as f64
+/// Compression ratio for a chop factor, taken from the codec registry
+/// (Eq. 3 makes it independent of the resolution, so the smallest valid
+/// geometry stands in for the whole sweep).
+pub fn chop_ratio(cf: usize) -> f64 {
+    aicomp_core::CodecSpec::Dct2d { n: 8, cf }
+        .build()
+        .expect("valid chop factor")
+        .compression_ratio()
 }
 
 #[cfg(test)]
@@ -94,9 +99,9 @@ mod tests {
     }
 
     #[test]
-    fn cr_values() {
-        assert_eq!(cr(2), 16.0);
-        assert_eq!(cr(4), 4.0);
+    fn chop_ratio_delegates_to_registry() {
+        assert_eq!(chop_ratio(2), 16.0);
+        assert_eq!(chop_ratio(4), 4.0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use aicomp_core::ChopCompressor;
+use aicomp_core::CodecSpec;
 use aicomp_sciml::compressors::{DataCompressor, NoCompression};
 use aicomp_sciml::{tasks, Benchmark, TrainConfig};
 
@@ -61,7 +61,7 @@ pub fn accuracy_sweep(epochs: usize, train_size: usize, fresh: bool) -> Vec<Accu
 
         let mut compressors: Vec<Box<dyn DataCompressor>> = vec![Box::new(NoCompression)];
         for cf in CF_SWEEP {
-            compressors.push(Box::new(ChopCompressor::new(n, cf).expect("valid cf")));
+            compressors.push(Box::new(CodecSpec::Dct2d { n, cf }.build().expect("valid cf")));
         }
         for comp in &compressors {
             eprintln!("[sweep] {} / {} (CR {:.2})", benchmark.name(), comp.label(), comp.ratio());

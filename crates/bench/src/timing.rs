@@ -2,7 +2,7 @@
 
 use aicomp_accel::{CompressorDeployment, Platform};
 
-use crate::{cr, CsvOut, CF_SWEEP};
+use crate::{chop_ratio, CsvOut, CF_SWEEP};
 
 /// Compression or decompression.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +94,7 @@ pub fn report(
         println!("\n{platform} ({}):", platform.spec().full_name);
         print!("{x_label:>8}");
         for cf in CF_SWEEP {
-            print!("{:>14}", format!("CR={:.2}", cr(cf)));
+            print!("{:>14}", format!("CR={:.2}", chop_ratio(cf)));
         }
         println!();
         let mut xs: Vec<usize> =
@@ -115,7 +115,7 @@ pub fn report(
                             platform.name().into(),
                             x.to_string(),
                             cf.to_string(),
-                            format!("{:.2}", cr(cf)),
+                            format!("{:.2}", chop_ratio(cf)),
                             format!("{t:.6}"),
                             format!("{gbps:.3}"),
                         ]);
@@ -126,7 +126,7 @@ pub fn report(
                             platform.name().into(),
                             x.to_string(),
                             cf.to_string(),
-                            format!("{:.2}", cr(cf)),
+                            format!("{:.2}", chop_ratio(cf)),
                             "compile_fail".into(),
                             "".into(),
                         ]);

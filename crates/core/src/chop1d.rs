@@ -106,6 +106,17 @@ impl Chop1d {
         self.cf * self.len / self.bs
     }
 
+    /// The `len × compressed_len` compression operator `C` (exposed for the
+    /// accelerator simulator, which lowers the 1-D variant to one matmul).
+    pub fn compress_operator(&self) -> &Tensor {
+        &self.c_op
+    }
+
+    /// The `compressed_len × len` decompression operator `D`.
+    pub fn decompress_operator(&self) -> &Tensor {
+        &self.d_op
+    }
+
     /// Compress `[..., len]` → `[..., compressed_len]`. One matmul.
     pub fn compress(&self, x: &Tensor) -> Result<Tensor> {
         let rows = self.check(x, self.len)?;

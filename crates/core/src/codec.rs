@@ -1,0 +1,474 @@
+//! The unified codec layer: one trait, one spec registry, one name parser.
+//!
+//! Every compressor variant in the paper — plain DCT+Chop (§3.2–3.4), the
+//! 1-D signal variant (§6), partial serialization (§3.5.1), the IPU
+//! scatter/gather triangle packing (§3.5.2), and the future-work ZFP block
+//! transform (§6) — implements [`Codec`], and every one is constructible
+//! from a [`CodecSpec`] (or its canonical string name) through
+//! [`CodecSpec::build`]. Downstream layers (`sciml`, `store`, `accel`,
+//! `bench`) select codecs by spec instead of naming concrete types, and the
+//! accelerator pipeline lowers its device graphs from the *same* spec the
+//! host path uses — which is what makes the bit-identical host/device
+//! invariant structural.
+//!
+//! Canonical names are shell-safe hyphenated strings, e.g.
+//! `dct2d-n32-cf4`, `chop1d-len64-cf2`, `partial-n512-cf4-s2`,
+//! `sg-n32-cf4`, `zfp2d-n32-cf2`. [`CodecSpec`]'s `Display` and `FromStr`
+//! are the single format/parse path; `parse(format(s)) == s` for every
+//! valid spec.
+
+use std::fmt;
+use std::str::FromStr;
+
+use aicomp_tensor::Tensor;
+
+use crate::chop1d::Chop1d;
+use crate::compressor::ChopCompressor;
+use crate::partial::PartialSerialized;
+use crate::scatter_gather::ScatterGatherChop;
+use crate::zfp_transform::ZfpTransform;
+use crate::{CoreError, Result};
+
+/// The unified compressor interface.
+///
+/// Object-safe: consumers hold `Box<dyn Codec>` and stay agnostic of the
+/// concrete variant. Shapes are *trailing* dims — a codec with
+/// `input_shape() == [n, n]` accepts `[n, n]`, `[C, n, n]`, or
+/// `[BD, C, n, n]`, exactly as the underlying compressors do.
+pub trait Codec: Send + Sync + std::fmt::Debug {
+    /// The spec this codec was built from (round-trips through
+    /// [`CodecSpec::build`]).
+    fn spec(&self) -> CodecSpec;
+
+    /// Compress a batch (trailing dims must match [`Self::input_shape`]).
+    fn compress(&self, input: &Tensor) -> Result<Tensor>;
+
+    /// Decompress a batch (trailing dims must match
+    /// [`Self::compressed_shape`]).
+    fn decompress(&self, compressed: &Tensor) -> Result<Tensor>;
+
+    /// Compress then decompress (the §4.1 training-loop usage).
+    fn roundtrip(&self, input: &Tensor) -> Result<Tensor> {
+        self.decompress(&self.compress(input)?)
+    }
+
+    /// Compression ratio (Eq. 3 and its per-variant refinements).
+    fn compression_ratio(&self) -> f64;
+
+    /// Trailing dims of an uncompressed unit (`[n, n]` or `[len]`).
+    fn input_shape(&self) -> Vec<usize>;
+
+    /// Trailing dims of a compressed unit.
+    fn compressed_shape(&self) -> Vec<usize>;
+
+    /// FLOPs to compress one input unit (Eq. 5 for 2-D DCT+Chop).
+    fn compress_flops(&self) -> u64;
+
+    /// FLOPs to decompress one unit (Eq. 7 for 2-D DCT+Chop).
+    fn decompress_flops(&self) -> u64;
+
+    /// Canonical registry name — the spec's string form.
+    fn name(&self) -> String {
+        self.spec().to_string()
+    }
+}
+
+/// A serializable description of a compressor variant: the registry key.
+///
+/// | Variant                  | Paper   | Builds                              |
+/// |--------------------------|---------|-------------------------------------|
+/// | [`CodecSpec::Dct2d`]     | §3.2    | [`ChopCompressor`] (DCT-II, 8×8)    |
+/// | [`CodecSpec::Chop1d`]    | §6      | [`Chop1d`] (1-D signals)            |
+/// | [`CodecSpec::Partial`]   | §3.5.1  | [`PartialSerialized`]               |
+/// | [`CodecSpec::ScatterGather`] | §3.5.2 | [`ScatterGatherChop`] (IPU-only) |
+/// | [`CodecSpec::Zfp`]       | §6      | [`ChopCompressor`] + ZFP transform  |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodecSpec {
+    /// 2-D DCT+Chop at resolution `n`, chop factor `cf` (§3.2, Eq. 3–7).
+    Dct2d { n: usize, cf: usize },
+    /// 1-D blockwise chop for signals of length `len` (§6).
+    Chop1d { len: usize, cf: usize },
+    /// Partial serialization: `s×s` chunks compressed serially (§3.5.1).
+    Partial { n: usize, cf: usize, s: usize },
+    /// Triangle packing via gather/scatter, IPU-only (§3.5.2).
+    ScatterGather { n: usize, cf: usize },
+    /// Chop with the ZFP block transform (4×4 blocks) instead of DCT-II (§6).
+    Zfp { n: usize, cf: usize },
+}
+
+impl CodecSpec {
+    /// Build the concrete codec this spec describes — the one registry.
+    pub fn build(&self) -> Result<Box<dyn Codec>> {
+        match *self {
+            CodecSpec::Dct2d { .. } | CodecSpec::Zfp { .. } => Ok(Box::new(self.build_chop()?)),
+            CodecSpec::Chop1d { len, cf } => Ok(Box::new(Chop1d::new(len, cf)?)),
+            CodecSpec::Partial { n, cf, s } => Ok(Box::new(PartialSerialized::new(n, cf, s)?)),
+            CodecSpec::ScatterGather { n, cf } => Ok(Box::new(ScatterGatherChop::new(n, cf)?)),
+        }
+    }
+
+    /// Build the concrete [`ChopCompressor`] for the block-2-D families
+    /// (`Dct2d`, `Zfp`). The streaming/store layer needs the concrete type
+    /// for its per-block ring layout; every other caller should prefer
+    /// [`CodecSpec::build`].
+    pub fn build_chop(&self) -> Result<ChopCompressor> {
+        match *self {
+            CodecSpec::Dct2d { n, cf } => ChopCompressor::new(n, cf),
+            CodecSpec::Zfp { n, cf } => ChopCompressor::with_transform(&ZfpTransform::new(), n, cf),
+            other => Err(CoreError::BadSpec {
+                spec: other.to_string(),
+                why: "not a block-2-D codec (expected dct2d or zfp2d)".to_string(),
+            }),
+        }
+    }
+
+    /// Sample resolution for the 2-D families (`None` for [`CodecSpec::Chop1d`]).
+    pub fn resolution(&self) -> Option<usize> {
+        match *self {
+            CodecSpec::Dct2d { n, .. }
+            | CodecSpec::Partial { n, .. }
+            | CodecSpec::ScatterGather { n, .. }
+            | CodecSpec::Zfp { n, .. } => Some(n),
+            CodecSpec::Chop1d { .. } => None,
+        }
+    }
+
+    /// Transform block size — the geometry a container layout needs without
+    /// building the codec (`None` for [`CodecSpec::Chop1d`]).
+    pub fn block_size(&self) -> Option<usize> {
+        match *self {
+            CodecSpec::Dct2d { .. }
+            | CodecSpec::Partial { .. }
+            | CodecSpec::ScatterGather { .. } => Some(crate::BLOCK),
+            CodecSpec::Zfp { .. } => Some(crate::zfp_transform::ZFP_BLOCK),
+            CodecSpec::Chop1d { .. } => None,
+        }
+    }
+
+    /// Chop factor — every variant has one.
+    pub fn chop_factor(&self) -> usize {
+        match *self {
+            CodecSpec::Dct2d { cf, .. }
+            | CodecSpec::Chop1d { cf, .. }
+            | CodecSpec::Partial { cf, .. }
+            | CodecSpec::ScatterGather { cf, .. }
+            | CodecSpec::Zfp { cf, .. } => cf,
+        }
+    }
+
+    /// The same spec at a different chop factor (progressive `.dcz` reads
+    /// re-decode a fidelity prefix with a coarser codec of the same family).
+    pub fn with_chop_factor(&self, cf: usize) -> CodecSpec {
+        match *self {
+            CodecSpec::Dct2d { n, .. } => CodecSpec::Dct2d { n, cf },
+            CodecSpec::Chop1d { len, .. } => CodecSpec::Chop1d { len, cf },
+            CodecSpec::Partial { n, s, .. } => CodecSpec::Partial { n, cf, s },
+            CodecSpec::ScatterGather { n, .. } => CodecSpec::ScatterGather { n, cf },
+            CodecSpec::Zfp { n, .. } => CodecSpec::Zfp { n, cf },
+        }
+    }
+}
+
+impl fmt::Display for CodecSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodecSpec::Dct2d { n, cf } => write!(f, "dct2d-n{n}-cf{cf}"),
+            CodecSpec::Chop1d { len, cf } => write!(f, "chop1d-len{len}-cf{cf}"),
+            CodecSpec::Partial { n, cf, s } => write!(f, "partial-n{n}-cf{cf}-s{s}"),
+            CodecSpec::ScatterGather { n, cf } => write!(f, "sg-n{n}-cf{cf}"),
+            CodecSpec::Zfp { n, cf } => write!(f, "zfp2d-n{n}-cf{cf}"),
+        }
+    }
+}
+
+impl FromStr for CodecSpec {
+    type Err = CoreError;
+
+    /// Parse a canonical name: `family-key<value>-key<value>...`.
+    fn from_str(s: &str) -> Result<Self> {
+        let bad = |why: &str| CoreError::BadSpec { spec: s.to_string(), why: why.to_string() };
+        let mut parts = s.split('-');
+        let family = parts.next().unwrap_or("");
+        let mut fields: Vec<(&str, usize)> = Vec::new();
+        for part in parts {
+            let digits = part.find(|c: char| c.is_ascii_digit()).ok_or_else(|| {
+                bad("expected key<number> segments after the family, e.g. n32 or cf4")
+            })?;
+            let (key, value) = part.split_at(digits);
+            let value: usize =
+                value.parse().map_err(|_| bad("segment value is not an unsigned integer"))?;
+            fields.push((key, value));
+        }
+        let get = |key: &str| -> Result<usize> {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|&(_, v)| v)
+                .ok_or_else(|| bad(&format!("missing field '{key}'")))
+        };
+        let expect_fields = |keys: &[&str]| -> Result<()> {
+            if fields.len() != keys.len() {
+                return Err(bad(&format!("expected exactly the fields {keys:?}")));
+            }
+            for (k, _) in &fields {
+                if !keys.contains(k) {
+                    return Err(bad(&format!("unknown field '{k}' (expected {keys:?})")));
+                }
+            }
+            Ok(())
+        };
+        match family {
+            "dct2d" => {
+                expect_fields(&["n", "cf"])?;
+                Ok(CodecSpec::Dct2d { n: get("n")?, cf: get("cf")? })
+            }
+            "chop1d" => {
+                expect_fields(&["len", "cf"])?;
+                Ok(CodecSpec::Chop1d { len: get("len")?, cf: get("cf")? })
+            }
+            "partial" => {
+                expect_fields(&["n", "cf", "s"])?;
+                Ok(CodecSpec::Partial { n: get("n")?, cf: get("cf")?, s: get("s")? })
+            }
+            "sg" => {
+                expect_fields(&["n", "cf"])?;
+                Ok(CodecSpec::ScatterGather { n: get("n")?, cf: get("cf")? })
+            }
+            "zfp2d" => {
+                expect_fields(&["n", "cf"])?;
+                Ok(CodecSpec::Zfp { n: get("n")?, cf: get("cf")? })
+            }
+            _ => Err(bad("unknown codec family (expected dct2d, chop1d, partial, sg, or zfp2d)")),
+        }
+    }
+}
+
+/// Parse-and-build in one step: the `--codec <name>` entry point.
+pub fn build_codec(name: &str) -> Result<Box<dyn Codec>> {
+    name.parse::<CodecSpec>()?.build()
+}
+
+impl Codec for ChopCompressor {
+    fn spec(&self) -> CodecSpec {
+        // The transform name distinguishes the two registry families that
+        // build a ChopCompressor.
+        match self.transform_name() {
+            "zfp-block" => CodecSpec::Zfp { n: self.resolution(), cf: self.chop_factor() },
+            _ => CodecSpec::Dct2d { n: self.resolution(), cf: self.chop_factor() },
+        }
+    }
+    fn compress(&self, input: &Tensor) -> Result<Tensor> {
+        ChopCompressor::compress(self, input)
+    }
+    fn decompress(&self, compressed: &Tensor) -> Result<Tensor> {
+        ChopCompressor::decompress(self, compressed)
+    }
+    fn compression_ratio(&self) -> f64 {
+        ChopCompressor::compression_ratio(self)
+    }
+    fn input_shape(&self) -> Vec<usize> {
+        vec![self.resolution(), self.resolution()]
+    }
+    fn compressed_shape(&self) -> Vec<usize> {
+        vec![self.compressed_side(), self.compressed_side()]
+    }
+    fn compress_flops(&self) -> u64 {
+        ChopCompressor::compress_flops(self)
+    }
+    fn decompress_flops(&self) -> u64 {
+        ChopCompressor::decompress_flops(self)
+    }
+}
+
+impl Codec for Chop1d {
+    /// Note: `Chop1d` does not record its transform, so codecs built
+    /// directly via [`Chop1d::with_transform`] report the registry's
+    /// DCT-based spec. Registry-built codecs always match.
+    fn spec(&self) -> CodecSpec {
+        CodecSpec::Chop1d { len: self.len(), cf: self.chop_factor() }
+    }
+    fn compress(&self, input: &Tensor) -> Result<Tensor> {
+        Chop1d::compress(self, input)
+    }
+    fn decompress(&self, compressed: &Tensor) -> Result<Tensor> {
+        Chop1d::decompress(self, compressed)
+    }
+    fn compression_ratio(&self) -> f64 {
+        Chop1d::compression_ratio(self)
+    }
+    fn input_shape(&self) -> Vec<usize> {
+        vec![self.len()]
+    }
+    fn compressed_shape(&self) -> Vec<usize> {
+        vec![self.compressed_len()]
+    }
+    /// One `[1, len]·[len, kept]` matmul per signal: `(2·len − 1)·kept`.
+    fn compress_flops(&self) -> u64 {
+        (2 * self.len() as u64 - 1) * self.compressed_len() as u64
+    }
+    /// One `[1, kept]·[kept, len]` matmul per signal: `(2·kept − 1)·len`.
+    fn decompress_flops(&self) -> u64 {
+        (2 * self.compressed_len() as u64 - 1) * self.len() as u64
+    }
+}
+
+impl Codec for PartialSerialized {
+    fn spec(&self) -> CodecSpec {
+        CodecSpec::Partial {
+            n: self.resolution(),
+            cf: self.chunk_compressor().chop_factor(),
+            s: self.subdivision(),
+        }
+    }
+    fn compress(&self, input: &Tensor) -> Result<Tensor> {
+        PartialSerialized::compress(self, input)
+    }
+    fn decompress(&self, compressed: &Tensor) -> Result<Tensor> {
+        PartialSerialized::decompress(self, compressed)
+    }
+    fn compression_ratio(&self) -> f64 {
+        PartialSerialized::compression_ratio(self)
+    }
+    fn input_shape(&self) -> Vec<usize> {
+        vec![self.resolution(), self.resolution()]
+    }
+    fn compressed_shape(&self) -> Vec<usize> {
+        vec![self.compressed_side(), self.compressed_side()]
+    }
+    /// `s²` serial chunk passes, each Eq. 5 at resolution `n/s`.
+    fn compress_flops(&self) -> u64 {
+        self.serial_passes() as u64 * self.chunk_compressor().compress_flops()
+    }
+    /// `s²` serial chunk passes, each Eq. 7 at resolution `n/s`.
+    fn decompress_flops(&self) -> u64 {
+        self.serial_passes() as u64 * self.chunk_compressor().decompress_flops()
+    }
+}
+
+impl Codec for ScatterGatherChop {
+    fn spec(&self) -> CodecSpec {
+        CodecSpec::ScatterGather { n: self.inner().resolution(), cf: self.inner().chop_factor() }
+    }
+    fn compress(&self, input: &Tensor) -> Result<Tensor> {
+        ScatterGatherChop::compress(self, input)
+    }
+    fn decompress(&self, compressed: &Tensor) -> Result<Tensor> {
+        ScatterGatherChop::decompress(self, compressed)
+    }
+    fn compression_ratio(&self) -> f64 {
+        ScatterGatherChop::compression_ratio(self)
+    }
+    fn input_shape(&self) -> Vec<usize> {
+        vec![self.inner().resolution(), self.inner().resolution()]
+    }
+    fn compressed_shape(&self) -> Vec<usize> {
+        vec![self.packed_len()]
+    }
+    /// Gather/scatter are data movement — FLOPs are the inner Chop's (§3.5.2).
+    fn compress_flops(&self) -> u64 {
+        self.inner().compress_flops()
+    }
+    fn decompress_flops(&self) -> u64 {
+        self.inner().decompress_flops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [CodecSpec; 5] = [
+        CodecSpec::Dct2d { n: 32, cf: 4 },
+        CodecSpec::Chop1d { len: 64, cf: 2 },
+        CodecSpec::Partial { n: 32, cf: 4, s: 2 },
+        CodecSpec::ScatterGather { n: 32, cf: 5 },
+        CodecSpec::Zfp { n: 32, cf: 2 },
+    ];
+
+    #[test]
+    fn names_roundtrip() {
+        for spec in ALL {
+            let name = spec.to_string();
+            assert_eq!(name.parse::<CodecSpec>().unwrap(), spec, "{name}");
+        }
+    }
+
+    #[test]
+    fn canonical_names_are_stable() {
+        assert_eq!(CodecSpec::Dct2d { n: 32, cf: 4 }.to_string(), "dct2d-n32-cf4");
+        assert_eq!(CodecSpec::Chop1d { len: 64, cf: 2 }.to_string(), "chop1d-len64-cf2");
+        assert_eq!(CodecSpec::Partial { n: 512, cf: 4, s: 2 }.to_string(), "partial-n512-cf4-s2");
+        assert_eq!(CodecSpec::ScatterGather { n: 32, cf: 5 }.to_string(), "sg-n32-cf5");
+        assert_eq!(CodecSpec::Zfp { n: 32, cf: 2 }.to_string(), "zfp2d-n32-cf2");
+    }
+
+    #[test]
+    fn built_codec_reports_its_spec() {
+        for spec in ALL {
+            let codec = spec.build().unwrap();
+            assert_eq!(codec.spec(), spec);
+            assert_eq!(codec.name(), spec.to_string());
+        }
+    }
+
+    #[test]
+    fn bad_names_error_not_panic() {
+        for bad in [
+            "",
+            "dct3d-n32-cf4",
+            "dct2d",
+            "dct2d-n32",
+            "dct2d-n32-cf4-s2",
+            "dct2d-cf4-len64",
+            "dct2d-n32-cfx",
+            "dct2d-nan-cf4",
+            "partial-n32-cf4",
+            "sg-n32-cf4-extra9",
+        ] {
+            assert!(bad.parse::<CodecSpec>().is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn build_rejects_invalid_geometry() {
+        assert!(CodecSpec::Dct2d { n: 30, cf: 4 }.build().is_err());
+        assert!(CodecSpec::Dct2d { n: 32, cf: 9 }.build().is_err());
+        assert!(CodecSpec::Chop1d { len: 60, cf: 4 }.build().is_err());
+        assert!(CodecSpec::Partial { n: 32, cf: 4, s: 3 }.build().is_err());
+        // ZFP blocks are 4×4: cf ≤ 4 and n must divide by 4.
+        assert!(CodecSpec::Zfp { n: 32, cf: 5 }.build().is_err());
+        assert!(CodecSpec::Zfp { n: 30, cf: 2 }.build().is_err());
+    }
+
+    #[test]
+    fn zfp_spec_builds_zfp_transform() {
+        let codec = CodecSpec::Zfp { n: 16, cf: 2 }.build().unwrap();
+        // 4×4 blocks, cf 2 → compressed side 16·2/4 = 8, CR = 16/4 = 4.
+        assert_eq!(codec.compressed_shape(), vec![8, 8]);
+        assert_eq!(codec.compression_ratio(), 4.0);
+    }
+
+    #[test]
+    fn with_chop_factor_preserves_family_and_geometry() {
+        for spec in ALL {
+            let coarse = spec.with_chop_factor(1);
+            assert_eq!(coarse.chop_factor(), 1);
+            assert_eq!(std::mem::discriminant(&coarse), std::mem::discriminant(&spec), "{spec}");
+        }
+    }
+
+    #[test]
+    fn codec_shapes_and_ratio_match_legacy_accessors() {
+        let chop = ChopCompressor::new(32, 4).unwrap();
+        let codec: Box<dyn Codec> = CodecSpec::Dct2d { n: 32, cf: 4 }.build().unwrap();
+        assert_eq!(codec.compression_ratio(), chop.compression_ratio());
+        assert_eq!(codec.compressed_shape(), vec![chop.compressed_side(); 2]);
+        assert_eq!(codec.compress_flops(), chop.compress_flops());
+        assert_eq!(codec.decompress_flops(), chop.decompress_flops());
+
+        let sg = ScatterGatherChop::new(32, 5).unwrap();
+        let codec = CodecSpec::ScatterGather { n: 32, cf: 5 }.build().unwrap();
+        assert_eq!(codec.compression_ratio(), sg.compression_ratio());
+        assert_eq!(codec.compressed_shape(), vec![sg.packed_len()]);
+    }
+}

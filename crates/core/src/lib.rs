@@ -12,6 +12,9 @@
 //!   decompression `A' = RHS·Y·LHS` (Eq. 6), each exactly two matrix
 //!   multiplications; the compression-ratio (Eq. 3) and FLOP-count
 //!   (Eq. 5/7) formulas.
+//! * [`codec`] — the unified [`Codec`] trait and [`CodecSpec`] registry:
+//!   every variant below is constructible from a canonical string name, and
+//!   downstream crates (sciml, store, accel, bench) select codecs by spec.
 //! * [`partial`] — the partial-serialization optimization (§3.5.1, Fig. 5)
 //!   that subdivides high-resolution inputs so per-compute-unit memory is
 //!   not exhausted.
@@ -30,6 +33,7 @@
 //! exactly as the paper's `torch.matmul` broadcast does.
 
 pub mod chop1d;
+pub mod codec;
 pub mod compressor;
 pub mod matrices;
 pub mod metrics;
@@ -42,6 +46,7 @@ pub mod tuning;
 pub mod zfp_transform;
 
 pub use chop1d::Chop1d;
+pub use codec::{build_codec, Codec, CodecSpec};
 pub use compressor::{ChopCompressor, DctChop};
 pub use partial::PartialSerialized;
 pub use scatter_gather::ScatterGatherChop;
@@ -58,6 +63,8 @@ pub enum CoreError {
     BadChopFactor { cf: usize, block: usize },
     /// Subdivision factor does not evenly divide the resolution.
     BadSubdivision { n: usize, s: usize },
+    /// A codec spec string failed to parse.
+    BadSpec { spec: String, why: String },
     /// Underlying tensor error (shape mismatch etc.).
     Tensor(TensorError),
 }
@@ -73,6 +80,9 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::BadSubdivision { n, s } => {
                 write!(f, "subdivision factor {s} must divide resolution {n} with n/s divisible by the block size")
+            }
+            CoreError::BadSpec { spec, why } => {
+                write!(f, "bad codec spec {spec:?}: {why}")
             }
             CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
         }

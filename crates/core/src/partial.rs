@@ -74,20 +74,12 @@ impl PartialSerialized {
 
     /// Compress `[BD, C, n, n]` (or `[C, n, n]` / `[n, n]`).
     pub fn compress(&self, input: &Tensor) -> Result<Tensor> {
-        self.apply(input, self.n, self.inner.resolution(), self.compressed_side(), |chunk| {
-            self.inner.compress(chunk)
-        })
+        self.apply(input, self.n, |chunk| self.inner.compress(chunk))
     }
 
     /// Decompress back to `[..., n, n]`.
     pub fn decompress(&self, compressed: &Tensor) -> Result<Tensor> {
-        self.apply(
-            compressed,
-            self.compressed_side(),
-            self.inner.compressed_side(),
-            self.n,
-            |chunk| self.inner.decompress(chunk),
-        )
+        self.apply(compressed, self.compressed_side(), |chunk| self.inner.decompress(chunk))
     }
 
     /// Compress then decompress.
@@ -95,16 +87,13 @@ impl PartialSerialized {
         self.decompress(&self.compress(input)?)
     }
 
-    /// Shared chunk-loop: slice `[..., side, side]` into `s×s` chunks of
-    /// `chunk_in`, run `f` on each *serially* (that is the point of the
-    /// optimization — chunks do not share on-chip memory), reassemble into
-    /// `[..., out_total, out_total]`.
+    /// Shared chunk-loop: slice `[..., side, side]` into `s×s` chunks, run
+    /// `f` on each *serially* (that is the point of the optimization —
+    /// chunks do not share on-chip memory), reassemble the tiled result.
     fn apply(
         &self,
         input: &Tensor,
         side: usize,
-        chunk_in: usize,
-        out_total: usize,
         f: impl Fn(&Tensor) -> Result<Tensor>,
     ) -> Result<Tensor> {
         let d = input.dims();
@@ -115,46 +104,94 @@ impl PartialSerialized {
                 rhs: vec![side, side],
             }));
         }
-        let nmat = input.numel() / (side * side);
-        let s = self.s;
-        let chunk_out = out_total / s;
-        let mut out = vec![0.0f32; nmat * out_total * out_total];
-        let src = input.data();
-
         // Serial over the s×s grid — matches Fig. 5's serialized processing.
-        for cy in 0..s {
-            for cx in 0..s {
-                // Gather this chunk across all matrices into one batch so the
-                // inner compressor still sees the full batch parallelism.
-                let mut chunk = vec![0.0f32; nmat * chunk_in * chunk_in];
-                for m in 0..nmat {
-                    let base = m * side * side;
-                    for r in 0..chunk_in {
-                        let srow = base + (cy * chunk_in + r) * side + cx * chunk_in;
-                        let drow = m * chunk_in * chunk_in + r * chunk_in;
-                        chunk[drow..drow + chunk_in].copy_from_slice(&src[srow..srow + chunk_in]);
-                    }
-                }
-                let chunk_t = Tensor::from_vec(chunk, [nmat, chunk_in, chunk_in])?;
-                let res = f(&chunk_t)?;
-                let rd = res.data();
-                for m in 0..nmat {
-                    let base = m * out_total * out_total;
-                    for r in 0..chunk_out {
-                        let drow = base + (cy * chunk_out + r) * out_total + cx * chunk_out;
-                        let srow = m * chunk_out * chunk_out + r * chunk_out;
-                        out[drow..drow + chunk_out].copy_from_slice(&rd[srow..srow + chunk_out]);
-                    }
+        // Each chunk batch keeps the full BD·C parallelism for the inner
+        // compressor.
+        let chunks = split_chunks(input, self.s)?;
+        let results: Vec<Tensor> = chunks.iter().map(f).collect::<Result<_>>()?;
+        tile_chunks(&results, &d[..d.len() - 2], self.s)
+    }
+}
+
+/// Split `[..., side, side]` into its `s×s` grid of chunk batches, each
+/// `[nmat, side/s, side/s]` with `nmat` the product of the leading dims —
+/// row-major grid order. Shared by [`PartialSerialized`]'s host loop and
+/// the accelerator simulator's serialized deployment, so both slice the
+/// input identically.
+pub fn split_chunks(input: &Tensor, s: usize) -> Result<Vec<Tensor>> {
+    let d = input.dims();
+    if d.len() < 2 || d[d.len() - 1] != d[d.len() - 2] {
+        return Err(CoreError::Tensor(aicomp_tensor::TensorError::ShapeMismatch {
+            op: "partial chunk split",
+            lhs: d.to_vec(),
+            rhs: vec![],
+        }));
+    }
+    let side = d[d.len() - 1];
+    if s == 0 || !side.is_multiple_of(s) {
+        return Err(CoreError::BadSubdivision { n: side, s });
+    }
+    let chunk = side / s;
+    let nmat = input.numel() / (side * side);
+    let src = input.data();
+    let mut out = Vec::with_capacity(s * s);
+    for cy in 0..s {
+        for cx in 0..s {
+            let mut buf = vec![0.0f32; nmat * chunk * chunk];
+            for m in 0..nmat {
+                let base = m * side * side;
+                for r in 0..chunk {
+                    let srow = base + (cy * chunk + r) * side + cx * chunk;
+                    let drow = m * chunk * chunk + r * chunk;
+                    buf[drow..drow + chunk].copy_from_slice(&src[srow..srow + chunk]);
                 }
             }
+            out.push(Tensor::from_vec(buf, [nmat, chunk, chunk])?);
         }
-
-        let mut dims = d.to_vec();
-        let len = dims.len();
-        dims[len - 2] = out_total;
-        dims[len - 1] = out_total;
-        Ok(Tensor::from_vec(out, dims)?)
     }
+    Ok(out)
+}
+
+/// Reassemble the `s×s` row-major chunk results (each `[nmat, c, c]`) into
+/// `[prefix.., c·s, c·s]` — the inverse of [`split_chunks`]'s tiling.
+pub fn tile_chunks(chunks: &[Tensor], prefix: &[usize], s: usize) -> Result<Tensor> {
+    if chunks.len() != s * s || chunks.is_empty() {
+        return Err(CoreError::BadSubdivision { n: chunks.len(), s });
+    }
+    let cd = chunks[0].dims();
+    if cd.len() != 3 || cd[1] != cd[2] {
+        return Err(CoreError::Tensor(aicomp_tensor::TensorError::ShapeMismatch {
+            op: "partial chunk tile",
+            lhs: cd.to_vec(),
+            rhs: vec![],
+        }));
+    }
+    let (nmat, chunk) = (cd[0], cd[1]);
+    let total = chunk * s;
+    let mut out = vec![0.0f32; nmat * total * total];
+    for (k, res) in chunks.iter().enumerate() {
+        if res.dims() != cd {
+            return Err(CoreError::Tensor(aicomp_tensor::TensorError::ShapeMismatch {
+                op: "partial chunk tile",
+                lhs: res.dims().to_vec(),
+                rhs: cd.to_vec(),
+            }));
+        }
+        let (cy, cx) = (k / s, k % s);
+        let rd = res.data();
+        for m in 0..nmat {
+            let base = m * total * total;
+            for r in 0..chunk {
+                let drow = base + (cy * chunk + r) * total + cx * chunk;
+                let srow = m * chunk * chunk + r * chunk;
+                out[drow..drow + chunk].copy_from_slice(&rd[srow..srow + chunk]);
+            }
+        }
+    }
+    let mut dims = prefix.to_vec();
+    dims.push(total);
+    dims.push(total);
+    Ok(Tensor::from_vec(out, dims)?)
 }
 
 #[cfg(test)]

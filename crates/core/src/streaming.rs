@@ -10,6 +10,7 @@
 
 use aicomp_tensor::Tensor;
 
+use crate::codec::CodecSpec;
 use crate::compressor::ChopCompressor;
 use crate::{CoreError, Result};
 
@@ -57,15 +58,23 @@ pub struct StreamingCompressor {
 
 impl StreamingCompressor {
     /// Build for samples of `[channels, n, n]`, processing `batch` samples
-    /// per device invocation.
+    /// per device invocation — DCT+Chop shorthand for
+    /// [`StreamingCompressor::from_spec`].
     pub fn new(n: usize, cf: usize, channels: usize, batch: usize) -> Result<Self> {
+        Self::from_spec(CodecSpec::Dct2d { n, cf }, channels, batch)
+    }
+
+    /// Build from a registry spec (block-2-D families only — the stream
+    /// layout is per-block rings).
+    pub fn from_spec(spec: CodecSpec, channels: usize, batch: usize) -> Result<Self> {
         if batch == 0 || channels == 0 {
             return Err(CoreError::Tensor(aicomp_tensor::TensorError::Constraint(
                 "batch and channels must be positive".into(),
             )));
         }
-        let compressor = ChopCompressor::new(n, cf)?;
-        let stats = StreamStats { cf: cf as u32, bands: cf as u32, ..StreamStats::default() };
+        let compressor = spec.build_chop()?;
+        let cf = compressor.chop_factor() as u32;
+        let stats = StreamStats { cf, bands: cf, ..StreamStats::default() };
         Ok(StreamingCompressor { compressor, channels, batch, buffer: Vec::new(), stats })
     }
 

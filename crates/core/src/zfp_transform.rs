@@ -20,6 +20,9 @@ use aicomp_tensor::Tensor;
 
 use crate::transform::BlockTransform;
 
+/// ZFP's transform operates on 4-element vectors (4×4 blocks in 2-D).
+pub const ZFP_BLOCK: usize = 4;
+
 /// The 4-point ZFP decorrelating transform.
 #[derive(Debug, Clone)]
 pub struct ZfpTransform {
@@ -44,7 +47,7 @@ impl Default for ZfpTransform {
 
 impl BlockTransform for ZfpTransform {
     fn block_size(&self) -> usize {
-        4
+        ZFP_BLOCK
     }
     fn forward_matrix(&self) -> &Tensor {
         &self.forward

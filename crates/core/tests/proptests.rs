@@ -1,8 +1,12 @@
 //! Property-based tests for the DCT+Chop compressor invariants.
 
+use aicomp_core::chop1d::Chop1d;
 use aicomp_core::compressor::ChopCompressor;
+use aicomp_core::partial::PartialSerialized;
 use aicomp_core::scatter_gather::ScatterGatherChop;
 use aicomp_core::transform::{dct2, idct2};
+use aicomp_core::zfp_transform::ZfpTransform;
+use aicomp_core::{Codec, CodecSpec};
 use aicomp_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -85,5 +89,88 @@ proptest! {
         // After one SG roundtrip the data lies in the kept-triangle
         // subspace; a second roundtrip must be (nearly) the identity.
         prop_assert!(rec2.allclose(&rec1, 0.02));
+    }
+}
+
+/// Strategy over every [`CodecSpec`] family with geometry the registry
+/// accepts (2-D resolutions divisible by the family block; partial
+/// subdivisions that still tile into whole blocks; Zfp chop factors
+/// within its 4-wide block).
+fn spec_strategy() -> impl Strategy<Value = CodecSpec> {
+    (0usize..5, 0usize..3, 1usize..=8).prop_map(|(family, size, cf)| {
+        let n = [8usize, 16, 32][size];
+        match family {
+            0 => CodecSpec::Dct2d { n, cf },
+            1 => CodecSpec::Chop1d { len: n * 2, cf },
+            2 => CodecSpec::Partial { n: [16usize, 32, 32][size], cf, s: 2 },
+            3 => CodecSpec::ScatterGather { n, cf },
+            _ => CodecSpec::Zfp { n, cf: 1 + (cf - 1) % 4 },
+        }
+    })
+}
+
+/// The legacy concrete compressor for `spec`, as a `Box<dyn Codec>` —
+/// what every consumer constructed by hand before the registry existed.
+fn legacy_build(spec: CodecSpec) -> Box<dyn Codec> {
+    match spec {
+        CodecSpec::Dct2d { n, cf } => Box::new(ChopCompressor::new(n, cf).unwrap()),
+        CodecSpec::Chop1d { len, cf } => Box::new(Chop1d::new(len, cf).unwrap()),
+        CodecSpec::Partial { n, cf, s } => Box::new(PartialSerialized::new(n, cf, s).unwrap()),
+        CodecSpec::ScatterGather { n, cf } => Box::new(ScatterGatherChop::new(n, cf).unwrap()),
+        CodecSpec::Zfp { n, cf } => {
+            Box::new(ChopCompressor::with_transform(&ZfpTransform::new(), n, cf).unwrap())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tentpole invariant: every registry spec builds, round-trips its
+    /// canonical name, compresses/decompresses at the advertised shapes,
+    /// and reports exactly the ratio/shape/FLOPs the legacy per-type
+    /// constructors did.
+    #[test]
+    fn every_spec_builds_and_matches_legacy(
+        spec in spec_strategy(),
+        seed in prop::collection::vec(-50.0f32..50.0, 64),
+    ) {
+        let codec = spec.build().unwrap();
+        let legacy = legacy_build(spec);
+
+        // Identity: spec and canonical-name round-trips.
+        prop_assert_eq!(codec.spec(), spec);
+        prop_assert_eq!(spec.to_string().parse::<CodecSpec>().unwrap(), spec);
+
+        // Accessors agree with the legacy concrete types.
+        prop_assert_eq!(codec.compression_ratio(), legacy.compression_ratio());
+        prop_assert_eq!(codec.input_shape(), legacy.input_shape());
+        prop_assert_eq!(codec.compressed_shape(), legacy.compressed_shape());
+        prop_assert_eq!(codec.compress_flops(), legacy.compress_flops());
+        prop_assert_eq!(codec.decompress_flops(), legacy.decompress_flops());
+
+        // compress → decompress runs at the advertised shapes, and the
+        // registry codec's output is bit-identical to the legacy one's.
+        let in_shape = codec.input_shape();
+        let elems: usize = in_shape.iter().product();
+        let data: Vec<f32> = (0..elems).map(|i| seed[i % seed.len()] + (i % 7) as f32).collect();
+        let dims: Vec<usize> = std::iter::once(1).chain(in_shape.iter().copied()).collect();
+        let x = Tensor::from_vec(data, dims.as_slice()).unwrap();
+
+        let y = codec.compress(&x).unwrap();
+        let expect_y: Vec<usize> =
+            std::iter::once(1).chain(codec.compressed_shape().iter().copied()).collect();
+        prop_assert_eq!(y.dims(), expect_y.as_slice());
+        let rec = codec.decompress(&y).unwrap();
+        prop_assert_eq!(rec.dims(), x.dims());
+
+        let y_legacy = legacy.compress(&x).unwrap();
+        let a: Vec<u32> = y.data().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = y_legacy.data().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+        let r1: Vec<u32> = rec.data().iter().map(|v| v.to_bits()).collect();
+        let r2: Vec<u32> =
+            legacy.decompress(&y_legacy).unwrap().data().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(r1, r2);
     }
 }

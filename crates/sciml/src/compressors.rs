@@ -3,9 +3,15 @@
 //! §4.1: "During training, each batch is first compressed and then
 //! decompressed, so that increasing levels of loss and compression ratio
 //! can be studied against model accuracy." This trait is that hook.
+//!
+//! The whole Chop codec family plugs in through a single impl over
+//! [`Box<dyn Codec>`] — build any variant from a [`aicomp_core::CodecSpec`]
+//! (or its canonical name) and pass it to
+//! [`crate::tasks::train`]. Only the non-Chop baselines
+//! ([`NoCompression`], [`ZfpFixedRate`]) keep bespoke impls.
 
 use aicomp_baselines::ZfpFixedRate;
-use aicomp_core::{ChopCompressor, ScatterGatherChop};
+use aicomp_core::codec::{Codec, CodecSpec};
 use aicomp_tensor::Tensor;
 
 /// A lossy round-trip applied to every training batch.
@@ -34,27 +40,29 @@ impl DataCompressor for NoCompression {
     }
 }
 
-impl DataCompressor for ChopCompressor {
+/// The one training-loop adapter for the entire codec registry: every
+/// [`CodecSpec`] variant participates through this impl, with one label
+/// scheme (family prefix + compression ratio) replacing the per-type
+/// label code each variant used to carry.
+impl DataCompressor for Box<dyn Codec> {
     fn roundtrip(&self, batch: &Tensor) -> Tensor {
-        ChopCompressor::roundtrip(self, batch).expect("batch side matches compressor")
+        self.as_ref().roundtrip(batch).expect("batch shape matches codec")
     }
     fn ratio(&self) -> f64 {
         self.compression_ratio()
     }
     fn label(&self) -> String {
-        format!("dct_cr{:.2}", self.compression_ratio())
-    }
-}
-
-impl DataCompressor for ScatterGatherChop {
-    fn roundtrip(&self, batch: &Tensor) -> Tensor {
-        ScatterGatherChop::roundtrip(self, batch).expect("batch side matches compressor")
-    }
-    fn ratio(&self) -> f64 {
-        self.compression_ratio()
-    }
-    fn label(&self) -> String {
-        format!("sg_cr{:.2}", self.compression_ratio())
+        let family = match self.spec() {
+            // Partial serialization is a deployment detail — same math and
+            // ratio as plain DCT+Chop, so it shares the legend series.
+            CodecSpec::Dct2d { .. } | CodecSpec::Partial { .. } => "dct",
+            CodecSpec::Chop1d { .. } => "dct1d",
+            CodecSpec::ScatterGather { .. } => "sg",
+            // The ZFP *transform* variant (§6) — distinct from the
+            // bit-plane `ZfpFixedRate` baseline's "zfp" series.
+            CodecSpec::Zfp { .. } => "zfpt",
+        };
+        format!("{family}_cr{:.2}", self.compression_ratio())
     }
 }
 
@@ -84,8 +92,8 @@ mod tests {
     }
 
     #[test]
-    fn chop_impl_preserves_shape_and_ratio() {
-        let c = ChopCompressor::new(32, 4).unwrap();
+    fn codec_impl_preserves_shape_and_ratio() {
+        let c = CodecSpec::Dct2d { n: 32, cf: 4 }.build().unwrap();
         let x = Tensor::zeros([2, 3, 32, 32]);
         let r = DataCompressor::roundtrip(&c, &x);
         assert_eq!(r.dims(), x.dims());
@@ -94,9 +102,19 @@ mod tests {
     }
 
     #[test]
-    fn sg_and_zfp_labels() {
-        let sg = ScatterGatherChop::new(32, 4).unwrap();
+    fn codec_family_labels() {
+        let sg = CodecSpec::ScatterGather { n: 32, cf: 4 }.build().unwrap();
         assert!(sg.label().starts_with("sg_cr"));
+        let zt = CodecSpec::Zfp { n: 32, cf: 2 }.build().unwrap();
+        assert!(zt.label().starts_with("zfpt_cr"));
+        let p = CodecSpec::Partial { n: 32, cf: 4, s: 2 }.build().unwrap();
+        assert_eq!(p.label(), "dct_cr4.00");
+        let c1 = CodecSpec::Chop1d { len: 64, cf: 2 }.build().unwrap();
+        assert_eq!(c1.label(), "dct1d_cr4.00");
+    }
+
+    #[test]
+    fn zfp_baseline_label() {
         let z = ZfpFixedRate::new(8).unwrap();
         assert_eq!(z.label(), "zfp_cr4.00");
         let x = Tensor::zeros([1, 1, 32, 32]);

@@ -378,7 +378,7 @@ fn evaluate(
 mod tests {
     use super::*;
     use crate::compressors::NoCompression;
-    use aicomp_core::ChopCompressor;
+    use aicomp_core::CodecSpec;
 
     fn tiny(benchmark: Benchmark) -> TrainConfig {
         TrainConfig {
@@ -419,7 +419,7 @@ mod tests {
 
     #[test]
     fn slstr_cloud_runs_with_compression() {
-        let comp = ChopCompressor::new(64, 4).unwrap();
+        let comp = CodecSpec::Dct2d { n: 64, cf: 4 }.build().unwrap();
         let r = train(&tiny(Benchmark::SlstrCloud), &comp);
         assert!(r.final_test_loss().is_finite());
         assert_eq!(r.ratio, 4.0);
@@ -433,7 +433,7 @@ mod tests {
         // later epochs amplify the rounding chaotically, so compare early.
         let cfg = tiny(Benchmark::Classify);
         let base = train(&cfg, &NoCompression);
-        let lossless = train(&cfg, &ChopCompressor::new(32, 8).unwrap());
+        let lossless = train(&cfg, &CodecSpec::Dct2d { n: 32, cf: 8 }.build().unwrap());
         let d = (base.epochs[0].train_loss - lossless.epochs[0].train_loss).abs();
         assert!(d < 1e-3, "first-epoch divergence {d}");
     }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dcz gen     --dataset classify --count 64 --seed 1 --out raw.f32
-//! dcz pack    --input raw.f32 --n 32 --channels 3 --cf 4 --chunk 16 --out data.dcz
+//! dcz pack    --input raw.f32 --codec dct2d-n32-cf4 --channels 3 --chunk 16 --out data.dcz
 //! dcz unpack  --input data.dcz --out raw.f32 [--cf 2]
 //! dcz inspect --input data.dcz
 //! dcz verify  --input data.dcz
@@ -16,6 +16,7 @@ use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::process::ExitCode;
 
+use aicomp_core::CodecSpec;
 use aicomp_sciml::{Dataset, DatasetKind};
 use aicomp_store::writer::{DczWriter, StoreOptions};
 use aicomp_store::DczReader;
@@ -40,8 +41,8 @@ fn usage() -> String {
     "usage: dcz <gen|pack|unpack|inspect|verify> [flags]\n\
      \x20 gen     --dataset <classify|em_denoise|optical_damage|slstr_cloud> \
      --count <N> --seed <S> --out <raw.f32>\n\
-     \x20 pack    --input <raw.f32> --n <side> --channels <C> --cf <1..8> \
-     --chunk <samples> --out <file.dcz>\n\
+     \x20 pack    --input <raw.f32> --codec <name, e.g. dct2d-n32-cf4> \
+     --channels <C> --chunk <samples> --out <file.dcz>\n\
      \x20 unpack  --input <file.dcz> --out <raw.f32> [--cf <coarser>]\n\
      \x20 inspect --input <file.dcz>\n\
      \x20 verify  --input <file.dcz>"
@@ -93,17 +94,20 @@ fn gen(args: &[String]) -> Result<(), String> {
     w.flush().map_err(|e| e.to_string())?;
     let [c, h, _] = kind.sample_shape();
     println!("wrote {count} samples of {name} to {out}");
-    println!("pack with: --n {h} --channels {c}");
+    println!("pack with: --codec dct2d-n{h}-cf4 --channels {c}");
     Ok(())
 }
 
 fn pack(args: &[String]) -> Result<(), String> {
     let input = required(args, "--input")?;
     let out = required(args, "--out")?;
-    let n: usize = required(args, "--n")?.parse().map_err(|_| "bad --n".to_string())?;
+    // One parser for every codec name: the core registry's `FromStr`.
+    let codec: CodecSpec = required(args, "--codec")?.parse().map_err(|e| format!("{e}"))?;
+    let n = codec.resolution().ok_or_else(|| {
+        format!("codec {codec} is not a block-2-D codec; containers need dct2d or zfp2d")
+    })?;
     let channels: usize =
         required(args, "--channels")?.parse().map_err(|_| "bad --channels".to_string())?;
-    let cf: usize = parse(args, "--cf", 4)?;
     let chunk_size: usize = parse(args, "--chunk", 16)?;
 
     let mut raw = Vec::new();
@@ -120,7 +124,7 @@ fn pack(args: &[String]) -> Result<(), String> {
     }
     let count = raw.len() / sample_bytes;
 
-    let opts = StoreOptions { n, channels, cf, chunk_size };
+    let opts = StoreOptions { codec, channels, chunk_size };
     let mut writer = DczWriter::create(&out, &opts).map_err(|e| e.to_string())?;
     for s in 0..count {
         let floats: Vec<f32> = raw[s * sample_bytes..(s + 1) * sample_bytes]
@@ -149,7 +153,7 @@ fn unpack(args: &[String]) -> Result<(), String> {
     let input = required(args, "--input")?;
     let out = required(args, "--out")?;
     let mut reader = DczReader::open(&input).map_err(|e| e.to_string())?;
-    let stored_cf = reader.header().cf as usize;
+    let stored_cf = reader.header().cf();
     let read_cf: usize = parse(args, "--cf", stored_cf)?;
 
     let mut w = BufWriter::new(File::create(&out).map_err(|e| e.to_string())?);
@@ -179,11 +183,11 @@ fn unpack(args: &[String]) -> Result<(), String> {
 fn inspect(args: &[String]) -> Result<(), String> {
     let input = required(args, "--input")?;
     let reader = DczReader::open(&input).map_err(|e| e.to_string())?;
-    let h = reader.header().clone();
+    let h = *reader.header();
     println!("{input}:");
-    println!("  transform    {} (block {})", h.transform, h.block);
-    println!("  samples      {} x [{}, {}, {}]", h.sample_count, h.channels, h.n, h.n);
-    println!("  chop factor  {} (compressed side {})", h.cf, h.compressed_side());
+    println!("  codec        {} (block {})", h.codec, h.block());
+    println!("  samples      {} x [{}, {}, {}]", h.sample_count, h.channels, h.n(), h.n());
+    println!("  chop factor  {} (compressed side {})", h.cf(), h.compressed_side());
     println!("  chunks       {} x {} samples", h.chunk_count, h.chunk_size);
     println!("  chunk  offset      bytes  first  samples  crc32");
     for (i, e) in reader.index().to_vec().iter().enumerate() {

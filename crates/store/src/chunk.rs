@@ -4,7 +4,7 @@
 //! Chunk layout (offsets relative to the chunk's index entry):
 //!
 //! ```text
-//! ring_count   u16                    == header.cf
+//! ring_count   u16                    == the codec's chop factor
 //! section_len  u32 × ring_count       bytes per ring section
 //! tables       4 × 256 bytes          per-plane Huffman code lengths
 //! sections     ring 0 … ring cf−1     byte-aligned Huffman bitstreams
@@ -63,7 +63,7 @@ pub fn encode_chunk(coeffs: &Tensor, cf: usize) -> Result<Vec<u8>> {
 
 /// Parse a chunk prelude (`bytes` must be exactly [`prelude_len`] long).
 pub fn decode_prelude(bytes: &[u8], header: &Header) -> Result<ChunkPrelude> {
-    let cf = header.cf as usize;
+    let cf = header.cf();
     if bytes.len() != prelude_len(cf) {
         return Err(StoreError::Format(format!(
             "chunk prelude is {} bytes, expected {}",
@@ -96,14 +96,14 @@ pub fn decode_sections(
     samples: usize,
     read_cf: usize,
 ) -> Result<Tensor> {
-    let cf = header.cf as usize;
+    let cf = header.cf();
     if read_cf == 0 || read_cf > cf {
         return Err(StoreError::InvalidArg(format!("read chop factor {read_cf} outside 1..={cf}")));
     }
     if section_bytes.len() < prelude.prefix_len(read_cf) {
         return Err(StoreError::Format("chunk sections truncated".into()));
     }
-    let (channels, nb) = (header.channels as usize, header.blocks_per_side() as usize);
+    let (channels, nb) = (header.channels as usize, header.blocks_per_side());
     let mut rings = Vec::with_capacity(read_cf);
     let mut at = 0usize;
     for (r, &len) in prelude.section_lens.iter().enumerate().take(read_cf) {
@@ -122,7 +122,7 @@ pub fn decode_chunk(
     samples: usize,
     read_cf: usize,
 ) -> Result<Tensor> {
-    let plen = prelude_len(header.cf as usize);
+    let plen = prelude_len(header.cf());
     if bytes.len() < plen {
         return Err(StoreError::Format("chunk shorter than its prelude".into()));
     }
@@ -141,18 +141,15 @@ pub fn decode_chunk(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aicomp_core::ChopCompressor;
+    use aicomp_core::{ChopCompressor, CodecSpec};
 
     fn header(n: u32, channels: u32, cf: u32) -> Header {
         Header {
-            n,
+            codec: CodecSpec::Dct2d { n: n as usize, cf: cf as usize },
             channels,
-            block: 8,
-            cf,
             sample_count: 0,
             chunk_size: 4,
             chunk_count: 0,
-            transform: "dct2".into(),
         }
     }
 

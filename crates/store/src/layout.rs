@@ -15,55 +15,75 @@
 
 use std::io::{Read, Write};
 
+use aicomp_core::CodecSpec;
+
 use crate::{crc::crc32, Result, StoreError};
 
 /// Leading file magic.
 pub const MAGIC: [u8; 4] = *b"DCZF";
 /// Trailing footer magic.
 pub const END_MAGIC: [u8; 4] = *b"DCZE";
-/// Format version this build reads and writes.
-pub const VERSION: u16 = 1;
+/// Format version this build reads and writes. Version 2 replaced the v1
+/// per-field compressor description (`n`/`block`/`cf`/transform name) with
+/// the codec registry's canonical spec string.
+pub const VERSION: u16 = 2;
 /// Footer size: index offset (8) + index CRC (4) + chunk count (4) + magic (4).
 pub const FOOTER_LEN: u64 = 20;
 /// Serialized index entry size.
 pub const INDEX_ENTRY_LEN: usize = 28;
 
 /// Container header: everything needed to rebuild the compressor.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The compressor itself is recorded as a [`CodecSpec`] — serialized as its
+/// canonical registry name (e.g. `dct2d-n32-cf4`), parsed back through the
+/// one registry parser — so the container and the host/device paths can
+/// never disagree about what codec the coefficients belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Header {
-    /// Sample resolution `n` (samples are `[channels, n, n]`).
-    pub n: u32,
-    /// Channels per sample.
+    /// The codec the samples were stored with (block-2-D families only:
+    /// `dct2d` or `zfp2d`).
+    pub codec: CodecSpec,
+    /// Channels per sample (samples are `[channels, n, n]`).
     pub channels: u32,
-    /// Transform block size (8 for the paper's DCT+Chop).
-    pub block: u32,
-    /// Chop factor the coefficients were stored at.
-    pub cf: u32,
     /// Total samples in the container.
     pub sample_count: u64,
     /// Samples per chunk (the last chunk may hold fewer).
     pub chunk_size: u32,
     /// Number of chunks.
     pub chunk_count: u32,
-    /// Block-transform name (`"dct2"` for the paper's pipeline).
-    pub transform: String,
 }
 
 impl Header {
-    /// Serialized length (fixed once `transform` is set).
+    /// Serialized length (fixed once `codec` is set).
     pub fn serialized_len(&self) -> u64 {
-        // magic + version + flags + 4×u32 + u64 + 2×u32 + name len + name
-        (4 + 2 + 2 + 16 + 8 + 8 + 2 + self.transform.len()) as u64
+        // magic + version + flags + channels + sample_count + chunk_size +
+        // chunk_count + codec-name length + codec name
+        (4 + 2 + 2 + 4 + 8 + 4 + 4 + 2 + self.codec.to_string().len()) as u64
     }
 
-    /// Compressed side length `CF·n/8`.
-    pub fn compressed_side(&self) -> u32 {
-        self.cf * self.n / self.block
+    /// Sample resolution `n`, from the codec spec.
+    pub fn n(&self) -> usize {
+        self.codec.resolution().expect("container codecs are block-2-D")
+    }
+
+    /// Chop factor the coefficients were stored at, from the codec spec.
+    pub fn cf(&self) -> usize {
+        self.codec.chop_factor()
+    }
+
+    /// Transform block size, from the codec spec.
+    pub fn block(&self) -> usize {
+        self.codec.block_size().expect("container codecs are block-2-D")
+    }
+
+    /// Compressed side length `CF·n/block`.
+    pub fn compressed_side(&self) -> usize {
+        self.cf() * self.n() / self.block()
     }
 
     /// Blocks per sample side.
-    pub fn blocks_per_side(&self) -> u32 {
-        self.n / self.block
+    pub fn blocks_per_side(&self) -> usize {
+        self.n() / self.block()
     }
 
     /// Write the header at the sink's current position.
@@ -71,16 +91,13 @@ impl Header {
         w.write_all(&MAGIC)?;
         write_u16(w, VERSION)?;
         write_u16(w, 0)?; // flags, reserved
-        write_u32(w, self.n)?;
         write_u32(w, self.channels)?;
-        write_u32(w, self.block)?;
-        write_u32(w, self.cf)?;
         write_u64(w, self.sample_count)?;
         write_u32(w, self.chunk_size)?;
         write_u32(w, self.chunk_count)?;
-        let name = self.transform.as_bytes();
+        let name = self.codec.to_string();
         write_u16(w, name.len() as u16)?;
-        w.write_all(name)?;
+        w.write_all(name.as_bytes())?;
         Ok(())
     }
 
@@ -98,35 +115,37 @@ impl Header {
             )));
         }
         let _flags = read_u16(r)?;
-        let n = read_u32(r)?;
         let channels = read_u32(r)?;
-        let block = read_u32(r)?;
-        let cf = read_u32(r)?;
         let sample_count = read_u64(r)?;
         let chunk_size = read_u32(r)?;
         let chunk_count = read_u32(r)?;
         let name_len = read_u16(r)? as usize;
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name).map_err(truncated)?;
-        let transform = String::from_utf8(name)
-            .map_err(|_| StoreError::Format("transform name is not UTF-8".into()))?;
-        let h = Header { n, channels, block, cf, sample_count, chunk_size, chunk_count, transform };
+        let name = String::from_utf8(name)
+            .map_err(|_| StoreError::Format("codec name is not UTF-8".into()))?;
+        let codec: CodecSpec =
+            name.parse().map_err(|e| StoreError::Format(format!("unreadable codec name: {e}")))?;
+        let h = Header { codec, channels, sample_count, chunk_size, chunk_count };
         h.validate()?;
         Ok(h)
     }
 
     fn validate(&self) -> Result<()> {
-        if self.block == 0 || self.n == 0 || !self.n.is_multiple_of(self.block) {
+        let (Some(n), Some(block)) = (self.codec.resolution(), self.codec.block_size()) else {
+            return Err(StoreError::Unsupported(format!(
+                "container codec {} is not a block-2-D codec",
+                self.codec
+            )));
+        };
+        let cf = self.codec.chop_factor();
+        if block == 0 || n == 0 || !n.is_multiple_of(block) {
             return Err(StoreError::Format(format!(
-                "resolution {} not divisible by block {}",
-                self.n, self.block
+                "resolution {n} not divisible by block {block}"
             )));
         }
-        if self.cf == 0 || self.cf > self.block {
-            return Err(StoreError::Format(format!(
-                "chop factor {} outside 1..={}",
-                self.cf, self.block
-            )));
+        if cf == 0 || cf > block {
+            return Err(StoreError::Format(format!("chop factor {cf} outside 1..={block}")));
         }
         if self.channels == 0 || self.chunk_size == 0 {
             return Err(StoreError::Format("zero channels or chunk size".into()));
@@ -262,14 +281,11 @@ mod tests {
 
     fn header() -> Header {
         Header {
-            n: 32,
+            codec: CodecSpec::Dct2d { n: 32, cf: 4 },
             channels: 3,
-            block: 8,
-            cf: 4,
             sample_count: 100,
             chunk_size: 16,
             chunk_count: 7,
-            transform: "dct2".into(),
         }
     }
 
@@ -281,6 +297,17 @@ mod tests {
         assert_eq!(buf.len() as u64, h.serialized_len());
         let back = Header::read(&mut Cursor::new(&buf)).unwrap();
         assert_eq!(back, h);
+        assert_eq!((back.n(), back.cf(), back.block()), (32, 4, 8));
+    }
+
+    #[test]
+    fn zfp_header_roundtrip() {
+        let h = Header { codec: CodecSpec::Zfp { n: 16, cf: 2 }, ..header() };
+        let mut buf = Vec::new();
+        h.write(&mut buf).unwrap();
+        let back = Header::read(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back, h);
+        assert_eq!((back.n(), back.cf(), back.block()), (16, 2, 4));
     }
 
     #[test]
@@ -303,9 +330,22 @@ mod tests {
         let truncated = &buf[..10];
         assert!(Header::read(&mut Cursor::new(truncated)).is_err());
 
+        // The codec name ends the header; `dct2d-n32-cf4` → `...cf9` is a
+        // chop factor outside 1..=8 and must be rejected by validation.
         let mut bad_cf = buf.clone();
-        bad_cf[20] = 9; // cf field
+        let last = bad_cf.len() - 1;
+        bad_cf[last] = b'9';
         assert!(Header::read(&mut Cursor::new(&bad_cf)).is_err());
+
+        // A parseable but non-block-2-D codec is rejected too.
+        let mut mangled = Vec::new();
+        Header { codec: CodecSpec::Chop1d { len: 64, cf: 4 }, ..header() }
+            .write(&mut mangled)
+            .unwrap();
+        assert!(matches!(
+            Header::read(&mut Cursor::new(&mangled)),
+            Err(StoreError::Unsupported(_))
+        ));
     }
 
     #[test]

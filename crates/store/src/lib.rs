@@ -52,7 +52,9 @@
 //! use aicomp_tensor::Tensor;
 //! use std::io::Cursor;
 //!
-//! let opts = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 4 };
+//! // Codec selected through the registry spec — `StoreOptions::dct(n, cf,
+//! // channels, chunk_size)` is shorthand for the paper's DCT+Chop family.
+//! let opts = StoreOptions::dct(16, 4, 1, 4);
 //! let mut rng = Tensor::seeded_rng(3);
 //! let samples: Vec<Tensor> =
 //!     (0..6).map(|_| Tensor::rand_uniform([1usize, 16, 16], 0.0, 1.0, &mut rng)).collect();

@@ -106,23 +106,23 @@ impl StoreBatchSource {
         test_path: impl AsRef<Path>,
         cfg: PrefetchConfig,
     ) -> Result<StoreBatchSource> {
-        let header = DczReader::open(&train_path)?.header().clone();
-        let test_header = DczReader::open(&test_path)?.header().clone();
-        if (test_header.n, test_header.channels, test_header.cf, test_header.block)
-            != (header.n, header.channels, header.cf, header.block)
-        {
+        let header = *DczReader::open(&train_path)?.header();
+        let test_header = *DczReader::open(&test_path)?.header();
+        if (test_header.codec, test_header.channels) != (header.codec, header.channels) {
             return Err(StoreError::InvalidArg(
                 "train and test containers have mismatched geometry".into(),
             ));
         }
-        let read_cf = cfg.read_cf.unwrap_or(header.cf as usize);
-        if read_cf == 0 || read_cf > header.cf as usize {
+        let read_cf = cfg.read_cf.unwrap_or(header.cf());
+        if read_cf == 0 || read_cf > header.cf() {
             return Err(StoreError::InvalidArg(format!(
                 "read chop factor {read_cf} outside 1..={}",
-                header.cf
+                header.cf()
             )));
         }
-        let ratio = (header.block as f64 / read_cf as f64).powi(2);
+        // Eq. 3 ratio at the read fidelity, from the same registry codec
+        // the reader decodes with.
+        let ratio = header.codec.with_chop_factor(read_cf).build()?.compression_ratio();
         Ok(StoreBatchSource {
             train: PassReader::new(train_path.as_ref().to_path_buf(), cfg),
             test: PassReader::new(test_path.as_ref().to_path_buf(), cfg),
@@ -169,7 +169,7 @@ mod tests {
     fn batches_match_roundtrip_across_chunk_boundaries_and_epochs() {
         let train = temp_path("train");
         let test = temp_path("test");
-        let opts = StoreOptions { n: 16, channels: 2, cf: 4, chunk_size: 3 };
+        let opts = StoreOptions::dct(16, 4, 2, 3);
         let samples: Vec<Tensor> = (0..10).map(|i| sample(i, 2, 16)).collect();
         pack_file(&train, &opts, samples.iter().cloned()).unwrap();
         pack_file(&test, &opts, samples.iter().take(4).cloned()).unwrap();
@@ -205,7 +205,7 @@ mod tests {
     #[test]
     fn out_of_range_batch_panics_with_context() {
         let train = temp_path("range");
-        let opts = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 2 };
+        let opts = StoreOptions::dct(16, 4, 1, 2);
         pack_file(&train, &opts, (0..4).map(|i| sample(i, 1, 16))).unwrap();
         let mut src = StoreBatchSource::open(&train, &train, PrefetchConfig::default()).unwrap();
         assert!(src.train.batch(2, 8).is_err());
@@ -216,8 +216,8 @@ mod tests {
     fn mismatched_containers_rejected() {
         let a = temp_path("geom_a");
         let b = temp_path("geom_b");
-        let opts_a = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 2 };
-        let opts_b = StoreOptions { n: 16, channels: 1, cf: 5, chunk_size: 2 };
+        let opts_a = StoreOptions::dct(16, 4, 1, 2);
+        let opts_b = StoreOptions::dct(16, 5, 1, 2);
         pack_file(&a, &opts_a, (0..2).map(|i| sample(i, 1, 16))).unwrap();
         pack_file(&b, &opts_b, (0..2).map(|i| sample(i, 1, 16))).unwrap();
         assert!(StoreBatchSource::open(&a, &b, PrefetchConfig::default()).is_err());

@@ -73,7 +73,7 @@ impl PrefetchLoader {
         // than as a worker-side failure mid-iteration.
         let probe = DczReader::open(&path)?;
         let chunk_count = probe.chunk_count();
-        let stored_cf = probe.header().cf as usize;
+        let stored_cf = probe.header().cf();
         if let Some(cf) = cfg.read_cf {
             if cf == 0 || cf > stored_cf {
                 return Err(StoreError::InvalidArg(format!(
@@ -193,7 +193,7 @@ mod tests {
     #[test]
     fn chunks_arrive_in_order_and_bit_exact() {
         let path = temp_path("order");
-        let opts = StoreOptions { n: 16, channels: 2, cf: 4, chunk_size: 2 };
+        let opts = StoreOptions::dct(16, 4, 2, 2);
         let samples: Vec<Tensor> = (0..9).map(|i| sample(i, 2, 16)).collect();
         pack_file(&path, &opts, samples.iter().cloned()).unwrap();
 
@@ -222,7 +222,7 @@ mod tests {
     #[test]
     fn progressive_prefetch_matches_direct_chop() {
         let path = temp_path("prog");
-        let opts = StoreOptions { n: 16, channels: 1, cf: 6, chunk_size: 3 };
+        let opts = StoreOptions::dct(16, 6, 1, 3);
         let samples: Vec<Tensor> = (0..6).map(|i| sample(i, 1, 16)).collect();
         pack_file(&path, &opts, samples.iter().cloned()).unwrap();
 
@@ -244,7 +244,7 @@ mod tests {
     #[test]
     fn early_drop_joins_cleanly() {
         let path = temp_path("drop");
-        let opts = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 1 };
+        let opts = StoreOptions::dct(16, 4, 1, 1);
         pack_file(&path, &opts, (0..12).map(|i| sample(i, 1, 16))).unwrap();
 
         let cfg = PrefetchConfig { workers: 2, lookahead: 1, read_cf: None };
@@ -258,7 +258,7 @@ mod tests {
     #[test]
     fn bad_config_rejected() {
         let path = temp_path("cfg");
-        let opts = StoreOptions { n: 16, channels: 1, cf: 3, chunk_size: 2 };
+        let opts = StoreOptions::dct(16, 3, 1, 2);
         pack_file(&path, &opts, (0..2).map(|i| sample(i, 1, 16))).unwrap();
         let cfg = PrefetchConfig { workers: 1, lookahead: 1, read_cf: Some(5) };
         assert!(PrefetchLoader::open(&path, cfg).is_err());

@@ -18,7 +18,7 @@ use std::fs::File;
 use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
 
-use aicomp_core::ChopCompressor;
+use aicomp_core::Codec;
 use aicomp_tensor::Tensor;
 
 use crate::chunk::{decode_chunk, decode_prelude, decode_sections, prelude_len};
@@ -42,8 +42,9 @@ pub struct DczReader<R: Read + Seek> {
     header: Header,
     index: Vec<IndexEntry>,
     bytes_read: u64,
-    /// Per-fidelity decompressors, built lazily (`read_cf → compressor`).
-    decompressors: HashMap<usize, ChopCompressor>,
+    /// Per-fidelity decompressors, built lazily from the header's codec
+    /// spec through the registry (`read_cf → codec`).
+    decompressors: HashMap<usize, Box<dyn Codec>>,
 }
 
 impl DczReader<BufReader<File>> {
@@ -149,7 +150,7 @@ impl<R: Read + Seek> DczReader<R> {
         if crc32(&bytes) != e.crc {
             return Err(StoreError::Format(format!("chunk {chunk} fails its CRC check")));
         }
-        decode_chunk(&bytes, &self.header, e.samples as usize, self.header.cf as usize)
+        decode_chunk(&bytes, &self.header, e.samples as usize, self.header.cf())
     }
 
     /// Read only the prefix of chunk `chunk` covering chop factor
@@ -160,16 +161,16 @@ impl<R: Read + Seek> DczReader<R> {
     /// prefix reads rely on the per-section Huffman self-checks instead.
     pub fn read_chunk_at(&mut self, chunk: usize, read_cf: usize) -> Result<Tensor> {
         let e = self.entry(chunk)?;
-        let plen = prelude_len(self.header.cf as usize);
+        let plen = prelude_len(self.header.cf());
         if (e.len as usize) < plen {
             return Err(StoreError::Format(format!("chunk {chunk} shorter than its prelude")));
         }
         let prelude_bytes = self.read_payload(e.offset, plen)?;
         let prelude = decode_prelude(&prelude_bytes, &self.header)?;
-        if read_cf == 0 || read_cf > self.header.cf as usize {
+        if read_cf == 0 || read_cf > self.header.cf() {
             return Err(StoreError::InvalidArg(format!(
                 "read chop factor {read_cf} outside 1..={}",
-                self.header.cf
+                self.header.cf()
             )));
         }
         let prefix = prelude.prefix_len(read_cf);
@@ -180,26 +181,21 @@ impl<R: Read + Seek> DczReader<R> {
         decode_sections(&prelude, &sections, &self.header, e.samples as usize, read_cf)
     }
 
-    fn decompressor(&mut self, read_cf: usize) -> Result<ChopCompressor> {
-        if self.header.transform != "dct2" {
-            return Err(StoreError::Unsupported(format!(
-                "cannot decompress transform {:?}",
-                self.header.transform
-            )));
+    fn decompressor(&mut self, read_cf: usize) -> Result<&dyn Codec> {
+        if !self.decompressors.contains_key(&read_cf) {
+            // Same codec family at the read fidelity, built through the one
+            // registry — any family the header can carry decodes here.
+            let c = self.header.codec.with_chop_factor(read_cf).build()?;
+            self.decompressors.insert(read_cf, c);
         }
-        if let Some(c) = self.decompressors.get(&read_cf) {
-            return Ok(c.clone());
-        }
-        let c = ChopCompressor::new(self.header.n as usize, read_cf)?;
-        self.decompressors.insert(read_cf, c.clone());
-        Ok(c)
+        Ok(self.decompressors[&read_cf].as_ref())
     }
 
     /// Read chunk `chunk` and reconstruct samples: `[S, C, n, n]` —
-    /// bit-identical to `ChopCompressor::decompress` on the host path.
+    /// bit-identical to the host codec's `decompress`.
     pub fn decompress_chunk(&mut self, chunk: usize) -> Result<Tensor> {
         let coeffs = self.read_chunk(chunk)?;
-        let c = self.decompressor(self.header.cf as usize)?;
+        let c = self.decompressor(self.header.cf())?;
         Ok(c.decompress(&coeffs)?)
     }
 
@@ -281,6 +277,7 @@ impl<R: Read + Seek> Iterator for SampleIter<'_, R> {
 mod tests {
     use super::*;
     use crate::writer::{DczWriter, StoreOptions};
+    use aicomp_core::ChopCompressor;
     use std::io::Cursor;
 
     fn sample(i: usize, channels: usize, n: usize) -> Tensor {
@@ -299,7 +296,7 @@ mod tests {
 
     #[test]
     fn random_access_matches_host_decompress() {
-        let opts = StoreOptions { n: 16, channels: 2, cf: 4, chunk_size: 3 };
+        let opts = StoreOptions::dct(16, 4, 2, 3);
         let samples: Vec<Tensor> = (0..8).map(|i| sample(i, 2, 16)).collect();
         let file = pack(&samples, &opts);
         let mut r = DczReader::new(Cursor::new(file)).unwrap();
@@ -323,7 +320,7 @@ mod tests {
 
     #[test]
     fn sequential_iteration_is_bit_exact() {
-        let opts = StoreOptions { n: 16, channels: 1, cf: 5, chunk_size: 4 };
+        let opts = StoreOptions::dct(16, 5, 1, 4);
         let samples: Vec<Tensor> = (0..6).map(|i| sample(i, 1, 16)).collect();
         let file = pack(&samples, &opts);
         let mut r = DczReader::new(Cursor::new(file)).unwrap();
@@ -342,7 +339,7 @@ mod tests {
 
     #[test]
     fn progressive_read_is_cheaper_and_exact() {
-        let opts = StoreOptions { n: 16, channels: 1, cf: 7, chunk_size: 4 };
+        let opts = StoreOptions::dct(16, 7, 1, 4);
         let samples: Vec<Tensor> = (0..4).map(|i| sample(i, 1, 16)).collect();
         let file = pack(&samples, &opts);
         let mut r = DczReader::new(Cursor::new(file)).unwrap();
@@ -365,7 +362,7 @@ mod tests {
 
     #[test]
     fn corruption_is_detected() {
-        let opts = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 4 };
+        let opts = StoreOptions::dct(16, 4, 1, 4);
         let samples: Vec<Tensor> = (0..4).map(|i| sample(i, 1, 16)).collect();
         let file = pack(&samples, &opts);
 
@@ -395,7 +392,7 @@ mod tests {
 
     #[test]
     fn verify_covers_all_chunks() {
-        let opts = StoreOptions { n: 16, channels: 2, cf: 3, chunk_size: 2 };
+        let opts = StoreOptions::dct(16, 3, 2, 2);
         let samples: Vec<Tensor> = (0..7).map(|i| sample(i, 2, 16)).collect();
         let file = pack(&samples, &opts);
         let mut r = DczReader::new(Cursor::new(file)).unwrap();
@@ -406,7 +403,7 @@ mod tests {
 
     #[test]
     fn out_of_range_chunk_rejected() {
-        let opts = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 4 };
+        let opts = StoreOptions::dct(16, 4, 1, 4);
         let samples: Vec<Tensor> = (0..4).map(|i| sample(i, 1, 16)).collect();
         let file = pack(&samples, &opts);
         let mut r = DczReader::new(Cursor::new(file)).unwrap();

@@ -13,6 +13,7 @@ use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use aicomp_core::streaming::{StreamStats, StreamingCompressor};
+use aicomp_core::CodecSpec;
 use aicomp_tensor::Tensor;
 use rayon::prelude::*;
 
@@ -24,15 +25,22 @@ use crate::{Result, StoreError};
 /// Container creation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreOptions {
-    /// Sample resolution (samples are `[channels, n, n]`).
-    pub n: usize,
-    /// Channels per sample.
+    /// Registry spec of the codec to store with (block-2-D families:
+    /// `dct2d` or `zfp2d`). Store at the *highest* fidelity you may ever
+    /// read — coarser chop factors decode from a prefix.
+    pub codec: CodecSpec,
+    /// Channels per sample (samples are `[channels, n, n]`).
     pub channels: usize,
-    /// Chop factor to compress at (1..=8; store at the *highest* fidelity
-    /// you may ever read — coarser chop factors decode from a prefix).
-    pub cf: usize,
     /// Samples per chunk: the random-access and prefetch granularity.
     pub chunk_size: usize,
+}
+
+impl StoreOptions {
+    /// DCT+Chop shorthand: the paper's §3.2 pipeline at resolution `n`,
+    /// chop factor `cf`.
+    pub fn dct(n: usize, cf: usize, channels: usize, chunk_size: usize) -> Self {
+        StoreOptions { codec: CodecSpec::Dct2d { n, cf }, channels, chunk_size }
+    }
 }
 
 /// What a finished pack achieved.
@@ -101,16 +109,13 @@ impl DczWriter<BufWriter<File>> {
 impl<W: Write + Seek> DczWriter<W> {
     /// Start a container on `sink` (positioned at its beginning).
     pub fn new(mut sink: W, opts: &StoreOptions) -> Result<Self> {
-        let streamer = StreamingCompressor::new(opts.n, opts.cf, opts.channels, opts.chunk_size)?;
+        let streamer = StreamingCompressor::from_spec(opts.codec, opts.channels, opts.chunk_size)?;
         let header = Header {
-            n: opts.n as u32,
+            codec: opts.codec,
             channels: opts.channels as u32,
-            block: streamer.compressor().block_size() as u32,
-            cf: opts.cf as u32,
             sample_count: 0, // patched at finish
             chunk_size: opts.chunk_size as u32,
             chunk_count: 0, // patched at finish
-            transform: streamer.compressor().transform_name().to_string(),
         };
         header.write(&mut sink)?;
         let offset = header.serialized_len();
@@ -158,7 +163,7 @@ impl<W: Write + Seek> DczWriter<W> {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let cf = self.header.cf as usize;
+        let cf = self.header.cf();
         let drained: Vec<(Tensor, usize)> = std::mem::take(&mut self.pending);
         let encoded: Vec<(Vec<u8>, usize)> = drained
             .par_iter()
@@ -249,7 +254,7 @@ mod tests {
 
     #[test]
     fn writes_well_formed_container() {
-        let opts = StoreOptions { n: 16, channels: 2, cf: 4, chunk_size: 4 };
+        let opts = StoreOptions::dct(16, 4, 2, 4);
         let samples: Vec<Tensor> = (0..10).map(|i| sample(i, 2, 16)).collect();
         let (cur, summary) = DczWriter::pack(Cursor::new(Vec::new()), &opts, samples).unwrap();
         let bytes = cur.into_inner();
@@ -262,12 +267,13 @@ mod tests {
         let h = Header::read(&mut Cursor::new(&bytes)).unwrap();
         assert_eq!(h.sample_count, 10);
         assert_eq!(h.chunk_count, 3);
-        assert_eq!(h.transform, "dct2");
+        assert_eq!(h.codec, CodecSpec::Dct2d { n: 16, cf: 4 });
+        assert_eq!(h.codec.to_string(), "dct2d-n16-cf4");
     }
 
     #[test]
     fn empty_stream_is_valid() {
-        let opts = StoreOptions { n: 16, channels: 1, cf: 3, chunk_size: 4 };
+        let opts = StoreOptions::dct(16, 3, 1, 4);
         let (cur, summary) =
             DczWriter::pack(Cursor::new(Vec::new()), &opts, std::iter::empty()).unwrap();
         assert_eq!(summary.samples, 0);
@@ -280,17 +286,24 @@ mod tests {
 
     #[test]
     fn bad_options_rejected() {
-        let opts = StoreOptions { n: 30, channels: 1, cf: 4, chunk_size: 4 };
+        let opts = StoreOptions::dct(30, 4, 1, 4);
         assert!(DczWriter::new(Cursor::new(Vec::new()), &opts).is_err());
-        let opts = StoreOptions { n: 16, channels: 1, cf: 0, chunk_size: 4 };
+        let opts = StoreOptions::dct(16, 0, 1, 4);
         assert!(DczWriter::new(Cursor::new(Vec::new()), &opts).is_err());
-        let opts = StoreOptions { n: 16, channels: 1, cf: 4, chunk_size: 0 };
+        let opts = StoreOptions::dct(16, 4, 1, 0);
+        assert!(DczWriter::new(Cursor::new(Vec::new()), &opts).is_err());
+        // Non-block-2-D specs cannot back a container.
+        let opts = StoreOptions {
+            codec: CodecSpec::Chop1d { len: 64, cf: 4 },
+            channels: 1,
+            chunk_size: 4,
+        };
         assert!(DczWriter::new(Cursor::new(Vec::new()), &opts).is_err());
     }
 
     #[test]
     fn wrong_sample_shape_rejected() {
-        let opts = StoreOptions { n: 16, channels: 2, cf: 4, chunk_size: 4 };
+        let opts = StoreOptions::dct(16, 4, 2, 4);
         let mut w = DczWriter::new(Cursor::new(Vec::new()), &opts).unwrap();
         assert!(w.push(sample(0, 1, 16)).is_err());
         assert!(w.push(sample(0, 2, 8)).is_err());

@@ -28,7 +28,7 @@ fn random_samples(count: usize, channels: usize, seed: u64) -> Vec<Tensor> {
 }
 
 fn packed(samples: &[Tensor], channels: usize, cf: usize, chunk_size: usize) -> Vec<u8> {
-    let opts = StoreOptions { n: N, channels, cf, chunk_size };
+    let opts = StoreOptions::dct(N, cf, channels, chunk_size);
     let (sink, _) = DczWriter::pack(Cursor::new(Vec::new()), &opts, samples.to_vec())
         .expect("pack random stream");
     sink.into_inner()

@@ -26,7 +26,7 @@ fn main() {
     let kind = config.benchmark.dataset_kind();
     let [channels, n, _] = kind.sample_shape();
     let cf = 4usize;
-    let opts = StoreOptions { n, channels, cf, chunk_size: 16 };
+    let opts = StoreOptions::dct(n, cf, channels, 16);
 
     let dir = std::env::temp_dir();
     let train_path = dir.join(format!("aicomp_example_train_{}.dcz", std::process::id()));

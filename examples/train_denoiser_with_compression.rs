@@ -10,7 +10,7 @@
 
 use aicomp::sciml::compressors::{DataCompressor, NoCompression};
 use aicomp::sciml::{tasks, Benchmark, TrainConfig};
-use aicomp::ChopCompressor;
+use aicomp::CodecSpec;
 
 fn main() {
     let config = TrainConfig {
@@ -29,8 +29,8 @@ fn main() {
 
     let compressors: Vec<Box<dyn DataCompressor>> = vec![
         Box::new(NoCompression),
-        Box::new(ChopCompressor::new(64, 4).expect("valid config")), // CR 4
-        Box::new(ChopCompressor::new(64, 2).expect("valid config")), // CR 16
+        Box::new(CodecSpec::Dct2d { n: 64, cf: 4 }.build().expect("valid config")), // CR 4
+        Box::new(CodecSpec::Dct2d { n: 64, cf: 2 }.build().expect("valid config")), // CR 16
     ];
 
     let mut results = Vec::new();

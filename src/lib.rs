@@ -54,6 +54,9 @@ pub use aicomp_sciml as sciml;
 pub use aicomp_store as store;
 pub use aicomp_tensor as tensor;
 
-pub use aicomp_core::{ChopCompressor, DctChop, PartialSerialized, ScatterGatherChop};
+pub use aicomp_core::{
+    build_codec, Chop1d, ChopCompressor, Codec, CodecSpec, DctChop, PartialSerialized,
+    ScatterGatherChop,
+};
 pub use aicomp_store::{DczReader, PrefetchLoader, StoreBatchSource};
 pub use aicomp_tensor::{Shape, Tensor};

@@ -4,11 +4,58 @@
 
 use aicomp::accel::{CompressorDeployment, Platform, SerializedDeployment};
 use aicomp::dct::metrics::quality;
-use aicomp::{ChopCompressor, ScatterGatherChop, Tensor};
+use aicomp::{ChopCompressor, CodecSpec, ScatterGatherChop, Tensor};
 
 fn batch(slices: usize, n: usize, seed: u64) -> Tensor {
     let mut rng = Tensor::seeded_rng(seed);
     Tensor::rand_uniform([slices, n, n], -1.0, 1.0, &mut rng)
+}
+
+#[track_caller]
+fn assert_bits_eq(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.dims(), want.dims(), "{what}: shape");
+    let a: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+    let b: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(a, b, "{what}: bits");
+}
+
+#[test]
+fn all_variants_lower_and_agree() {
+    // Every registry spec lowers to a device program whose outputs are
+    // bit-identical to the host codec built from the same spec — the
+    // tentpole invariant of the codec layer. Scatter/gather needs the
+    // gather/scatter ops, which only the IPU provides (§3.5.2).
+    let specs = [
+        CodecSpec::Dct2d { n: 32, cf: 4 },
+        CodecSpec::Zfp { n: 32, cf: 2 },
+        CodecSpec::Partial { n: 32, cf: 4, s: 2 },
+        CodecSpec::Chop1d { len: 64, cf: 3 },
+        CodecSpec::ScatterGather { n: 32, cf: 5 },
+    ];
+    let slices = 4usize;
+    for spec in specs {
+        let host = spec.build().unwrap();
+        let dims: Vec<usize> = std::iter::once(slices).chain(host.input_shape()).collect();
+        let mut rng = Tensor::seeded_rng(11);
+        let x = Tensor::rand_uniform(dims.as_slice(), -1.0, 1.0, &mut rng);
+        let want_y = host.compress(&x).unwrap();
+        let want_rec = host.decompress(&want_y).unwrap();
+
+        let platforms: &[Platform] = if matches!(spec, CodecSpec::ScatterGather { .. }) {
+            &[Platform::Ipu]
+        } else {
+            &Platform::ALL
+        };
+        for &platform in platforms {
+            let dep = CompressorDeployment::from_spec(platform, spec, slices).unwrap();
+            assert_eq!(dep.spec(), spec);
+            assert_eq!(dep.compression_ratio(), host.compression_ratio());
+            let y = dep.compress(&x).unwrap();
+            assert_bits_eq(&y.outputs[0], &want_y, &format!("{spec} compress on {platform}"));
+            let rec = dep.decompress(&y.outputs[0]).unwrap();
+            assert_bits_eq(&rec.outputs[0], &want_rec, &format!("{spec} decompress on {platform}"));
+        }
+    }
 }
 
 #[test]

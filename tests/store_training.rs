@@ -7,7 +7,7 @@ use aicomp::sciml::Dataset;
 use aicomp::sciml::{tasks, Benchmark, TrainConfig};
 use aicomp::store::writer::pack_file;
 use aicomp::store::{PrefetchConfig, StoreOptions};
-use aicomp::{ChopCompressor, StoreBatchSource};
+use aicomp::{CodecSpec, StoreBatchSource};
 
 fn cfg() -> TrainConfig {
     TrainConfig {
@@ -34,7 +34,7 @@ fn training_from_packed_file_matches_in_memory_losses() {
     let dir = std::env::temp_dir();
     let train_path = dir.join(format!("aicomp_store_train_{}.dcz", std::process::id()));
     let test_path = dir.join(format!("aicomp_store_test_{}.dcz", std::process::id()));
-    let opts = StoreOptions { n, channels, cf, chunk_size: 5 };
+    let opts = StoreOptions::dct(n, cf, channels, 5);
     for (path, count, seed) in [
         (&train_path, config.train_size, config.seed),
         (&test_path, config.test_size, config.seed + 1),
@@ -46,7 +46,7 @@ fn training_from_packed_file_matches_in_memory_losses() {
         pack_file(path, &opts, samples).expect("pack dataset");
     }
 
-    let reference = tasks::train(&config, &ChopCompressor::new(n, cf).expect("compressor"));
+    let reference = tasks::train(&config, &CodecSpec::Dct2d { n, cf }.build().expect("compressor"));
 
     let mut source = StoreBatchSource::open(&train_path, &test_path, PrefetchConfig::default())
         .expect("open packed pair");

@@ -5,7 +5,7 @@
 use aicomp::baselines::ZfpFixedRate;
 use aicomp::sciml::compressors::NoCompression;
 use aicomp::sciml::{tasks, Benchmark, TrainConfig};
-use aicomp::ChopCompressor;
+use aicomp::CodecSpec;
 
 fn tiny(benchmark: Benchmark, epochs: usize) -> TrainConfig {
     TrainConfig {
@@ -23,7 +23,7 @@ fn tiny(benchmark: Benchmark, epochs: usize) -> TrainConfig {
 fn all_benchmarks_train_with_dct_chop() {
     for benchmark in Benchmark::ALL {
         let n = benchmark.dataset_kind().sample_shape()[1];
-        let comp = ChopCompressor::new(n, 4).unwrap();
+        let comp = CodecSpec::Dct2d { n, cf: 4 }.build().unwrap();
         let r = tasks::train(&tiny(benchmark, 1), &comp);
         assert_eq!(r.epochs.len(), 1, "{}", benchmark.name());
         assert!(r.final_test_loss().is_finite(), "{}", benchmark.name());
@@ -48,7 +48,7 @@ fn denoise_compression_helps() {
     let mut cfg = tiny(Benchmark::EmDenoise, 3);
     cfg.seed = 7;
     let base = tasks::train(&cfg, &NoCompression);
-    let comp = ChopCompressor::new(64, 4).unwrap();
+    let comp = CodecSpec::Dct2d { n: 64, cf: 4 }.build().unwrap();
     let compressed = tasks::train(&cfg, &comp);
     let pct = compressed.test_loss_pct_diff(&base);
     assert!(pct < 0.0, "em_denoise pct diff {pct} (expected improvement)");
@@ -58,7 +58,7 @@ fn denoise_compression_helps() {
 fn classify_degrades_gracefully_not_catastrophically() {
     let cfg = tiny(Benchmark::Classify, 3);
     let base = tasks::train(&cfg, &NoCompression);
-    let heavy = tasks::train(&cfg, &ChopCompressor::new(32, 2).unwrap());
+    let heavy = tasks::train(&cfg, &CodecSpec::Dct2d { n: 32, cf: 2 }.build().unwrap());
     // Heavy compression (CR 16) should not be *better* than base by a large
     // margin, and the run must stay numerically sane.
     assert!(heavy.final_test_loss().is_finite());
