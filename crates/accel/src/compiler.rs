@@ -60,6 +60,24 @@ impl std::fmt::Display for CompileError {
     }
 }
 
+impl CompileError {
+    /// Is this a *capacity* failure — the program is valid but too big for
+    /// the device (OOM, operand/PMU limit, MM-module dimension cap)?
+    /// Capacity failures are exactly the class §3.5.1's partial
+    /// serialization fixes, so they are the ones
+    /// [`crate::pipeline::CompressorDeployment::from_spec_with_failover`]
+    /// retries at a smaller chunk size. Unsupported operators and
+    /// malformed graphs are not — no amount of subdividing helps.
+    pub fn is_capacity(&self) -> bool {
+        matches!(
+            self,
+            CompileError::OutOfMemory { .. }
+                | CompileError::OperandTooLarge { .. }
+                | CompileError::MatmulDimTooLarge { .. }
+        )
+    }
+}
+
 impl std::error::Error for CompileError {}
 
 /// Bytes of instruction schedule per scheduled slice-op on

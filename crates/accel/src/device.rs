@@ -23,6 +23,12 @@ pub enum DeviceError {
     Compile(CompileError),
     /// Execution failed.
     Exec(ExecError),
+    /// An injected transient device fault persisted through every retry
+    /// (see [`crate::exec::StepFaults`] and the pipeline retry helpers).
+    Transient {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for DeviceError {
@@ -30,6 +36,9 @@ impl std::fmt::Display for DeviceError {
         match self {
             DeviceError::Compile(e) => write!(f, "compile error: {e}"),
             DeviceError::Exec(e) => write!(f, "execution error: {e}"),
+            DeviceError::Transient { attempts } => {
+                write!(f, "transient device fault persisted through {attempts} attempt(s)")
+            }
         }
     }
 }

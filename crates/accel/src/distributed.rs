@@ -62,6 +62,26 @@ impl StepModel {
         self.compute_s + self.allreduce_bytes(cr) / self.link_bw + codec_s
     }
 
+    /// Expected step time when the per-step codec work can suffer a
+    /// transient device fault with probability `fault_rate`, retried up to
+    /// `max_retries` extra times (the recovery loop of
+    /// [`crate::pipeline::CompressorDeployment::compress_with_retry`]).
+    /// Only the codec work is re-paid on retry; compute and exchange are
+    /// not. Expected attempts are the truncated geometric sum
+    /// `Σ_{i=0..max_retries} p^i`. A zero rate reduces exactly to
+    /// [`Self::step_time_compressed`].
+    pub fn step_time_with_faults(
+        &self,
+        cr: f64,
+        codec_s: f64,
+        fault_rate: f64,
+        max_retries: u32,
+    ) -> f64 {
+        let p = fault_rate.clamp(0.0, 1.0);
+        let expected_attempts: f64 = (0..=max_retries).map(|i| p.powi(i as i32)).sum();
+        self.compute_s + self.allreduce_bytes(cr) / self.link_bw + codec_s * expected_attempts
+    }
+
     /// Speedup of compressed vs uncompressed exchange.
     pub fn speedup(&self, cr: f64, codec_s: f64) -> f64 {
         self.step_time_uncompressed() / self.step_time_compressed(cr, codec_s)
@@ -130,6 +150,26 @@ mod tests {
         let s2 = model(2).speedup(4.0, 1e-3);
         let s16 = model(16).speedup(4.0, 1e-3);
         assert!(s16 > s2, "{s16} !> {s2}");
+    }
+
+    #[test]
+    fn faulty_steps_cost_expected_retries_only_on_codec_work() {
+        let m = model(8);
+        let (cr, codec_s) = (4.0, 2e-3);
+        // Zero rate ≡ the fault-free model, bit-for-bit.
+        assert_eq!(
+            m.step_time_with_faults(cr, codec_s, 0.0, 5),
+            m.step_time_compressed(cr, codec_s)
+        );
+        // Expected attempts at p=0.5 with 2 retries: 1 + 0.5 + 0.25.
+        let expect = m.step_time_compressed(cr, codec_s) + codec_s * 0.75;
+        assert!((m.step_time_with_faults(cr, codec_s, 0.5, 2) - expect).abs() < 1e-15);
+        // Monotone in the fault rate, and bounded by the retry budget.
+        let t_low = m.step_time_with_faults(cr, codec_s, 0.1, 5);
+        let t_high = m.step_time_with_faults(cr, codec_s, 0.5, 5);
+        assert!(t_high > t_low);
+        let t_max = m.step_time_with_faults(cr, codec_s, 1.0, 5);
+        assert!((t_max - (m.step_time_compressed(cr, codec_s) + codec_s * 5.0)).abs() < 1e-15);
     }
 
     #[test]

@@ -38,6 +38,68 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Seeded, deterministic transient-fault injection for device steps.
+///
+/// Long runs on real accelerators see sporadic step failures (link
+/// hiccups, preempted runtimes) that a resilient harness must retry; the
+/// simulator reproduces that class of fault deterministically so recovery
+/// paths are testable. Each [`Self::fires`] call consumes one PRNG draw —
+/// the fault sequence is a pure function of `(seed, step index)`, never of
+/// timing. **Off by default**: [`Self::none`] (rate 0) never fires, so the
+/// happy path's numerics and timing are untouched.
+///
+/// Used by [`crate::pipeline::CompressorDeployment::compress_with_retry`]
+/// and the distributed step model's expected-retry accounting
+/// ([`crate::distributed::StepModel::step_time_with_faults`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepFaults {
+    /// PRNG seed; the fault sequence is a pure function of it.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any given step faults.
+    pub rate: f64,
+    /// Steps drawn so far.
+    step: u64,
+}
+
+impl StepFaults {
+    /// A fault plan firing at `rate` per step, deterministically from
+    /// `seed`.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        StepFaults { seed, rate, step: 0 }
+    }
+
+    /// The inactive plan: never fires.
+    pub fn none() -> Self {
+        StepFaults::new(0, 0.0)
+    }
+
+    /// True when this plan can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// Draw the next step's fate: `true` means this step suffers a
+    /// transient fault and must be retried.
+    pub fn fires(&mut self) -> bool {
+        let step = self.step;
+        self.step += 1;
+        if self.rate <= 0.0 {
+            return false;
+        }
+        let x = splitmix64(self.seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        ((x >> 11) as f64 / (1u64 << 53) as f64) < self.rate
+    }
+}
+
+/// SplitMix64 finalizer — tiny, seedable, and good enough for fault
+/// scheduling (mirrors the store crate's injection PRNG; no `rand` dep).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Execute a compiled program on host tensors, returning the graph outputs.
 pub fn execute(program: &CompiledProgram, inputs: &[&Tensor]) -> Result<Vec<Tensor>, ExecError> {
     let graph = &program.graph;
@@ -221,6 +283,32 @@ mod tests {
         let program = compile(g, &CS2).unwrap();
         let x = ramp(&[1, 8, 8]);
         assert!(matches!(execute(&program, &[&x]), Err(ExecError::InputArity { .. })));
+    }
+
+    #[test]
+    fn step_faults_deterministic_and_off_by_default() {
+        let mut a = StepFaults::new(7, 0.3);
+        let mut b = StepFaults::new(7, 0.3);
+        let seq_a: Vec<bool> = (0..64).map(|_| a.fires()).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| b.fires()).collect();
+        assert_eq!(seq_a, seq_b, "same seed must give the same fault sequence");
+        assert!(seq_a.iter().any(|&f| f), "rate 0.3 over 64 draws should fire");
+        assert!(seq_a.iter().any(|&f| !f), "rate 0.3 over 64 draws should also pass");
+
+        let mut off = StepFaults::none();
+        assert!(!off.is_active());
+        assert!((0..256).all(|_| !off.fires()), "the inactive plan never fires");
+
+        let mut always = StepFaults::new(3, 1.0);
+        assert!((0..32).all(|_| always.fires()), "rate 1.0 always fires");
+    }
+
+    #[test]
+    fn step_fault_rate_is_roughly_honoured() {
+        let mut f = StepFaults::new(42, 0.25);
+        let fired = (0..4000).filter(|_| f.fires()).count();
+        let frac = fired as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.05, "observed fault rate {frac}");
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //!   exactly where the paper reports failures (512×512 on SN30/GroqChip,
 //!   batch > 1000 on GroqChip).
 //! * [`exec`] — numeric execution on host tensors (bit-identical to
-//!   running the compressor directly).
+//!   running the compressor directly), plus seeded transient step-fault
+//!   injection ([`StepFaults`], off by default) for recovery testing.
 //! * [`perf`] — the analytic roofline/overhead timing model.
 //! * [`device`] — the compile-once/run-many facade.
 //! * [`pipeline`] — DCT+Chop deployments (plain, scatter/gather, and
@@ -38,9 +39,10 @@ pub mod trace;
 pub use cluster::Cluster;
 pub use compiler::{CompileError, CompiledProgram};
 pub use device::{CompiledModel, Device, DeviceError, RunResult};
+pub use exec::StepFaults;
 pub use graph::Graph;
 pub use ops::OpKind;
 pub use perf::TimingReport;
-pub use pipeline::{lower, CompressorDeployment, SerializedDeployment};
+pub use pipeline::{lower, CompressorDeployment, FailoverAttempt, SerializedDeployment};
 pub use spec::{AcceleratorSpec, Architecture, Platform};
 pub use trace::{trace, Trace};

@@ -20,6 +20,7 @@ use aicomp_tensor::Tensor;
 
 use crate::compiler::CompileError;
 use crate::device::{CompiledModel, Device, DeviceError, RunResult};
+use crate::exec::StepFaults;
 use crate::graph::Graph;
 use crate::perf::{TimingBreakdown, TimingReport};
 use crate::spec::Platform;
@@ -125,6 +126,17 @@ fn lower_chop1d(c: &Chop1d, slices: usize) -> (Graph, Graph) {
     (cg, dg)
 }
 
+/// One spec tried and rejected during a failover compile — the audit trail
+/// [`CompressorDeployment::from_spec_with_failover`] returns alongside the
+/// deployment that finally compiled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverAttempt {
+    /// The spec that failed to compile.
+    pub spec: CodecSpec,
+    /// Why it failed.
+    pub error: DeviceError,
+}
+
 /// A codec compiled for one device at fixed `(spec, slices)` — the
 /// static-shape contract of §3.1.
 #[derive(Debug, Clone)]
@@ -161,6 +173,55 @@ impl CompressorDeployment {
         })
     }
 
+    /// Compile `spec`, automatically re-lowering to partial serialization
+    /// (§3.5.1) when the device rejects it for *capacity* — exactly the
+    /// paper's manual workaround for 512×512 on SN30 and GroqChip, made
+    /// automatic. Subdivision factors are tried smallest-first (2, 4, 8,
+    /// 16, 32), keeping only those [`aicomp_core::PartialSerialized`]
+    /// accepts (`n % s == 0` and `(n/s) % 8 == 0`); the first that
+    /// compiles wins. Numerics are unchanged by design: the partial codec
+    /// computes the same DCT+Chop per chunk, so host/device bit-identity
+    /// holds for the deployment actually returned.
+    ///
+    /// Returns the deployment plus the audit trail of rejected specs (empty
+    /// when `spec` compiled directly). Non-capacity failures (unsupported
+    /// operator, malformed graph) and non-subdividable specs propagate the
+    /// original error — subdividing cannot fix those.
+    pub fn from_spec_with_failover(
+        platform: Platform,
+        spec: CodecSpec,
+        slices: usize,
+    ) -> Result<(Self, Vec<FailoverAttempt>), DeviceError> {
+        let first = match Self::from_spec(platform, spec, slices) {
+            Ok(dep) => return Ok((dep, Vec::new())),
+            Err(e) => e,
+        };
+        let capacity = matches!(&first, DeviceError::Compile(c) if c.is_capacity());
+        let CodecSpec::Dct2d { n, cf } = spec else {
+            return Err(first); // only the plain 2-D codec lowers to Partial
+        };
+        if !capacity {
+            return Err(first);
+        }
+        let mut attempts = vec![FailoverAttempt { spec, error: first.clone() }];
+        for s in [2usize, 4, 8, 16, 32] {
+            if n % s != 0 || (n / s) % 8 != 0 {
+                continue; // PartialSerialized would reject this subdivision
+            }
+            let candidate = CodecSpec::Partial { n, cf, s };
+            match Self::from_spec(platform, candidate, slices) {
+                Ok(dep) => return Ok((dep, attempts)),
+                Err(e) => {
+                    if !matches!(&e, DeviceError::Compile(c) if c.is_capacity()) {
+                        return Err(e);
+                    }
+                    attempts.push(FailoverAttempt { spec: candidate, error: e });
+                }
+            }
+        }
+        Err(first)
+    }
+
     /// Compile plain DCT+Chop for `slices` matrices of side `n`, chop `cf`
     /// (convenience over [`Self::from_spec`]).
     pub fn plain(
@@ -193,6 +254,49 @@ impl CompressorDeployment {
     /// Decompress the compressed representation on the device.
     pub fn decompress(&self, y: &Tensor) -> Result<RunResult, DeviceError> {
         self.run(&self.decompress_model, y)
+    }
+
+    /// [`Self::compress`] under injected transient step faults: each
+    /// attempt first draws the step's fate from `faults`; a faulted step is
+    /// retried, up to `max_attempts` total. Exhausting the budget returns
+    /// [`DeviceError::Transient`]. With an inactive plan
+    /// ([`StepFaults::none`]) this is exactly `compress` — one draw that
+    /// never fires, identical numerics and timing.
+    pub fn compress_with_retry(
+        &self,
+        x: &Tensor,
+        faults: &mut StepFaults,
+        max_attempts: u32,
+    ) -> Result<RunResult, DeviceError> {
+        self.run_with_retry(&self.compress_model, x, faults, max_attempts)
+    }
+
+    /// [`Self::decompress`] under injected transient step faults (see
+    /// [`Self::compress_with_retry`]).
+    pub fn decompress_with_retry(
+        &self,
+        y: &Tensor,
+        faults: &mut StepFaults,
+        max_attempts: u32,
+    ) -> Result<RunResult, DeviceError> {
+        self.run_with_retry(&self.decompress_model, y, faults, max_attempts)
+    }
+
+    fn run_with_retry(
+        &self,
+        model: &CompiledModel,
+        x: &Tensor,
+        faults: &mut StepFaults,
+        max_attempts: u32,
+    ) -> Result<RunResult, DeviceError> {
+        let budget = max_attempts.max(1);
+        for _ in 0..budget {
+            if faults.fires() {
+                continue; // transient device fault this step: retry
+            }
+            return self.run(model, x);
+        }
+        Err(DeviceError::Transient { attempts: budget })
     }
 
     fn run(&self, model: &CompiledModel, x: &Tensor) -> Result<RunResult, DeviceError> {
@@ -405,6 +509,95 @@ mod tests {
         let ser = SerializedDeployment::new(Platform::Sn30, 512, 4, 300, 2).unwrap();
         assert_eq!(ser.subdivision(), 2);
         assert!(ser.compress_seconds() > 0.0);
+    }
+
+    #[test]
+    fn failover_relowers_512_to_partial_on_sn30_and_groq() {
+        // The paper's manual §3.5.1 workaround, automatic: 512×512 fails to
+        // compile directly on both platforms, and the failover lands on the
+        // first admissible subdivision (s=2 → 256-wide chunks).
+        for p in [Platform::Sn30, Platform::GroqChip] {
+            let (dep, attempts) = CompressorDeployment::from_spec_with_failover(
+                p,
+                CodecSpec::Dct2d { n: 512, cf: 4 },
+                300,
+            )
+            .unwrap();
+            assert_eq!(dep.spec(), CodecSpec::Partial { n: 512, cf: 4, s: 2 }, "{p}");
+            assert_eq!(attempts.len(), 1, "{p}: only the direct lowering should fail");
+            assert_eq!(attempts[0].spec, CodecSpec::Dct2d { n: 512, cf: 4 });
+            assert!(
+                matches!(&attempts[0].error, DeviceError::Compile(c) if c.is_capacity()),
+                "{p}: {:?}",
+                attempts[0].error
+            );
+        }
+    }
+
+    #[test]
+    fn failover_is_a_noop_when_the_spec_compiles() {
+        let (dep, attempts) = CompressorDeployment::from_spec_with_failover(
+            Platform::Cs2,
+            CodecSpec::Dct2d { n: 512, cf: 4 },
+            300,
+        )
+        .unwrap();
+        assert_eq!(dep.spec(), CodecSpec::Dct2d { n: 512, cf: 4 });
+        assert!(attempts.is_empty());
+    }
+
+    #[test]
+    fn failover_does_not_mask_unsupported_operators() {
+        // Scatter/gather off-IPU is a portability failure, not a capacity
+        // one — subdividing cannot fix it, so the original error surfaces.
+        let err = CompressorDeployment::from_spec_with_failover(
+            Platform::Cs2,
+            CodecSpec::ScatterGather { n: 16, cf: 4 },
+            3,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DeviceError::Compile(CompileError::UnsupportedOperator { .. })));
+    }
+
+    #[test]
+    fn failover_deployment_stays_bit_identical_to_host() {
+        // The re-lowered deployment must compute exactly what its own spec's
+        // host codec computes — recovery never changes numerics.
+        let (dep, attempts) = CompressorDeployment::from_spec_with_failover(
+            Platform::Sn30,
+            CodecSpec::Dct2d { n: 512, cf: 4 },
+            2,
+        )
+        .unwrap();
+        assert!(!attempts.is_empty());
+        let host = dep.spec().build().unwrap();
+        let x = ramp(&[2, 512, 512]);
+        let y = dep.compress(&x).unwrap();
+        assert_eq!(y.outputs[0].data(), host.compress(&x).unwrap().data());
+    }
+
+    #[test]
+    fn transient_step_faults_are_retried_then_surface() {
+        let dep = CompressorDeployment::plain(Platform::Cs2, 32, 4, 2).unwrap();
+        let x = ramp(&[2, 32, 32]);
+
+        // Inactive plan: identical to the plain call.
+        let mut none = StepFaults::none();
+        let clean = dep.compress(&x).unwrap();
+        let retried = dep.compress_with_retry(&x, &mut none, 3).unwrap();
+        assert_eq!(clean.outputs[0].data(), retried.outputs[0].data());
+
+        // A lossy-but-recoverable plan rides through within the budget.
+        let mut flaky = StepFaults::new(9, 0.5);
+        let r = dep.compress_with_retry(&x, &mut flaky, 20).unwrap();
+        assert_eq!(r.outputs[0].data(), clean.outputs[0].data());
+        let d = dep.decompress_with_retry(&r.outputs[0], &mut flaky, 20).unwrap();
+        assert_eq!(d.outputs[0].data(), dep.decompress(&r.outputs[0]).unwrap().outputs[0].data());
+
+        // A permanently-faulting device exhausts the budget deterministically.
+        let mut dead = StepFaults::new(1, 1.0);
+        let err = dep.compress_with_retry(&x, &mut dead, 4).unwrap_err();
+        assert_eq!(err, DeviceError::Transient { attempts: 4 });
     }
 
     #[test]

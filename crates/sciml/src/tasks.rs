@@ -17,6 +17,21 @@ use crate::compressors::DataCompressor;
 use crate::data::{Dataset, DatasetKind};
 use crate::networks::{Autoencoder, EncoderDecoder, ResNetLite, UNetLite};
 
+/// A batch source failed to produce inputs (I/O, corruption, a dead
+/// prefetch worker, …). Carries the underlying error's message — the
+/// training loop doesn't depend on the store crate, so the type is a
+/// string boundary, not a wrapper enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceError(pub String);
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch source failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
 /// Where training/test *input* batches come from.
 ///
 /// [`train`] uses an in-memory dataset with a [`DataCompressor`] round-trip
@@ -26,12 +41,15 @@ use crate::networks::{Autoencoder, EncoderDecoder, ResNetLite, UNetLite};
 /// never compressed and always come from the generated dataset.
 ///
 /// Methods take `&mut self` because file-backed sources advance read
-/// cursors and restart prefetch passes between epochs.
+/// cursors and restart prefetch passes between epochs; they return
+/// `Result` because file-backed sources fail for real-world reasons
+/// (corrupt chunks under a `Fail` read policy, persistent I/O timeouts)
+/// that must stop training cleanly rather than panic mid-epoch.
 pub trait BatchSource {
     /// Training inputs for samples `start..end`, shaped `[end-start, C, n, n]`.
-    fn train_batch(&mut self, start: usize, end: usize) -> Tensor;
+    fn train_batch(&mut self, start: usize, end: usize) -> Result<Tensor, SourceError>;
     /// Test inputs for samples `start..end`.
-    fn test_batch(&mut self, start: usize, end: usize) -> Tensor;
+    fn test_batch(&mut self, start: usize, end: usize) -> Result<Tensor, SourceError>;
     /// Nominal compression ratio of the data path.
     fn ratio(&self) -> f64;
     /// Display label for figure legends.
@@ -39,6 +57,7 @@ pub trait BatchSource {
 }
 
 /// The in-memory path: dataset batches through a compressor round-trip.
+/// Infallible — [`train`] relies on that to stay a non-`Result` API.
 struct CompressorSource<'a> {
     compressor: &'a dyn DataCompressor,
     train: &'a Dataset,
@@ -46,12 +65,12 @@ struct CompressorSource<'a> {
 }
 
 impl BatchSource for CompressorSource<'_> {
-    fn train_batch(&mut self, start: usize, end: usize) -> Tensor {
+    fn train_batch(&mut self, start: usize, end: usize) -> Result<Tensor, SourceError> {
         // §4.1: compress + decompress the training batch.
-        self.compressor.roundtrip(&self.train.input_batch(start, end))
+        Ok(self.compressor.roundtrip(&self.train.input_batch(start, end)))
     }
-    fn test_batch(&mut self, start: usize, end: usize) -> Tensor {
-        self.compressor.roundtrip(&self.test.input_batch(start, end))
+    fn test_batch(&mut self, start: usize, end: usize) -> Result<Tensor, SourceError> {
+        Ok(self.compressor.roundtrip(&self.test.input_batch(start, end)))
     }
     fn ratio(&self) -> f64 {
         self.compressor.ratio()
@@ -218,13 +237,20 @@ pub fn train(config: &TrainConfig, compressor: &dyn DataCompressor) -> TrainResu
     let (train_ds, test_ds) = generate_datasets(config);
     let mut source = CompressorSource { compressor, train: &train_ds, test: &test_ds };
     train_impl(config, &mut source, &train_ds, &test_ds)
+        .expect("the in-memory compressor source is infallible")
 }
 
 /// Train a benchmark with inputs from an external [`BatchSource`] (e.g. a
 /// packed `.dcz` container). Targets and labels come from the same seeded
 /// datasets [`train`] would generate, so a source that serves bit-identical
 /// inputs reproduces [`train`]'s losses exactly.
-pub fn train_from_source(config: &TrainConfig, source: &mut dyn BatchSource) -> TrainResult {
+///
+/// Fails (cleanly, mid-epoch state discarded) if the source does — see
+/// [`SourceError`].
+pub fn train_from_source(
+    config: &TrainConfig,
+    source: &mut dyn BatchSource,
+) -> Result<TrainResult, SourceError> {
     let (train_ds, test_ds) = generate_datasets(config);
     train_impl(config, source, &train_ds, &test_ds)
 }
@@ -234,7 +260,7 @@ fn train_impl(
     source: &mut dyn BatchSource,
     train_ds: &Dataset,
     test_ds: &Dataset,
-) -> TrainResult {
+) -> Result<TrainResult, SourceError> {
     let mut rng = Tensor::seeded_rng(config.seed.wrapping_add(2));
 
     match config.benchmark {
@@ -278,7 +304,7 @@ fn run_loop(
     test_ds: &Dataset,
     params: Vec<aicomp_nn::Param>,
     forward: impl Fn(&mut Tape, &Tensor, bool) -> aicomp_nn::Var,
-) -> TrainResult {
+) -> Result<TrainResult, SourceError> {
     let mut opt = Adam::new(params, config.lr);
     let mut epochs = Vec::with_capacity(config.epochs);
     let nbatches = train_ds.len() / config.batch_size;
@@ -287,7 +313,7 @@ fn run_loop(
         let mut train_loss = 0.0f64;
         for b in 0..nbatches.max(1) {
             let (start, end) = batch_range(b, config.batch_size, train_ds.len());
-            let batch = source.train_batch(start, end);
+            let batch = source.train_batch(start, end)?;
 
             let mut tape = Tape::new();
             let pred = forward(&mut tape, &batch, true);
@@ -298,16 +324,16 @@ fn run_loop(
         }
         train_loss /= nbatches.max(1) as f64;
 
-        let (test_loss, test_accuracy) = evaluate(config, source, test_ds, &forward);
+        let (test_loss, test_accuracy) = evaluate(config, source, test_ds, &forward)?;
         epochs.push(EpochMetrics { train_loss, test_loss, test_accuracy });
     }
 
-    TrainResult {
+    Ok(TrainResult {
         benchmark: config.benchmark,
         compressor: source.label(),
         ratio: source.ratio(),
         epochs,
-    }
+    })
 }
 
 fn batch_range(b: usize, batch_size: usize, len: usize) -> (usize, usize) {
@@ -345,7 +371,7 @@ fn evaluate(
     source: &mut dyn BatchSource,
     test_ds: &Dataset,
     forward: &impl Fn(&mut Tape, &Tensor, bool) -> aicomp_nn::Var,
-) -> (f64, Option<f64>) {
+) -> Result<(f64, Option<f64>), SourceError> {
     let nbatches = test_ds.len().div_ceil(config.batch_size);
     let mut loss = 0.0f64;
     let mut correct = 0usize;
@@ -354,7 +380,7 @@ fn evaluate(
         if start >= end {
             break;
         }
-        let batch = source.test_batch(start, end);
+        let batch = source.test_batch(start, end)?;
         let mut tape = Tape::new();
         let pred = forward(&mut tape, &batch, false);
         let l = benchmark_loss(&mut tape, config.benchmark, pred, test_ds, start, end);
@@ -371,7 +397,7 @@ fn evaluate(
     let loss = loss / test_ds.len() as f64;
     let acc =
         (config.benchmark == Benchmark::Classify).then(|| correct as f64 / test_ds.len() as f64);
-    (loss, acc)
+    Ok((loss, acc))
 }
 
 #[cfg(test)]
@@ -448,11 +474,11 @@ mod tests {
             test: Dataset,
         }
         impl BatchSource for MemSource {
-            fn train_batch(&mut self, start: usize, end: usize) -> Tensor {
-                self.train.input_batch(start, end)
+            fn train_batch(&mut self, start: usize, end: usize) -> Result<Tensor, SourceError> {
+                Ok(self.train.input_batch(start, end))
             }
-            fn test_batch(&mut self, start: usize, end: usize) -> Tensor {
-                self.test.input_batch(start, end)
+            fn test_batch(&mut self, start: usize, end: usize) -> Result<Tensor, SourceError> {
+                Ok(self.test.input_batch(start, end))
             }
             fn ratio(&self) -> f64 {
                 1.0
@@ -469,7 +495,7 @@ mod tests {
             train: Dataset::generate(kind, cfg.train_size, cfg.seed),
             test: Dataset::generate(kind, cfg.test_size, cfg.seed.wrapping_add(1)),
         };
-        let r = train_from_source(&cfg, &mut source);
+        let r = train_from_source(&cfg, &mut source).unwrap();
         assert_eq!(r.compressor, "mem");
         for (a, b) in base.epochs.iter().zip(&r.epochs) {
             assert_eq!(a.train_loss, b.train_loss);

@@ -5,12 +5,17 @@
 //! dcz pack    --input raw.f32 --codec dct2d-n32-cf4 --channels 3 --chunk 16 --out data.dcz
 //! dcz unpack  --input data.dcz --out raw.f32 [--cf 2]
 //! dcz inspect --input data.dcz
-//! dcz verify  --input data.dcz
+//! dcz verify  --input data.dcz [--deep]
+//! dcz repair  --input broken.dcz --out salvaged.dcz
 //! ```
 //!
 //! `gen` writes a seeded sciml benchmark dataset's inputs as raw
 //! little-endian f32 (the interchange format `pack` consumes), so the full
 //! pack → verify → unpack path can be exercised without any external data.
+//! `verify --deep` reports per-chunk health (healthy / degraded / dead)
+//! instead of stopping at the first bad chunk; `repair` writes the best
+//! container the surviving chunks support (rebuilding the index by
+//! scanning when the footer is gone).
 
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
@@ -18,8 +23,8 @@ use std::process::ExitCode;
 
 use aicomp_core::CodecSpec;
 use aicomp_sciml::{Dataset, DatasetKind};
-use aicomp_store::writer::{DczWriter, StoreOptions};
-use aicomp_store::DczReader;
+use aicomp_store::writer::{DczFileWriter, StoreOptions};
+use aicomp_store::{deep_verify, repair, ChunkStatus, DczReader};
 use aicomp_tensor::Tensor;
 
 fn arg(args: &[String], name: &str) -> Option<String> {
@@ -38,14 +43,15 @@ fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Resul
 }
 
 fn usage() -> String {
-    "usage: dcz <gen|pack|unpack|inspect|verify> [flags]\n\
+    "usage: dcz <gen|pack|unpack|inspect|verify|repair> [flags]\n\
      \x20 gen     --dataset <classify|em_denoise|optical_damage|slstr_cloud> \
      --count <N> --seed <S> --out <raw.f32>\n\
      \x20 pack    --input <raw.f32> --codec <name, e.g. dct2d-n32-cf4> \
      --channels <C> --chunk <samples> --out <file.dcz>\n\
      \x20 unpack  --input <file.dcz> --out <raw.f32> [--cf <coarser>]\n\
      \x20 inspect --input <file.dcz>\n\
-     \x20 verify  --input <file.dcz>"
+     \x20 verify  --input <file.dcz> [--deep]   (--deep: per-chunk health report)\n\
+     \x20 repair  --input <file.dcz> --out <salvaged.dcz>"
         .into()
 }
 
@@ -64,6 +70,7 @@ fn main() -> ExitCode {
         "unpack" => unpack(&args),
         "inspect" => inspect(&args),
         "verify" => verify(&args),
+        "repair" => repair_cmd(&args),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     };
     match result {
@@ -125,7 +132,9 @@ fn pack(args: &[String]) -> Result<(), String> {
     let count = raw.len() / sample_bytes;
 
     let opts = StoreOptions { codec, channels, chunk_size };
-    let mut writer = DczWriter::create(&out, &opts).map_err(|e| e.to_string())?;
+    // Crash-safe: streams into a temporary and renames into place at
+    // finish, so an interrupted pack never leaves a half-valid `out`.
+    let mut writer = DczFileWriter::create(&out, &opts).map_err(|e| e.to_string())?;
     for s in 0..count {
         let floats: Vec<f32> = raw[s * sample_bytes..(s + 1) * sample_bytes]
             .chunks_exact(4)
@@ -134,7 +143,7 @@ fn pack(args: &[String]) -> Result<(), String> {
         let t = Tensor::from_vec(floats, [channels, n, n]).map_err(|e| e.to_string())?;
         writer.push(t).map_err(|e| e.to_string())?;
     }
-    let (_, summary) = writer.finish().map_err(|e| e.to_string())?;
+    let summary = writer.finish().map_err(|e| e.to_string())?;
     println!(
         "packed {} samples into {} chunks: {} -> {} bytes \
          (chop x{:.2}, entropy x{:.2}, total x{:.2})",
@@ -202,12 +211,57 @@ fn inspect(args: &[String]) -> Result<(), String> {
 fn verify(args: &[String]) -> Result<(), String> {
     let input = required(args, "--input")?;
     let mut reader = DczReader::open(&input).map_err(|e| e.to_string())?;
-    let report = reader.verify().map_err(|e| format!("FAILED: {e}"))?;
+    if args.iter().any(|a| a == "--deep") {
+        let report = deep_verify(&mut reader).map_err(|e| e.to_string())?;
+        println!("{input}: per-chunk health");
+        println!("  chunk  first  samples  status");
+        for c in &report.chunks {
+            let status = match &c.status {
+                ChunkStatus::Healthy => "healthy".to_string(),
+                ChunkStatus::Degraded { max_cf, error } => {
+                    format!("DEGRADED (readable to cf {max_cf}): {error}")
+                }
+                ChunkStatus::Dead { error } => format!("DEAD: {error}"),
+            };
+            println!("  {:>5}  {:>5}  {:>7}  {status}", c.chunk, c.first_sample, c.samples);
+        }
+        println!(
+            "  {} healthy, {} degraded, {} dead of {} chunks",
+            report.healthy(),
+            report.degraded(),
+            report.dead(),
+            report.chunks.len()
+        );
+        if !report.is_clean() {
+            return Err("container has damaged chunks (see report above)".into());
+        }
+    } else {
+        let report = reader.verify().map_err(|e| format!("FAILED: {e}"))?;
+        println!(
+            "{input}: OK ({} chunks, {} payload bytes, {} samples)",
+            report.chunks,
+            report.payload_bytes,
+            reader.sample_count()
+        );
+    }
+    Ok(())
+}
+
+fn repair_cmd(args: &[String]) -> Result<(), String> {
+    let input = required(args, "--input")?;
+    let out = required(args, "--out")?;
+    let report = repair(&input, &out).map_err(|e| e.to_string())?;
     println!(
-        "{input}: OK ({} chunks, {} payload bytes, {} samples)",
-        report.chunks,
-        report.payload_bytes,
-        reader.sample_count()
+        "{input} -> {out}: kept {} of {} chunks ({} samples{}{})",
+        report.kept,
+        report.scanned,
+        report.samples,
+        if report.index_rebuilt { ", index rebuilt by scan" } else { "" },
+        if report.dropped > 0 {
+            format!(", {} chunk(s) dropped", report.dropped)
+        } else {
+            String::new()
+        }
     );
     Ok(())
 }

@@ -44,6 +44,10 @@
 //!   ahead of the training loop (crossbeam channels).
 //! * [`loader`] — [`StoreBatchSource`]: plugs packed files into
 //!   [`aicomp_sciml::tasks`] so the benchmarks train from `.dcz`.
+//! * [`fault`] — seeded, deterministic fault injection ([`FaultPlan`],
+//!   off by default) and bounded-retry policies for transient I/O.
+//! * [`recover`] — per-chunk health checks ([`deep_verify`]), index
+//!   rebuild by chunk scanning, and container [`salvage`]/[`repair`].
 //!
 //! ## Quickstart
 //!
@@ -73,17 +77,23 @@ pub mod bands;
 pub mod chunk;
 pub mod crc;
 pub mod entropy;
+pub mod fault;
 pub mod layout;
 pub mod loader;
 pub mod prefetch;
 pub mod reader;
+pub mod recover;
 pub mod writer;
 
+pub use fault::{FaultPlan, FaultySink, FaultySource, RetryPolicy};
 pub use layout::{Header, IndexEntry};
-pub use loader::StoreBatchSource;
-pub use prefetch::{PrefetchConfig, PrefetchLoader};
+pub use loader::{PassHealth, StoreBatchSource};
+pub use prefetch::{ChunkFidelity, PrefetchConfig, PrefetchLoader, ReadPolicy};
 pub use reader::{DczReader, VerifyReport};
-pub use writer::{DczWriter, StoreOptions, StoreSummary};
+pub use recover::{
+    deep_verify, repair, salvage, ChunkHealth, ChunkStatus, DeepReport, SalvageReport,
+};
+pub use writer::{DczFileWriter, DczWriter, StoreOptions, StoreSummary};
 
 /// Errors from the container format and loaders.
 #[derive(Debug)]
@@ -100,6 +110,24 @@ pub enum StoreError {
     Core(aicomp_core::CoreError),
     /// Entropy-coding failure.
     Codec(aicomp_baselines::BaselineError),
+    /// A background worker panicked (caught and surfaced in order).
+    Panic(String),
+}
+
+impl StoreError {
+    /// Is this a transient I/O failure worth retrying (timeout, interrupt,
+    /// would-block)? Everything else — corruption, format errors, panics —
+    /// is permanent and retrying would only repeat it.
+    pub fn is_transient(&self) -> bool {
+        use std::io::ErrorKind;
+        matches!(
+            self,
+            StoreError::Io(e) if matches!(
+                e.kind(),
+                ErrorKind::TimedOut | ErrorKind::WouldBlock | ErrorKind::Interrupted
+            )
+        )
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -111,6 +139,7 @@ impl std::fmt::Display for StoreError {
             StoreError::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
             StoreError::Core(e) => write!(f, "compressor error: {e}"),
             StoreError::Codec(e) => write!(f, "entropy codec error: {e}"),
+            StoreError::Panic(msg) => write!(f, "worker panic: {msg}"),
         }
     }
 }

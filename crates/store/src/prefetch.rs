@@ -11,8 +11,35 @@
 //! order regardless of which worker finished first.
 //!
 //! Memory is bounded by `lookahead + workers + reorder window` chunks.
+//!
+//! ## Failure handling
+//!
+//! A production loader must outlive its storage. Three layers:
+//!
+//! * **Transient I/O** (timeouts, interrupts) is retried with bounded
+//!   backoff by each worker's reader ([`RetryPolicy`]); errors that
+//!   persist past the retry budget propagate under *every* policy —
+//!   they mean the source is unavailable, not that the data is bad.
+//! * **Corruption** is governed by [`ReadPolicy`]: fail the stream
+//!   (default), skip the chunk (zeros substitute, shape-stable), or
+//!   degrade to the deepest intact ring prefix — the Progressive
+//!   Compressed Records trade (Kuchnik et al., arXiv:1911.00472), which
+//!   our frequency-ring chunks support natively. Each produced chunk
+//!   carries a [`ChunkFidelity`] tag so consumers can report exactly what
+//!   they trained on.
+//! * **Worker panics** are caught and surfaced as an in-order
+//!   [`StoreError::Panic`] for the claimed chunk (then handled per
+//!   policy). Without this, a panicking worker loses its claimed index
+//!   and the consumer stalls forever on the reorder gap.
+//!
+//! Fault injection ([`FaultPlan`], off by default) threads through
+//! [`PrefetchConfig`] so every one of these paths is deterministically
+//! testable.
 
 use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -21,8 +48,54 @@ use std::thread::JoinHandle;
 use aicomp_tensor::Tensor;
 use crossbeam::channel::{bounded, Receiver};
 
+use crate::fault::{FaultPlan, FaultySource, RetryPolicy};
+use crate::layout::{Header, IndexEntry};
 use crate::reader::DczReader;
 use crate::{Result, StoreError};
+
+/// What the loader does with a chunk that will not decode (corruption,
+/// decode failures, worker panics — not transient I/O, which always
+/// propagates after retries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPolicy {
+    /// Surface the error to the consumer (in chunk order). The default.
+    #[default]
+    Fail,
+    /// Substitute zeros of the chunk's shape and keep going; the chunk is
+    /// tagged [`ChunkFidelity::Skipped`] with the underlying error.
+    SkipChunk,
+    /// Try coarser ring prefixes first — a chunk whose *tail* is damaged
+    /// still decodes bit-exactly at a lower chop factor
+    /// ([`DczReader::decompress_chunk_salvage`]). Falls back to the
+    /// zeros substitute when no prefix survives, so this policy is a
+    /// superset of [`ReadPolicy::SkipChunk`].
+    DegradeToPrefix,
+}
+
+/// How faithfully a [`PrefetchedChunk`] reflects what was stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkFidelity {
+    /// Decoded at the requested fidelity.
+    Full,
+    /// Tail damage: decoded from the intact ring prefix at chop factor
+    /// `cf` (below the requested one).
+    Degraded {
+        /// Chop factor actually decoded.
+        cf: usize,
+    },
+    /// Undecodable: the data is zeros and `error` says why.
+    Skipped {
+        /// The error that made the chunk undecodable.
+        error: String,
+    },
+}
+
+impl ChunkFidelity {
+    /// True for a full-fidelity chunk.
+    pub fn is_full(&self) -> bool {
+        *self == ChunkFidelity::Full
+    }
+}
 
 /// Prefetching knobs.
 #[derive(Debug, Clone, Copy)]
@@ -34,11 +107,25 @@ pub struct PrefetchConfig {
     /// Read at this chop factor instead of the stored one (progressive
     /// prefix reads); `None` reads full fidelity.
     pub read_cf: Option<usize>,
+    /// Corrupt-chunk handling (default: [`ReadPolicy::Fail`]).
+    pub policy: ReadPolicy,
+    /// Injected faults for the workers' readers (default: none — the
+    /// wrapper is a pass-through and the happy path is untouched).
+    pub fault: FaultPlan,
+    /// Transient-I/O retry budget for the workers' readers.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PrefetchConfig {
     fn default() -> Self {
-        PrefetchConfig { workers: 2, lookahead: 4, read_cf: None }
+        PrefetchConfig {
+            workers: 2,
+            lookahead: 4,
+            read_cf: None,
+            policy: ReadPolicy::Fail,
+            fault: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -51,7 +138,16 @@ pub struct PrefetchedChunk {
     pub first_sample: u64,
     /// Reconstructed samples, `[S, C, n', n']`.
     pub data: Tensor,
+    /// Whether `data` is the full-fidelity decode, a degraded prefix, or
+    /// a zeros substitute.
+    pub fidelity: ChunkFidelity,
 }
+
+type FaultyReader = DczReader<FaultySource<BufReader<File>>>;
+
+/// Container geometry shared with workers so policy substitutes (zeros of
+/// the right shape) survive a dead reader.
+type Meta = (Header, Vec<IndexEntry>);
 
 /// Multi-threaded, in-order chunk iterator over a `.dcz` file.
 #[derive(Debug)]
@@ -70,7 +166,8 @@ impl PrefetchLoader {
         let path: PathBuf = path.as_ref().to_path_buf();
         // Validate the container (and the requested fidelity) up front, on
         // the caller's thread, so configuration errors surface here rather
-        // than as a worker-side failure mid-iteration.
+        // than as a worker-side failure mid-iteration. The probe reads the
+        // real file — injected faults only apply to the workers.
         let probe = DczReader::open(&path)?;
         let chunk_count = probe.chunk_count();
         let stored_cf = probe.header().cf();
@@ -81,6 +178,7 @@ impl PrefetchLoader {
                 )));
             }
         }
+        let meta: Arc<Meta> = Arc::new((*probe.header(), probe.index().to_vec()));
         drop(probe);
 
         let workers_n = cfg.workers.max(1);
@@ -90,31 +188,44 @@ impl PrefetchLoader {
         for _ in 0..workers_n {
             let tx = tx.clone();
             let cursor = Arc::clone(&cursor);
+            let meta = Arc::clone(&meta);
             let path = path.clone();
-            let read_cf = cfg.read_cf;
             workers.push(std::thread::spawn(move || {
-                let mut reader = match DczReader::open(&path) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        // Report the failure against whichever chunk this
-                        // worker would have produced next.
-                        let at = cursor.fetch_add(1, Ordering::Relaxed);
-                        let _ = tx.send((at, Err(e)));
-                        return;
-                    }
-                };
+                // Opened lazily (and reopened after a panic poisons it).
+                let mut reader: Option<FaultyReader> = None;
                 loop {
                     let chunk = cursor.fetch_add(1, Ordering::Relaxed);
-                    if chunk >= reader.chunk_count() {
+                    if chunk >= meta.1.len() {
                         return;
                     }
-                    let first_sample = reader.index()[chunk].first_sample;
-                    let decoded = match read_cf {
-                        Some(cf) => reader.decompress_chunk_at(chunk, cf),
-                        None => reader.decompress_chunk(chunk),
-                    }
-                    .map(|data| PrefetchedChunk { chunk, first_sample, data });
-                    if tx.send((chunk, decoded)).is_err() {
+                    // A panicking decode must not lose the claimed index —
+                    // the consumer's reorder buffer would wait on it
+                    // forever. Catch, surface in order, move on.
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        produce(&mut reader, &path, &cfg, &meta, chunk)
+                    }));
+                    let item = match outcome {
+                        Ok(res) => res,
+                        Err(payload) => {
+                            // Reader state is unknown mid-panic: drop it
+                            // and reopen on the next chunk.
+                            reader = None;
+                            Err(StoreError::Panic(panic_message(payload)))
+                        }
+                    };
+                    let item = match item {
+                        Ok(c) => Ok(c),
+                        // Persistent transients mean the *source* is gone;
+                        // no policy should paper over that.
+                        Err(e) if e.is_transient() => Err(e),
+                        Err(e) => match cfg.policy {
+                            ReadPolicy::Fail => Err(e),
+                            ReadPolicy::SkipChunk | ReadPolicy::DegradeToPrefix => {
+                                zeros_chunk(&meta, chunk, &e)
+                            }
+                        },
+                    };
+                    if tx.send((chunk, item)).is_err() {
                         return; // consumer dropped
                     }
                 }
@@ -150,6 +261,98 @@ impl PrefetchLoader {
                 }
             }
         }
+    }
+}
+
+/// Decode one chunk on a worker, honouring the configured fidelity and
+/// degrade policy. Opens (or reopens) the worker's reader on demand.
+fn produce(
+    reader: &mut Option<FaultyReader>,
+    path: &Path,
+    cfg: &PrefetchConfig,
+    meta: &Meta,
+    chunk: usize,
+) -> Result<PrefetchedChunk> {
+    let r = match reader {
+        Some(r) => r,
+        None => {
+            // Open through an inactive wrapper, then arm: injected faults
+            // target steady-state chunk reads, with op indices counted
+            // from arming so injection is deterministic per chunk stream.
+            let mut fresh = DczReader::new(FaultySource::new(
+                BufReader::new(File::open(path)?),
+                FaultPlan::none(),
+            ))?;
+            fresh.set_retry_policy(cfg.retry);
+            fresh.source_mut().set_plan(cfg.fault);
+            reader.insert(fresh)
+        }
+    };
+    let first_sample = meta.1[chunk].first_sample;
+    let stored_cf = meta.0.cf();
+    let target_cf = cfg.read_cf.unwrap_or(stored_cf);
+    let (data, fidelity) = match cfg.policy {
+        ReadPolicy::DegradeToPrefix => degrade_read(r, chunk, target_cf, stored_cf)?,
+        ReadPolicy::Fail | ReadPolicy::SkipChunk => {
+            let data = match cfg.read_cf {
+                Some(cf) => r.decompress_chunk_at(chunk, cf)?,
+                None => r.decompress_chunk(chunk)?,
+            };
+            (data, ChunkFidelity::Full)
+        }
+    };
+    Ok(PrefetchedChunk { chunk, first_sample, data, fidelity })
+}
+
+/// Full read first, then coarser ring prefixes below `target_cf` — the
+/// progressive-layout salvage. Transient errors propagate untouched.
+fn degrade_read(
+    r: &mut FaultyReader,
+    chunk: usize,
+    target_cf: usize,
+    stored_cf: usize,
+) -> Result<(Tensor, ChunkFidelity)> {
+    let full = if target_cf == stored_cf {
+        r.decompress_chunk(chunk)
+    } else {
+        r.decompress_chunk_at(chunk, target_cf)
+    };
+    match full {
+        Ok(t) => Ok((t, ChunkFidelity::Full)),
+        Err(e) if e.is_transient() => Err(e),
+        Err(e) => {
+            for cf in (1..target_cf).rev() {
+                if let Ok(t) = r.decompress_chunk_at(chunk, cf) {
+                    return Ok((t, ChunkFidelity::Degraded { cf }));
+                }
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Shape-stable substitute for an undecodable chunk: zeros of the chunk's
+/// `[S, C, n, n]`, tagged with the underlying error. Built from the probe
+/// metadata so it works even when the worker's reader is dead.
+fn zeros_chunk(meta: &Meta, chunk: usize, err: &StoreError) -> Result<PrefetchedChunk> {
+    let e = meta.1[chunk];
+    let (s, c, n) = (e.samples as usize, meta.0.channels as usize, meta.0.n());
+    let data = Tensor::from_vec(vec![0.0; s * c * n * n], [s, c, n, n])?;
+    Ok(PrefetchedChunk {
+        chunk,
+        first_sample: e.first_sample,
+        data,
+        fidelity: ChunkFidelity::Skipped { error: err.to_string() },
+    })
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
     }
 }
 
@@ -197,7 +400,7 @@ mod tests {
         let samples: Vec<Tensor> = (0..9).map(|i| sample(i, 2, 16)).collect();
         pack_file(&path, &opts, samples.iter().cloned()).unwrap();
 
-        let cfg = PrefetchConfig { workers: 3, lookahead: 2, read_cf: None };
+        let cfg = PrefetchConfig { workers: 3, lookahead: 2, ..PrefetchConfig::default() };
         let loader = PrefetchLoader::open(&path, cfg).unwrap();
         let comp = ChopCompressor::new(16, 4).unwrap();
         let mut seen = 0usize;
@@ -205,6 +408,7 @@ mod tests {
             let c = item.unwrap();
             assert_eq!(c.chunk, i);
             assert_eq!(c.first_sample, (i * 2) as u64);
+            assert!(c.fidelity.is_full());
             let lo = i * 2;
             let hi = (lo + 2).min(9);
             let refs: Vec<&Tensor> = samples[lo..hi].iter().collect();
@@ -226,7 +430,8 @@ mod tests {
         let samples: Vec<Tensor> = (0..6).map(|i| sample(i, 1, 16)).collect();
         pack_file(&path, &opts, samples.iter().cloned()).unwrap();
 
-        let cfg = PrefetchConfig { workers: 2, lookahead: 2, read_cf: Some(3) };
+        let cfg =
+            PrefetchConfig { workers: 2, lookahead: 2, read_cf: Some(3), ..Default::default() };
         let loader = PrefetchLoader::open(&path, cfg).unwrap();
         let comp = ChopCompressor::new(16, 3).unwrap();
         for (i, item) in loader.enumerate() {
@@ -247,7 +452,7 @@ mod tests {
         let opts = StoreOptions::dct(16, 4, 1, 1);
         pack_file(&path, &opts, (0..12).map(|i| sample(i, 1, 16))).unwrap();
 
-        let cfg = PrefetchConfig { workers: 2, lookahead: 1, read_cf: None };
+        let cfg = PrefetchConfig { workers: 2, lookahead: 1, ..PrefetchConfig::default() };
         let mut loader = PrefetchLoader::open(&path, cfg).unwrap();
         let first = loader.next_chunk().unwrap().unwrap();
         assert_eq!(first.chunk, 0);
@@ -260,13 +465,164 @@ mod tests {
         let path = temp_path("cfg");
         let opts = StoreOptions::dct(16, 3, 1, 2);
         pack_file(&path, &opts, (0..2).map(|i| sample(i, 1, 16))).unwrap();
-        let cfg = PrefetchConfig { workers: 1, lookahead: 1, read_cf: Some(5) };
+        let cfg =
+            PrefetchConfig { workers: 1, lookahead: 1, read_cf: Some(5), ..Default::default() };
         assert!(PrefetchLoader::open(&path, cfg).is_err());
         assert!(PrefetchLoader::open(
             std::env::temp_dir().join("aicomp_no_such_file.dcz"),
             PrefetchConfig::default()
         )
         .is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Writes a container, corrupts one byte in `chunk` at `at` bytes past
+    /// the chunk's start, and returns the (path, clean samples).
+    fn corrupted_store(tag: &str, chunk: usize, at: u64) -> (PathBuf, Vec<Tensor>) {
+        let path = temp_path(tag);
+        let opts = StoreOptions::dct(16, 4, 1, 2);
+        let samples: Vec<Tensor> = (0..8).map(|i| sample(i, 1, 16)).collect();
+        pack_file(&path, &opts, samples.iter().cloned()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let e = DczReader::open(&path).unwrap().index()[chunk];
+        let at = e.offset + if at == u64::MAX { e.len as u64 - 1 } else { at };
+        bytes[at as usize] ^= 0x2A;
+        std::fs::write(&path, bytes).unwrap();
+        (path, samples)
+    }
+
+    #[test]
+    fn fail_policy_surfaces_corruption_in_order() {
+        let (path, _) = corrupted_store("fail", 1, 6);
+        let cfg = PrefetchConfig { workers: 2, ..PrefetchConfig::default() };
+        let results: Vec<_> = PrefetchLoader::open(&path, cfg).unwrap().collect();
+        assert_eq!(results.len(), 4);
+        assert!(results[0].is_ok() && results[2].is_ok() && results[3].is_ok());
+        assert!(matches!(results[1], Err(StoreError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn skip_policy_substitutes_zeros_and_reports() {
+        let (path, samples) = corrupted_store("skip", 2, 6);
+        let cfg =
+            PrefetchConfig { workers: 2, policy: ReadPolicy::SkipChunk, ..Default::default() };
+        let comp = ChopCompressor::new(16, 4).unwrap();
+        for (i, item) in PrefetchLoader::open(&path, cfg).unwrap().enumerate() {
+            let c = item.unwrap();
+            if i == 2 {
+                assert!(matches!(c.fidelity, ChunkFidelity::Skipped { .. }));
+                assert_eq!(c.data.dims(), &[2, 1, 16, 16]);
+                assert!(c.data.data().iter().all(|v| *v == 0.0));
+            } else {
+                assert!(c.fidelity.is_full());
+                let refs: Vec<&Tensor> = samples[i * 2..i * 2 + 2].iter().collect();
+                let batch = Tensor::concat0(&refs).unwrap().reshape([2usize, 1, 16, 16]).unwrap();
+                let want = comp.roundtrip(&batch).unwrap();
+                assert_eq!(c.data.data(), want.data());
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn degrade_policy_reads_intact_prefix_bit_exact() {
+        // Corrupt the *last* byte of chunk 1: its cf-3 ring prefix is
+        // intact, so DegradeToPrefix serves it at cf=3 instead of zeros.
+        let (path, _) = corrupted_store("degrade", 1, u64::MAX);
+        let cfg = PrefetchConfig {
+            workers: 2,
+            policy: ReadPolicy::DegradeToPrefix,
+            ..Default::default()
+        };
+        let mut clean = DczReader::open(&path).unwrap();
+        for (i, item) in PrefetchLoader::open(&path, cfg).unwrap().enumerate() {
+            let c = item.unwrap();
+            if i == 1 {
+                assert_eq!(c.fidelity, ChunkFidelity::Degraded { cf: 3 });
+                let want = clean.decompress_chunk_at(1, 3).unwrap();
+                let a: Vec<u32> = c.data.data().iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b);
+            } else {
+                assert!(c.fidelity.is_full(), "chunk {i}: {:?}", c.fidelity);
+            }
+        }
+        // Head corruption (prelude) on the same container leaves nothing
+        // to degrade to — that chunk becomes a zeros substitute.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let e = clean.index()[0];
+        bytes[e.offset as usize] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        let results: Vec<_> =
+            PrefetchLoader::open(&path, cfg).unwrap().collect::<Result<_>>().unwrap();
+        assert!(matches!(results[0].fidelity, ChunkFidelity::Skipped { .. }));
+        assert_eq!(results[1].fidelity, ChunkFidelity::Degraded { cf: 3 });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn panicking_worker_surfaces_in_order_instead_of_stalling() {
+        let path = temp_path("panic");
+        let opts = StoreOptions::dct(16, 4, 1, 1);
+        pack_file(&path, &opts, (0..12).map(|i| sample(i, 1, 16))).unwrap();
+
+        // One worker, panic injected at the 5th steady-state I/O op
+        // (~chunk 2: each 1-sample chunk costs a seek + a read).
+        // Pre-fix, the panicking worker died with its claimed chunk and
+        // next_chunk() blocked forever on the reorder gap; now the panic
+        // arrives as an in-order StoreError::Panic.
+        let cfg = PrefetchConfig {
+            workers: 1,
+            lookahead: 2,
+            fault: FaultPlan { panic_on_op: Some(5), ..FaultPlan::none() },
+            ..PrefetchConfig::default()
+        };
+        let results: Vec<_> = PrefetchLoader::open(&path, cfg).unwrap().collect();
+        assert_eq!(results.len(), 12, "every chunk must be accounted for");
+        let panics = results.iter().filter(|r| matches!(r, Err(StoreError::Panic(_)))).count();
+        assert!(panics >= 1, "the injected panic must surface as StoreError::Panic");
+        assert!(results.iter().all(|r| !matches!(r, Err(StoreError::Format(_)))));
+
+        // Under SkipChunk the same panic degrades to a zeros chunk and the
+        // stream completes clean.
+        let cfg = PrefetchConfig { policy: ReadPolicy::SkipChunk, ..cfg };
+        let results: Vec<_> =
+            PrefetchLoader::open(&path, cfg).unwrap().collect::<Result<_>>().unwrap();
+        assert_eq!(results.len(), 12);
+        assert!(results.iter().any(
+            |c| matches!(&c.fidelity, ChunkFidelity::Skipped { error } if error.contains("panic"))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_faults_ride_through_retries() {
+        let path = temp_path("transient");
+        let opts = StoreOptions::dct(16, 4, 2, 2);
+        let samples: Vec<Tensor> = (0..8).map(|i| sample(i, 2, 16)).collect();
+        pack_file(&path, &opts, samples.iter().cloned()).unwrap();
+
+        // Worker op sequences depend on which worker claims which chunk,
+        // so make the retry budget ample enough that any claim order rides
+        // through a 20% per-op fault rate.
+        let cfg = PrefetchConfig {
+            workers: 2,
+            fault: FaultPlan::transient(23, 0.2),
+            retry: RetryPolicy { max_attempts: 10, backoff: std::time::Duration::ZERO },
+            ..PrefetchConfig::default()
+        };
+        let comp = ChopCompressor::new(16, 4).unwrap();
+        let mut seen = 0;
+        for (i, item) in PrefetchLoader::open(&path, cfg).unwrap().enumerate() {
+            let c = item.unwrap();
+            let refs: Vec<&Tensor> = samples[i * 2..i * 2 + 2].iter().collect();
+            let batch = Tensor::concat0(&refs).unwrap().reshape([2usize, 2, 16, 16]).unwrap();
+            let want = comp.roundtrip(&batch).unwrap();
+            assert_eq!(c.data.data(), want.data(), "chunk {i}");
+            seen += 1;
+        }
+        assert_eq!(seen, 4);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -23,6 +23,7 @@ use aicomp_tensor::Tensor;
 
 use crate::chunk::{decode_chunk, decode_prelude, decode_sections, prelude_len};
 use crate::crc::crc32;
+use crate::fault::{with_retry, RetryPolicy};
 use crate::layout::{read_footer, read_index, Header, IndexEntry, FOOTER_LEN, INDEX_ENTRY_LEN};
 use crate::{Result, StoreError};
 
@@ -42,6 +43,8 @@ pub struct DczReader<R: Read + Seek> {
     header: Header,
     index: Vec<IndexEntry>,
     bytes_read: u64,
+    /// Bounded-backoff retry for transient I/O (timeouts, interrupts).
+    retry: RetryPolicy,
     /// Per-fidelity decompressors, built lazily from the header's codec
     /// spec through the registry (`read_cf → codec`).
     decompressors: HashMap<usize, Box<dyn Codec>>,
@@ -97,7 +100,28 @@ impl<R: Read + Seek> DczReader<R> {
             return Err(StoreError::Format("index totals disagree with header".into()));
         }
 
-        Ok(DczReader { src, header, index, bytes_read: 0, decompressors: HashMap::new() })
+        Ok(DczReader {
+            src,
+            header,
+            index,
+            bytes_read: 0,
+            retry: RetryPolicy::default(),
+            decompressors: HashMap::new(),
+        })
+    }
+
+    /// Replace the transient-I/O retry policy (default: 3 attempts with
+    /// sub-millisecond exponential backoff).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Mutable access to the underlying source. Exists so fault injection
+    /// can be armed *after* the header/index parse (see
+    /// [`crate::FaultySource::set_plan`]) — injecting into setup I/O
+    /// would mostly test that opening fails, not that reads recover.
+    pub fn source_mut(&mut self) -> &mut R {
+        &mut self.src
     }
 
     /// The container header.
@@ -135,9 +159,15 @@ impl<R: Read + Seek> DczReader<R> {
     }
 
     fn read_payload(&mut self, offset: u64, len: usize) -> Result<Vec<u8>> {
-        self.src.seek(SeekFrom::Start(offset))?;
-        let mut buf = vec![0u8; len];
-        self.src.read_exact(&mut buf)?;
+        // Seek + read as one retried unit: a transient failure mid-read
+        // leaves the cursor anywhere, so every attempt re-seeks.
+        let (src, retry) = (&mut self.src, self.retry);
+        let buf = with_retry(retry, || {
+            src.seek(SeekFrom::Start(offset))?;
+            let mut buf = vec![0u8; len];
+            src.read_exact(&mut buf)?;
+            Ok(buf)
+        })?;
         self.bytes_read += len as u64;
         Ok(buf)
     }
@@ -205,6 +235,33 @@ impl<R: Read + Seek> DczReader<R> {
         let coeffs = self.read_chunk_at(chunk, read_cf)?;
         let c = self.decompressor(read_cf)?;
         Ok(c.decompress(&coeffs)?)
+    }
+
+    /// Best-effort decode of a damaged chunk: try the full read first, then
+    /// walk coarser ring prefixes (`cf−1 … 1`) until one decodes — the
+    /// progressive layout means a chunk whose *tail* is corrupt still holds
+    /// a bit-exact coarser encoding in its intact prefix (each section's
+    /// Huffman stream self-checks, standing in for the full-payload CRC).
+    ///
+    /// Returns the reconstruction and the chop factor actually used, or the
+    /// original error when no prefix decodes (prelude/ring-0 damage).
+    /// Transient I/O errors are *not* walked down — they are retried by
+    /// [`RetryPolicy`] and propagate if they persist, since a coarser read
+    /// of a timing-out source would time out too.
+    pub fn decompress_chunk_salvage(&mut self, chunk: usize) -> Result<(Tensor, usize)> {
+        let stored_cf = self.header.cf();
+        match self.decompress_chunk(chunk) {
+            Ok(t) => Ok((t, stored_cf)),
+            Err(e) if e.is_transient() => Err(e),
+            Err(e) => {
+                for read_cf in (1..stored_cf).rev() {
+                    if let Ok(t) = self.decompress_chunk_at(chunk, read_cf) {
+                        return Ok((t, read_cf));
+                    }
+                }
+                Err(e)
+            }
+        }
     }
 
     /// CRC-check and fully decode every chunk.
@@ -399,6 +456,69 @@ mod tests {
         let report = r.verify().unwrap();
         assert_eq!(report.chunks, 4);
         assert_eq!(report.payload_bytes, r.index().iter().map(|e| e.len as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn transient_faults_retried_transparently() {
+        use crate::fault::{FaultPlan, FaultySource};
+        let opts = StoreOptions::dct(16, 4, 1, 2);
+        let samples: Vec<Tensor> = (0..6).map(|i| sample(i, 1, 16)).collect();
+        let file = pack(&samples, &opts);
+
+        // ~25% of steady-state I/O ops time out (armed after open, so the
+        // header/index parse is clean); a generous retry budget rides
+        // through every chunk (each payload read is one seek + read unit,
+        // and each attempt draws fresh per-op decisions).
+        let mut r = DczReader::new(FaultySource::new(Cursor::new(file.clone()), FaultPlan::none()))
+            .unwrap();
+        r.source_mut().set_plan(FaultPlan::transient(11, 0.25));
+        r.set_retry_policy(RetryPolicy { max_attempts: 10, backoff: std::time::Duration::ZERO });
+        let mut clean = DczReader::new(Cursor::new(file)).unwrap();
+        for chunk in 0..r.chunk_count() {
+            let got = r.decompress_chunk(chunk).unwrap();
+            let want = clean.decompress_chunk(chunk).unwrap();
+            let a: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "chunk {chunk}");
+        }
+
+        // With retries disabled the same plan must surface timeouts.
+        let mut r = DczReader::new(FaultySource::new(
+            Cursor::new(pack(&samples, &opts)),
+            FaultPlan::none(),
+        ))
+        .unwrap();
+        r.source_mut().set_plan(FaultPlan::transient(11, 1.0));
+        r.set_retry_policy(RetryPolicy::none());
+        assert!(r.read_chunk(0).unwrap_err().is_transient());
+    }
+
+    #[test]
+    fn tail_corruption_salvages_to_coarser_prefix() {
+        let opts = StoreOptions::dct(16, 4, 1, 4);
+        let samples: Vec<Tensor> = (0..4).map(|i| sample(i, 1, 16)).collect();
+        let file = pack(&samples, &opts);
+        let e = DczReader::new(Cursor::new(file.clone())).unwrap().entry(0).unwrap();
+
+        // Flip the chunk's final byte: ring cf−1's section is damaged, the
+        // prefix (prelude + rings 0..cf−1) is intact.
+        let mut bad = file.clone();
+        bad[(e.offset + e.len as u64 - 1) as usize] ^= 0x10;
+        let mut r = DczReader::new(Cursor::new(bad)).unwrap();
+        assert!(r.decompress_chunk(0).is_err());
+        let (got, used_cf) = r.decompress_chunk_salvage(0).unwrap();
+        assert_eq!(used_cf, 3);
+        let mut clean = DczReader::new(Cursor::new(file.clone())).unwrap();
+        let want = clean.decompress_chunk_at(0, 3).unwrap();
+        let a: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+
+        // Prelude damage leaves nothing to salvage.
+        let mut dead = file;
+        dead[e.offset as usize] ^= 0xFF; // ring_count field
+        let mut r = DczReader::new(Cursor::new(dead)).unwrap();
+        assert!(r.decompress_chunk_salvage(0).is_err());
     }
 
     #[test]

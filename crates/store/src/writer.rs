@@ -7,10 +7,16 @@
 //! writer's dominant cost and every chunk is independent — then written to
 //! the sink in order. Memory stays bounded by
 //! `pending-queue length × chunk size` regardless of stream length.
+//!
+//! File-backed packs go through [`DczFileWriter`], which writes to a
+//! hidden temporary sibling and only renames it into place (after an
+//! `fsync`) at [`DczFileWriter::finish`]. The destination path therefore
+//! either holds the previous complete container or the new one — a pack
+//! killed at any instant can never leave a file that parses as valid.
 
 use std::fs::File;
 use std::io::{BufWriter, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use aicomp_core::streaming::{StreamStats, StreamingCompressor};
 use aicomp_core::CodecSpec;
@@ -97,13 +103,6 @@ pub struct DczWriter<W: Write + Seek> {
     payload_bytes: u64,
     /// Pending-queue length that triggers a parallel encode+flush.
     fanout: usize,
-}
-
-impl DczWriter<BufWriter<File>> {
-    /// Create a `.dcz` file at `path`.
-    pub fn create(path: impl AsRef<Path>, opts: &StoreOptions) -> Result<Self> {
-        Self::new(BufWriter::new(File::create(path)?), opts)
-    }
 }
 
 impl<W: Write + Seek> DczWriter<W> {
@@ -229,14 +228,113 @@ impl<W: Write + Seek> DczWriter<W> {
     }
 }
 
-/// Pack a sample stream into a fresh file at `path`.
+/// Crash-safe file-backed writer: streams into a hidden temporary sibling
+/// of the destination (`.{name}.tmp-{pid}`), and [`finish`] publishes it
+/// with fsync + atomic rename. Dropping an unfinished writer removes the
+/// temporary — an interrupted pack leaves the destination untouched.
+///
+/// [`finish`]: DczFileWriter::finish
+#[derive(Debug)]
+pub struct DczFileWriter {
+    /// `None` only after `finish` has taken the writer.
+    inner: Option<DczWriter<BufWriter<File>>>,
+    tmp: PathBuf,
+    dest: PathBuf,
+}
+
+impl DczFileWriter {
+    /// Start a container destined for `path`. The destination is not
+    /// created or modified until [`finish`](Self::finish) succeeds.
+    pub fn create(path: impl AsRef<Path>, opts: &StoreOptions) -> Result<Self> {
+        let dest = path.as_ref().to_path_buf();
+        let tmp = tmp_sibling(&dest);
+        let file = File::create(&tmp)?;
+        match DczWriter::new(BufWriter::new(file), opts) {
+            Ok(inner) => Ok(DczFileWriter { inner: Some(inner), tmp, dest }),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Append one `[channels, n, n]` sample.
+    pub fn push(&mut self, sample: Tensor) -> Result<()> {
+        self.writer()?.push(sample)
+    }
+
+    /// Append every sample of a `[B, channels, n, n]` batch.
+    pub fn push_batch(&mut self, batch: &Tensor) -> Result<()> {
+        self.writer()?.push_batch(batch)
+    }
+
+    /// Finalize the container, fsync it, and atomically rename it into
+    /// place. Only after this returns `Ok` does the destination exist (or
+    /// change, if it already existed).
+    pub fn finish(mut self) -> Result<StoreSummary> {
+        let Some(inner) = self.inner.take() else {
+            return Err(StoreError::InvalidArg("writer already finished".into()));
+        };
+        let (sink, summary) = inner.finish()?;
+        let file = sink.into_inner().map_err(|e| StoreError::Io(e.into_error()))?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp, &self.dest)?;
+        Ok(summary)
+        // Drop still runs; its remove_file of the (now renamed-away)
+        // temporary is a no-op.
+    }
+
+    fn writer(&mut self) -> Result<&mut DczWriter<BufWriter<File>>> {
+        self.inner.as_mut().ok_or_else(|| StoreError::InvalidArg("writer already finished".into()))
+    }
+}
+
+impl Drop for DczFileWriter {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.tmp);
+    }
+}
+
+/// Hidden same-directory temporary for `dest` — same filesystem, so the
+/// publishing `rename` is atomic.
+fn tmp_sibling(dest: &Path) -> PathBuf {
+    let name = dest
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "container.dcz".into());
+    dest.with_file_name(format!(".{name}.tmp-{}", std::process::id()))
+}
+
+/// Write `bytes` to `dest` crash-safely: hidden temporary sibling, fsync,
+/// atomic rename. Used by [`crate::recover::repair`].
+pub(crate) fn atomic_write(dest: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = tmp_sibling(dest);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, dest)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Pack a sample stream into a file at `path`, crash-safely: the path only
+/// appears (or changes) once the container is complete and fsynced.
 pub fn pack_file(
     path: impl AsRef<Path>,
     opts: &StoreOptions,
     samples: impl IntoIterator<Item = Tensor>,
 ) -> Result<StoreSummary> {
-    let (_, summary) = DczWriter::pack(BufWriter::new(File::create(path)?), opts, samples)?;
-    Ok(summary)
+    let mut w = DczFileWriter::create(path, opts)?;
+    for s in samples {
+        w.push(s)?;
+    }
+    w.finish()
 }
 
 #[cfg(test)]
@@ -307,5 +405,67 @@ mod tests {
         let mut w = DczWriter::new(Cursor::new(Vec::new()), &opts).unwrap();
         assert!(w.push(sample(0, 1, 16)).is_err());
         assert!(w.push(sample(0, 2, 8)).is_err());
+    }
+
+    fn temp_dest(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("aicomp_writer_{tag}_{}.dcz", std::process::id()))
+    }
+
+    #[test]
+    fn killed_mid_pack_leaves_no_destination() {
+        let opts = StoreOptions::dct(16, 4, 1, 2);
+        let dest = temp_dest("kill");
+        let tmp = tmp_sibling(&dest);
+        std::fs::remove_file(&dest).ok();
+        {
+            let mut w = DczFileWriter::create(&dest, &opts).unwrap();
+            for i in 0..5 {
+                w.push(sample(i, 1, 16)).unwrap();
+            }
+            // Mid-pack the destination must not exist in any form — a
+            // `kill -9` here leaves at worst a hidden temporary.
+            assert!(!dest.exists());
+            assert!(tmp.exists());
+            // Abandon without finish: the "crash" with cleanup running.
+        }
+        assert!(!dest.exists());
+        assert!(!tmp.exists(), "unfinished writer must remove its temporary");
+    }
+
+    #[test]
+    fn finish_publishes_valid_container_atomically() {
+        let opts = StoreOptions::dct(16, 4, 1, 2);
+        let dest = temp_dest("finish");
+        // Pre-existing destination survives byte-for-byte if a later pack
+        // never finishes.
+        std::fs::write(&dest, b"previous contents").unwrap();
+        {
+            let mut w = DczFileWriter::create(&dest, &opts).unwrap();
+            w.push(sample(0, 1, 16)).unwrap();
+        }
+        assert_eq!(std::fs::read(&dest).unwrap(), b"previous contents");
+
+        let mut w = DczFileWriter::create(&dest, &opts).unwrap();
+        for i in 0..5 {
+            w.push(sample(i, 1, 16)).unwrap();
+        }
+        let summary = w.finish().unwrap();
+        assert_eq!(summary.samples, 5);
+        assert!(!tmp_sibling(&dest).exists());
+        let mut r = crate::DczReader::open(&dest).unwrap();
+        r.verify().unwrap();
+        assert_eq!(r.sample_count(), 5);
+        std::fs::remove_file(&dest).ok();
+    }
+
+    #[test]
+    fn injected_sink_crash_surfaces_as_error() {
+        use crate::fault::{FaultPlan, FaultySink};
+        let opts = StoreOptions::dct(16, 4, 1, 2);
+        let samples: Vec<Tensor> = (0..6).map(|i| sample(i, 1, 16)).collect();
+        let plan = FaultPlan { truncate_at: Some(200), ..FaultPlan::none() };
+        let sink = FaultySink::new(Cursor::new(Vec::new()), plan);
+        let err = DczWriter::pack(sink, &opts, samples).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "crash maps to a clean I/O error: {err}");
     }
 }

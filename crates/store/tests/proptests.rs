@@ -8,7 +8,7 @@ use std::io::Cursor;
 
 use aicomp_core::ChopCompressor;
 use aicomp_store::writer::{DczWriter, StoreOptions};
-use aicomp_store::DczReader;
+use aicomp_store::{deep_verify, salvage, DczReader};
 use aicomp_tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -132,6 +132,94 @@ proptest! {
             reader.verify().is_err(),
             "flip at byte {pos} of payload [{payload_start}, {payload_end}) went undetected"
         );
+    }
+
+    /// Arbitrary damage — several random bit flips plus truncation at a
+    /// random length — never panics the reader, deep verification, or
+    /// salvage. Every outcome is a clean `StoreError`, and whenever salvage
+    /// succeeds its output is a container that itself verifies clean.
+    #[test]
+    fn mangled_containers_never_panic_and_salvage_output_verifies(
+        count in 1usize..10,
+        chunk_size in 1usize..5,
+        seed in 0u64..1_000_000,
+        flips in proptest::collection::vec((0.0f64..1.0, 0u32..8), 1..6),
+        trunc_frac in 0.0f64..1.0,
+    ) {
+        let samples = random_samples(count, 1, seed);
+        let mut buf = packed(&samples, 1, 4, chunk_size);
+        for &(frac, bit) in &flips {
+            let pos = ((buf.len() as f64 * frac) as usize).min(buf.len() - 1);
+            buf[pos] ^= 1u8 << bit;
+        }
+        let keep = ((buf.len() as f64 * trunc_frac) as usize).max(1).min(buf.len());
+        buf.truncate(keep);
+
+        // Reading a mangled container: errors allowed, panics not.
+        if let Ok(mut r) = DczReader::new(Cursor::new(buf.clone())) {
+            let _ = r.verify();
+            for c in 0..r.chunk_count() {
+                let _ = r.decompress_chunk_salvage(c);
+            }
+            let _ = deep_verify(&mut r);
+        }
+
+        match salvage(&buf) {
+            Err(_) => {} // header unreadable — the one legitimate fatal case
+            Ok((rebuilt, report)) => {
+                let mut r = DczReader::new(Cursor::new(rebuilt))
+                    .expect("salvaged container must open");
+                r.verify().expect("salvaged container must verify clean");
+                prop_assert_eq!(r.sample_count(), report.samples);
+                prop_assert_eq!(r.chunk_count(), report.kept);
+            }
+        }
+    }
+
+    /// With the index intact, one flipped payload byte costs at most the
+    /// chunk it lands in: salvage keeps every other chunk, bit-identical
+    /// to the clean container.
+    #[test]
+    fn salvage_keeps_every_intact_chunk(
+        count in 2usize..12,
+        chunk_size in 1usize..5,
+        cf in 2usize..=7,
+        seed in 0u64..1_000_000,
+        pos_frac in 0.0f64..1.0,
+    ) {
+        let samples = random_samples(count, 1, seed);
+        let clean = packed(&samples, 1, cf, chunk_size);
+        let (hit, payload) = {
+            let reader = DczReader::new(Cursor::new(clean.clone())).expect("open clean");
+            let first = reader.index().first().expect("nonempty index");
+            let last = reader.index().last().expect("nonempty index");
+            let (lo, hi) = (first.offset as usize, (last.offset + last.len as u64) as usize);
+            let pos = lo + (((hi - lo) as f64 * pos_frac) as usize).min(hi - lo - 1);
+            let hit = reader
+                .index()
+                .iter()
+                .position(|e| (e.offset as usize..(e.offset + e.len as u64) as usize)
+                    .contains(&pos))
+                .expect("flip lands in some chunk");
+            (hit, pos)
+        };
+        let mut bad = clean.clone();
+        bad[payload] ^= 0x10;
+
+        let (rebuilt, report) = salvage(&bad).expect("index intact, salvage succeeds");
+        prop_assert!(!report.index_rebuilt);
+        let total = count.div_ceil(chunk_size);
+        prop_assert_eq!((report.kept, report.dropped), (total - 1, 1));
+
+        let mut r = DczReader::new(Cursor::new(rebuilt)).expect("salvaged opens");
+        r.verify().expect("salvaged verifies");
+        let mut orig = DczReader::new(Cursor::new(clean)).expect("clean opens");
+        let survivors = (0..total).filter(|&c| c != hit);
+        for (new_i, old_i) in survivors.enumerate() {
+            let a = r.decompress_chunk(new_i).expect("salvaged chunk decodes");
+            let b = orig.decompress_chunk(old_i).expect("clean chunk decodes");
+            prop_assert!(a.data() == b.data(), "survivor {old_i} not bit-identical");
+        }
     }
 
     /// Truncation at any length — metadata or payload — is an error at

@@ -72,7 +72,7 @@ fn main() {
     let mut source = StoreBatchSource::open(&train_path, &test_path, PrefetchConfig::default())
         .expect("open packed pair");
     let t0 = Instant::now();
-    let result = tasks::train_from_source(&config, &mut source);
+    let result = tasks::train_from_source(&config, &mut source).expect("clean container trains");
     let dt = t0.elapsed().as_secs_f64();
     let seen = (config.train_size * config.epochs) as f64;
     println!(

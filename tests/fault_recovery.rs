@@ -1,0 +1,112 @@
+//! End-to-end recovery: training must ride through a partially-corrupted
+//! container under an explicit degraded-read policy, report exactly what
+//! was lost, and fail *deterministically* when no degradation was allowed.
+//! The robustness machinery (ISSUE: fault injection + recovery) must never
+//! change happy-path numerics — that half is pinned by `store_training.rs`
+//! and `all_platforms_agree_numerically`; this file covers the unhappy
+//! paths.
+
+use aicomp::sciml::{tasks, Benchmark, Dataset, TrainConfig};
+use aicomp::store::writer::pack_file;
+use aicomp::store::{PrefetchConfig, ReadPolicy, StoreOptions};
+use aicomp::{DczReader, StoreBatchSource};
+
+fn cfg() -> TrainConfig {
+    TrainConfig {
+        benchmark: Benchmark::Classify,
+        epochs: 2,
+        train_size: 24,
+        test_size: 8,
+        batch_size: 8,
+        lr: 2e-3,
+        seed: 19,
+    }
+}
+
+/// Pack the benchmark's train/test datasets, then flip one payload byte in
+/// one train chunk (~1 chunk in 24/2=12 ≈ 5% of the training samples).
+fn packed_pair_with_corruption(tag: &str) -> (std::path::PathBuf, std::path::PathBuf, usize, u32) {
+    let config = cfg();
+    let kind = config.benchmark.dataset_kind();
+    let [channels, n, _] = kind.sample_shape();
+    let opts = StoreOptions::dct(n, 4, channels, 2);
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let train_path = dir.join(format!("aicomp_fault_train_{tag}_{pid}.dcz"));
+    let test_path = dir.join(format!("aicomp_fault_test_{tag}_{pid}.dcz"));
+    for (path, count, seed) in [
+        (&train_path, config.train_size, config.seed),
+        (&test_path, config.test_size, config.seed + 1),
+    ] {
+        let ds = Dataset::generate(kind, count, seed);
+        let samples: Vec<_> = (0..count)
+            .map(|s| ds.input_batch(s, s + 1).reshaped([channels, n, n]).expect("sample shape"))
+            .collect();
+        pack_file(path, &opts, samples).expect("pack dataset");
+    }
+
+    // Corrupt one mid-file chunk of the training container: a payload flip
+    // the chunk CRC is guaranteed to catch.
+    let (chunk, samples_lost, pos) = {
+        let reader = DczReader::open(&train_path).expect("open packed train");
+        let e = reader.index()[3];
+        (3usize, e.samples, e.offset + e.len as u64 / 2)
+    };
+    let mut bytes = std::fs::read(&train_path).expect("read packed train");
+    bytes[pos as usize] ^= 0x08;
+    std::fs::write(&train_path, &bytes).expect("write corrupted train");
+    (train_path, test_path, chunk, samples_lost)
+}
+
+#[test]
+fn training_rides_through_corruption_under_skip_chunk_policy() {
+    let config = cfg();
+    let (train_path, test_path, bad_chunk, samples_lost) = packed_pair_with_corruption("skip");
+
+    let prefetch = PrefetchConfig { policy: ReadPolicy::SkipChunk, ..Default::default() };
+    let mut source =
+        StoreBatchSource::open(&train_path, &test_path, prefetch).expect("open corrupted pair");
+    let result = tasks::train_from_source(&config, &mut source)
+        .expect("SkipChunk training must complete despite the bad chunk");
+
+    // Training completed: every epoch trained and produced finite losses.
+    assert_eq!(result.epochs.len(), config.epochs);
+    for (i, e) in result.epochs.iter().enumerate() {
+        assert!(e.train_loss.is_finite(), "epoch {i} train loss {}", e.train_loss);
+        assert!(e.test_loss.is_finite(), "epoch {i} test loss {}", e.test_loss);
+    }
+
+    // ... and the loader accounted for exactly what was lost.
+    let health = source.train_health();
+    assert!(!health.is_clean());
+    assert_eq!(health.skipped_chunks(), 1, "{}", health.summary());
+    assert_eq!(health.skipped_samples(), samples_lost as u64);
+    let (skipped_chunk, _, _, detail) = health.skipped().next().expect("one skipped chunk");
+    assert_eq!(skipped_chunk, bad_chunk);
+    assert!(detail.contains("CRC"), "unexpected skip reason: {detail}");
+    assert!(source.test_health().is_clean(), "the test container is undamaged");
+
+    std::fs::remove_file(&train_path).ok();
+    std::fs::remove_file(&test_path).ok();
+}
+
+#[test]
+fn training_fails_deterministically_under_fail_policy() {
+    let config = cfg();
+    let (train_path, test_path, _, _) = packed_pair_with_corruption("fail");
+
+    let run = || {
+        let mut source = StoreBatchSource::open(&train_path, &test_path, PrefetchConfig::default())
+            .expect("open corrupted pair");
+        tasks::train_from_source(&config, &mut source)
+            .expect_err("Fail policy must surface the corruption")
+    };
+    let e1 = run();
+    let e2 = run();
+    assert_eq!(e1, e2, "the same corruption must produce the same error");
+    assert!(e1.to_string().contains("CRC"), "unexpected error: {e1}");
+
+    std::fs::remove_file(&train_path).ok();
+    std::fs::remove_file(&test_path).ok();
+}

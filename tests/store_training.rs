@@ -50,7 +50,8 @@ fn training_from_packed_file_matches_in_memory_losses() {
 
     let mut source = StoreBatchSource::open(&train_path, &test_path, PrefetchConfig::default())
         .expect("open packed pair");
-    let from_store = tasks::train_from_source(&config, &mut source);
+    let from_store =
+        tasks::train_from_source(&config, &mut source).expect("clean container trains");
 
     let _ = std::fs::remove_file(&train_path);
     let _ = std::fs::remove_file(&test_path);
