@@ -1,0 +1,252 @@
+//! `loadgen` — concurrent load generator for the `aicomp-serve` service.
+//!
+//! ```text
+//! loadgen [--addr <ip:port> | --store <file.dcz>] [--clients 32] [--requests 16]
+//!         [--coarse 0.5] [--cf <coarser>] [--seed 7] [--verify <file.dcz>]
+//! ```
+//!
+//! Spawns `--clients` threads, each with its own connection, issuing
+//! `--requests` fetches over random chunks; a `--coarse` fraction asks for
+//! a ring-prefix decode at `--cf` (default: half the stored chop factor).
+//! With `--addr` it drives an already-running server; otherwise it
+//! self-hosts one over `--store` (or a generated synthetic container), so
+//! the benchmark runs with zero setup.
+//!
+//! Reports client-side throughput and exact p50/p99/max latency, plus the
+//! server's own stats frame — mean batch size is the direct measurement of
+//! how many clients each coalesced decompress pass served (the Eq. 5/7
+//! FLOPs saving), and the cache hit ratio shows repeat traffic skipping
+//! decompression entirely. `Overloaded` replies are counted as shed, any
+//! other failure is fatal. With `--verify` (implied when self-hosting)
+//! every fetched chunk is bit-compared against a direct [`DczReader`]
+//! decode — batching and caching must not change a single bit.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aicomp_serve::{Client, ServeConfig, Server, ServerHandle};
+use aicomp_store::writer::pack_file;
+use aicomp_store::{DczReader, StoreOptions};
+use aicomp_tensor::Tensor;
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match arg(args, name) {
+        Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v:?}")),
+        None => Ok(default),
+    }
+}
+
+/// splitmix64 — deterministic per-client request streams with no deps.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn synthetic_container() -> Result<PathBuf, String> {
+    let path = std::env::temp_dir().join(format!("aicomp_loadgen_{}.dcz", std::process::id()));
+    let opts = StoreOptions::dct(32, 4, 3, 8);
+    let samples = (0..32).map(|i| {
+        Tensor::from_vec(
+            (0..3 * 32 * 32).map(|k| ((k * 13 + i * 41) % 97) as f32 / 16.0 - 3.0).collect(),
+            [3usize, 32, 32],
+        )
+        .expect("synthetic sample")
+    });
+    pack_file(&path, &opts, samples).map_err(|e| e.to_string())?;
+    Ok(path)
+}
+
+/// Bit patterns of every chunk at both exercised fidelities, decoded
+/// directly (no server) — the ground truth fetches are compared against.
+fn reference_bits(
+    path: &PathBuf,
+    chunks: u32,
+    fidelities: [u8; 2],
+) -> Result<HashMap<(u32, u8), Vec<u32>>, String> {
+    let mut reader = DczReader::open(path).map_err(|e| e.to_string())?;
+    let mut map = HashMap::new();
+    for chunk in 0..chunks {
+        for cf in fidelities {
+            if map.contains_key(&(chunk, cf)) {
+                continue;
+            }
+            let t = reader
+                .decompress_chunk_at(chunk as usize, cf as usize)
+                .map_err(|e| e.to_string())?;
+            map.insert((chunk, cf), t.data().iter().map(|v| v.to_bits()).collect());
+        }
+    }
+    Ok(map)
+}
+
+#[derive(Default)]
+struct Outcome {
+    ok: usize,
+    shed: usize,
+    failed: usize,
+    mismatched: usize,
+    latencies: Vec<Duration>,
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let clients: usize = parse(&args, "--clients", 32)?;
+    let requests: usize = parse(&args, "--requests", 16)?;
+    let coarse_frac: f64 = parse(&args, "--coarse", 0.5)?;
+    let seed: u64 = parse(&args, "--seed", 7)?;
+
+    // Resolve the server: external (--addr), self-hosted over --store, or
+    // self-hosted over a generated container.
+    let mut handle: Option<ServerHandle> = None;
+    let mut generated: Option<PathBuf> = None;
+    let mut verify_path: Option<PathBuf> = arg(&args, "--verify").map(PathBuf::from);
+    let addr = match arg(&args, "--addr") {
+        Some(a) => a,
+        None => {
+            let path = match arg(&args, "--store") {
+                Some(s) => PathBuf::from(s),
+                None => {
+                    let p = synthetic_container()?;
+                    generated = Some(p.clone());
+                    p
+                }
+            };
+            verify_path.get_or_insert_with(|| path.clone());
+            let server = Server::bind("127.0.0.1:0", &[path], ServeConfig::default())
+                .map_err(|e| e.to_string())?;
+            let h = server.spawn();
+            let addr = h.addr().to_string();
+            handle = Some(h);
+            addr
+        }
+    };
+
+    let mut control = Client::connect(&addr).map_err(|e| e.to_string())?;
+    let info = control.info(0).map_err(|e| e.to_string())?;
+    let stored_cf = info.cf;
+    let coarse_cf: u8 = parse(&args, "--cf", (stored_cf / 2).max(1))?;
+    if coarse_cf > stored_cf {
+        return Err(format!("--cf {coarse_cf} exceeds the stored chop factor {stored_cf}"));
+    }
+    let expected = match &verify_path {
+        Some(p) => Some(Arc::new(reference_bits(p, info.chunks, [stored_cf, coarse_cf])?)),
+        None => None,
+    };
+    println!(
+        "driving {addr}: {} chunks of {} samples, stored cf {stored_cf}, \
+         {clients} clients x {requests} requests, {:.0}% coarse (cf {coarse_cf}){}",
+        info.chunks,
+        info.chunk_size,
+        coarse_frac * 100.0,
+        if expected.is_some() { ", verifying bits" } else { "" }
+    );
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|id| {
+            let addr = addr.clone();
+            let expected = expected.clone();
+            let chunks = info.chunks;
+            std::thread::spawn(move || -> Result<Outcome, String> {
+                let mut rng = seed ^ (id as u64).wrapping_mul(0x0DDB_1A5E_5BAD_5EED);
+                let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+                let mut out = Outcome::default();
+                for _ in 0..requests {
+                    let chunk = (next(&mut rng) % chunks as u64) as u32;
+                    let coarse = (next(&mut rng) as f64 / u64::MAX as f64) < coarse_frac;
+                    let cf = if coarse { coarse_cf } else { 0 };
+                    let t = Instant::now();
+                    match client.fetch(0, chunk, cf) {
+                        Ok(got) => {
+                            out.latencies.push(t.elapsed());
+                            out.ok += 1;
+                            if let Some(exp) = &expected {
+                                let bits: Vec<u32> = got.data.iter().map(|v| v.to_bits()).collect();
+                                if exp[&(chunk, got.read_cf)] != bits {
+                                    out.mismatched += 1;
+                                }
+                            }
+                        }
+                        Err(e) if e.is_overloaded() => out.shed += 1,
+                        Err(e) => {
+                            eprintln!("client {id}: fetch failed: {e}");
+                            out.failed += 1;
+                        }
+                    }
+                }
+                Ok(out)
+            })
+        })
+        .collect();
+
+    let mut total = Outcome::default();
+    for t in threads {
+        let out = t.join().map_err(|_| "client thread panicked".to_string())??;
+        total.ok += out.ok;
+        total.shed += out.shed;
+        total.failed += out.failed;
+        total.mismatched += out.mismatched;
+        total.latencies.extend(out.latencies);
+    }
+    let wall = t0.elapsed();
+    total.latencies.sort_unstable();
+
+    println!(
+        "{} ok, {} shed, {} failed, {} bit-mismatched in {:.3} s ({:.0} fetches/s)",
+        total.ok,
+        total.shed,
+        total.failed,
+        total.mismatched,
+        wall.as_secs_f64(),
+        total.ok as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "latency: p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+        quantile(&total.latencies, 0.50).as_secs_f64() * 1e3,
+        quantile(&total.latencies, 0.99).as_secs_f64() * 1e3,
+        quantile(&total.latencies, 1.0).as_secs_f64() * 1e3,
+    );
+    let stats = control.stats().map_err(|e| e.to_string())?;
+    println!("server stats:\n{stats}");
+
+    if let Some(h) = handle {
+        control.shutdown().map_err(|e| e.to_string())?;
+        h.join();
+    }
+    if let Some(p) = generated {
+        std::fs::remove_file(p).ok();
+    }
+    Ok(total.failed == 0 && total.mismatched == 0 && total.ok > 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("loadgen: run had failures or bit mismatches (see above)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

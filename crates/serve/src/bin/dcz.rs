@@ -1,12 +1,16 @@
-//! `dcz` — command-line front end for `.dcz` containers.
+//! `dcz` — command-line front end for `.dcz` containers and the serve layer.
 //!
 //! ```text
-//! dcz gen     --dataset classify --count 64 --seed 1 --out raw.f32
-//! dcz pack    --input raw.f32 --codec dct2d-n32-cf4 --channels 3 --chunk 16 --out data.dcz
-//! dcz unpack  --input data.dcz --out raw.f32 [--cf 2]
-//! dcz inspect --input data.dcz
-//! dcz verify  --input data.dcz [--deep]
-//! dcz repair  --input broken.dcz --out salvaged.dcz
+//! dcz gen      --dataset classify --count 64 --seed 1 --out raw.f32
+//! dcz pack     --input raw.f32 --codec dct2d-n32-cf4 --channels 3 --chunk 16 --out data.dcz
+//! dcz unpack   --input data.dcz --out raw.f32 [--cf 2]
+//! dcz inspect  --input data.dcz
+//! dcz verify   --input data.dcz [--deep]
+//! dcz repair   --input broken.dcz --out salvaged.dcz
+//! dcz serve    --store data.dcz [--store more.dcz ...] [--addr 127.0.0.1:7440] [--workers 4]
+//! dcz fetch    --addr 127.0.0.1:7440 --container 0 --chunk 3 [--cf 2] [--out chunk.f32]
+//! dcz stats    --addr 127.0.0.1:7440
+//! dcz shutdown --addr 127.0.0.1:7440
 //! ```
 //!
 //! `gen` writes a seeded sciml benchmark dataset's inputs as raw
@@ -16,6 +20,11 @@
 //! instead of stopping at the first bad chunk; `repair` writes the best
 //! container the surviving chunks support (rebuilding the index by
 //! scanning when the footer is gone).
+//!
+//! `serve` runs the concurrent compression service over one or more
+//! containers (batched decompression, decoded-chunk cache, load shedding;
+//! wire format in `crates/serve/PROTOCOL.md`); `fetch`/`stats`/`shutdown`
+//! are its client-side counterparts.
 
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
@@ -23,12 +32,28 @@ use std::process::ExitCode;
 
 use aicomp_core::CodecSpec;
 use aicomp_sciml::{Dataset, DatasetKind};
+use aicomp_serve::{Client, ServeConfig, Server};
 use aicomp_store::writer::{DczFileWriter, StoreOptions};
 use aicomp_store::{deep_verify, repair, ChunkStatus, DczReader};
 use aicomp_tensor::Tensor;
 
 fn arg(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn arg_all(args: &[String], name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    out
 }
 
 fn required(args: &[String], name: &str) -> Result<String, String> {
@@ -43,16 +68,29 @@ fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Resul
 }
 
 fn usage() -> String {
-    "usage: dcz <gen|pack|unpack|inspect|verify|repair> [flags]\n\
-     \x20 gen     --dataset <classify|em_denoise|optical_damage|slstr_cloud> \
+    "usage: dcz <gen|pack|unpack|inspect|verify|repair|serve|fetch|stats|shutdown> [flags]\n\
+     \x20 gen      --dataset <classify|em_denoise|optical_damage|slstr_cloud> \
      --count <N> --seed <S> --out <raw.f32>\n\
-     \x20 pack    --input <raw.f32> --codec <name, e.g. dct2d-n32-cf4> \
+     \x20 pack     --input <raw.f32> --codec <name, e.g. dct2d-n32-cf4> \
      --channels <C> --chunk <samples> --out <file.dcz>\n\
-     \x20 unpack  --input <file.dcz> --out <raw.f32> [--cf <coarser>]\n\
-     \x20 inspect --input <file.dcz>\n\
-     \x20 verify  --input <file.dcz> [--deep]   (--deep: per-chunk health report)\n\
-     \x20 repair  --input <file.dcz> --out <salvaged.dcz>"
+     \x20 unpack   --input <file.dcz> --out <raw.f32> [--cf <coarser>]\n\
+     \x20 inspect  --input <file.dcz>\n\
+     \x20 verify   --input <file.dcz> [--deep]   (--deep: per-chunk health report)\n\
+     \x20 repair   --input <file.dcz> --out <salvaged.dcz>\n\
+     \x20 serve    --store <file.dcz> [--store <more.dcz> ...] [--addr <ip:port>] \
+     [--workers <N>] [--queue <depth>] [--batch <max>] [--cache <chunks>] [--shards <N>]\n\
+     \x20 fetch    --addr <ip:port> --container <id> --chunk <index> \
+     [--cf <coarser, 0 = stored>] [--out <raw.f32>]\n\
+     \x20 stats    --addr <ip:port>\n\
+     \x20 shutdown --addr <ip:port>"
         .into()
+}
+
+/// Default service address (see `crates/serve/PROTOCOL.md`).
+const DEFAULT_ADDR: &str = "127.0.0.1:7440";
+
+fn addr_of(args: &[String]) -> String {
+    arg(args, "--addr").unwrap_or_else(|| DEFAULT_ADDR.into())
 }
 
 fn main() -> ExitCode {
@@ -71,6 +109,10 @@ fn main() -> ExitCode {
         "inspect" => inspect(&args),
         "verify" => verify(&args),
         "repair" => repair_cmd(&args),
+        "serve" => serve(&args),
+        "fetch" => fetch(&args),
+        "stats" => stats(&args),
+        "shutdown" => shutdown(&args),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     };
     match result {
@@ -244,6 +286,70 @@ fn verify(args: &[String]) -> Result<(), String> {
             reader.sample_count()
         );
     }
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let stores = arg_all(args, "--store");
+    if stores.is_empty() {
+        return Err("at least one --store <file.dcz> is required".into());
+    }
+    let config = ServeConfig {
+        workers: parse(args, "--workers", 4)?,
+        queue_depth: parse(args, "--queue", 64)?,
+        batch_max: parse(args, "--batch", 16)?,
+        cache_entries: parse(args, "--cache", 256)?,
+        cache_shards: parse(args, "--shards", 8)?,
+        worker_delay: None,
+    };
+    let addr = addr_of(args);
+    let server = Server::bind(addr.as_str(), &stores, config).map_err(|e| e.to_string())?;
+    let bound = server.local_addr();
+    println!("serving {} container(s) on {bound}:", stores.len());
+    for (i, s) in stores.iter().enumerate() {
+        println!("  [{i}] {s}");
+    }
+    println!("stop with: dcz shutdown --addr {bound}");
+    server.run();
+    println!("shut down cleanly");
+    Ok(())
+}
+
+fn fetch(args: &[String]) -> Result<(), String> {
+    let container: u32 =
+        required(args, "--container")?.parse().map_err(|_| "bad --container".to_string())?;
+    let chunk: u32 = required(args, "--chunk")?.parse().map_err(|_| "bad --chunk".to_string())?;
+    let read_cf: u8 = parse(args, "--cf", 0)?;
+    let mut client = Client::connect(addr_of(args)).map_err(|e| e.to_string())?;
+    let got = client.fetch(container, chunk, read_cf).map_err(|e| e.to_string())?;
+    let [s, c, h, w] = got.dims;
+    println!(
+        "container {container} chunk {chunk}: {s} samples x [{c}, {h}, {w}] \
+         at chop factor {} (first sample {})",
+        got.read_cf, got.first_sample
+    );
+    if let Some(out) = arg(args, "--out") {
+        let mut file = BufWriter::new(File::create(&out).map_err(|e| e.to_string())?);
+        for v in &got.data {
+            file.write_all(&v.to_le_bytes()).map_err(|e| e.to_string())?;
+        }
+        file.flush().map_err(|e| e.to_string())?;
+        println!("wrote {} f32 values to {out}", got.data.len());
+    }
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let mut client = Client::connect(addr_of(args)).map_err(|e| e.to_string())?;
+    print!("{}", client.stats().map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn shutdown(args: &[String]) -> Result<(), String> {
+    let addr = addr_of(args);
+    let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    println!("{addr}: shutting down");
     Ok(())
 }
 

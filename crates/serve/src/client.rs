@@ -1,0 +1,144 @@
+//! Blocking client for the serve protocol.
+//!
+//! One request in flight per connection (the protocol is strictly
+//! request/reply), which keeps the client a thin wrapper: write a frame,
+//! read a frame, turn `Error` frames into [`ServeError::Server`]. Used by
+//! the `dcz fetch`/`stats`/`shutdown` subcommands, the `loadgen`
+//! benchmark, and the concurrency tests — many connections, one client
+//! each, is the intended way to drive the server in parallel.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use aicomp_tensor::Tensor;
+
+use crate::protocol::{
+    read_response, write_request, ContainerInfo, Request, Response, PROTO_VERSION,
+};
+use crate::stats::StatsReport;
+use crate::{Result, ServeError};
+
+/// One decompressed chunk as fetched over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchedChunk {
+    /// Index of the chunk's first sample in the container.
+    pub first_sample: u64,
+    /// Payload dims `[S, C, n, n]`.
+    pub dims: [u32; 4],
+    /// Chop factor the server decoded at (a `read_cf` of 0 resolves to
+    /// the container's stored fidelity).
+    pub read_cf: u8,
+    /// Row-major samples.
+    pub data: Vec<f32>,
+}
+
+impl FetchedChunk {
+    /// Samples in this chunk.
+    pub fn samples(&self) -> usize {
+        self.dims[0] as usize
+    }
+
+    /// Reassemble the payload as a `[S, C, n, n]` tensor.
+    pub fn tensor(&self) -> Result<Tensor> {
+        let d = [
+            self.dims[0] as usize,
+            self.dims[1] as usize,
+            self.dims[2] as usize,
+            self.dims[3] as usize,
+        ];
+        Tensor::from_vec(self.data.clone(), d)
+            .map_err(|e| ServeError::Protocol(format!("chunk payload malformed: {e}")))
+    }
+}
+
+/// A connected, handshaken client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` and perform the version handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        write_request(&mut stream, &Request::Hello { version: PROTO_VERSION })?;
+        let mut client = Client { stream };
+        match client.read()? {
+            Response::Hello { version } if version == PROTO_VERSION => Ok(client),
+            Response::Hello { version } => {
+                Err(ServeError::Protocol(format!("server speaks protocol version {version}")))
+            }
+            other => Err(unexpected("Hello", &other)),
+        }
+    }
+
+    fn read(&mut self) -> Result<Response> {
+        match read_response(&mut self.stream)? {
+            Some(Response::Error { code, message }) => Err(ServeError::Server { code, message }),
+            Some(resp) => Ok(resp),
+            None => Err(ServeError::Protocol("server closed the connection".into())),
+        }
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response> {
+        write_request(&mut self.stream, req)?;
+        self.read()
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Describe one served container.
+    pub fn info(&mut self, container: u32) -> Result<ContainerInfo> {
+        match self.roundtrip(&Request::Info { container })? {
+            Response::Info(info) => Ok(info),
+            other => Err(unexpected("Info", &other)),
+        }
+    }
+
+    /// Fetch one decompressed chunk; `read_cf = 0` asks for the stored
+    /// fidelity, lower values for a coarser (cheaper) decode.
+    pub fn fetch(&mut self, container: u32, chunk: u32, read_cf: u8) -> Result<FetchedChunk> {
+        match self.roundtrip(&Request::Fetch { container, chunk, read_cf })? {
+            Response::Chunk { first_sample, dims, read_cf, data } => {
+                Ok(FetchedChunk { first_sample, dims, read_cf, data })
+            }
+            other => Err(unexpected("Chunk", &other)),
+        }
+    }
+
+    /// Fetch the server's counters and histograms.
+    pub fn stats(&mut self) -> Result<StatsReport> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServeError {
+    // Responses can embed whole chunks; name the variant, don't dump it.
+    let name = match got {
+        Response::Hello { .. } => "Hello",
+        Response::Info(_) => "Info",
+        Response::Chunk { .. } => "Chunk",
+        Response::Stats(_) => "Stats",
+        Response::Pong => "Pong",
+        Response::ShuttingDown => "ShuttingDown",
+        Response::Error { .. } => "Error",
+    };
+    ServeError::Protocol(format!("expected a {wanted} reply, got {name}"))
+}

@@ -1,0 +1,114 @@
+//! # aicomp-serve — a concurrent compression service over `.dcz` containers
+//!
+//! The paper's pitch (§3.1, Eq. 5/7) is that DCT+Chop is *two matmuls* —
+//! cheap enough to sit on the data path between storage and consumers.
+//! After the store layer (PR 1–3) every consumer of a container was still
+//! a single in-process training loop; this crate is the first subsystem
+//! that multiplexes **many concurrent readers over one store**: a
+//! multi-threaded TCP service (pure `std::net`, matching the workspace's
+//! offline dependency policy) speaking a length-prefixed binary protocol
+//! ([`protocol`], documented in `PROTOCOL.md`).
+//!
+//! Three serving ideas from the related literature shape the internals:
+//!
+//! * **Per-request fidelity** — Progressive Compressed Records (Kuchnik
+//!   et al., arXiv:1911.00472): one container serves every client at the
+//!   fidelity it asks for. A fetch carries a chop factor; coarse requests
+//!   ride the store's frequency-ring layout, so they are *prefix reads*
+//!   bit-identical to a direct coarse compression.
+//! * **Request batching** — the two-matmul structure means decompression
+//!   throughput scales with batch size (Fig. 13). The [`server`]'s worker
+//!   pool drains the admission queue greedily and coalesces same-
+//!   `(container, fidelity)` requests into **one** `Codec::decompress`
+//!   pass — one matmul pair serves many clients, and the per-pass batch
+//!   sizes are histogrammed in the [`stats`] frame.
+//! * **Stay compressed until the last moment** — EBPC (Cavigelli et al.,
+//!   arXiv:1908.11645): bytes cross the disk and the queue compressed;
+//!   decompression happens once per chunk and fans out through a sharded
+//!   LRU [`cache`] of decoded chunks keyed `(container, chunk, fidelity)`.
+//!
+//! Overload is a typed answer, not a hang: admission is a bounded MPMC
+//! [`queue`] fed by `try_push` — when it is full the client gets an
+//! [`ErrorCode::Overloaded`] reply immediately (never a silent drop), and
+//! the shed count is visible in the stats frame.
+//!
+//! Module map:
+//!
+//! * [`protocol`] — wire frames, opcodes, error codes (`PROTOCOL.md`).
+//! * [`queue`] — bounded MPMC admission queue with non-blocking
+//!   `try_push` (the load-shedding edge) and batch-draining `try_pop`.
+//! * [`cache`] — sharded LRU over decoded chunks, hit/miss/eviction
+//!   counters.
+//! * [`stats`] — latency/batch histograms and the serializable
+//!   [`StatsReport`].
+//! * [`server`] — listener, connection threads, worker pool, dynamic
+//!   batcher, graceful shutdown.
+//! * [`client`] — blocking client used by the `dcz` subcommands, the
+//!   `loadgen` benchmark, and the tests.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use cache::{CacheKey, CacheSnapshot, ChunkCache};
+pub use client::{Client, FetchedChunk};
+pub use protocol::{ContainerInfo, ErrorCode, Request, Response, PROTO_VERSION};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use stats::{EndpointStats, StatsReport};
+
+/// Errors from the service and its client.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Malformed or protocol-violating frame.
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    Server {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Container-layer failure while starting the server.
+    Store(aicomp_store::StoreError),
+}
+
+impl ServeError {
+    /// True when the server shed this request under load — the one error
+    /// a client is expected to retry (with backoff).
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ServeError::Server { code: ErrorCode::Overloaded, .. })
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+            ServeError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<aicomp_store::StoreError> for ServeError {
+    fn from(e: aicomp_store::StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// Crate result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,522 @@
+//! Wire protocol: length-prefixed binary frames (narrative in `PROTOCOL.md`).
+//!
+//! Every frame is `[len: u32 LE][opcode: u8][body: len−1 bytes]`. Requests
+//! use opcodes `0x01..=0x06`, responses `0x81..=0x86` plus the error frame
+//! `0x7F`. All integers are little-endian; strings are `u16` length +
+//! UTF-8 bytes; chunk payloads are raw little-endian `f32`.
+//!
+//! A connection starts with a `Hello` exchange carrying the protocol
+//! version, so incompatible peers fail fast with a typed error instead of
+//! desynchronizing. Fidelity is negotiated per request: a `Fetch` carries
+//! the chop factor to decode at (`0` = the container's stored fidelity),
+//! and the reply echoes the factor actually served.
+
+use std::io::{ErrorKind, Read, Write};
+
+use crate::stats::StatsReport;
+use crate::{Result, ServeError};
+
+/// Protocol version spoken by this build (in the `Hello` exchange).
+pub const PROTO_VERSION: u16 = 1;
+/// Magic leading the `Hello` request body.
+pub const PROTO_MAGIC: [u8; 4] = *b"DCZS";
+/// Upper bound on a frame (1 MiB control + payload chunks well under it).
+pub const MAX_FRAME: u32 = 1 << 26; // 64 MiB
+
+/// Typed error classes a server can answer with.
+///
+/// `Overloaded` is the load-shedding reply: the admission queue was full
+/// and the request was rejected *before* consuming worker time — clients
+/// should back off and retry. Everything else is not retryable as-is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed or out-of-range request (bad fidelity, bad chunk, …).
+    BadRequest,
+    /// Unknown container or chunk index.
+    NotFound,
+    /// Admission queue full — request shed, retry with backoff.
+    Overloaded,
+    /// The container data failed its integrity checks.
+    Corrupt,
+    /// Unexpected server-side failure.
+    Internal,
+    /// The server is draining connections for shutdown.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::NotFound => 2,
+            ErrorCode::Overloaded => 3,
+            ErrorCode::Corrupt => 4,
+            ErrorCode::Internal => 5,
+            ErrorCode::ShuttingDown => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ErrorCode> {
+        Ok(match v {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::NotFound,
+            3 => ErrorCode::Overloaded,
+            4 => ErrorCode::Corrupt,
+            5 => ErrorCode::Internal,
+            6 => ErrorCode::ShuttingDown,
+            other => return Err(ServeError::Protocol(format!("unknown error code {other}"))),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::NotFound => "not-found",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Corrupt => "corrupt",
+            ErrorCode::Internal => "internal",
+            ErrorCode::ShuttingDown => "shutting-down",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Client → server frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Version handshake; must be the first frame on a connection.
+    Hello {
+        /// The client's [`PROTO_VERSION`].
+        version: u16,
+    },
+    /// Describe a container (geometry, codec, fidelity range).
+    Info {
+        /// Container id (position in the server's `--store` list).
+        container: u32,
+    },
+    /// Fetch one decompressed chunk at a chosen fidelity.
+    Fetch {
+        /// Container id.
+        container: u32,
+        /// Chunk index within the container.
+        chunk: u32,
+        /// Chop factor to decode at; `0` means the stored fidelity, a
+        /// lower value is served from a ring-prefix read.
+        read_cf: u8,
+    },
+    /// Fetch the server's counters and histograms.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful shutdown: stop accepting, drain in-flight work.
+    Shutdown,
+}
+
+/// Geometry and codec of one served container (the `Info` reply).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerInfo {
+    /// Total samples.
+    pub samples: u64,
+    /// Chunk count.
+    pub chunks: u32,
+    /// Samples per chunk (last chunk may hold fewer).
+    pub chunk_size: u32,
+    /// Channels per sample.
+    pub channels: u32,
+    /// Sample resolution `n` (samples are `[channels, n, n]`).
+    pub n: u32,
+    /// Stored chop factor — the maximum `read_cf` a fetch may ask for.
+    pub cf: u8,
+    /// Canonical codec registry name (e.g. `dct2d-n32-cf4`).
+    pub codec: String,
+}
+
+/// Server → client frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake acknowledgement with the server's version.
+    Hello {
+        /// The server's [`PROTO_VERSION`].
+        version: u16,
+    },
+    /// Container description.
+    Info(ContainerInfo),
+    /// One decompressed chunk.
+    Chunk {
+        /// Index of the chunk's first sample in the container.
+        first_sample: u64,
+        /// Payload dims `[S, C, n', n']`.
+        dims: [u32; 4],
+        /// Chop factor the data was decoded at.
+        read_cf: u8,
+        /// Row-major samples (`dims` product many values).
+        data: Vec<f32>,
+    },
+    /// Counters and histograms snapshot.
+    Stats(StatsReport),
+    /// `Ping` acknowledgement.
+    Pong,
+    /// `Shutdown` acknowledgement: the server is draining.
+    ShuttingDown,
+    /// Typed failure.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// Request opcodes.
+const OP_HELLO: u8 = 0x01;
+const OP_INFO: u8 = 0x02;
+const OP_FETCH: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+const OP_PING: u8 = 0x05;
+const OP_SHUTDOWN: u8 = 0x06;
+// Response opcodes.
+const OP_R_HELLO: u8 = 0x81;
+const OP_R_INFO: u8 = 0x82;
+const OP_R_CHUNK: u8 = 0x83;
+const OP_R_STATS: u8 = 0x84;
+const OP_R_PONG: u8 = 0x85;
+const OP_R_SHUTDOWN: u8 = 0x86;
+const OP_R_ERROR: u8 = 0x7F;
+
+/// Byte-wise body reader with protocol-typed errors.
+pub(crate) struct BodyReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> BodyReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        BodyReader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ServeError::Protocol("frame body truncated".into()))?;
+        let out = &self.buf[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| ServeError::Protocol("string field is not UTF-8".into()))
+    }
+
+    pub(crate) fn f32s(&mut self, count: usize) -> Result<Vec<f32>> {
+        let raw = self.take(
+            count
+                .checked_mul(4)
+                .ok_or_else(|| ServeError::Protocol("f32 payload length overflows".into()))?,
+        )?;
+        Ok(raw.chunks_exact(4).map(|b| f32::from_le_bytes(b.try_into().unwrap())).collect())
+    }
+
+    pub(crate) fn finish(self) -> Result<()> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ServeError::Protocol(format!(
+                "{} trailing bytes after frame body",
+                self.buf.len() - self.at
+            )))
+        }
+    }
+}
+
+pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Serialize a request to its `(opcode, body)` pair.
+pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
+    let mut b = Vec::new();
+    let op = match req {
+        Request::Hello { version } => {
+            b.extend_from_slice(&PROTO_MAGIC);
+            b.extend_from_slice(&version.to_le_bytes());
+            OP_HELLO
+        }
+        Request::Info { container } => {
+            b.extend_from_slice(&container.to_le_bytes());
+            OP_INFO
+        }
+        Request::Fetch { container, chunk, read_cf } => {
+            b.extend_from_slice(&container.to_le_bytes());
+            b.extend_from_slice(&chunk.to_le_bytes());
+            b.push(*read_cf);
+            OP_FETCH
+        }
+        Request::Stats => OP_STATS,
+        Request::Ping => OP_PING,
+        Request::Shutdown => OP_SHUTDOWN,
+    };
+    (op, b)
+}
+
+/// Parse a request from its `(opcode, body)` pair.
+pub fn decode_request(op: u8, body: &[u8]) -> Result<Request> {
+    let mut r = BodyReader::new(body);
+    let req = match op {
+        OP_HELLO => {
+            let mut magic = [0u8; 4];
+            magic.copy_from_slice(r.take(4)?);
+            if magic != PROTO_MAGIC {
+                return Err(ServeError::Protocol(format!("bad hello magic {magic:02x?}")));
+            }
+            Request::Hello { version: r.u16()? }
+        }
+        OP_INFO => Request::Info { container: r.u32()? },
+        OP_FETCH => Request::Fetch { container: r.u32()?, chunk: r.u32()?, read_cf: r.u8()? },
+        OP_STATS => Request::Stats,
+        OP_PING => Request::Ping,
+        OP_SHUTDOWN => Request::Shutdown,
+        other => return Err(ServeError::Protocol(format!("unknown request opcode {other:#04x}"))),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Serialize a response to its `(opcode, body)` pair.
+pub fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
+    let mut b = Vec::new();
+    let op = match resp {
+        Response::Hello { version } => {
+            b.extend_from_slice(&version.to_le_bytes());
+            OP_R_HELLO
+        }
+        Response::Info(info) => {
+            b.extend_from_slice(&info.samples.to_le_bytes());
+            b.extend_from_slice(&info.chunks.to_le_bytes());
+            b.extend_from_slice(&info.chunk_size.to_le_bytes());
+            b.extend_from_slice(&info.channels.to_le_bytes());
+            b.extend_from_slice(&info.n.to_le_bytes());
+            b.push(info.cf);
+            put_string(&mut b, &info.codec);
+            OP_R_INFO
+        }
+        Response::Chunk { first_sample, dims, read_cf, data } => {
+            b.extend_from_slice(&first_sample.to_le_bytes());
+            for d in dims {
+                b.extend_from_slice(&d.to_le_bytes());
+            }
+            b.push(*read_cf);
+            b.reserve(data.len() * 4);
+            for v in data {
+                b.extend_from_slice(&v.to_le_bytes());
+            }
+            OP_R_CHUNK
+        }
+        Response::Stats(report) => {
+            report.encode(&mut b);
+            OP_R_STATS
+        }
+        Response::Pong => OP_R_PONG,
+        Response::ShuttingDown => OP_R_SHUTDOWN,
+        Response::Error { code, message } => {
+            b.push(code.to_u8());
+            put_string(&mut b, message);
+            OP_R_ERROR
+        }
+    };
+    (op, b)
+}
+
+/// Parse a response from its `(opcode, body)` pair.
+pub fn decode_response(op: u8, body: &[u8]) -> Result<Response> {
+    let mut r = BodyReader::new(body);
+    let resp = match op {
+        OP_R_HELLO => Response::Hello { version: r.u16()? },
+        OP_R_INFO => Response::Info(ContainerInfo {
+            samples: r.u64()?,
+            chunks: r.u32()?,
+            chunk_size: r.u32()?,
+            channels: r.u32()?,
+            n: r.u32()?,
+            cf: r.u8()?,
+            codec: r.string()?,
+        }),
+        OP_R_CHUNK => {
+            let first_sample = r.u64()?;
+            let dims = [r.u32()?, r.u32()?, r.u32()?, r.u32()?];
+            let read_cf = r.u8()?;
+            let count = dims.iter().try_fold(1usize, |acc, &d| {
+                acc.checked_mul(d as usize)
+                    .ok_or_else(|| ServeError::Protocol("chunk dims overflow".into()))
+            })?;
+            let data = r.f32s(count)?;
+            Response::Chunk { first_sample, dims, read_cf, data }
+        }
+        OP_R_STATS => Response::Stats(StatsReport::decode(&mut r)?),
+        OP_R_PONG => Response::Pong,
+        OP_R_SHUTDOWN => Response::ShuttingDown,
+        OP_R_ERROR => Response::Error { code: ErrorCode::from_u8(r.u8()?)?, message: r.string()? },
+        other => return Err(ServeError::Protocol(format!("unknown response opcode {other:#04x}"))),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+/// Write one `(opcode, body)` frame.
+pub fn write_frame(w: &mut impl Write, op: u8, body: &[u8]) -> Result<()> {
+    let len = 1u32 + body.len() as u32;
+    if len > MAX_FRAME {
+        return Err(ServeError::Protocol(format!("frame of {len} bytes exceeds {MAX_FRAME}")));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[op])?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one `(opcode, body)` frame; `Ok(None)` on clean EOF at a frame
+/// boundary (the peer closed between frames).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len);
+    if len == 0 || len > MAX_FRAME {
+        return Err(ServeError::Protocol(format!("bad frame length {len}")));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let op = body[0];
+    body.remove(0);
+    Ok(Some((op, body)))
+}
+
+/// Write a [`Request`] frame.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<()> {
+    let (op, body) = encode_request(req);
+    write_frame(w, op, &body)
+}
+
+/// Write a [`Response`] frame.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<()> {
+    let (op, body) = encode_response(resp);
+    write_frame(w, op, &body)
+}
+
+/// Read a [`Response`] frame (blocking; `None` on clean EOF).
+pub fn read_response(r: &mut impl Read) -> Result<Option<Response>> {
+    match read_frame(r)? {
+        Some((op, body)) => Ok(Some(decode_response(op, &body)?)),
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let (op, body) = encode_request(&req);
+        assert_eq!(decode_request(op, &body).unwrap(), req);
+        // And through the framed byte stream.
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let (op, body) = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(decode_request(op, &body).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let got = read_response(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Hello { version: PROTO_VERSION });
+        roundtrip_request(Request::Info { container: 3 });
+        roundtrip_request(Request::Fetch { container: 1, chunk: 42, read_cf: 2 });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Hello { version: 1 });
+        roundtrip_response(Response::Info(ContainerInfo {
+            samples: 100,
+            chunks: 13,
+            chunk_size: 8,
+            channels: 3,
+            n: 32,
+            cf: 4,
+            codec: "dct2d-n32-cf4".into(),
+        }));
+        roundtrip_response(Response::Chunk {
+            first_sample: 16,
+            dims: [2, 1, 4, 4],
+            read_cf: 4,
+            data: (0..32).map(|i| i as f32 / 7.0 - 2.0).collect(),
+        });
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "queue full (64)".into(),
+        });
+    }
+
+    #[test]
+    fn malformed_frames_error_not_panic() {
+        // Unknown opcodes.
+        assert!(decode_request(0x44, &[]).is_err());
+        assert!(decode_response(0x45, &[]).is_err());
+        // Truncated body.
+        assert!(decode_request(OP_FETCH, &[1, 0, 0]).is_err());
+        // Trailing garbage.
+        let (op, mut body) = encode_request(&Request::Ping);
+        body.push(9);
+        assert!(decode_request(op, &body).is_err());
+        // Bad hello magic.
+        assert!(decode_request(OP_HELLO, b"NOPE\x01\x00").is_err());
+        // Zero / oversize frame lengths.
+        let mut wire = 0u32.to_le_bytes().to_vec();
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+        wire = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+        // Clean EOF at the boundary is None, mid-frame EOF is an error.
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+        let mut partial = Vec::new();
+        write_request(&mut partial, &Request::Stats).unwrap();
+        partial.truncate(4);
+        assert!(read_frame(&mut partial.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,759 @@
+//! The service: listener, connection threads, worker pool, dynamic batcher.
+//!
+//! Threading model (pure `std::thread` / `std::net`):
+//!
+//! * one **listener** loop accepting connections (non-blocking + poll, so
+//!   it notices the shutdown flag);
+//! * one **connection thread** per client, which parses frames, answers
+//!   metadata requests inline, serves cache hits directly, and admits
+//!   cache misses to the worker queue with a non-blocking `try_push` —
+//!   a full queue is answered with a typed `Overloaded` frame
+//!   immediately (load shedding, never a silent drop);
+//! * a fixed **worker pool** draining the queue. Each worker takes one
+//!   job, then greedily drains up to `batch_max − 1` more, groups them
+//!   by `(container, fidelity)`, and decodes each group's coefficient
+//!   tensors **concatenated along dim 0 in one `Codec::decompress`
+//!   pass** — bit-identical to per-chunk decodes because the inverse
+//!   transform is per-sample matmuls (Eq. 5/7), so batching changes the
+//!   FLOP *schedule*, not the results. Decoded chunks land in the shared
+//!   cache and fan out to every waiter.
+//!
+//! Graceful shutdown is a strict ordering: the `Shutdown` frame (or
+//! [`ServerHandle::shutdown`]) sets the flag → the listener stops
+//! accepting → connection threads finish their in-flight request and
+//! exit at the next frame boundary → the listener joins them → the queue
+//! is closed → workers drain what was admitted and exit → the listener
+//! thread returns. Every admitted request is answered; nothing is
+//! dropped on the floor.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use aicomp_core::Codec;
+use aicomp_store::{SharedReader, StoreError};
+use aicomp_tensor::Tensor;
+
+use crate::cache::ChunkCache;
+use crate::protocol::{
+    self, ContainerInfo, ErrorCode, Request, Response, MAX_FRAME, PROTO_VERSION,
+};
+use crate::queue::{Mpmc, PushError};
+use crate::stats::{Endpoint, ServeStats};
+
+/// Tunables for [`Server::bind`]. `Default` is sized for tests and small
+/// deployments; the `dcz serve` CLI exposes each as a flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Decompression worker threads.
+    pub workers: usize,
+    /// Admission queue bound — beyond this, fetches are shed.
+    pub queue_depth: usize,
+    /// Most chunks one worker coalesces into a single decompress pass.
+    pub batch_max: usize,
+    /// Decoded-chunk cache capacity, in chunks (0 disables caching).
+    pub cache_entries: usize,
+    /// Lock shards the cache is spread over.
+    pub cache_shards: usize,
+    /// Test/bench knob: sleep this long at the start of every worker
+    /// pass, so saturation (and thus shedding) is reproducible.
+    pub worker_delay: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            batch_max: 16,
+            cache_entries: 256,
+            cache_shards: 8,
+            worker_delay: None,
+        }
+    }
+}
+
+/// What a worker sends back for one admitted fetch.
+type JobResult = std::result::Result<Arc<Tensor>, (ErrorCode, String)>;
+/// Reply slots of every request waiting on one chunk.
+type Waiters = Vec<mpsc::SyncSender<JobResult>>;
+
+/// One admitted cache miss: decode `chunk` of `container` at `read_cf`
+/// (already resolved — never 0) and send the result to `reply`.
+struct Job {
+    container: u32,
+    chunk: u32,
+    read_cf: u8,
+    reply: mpsc::SyncSender<JobResult>,
+}
+
+/// One served container: the shared reader plus its per-fidelity codecs
+/// (built lazily through the registry, shared by all workers).
+struct Container {
+    reader: SharedReader,
+    codecs: Mutex<HashMap<u8, Arc<dyn Codec>>>,
+}
+
+impl Container {
+    fn codec(&self, cf: u8) -> std::result::Result<Arc<dyn Codec>, StoreError> {
+        let mut map = self.codecs.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(c) = map.get(&cf) {
+            return Ok(Arc::clone(c));
+        }
+        let built = self.reader.header().codec.with_chop_factor(cf as usize).build()?;
+        let arc: Arc<dyn Codec> = Arc::from(built);
+        map.insert(cf, Arc::clone(&arc));
+        Ok(arc)
+    }
+}
+
+/// State shared by the listener, connection threads, and workers.
+struct Shared {
+    containers: Vec<Container>,
+    queue: Mpmc<Job>,
+    cache: ChunkCache,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+    config: ServeConfig,
+}
+
+/// A bound (but not yet accepting) server. [`Server::run`] blocks the
+/// calling thread; [`Server::spawn`] runs it on a background thread and
+/// returns a [`ServerHandle`].
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+/// Control handle for a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: thread::JoinHandle<()>,
+}
+
+impl Server {
+    /// Open every container in `stores`, bind `addr`, and start the
+    /// worker pool. Accepting begins when `run`/`spawn` is called.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        stores: &[impl AsRef<Path>],
+        config: ServeConfig,
+    ) -> crate::Result<Server> {
+        let mut containers = Vec::with_capacity(stores.len());
+        for p in stores {
+            containers.push(Container {
+                reader: SharedReader::open(p)?,
+                codecs: Mutex::new(HashMap::new()),
+            });
+        }
+        let shared = Arc::new(Shared {
+            containers,
+            queue: Mpmc::new(config.queue_depth),
+            cache: ChunkCache::new(config.cache_entries, config.cache_shards),
+            stats: ServeStats::new(),
+            shutdown: AtomicBool::new(false),
+            config: config.clone(),
+        });
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Ok(Server { listener, addr, shared, workers })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accept and serve until a `Shutdown` frame (or a handle) sets the
+    /// flag, then tear down in order: join connections, close the queue,
+    /// join workers.
+    pub fn run(self) {
+        let Server { listener, shared, workers, .. } = self;
+        listener.set_nonblocking(true).expect("non-blocking listener");
+        let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !shared.shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&shared);
+                    conns.push(thread::spawn(move || handle_conn(&shared, stream)));
+                    conns.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        // Connections answer their in-flight request, then exit at the
+        // next frame boundary (they poll the same flag).
+        for c in conns {
+            let _ = c.join();
+        }
+        // Every job a connection admitted has been replied to by now, so
+        // closing the queue lets workers drain the (empty) backlog and exit.
+        shared.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Run on a background thread; the returned handle can stop it.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let shared = Arc::clone(&self.shared);
+        let thread = thread::Builder::new()
+            .name("serve-listener".into())
+            .spawn(move || self.run())
+            .expect("spawn listener thread");
+        ServerHandle { addr, shared, thread }
+    }
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Set the shutdown flag (equivalent to a `Shutdown` frame).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Wait for the full teardown ordering to finish.
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+
+    /// [`ServerHandle::shutdown`] + [`ServerHandle::join`].
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+fn classify(e: &StoreError) -> ErrorCode {
+    match e {
+        StoreError::InvalidArg(_) | StoreError::Unsupported(_) => ErrorCode::BadRequest,
+        StoreError::Format(_) | StoreError::Core(_) | StoreError::Codec(_) => ErrorCode::Corrupt,
+        StoreError::Io(_) | StoreError::Panic(_) => ErrorCode::Internal,
+    }
+}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error { code, message: message.into() }
+}
+
+// ---------------------------------------------------------------- workers
+
+fn worker_loop(shared: &Shared) {
+    while let Some(first) = shared.queue.pop() {
+        // Dynamic batching: greedily drain everything already waiting, up
+        // to the pass bound — under load one pass serves many clients.
+        let mut jobs = vec![first];
+        while jobs.len() < shared.config.batch_max.max(1) {
+            match shared.queue.try_pop() {
+                Some(j) => jobs.push(j),
+                None => break,
+            }
+        }
+        if let Some(d) = shared.config.worker_delay {
+            thread::sleep(d);
+        }
+        let mut groups: HashMap<(u32, u8), Vec<Job>> = HashMap::new();
+        for j in jobs {
+            groups.entry((j.container, j.read_cf)).or_default().push(j);
+        }
+        for ((container, cf), group) in groups {
+            process_group(shared, container, cf, group);
+        }
+    }
+}
+
+/// Decode one `(container, fidelity)` group in a single codec pass.
+fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
+    // Containers/chunks/fidelities were validated at admission.
+    let cont = &shared.containers[container as usize];
+
+    // Coalesce duplicate chunks: every waiter shares one decode.
+    let mut waiters: HashMap<u32, Waiters> = HashMap::new();
+    for j in group {
+        waiters.entry(j.chunk).or_default().push(j.reply);
+    }
+
+    // Re-check the cache under the key a sibling worker may have filled
+    // between admission and now.
+    let stored_cf = cont.reader.header().cf();
+    let mut batch: Vec<(u32, Waiters, Tensor)> = Vec::new();
+    for (chunk, senders) in waiters {
+        let key = (container, chunk, cf);
+        if let Some(hit) = shared.cache.get(&key) {
+            for s in &senders {
+                let _ = s.send(Ok(Arc::clone(&hit)));
+            }
+            continue;
+        }
+        let read = if cf as usize == stored_cf {
+            cont.reader.read_chunk(chunk as usize)
+        } else {
+            cont.reader.read_chunk_at(chunk as usize, cf as usize)
+        };
+        match read {
+            Ok(coeffs) => batch.push((chunk, senders, coeffs)),
+            Err(e) => {
+                let reply = Err((classify(&e), format!("chunk {chunk}: {e}")));
+                for s in &senders {
+                    let _ = s.send(reply.clone());
+                }
+            }
+        }
+    }
+    if batch.is_empty() {
+        return;
+    }
+
+    let fail_all = |batch: &[(u32, Waiters, Tensor)], code: ErrorCode, message: String| {
+        for (_, senders, _) in batch {
+            for s in senders {
+                let _ = s.send(Err((code, message.clone())));
+            }
+        }
+    };
+    let codec = match cont.codec(cf) {
+        Ok(c) => c,
+        Err(e) => {
+            fail_all(&batch, classify(&e), format!("building codec at cf {cf}: {e}"));
+            return;
+        }
+    };
+
+    // One pass: concat coefficient tensors along dim 0, decompress once,
+    // split back. Per-sample matmuls make this bit-identical to decoding
+    // each chunk alone (pinned by the root `serving` integration test).
+    let parts: Vec<&Tensor> = batch.iter().map(|(_, _, t)| t).collect();
+    let joined = match Tensor::concat0(&parts) {
+        Ok(j) => j,
+        Err(e) => {
+            fail_all(&batch, ErrorCode::Internal, format!("batch concat: {e}"));
+            return;
+        }
+    };
+    let decoded = match codec.decompress(&joined) {
+        Ok(d) => d,
+        Err(e) => {
+            fail_all(&batch, ErrorCode::Corrupt, format!("batched decompress: {e}"));
+            return;
+        }
+    };
+    shared.stats.record_batch(batch.len());
+
+    let mut at = 0usize;
+    for (chunk, senders, coeffs) in &batch {
+        let n_samples = coeffs.dims()[0];
+        match decoded.slice0(at, at + n_samples) {
+            Ok(part) => {
+                let part = Arc::new(part);
+                shared.cache.insert((container, *chunk, cf), Arc::clone(&part));
+                for s in senders {
+                    let _ = s.send(Ok(Arc::clone(&part)));
+                }
+            }
+            Err(e) => {
+                let reply = Err((ErrorCode::Internal, format!("batch split: {e}")));
+                for s in senders {
+                    let _ = s.send(reply.clone());
+                }
+            }
+        }
+        at += n_samples;
+    }
+}
+
+// ------------------------------------------------------------ connections
+
+/// Read one frame, accumulating across 50 ms read timeouts so a timeout
+/// never desynchronizes the stream, and bailing out at a frame boundary
+/// once shutdown is flagged. `Ok(None)` means "close this connection".
+fn read_frame_polled(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> crate::Result<Option<(u8, Vec<u8>)>> {
+    loop {
+        if buf.len() >= 4 {
+            let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+            if len == 0 || len > MAX_FRAME {
+                return Err(crate::ServeError::Protocol(format!("bad frame length {len}")));
+            }
+            if buf.len() >= 4 + len as usize {
+                let mut frame: Vec<u8> = buf.drain(..4 + len as usize).collect();
+                frame.drain(..4);
+                let op = frame.remove(0);
+                return Ok(Some((op, frame)));
+            }
+        }
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        let mut tmp = [0u8; 64 * 1024];
+        match stream.read(&mut tmp) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(crate::ServeError::Protocol("EOF mid-frame".into()))
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf = Vec::new();
+    let mut hello_done = false;
+    loop {
+        let (op, body) = match read_frame_polled(&mut stream, &mut buf, &shared.shutdown) {
+            Ok(Some(f)) => f,
+            // Clean close, shutdown, desync, or I/O failure: drop the
+            // connection (every *parsed* request was already answered).
+            Ok(None) | Err(_) => return,
+        };
+        let req = match protocol::decode_request(op, &body) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = protocol::write_response(
+                    &mut stream,
+                    &err(ErrorCode::BadRequest, e.to_string()),
+                );
+                return;
+            }
+        };
+        if !hello_done {
+            let resp = match req {
+                Request::Hello { version } if version == PROTO_VERSION => {
+                    hello_done = true;
+                    Response::Hello { version: PROTO_VERSION }
+                }
+                Request::Hello { version } => err(
+                    ErrorCode::BadRequest,
+                    format!("client speaks version {version}, server speaks {PROTO_VERSION}"),
+                ),
+                _ => err(ErrorCode::BadRequest, "first frame must be Hello"),
+            };
+            let fatal = !hello_done;
+            if protocol::write_response(&mut stream, &resp).is_err() || fatal {
+                return;
+            }
+            continue;
+        }
+        let resp = match req {
+            Request::Hello { .. } => err(ErrorCode::BadRequest, "duplicate Hello"),
+            Request::Ping => Response::Pong,
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::Relaxed);
+                Response::ShuttingDown
+            }
+            Request::Info { container } => {
+                let t0 = Instant::now();
+                let resp = info(shared, container);
+                shared.stats.record_request(Endpoint::Info, t0.elapsed());
+                resp
+            }
+            Request::Stats => {
+                let t0 = Instant::now();
+                let resp = Response::Stats(shared.stats.snapshot(
+                    shared.queue.len() as u32,
+                    shared.queue.capacity() as u32,
+                    shared.cache.snapshot(),
+                ));
+                shared.stats.record_request(Endpoint::Stats, t0.elapsed());
+                resp
+            }
+            Request::Fetch { container, chunk, read_cf } => {
+                let t0 = Instant::now();
+                let resp = fetch(shared, container, chunk, read_cf);
+                shared.stats.record_request(Endpoint::Fetch, t0.elapsed());
+                resp
+            }
+        };
+        if protocol::write_response(&mut stream, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+fn info(shared: &Shared, container: u32) -> Response {
+    let Some(cont) = shared.containers.get(container as usize) else {
+        return err(
+            ErrorCode::NotFound,
+            format!("container {container} (server has {})", shared.containers.len()),
+        );
+    };
+    let h = cont.reader.header();
+    Response::Info(ContainerInfo {
+        samples: h.sample_count,
+        chunks: h.chunk_count,
+        chunk_size: h.chunk_size,
+        channels: h.channels,
+        n: h.n() as u32,
+        cf: h.cf() as u8,
+        codec: h.codec.to_string(),
+    })
+}
+
+fn fetch(shared: &Shared, container: u32, chunk: u32, read_cf: u8) -> Response {
+    let Some(cont) = shared.containers.get(container as usize) else {
+        return err(
+            ErrorCode::NotFound,
+            format!("container {container} (server has {})", shared.containers.len()),
+        );
+    };
+    if chunk as usize >= cont.reader.chunk_count() {
+        return err(
+            ErrorCode::NotFound,
+            format!("chunk {chunk} (container has {})", cont.reader.chunk_count()),
+        );
+    }
+    let stored = cont.reader.header().cf() as u8;
+    let cf = if read_cf == 0 { stored } else { read_cf };
+    if cf > stored {
+        return err(
+            ErrorCode::BadRequest,
+            format!("read chop factor {read_cf} outside 1..={stored}"),
+        );
+    }
+    let first_sample = cont.reader.index()[chunk as usize].first_sample;
+
+    let data = match shared.cache.get(&(container, chunk, cf)) {
+        Some(hit) => {
+            shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            hit
+        }
+        None => {
+            let (tx, rx) = mpsc::sync_channel(1);
+            match shared.queue.try_push(Job { container, chunk, read_cf: cf, reply: tx }) {
+                Ok(()) => {}
+                Err(PushError::Full(_)) => {
+                    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    return err(
+                        ErrorCode::Overloaded,
+                        format!("admission queue full ({})", shared.queue.capacity()),
+                    );
+                }
+                Err(PushError::Closed(_)) => {
+                    return err(ErrorCode::ShuttingDown, "server is draining");
+                }
+            }
+            shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            match rx.recv() {
+                Ok(Ok(t)) => t,
+                Ok(Err((code, message))) => return Response::Error { code, message },
+                // A worker died mid-job; its reply sender was dropped.
+                Err(_) => return err(ErrorCode::Internal, "worker abandoned the request"),
+            }
+        }
+    };
+    let d = data.dims();
+    if d.len() != 4 {
+        return err(ErrorCode::Internal, format!("decoded chunk has {} dims", d.len()));
+    }
+    Response::Chunk {
+        first_sample,
+        dims: [d[0] as u32, d[1] as u32, d[2] as u32, d[3] as u32],
+        read_cf: cf,
+        data: data.data().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use aicomp_store::writer::pack_file;
+    use aicomp_store::StoreOptions;
+    use std::path::PathBuf;
+
+    fn sample(i: usize, channels: usize, n: usize) -> Tensor {
+        Tensor::from_vec(
+            (0..channels * n * n).map(|k| ((k * 17 + i * 29) % 37) as f32 / 5.0 - 3.0).collect(),
+            [channels, n, n],
+        )
+        .unwrap()
+    }
+
+    fn temp_container(tag: &str, samples: usize) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("aicomp_serve_{tag}_{}.dcz", std::process::id()));
+        let opts = StoreOptions::dct(16, 4, 2, 3);
+        pack_file(&path, &opts, (0..samples).map(|i| sample(i, 2, 16))).unwrap();
+        path
+    }
+
+    fn start(tag: &str, config: ServeConfig) -> (PathBuf, ServerHandle) {
+        let path = temp_container(tag, 10);
+        let server = Server::bind("127.0.0.1:0", &[&path], config).unwrap();
+        (path, server.spawn())
+    }
+
+    #[test]
+    fn hello_info_ping_shutdown_lifecycle() {
+        let (path, handle) = start("lifecycle", ServeConfig::default());
+        let mut c = Client::connect(handle.addr()).unwrap();
+        c.ping().unwrap();
+        let info = c.info(0).unwrap();
+        assert_eq!(info.samples, 10);
+        assert_eq!(info.chunks, 4);
+        assert_eq!(info.chunk_size, 3);
+        assert_eq!(info.channels, 2);
+        assert_eq!(info.n, 16);
+        assert_eq!(info.cf, 4);
+        assert_eq!(info.codec, "dct2d-n16-cf4");
+        assert!(matches!(
+            c.info(7),
+            Err(crate::ServeError::Server { code: ErrorCode::NotFound, .. })
+        ));
+        c.shutdown().unwrap();
+        handle.join();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fetch_is_bit_identical_to_direct_reads_and_caches() {
+        let (path, handle) = start("fetch", ServeConfig::default());
+        let mut direct = aicomp_store::DczReader::open(&path).unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        for chunk in 0..direct.chunk_count() as u32 {
+            for cf in [0u8, 4, 2, 1] {
+                let got = c.fetch(0, chunk, cf).unwrap();
+                let eff = if cf == 0 { 4 } else { cf };
+                assert_eq!(got.read_cf, eff);
+                let want = direct.decompress_chunk_at(chunk as usize, eff as usize).unwrap();
+                assert_eq!(got.first_sample, direct.index()[chunk as usize].first_sample);
+                let a: Vec<u32> = got.data.iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "chunk {chunk} cf {cf}");
+            }
+        }
+        // cf 0 and cf 4 share a cache key; repeat the sweep warm and the
+        // bytes must not change.
+        for chunk in 0..direct.chunk_count() as u32 {
+            let cold = direct.decompress_chunk(chunk as usize).unwrap();
+            let warm = c.fetch(0, chunk, 0).unwrap();
+            let a: Vec<u32> = warm.data.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = cold.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b);
+        }
+        let stats = c.stats().unwrap();
+        assert!(stats.cache_hits > 0, "warm sweep must hit the cache: {stats:?}");
+        assert_eq!(stats.shed, 0);
+        c.shutdown().unwrap();
+        handle.join();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_requests_get_typed_errors_not_hangs() {
+        let (path, handle) = start("badreq", ServeConfig::default());
+        let mut c = Client::connect(handle.addr()).unwrap();
+        for (container, chunk, cf, want) in [
+            (9u32, 0u32, 0u8, ErrorCode::NotFound),
+            (0, 99, 0, ErrorCode::NotFound),
+            (0, 0, 9, ErrorCode::BadRequest),
+        ] {
+            match c.fetch(container, chunk, cf) {
+                Err(crate::ServeError::Server { code, .. }) => assert_eq!(code, want),
+                other => panic!("expected {want}, got {other:?}"),
+            }
+        }
+        // The connection survives typed errors.
+        c.ping().unwrap();
+        c.shutdown().unwrap();
+        handle.join();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_and_missing_hello_are_rejected() {
+        let (path, handle) = start("hello", ServeConfig::default());
+        // Wrong version.
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        protocol::write_request(&mut s, &Request::Hello { version: 99 }).unwrap();
+        match protocol::read_response(&mut s).unwrap().unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("expected error, got {other:?}"),
+        }
+        // No hello at all.
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        protocol::write_request(&mut s, &Request::Ping).unwrap();
+        match protocol::read_response(&mut s).unwrap().unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("expected error, got {other:?}"),
+        }
+        handle.shutdown_and_join();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn saturation_sheds_with_typed_overloaded() {
+        // One slow worker, a queue of 1: concurrent fetches of distinct
+        // chunks (no cache help) must split into served and shed — and
+        // every client gets *some* typed answer.
+        let config = ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            batch_max: 1,
+            cache_entries: 0,
+            worker_delay: Some(Duration::from_millis(40)),
+            ..ServeConfig::default()
+        };
+        let (path, handle) = start("overload", config);
+        let addr = handle.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    match c.fetch(0, t % 4, 0) {
+                        Ok(_) => "ok",
+                        Err(e) if e.is_overloaded() => "shed",
+                        Err(e) => panic!("expected Ok or Overloaded, got {e}"),
+                    }
+                })
+            })
+            .collect();
+        let outcomes: Vec<&str> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let shed = outcomes.iter().filter(|o| **o == "shed").count();
+        assert!(shed >= 1, "8 clients into a depth-1 queue must shed: {outcomes:?}");
+        assert!(outcomes.len() - shed >= 1, "someone must be served: {outcomes:?}");
+        let mut c = Client::connect(addr).unwrap();
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.shed, shed as u64);
+        handle.shutdown_and_join();
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,409 @@
+//! Service counters, histograms, and the serializable stats frame.
+//!
+//! Two layers: [`ServeStats`] is the live, lock-free (atomic) collector
+//! the server threads write into on every request, and [`StatsReport`]
+//! is the plain-data snapshot that crosses the wire in a `Stats` reply.
+//! Latency is kept as log2-µs histograms — constant memory, no per-request
+//! allocation, and good-enough p50/p99 for the `loadgen` benchmark and
+//! the `dcz stats` subcommand. Batch sizes are a small linear histogram:
+//! its mass above bucket 1 is the direct evidence that the dynamic
+//! batcher is coalescing requests into shared decompress passes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::cache::CacheSnapshot;
+use crate::protocol::BodyReader;
+use crate::Result;
+
+/// Log2-µs latency buckets: bucket `i` counts durations in
+/// `[2^i, 2^(i+1))` µs; bucket 0 also absorbs sub-µs, the last absorbs
+/// everything ≥ ~33 s.
+const LATENCY_BUCKETS: usize = 26;
+/// Linear batch-size buckets: bucket `i` counts passes of `i + 1` chunks;
+/// the last absorbs everything larger.
+const BATCH_BUCKETS: usize = 32;
+
+/// Request classes tracked separately in the stats frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `Info` requests.
+    Info = 0,
+    /// `Fetch` requests (the hot path).
+    Fetch = 1,
+    /// `Stats` requests.
+    Stats = 2,
+}
+
+/// Number of [`Endpoint`] classes.
+pub const ENDPOINTS: usize = 3;
+
+/// Names matching [`Endpoint`] discriminants, for display.
+pub const ENDPOINT_NAMES: [&str; ENDPOINTS] = ["info", "fetch", "stats"];
+
+#[derive(Debug)]
+struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    fn new() -> LatencyHistogram {
+        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let idx = if us <= 1 { 0 } else { (63 - us.leading_zeros()) as usize };
+        self.buckets[idx.min(LATENCY_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// Live counters the server threads write into.
+#[derive(Debug)]
+pub struct ServeStats {
+    /// Requests admitted past the queue (or served from cache).
+    pub accepted: AtomicU64,
+    /// Requests shed with `Overloaded` at the admission edge.
+    pub shed: AtomicU64,
+    /// Coalesced decompress passes executed by workers.
+    pub decompress_passes: AtomicU64,
+    /// Chunks decoded across all passes.
+    pub chunks_decoded: AtomicU64,
+    requests: [AtomicU64; ENDPOINTS],
+    latency: [LatencyHistogram; ENDPOINTS],
+    batch: [AtomicU64; BATCH_BUCKETS],
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeStats {
+    /// Fresh, all-zero collector.
+    pub fn new() -> ServeStats {
+        ServeStats {
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            decompress_passes: AtomicU64::new(0),
+            chunks_decoded: AtomicU64::new(0),
+            requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: std::array::from_fn(|_| LatencyHistogram::new()),
+            batch: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one completed request on `endpoint` taking `elapsed`.
+    pub fn record_request(&self, endpoint: Endpoint, elapsed: Duration) {
+        self.requests[endpoint as usize].fetch_add(1, Ordering::Relaxed);
+        self.latency[endpoint as usize].record(elapsed);
+    }
+
+    /// Record one coalesced decompress pass over `batch` chunks.
+    pub fn record_batch(&self, batch: usize) {
+        if batch == 0 {
+            return;
+        }
+        self.decompress_passes.fetch_add(1, Ordering::Relaxed);
+        self.chunks_decoded.fetch_add(batch as u64, Ordering::Relaxed);
+        self.batch[(batch - 1).min(BATCH_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freeze everything into a wire-ready [`StatsReport`].
+    pub fn snapshot(
+        &self,
+        queue_depth: u32,
+        queue_capacity: u32,
+        cache: CacheSnapshot,
+    ) -> StatsReport {
+        StatsReport {
+            queue_depth,
+            queue_capacity,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_entries: cache.entries,
+            cache_capacity: cache.capacity,
+            decompress_passes: self.decompress_passes.load(Ordering::Relaxed),
+            chunks_decoded: self.chunks_decoded.load(Ordering::Relaxed),
+            batch_sizes: self.batch.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            endpoints: (0..ENDPOINTS)
+                .map(|i| EndpointStats {
+                    requests: self.requests[i].load(Ordering::Relaxed),
+                    latency_us: self.latency[i].snapshot(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-endpoint slice of the stats frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Completed requests.
+    pub requests: u64,
+    /// Log2-µs latency histogram (see [`StatsReport::quantile_us`]).
+    pub latency_us: Vec<u64>,
+}
+
+/// Snapshot of the server's counters — the body of a `Stats` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Jobs waiting in the admission queue at snapshot time.
+    pub queue_depth: u32,
+    /// The admission bound.
+    pub queue_capacity: u32,
+    /// Requests admitted (queue or cache).
+    pub accepted: u64,
+    /// Requests shed with `Overloaded`.
+    pub shed: u64,
+    /// Cache lookups served from the cache.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// Cache entries evicted to stay within capacity.
+    pub cache_evictions: u64,
+    /// Cache entries resident at snapshot time.
+    pub cache_entries: u64,
+    /// Cache capacity in entries.
+    pub cache_capacity: u64,
+    /// Coalesced decompress passes.
+    pub decompress_passes: u64,
+    /// Chunks decoded across all passes.
+    pub chunks_decoded: u64,
+    /// Linear histogram: `batch_sizes[i]` passes decoded `i + 1` chunks
+    /// (last bucket absorbs larger).
+    pub batch_sizes: Vec<u64>,
+    /// Per-endpoint counters, indexed by [`Endpoint`].
+    pub endpoints: Vec<EndpointStats>,
+}
+
+impl StatsReport {
+    /// Cache hits over lookups (0.0 when idle).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean chunks per decompress pass (1.0 = batching never coalesced).
+    pub fn mean_batch(&self) -> f64 {
+        if self.decompress_passes == 0 {
+            0.0
+        } else {
+            self.chunks_decoded as f64 / self.decompress_passes as f64
+        }
+    }
+
+    /// Approximate latency quantile (in µs, upper bucket bound) for one
+    /// endpoint; `None` when no requests were recorded. `q` in `[0, 1]`.
+    pub fn quantile_us(&self, endpoint: Endpoint, q: f64) -> Option<u64> {
+        let hist = &self.endpoints.get(endpoint as usize)?.latency_us;
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((total as f64 * q.clamp(0.0, 1.0)).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in hist.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(1u64 << (i + 1));
+            }
+        }
+        Some(1u64 << hist.len())
+    }
+
+    /// Append the wire encoding to `out` (field order matches `decode`).
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.queue_depth.to_le_bytes());
+        out.extend_from_slice(&self.queue_capacity.to_le_bytes());
+        for v in [
+            self.accepted,
+            self.shed,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_entries,
+            self.cache_capacity,
+            self.decompress_passes,
+            self.chunks_decoded,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.push(self.batch_sizes.len() as u8);
+        for v in &self.batch_sizes {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.push(self.endpoints.len() as u8);
+        for ep in &self.endpoints {
+            out.extend_from_slice(&ep.requests.to_le_bytes());
+            out.push(ep.latency_us.len() as u8);
+            for v in &ep.latency_us {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+
+    /// Parse the wire encoding produced by `encode`.
+    pub(crate) fn decode(r: &mut BodyReader<'_>) -> Result<StatsReport> {
+        let queue_depth = r.u32()?;
+        let queue_capacity = r.u32()?;
+        let mut fixed = [0u64; 9];
+        for slot in &mut fixed {
+            *slot = r.u64()?;
+        }
+        let n_batch = r.u8()? as usize;
+        let mut batch_sizes = Vec::with_capacity(n_batch);
+        for _ in 0..n_batch {
+            batch_sizes.push(r.u64()?);
+        }
+        let n_eps = r.u8()? as usize;
+        let mut endpoints = Vec::with_capacity(n_eps);
+        for _ in 0..n_eps {
+            let requests = r.u64()?;
+            let n_lat = r.u8()? as usize;
+            let mut latency_us = Vec::with_capacity(n_lat);
+            for _ in 0..n_lat {
+                latency_us.push(r.u64()?);
+            }
+            endpoints.push(EndpointStats { requests, latency_us });
+        }
+        Ok(StatsReport {
+            queue_depth,
+            queue_capacity,
+            accepted: fixed[0],
+            shed: fixed[1],
+            cache_hits: fixed[2],
+            cache_misses: fixed[3],
+            cache_evictions: fixed[4],
+            cache_entries: fixed[5],
+            cache_capacity: fixed[6],
+            decompress_passes: fixed[7],
+            chunks_decoded: fixed[8],
+            batch_sizes,
+            endpoints,
+        })
+    }
+}
+
+impl std::fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "queue      {}/{} waiting", self.queue_depth, self.queue_capacity)?;
+        writeln!(f, "admission  {} accepted, {} shed", self.accepted, self.shed)?;
+        writeln!(
+            f,
+            "cache      {} hits / {} misses ({:.1}% hit), {} evictions, {}/{} entries",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_ratio(),
+            self.cache_evictions,
+            self.cache_entries,
+            self.cache_capacity
+        )?;
+        writeln!(
+            f,
+            "batching   {} passes, {} chunks ({:.2} chunks/pass)",
+            self.decompress_passes,
+            self.chunks_decoded,
+            self.mean_batch()
+        )?;
+        for (i, name) in ENDPOINT_NAMES.iter().enumerate() {
+            let Some(ep) = self.endpoints.get(i) else { continue };
+            let endpoint = match i {
+                0 => Endpoint::Info,
+                1 => Endpoint::Fetch,
+                _ => Endpoint::Stats,
+            };
+            match (self.quantile_us(endpoint, 0.5), self.quantile_us(endpoint, 0.99)) {
+                (Some(p50), Some(p99)) => writeln!(
+                    f,
+                    "{name:<10} {} requests, p50 ≤ {p50} µs, p99 ≤ {p99} µs",
+                    ep.requests
+                )?,
+                _ => writeln!(f, "{name:<10} {} requests", ep.requests)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_wire() {
+        let stats = ServeStats::new();
+        stats.accepted.store(120, Ordering::Relaxed);
+        stats.shed.store(8, Ordering::Relaxed);
+        stats.record_request(Endpoint::Fetch, Duration::from_micros(350));
+        stats.record_request(Endpoint::Fetch, Duration::from_millis(12));
+        stats.record_request(Endpoint::Info, Duration::from_micros(40));
+        stats.record_batch(1);
+        stats.record_batch(7);
+        stats.record_batch(500); // clamps into the last bucket
+        let cache = CacheSnapshot { hits: 30, misses: 10, evictions: 2, entries: 5, capacity: 64 };
+        let report = stats.snapshot(3, 64, cache);
+
+        let mut wire = Vec::new();
+        report.encode(&mut wire);
+        let mut r = BodyReader::new(&wire);
+        let decoded = StatsReport::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn quantiles_bound_recorded_latencies() {
+        let stats = ServeStats::new();
+        for _ in 0..99 {
+            stats.record_request(Endpoint::Fetch, Duration::from_micros(100));
+        }
+        stats.record_request(Endpoint::Fetch, Duration::from_millis(50));
+        let report = stats.snapshot(0, 1, CacheSnapshot::default());
+        let p50 = report.quantile_us(Endpoint::Fetch, 0.5).unwrap();
+        let p99 = report.quantile_us(Endpoint::Fetch, 0.99).unwrap();
+        // p50 lands in the 100 µs bucket (≤ 128 µs); p99 must not be
+        // dragged up to the 50 ms outlier.
+        assert_eq!(p50, 128);
+        assert_eq!(p99, 128);
+        let p100 = report.quantile_us(Endpoint::Fetch, 1.0).unwrap();
+        assert!(p100 >= 50_000, "max quantile must cover the outlier, got {p100}");
+        assert_eq!(report.quantile_us(Endpoint::Stats, 0.5), None);
+    }
+
+    #[test]
+    fn batch_histogram_indexes_by_size() {
+        let stats = ServeStats::new();
+        stats.record_batch(0); // ignored
+        stats.record_batch(1);
+        stats.record_batch(1);
+        stats.record_batch(4);
+        let report = stats.snapshot(0, 1, CacheSnapshot::default());
+        assert_eq!(report.batch_sizes[0], 2);
+        assert_eq!(report.batch_sizes[3], 1);
+        assert_eq!(report.decompress_passes, 3);
+        assert_eq!(report.chunks_decoded, 6);
+        assert!((report.mean_batch() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_every_section() {
+        let report = ServeStats::new().snapshot(0, 8, CacheSnapshot::default());
+        let text = report.to_string();
+        for needle in ["queue", "admission", "cache", "batching", "fetch"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

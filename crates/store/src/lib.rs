@@ -42,6 +42,9 @@
 //!   reads, `verify`.
 //! * [`prefetch`] — [`PrefetchLoader`]: background worker threads decode
 //!   ahead of the training loop (crossbeam channels).
+//! * [`shared`] — [`SharedReader`]: validated-once metadata plus a pool of
+//!   per-thread reader handles, so many concurrent consumers (the
+//!   `aicomp-serve` service) share one container without a read-path lock.
 //! * [`loader`] — [`StoreBatchSource`]: plugs packed files into
 //!   [`aicomp_sciml::tasks`] so the benchmarks train from `.dcz`.
 //! * [`fault`] — seeded, deterministic fault injection ([`FaultPlan`],
@@ -83,6 +86,7 @@ pub mod loader;
 pub mod prefetch;
 pub mod reader;
 pub mod recover;
+pub mod shared;
 pub mod writer;
 
 pub use fault::{FaultPlan, FaultySink, FaultySource, RetryPolicy};
@@ -93,6 +97,7 @@ pub use reader::{DczReader, VerifyReport};
 pub use recover::{
     deep_verify, repair, salvage, ChunkHealth, ChunkStatus, DeepReport, SalvageReport,
 };
+pub use shared::SharedReader;
 pub use writer::{DczFileWriter, DczWriter, StoreOptions, StoreSummary};
 
 /// Errors from the container format and loaders.

@@ -319,6 +319,33 @@ mod tests {
     }
 
     #[test]
+    fn dropping_source_mid_epoch_joins_workers() {
+        // Regression: a consumer that abandons an epoch mid-way (early
+        // stopping, an error elsewhere in the training loop) drops the
+        // source while prefetch workers are still decoding ahead and the
+        // lookahead channel is full. The drop must cancel and join every
+        // worker — a hang here is the deadlock this test guards against
+        // (the test harness timeout is the enforcement).
+        let train = temp_path("middrop");
+        let opts = StoreOptions::dct(16, 4, 1, 1);
+        let samples: Vec<Tensor> = (0..16).map(|i| sample(i, 1, 16)).collect();
+        pack_file(&train, &opts, samples.iter().cloned()).unwrap();
+
+        for workers in [1usize, 4] {
+            let cfg = PrefetchConfig { workers, lookahead: 1, ..PrefetchConfig::default() };
+            let mut src = StoreBatchSource::open(&train, &train, cfg).unwrap();
+            // One batch into the epoch: workers are live and decoding ahead.
+            let b = src.train_batch(0, 2).unwrap();
+            assert_eq!(b.dims(), &[2, 1, 16, 16]);
+            drop(src);
+        }
+        // The file is free again: a fresh pass still works end to end.
+        let mut src = StoreBatchSource::open(&train, &train, PrefetchConfig::default()).unwrap();
+        assert_eq!(src.train_batch(0, 16).unwrap().dims(), &[16, 1, 16, 16]);
+        std::fs::remove_file(&train).ok();
+    }
+
+    #[test]
     fn out_of_range_batch_errors_with_context() {
         let train = temp_path("range");
         let opts = StoreOptions::dct(16, 4, 1, 2);

@@ -41,7 +41,7 @@ use std::fs::File;
 use std::io::BufReader;
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -154,6 +154,13 @@ type Meta = (Header, Vec<IndexEntry>);
 pub struct PrefetchLoader {
     rx: Option<Receiver<(usize, Result<PrefetchedChunk>)>>,
     workers: Vec<JoinHandle<()>>,
+    /// Tells workers to stop claiming chunks. Without it, a dropped loader
+    /// still joins (closing the channel fails pending sends), but each
+    /// worker first *finishes decoding the chunk it already claimed* — for
+    /// large chunks that is seconds of wasted work per worker, and an
+    /// epoch-loop rewind ([`crate::StoreBatchSource`]) pays it on every
+    /// restart. The flag bounds drop latency to the in-flight I/O op.
+    cancel: Arc<AtomicBool>,
     /// Reorder buffer for chunks that finished ahead of their turn.
     pending: BTreeMap<usize, Result<PrefetchedChunk>>,
     next: usize,
@@ -184,10 +191,12 @@ impl PrefetchLoader {
         let workers_n = cfg.workers.max(1);
         let (tx, rx) = bounded(cfg.lookahead.max(1));
         let cursor = Arc::new(AtomicUsize::new(0));
+        let cancel = Arc::new(AtomicBool::new(false));
         let mut workers = Vec::with_capacity(workers_n);
         for _ in 0..workers_n {
             let tx = tx.clone();
             let cursor = Arc::clone(&cursor);
+            let cancel = Arc::clone(&cancel);
             let meta = Arc::clone(&meta);
             let path = path.clone();
             workers.push(std::thread::spawn(move || {
@@ -195,7 +204,7 @@ impl PrefetchLoader {
                 let mut reader: Option<FaultyReader> = None;
                 loop {
                     let chunk = cursor.fetch_add(1, Ordering::Relaxed);
-                    if chunk >= meta.1.len() {
+                    if chunk >= meta.1.len() || cancel.load(Ordering::Relaxed) {
                         return;
                     }
                     // A panicking decode must not lose the claimed index —
@@ -231,7 +240,14 @@ impl PrefetchLoader {
                 }
             }));
         }
-        Ok(PrefetchLoader { rx: Some(rx), workers, pending: BTreeMap::new(), next: 0, chunk_count })
+        Ok(PrefetchLoader {
+            rx: Some(rx),
+            workers,
+            cancel,
+            pending: BTreeMap::new(),
+            next: 0,
+            chunk_count,
+        })
     }
 
     /// Chunks in the underlying container.
@@ -366,8 +382,10 @@ impl Iterator for PrefetchLoader {
 
 impl Drop for PrefetchLoader {
     fn drop(&mut self) {
-        // Dropping the receiver makes pending sends fail, unblocking any
-        // worker waiting on the bounded channel; then joining is safe.
+        // Cancel first so workers stop claiming fresh chunks, then drop the
+        // receiver so pending sends fail, unblocking any worker waiting on
+        // the bounded channel; only then is joining safe and bounded.
+        self.cancel.store(true, Ordering::Relaxed);
         self.rx = None;
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -456,7 +474,30 @@ mod tests {
         let mut loader = PrefetchLoader::open(&path, cfg).unwrap();
         let first = loader.next_chunk().unwrap().unwrap();
         assert_eq!(first.chunk, 0);
+        // Every worker holds a clone of the cancel flag; zero strong refs
+        // after the drop proves all worker threads actually exited (joined,
+        // not leaked) rather than racing on toward the remaining 11 chunks.
+        let workers_alive = Arc::downgrade(&loader.cancel);
         drop(loader); // must not hang on blocked senders
+        assert_eq!(workers_alive.strong_count(), 0, "worker threads leaked past drop");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drop_with_undrained_queue_joins_every_worker() {
+        // Workers blocked mid-send on a full lookahead channel plus workers
+        // mid-decode: dropping the loader must cancel and join them all.
+        let path = temp_path("drop_full");
+        let opts = StoreOptions::dct(16, 4, 1, 2);
+        pack_file(&path, &opts, (0..24).map(|i| sample(i, 1, 16))).unwrap();
+
+        let cfg = PrefetchConfig { workers: 4, lookahead: 1, ..PrefetchConfig::default() };
+        let loader = PrefetchLoader::open(&path, cfg).unwrap();
+        // Give workers time to claim chunks and jam the bounded channel.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let workers_alive = Arc::downgrade(&loader.cancel);
+        drop(loader);
+        assert_eq!(workers_alive.strong_count(), 0, "worker threads leaked past drop");
         std::fs::remove_file(&path).ok();
     }
 

@@ -17,6 +17,9 @@
 //! * [`store`] — the `.dcz` on-disk container for compressed sample
 //!   streams (chunked, checksummed, frequency-band-progressive) and the
 //!   prefetching training loader over it.
+//! * [`serve`] — a concurrent TCP service over `.dcz` containers:
+//!   per-request fidelity, dynamic request batching into single codec
+//!   passes, a sharded decoded-chunk cache, and typed load shedding.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub use aicomp_baselines as baselines;
 pub use aicomp_core as dct;
 pub use aicomp_nn as nn;
 pub use aicomp_sciml as sciml;
+pub use aicomp_serve as serve;
 pub use aicomp_store as store;
 pub use aicomp_tensor as tensor;
 
