@@ -3,6 +3,7 @@
 //! ```text
 //! loadgen [--addr <ip:port> | --store <file.dcz>] [--clients 32] [--requests 16]
 //!         [--coarse 0.5] [--cf <coarser>] [--seed 7] [--verify <file.dcz>]
+//!         [--chaos <seed>] [--timeout <ms>] [--retries <attempts>]
 //! ```
 //!
 //! Spawns `--clients` threads, each with its own connection, issuing
@@ -12,24 +13,36 @@
 //! self-hosts one over `--store` (or a generated synthetic container), so
 //! the benchmark runs with zero setup.
 //!
-//! Reports client-side throughput and exact p50/p99/max latency, plus the
+//! Reports client-side throughput and exact p50/p99/max latency, plus an
+//! error taxonomy (sheds, deadline hits, retries, breaker opens) and the
 //! server's own stats frame — mean batch size is the direct measurement of
 //! how many clients each coalesced decompress pass served (the Eq. 5/7
 //! FLOPs saving), and the cache hit ratio shows repeat traffic skipping
-//! decompression entirely. `Overloaded` replies are counted as shed, any
-//! other failure is fatal. With `--verify` (implied when self-hosting)
+//! decompression entirely. With `--verify` (implied when self-hosting)
 //! every fetched chunk is bit-compared against a direct [`DczReader`]
 //! decode — batching and caching must not change a single bit.
+//!
+//! `--chaos <seed>` drives every worker through a [`RobustClient`] whose
+//! connections are wrapped in the seeded [`FaultyStream`] wire-fault
+//! injector (resets, corruption, stalls, partial writes): the client must
+//! retry/reconnect its way to the same bits. Fault decisions are keyed on
+//! byte positions, so two runs with the same seed against the same store
+//! print an identical `chaos-counters:` line — CI diffs it.
 
 use std::collections::HashMap;
+use std::net::ToSocketAddrs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aicomp_serve::{Client, ServeConfig, Server, ServerHandle};
+use aicomp_serve::{
+    Client, ErrorCode, FetchedChunk, RobustClient, RobustConfig, ServeConfig, ServeError, Server,
+    ServerHandle, WireFaultPlan,
+};
 use aicomp_store::writer::pack_file;
-use aicomp_store::{DczReader, StoreOptions};
+use aicomp_store::{DczReader, RetryPolicy, StoreOptions};
 use aicomp_tensor::Tensor;
 
 fn arg(args: &[String], name: &str) -> Option<String> {
@@ -93,9 +106,31 @@ fn reference_bits(
 struct Outcome {
     ok: usize,
     shed: usize,
+    deadline: usize,
     failed: usize,
     mismatched: usize,
+    retries: u64,
+    reconnects: u64,
+    failovers: u64,
+    breaker_opens: u64,
+    disruptions: u64,
     latencies: Vec<Duration>,
+}
+
+/// One worker's fetch path: a plain [`Client`] in the normal benchmark, a
+/// [`RobustClient`] over a fault-injected wire in `--chaos` mode.
+enum Fetcher {
+    Plain(Client),
+    Robust(Box<RobustClient>),
+}
+
+impl Fetcher {
+    fn fetch(&mut self, container: u32, chunk: u32, cf: u8) -> aicomp_serve::Result<FetchedChunk> {
+        match self {
+            Fetcher::Plain(c) => c.fetch(container, chunk, cf),
+            Fetcher::Robust(r) => r.fetch(container, chunk, cf),
+        }
+    }
 }
 
 fn quantile(sorted: &[Duration], q: f64) -> Duration {
@@ -112,6 +147,12 @@ fn run() -> Result<bool, String> {
     let requests: usize = parse(&args, "--requests", 16)?;
     let coarse_frac: f64 = parse(&args, "--coarse", 0.5)?;
     let seed: u64 = parse(&args, "--seed", 7)?;
+    let chaos: Option<u64> = match arg(&args, "--chaos") {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad value for --chaos: {v:?}"))?),
+        None => None,
+    };
+    let timeout_ms: u64 = parse(&args, "--timeout", 10_000)?;
+    let retries: u32 = parse(&args, "--retries", 6)?;
 
     // Resolve the server: external (--addr), self-hosted over --store, or
     // self-hosted over a generated container.
@@ -167,7 +208,38 @@ fn run() -> Result<bool, String> {
             let chunks = info.chunks;
             std::thread::spawn(move || -> Result<Outcome, String> {
                 let mut rng = seed ^ (id as u64).wrapping_mul(0x0DDB_1A5E_5BAD_5EED);
-                let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+                let mut client = match chaos {
+                    Some(cs) => {
+                        let sock = addr
+                            .to_socket_addrs()
+                            .map_err(|e| e.to_string())?
+                            .next()
+                            .ok_or_else(|| format!("{addr}: no address"))?;
+                        // `standard` is calibrated for short test exchanges;
+                        // loadgen moves ~100 KiB per fetch, so space the
+                        // faults out or every attempt dies mid-response and
+                        // no retry budget can win.
+                        let mut plan = WireFaultPlan::standard(cs).derive(id as u64 + 1);
+                        plan.reset_every = Some(1 << 20);
+                        plan.corrupt_every = Some(512 << 10);
+                        plan.stall_every = Some(256 << 10);
+                        plan.stall = Duration::from_millis(1);
+                        let config = RobustConfig {
+                            retry: RetryPolicy {
+                                max_attempts: retries.max(1),
+                                backoff: Duration::from_millis(1),
+                            },
+                            timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+                            seed: cs ^ (id as u64).wrapping_mul(0x0DDB_1A5E_5BAD_5EED),
+                            chaos: Some(plan),
+                            ..RobustConfig::default()
+                        };
+                        Fetcher::Robust(Box::new(
+                            RobustClient::new(&[sock], config).map_err(|e| e.to_string())?,
+                        ))
+                    }
+                    None => Fetcher::Plain(Client::connect(&addr).map_err(|e| e.to_string())?),
+                };
                 let mut out = Outcome::default();
                 for _ in 0..requests {
                     let chunk = (next(&mut rng) % chunks as u64) as u32;
@@ -186,11 +258,22 @@ fn run() -> Result<bool, String> {
                             }
                         }
                         Err(e) if e.is_overloaded() => out.shed += 1,
+                        Err(ServeError::Server { code: ErrorCode::DeadlineExceeded, .. }) => {
+                            out.deadline += 1;
+                        }
                         Err(e) => {
                             eprintln!("client {id}: fetch failed: {e}");
                             out.failed += 1;
                         }
                     }
+                }
+                if let Fetcher::Robust(r) = &client {
+                    let c = r.counters();
+                    out.retries = c.retries.load(Ordering::Relaxed);
+                    out.reconnects = c.reconnects.load(Ordering::Relaxed);
+                    out.failovers = c.failovers.load(Ordering::Relaxed);
+                    out.breaker_opens = c.breaker_opens.load(Ordering::Relaxed);
+                    out.disruptions = r.wire_counters().disruptions();
                 }
                 Ok(out)
             })
@@ -202,8 +285,14 @@ fn run() -> Result<bool, String> {
         let out = t.join().map_err(|_| "client thread panicked".to_string())??;
         total.ok += out.ok;
         total.shed += out.shed;
+        total.deadline += out.deadline;
         total.failed += out.failed;
         total.mismatched += out.mismatched;
+        total.retries += out.retries;
+        total.reconnects += out.reconnects;
+        total.failovers += out.failovers;
+        total.breaker_opens += out.breaker_opens;
+        total.disruptions += out.disruptions;
         total.latencies.extend(out.latencies);
     }
     let wall = t0.elapsed();
@@ -224,6 +313,34 @@ fn run() -> Result<bool, String> {
         quantile(&total.latencies, 0.99).as_secs_f64() * 1e3,
         quantile(&total.latencies, 1.0).as_secs_f64() * 1e3,
     );
+    println!(
+        "errors: {} shed, {} deadline-exceeded, {} failed; \
+         recovery: {} retries, {} reconnects, {} breaker opens",
+        total.shed,
+        total.deadline,
+        total.failed,
+        total.retries,
+        total.reconnects,
+        total.breaker_opens,
+    );
+    if let Some(cs) = chaos {
+        // One machine-diffable line: every field is a pure function of the
+        // seed and the store, so CI runs twice and asserts equality.
+        println!(
+            "chaos-counters: seed={cs} ok={} shed={} deadline={} failed={} mismatched={} \
+             retries={} reconnects={} failovers={} breaker_opens={} disruptions={}",
+            total.ok,
+            total.shed,
+            total.deadline,
+            total.failed,
+            total.mismatched,
+            total.retries,
+            total.reconnects,
+            total.failovers,
+            total.breaker_opens,
+            total.disruptions,
+        );
+    }
     let stats = control.stats().map_err(|e| e.to_string())?;
     println!("server stats:\n{stats}");
 

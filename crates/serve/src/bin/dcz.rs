@@ -28,13 +28,15 @@
 
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
+use std::net::ToSocketAddrs;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use aicomp_core::CodecSpec;
 use aicomp_sciml::{Dataset, DatasetKind};
-use aicomp_serve::{Client, ServeConfig, Server};
+use aicomp_serve::{RobustClient, RobustConfig, ServeConfig, Server, WireFaultPlan};
 use aicomp_store::writer::{DczFileWriter, StoreOptions};
-use aicomp_store::{deep_verify, repair, ChunkStatus, DczReader};
+use aicomp_store::{deep_verify, repair, ChunkStatus, DczReader, RetryPolicy};
 use aicomp_tensor::Tensor;
 
 fn arg(args: &[String], name: &str) -> Option<String> {
@@ -78,11 +80,12 @@ fn usage() -> String {
      \x20 verify   --input <file.dcz> [--deep]   (--deep: per-chunk health report)\n\
      \x20 repair   --input <file.dcz> --out <salvaged.dcz>\n\
      \x20 serve    --store <file.dcz> [--store <more.dcz> ...] [--addr <ip:port>] \
-     [--workers <N>] [--queue <depth>] [--batch <max>] [--cache <chunks>] [--shards <N>]\n\
-     \x20 fetch    --addr <ip:port> --container <id> --chunk <index> \
-     [--cf <coarser, 0 = stored>] [--out <raw.f32>]\n\
-     \x20 stats    --addr <ip:port>\n\
-     \x20 shutdown --addr <ip:port>"
+     [--workers <N>] [--queue <depth>] [--batch <max>] [--cache <chunks>] [--shards <N>] \
+     [--idle-timeout <ms, 0 = never>] [--max-conns <N>] [--chaos <seed, 0 = off>]\n\
+     \x20 fetch    --addr <ip:port> [--addr <replica> ...] --container <id> --chunk <index> \
+     [--cf <coarser, 0 = stored>] [--out <raw.f32>] [--timeout <ms>] [--retries <N>]\n\
+     \x20 stats    --addr <ip:port> [--timeout <ms>] [--retries <N>]\n\
+     \x20 shutdown --addr <ip:port> [--timeout <ms>] [--retries <N>]"
         .into()
 }
 
@@ -91,6 +94,28 @@ const DEFAULT_ADDR: &str = "127.0.0.1:7440";
 
 fn addr_of(args: &[String]) -> String {
     arg(args, "--addr").unwrap_or_else(|| DEFAULT_ADDR.into())
+}
+
+/// Build a [`RobustClient`] over every `--addr` (replicas), honoring
+/// `--timeout <ms, 0 = unbounded>` and `--retries <attempts>`.
+fn robust_client(args: &[String]) -> Result<RobustClient, String> {
+    let mut addrs = arg_all(args, "--addr");
+    if addrs.is_empty() {
+        addrs.push(DEFAULT_ADDR.into());
+    }
+    let mut resolved = Vec::new();
+    for a in &addrs {
+        let mut it = a.to_socket_addrs().map_err(|e| format!("{a}: {e}"))?;
+        resolved.push(it.next().ok_or_else(|| format!("{a}: no address"))?);
+    }
+    let retries: u32 = parse(args, "--retries", 3)?;
+    let timeout_ms: u64 = parse(args, "--timeout", 0)?;
+    let config = RobustConfig {
+        retry: RetryPolicy { max_attempts: retries.max(1), backoff: Duration::from_millis(50) },
+        timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        ..RobustConfig::default()
+    };
+    RobustClient::new(&resolved, config).map_err(|e| e.to_string())
 }
 
 fn main() -> ExitCode {
@@ -294,6 +319,8 @@ fn serve(args: &[String]) -> Result<(), String> {
     if stores.is_empty() {
         return Err("at least one --store <file.dcz> is required".into());
     }
+    let idle_ms: u64 = parse(args, "--idle-timeout", 0)?;
+    let chaos_seed: u64 = parse(args, "--chaos", 0)?;
     let config = ServeConfig {
         workers: parse(args, "--workers", 4)?,
         queue_depth: parse(args, "--queue", 64)?,
@@ -301,11 +328,30 @@ fn serve(args: &[String]) -> Result<(), String> {
         cache_entries: parse(args, "--cache", 256)?,
         cache_shards: parse(args, "--shards", 8)?,
         worker_delay: None,
+        handshake_timeout: Duration::from_secs(5),
+        idle_timeout: (idle_ms > 0).then(|| Duration::from_millis(idle_ms)),
+        frame_deadline: Duration::from_secs(30),
+        max_conns: parse(args, "--max-conns", 256)?,
+        // Chaos testing: every accepted connection's stream is wrapped in
+        // a seeded FaultyStream. Intervals are spaced for ~100 KiB chunk
+        // replies (the `standard` plan is calibrated for short unit-test
+        // exchanges and would kill nearly every response mid-frame).
+        chaos: (chaos_seed != 0).then(|| {
+            let mut plan = WireFaultPlan::standard(chaos_seed);
+            plan.reset_every = Some(1 << 20);
+            plan.corrupt_every = Some(512 << 10);
+            plan.stall_every = Some(256 << 10);
+            plan.stall = Duration::from_millis(1);
+            plan
+        }),
     };
     let addr = addr_of(args);
     let server = Server::bind(addr.as_str(), &stores, config).map_err(|e| e.to_string())?;
     let bound = server.local_addr();
     println!("serving {} container(s) on {bound}:", stores.len());
+    if chaos_seed != 0 {
+        println!("  CHAOS: injecting wire faults on every connection (seed {chaos_seed})");
+    }
     for (i, s) in stores.iter().enumerate() {
         println!("  [{i}] {s}");
     }
@@ -320,7 +366,7 @@ fn fetch(args: &[String]) -> Result<(), String> {
         required(args, "--container")?.parse().map_err(|_| "bad --container".to_string())?;
     let chunk: u32 = required(args, "--chunk")?.parse().map_err(|_| "bad --chunk".to_string())?;
     let read_cf: u8 = parse(args, "--cf", 0)?;
-    let mut client = Client::connect(addr_of(args)).map_err(|e| e.to_string())?;
+    let mut client = robust_client(args)?;
     let got = client.fetch(container, chunk, read_cf).map_err(|e| e.to_string())?;
     let [s, c, h, w] = got.dims;
     println!(
@@ -340,14 +386,14 @@ fn fetch(args: &[String]) -> Result<(), String> {
 }
 
 fn stats(args: &[String]) -> Result<(), String> {
-    let mut client = Client::connect(addr_of(args)).map_err(|e| e.to_string())?;
+    let mut client = robust_client(args)?;
     print!("{}", client.stats().map_err(|e| e.to_string())?);
     Ok(())
 }
 
 fn shutdown(args: &[String]) -> Result<(), String> {
     let addr = addr_of(args);
-    let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+    let mut client = robust_client(args)?;
     client.shutdown().map_err(|e| e.to_string())?;
     println!("{addr}: shutting down");
     Ok(())

@@ -8,11 +8,14 @@
 //! each, is the intended way to drive the server in parallel.
 
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use aicomp_tensor::Tensor;
 
+use crate::chaos::Wire;
 use crate::protocol::{
-    read_response, write_request, ContainerInfo, Request, Response, PROTO_VERSION,
+    client_handshake, frames_checksummed, read_response, write_request, ContainerInfo, Request,
+    Response, PROTO_VERSION,
 };
 use crate::stats::StatsReport;
 use crate::{Result, ServeError};
@@ -50,30 +53,62 @@ impl FetchedChunk {
     }
 }
 
-/// A connected, handshaken client.
-#[derive(Debug)]
+/// A connected, handshaken client. Holds any [`Wire`] stream — a plain
+/// `TcpStream` from [`Client::connect`], or a chaos-wrapped one handed in
+/// through [`Client::from_parts`] by tests and the `RobustClient`.
 pub struct Client {
-    stream: TcpStream,
+    stream: Box<dyn Wire>,
+    version: u16,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").field("version", &self.version).finish_non_exhaustive()
+    }
 }
 
 impl Client {
-    /// Connect to `addr` and perform the version handshake.
+    /// Connect to `addr` and perform the version handshake at the newest
+    /// protocol version.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        Client::connect_version(addr, PROTO_VERSION)
+    }
+
+    /// Connect offering protocol version `want` (capped at this build's
+    /// [`PROTO_VERSION`]) — how the tests exercise v1 interop.
+    pub fn connect_version(addr: impl ToSocketAddrs, want: u16) -> Result<Client> {
         let mut stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        write_request(&mut stream, &Request::Hello { version: PROTO_VERSION })?;
-        let mut client = Client { stream };
-        match client.read()? {
-            Response::Hello { version } if version == PROTO_VERSION => Ok(client),
-            Response::Hello { version } => {
-                Err(ServeError::Protocol(format!("server speaks protocol version {version}")))
-            }
-            other => Err(unexpected("Hello", &other)),
-        }
+        let version = client_handshake(&mut stream, want)?;
+        Ok(Client { stream: Box::new(stream), version })
+    }
+
+    /// Handshake an already-established stream at `want` and wrap it.
+    pub fn from_stream(mut stream: Box<dyn Wire>, want: u16) -> Result<Client> {
+        let version = client_handshake(&mut stream, want)?;
+        Ok(Client { stream, version })
+    }
+
+    /// Wrap a stream whose handshake the *caller* already ran (the
+    /// chaos path: handshake clean, arm the fault plan, then wrap).
+    pub fn from_parts(stream: Box<dyn Wire>, negotiated: u16) -> Client {
+        Client { stream, version: negotiated }
+    }
+
+    /// The protocol version this connection negotiated.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Bound the time any single reply read may block (`None` = forever).
+    /// The socket-level guard under the `RobustClient`'s per-call budget.
+    pub fn set_op_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
     }
 
     fn read(&mut self) -> Result<Response> {
-        match read_response(&mut self.stream)? {
+        match read_response(&mut self.stream, frames_checksummed(self.version))? {
             Some(Response::Error { code, message }) => Err(ServeError::Server { code, message }),
             Some(resp) => Ok(resp),
             None => Err(ServeError::Protocol("server closed the connection".into())),
@@ -81,7 +116,7 @@ impl Client {
     }
 
     fn roundtrip(&mut self, req: &Request) -> Result<Response> {
-        write_request(&mut self.stream, req)?;
+        write_request(&mut self.stream, req, self.version)?;
         self.read()
     }
 
@@ -104,7 +139,22 @@ impl Client {
     /// Fetch one decompressed chunk; `read_cf = 0` asks for the stored
     /// fidelity, lower values for a coarser (cheaper) decode.
     pub fn fetch(&mut self, container: u32, chunk: u32, read_cf: u8) -> Result<FetchedChunk> {
-        match self.roundtrip(&Request::Fetch { container, chunk, read_cf })? {
+        self.fetch_deadline(container, chunk, read_cf, None)
+    }
+
+    /// [`Client::fetch`] with a relative deadline the server enforces
+    /// *before* decoding (shedding expired work like `Overloaded`).
+    /// Requires a v2 connection — a deadline on a v1 link is a protocol
+    /// error, not a silent drop.
+    pub fn fetch_deadline(
+        &mut self,
+        container: u32,
+        chunk: u32,
+        read_cf: u8,
+        deadline: Option<Duration>,
+    ) -> Result<FetchedChunk> {
+        let deadline_ms = deadline.map_or(0, |d| d.as_millis().clamp(1, u32::MAX as u128) as u32);
+        match self.roundtrip(&Request::Fetch { container, chunk, read_cf, deadline_ms })? {
             Response::Chunk { first_sample, dims, read_cf, data } => {
                 Ok(FetchedChunk { first_sample, dims, read_cf, data })
             }

@@ -42,20 +42,31 @@
 //! * [`stats`] — latency/batch histograms and the serializable
 //!   [`StatsReport`].
 //! * [`server`] — listener, connection threads, worker pool, dynamic
-//!   batcher, graceful shutdown.
+//!   batcher, connection supervision, graceful shutdown.
 //! * [`client`] — blocking client used by the `dcz` subcommands, the
 //!   `loadgen` benchmark, and the tests.
+//! * [`chaos`] — seeded, deterministic wire-fault injection
+//!   ([`FaultyStream`]): the network analogue of the store's `FaultPlan`.
+//! * [`robust`] — [`RobustClient`]: bounded retry with backoff,
+//!   reconnect, per-endpoint circuit breakers, and replica failover over
+//!   the idempotent read path.
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod queue;
+pub mod robust;
 pub mod server;
 pub mod stats;
 
 pub use cache::{CacheKey, CacheSnapshot, ChunkCache};
+pub use chaos::{FaultyStream, Wire, WireCounters, WireFaultPlan};
 pub use client::{Client, FetchedChunk};
-pub use protocol::{ContainerInfo, ErrorCode, Request, Response, PROTO_VERSION};
+pub use protocol::{
+    ContainerInfo, ErrorCode, Request, Response, MAX_FRAME, MIN_PROTO_VERSION, PROTO_VERSION,
+};
+pub use robust::{BreakerState, RobustClient, RobustConfig, RobustCounters};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use stats::{EndpointStats, StatsReport};
 
@@ -82,6 +93,20 @@ impl ServeError {
     /// a client is expected to retry (with backoff).
     pub fn is_overloaded(&self) -> bool {
         matches!(self, ServeError::Server { code: ErrorCode::Overloaded, .. })
+    }
+
+    /// Is this failure transient for an *idempotent* request — worth a
+    /// bounded, backed-off retry (possibly on a fresh connection or a
+    /// different replica)? I/O and protocol failures qualify because
+    /// Fetch/Info/Stats are read-only: re-asking cannot double-apply
+    /// anything. Typed server errors qualify per
+    /// [`ErrorCode::is_retryable`]; store errors never do.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServeError::Io(_) | ServeError::Protocol(_) => true,
+            ServeError::Server { code, .. } => code.is_retryable(),
+            ServeError::Store(_) => false,
+        }
     }
 }
 

@@ -1,27 +1,49 @@
 //! Wire protocol: length-prefixed binary frames (narrative in `PROTOCOL.md`).
 //!
-//! Every frame is `[len: u32 LE][opcode: u8][body: len−1 bytes]`. Requests
-//! use opcodes `0x01..=0x06`, responses `0x81..=0x86` plus the error frame
-//! `0x7F`. All integers are little-endian; strings are `u16` length +
-//! UTF-8 bytes; chunk payloads are raw little-endian `f32`.
+//! Every frame is `[len: u32 LE][opcode: u8][body]`. Requests use opcodes
+//! `0x01..=0x06`, responses `0x81..=0x86` plus the error frame `0x7F`. All
+//! integers are little-endian; strings are `u16` length + UTF-8 bytes;
+//! chunk payloads are raw little-endian `f32`.
 //!
 //! A connection starts with a `Hello` exchange carrying the protocol
 //! version, so incompatible peers fail fast with a typed error instead of
 //! desynchronizing. Fidelity is negotiated per request: a `Fetch` carries
 //! the chop factor to decode at (`0` = the container's stored fidelity),
 //! and the reply echoes the factor actually served.
+//!
+//! **Version 2** (negotiated downward: the server serves `1..=2` and
+//! answers with the client's version) adds the network-robustness layer:
+//!
+//! * every post-handshake frame carries a trailing CRC-32 of
+//!   `opcode ++ body` (`len` counts opcode + body + 4), so wire corruption
+//!   surfaces as a typed, retryable [`ErrorCode::BadFrame`] instead of a
+//!   decoded lie — the transport analogue of the store's per-chunk CRC;
+//! * `Fetch` carries a relative deadline (`deadline_ms`, `0` = none); the
+//!   server sheds expired work with [`ErrorCode::DeadlineExceeded`]
+//!   *before* decoding, the same pre-worker edge as `Overloaded`;
+//! * the `Hello` exchange itself is always v1-framed (no CRC) in both
+//!   directions — it happens before a version exists.
 
 use std::io::{ErrorKind, Read, Write};
+
+use aicomp_store::crc::crc32;
 
 use crate::stats::StatsReport;
 use crate::{Result, ServeError};
 
-/// Protocol version spoken by this build (in the `Hello` exchange).
-pub const PROTO_VERSION: u16 = 1;
+/// Newest protocol version spoken by this build (in the `Hello` exchange).
+pub const PROTO_VERSION: u16 = 2;
+/// Oldest version the server still serves (v1 clients interoperate).
+pub const MIN_PROTO_VERSION: u16 = 1;
 /// Magic leading the `Hello` request body.
 pub const PROTO_MAGIC: [u8; 4] = *b"DCZS";
 /// Upper bound on a frame (1 MiB control + payload chunks well under it).
 pub const MAX_FRAME: u32 = 1 << 26; // 64 MiB
+
+/// Do frames at `version` carry the trailing CRC-32?
+pub fn frames_checksummed(version: u16) -> bool {
+    version >= 2
+}
 
 /// Typed error classes a server can answer with.
 ///
@@ -42,6 +64,15 @@ pub enum ErrorCode {
     Internal,
     /// The server is draining connections for shutdown.
     ShuttingDown,
+    /// The request's deadline expired before the server reached it (shed
+    /// from the queue without decoding), or the server closed a connection
+    /// that idled/stalled past its read deadline. Retryable — with a fresh
+    /// deadline.
+    DeadlineExceeded,
+    /// A frame failed its integrity checks (CRC mismatch, oversize) — the
+    /// stream may be desynchronized, so the peer closes after sending
+    /// this. Retryable on a fresh connection.
+    BadFrame,
 }
 
 impl ErrorCode {
@@ -53,6 +84,8 @@ impl ErrorCode {
             ErrorCode::Corrupt => 4,
             ErrorCode::Internal => 5,
             ErrorCode::ShuttingDown => 6,
+            ErrorCode::DeadlineExceeded => 7,
+            ErrorCode::BadFrame => 8,
         }
     }
 
@@ -64,8 +97,24 @@ impl ErrorCode {
             4 => ErrorCode::Corrupt,
             5 => ErrorCode::Internal,
             6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::DeadlineExceeded,
+            8 => ErrorCode::BadFrame,
             other => return Err(ServeError::Protocol(format!("unknown error code {other}"))),
         })
+    }
+
+    /// Is a request that failed with this code safe and sensible to retry
+    /// (on a fresh connection where noted above)? `Overloaded`,
+    /// `ShuttingDown`, `DeadlineExceeded`, and `BadFrame` all describe
+    /// transient conditions of *this* attempt, not of the request itself.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded
+                | ErrorCode::ShuttingDown
+                | ErrorCode::DeadlineExceeded
+                | ErrorCode::BadFrame
+        )
     }
 }
 
@@ -78,6 +127,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Corrupt => "corrupt",
             ErrorCode::Internal => "internal",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::BadFrame => "bad-frame",
         };
         f.write_str(name)
     }
@@ -105,6 +156,9 @@ pub enum Request {
         /// Chop factor to decode at; `0` means the stored fidelity, a
         /// lower value is served from a ring-prefix read.
         read_cf: u8,
+        /// Relative deadline in milliseconds; `0` means none. Wire field
+        /// only at v2+ — v1 encoding requires it to be `0`.
+        deadline_ms: u32,
     },
     /// Fetch the server's counters and histograms.
     Stats,
@@ -255,8 +309,11 @@ pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-/// Serialize a request to its `(opcode, body)` pair.
-pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
+/// Serialize a request to its `(opcode, body)` pair at `version`. The
+/// deadline field exists only at v2+; encoding a nonzero deadline for a
+/// v1 peer is a caller bug surfaced as a protocol error by the panic-free
+/// path below (it is silently representable as 0 only).
+pub fn encode_request(req: &Request, version: u16) -> Result<(u8, Vec<u8>)> {
     let mut b = Vec::new();
     let op = match req {
         Request::Hello { version } => {
@@ -268,21 +325,28 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
             b.extend_from_slice(&container.to_le_bytes());
             OP_INFO
         }
-        Request::Fetch { container, chunk, read_cf } => {
+        Request::Fetch { container, chunk, read_cf, deadline_ms } => {
             b.extend_from_slice(&container.to_le_bytes());
             b.extend_from_slice(&chunk.to_le_bytes());
             b.push(*read_cf);
+            if version >= 2 {
+                b.extend_from_slice(&deadline_ms.to_le_bytes());
+            } else if *deadline_ms != 0 {
+                return Err(ServeError::Protocol(
+                    "deadlines require protocol v2; this connection negotiated v1".into(),
+                ));
+            }
             OP_FETCH
         }
         Request::Stats => OP_STATS,
         Request::Ping => OP_PING,
         Request::Shutdown => OP_SHUTDOWN,
     };
-    (op, b)
+    Ok((op, b))
 }
 
-/// Parse a request from its `(opcode, body)` pair.
-pub fn decode_request(op: u8, body: &[u8]) -> Result<Request> {
+/// Parse a request from its `(opcode, body)` pair at `version`.
+pub fn decode_request(op: u8, body: &[u8], version: u16) -> Result<Request> {
     let mut r = BodyReader::new(body);
     let req = match op {
         OP_HELLO => {
@@ -294,7 +358,12 @@ pub fn decode_request(op: u8, body: &[u8]) -> Result<Request> {
             Request::Hello { version: r.u16()? }
         }
         OP_INFO => Request::Info { container: r.u32()? },
-        OP_FETCH => Request::Fetch { container: r.u32()?, chunk: r.u32()?, read_cf: r.u8()? },
+        OP_FETCH => Request::Fetch {
+            container: r.u32()?,
+            chunk: r.u32()?,
+            read_cf: r.u8()?,
+            deadline_ms: if version >= 2 { r.u32()? } else { 0 },
+        },
         OP_STATS => Request::Stats,
         OP_PING => Request::Ping,
         OP_SHUTDOWN => Request::Shutdown,
@@ -384,22 +453,35 @@ pub fn decode_response(op: u8, body: &[u8]) -> Result<Response> {
     Ok(resp)
 }
 
-/// Write one `(opcode, body)` frame.
-pub fn write_frame(w: &mut impl Write, op: u8, body: &[u8]) -> Result<()> {
-    let len = 1u32 + body.len() as u32;
+/// CRC-32 of a frame's `opcode ++ body` (the v2 trailing checksum).
+pub(crate) fn frame_crc(op: u8, body: &[u8]) -> u32 {
+    let mut buf = Vec::with_capacity(1 + body.len());
+    buf.push(op);
+    buf.extend_from_slice(body);
+    crc32(&buf)
+}
+
+/// Write one `(opcode, body)` frame; `checksum` appends the v2 trailing
+/// CRC-32 (and counts it in `len`).
+pub fn write_frame(w: &mut impl Write, op: u8, body: &[u8], checksum: bool) -> Result<()> {
+    let len = 1u32 + body.len() as u32 + if checksum { 4 } else { 0 };
     if len > MAX_FRAME {
         return Err(ServeError::Protocol(format!("frame of {len} bytes exceeds {MAX_FRAME}")));
     }
     w.write_all(&len.to_le_bytes())?;
     w.write_all(&[op])?;
     w.write_all(body)?;
+    if checksum {
+        w.write_all(&frame_crc(op, body).to_le_bytes())?;
+    }
     w.flush()?;
     Ok(())
 }
 
-/// Read one `(opcode, body)` frame; `Ok(None)` on clean EOF at a frame
-/// boundary (the peer closed between frames).
-pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>> {
+/// Read one `(opcode, body)` frame, verifying the trailing CRC-32 when
+/// `checksum`; `Ok(None)` on clean EOF at a frame boundary (the peer
+/// closed between frames).
+pub fn read_frame(r: &mut impl Read, checksum: bool) -> Result<Option<(u8, Vec<u8>)>> {
     let mut len = [0u8; 4];
     match r.read_exact(&mut len) {
         Ok(()) => {}
@@ -407,33 +489,67 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>> {
         Err(e) => return Err(e.into()),
     }
     let len = u32::from_le_bytes(len);
-    if len == 0 || len > MAX_FRAME {
+    let min = if checksum { 5 } else { 1 };
+    if len < min || len > MAX_FRAME {
         return Err(ServeError::Protocol(format!("bad frame length {len}")));
     }
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
     let op = body[0];
     body.remove(0);
+    if checksum {
+        let tail = body.split_off(body.len() - 4);
+        let want = u32::from_le_bytes(tail.try_into().unwrap());
+        let got = frame_crc(op, &body);
+        if got != want {
+            return Err(ServeError::Protocol(format!(
+                "frame checksum mismatch (got {got:#010x}, want {want:#010x})"
+            )));
+        }
+    }
     Ok(Some((op, body)))
 }
 
-/// Write a [`Request`] frame.
-pub fn write_request(w: &mut impl Write, req: &Request) -> Result<()> {
-    let (op, body) = encode_request(req);
-    write_frame(w, op, &body)
+/// Write a [`Request`] frame at `version` (checksummed at v2+).
+pub fn write_request(w: &mut impl Write, req: &Request, version: u16) -> Result<()> {
+    let (op, body) = encode_request(req, version)?;
+    write_frame(w, op, &body, frames_checksummed(version))
 }
 
-/// Write a [`Response`] frame.
-pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<()> {
+/// Write a [`Response`] frame (`checksum` per the negotiated version).
+pub fn write_response(w: &mut impl Write, resp: &Response, checksum: bool) -> Result<()> {
     let (op, body) = encode_response(resp);
-    write_frame(w, op, &body)
+    write_frame(w, op, &body, checksum)
 }
 
 /// Read a [`Response`] frame (blocking; `None` on clean EOF).
-pub fn read_response(r: &mut impl Read) -> Result<Option<Response>> {
-    match read_frame(r)? {
+pub fn read_response(r: &mut impl Read, checksum: bool) -> Result<Option<Response>> {
+    match read_frame(r, checksum)? {
         Some((op, body)) => Ok(Some(decode_response(op, &body)?)),
         None => Ok(None),
+    }
+}
+
+/// Run the client half of the `Hello` exchange on a fresh stream: offer
+/// `want`, return the version the server granted. Both hello frames are
+/// v1-framed (no CRC) — they precede version agreement — and the server
+/// may grant a version ≤ `want` (it never upgrades a client).
+pub fn client_handshake<S: Read + Write>(stream: &mut S, want: u16) -> Result<u16> {
+    write_request(stream, &Request::Hello { version: want.min(PROTO_VERSION) }, 1)?;
+    match read_response(stream, false)? {
+        Some(Response::Hello { version }) => {
+            if version < MIN_PROTO_VERSION || version > want.min(PROTO_VERSION) {
+                return Err(ServeError::Protocol(format!(
+                    "server granted unusable protocol version {version}"
+                )));
+            }
+            Ok(version)
+        }
+        Some(Response::Error { code, message }) => Err(ServeError::Server { code, message }),
+        Some(other) => {
+            Err(ServeError::Protocol(format!("expected hello acknowledgement, got {other:?}")))
+        }
+        None => Err(ServeError::Protocol("connection closed during handshake".into())),
     }
 }
 
@@ -441,31 +557,43 @@ pub fn read_response(r: &mut impl Read) -> Result<Option<Response>> {
 mod tests {
     use super::*;
 
-    fn roundtrip_request(req: Request) {
-        let (op, body) = encode_request(&req);
-        assert_eq!(decode_request(op, &body).unwrap(), req);
+    fn roundtrip_request_at(req: Request, version: u16) {
+        let (op, body) = encode_request(&req, version).unwrap();
+        assert_eq!(decode_request(op, &body, version).unwrap(), req);
         // And through the framed byte stream.
         let mut wire = Vec::new();
-        write_request(&mut wire, &req).unwrap();
-        let (op, body) = read_frame(&mut wire.as_slice()).unwrap().unwrap();
-        assert_eq!(decode_request(op, &body).unwrap(), req);
+        write_request(&mut wire, &req, version).unwrap();
+        let (op, body) =
+            read_frame(&mut wire.as_slice(), frames_checksummed(version)).unwrap().unwrap();
+        assert_eq!(decode_request(op, &body, version).unwrap(), req);
+    }
+
+    fn roundtrip_request(req: Request) {
+        roundtrip_request_at(req.clone(), 1);
+        roundtrip_request_at(req, 2);
     }
 
     fn roundtrip_response(resp: Response) {
-        let mut wire = Vec::new();
-        write_response(&mut wire, &resp).unwrap();
-        let got = read_response(&mut wire.as_slice()).unwrap().unwrap();
-        assert_eq!(got, resp);
+        for checksum in [false, true] {
+            let mut wire = Vec::new();
+            write_response(&mut wire, &resp, checksum).unwrap();
+            let got = read_response(&mut wire.as_slice(), checksum).unwrap().unwrap();
+            assert_eq!(got, resp);
+        }
     }
 
     #[test]
     fn requests_roundtrip() {
         roundtrip_request(Request::Hello { version: PROTO_VERSION });
         roundtrip_request(Request::Info { container: 3 });
-        roundtrip_request(Request::Fetch { container: 1, chunk: 42, read_cf: 2 });
+        roundtrip_request(Request::Fetch { container: 1, chunk: 42, read_cf: 2, deadline_ms: 0 });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Ping);
         roundtrip_request(Request::Shutdown);
+        // Nonzero deadlines exist only at v2.
+        let dl = Request::Fetch { container: 0, chunk: 1, read_cf: 0, deadline_ms: 250 };
+        roundtrip_request_at(dl.clone(), 2);
+        assert!(encode_request(&dl, 1).is_err(), "v1 cannot carry a deadline");
     }
 
     #[test]
@@ -497,26 +625,70 @@ mod tests {
     #[test]
     fn malformed_frames_error_not_panic() {
         // Unknown opcodes.
-        assert!(decode_request(0x44, &[]).is_err());
+        assert!(decode_request(0x44, &[], 1).is_err());
         assert!(decode_response(0x45, &[]).is_err());
         // Truncated body.
-        assert!(decode_request(OP_FETCH, &[1, 0, 0]).is_err());
-        // Trailing garbage.
-        let (op, mut body) = encode_request(&Request::Ping);
+        assert!(decode_request(OP_FETCH, &[1, 0, 0], 1).is_err());
+        // Trailing garbage — at v1 the deadline bytes themselves are
+        // trailing garbage, so a v2 fetch is rejected by a v1 decoder.
+        let (op, mut body) = encode_request(&Request::Ping, 1).unwrap();
         body.push(9);
-        assert!(decode_request(op, &body).is_err());
+        assert!(decode_request(op, &body, 1).is_err());
+        let fetch = Request::Fetch { container: 0, chunk: 0, read_cf: 0, deadline_ms: 7 };
+        let (op, body) = encode_request(&fetch, 2).unwrap();
+        assert!(decode_request(op, &body, 1).is_err());
         // Bad hello magic.
-        assert!(decode_request(OP_HELLO, b"NOPE\x01\x00").is_err());
+        assert!(decode_request(OP_HELLO, b"NOPE\x01\x00", 1).is_err());
         // Zero / oversize frame lengths.
         let mut wire = 0u32.to_le_bytes().to_vec();
-        assert!(read_frame(&mut wire.as_slice()).is_err());
+        assert!(read_frame(&mut wire.as_slice(), false).is_err());
         wire = (MAX_FRAME + 1).to_le_bytes().to_vec();
-        assert!(read_frame(&mut wire.as_slice()).is_err());
+        assert!(read_frame(&mut wire.as_slice(), false).is_err());
         // Clean EOF at the boundary is None, mid-frame EOF is an error.
-        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+        assert!(read_frame(&mut [].as_slice(), false).unwrap().is_none());
         let mut partial = Vec::new();
-        write_request(&mut partial, &Request::Stats).unwrap();
+        write_request(&mut partial, &Request::Stats, 1).unwrap();
         partial.truncate(4);
-        assert!(read_frame(&mut partial.as_slice()).is_err());
+        assert!(read_frame(&mut partial.as_slice(), false).is_err());
+    }
+
+    #[test]
+    fn checksummed_frames_reject_every_single_bit_flip() {
+        let req = Request::Fetch { container: 2, chunk: 9, read_cf: 1, deadline_ms: 125 };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req, 2).unwrap();
+        // Pristine frame parses.
+        let (op, body) = read_frame(&mut wire.as_slice(), true).unwrap().unwrap();
+        assert_eq!(decode_request(op, &body, 2).unwrap(), req);
+        // Any bit flip past the length prefix must be *detected* — either
+        // a checksum error or (for flips in the CRC itself) a mismatch.
+        for byte in 4..wire.len() {
+            for bit in 0..8 {
+                let mut evil = wire.clone();
+                evil[byte] ^= 1 << bit;
+                assert!(
+                    read_frame(&mut evil.as_slice(), true).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+        // Without the checksum the same flips can silently decode as a
+        // *different valid request* — that is why v2 exists.
+        let mut silent = wire.clone();
+        silent[9] ^= 1; // a bit inside the request body
+        let trimmed = &silent[..silent.len() - 4]; // drop CRC, fix length
+        let mut refr = (trimmed.len() as u32 - 4).to_le_bytes().to_vec();
+        refr.extend_from_slice(&trimmed[4..]);
+        let (op, body) = read_frame(&mut refr.as_slice(), false).unwrap().unwrap();
+        let decoded = decode_request(op, &body, 2).unwrap();
+        assert_ne!(decoded, req, "v1 framing cannot detect payload corruption");
+    }
+
+    #[test]
+    fn checksummed_short_frames_are_rejected() {
+        // len < 5 is impossible at v2 (opcode + CRC alone need 5).
+        let mut wire = 4u32.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[OP_PING, 0, 0, 0]);
+        assert!(read_frame(&mut wire.as_slice(), true).is_err());
     }
 }

@@ -1,0 +1,516 @@
+//! Self-healing client: bounded retry, reconnect, circuit breaking, and
+//! replica failover over the idempotent read path.
+//!
+//! The plain [`Client`] gives up on the first error. That is the right
+//! primitive — but a training loader streaming chunks from a replica pool
+//! (the Progressive Compressed Records deployment model) must ride
+//! through flaky links and replica kills without corrupting or silently
+//! dropping data. [`RobustClient`] layers three classic mechanisms over
+//! the primitive, all bounded and all seeded:
+//!
+//! * **Retry with backoff** — reuses the store layer's
+//!   [`RetryPolicy`](aicomp_store::RetryPolicy) (the same budget that
+//!   governs disk retries governs wire retries). Only *idempotent*
+//!   requests go through here — Fetch/Info/Stats/Ping re-ask safely, and
+//!   `Shutdown` is idempotent by construction (a second one is a no-op).
+//!   Connection-level failures (reset, CRC-mismatch close) drop the
+//!   cached connection so the retry reconnects from scratch.
+//! * **Per-endpoint circuit breakers** — closed → open (after
+//!   `breaker_threshold` consecutive failures) → half-open (one probe
+//!   after a seeded cooldown: `cooldown × (0.5 + uniform)` drawn from
+//!   SplitMix64, so replicas recovering together don't probe in
+//!   lock-step, yet every schedule replays from the seed).
+//! * **Failover** — endpoints are tried sticky-first: the preferred
+//!   replica serves everything until its breaker opens, then the next
+//!   available one becomes preferred. When every breaker is open the
+//!   client sleeps until the earliest half-open eligibility instead of
+//!   spinning.
+//!
+//! Every decision is observable: [`RobustCounters`] tallies attempts,
+//! retries, reconnects, failovers, breaker opens, probes, and deadline
+//! hits, and the chaos tests assert these match the injected fault
+//! counts exactly.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aicomp_store::{RetryPolicy, SplitMix64};
+
+use crate::chaos::{FaultyStream, WireCounters, WireFaultPlan};
+use crate::client::{Client, FetchedChunk};
+use crate::protocol::{client_handshake, ContainerInfo, PROTO_VERSION};
+use crate::stats::StatsReport;
+use crate::{Result, ServeError};
+
+/// Tunables for [`RobustClient`].
+#[derive(Debug, Clone)]
+pub struct RobustConfig {
+    /// Attempt budget and backoff base, shared with the store layer.
+    pub retry: RetryPolicy,
+    /// Overall wall-clock budget per call (`None` = unbounded). Also
+    /// forwarded to v2 servers as the request deadline, so work the
+    /// client will no longer wait for is shed before decoding.
+    pub timeout: Option<Duration>,
+    /// Consecutive failures that open an endpoint's breaker.
+    pub breaker_threshold: u32,
+    /// Base cooldown before an open breaker allows a half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Seed for probe-cooldown jitter (and chaos connection derivation).
+    pub seed: u64,
+    /// Protocol version to offer (capped at [`PROTO_VERSION`]).
+    pub version: u16,
+    /// Wrap every connection in a [`FaultyStream`] armed *after* the
+    /// handshake with `chaos.derive(k)` for the k-th connection — the
+    /// client side of a chaos test.
+    pub chaos: Option<WireFaultPlan>,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            retry: RetryPolicy::default(),
+            timeout: None,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+            seed: 0,
+            version: PROTO_VERSION,
+            chaos: None,
+        }
+    }
+}
+
+/// Recovery-side counters (all monotonic), shared so tests can hold them
+/// while the client is in use elsewhere.
+#[derive(Debug, Default)]
+pub struct RobustCounters {
+    /// Request attempts issued (first tries included).
+    pub attempts: AtomicU64,
+    /// Attempts that were retries of a failed call.
+    pub retries: AtomicU64,
+    /// Connections established (first connects included).
+    pub connects: AtomicU64,
+    /// Connections re-established after a drop.
+    pub reconnects: AtomicU64,
+    /// Times the preferred endpoint moved to a different replica.
+    pub failovers: AtomicU64,
+    /// Breaker transitions into open.
+    pub breaker_opens: AtomicU64,
+    /// Half-open probe attempts.
+    pub probes: AtomicU64,
+    /// Calls abandoned because the overall budget ran out.
+    pub deadline_hits: AtomicU64,
+}
+
+impl RobustCounters {
+    fn bump(&self, field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Circuit-breaker states (classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests skip this endpoint until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe request is allowed through.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until: Instant,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker { state: BreakerState::Closed, consecutive_failures: 0, open_until: Instant::now() }
+    }
+
+    /// May a request go to this endpoint right now? Transitions
+    /// open→half-open when the cooldown has elapsed.
+    fn admits(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open if now >= self.open_until => {
+                self.state = BreakerState::HalfOpen;
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Returns true when this failure *opened* the breaker.
+    fn on_failure(
+        &mut self,
+        now: Instant,
+        threshold: u32,
+        cooldown: Duration,
+        rng: &mut SplitMix64,
+    ) -> bool {
+        self.consecutive_failures += 1;
+        let trip =
+            self.state == BreakerState::HalfOpen || self.consecutive_failures >= threshold.max(1);
+        if trip {
+            self.state = BreakerState::Open;
+            // Seeded jitter: 0.5×–1.5× the base cooldown, replayable.
+            self.open_until = now + cooldown.mul_f64(0.5 + rng.uniform());
+        }
+        trip
+    }
+}
+
+struct Endpoint {
+    addr: SocketAddr,
+    conn: Option<Client>,
+    breaker: Breaker,
+    ever_connected: bool,
+}
+
+/// A client over one or more replica endpoints with retry, circuit
+/// breaking, and failover. Single-threaded (like [`Client`]); spawn one
+/// per worker thread.
+pub struct RobustClient {
+    endpoints: Vec<Endpoint>,
+    config: RobustConfig,
+    counters: Arc<RobustCounters>,
+    wire: Arc<WireCounters>,
+    rng: SplitMix64,
+    conn_seq: u64,
+    preferred: usize,
+}
+
+impl std::fmt::Debug for RobustClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RobustClient")
+            .field("endpoints", &self.endpoints.iter().map(|e| e.addr).collect::<Vec<_>>())
+            .field("preferred", &self.preferred)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RobustClient {
+    /// Build a client over `addrs` (tried in order; the first is the
+    /// initial preferred replica). Connections are opened lazily, per
+    /// endpoint, on first use.
+    pub fn new(addrs: &[SocketAddr], config: RobustConfig) -> Result<RobustClient> {
+        if addrs.is_empty() {
+            return Err(ServeError::Protocol("RobustClient needs at least one endpoint".into()));
+        }
+        let rng = SplitMix64(config.seed ^ 0xC1EC_0B8A_5EED_0001);
+        Ok(RobustClient {
+            endpoints: addrs
+                .iter()
+                .map(|&addr| Endpoint {
+                    addr,
+                    conn: None,
+                    breaker: Breaker::new(),
+                    ever_connected: false,
+                })
+                .collect(),
+            config,
+            counters: Arc::new(RobustCounters::default()),
+            wire: Arc::new(WireCounters::default()),
+            rng,
+            conn_seq: 0,
+            preferred: 0,
+        })
+    }
+
+    /// The recovery counters (shared; keep a clone across calls).
+    pub fn counters(&self) -> Arc<RobustCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Injected-fault counters summed over every chaos-wrapped connection
+    /// this client opened (all zero without a chaos plan).
+    pub fn wire_counters(&self) -> Arc<WireCounters> {
+        Arc::clone(&self.wire)
+    }
+
+    /// The breaker state of endpoint `index` (test/introspection hook).
+    pub fn breaker_state(&self, index: usize) -> Option<BreakerState> {
+        self.endpoints.get(index).map(|e| e.breaker.state)
+    }
+
+    /// Fetch one decompressed chunk (retried/failed-over; see module doc).
+    pub fn fetch(&mut self, container: u32, chunk: u32, read_cf: u8) -> Result<FetchedChunk> {
+        self.call(|client, remaining| {
+            // Forward the remaining budget as the server-side deadline on
+            // v2 links, so queued work we stopped waiting for is shed.
+            let deadline = remaining.filter(|_| client.version() >= 2);
+            client.fetch_deadline(container, chunk, read_cf, deadline)
+        })
+    }
+
+    /// Describe one served container (retried/failed-over).
+    pub fn info(&mut self, container: u32) -> Result<ContainerInfo> {
+        self.call(|client, _| client.info(container))
+    }
+
+    /// Fetch the preferred replica's counters (retried/failed-over).
+    pub fn stats(&mut self) -> Result<StatsReport> {
+        self.call(|client, _| client.stats())
+    }
+
+    /// Liveness probe (retried/failed-over).
+    pub fn ping(&mut self) -> Result<()> {
+        self.call(|client, _| client.ping())
+    }
+
+    /// Gracefully stop the preferred replica (idempotent: a repeat lands
+    /// on an already-draining server and is answered or refused typed).
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.call(|client, _| client.shutdown())
+    }
+
+    /// The retry/failover engine shared by every request kind.
+    fn call<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client, Option<Duration>) -> Result<T>,
+    ) -> Result<T> {
+        let start = Instant::now();
+        let budget = |start: Instant, timeout: Option<Duration>| -> Option<Option<Duration>> {
+            // None = budget exhausted; Some(r) = r remaining (None = ∞).
+            match timeout {
+                None => Some(None),
+                Some(t) => t.checked_sub(start.elapsed()).map(Some),
+            }
+        };
+        let max_attempts = self.config.retry.max_attempts.max(1);
+        let mut last_err: Option<ServeError> = None;
+        for attempt in 0..max_attempts {
+            let Some(remaining) = budget(start, self.config.timeout) else {
+                self.counters.bump(&self.counters.deadline_hits);
+                return Err(budget_exhausted(last_err));
+            };
+            if attempt > 0 {
+                self.counters.bump(&self.counters.retries);
+                // Same schedule as the store's `with_retry`: backoff << k,
+                // shift capped — bounded exponential, never unbounded.
+                let nap = self.config.retry.backoff * (1u32 << (attempt - 1).min(6));
+                std::thread::sleep(match remaining {
+                    Some(r) => nap.min(r),
+                    None => nap,
+                });
+            }
+            let index = match self.pick_endpoint(remaining) {
+                Ok(i) => i,
+                Err(e) => {
+                    self.counters.bump(&self.counters.deadline_hits);
+                    return Err(e);
+                }
+            };
+            self.counters.bump(&self.counters.attempts);
+            let result = self.attempt_on(index, remaining, &mut op);
+            let now = Instant::now();
+            match result {
+                Ok(v) => {
+                    self.endpoints[index].breaker.on_success();
+                    return Ok(v);
+                }
+                Err(e) => {
+                    let drop_conn = matches!(e, ServeError::Io(_) | ServeError::Protocol(_));
+                    if drop_conn {
+                        self.endpoints[index].conn = None;
+                    }
+                    if !e.is_retryable() {
+                        // A fatal typed answer is a *healthy* server
+                        // rejecting the request itself; no breaker blame.
+                        self.endpoints[index].breaker.on_success();
+                        return Err(e);
+                    }
+                    let opened = self.endpoints[index].breaker.on_failure(
+                        now,
+                        self.config.breaker_threshold,
+                        self.config.breaker_cooldown,
+                        &mut self.rng,
+                    );
+                    if opened {
+                        self.counters.bump(&self.counters.breaker_opens);
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| ServeError::Protocol("retry budget of zero attempts".into())))
+    }
+
+    /// Choose the endpoint for the next attempt: sticky preferred, else
+    /// the next replica whose breaker admits traffic (counted as a
+    /// failover), else sleep until the earliest breaker can half-open.
+    fn pick_endpoint(&mut self, remaining: Option<Duration>) -> Result<usize> {
+        let n = self.endpoints.len();
+        loop {
+            let now = Instant::now();
+            for off in 0..n {
+                let i = (self.preferred + off) % n;
+                if self.endpoints[i].breaker.admits(now) {
+                    if self.endpoints[i].breaker.state == BreakerState::HalfOpen {
+                        self.counters.bump(&self.counters.probes);
+                    }
+                    if i != self.preferred {
+                        self.counters.bump(&self.counters.failovers);
+                        self.preferred = i;
+                    }
+                    return Ok(i);
+                }
+            }
+            // Every breaker is open: wait for the earliest probe window
+            // instead of burning attempts that cannot be admitted.
+            let earliest = self
+                .endpoints
+                .iter()
+                .map(|e| e.breaker.open_until)
+                .min()
+                .expect("at least one endpoint");
+            let nap = earliest.saturating_duration_since(now);
+            if let Some(r) = remaining {
+                if nap >= r {
+                    return Err(budget_exhausted(None));
+                }
+            }
+            std::thread::sleep(nap + Duration::from_millis(1));
+        }
+    }
+
+    /// Ensure endpoint `index` has a live connection, then run one
+    /// attempt on it with the socket read timeout pinned to the budget.
+    fn attempt_on<T>(
+        &mut self,
+        index: usize,
+        remaining: Option<Duration>,
+        op: &mut impl FnMut(&mut Client, Option<Duration>) -> Result<T>,
+    ) -> Result<T> {
+        if self.endpoints[index].conn.is_none() {
+            let client = self.open(index)?;
+            let ep = &mut self.endpoints[index];
+            self.counters.bump(&self.counters.connects);
+            if ep.ever_connected {
+                self.counters.bump(&self.counters.reconnects);
+            }
+            ep.ever_connected = true;
+            ep.conn = Some(client);
+        }
+        let conn = self.endpoints[index].conn.as_mut().expect("just ensured");
+        conn.set_op_timeout(remaining)?;
+        op(conn, remaining)
+    }
+
+    /// Dial and handshake one connection. Under a chaos plan the
+    /// handshake runs on the *clean* stream and the faults are armed
+    /// after it (the arm-after-open discipline), so injected faults hit
+    /// steady-state traffic deterministically, not version negotiation.
+    fn open(&mut self, index: usize) -> Result<Client> {
+        let stream = TcpStream::connect(self.endpoints[index].addr)?;
+        let _ = stream.set_nodelay(true);
+        let want = self.config.version.min(PROTO_VERSION);
+        match self.config.chaos {
+            Some(plan) if plan.is_active() => {
+                let mut faulty = FaultyStream::with_counters(
+                    stream,
+                    WireFaultPlan::none(),
+                    Arc::clone(&self.wire),
+                );
+                let negotiated = client_handshake(&mut faulty, want)?;
+                faulty.set_plan(plan.derive(self.conn_seq));
+                self.conn_seq += 1;
+                Ok(Client::from_parts(Box::new(faulty), negotiated))
+            }
+            _ => {
+                let mut stream = stream;
+                let negotiated = client_handshake(&mut stream, want)?;
+                Ok(Client::from_parts(Box::new(stream), negotiated))
+            }
+        }
+    }
+}
+
+fn budget_exhausted(last_err: Option<ServeError>) -> ServeError {
+    let detail = match last_err {
+        Some(e) => format!("call budget exhausted; last error: {e}"),
+        None => "call budget exhausted".to_string(),
+    };
+    ServeError::Io(std::io::Error::new(std::io::ErrorKind::TimedOut, detail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(seed: u64) -> (Breaker, SplitMix64) {
+        (Breaker::new(), SplitMix64(seed))
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_recovers_via_probe() {
+        let (mut b, mut rng) = mk(7);
+        let t0 = Instant::now();
+        let cooldown = Duration::from_millis(100);
+        assert!(b.admits(t0));
+        assert!(!b.on_failure(t0, 3, cooldown, &mut rng));
+        assert!(!b.on_failure(t0, 3, cooldown, &mut rng));
+        assert!(b.admits(t0), "two failures under threshold 3 keep it closed");
+        assert!(b.on_failure(t0, 3, cooldown, &mut rng), "third failure trips");
+        assert_eq!(b.state, BreakerState::Open);
+        assert!(!b.admits(t0), "open breaker rejects immediately");
+        // Jitter keeps the cooldown in [0.5×, 1.5×].
+        let wait = b.open_until - t0;
+        assert!(wait >= cooldown / 2 && wait <= cooldown * 3 / 2, "jittered wait {wait:?}");
+        // After the window: exactly one probe; success closes it.
+        let later = t0 + cooldown * 2;
+        assert!(b.admits(later));
+        assert_eq!(b.state, BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state, BreakerState::Closed);
+        assert_eq!(b.consecutive_failures, 0);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_immediately() {
+        let (mut b, mut rng) = mk(9);
+        let t0 = Instant::now();
+        let cooldown = Duration::from_millis(50);
+        for _ in 0..3 {
+            b.on_failure(t0, 3, cooldown, &mut rng);
+        }
+        let later = t0 + cooldown * 2;
+        assert!(b.admits(later));
+        assert_eq!(b.state, BreakerState::HalfOpen);
+        assert!(b.on_failure(later, 3, cooldown, &mut rng), "failed probe re-trips at once");
+        assert_eq!(b.state, BreakerState::Open);
+    }
+
+    #[test]
+    fn breaker_jitter_is_seeded() {
+        let schedule = |seed| {
+            let (mut b, mut rng) = mk(seed);
+            let t0 = Instant::now();
+            let mut waits = Vec::new();
+            for _ in 0..4 {
+                b.on_failure(t0, 1, Duration::from_millis(80), &mut rng);
+                waits.push(b.open_until - t0);
+                b.on_success();
+            }
+            waits
+        };
+        assert_eq!(schedule(3), schedule(3), "same seed, same probe schedule");
+        assert_ne!(schedule(3), schedule(4), "different seeds decorrelate");
+    }
+
+    #[test]
+    fn zero_endpoints_is_an_error_not_a_panic() {
+        assert!(RobustClient::new(&[], RobustConfig::default()).is_err());
+    }
+}

@@ -25,10 +25,19 @@
 //! is closed → workers drain what was admitted and exit → the listener
 //! thread returns. Every admitted request is answered; nothing is
 //! dropped on the floor.
+//!
+//! Connections are **supervised**: a peer must finish the `Hello`
+//! exchange within `handshake_timeout`, deliver each started frame
+//! within `frame_deadline` (the slow-loris guard — a byte per tick no
+//! longer pins a thread forever), and — when `idle_timeout` is set —
+//! keep the connection non-idle between frames. Each limit closes the
+//! connection with a typed error and a dedicated counter in the stats
+//! frame, and `max_conns` bounds the thread count with a typed
+//! `Overloaded` rejection at accept time.
 
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -40,8 +49,9 @@ use aicomp_store::{SharedReader, StoreError};
 use aicomp_tensor::Tensor;
 
 use crate::cache::ChunkCache;
+use crate::chaos::{FaultyStream, Wire, WireFaultPlan};
 use crate::protocol::{
-    self, ContainerInfo, ErrorCode, Request, Response, MAX_FRAME, PROTO_VERSION,
+    self, ContainerInfo, ErrorCode, Request, Response, MAX_FRAME, MIN_PROTO_VERSION, PROTO_VERSION,
 };
 use crate::queue::{Mpmc, PushError};
 use crate::stats::{Endpoint, ServeStats};
@@ -63,6 +73,19 @@ pub struct ServeConfig {
     /// Test/bench knob: sleep this long at the start of every worker
     /// pass, so saturation (and thus shedding) is reproducible.
     pub worker_delay: Option<Duration>,
+    /// A fresh connection must complete `Hello` within this.
+    pub handshake_timeout: Duration,
+    /// Close connections that idle this long between frames (`None`
+    /// keeps them open indefinitely, the pre-v2 behavior).
+    pub idle_timeout: Option<Duration>,
+    /// A started frame must arrive in full within this (slow-loris guard).
+    pub frame_deadline: Duration,
+    /// Most concurrently-open connections; excess accepts are answered
+    /// with a typed `Overloaded` and closed.
+    pub max_conns: usize,
+    /// Test/CI knob: wrap every accepted connection in a [`FaultyStream`]
+    /// seeded per connection (`plan.derive(i)`) — server-side wire chaos.
+    pub chaos: Option<WireFaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +97,11 @@ impl Default for ServeConfig {
             cache_entries: 256,
             cache_shards: 8,
             worker_delay: None,
+            handshake_timeout: Duration::from_secs(5),
+            idle_timeout: None,
+            frame_deadline: Duration::from_secs(30),
+            max_conns: 256,
+            chaos: None,
         }
     }
 }
@@ -84,11 +112,16 @@ type JobResult = std::result::Result<Arc<Tensor>, (ErrorCode, String)>;
 type Waiters = Vec<mpsc::SyncSender<JobResult>>;
 
 /// One admitted cache miss: decode `chunk` of `container` at `read_cf`
-/// (already resolved — never 0) and send the result to `reply`.
+/// (already resolved — never 0) and send the result to `reply`. A job
+/// that sits in the queue past `expires` is shed with
+/// `DeadlineExceeded` instead of decoded — by then the client has (or
+/// should have) moved on, so decoding would burn a worker pass on an
+/// answer nobody reads.
 struct Job {
     container: u32,
     chunk: u32,
     read_cf: u8,
+    expires: Option<Instant>,
     reply: mpsc::SyncSender<JobResult>,
 }
 
@@ -188,12 +221,37 @@ impl Server {
         let Server { listener, shared, workers, .. } = self;
         listener.set_nonblocking(true).expect("non-blocking listener");
         let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+        let mut conn_index: u64 = 0;
         while !shared.shutdown.load(Ordering::Relaxed) {
             match listener.accept() {
                 Ok((stream, _)) => {
-                    let shared = Arc::clone(&shared);
-                    conns.push(thread::spawn(move || handle_conn(&shared, stream)));
                     conns.retain(|h| !h.is_finished());
+                    if conns.len() >= shared.config.max_conns.max(1) {
+                        shared.stats.conns_rejected.fetch_add(1, Ordering::Relaxed);
+                        // Typed, v1-framed rejection any client version can
+                        // parse, sent without reading the Hello first.
+                        let mut s = stream;
+                        let _ = protocol::write_response(
+                            &mut s,
+                            &err(ErrorCode::Overloaded, "connection limit reached"),
+                            false,
+                        );
+                        continue;
+                    }
+                    shared.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.conns_active.fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&shared);
+                    let index = conn_index;
+                    conn_index += 1;
+                    conns.push(thread::spawn(move || {
+                        match shared.config.chaos {
+                            Some(plan) if plan.is_active() => {
+                                handle_conn(&shared, FaultyStream::new(stream, plan.derive(index)))
+                            }
+                            _ => handle_conn(&shared, stream),
+                        }
+                        shared.stats.conns_active.fetch_sub(1, Ordering::Relaxed);
+                    }));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     thread::sleep(Duration::from_millis(5));
@@ -292,9 +350,20 @@ fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
     // Containers/chunks/fidelities were validated at admission.
     let cont = &shared.containers[container as usize];
 
-    // Coalesce duplicate chunks: every waiter shares one decode.
+    // Shed jobs whose deadline expired while they queued — before any
+    // read or decode work, the same pre-worker edge as `Overloaded`.
+    // Then coalesce duplicate chunks: every live waiter shares one decode.
+    let now = Instant::now();
     let mut waiters: HashMap<u32, Waiters> = HashMap::new();
     for j in group {
+        if j.expires.is_some_and(|e| e <= now) {
+            shared.stats.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = j.reply.send(Err((
+                ErrorCode::DeadlineExceeded,
+                format!("chunk {}: deadline expired before decode", j.chunk),
+            )));
+            continue;
+        }
         waiters.entry(j.chunk).or_default().push(j.reply);
     }
 
@@ -388,40 +457,89 @@ fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
 
 // ------------------------------------------------------------ connections
 
+/// What one supervised frame-read attempt produced.
+enum FrameEvent {
+    /// A complete, integrity-checked `(opcode, body)` frame.
+    Frame(u8, Vec<u8>),
+    /// Peer closed cleanly at a frame boundary.
+    Eof,
+    /// The server's shutdown flag went up.
+    Shutdown,
+    /// No frame *started* before the idle/handshake deadline.
+    IdleTimeout,
+    /// A frame started but did not finish within `frame_deadline` —
+    /// the slow-loris case the old accumulation loop let run forever.
+    FrameTimeout,
+}
+
 /// Read one frame, accumulating across 50 ms read timeouts so a timeout
-/// never desynchronizes the stream, and bailing out at a frame boundary
-/// once shutdown is flagged. `Ok(None)` means "close this connection".
-fn read_frame_polled(
-    stream: &mut TcpStream,
+/// never desynchronizes the stream, enforcing both deadlines, and (when
+/// `checksum`) verifying the v2 trailing CRC-32. `Err` means the stream
+/// is desynchronized or broken — malformed length, CRC mismatch,
+/// mid-frame EOF, or I/O failure.
+fn read_frame_supervised(
+    stream: &mut impl Read,
     buf: &mut Vec<u8>,
     shutdown: &AtomicBool,
-) -> crate::Result<Option<(u8, Vec<u8>)>> {
+    idle_deadline: Option<Instant>,
+    frame_deadline: Duration,
+    checksum: bool,
+) -> crate::Result<FrameEvent> {
+    // A partial frame may already be buffered from the previous read;
+    // its clock starts now — we cannot know when its first byte landed.
+    let mut started: Option<Instant> = (!buf.is_empty()).then(Instant::now);
+    let min_len = if checksum { 5 } else { 1 };
     loop {
         if buf.len() >= 4 {
             let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
-            if len == 0 || len > MAX_FRAME {
+            if len < min_len || len > MAX_FRAME {
                 return Err(crate::ServeError::Protocol(format!("bad frame length {len}")));
             }
             if buf.len() >= 4 + len as usize {
                 let mut frame: Vec<u8> = buf.drain(..4 + len as usize).collect();
                 frame.drain(..4);
                 let op = frame.remove(0);
-                return Ok(Some((op, frame)));
+                if checksum {
+                    let tail = frame.split_off(frame.len() - 4);
+                    let want = u32::from_le_bytes(tail.try_into().unwrap());
+                    let got = protocol::frame_crc(op, &frame);
+                    if got != want {
+                        return Err(crate::ServeError::Protocol(format!(
+                            "frame checksum mismatch (got {got:#010x}, want {want:#010x})"
+                        )));
+                    }
+                }
+                return Ok(FrameEvent::Frame(op, frame));
             }
         }
         if shutdown.load(Ordering::Relaxed) {
-            return Ok(None);
+            return Ok(FrameEvent::Shutdown);
+        }
+        let now = Instant::now();
+        match started {
+            Some(t0) if now.duration_since(t0) >= frame_deadline => {
+                return Ok(FrameEvent::FrameTimeout);
+            }
+            None if idle_deadline.is_some_and(|d| now >= d) => {
+                return Ok(FrameEvent::IdleTimeout);
+            }
+            _ => {}
         }
         let mut tmp = [0u8; 64 * 1024];
         match stream.read(&mut tmp) {
             Ok(0) => {
                 return if buf.is_empty() {
-                    Ok(None)
+                    Ok(FrameEvent::Eof)
                 } else {
                     Err(crate::ServeError::Protocol("EOF mid-frame".into()))
                 };
             }
-            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Ok(n) => {
+                if buf.is_empty() {
+                    started = Some(Instant::now());
+                }
+                buf.extend_from_slice(&tmp[..n]);
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -432,46 +550,104 @@ fn read_frame_polled(
     }
 }
 
-fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+fn handle_conn<S: Wire>(shared: &Shared, mut stream: S) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let mut buf = Vec::new();
-    let mut hello_done = false;
+    // Negotiated protocol version; `None` until the Hello exchange lands.
+    let mut version: Option<u16> = None;
+    let opened = Instant::now();
     loop {
-        let (op, body) = match read_frame_polled(&mut stream, &mut buf, &shared.shutdown) {
-            Ok(Some(f)) => f,
-            // Clean close, shutdown, desync, or I/O failure: drop the
-            // connection (every *parsed* request was already answered).
-            Ok(None) | Err(_) => return,
+        let checksum = version.map(protocol::frames_checksummed).unwrap_or(false);
+        let idle_deadline = match version {
+            // Handshake clock runs from accept, not from loop entry.
+            None => Some(opened + shared.config.handshake_timeout),
+            Some(_) => shared.config.idle_timeout.map(|t| Instant::now() + t),
         };
-        let req = match protocol::decode_request(op, &body) {
+        let event = read_frame_supervised(
+            &mut stream,
+            &mut buf,
+            &shared.shutdown,
+            idle_deadline,
+            shared.config.frame_deadline,
+            checksum,
+        );
+        let (op, body) = match event {
+            Ok(FrameEvent::Frame(op, body)) => (op, body),
+            // Clean close or shutdown: drop the connection (every
+            // *parsed* request was already answered).
+            Ok(FrameEvent::Eof) | Ok(FrameEvent::Shutdown) => return,
+            Ok(FrameEvent::IdleTimeout) => {
+                let (counter, what) = if version.is_none() {
+                    (&shared.stats.handshake_timeouts, "handshake deadline exceeded")
+                } else {
+                    (&shared.stats.idle_closed, "idle timeout exceeded")
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                let _ = protocol::write_response(
+                    &mut stream,
+                    &err(ErrorCode::DeadlineExceeded, what),
+                    checksum,
+                );
+                return;
+            }
+            Ok(FrameEvent::FrameTimeout) => {
+                shared.stats.slow_closed.fetch_add(1, Ordering::Relaxed);
+                let _ = protocol::write_response(
+                    &mut stream,
+                    &err(ErrorCode::DeadlineExceeded, "frame read deadline exceeded"),
+                    checksum,
+                );
+                return;
+            }
+            Err(crate::ServeError::Protocol(msg)) => {
+                // Malformed length, CRC mismatch, or mid-frame EOF: the
+                // byte stream can no longer be trusted, so answer typed
+                // (best-effort) and close.
+                shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let _ =
+                    protocol::write_response(&mut stream, &err(ErrorCode::BadFrame, msg), checksum);
+                return;
+            }
+            Err(_) => return, // I/O failure: nothing to say it to.
+        };
+        let req = match protocol::decode_request(op, &body, version.unwrap_or(1)) {
             Ok(r) => r,
             Err(e) => {
                 let _ = protocol::write_response(
                     &mut stream,
                     &err(ErrorCode::BadRequest, e.to_string()),
+                    checksum,
                 );
                 return;
             }
         };
-        if !hello_done {
+        let Some(negotiated) = version else {
             let resp = match req {
-                Request::Hello { version } if version == PROTO_VERSION => {
-                    hello_done = true;
-                    Response::Hello { version: PROTO_VERSION }
+                Request::Hello { version: v }
+                    if (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&v) =>
+                {
+                    // Serve the client at *its* version — v1 clients keep
+                    // working against a v2 server.
+                    version = Some(v);
+                    Response::Hello { version: v }
                 }
-                Request::Hello { version } => err(
+                Request::Hello { version: v } => err(
                     ErrorCode::BadRequest,
-                    format!("client speaks version {version}, server speaks {PROTO_VERSION}"),
+                    format!(
+                        "client speaks version {v}, server speaks \
+                         {MIN_PROTO_VERSION}..={PROTO_VERSION}"
+                    ),
                 ),
                 _ => err(ErrorCode::BadRequest, "first frame must be Hello"),
             };
-            let fatal = !hello_done;
-            if protocol::write_response(&mut stream, &resp).is_err() || fatal {
+            let fatal = version.is_none();
+            // Hello replies are always v1-framed: no version exists yet.
+            if protocol::write_response(&mut stream, &resp, false).is_err() || fatal {
                 return;
             }
             continue;
-        }
+        };
         let resp = match req {
             Request::Hello { .. } => err(ErrorCode::BadRequest, "duplicate Hello"),
             Request::Ping => Response::Pong,
@@ -495,14 +671,18 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
                 shared.stats.record_request(Endpoint::Stats, t0.elapsed());
                 resp
             }
-            Request::Fetch { container, chunk, read_cf } => {
+            Request::Fetch { container, chunk, read_cf, deadline_ms } => {
                 let t0 = Instant::now();
-                let resp = fetch(shared, container, chunk, read_cf);
+                let expires =
+                    (deadline_ms > 0).then(|| t0 + Duration::from_millis(deadline_ms as u64));
+                let resp = fetch(shared, container, chunk, read_cf, expires);
                 shared.stats.record_request(Endpoint::Fetch, t0.elapsed());
                 resp
             }
         };
-        if protocol::write_response(&mut stream, &resp).is_err() {
+        if protocol::write_response(&mut stream, &resp, protocol::frames_checksummed(negotiated))
+            .is_err()
+        {
             return;
         }
     }
@@ -527,7 +707,13 @@ fn info(shared: &Shared, container: u32) -> Response {
     })
 }
 
-fn fetch(shared: &Shared, container: u32, chunk: u32, read_cf: u8) -> Response {
+fn fetch(
+    shared: &Shared,
+    container: u32,
+    chunk: u32,
+    read_cf: u8,
+    expires: Option<Instant>,
+) -> Response {
     let Some(cont) = shared.containers.get(container as usize) else {
         return err(
             ErrorCode::NotFound,
@@ -557,7 +743,7 @@ fn fetch(shared: &Shared, container: u32, chunk: u32, read_cf: u8) -> Response {
         }
         None => {
             let (tx, rx) = mpsc::sync_channel(1);
-            match shared.queue.try_push(Job { container, chunk, read_cf: cf, reply: tx }) {
+            match shared.queue.try_push(Job { container, chunk, read_cf: cf, expires, reply: tx }) {
                 Ok(()) => {}
                 Err(PushError::Full(_)) => {
                     shared.stats.shed.fetch_add(1, Ordering::Relaxed);
@@ -597,6 +783,7 @@ mod tests {
     use crate::client::Client;
     use aicomp_store::writer::pack_file;
     use aicomp_store::StoreOptions;
+    use std::net::TcpStream;
     use std::path::PathBuf;
 
     fn sample(i: usize, channels: usize, n: usize) -> Tensor {
@@ -701,17 +888,19 @@ mod tests {
     #[test]
     fn version_mismatch_and_missing_hello_are_rejected() {
         let (path, handle) = start("hello", ServeConfig::default());
-        // Wrong version.
-        let mut s = TcpStream::connect(handle.addr()).unwrap();
-        protocol::write_request(&mut s, &Request::Hello { version: 99 }).unwrap();
-        match protocol::read_response(&mut s).unwrap().unwrap() {
-            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
-            other => panic!("expected error, got {other:?}"),
+        // Wrong version (0 and 99 are both outside the served range).
+        for bad in [0u16, 99] {
+            let mut s = TcpStream::connect(handle.addr()).unwrap();
+            protocol::write_request(&mut s, &Request::Hello { version: bad }, 1).unwrap();
+            match protocol::read_response(&mut s, false).unwrap().unwrap() {
+                Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+                other => panic!("expected error, got {other:?}"),
+            }
         }
         // No hello at all.
         let mut s = TcpStream::connect(handle.addr()).unwrap();
-        protocol::write_request(&mut s, &Request::Ping).unwrap();
-        match protocol::read_response(&mut s).unwrap().unwrap() {
+        protocol::write_request(&mut s, &Request::Ping, 1).unwrap();
+        match protocol::read_response(&mut s, false).unwrap().unwrap() {
             Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
             other => panic!("expected error, got {other:?}"),
         }

@@ -73,6 +73,26 @@ pub struct ServeStats {
     pub decompress_passes: AtomicU64,
     /// Chunks decoded across all passes.
     pub chunks_decoded: AtomicU64,
+    /// Connections accepted by the listener.
+    pub conns_accepted: AtomicU64,
+    /// Connections rejected at accept time (`max_conns` reached).
+    pub conns_rejected: AtomicU64,
+    /// Connections open right now (gauge: incremented on accept,
+    /// decremented when the connection thread finishes).
+    pub conns_active: AtomicU64,
+    /// Connections closed for not completing the `Hello` exchange within
+    /// the handshake deadline.
+    pub handshake_timeouts: AtomicU64,
+    /// Connections closed after idling past `idle_timeout` between frames.
+    pub idle_closed: AtomicU64,
+    /// Connections closed for dribbling a frame past `frame_deadline`
+    /// (the slow-loris guard).
+    pub slow_closed: AtomicU64,
+    /// Frames rejected for integrity failures (CRC mismatch, oversize,
+    /// malformed) — each also closes its connection.
+    pub bad_frames: AtomicU64,
+    /// Fetches shed with `DeadlineExceeded` before decoding.
+    pub deadline_rejected: AtomicU64,
     requests: [AtomicU64; ENDPOINTS],
     latency: [LatencyHistogram; ENDPOINTS],
     batch: [AtomicU64; BATCH_BUCKETS],
@@ -92,6 +112,14 @@ impl ServeStats {
             shed: AtomicU64::new(0),
             decompress_passes: AtomicU64::new(0),
             chunks_decoded: AtomicU64::new(0),
+            conns_accepted: AtomicU64::new(0),
+            conns_rejected: AtomicU64::new(0),
+            conns_active: AtomicU64::new(0),
+            handshake_timeouts: AtomicU64::new(0),
+            idle_closed: AtomicU64::new(0),
+            slow_closed: AtomicU64::new(0),
+            bad_frames: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
             requests: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: std::array::from_fn(|_| LatencyHistogram::new()),
             batch: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -133,6 +161,14 @@ impl ServeStats {
             cache_capacity: cache.capacity,
             decompress_passes: self.decompress_passes.load(Ordering::Relaxed),
             chunks_decoded: self.chunks_decoded.load(Ordering::Relaxed),
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
+            conns_active: self.conns_active.load(Ordering::Relaxed),
+            handshake_timeouts: self.handshake_timeouts.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            slow_closed: self.slow_closed.load(Ordering::Relaxed),
+            bad_frames: self.bad_frames.load(Ordering::Relaxed),
+            deadline_rejected: self.deadline_rejected.load(Ordering::Relaxed),
             batch_sizes: self.batch.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             endpoints: (0..ENDPOINTS)
                 .map(|i| EndpointStats {
@@ -178,6 +214,22 @@ pub struct StatsReport {
     pub decompress_passes: u64,
     /// Chunks decoded across all passes.
     pub chunks_decoded: u64,
+    /// Connections accepted by the listener.
+    pub conns_accepted: u64,
+    /// Connections rejected at accept (`max_conns`).
+    pub conns_rejected: u64,
+    /// Connections open at snapshot time.
+    pub conns_active: u64,
+    /// Connections closed at the handshake deadline.
+    pub handshake_timeouts: u64,
+    /// Connections closed for idling past `idle_timeout`.
+    pub idle_closed: u64,
+    /// Connections closed for dribbling a frame past `frame_deadline`.
+    pub slow_closed: u64,
+    /// Frames rejected for integrity failures.
+    pub bad_frames: u64,
+    /// Fetches shed with `DeadlineExceeded` before decoding.
+    pub deadline_rejected: u64,
     /// Linear histogram: `batch_sizes[i]` passes decoded `i + 1` chunks
     /// (last bucket absorbs larger).
     pub batch_sizes: Vec<u64>,
@@ -238,6 +290,14 @@ impl StatsReport {
             self.cache_capacity,
             self.decompress_passes,
             self.chunks_decoded,
+            self.conns_accepted,
+            self.conns_rejected,
+            self.conns_active,
+            self.handshake_timeouts,
+            self.idle_closed,
+            self.slow_closed,
+            self.bad_frames,
+            self.deadline_rejected,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -259,7 +319,7 @@ impl StatsReport {
     pub(crate) fn decode(r: &mut BodyReader<'_>) -> Result<StatsReport> {
         let queue_depth = r.u32()?;
         let queue_capacity = r.u32()?;
-        let mut fixed = [0u64; 9];
+        let mut fixed = [0u64; 17];
         for slot in &mut fixed {
             *slot = r.u64()?;
         }
@@ -291,6 +351,14 @@ impl StatsReport {
             cache_capacity: fixed[6],
             decompress_passes: fixed[7],
             chunks_decoded: fixed[8],
+            conns_accepted: fixed[9],
+            conns_rejected: fixed[10],
+            conns_active: fixed[11],
+            handshake_timeouts: fixed[12],
+            idle_closed: fixed[13],
+            slow_closed: fixed[14],
+            bad_frames: fixed[15],
+            deadline_rejected: fixed[16],
             batch_sizes,
             endpoints,
         })
@@ -317,6 +385,21 @@ impl std::fmt::Display for StatsReport {
             self.decompress_passes,
             self.chunks_decoded,
             self.mean_batch()
+        )?;
+        writeln!(
+            f,
+            "conns      {} active, {} accepted, {} rejected",
+            self.conns_active, self.conns_accepted, self.conns_rejected
+        )?;
+        writeln!(
+            f,
+            "discipline {} handshake timeouts, {} idle closes, {} slow closes, \
+             {} bad frames, {} deadline sheds",
+            self.handshake_timeouts,
+            self.idle_closed,
+            self.slow_closed,
+            self.bad_frames,
+            self.deadline_rejected
         )?;
         for (i, name) in ENDPOINT_NAMES.iter().enumerate() {
             let Some(ep) = self.endpoints.get(i) else { continue };
@@ -347,6 +430,11 @@ mod tests {
         let stats = ServeStats::new();
         stats.accepted.store(120, Ordering::Relaxed);
         stats.shed.store(8, Ordering::Relaxed);
+        stats.conns_accepted.store(17, Ordering::Relaxed);
+        stats.conns_active.store(2, Ordering::Relaxed);
+        stats.slow_closed.store(1, Ordering::Relaxed);
+        stats.bad_frames.store(3, Ordering::Relaxed);
+        stats.deadline_rejected.store(5, Ordering::Relaxed);
         stats.record_request(Endpoint::Fetch, Duration::from_micros(350));
         stats.record_request(Endpoint::Fetch, Duration::from_millis(12));
         stats.record_request(Endpoint::Info, Duration::from_micros(40));
@@ -402,7 +490,7 @@ mod tests {
     fn display_mentions_every_section() {
         let report = ServeStats::new().snapshot(0, 8, CacheSnapshot::default());
         let text = report.to_string();
-        for needle in ["queue", "admission", "cache", "batching", "fetch"] {
+        for needle in ["queue", "admission", "cache", "batching", "conns", "discipline", "fetch"] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

@@ -28,12 +28,17 @@ use std::time::Duration;
 use crate::Result;
 
 /// SplitMix64 — tiny, seedable, and good enough to decorrelate fault
-/// decisions (no external RNG dependency in library code).
+/// decisions (no external RNG dependency in library code). Public because
+/// every deterministic-injection layer in the workspace (store I/O faults,
+/// accel step faults, serve wire faults) keys its decisions on it.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct SplitMix64(pub u64);
+pub struct SplitMix64(pub u64);
 
 impl SplitMix64 {
-    pub(crate) fn next(&mut self) -> u64 {
+    /// Next 64-bit draw. Not an `Iterator`: the stream is infinite and
+    /// callers draw scalars, never iterate.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -42,7 +47,7 @@ impl SplitMix64 {
     }
 
     /// Uniform draw in `[0, 1)`.
-    pub(crate) fn uniform(&mut self) -> f64 {
+    pub fn uniform(&mut self) -> f64 {
         (self.next() >> 11) as f64 / (1u64 << 53) as f64
     }
 }

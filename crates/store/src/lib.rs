@@ -89,7 +89,7 @@ pub mod recover;
 pub mod shared;
 pub mod writer;
 
-pub use fault::{FaultPlan, FaultySink, FaultySource, RetryPolicy};
+pub use fault::{FaultPlan, FaultySink, FaultySource, RetryPolicy, SplitMix64};
 pub use layout::{Header, IndexEntry};
 pub use loader::{PassHealth, StoreBatchSource};
 pub use prefetch::{ChunkFidelity, PrefetchConfig, PrefetchLoader, ReadPolicy};

@@ -16,8 +16,11 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use aicomp::serve::{Client, ErrorCode, ServeConfig, ServeError, Server};
+use aicomp::serve::{
+    Client, ErrorCode, RobustClient, RobustConfig, ServeConfig, ServeError, Server,
+};
 use aicomp::store::writer::pack_file;
+use aicomp::store::RetryPolicy;
 use aicomp::store::StoreOptions;
 use aicomp::{DczReader, Tensor};
 
@@ -238,6 +241,63 @@ fn graceful_shutdown_answers_in_flight_work_and_rejects_late_fetches() {
     // and the port stops answering.
     handle.join();
     assert!(Client::connect(addr).is_err(), "listener must be gone after shutdown completes");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replica_failover_completes_bit_identically_with_exact_counters() {
+    let path = packed("failover");
+    let want = reference(&path);
+    let chunks = (SAMPLES as u32).div_ceil(CHUNK as u32);
+
+    // Two replicas over the same container. The client prefers the first
+    // and must not notice — beyond its counters — when it dies mid-run.
+    let a = Server::bind("127.0.0.1:0", &[&path], ServeConfig::default()).unwrap().spawn();
+    let b = Server::bind("127.0.0.1:0", &[&path], ServeConfig::default()).unwrap().spawn();
+    let config = RobustConfig {
+        retry: RetryPolicy { max_attempts: 3, backoff: Duration::from_millis(1) },
+        // Threshold 1 and a cooldown longer than the test: the dead
+        // replica is tried exactly once, opens its breaker, and is never
+        // probed again — making every counter below exact.
+        breaker_threshold: 1,
+        breaker_cooldown: Duration::from_secs(120),
+        seed: 11,
+        ..RobustConfig::default()
+    };
+    let mut client = RobustClient::new(&[a.addr(), b.addr()], config).unwrap();
+
+    let verify = |got: aicomp::serve::FetchedChunk, chunk: u32, eff: u8| {
+        let bits: Vec<u32> = got.data.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, want[&(chunk, eff)], "chunk {chunk} cf {eff} differs from direct read");
+    };
+    // First half of the walk lands on replica A...
+    for chunk in 0..chunks / 2 {
+        verify(client.fetch(0, chunk, 0).unwrap(), chunk, CF as u8);
+    }
+    // ...which is then killed outright (shutdown + join: the port is gone,
+    // the client's open connection is dead).
+    Client::connect(a.addr()).unwrap().shutdown().unwrap();
+    a.join();
+    // The rest of the walk must complete bit-identically at both
+    // fidelities — the failed attempt on A is retried onto B.
+    for chunk in chunks / 2..chunks {
+        verify(client.fetch(0, chunk, 0).unwrap(), chunk, CF as u8);
+    }
+    for chunk in 0..chunks {
+        verify(client.fetch(0, chunk, COARSE).unwrap(), chunk, COARSE);
+    }
+
+    // Exact accounting: one fault injected, one of everything observed.
+    let c = client.counters();
+    let load = |a: &std::sync::atomic::AtomicU64| a.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(load(&c.retries), 1, "exactly the one fetch that hit dead A retries");
+    assert_eq!(load(&c.breaker_opens), 1, "A's breaker opens exactly once");
+    assert_eq!(load(&c.failovers), 1, "the preferred endpoint moves to B exactly once");
+    assert_eq!(load(&c.connects), 2, "one connection per replica, B reused ever after");
+    assert_eq!(load(&c.reconnects), 0);
+
+    Client::connect(b.addr()).unwrap().shutdown().unwrap();
+    b.join();
     std::fs::remove_file(&path).ok();
 }
 
