@@ -155,7 +155,15 @@ pub fn execute(program: &CompiledProgram, inputs: &[&Tensor]) -> Result<Vec<Tens
                 let b = values[other.0].as_ref().expect("topo order");
                 a.add(b).map_err(terr)?
             }
-            Op::Reshape => values[node.inputs[0].0].as_ref().expect("topo order").clone(),
+            Op::Round => {
+                let x = values[node.inputs[0].0].as_ref().expect("topo order");
+                x.map(|v| v.round())
+            }
+            Op::Reshape => values[node.inputs[0].0]
+                .as_ref()
+                .expect("topo order")
+                .reshape(node.shape.clone())
+                .map_err(terr)?,
         };
         debug_assert_eq!(value.dims(), node.shape.as_slice(), "node {idx} shape drift");
         values[idx] = Some(value);

@@ -33,6 +33,9 @@ pub enum Op {
     Scatter { indices: Vec<usize>, rows: usize, cols: usize },
     /// Elementwise add of two same-shaped nodes.
     Add { other: NodeId },
+    /// Elementwise round to nearest integer (`torch.round` — ties follow
+    /// `f32::round`, away from zero, matching the host codec exactly).
+    Round,
     /// Reinterpret shape (element count preserved).
     Reshape,
 }
@@ -46,6 +49,7 @@ impl Op {
             Op::Gather { .. } => OpKind::Gather,
             Op::Scatter { .. } => OpKind::Scatter,
             Op::Add { .. } => OpKind::Add,
+            Op::Round => OpKind::Round,
             Op::Reshape => OpKind::Reshape,
         }
     }
@@ -261,6 +265,31 @@ impl Graph {
         Ok(self.push(Node { op: Op::Scatter { indices, rows, cols }, inputs: vec![x], shape: out }))
     }
 
+    /// Elementwise round to nearest integer (shape-preserving).
+    pub fn round(&mut self, x: NodeId) -> Result<NodeId, GraphError> {
+        self.check(x)?;
+        let shape = self.nodes[x.0].shape.clone();
+        Ok(self.push(Node { op: Op::Round, inputs: vec![x], shape }))
+    }
+
+    /// Reinterpret `x` at `shape` (element count must be preserved).
+    pub fn reshape(
+        &mut self,
+        x: NodeId,
+        shape: impl Into<Vec<usize>>,
+    ) -> Result<NodeId, GraphError> {
+        self.check(x)?;
+        let shape = shape.into();
+        let from = &self.nodes[x.0].shape;
+        if shape.iter().product::<usize>() != from.iter().product::<usize>() {
+            return Err(GraphError::ShapeMismatch {
+                op: "reshape",
+                detail: format!("{from:?} -> {shape:?}"),
+            });
+        }
+        Ok(self.push(Node { op: Op::Reshape, inputs: vec![x], shape }))
+    }
+
     /// Elementwise addition of two same-shaped nodes.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, GraphError> {
         self.check(a)?;
@@ -383,6 +412,24 @@ mod tests {
         assert!(dot.contains("n1 -> n2 [style=dashed]")); // constant operand edge
         assert!(dot.contains("peripheries=2")); // output marked
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn round_preserves_shape() {
+        let mut g = Graph::new();
+        let a = g.input([3usize, 4, 4]);
+        let r = g.round(a).unwrap();
+        assert_eq!(g.node(r).shape, vec![3, 4, 4]);
+        assert_eq!(g.node(r).op.kind(), OpKind::Round);
+    }
+
+    #[test]
+    fn reshape_checks_element_count() {
+        let mut g = Graph::new();
+        let a = g.input([2usize, 8]);
+        let ok = g.reshape(a, [4usize, 4]).unwrap();
+        assert_eq!(g.node(ok).shape, vec![4, 4]);
+        assert!(g.reshape(a, [3usize, 5]).is_err());
     }
 
     #[test]

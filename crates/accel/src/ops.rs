@@ -22,6 +22,11 @@ pub enum OpKind {
     Add,
     /// Elementwise multiplication.
     Mul,
+    /// Elementwise round to nearest integer (`torch.round`) — present in
+    /// every platform's dialect, which is what lets the feature-map codec's
+    /// quantization stage run on-device while bit-level entropy coding
+    /// cannot (§3.1).
+    Round,
     /// `torch.bitwise_not` (the paper notes SN30 has it).
     BitwiseNot,
     /// Bitwise shift — required by RLE/Huffman encoders, supported by no
@@ -43,7 +48,7 @@ impl OpKind {
         match (self, platform) {
             (_, A100) => true, // full PyTorch on GPU
 
-            (MatMul | Add | Mul | Reshape, _) => true,
+            (MatMul | Add | Mul | Round | Reshape, _) => true,
             (Gather | Scatter, Ipu) => true,
             (Gather | Scatter, _) => false,
             (BitwiseNot, Sn30) => true,
@@ -60,6 +65,7 @@ impl OpKind {
             OpKind::Scatter => "scatter",
             OpKind::Add => "add",
             OpKind::Mul => "mul",
+            OpKind::Round => "round",
             OpKind::BitwiseNot => "bitwise_not",
             OpKind::BitShift => "bitshift",
             OpKind::Reshape => "reshape",
@@ -70,7 +76,7 @@ impl OpKind {
 /// Render the full support matrix (used by the Table 1 companion output).
 pub fn support_matrix() -> Vec<(OpKind, Vec<(Platform, bool)>)> {
     use OpKind::*;
-    [MatMul, Gather, Scatter, Add, Mul, BitwiseNot, BitShift]
+    [MatMul, Gather, Scatter, Add, Mul, Round, BitwiseNot, BitShift]
         .into_iter()
         .map(|op| (op, Platform::ALL.iter().map(|&p| (p, op.supported_on(p))).collect()))
         .collect()
@@ -117,9 +123,18 @@ mod tests {
     }
 
     #[test]
+    fn round_everywhere() {
+        // The feature-map codec's quantization is one `torch.round` — as
+        // portable as matmul, unlike the bit-level entropy stage.
+        for p in Platform::ALL {
+            assert!(OpKind::Round.supported_on(p), "{p}");
+        }
+    }
+
+    #[test]
     fn matrix_is_complete() {
         let m = support_matrix();
-        assert_eq!(m.len(), 7);
+        assert_eq!(m.len(), 8);
         for (_, row) in &m {
             assert_eq!(row.len(), Platform::ALL.len());
         }

@@ -192,7 +192,7 @@ fn op_flops(graph: &Graph2, node: &crate::graph::Node, op: &Op) -> u64 {
             let k = graph.node(*lhs).shape[1] as u64;
             slices * (2 * m * k * n - m * n)
         }
-        Op::Add { .. } => node.numel() as u64,
+        Op::Add { .. } | Op::Round => node.numel() as u64,
         // Gather/scatter/reshape move data without arithmetic.
         _ => 0,
     }

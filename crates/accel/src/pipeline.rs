@@ -15,7 +15,9 @@
 use aicomp_core::codec::CodecSpec;
 use aicomp_core::partial::{split_chunks, tile_chunks};
 use aicomp_core::zfp_transform::ZfpTransform;
-use aicomp_core::{Chop1d, ChopCompressor, PartialSerialized, ScatterGatherChop};
+use aicomp_core::{
+    Chop1d, ChopCompressor, EbpcCodec, FmapCodec, PartialSerialized, ScatterGatherChop,
+};
 use aicomp_tensor::Tensor;
 
 use crate::compiler::CompileError;
@@ -53,6 +55,13 @@ pub fn lower(spec: CodecSpec, slices: usize) -> Result<(Graph, Graph), DeviceErr
         }
         CodecSpec::Chop1d { len, cf } => {
             Ok(lower_chop1d(&Chop1d::new(len, cf).map_err(core_err)?, slices))
+        }
+        CodecSpec::Ebpc { len } => {
+            let codec = EbpcCodec::new(len).map_err(core_err)?;
+            Ok(lower_ebpc(&codec, slices))
+        }
+        CodecSpec::Fmap { n, cf, q } => {
+            Ok(lower_fmap(&FmapCodec::new(n, cf, q).map_err(core_err)?, slices))
         }
     }
 }
@@ -105,6 +114,56 @@ fn lower_sg(sg: &ScatterGatherChop, slices: usize) -> (Graph, Graph) {
     let d_rhs = dg.constant(ops.d_rhs.clone());
     let d_lhs = dg.constant(ops.d_lhs.clone());
     let t2 = dg.matmul_right(scattered, d_rhs).expect("static shapes");
+    let out = dg.matmul_left(d_lhs, t2).expect("static shapes");
+    dg.output(out).expect("valid node");
+    (cg, dg)
+}
+
+/// EBPC's device stage is the identity: the bit-plane entropy coder needs
+/// bit shifts, which no accelerator's dialect has (§3.1), so the byte
+/// stage runs host-side ([`aicomp_core::Codec::encode_bytes`]) and the
+/// on-device numeric path is a shape-checked pass-through. Lowering it as
+/// a one-reshape graph keeps the deployment API uniform — the compiler
+/// still verifies capacity and the executor still produces bit-identical
+/// (here: equal) tensors on every platform.
+fn lower_ebpc(codec: &EbpcCodec, slices: usize) -> (Graph, Graph) {
+    let len = codec.len();
+    let mut cg = Graph::new();
+    let x = cg.input([slices, len]);
+    let y = cg.reshape(x, [slices, len]).expect("identity reshape");
+    cg.output(y).expect("valid node");
+
+    let mut dg = Graph::new();
+    let yin = dg.input([slices, len]);
+    let out = dg.reshape(yin, [slices, len]).expect("identity reshape");
+    dg.output(out).expect("valid node");
+    (cg, dg)
+}
+
+/// The feature-map codec: the chop's two matmuls with the quantization
+/// weights folded into the operator constants, plus one elementwise
+/// `round` — all ops every platform supports. The constants are the very
+/// tensors the host [`FmapCodec`] multiplies by, so host/device
+/// bit-identity is structural, exactly as for plain chop.
+fn lower_fmap(f: &FmapCodec, slices: usize) -> (Graph, Graph) {
+    let (c_lhs_w, c_rhs_w, d_lhs_w, d_rhs_w) = f.folded_operators();
+    let n = f.resolution();
+    let cs = f.compressed_side();
+
+    let mut cg = Graph::new();
+    let a = cg.input([slices, n, n]);
+    let c_rhs = cg.constant(c_rhs_w.clone());
+    let c_lhs = cg.constant(c_lhs_w.clone());
+    let t1 = cg.matmul_right(a, c_rhs).expect("static shapes");
+    let z = cg.matmul_left(c_lhs, t1).expect("static shapes");
+    let y = cg.round(z).expect("valid node");
+    cg.output(y).expect("valid node");
+
+    let mut dg = Graph::new();
+    let yin = dg.input([slices, cs, cs]);
+    let d_rhs = dg.constant(d_rhs_w.clone());
+    let d_lhs = dg.constant(d_lhs_w.clone());
+    let t2 = dg.matmul_right(yin, d_rhs).expect("static shapes");
     let out = dg.matmul_left(d_lhs, t2).expect("static shapes");
     dg.output(out).expect("valid node");
     (cg, dg)
@@ -640,6 +699,43 @@ mod tests {
         assert!(y.outputs[0].allclose(&host.compress(&x).unwrap(), 1e-5));
         let rec = dep.decompress(&y.outputs[0]).unwrap();
         assert!(rec.outputs[0].allclose(&host.roundtrip(&x).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn ebpc_deployment_is_passthrough_everywhere() {
+        // The entropy stage is host-only (§3.1: no bit shifts on any
+        // accelerator); the device graph must be the identity on all
+        // platforms so spilled activations survive unchanged.
+        let spec = CodecSpec::Ebpc { len: 64 };
+        let x = ramp(&[5, 64]);
+        for p in Platform::ALL {
+            let dep = CompressorDeployment::from_spec(p, spec, 5).unwrap();
+            assert_eq!(dep.compression_ratio(), 1.0);
+            let y = dep.compress(&x).unwrap();
+            assert_eq!(y.outputs[0].data(), x.data(), "{p}");
+            let rec = dep.decompress(&y.outputs[0]).unwrap();
+            assert_eq!(rec.outputs[0].data(), x.data(), "{p}");
+        }
+    }
+
+    #[test]
+    fn fmap_deployment_matches_host_bitwise() {
+        let spec = CodecSpec::Fmap { n: 32, cf: 4, q: 6 };
+        let host = spec.build().unwrap();
+        let x = ramp(&[4, 32, 32]);
+        for p in Platform::ALL {
+            let dep = CompressorDeployment::from_spec(p, spec, 4).unwrap();
+            let y = dep.compress(&x).unwrap();
+            let hy = host.compress(&x).unwrap();
+            let db: Vec<u32> = y.outputs[0].data().iter().map(|v| v.to_bits()).collect();
+            let hb: Vec<u32> = hy.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(db, hb, "{p}: compress bits diverge");
+            let rec = dep.decompress(&y.outputs[0]).unwrap();
+            let hrec = host.decompress(&hy).unwrap();
+            let rb: Vec<u32> = rec.outputs[0].data().iter().map(|v| v.to_bits()).collect();
+            let hrb: Vec<u32> = hrec.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(rb, hrb, "{p}: decompress bits diverge");
+        }
     }
 
     #[test]

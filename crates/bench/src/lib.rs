@@ -48,6 +48,55 @@ impl CsvOut {
     }
 }
 
+/// Append one run record to `BENCH_<name>.json` at the workspace root —
+/// the perf-trajectory log (one JSON array of flat objects) that lets
+/// later sessions compare memory/throughput numbers over time. Hand-rolled
+/// writer: the workspace has no JSON dependency. `texts` are quoted with
+/// minimal escaping; `nums` print raw (non-finite values become `null`).
+/// Returns the log's path.
+pub fn append_bench_record(name: &str, texts: &[(&str, &str)], nums: &[(&str, f64)]) -> PathBuf {
+    let mut fields: Vec<String> = Vec::with_capacity(texts.len() + nums.len());
+    for (k, v) in texts {
+        fields.push(format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+    }
+    for (k, v) in nums {
+        let val = if v.is_finite() { format!("{v}") } else { "null".into() };
+        fields.push(format!("\"{}\":{val}", json_escape(k)));
+    }
+    let record = format!("{{{}}}", fields.join(","));
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join(format!("BENCH_{name}.json"));
+    let body = match fs::read_to_string(&path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                // Splice into the existing array, keeping one record per line.
+                Some(head) if head.trim_end().ends_with('[') => format!("[\n{record}\n]\n"),
+                Some(head) => format!("{},\n{record}\n]\n", head.trim_end()),
+                None => format!("[\n{record}\n]\n"), // corrupt/empty: restart the log
+            }
+        }
+        Err(_) => format!("[\n{record}\n]\n"),
+    };
+    fs::write(&path, body).expect("write bench log");
+    path.canonicalize().unwrap_or(path)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Format an `f64` compactly for tables.
 pub fn fmt(v: f64) -> String {
     if v == 0.0 {
@@ -102,6 +151,23 @@ mod tests {
     fn chop_ratio_delegates_to_registry() {
         assert_eq!(chop_ratio(2), 16.0);
         assert_eq!(chop_ratio(4), 4.0);
+    }
+
+    #[test]
+    fn bench_log_appends_valid_array() {
+        let p = append_bench_record("_test_log", &[("codec", "ebpc")], &[("cr", 3.5)]);
+        let p2 = append_bench_record(
+            "_test_log",
+            &[("codec", "fmap \"q\"")],
+            &[("cr", 2.0), ("err", f64::NAN)],
+        );
+        assert_eq!(p, p2);
+        let content = std::fs::read_to_string(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(
+            content,
+            "[\n{\"codec\":\"ebpc\",\"cr\":3.5},\n{\"codec\":\"fmap \\\"q\\\"\",\"cr\":2,\"err\":null}\n]\n"
+        );
     }
 
     #[test]

@@ -1,8 +1,13 @@
-//! Bit-level I/O for the baseline codecs.
+//! Bit-level I/O for the host-only entropy stages.
 //!
 //! The accelerators in the paper cannot express these operations (no
 //! bit-shift operators in their PyTorch dialects, §3.1) — this module is
-//! deliberately host-only.
+//! deliberately host-only. It started life under `aicomp-baselines` for
+//! the ZFP/JPEG comparators; it lives in core now because the extended
+//! bit-plane coder ([`crate::ebpc`]) and the feature-map codec's entropy
+//! stage ([`crate::fmap`]) share it, and `baselines` depends on core, not
+//! the other way around. `aicomp_baselines::bitio` re-exports it, so the
+//! old path keeps working.
 
 use bytes::{BufMut, BytesMut};
 

@@ -11,11 +11,17 @@
 //! host path uses — which is what makes the bit-identical host/device
 //! invariant structural.
 //!
+//! The activation-compression families added on top of the paper's set —
+//! the lossless extended bit-plane codec ([`crate::ebpc`]) and the
+//! transform-domain feature-map codec ([`crate::fmap`]) — register here
+//! too, so the training-loop spill subsystem selects them exactly the way
+//! every other consumer selects codecs.
+//!
 //! Canonical names are shell-safe hyphenated strings, e.g.
 //! `dct2d-n32-cf4`, `chop1d-len64-cf2`, `partial-n512-cf4-s2`,
-//! `sg-n32-cf4`, `zfp2d-n32-cf2`. [`CodecSpec`]'s `Display` and `FromStr`
-//! are the single format/parse path; `parse(format(s)) == s` for every
-//! valid spec.
+//! `sg-n32-cf4`, `zfp2d-n32-cf2`, `ebpc-len64`, `fmap-n32-cf4-q6`.
+//! [`CodecSpec`]'s `Display` and `FromStr` are the single format/parse
+//! path; `parse(format(s)) == s` for every valid spec.
 
 use std::fmt;
 use std::str::FromStr;
@@ -24,6 +30,8 @@ use aicomp_tensor::Tensor;
 
 use crate::chop1d::Chop1d;
 use crate::compressor::ChopCompressor;
+use crate::ebpc::EbpcCodec;
+use crate::fmap::FmapCodec;
 use crate::partial::PartialSerialized;
 use crate::scatter_gather::ScatterGatherChop;
 use crate::zfp_transform::ZfpTransform;
@@ -71,6 +79,51 @@ pub trait Codec: Send + Sync + std::fmt::Debug {
     fn name(&self) -> String {
         self.spec().to_string()
     }
+
+    /// Encode to a host-side byte stream (the activation-spill path).
+    ///
+    /// The default is the numeric path serialized verbatim: compress, then
+    /// the compressed tensor's f32s little-endian. Codecs with a real
+    /// entropy stage (EBPC, fmap) override this — the byte stage runs on
+    /// the host only, because no accelerator dialect has bit shifts
+    /// (§3.1), mirroring how the `.dcz` container stacks Huffman on top of
+    /// the device-side transform.
+    fn encode_bytes(&self, input: &Tensor) -> Result<Vec<u8>> {
+        let y = self.compress(input)?;
+        let mut out = Vec::with_capacity(y.numel() * 4);
+        for v in y.data() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    /// Decode an [`Codec::encode_bytes`] stream back to a reconstruction
+    /// shaped `dims` (the *original* dims of the encoded tensor; trailing
+    /// dims must match [`Codec::input_shape`]). Lossless codecs round-trip
+    /// bit-exact; lossy codecs return the same reconstruction their
+    /// numeric [`Codec::roundtrip`] would.
+    fn decode_bytes(&self, bytes: &[u8], dims: &[usize]) -> Result<Tensor> {
+        let unit = self.input_shape();
+        if dims.len() < unit.len() {
+            return Err(CoreError::Corrupt(format!(
+                "decode dims {dims:?} shorter than codec unit {unit:?}"
+            )));
+        }
+        let lead = dims.len() - unit.len();
+        let mut cdims = dims[..lead].to_vec();
+        cdims.extend(self.compressed_shape());
+        let count: usize = cdims.iter().product();
+        if bytes.len() != count * 4 {
+            return Err(CoreError::Corrupt(format!(
+                "stream is {} bytes, expected {} for {cdims:?}",
+                bytes.len(),
+                count * 4
+            )));
+        }
+        let data: Vec<f32> =
+            bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+        self.decompress(&Tensor::from_vec(data, cdims)?)
+    }
 }
 
 /// A serializable description of a compressor variant: the registry key.
@@ -82,6 +135,8 @@ pub trait Codec: Send + Sync + std::fmt::Debug {
 /// | [`CodecSpec::Partial`]   | §3.5.1  | [`PartialSerialized`]               |
 /// | [`CodecSpec::ScatterGather`] | §3.5.2 | [`ScatterGatherChop`] (IPU-only) |
 /// | [`CodecSpec::Zfp`]       | §6      | [`ChopCompressor`] + ZFP transform  |
+/// | [`CodecSpec::Ebpc`]      | —       | [`EbpcCodec`] (lossless, EBPC paper)|
+/// | [`CodecSpec::Fmap`]      | —       | [`FmapCodec`] (feature-map paper)   |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CodecSpec {
     /// 2-D DCT+Chop at resolution `n`, chop factor `cf` (§3.2, Eq. 3–7).
@@ -94,6 +149,12 @@ pub enum CodecSpec {
     ScatterGather { n: usize, cf: usize },
     /// Chop with the ZFP block transform (4×4 blocks) instead of DCT-II (§6).
     Zfp { n: usize, cf: usize },
+    /// Lossless extended bit-plane coding over units of `len` values (the
+    /// activation codec of the EBPC paper; device stage is a pass-through).
+    Ebpc { len: usize },
+    /// Transform-domain feature-map codec: DCT+Chop with per-frequency
+    /// power-of-two quantization folded into the operators, exponent `q`.
+    Fmap { n: usize, cf: usize, q: usize },
 }
 
 impl CodecSpec {
@@ -104,6 +165,8 @@ impl CodecSpec {
             CodecSpec::Chop1d { len, cf } => Ok(Box::new(Chop1d::new(len, cf)?)),
             CodecSpec::Partial { n, cf, s } => Ok(Box::new(PartialSerialized::new(n, cf, s)?)),
             CodecSpec::ScatterGather { n, cf } => Ok(Box::new(ScatterGatherChop::new(n, cf)?)),
+            CodecSpec::Ebpc { len } => Ok(Box::new(EbpcCodec::new(len)?)),
+            CodecSpec::Fmap { n, cf, q } => Ok(Box::new(FmapCodec::new(n, cf, q)?)),
         }
     }
 
@@ -128,8 +191,9 @@ impl CodecSpec {
             CodecSpec::Dct2d { n, .. }
             | CodecSpec::Partial { n, .. }
             | CodecSpec::ScatterGather { n, .. }
-            | CodecSpec::Zfp { n, .. } => Some(n),
-            CodecSpec::Chop1d { .. } => None,
+            | CodecSpec::Zfp { n, .. }
+            | CodecSpec::Fmap { n, .. } => Some(n),
+            CodecSpec::Chop1d { .. } | CodecSpec::Ebpc { .. } => None,
         }
     }
 
@@ -139,25 +203,36 @@ impl CodecSpec {
         match *self {
             CodecSpec::Dct2d { .. }
             | CodecSpec::Partial { .. }
-            | CodecSpec::ScatterGather { .. } => Some(crate::BLOCK),
+            | CodecSpec::ScatterGather { .. }
+            | CodecSpec::Fmap { .. } => Some(crate::BLOCK),
             CodecSpec::Zfp { .. } => Some(crate::zfp_transform::ZFP_BLOCK),
-            CodecSpec::Chop1d { .. } => None,
+            CodecSpec::Chop1d { .. } | CodecSpec::Ebpc { .. } => None,
         }
     }
 
-    /// Chop factor — every variant has one.
+    /// Chop factor — every lossy variant has one; the lossless [`Ebpc`]
+    /// family reports the block size (the "keep everything" factor), which
+    /// keeps `chop_factor`/`with_chop_factor` total without inventing a
+    /// fidelity ladder the codec doesn't have.
+    ///
+    /// [`Ebpc`]: CodecSpec::Ebpc
     pub fn chop_factor(&self) -> usize {
         match *self {
             CodecSpec::Dct2d { cf, .. }
             | CodecSpec::Chop1d { cf, .. }
             | CodecSpec::Partial { cf, .. }
             | CodecSpec::ScatterGather { cf, .. }
-            | CodecSpec::Zfp { cf, .. } => cf,
+            | CodecSpec::Zfp { cf, .. }
+            | CodecSpec::Fmap { cf, .. } => cf,
+            CodecSpec::Ebpc { .. } => crate::BLOCK,
         }
     }
 
     /// The same spec at a different chop factor (progressive `.dcz` reads
-    /// re-decode a fidelity prefix with a coarser codec of the same family).
+    /// re-decode a fidelity prefix with a coarser codec of the same
+    /// family). [`Ebpc`] is lossless-only and returns itself unchanged.
+    ///
+    /// [`Ebpc`]: CodecSpec::Ebpc
     pub fn with_chop_factor(&self, cf: usize) -> CodecSpec {
         match *self {
             CodecSpec::Dct2d { n, .. } => CodecSpec::Dct2d { n, cf },
@@ -165,6 +240,8 @@ impl CodecSpec {
             CodecSpec::Partial { n, s, .. } => CodecSpec::Partial { n, cf, s },
             CodecSpec::ScatterGather { n, .. } => CodecSpec::ScatterGather { n, cf },
             CodecSpec::Zfp { n, .. } => CodecSpec::Zfp { n, cf },
+            CodecSpec::Ebpc { len } => CodecSpec::Ebpc { len },
+            CodecSpec::Fmap { n, q, .. } => CodecSpec::Fmap { n, cf, q },
         }
     }
 }
@@ -177,6 +254,8 @@ impl fmt::Display for CodecSpec {
             CodecSpec::Partial { n, cf, s } => write!(f, "partial-n{n}-cf{cf}-s{s}"),
             CodecSpec::ScatterGather { n, cf } => write!(f, "sg-n{n}-cf{cf}"),
             CodecSpec::Zfp { n, cf } => write!(f, "zfp2d-n{n}-cf{cf}"),
+            CodecSpec::Ebpc { len } => write!(f, "ebpc-len{len}"),
+            CodecSpec::Fmap { n, cf, q } => write!(f, "fmap-n{n}-cf{cf}-q{q}"),
         }
     }
 }
@@ -238,7 +317,17 @@ impl FromStr for CodecSpec {
                 expect_fields(&["n", "cf"])?;
                 Ok(CodecSpec::Zfp { n: get("n")?, cf: get("cf")? })
             }
-            _ => Err(bad("unknown codec family (expected dct2d, chop1d, partial, sg, or zfp2d)")),
+            "ebpc" => {
+                expect_fields(&["len"])?;
+                Ok(CodecSpec::Ebpc { len: get("len")? })
+            }
+            "fmap" => {
+                expect_fields(&["n", "cf", "q"])?;
+                Ok(CodecSpec::Fmap { n: get("n")?, cf: get("cf")?, q: get("q")? })
+            }
+            _ => Err(bad(
+                "unknown codec family (expected dct2d, chop1d, partial, sg, zfp2d, ebpc, or fmap)",
+            )),
         }
     }
 }
@@ -377,12 +466,14 @@ impl Codec for ScatterGatherChop {
 mod tests {
     use super::*;
 
-    const ALL: [CodecSpec; 5] = [
+    const ALL: [CodecSpec; 7] = [
         CodecSpec::Dct2d { n: 32, cf: 4 },
         CodecSpec::Chop1d { len: 64, cf: 2 },
         CodecSpec::Partial { n: 32, cf: 4, s: 2 },
         CodecSpec::ScatterGather { n: 32, cf: 5 },
         CodecSpec::Zfp { n: 32, cf: 2 },
+        CodecSpec::Ebpc { len: 64 },
+        CodecSpec::Fmap { n: 32, cf: 4, q: 6 },
     ];
 
     #[test]
@@ -400,6 +491,8 @@ mod tests {
         assert_eq!(CodecSpec::Partial { n: 512, cf: 4, s: 2 }.to_string(), "partial-n512-cf4-s2");
         assert_eq!(CodecSpec::ScatterGather { n: 32, cf: 5 }.to_string(), "sg-n32-cf5");
         assert_eq!(CodecSpec::Zfp { n: 32, cf: 2 }.to_string(), "zfp2d-n32-cf2");
+        assert_eq!(CodecSpec::Ebpc { len: 64 }.to_string(), "ebpc-len64");
+        assert_eq!(CodecSpec::Fmap { n: 32, cf: 4, q: 6 }.to_string(), "fmap-n32-cf4-q6");
     }
 
     #[test]
@@ -424,6 +517,11 @@ mod tests {
             "dct2d-nan-cf4",
             "partial-n32-cf4",
             "sg-n32-cf4-extra9",
+            "ebpc",
+            "ebpc-len64-cf2",
+            "ebpc-n64",
+            "fmap-n32-cf4",
+            "fmap-n32-cf4-q6-s2",
         ] {
             assert!(bad.parse::<CodecSpec>().is_err(), "{bad:?} parsed");
         }
@@ -438,6 +536,10 @@ mod tests {
         // ZFP blocks are 4×4: cf ≤ 4 and n must divide by 4.
         assert!(CodecSpec::Zfp { n: 32, cf: 5 }.build().is_err());
         assert!(CodecSpec::Zfp { n: 30, cf: 2 }.build().is_err());
+        assert!(CodecSpec::Ebpc { len: 0 }.build().is_err());
+        assert!(CodecSpec::Fmap { n: 30, cf: 4, q: 6 }.build().is_err());
+        assert!(CodecSpec::Fmap { n: 32, cf: 4, q: 0 }.build().is_err());
+        assert!(CodecSpec::Fmap { n: 32, cf: 4, q: 99 }.build().is_err());
     }
 
     #[test]
@@ -452,8 +554,32 @@ mod tests {
     fn with_chop_factor_preserves_family_and_geometry() {
         for spec in ALL {
             let coarse = spec.with_chop_factor(1);
-            assert_eq!(coarse.chop_factor(), 1);
+            if matches!(spec, CodecSpec::Ebpc { .. }) {
+                // Lossless-only family: no fidelity ladder to walk.
+                assert_eq!(coarse, spec);
+            } else {
+                assert_eq!(coarse.chop_factor(), 1);
+            }
             assert_eq!(std::mem::discriminant(&coarse), std::mem::discriminant(&spec), "{spec}");
+        }
+    }
+
+    #[test]
+    fn byte_streams_roundtrip_for_every_family() {
+        // decode_bytes(encode_bytes(x)) must equal the numeric roundtrip
+        // bit-for-bit for every registered codec (default impl and
+        // overrides alike) — the contract the activation spiller relies on.
+        for spec in ALL {
+            let codec = spec.build().unwrap();
+            let dims: Vec<usize> = std::iter::once(3usize).chain(codec.input_shape()).collect();
+            let mut rng = Tensor::seeded_rng(17);
+            let x = Tensor::rand_uniform(dims.as_slice(), -1.0, 1.0, &mut rng);
+            let bytes = codec.encode_bytes(&x).unwrap();
+            let via_bytes = codec.decode_bytes(&bytes, x.dims()).unwrap();
+            let numeric = codec.roundtrip(&x).unwrap();
+            let a: Vec<u32> = via_bytes.data().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = numeric.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "{spec}");
         }
     }
 

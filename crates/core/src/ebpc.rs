@@ -1,0 +1,366 @@
+//! Extended bit-plane compression (EBPC) for activations and gradients.
+//!
+//! The sibling of the store layer's byte-plane Huffman stage, modeled on
+//! *"EBPC: Extended Bit-Plane Compression for Deep Neural Network
+//! Inference and Training Accelerators"* (Cavigelli et al., see
+//! PAPERS.md): a zero-value mask exploits post-ReLU sparsity, then each of
+//! the 32 bit planes of the surviving words is coded with a per-plane
+//! scheme chosen from {all-zero, all-one, raw, run-length}. The stream is
+//! **lossless** over `u32` words, so f32 activations round-trip bit-exact
+//! (including NaN payloads and signed zeros).
+//!
+//! Like every bitstream codec in this repo, the coder is host-only: the
+//! paper's accelerators expose no bit-shift operators (§3.1), which is why
+//! [`EbpcCodec`]'s *device* stage is a pure pass-through (the tensor moves
+//! through the graph unchanged; the entropy stage runs on the host, exactly
+//! as the `.dcz` container's Huffman stage does).
+
+use aicomp_tensor::Tensor;
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::codec::{Codec, CodecSpec};
+use crate::{CoreError, Result};
+
+/// Per-plane coding schemes (2-bit tags in the stream).
+const TAG_ZERO: u64 = 0; // every bit in the plane is 0
+const TAG_ONE: u64 = 1; // every bit in the plane is 1
+const TAG_RAW: u64 = 2; // k raw bits
+const TAG_RLE: u64 = 3; // run-length coded (8-bit run lengths)
+
+/// Maximum run length one 8-bit RLE token can carry.
+const MAX_RUN: usize = 255;
+
+fn corrupt(why: impl Into<String>) -> CoreError {
+    CoreError::Corrupt(why.into())
+}
+
+/// Encode `words` as an EBPC bitstream: zero mask, then 32 bit planes
+/// (MSB plane first) over the nonzero words only.
+pub fn encode_words(words: &[u32]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    for &word in words {
+        w.put_bit(word != 0);
+    }
+    let nonzero: Vec<u32> = words.iter().copied().filter(|&x| x != 0).collect();
+    if !nonzero.is_empty() {
+        for plane in (0..32u32).rev() {
+            let bits: Vec<bool> = nonzero.iter().map(|&x| (x >> plane) & 1 == 1).collect();
+            encode_plane(&bits, &mut w);
+        }
+    }
+    w.finish()
+}
+
+/// Decode a stream produced by [`encode_words`] back into exactly `count`
+/// words. Errors (never panics) on truncated or malformed input.
+pub fn decode_words(bytes: &[u8], count: usize) -> Result<Vec<u32>> {
+    let mut r = BitReader::new(bytes);
+    let mut mask = Vec::with_capacity(count);
+    for _ in 0..count {
+        mask.push(r.get_bit().ok_or_else(|| corrupt("truncated zero mask"))?);
+    }
+    let k = mask.iter().filter(|&&b| b).count();
+    let mut nonzero = vec![0u32; k];
+    if k > 0 {
+        for plane in (0..32u32).rev() {
+            let bits = decode_plane(&mut r, k)?;
+            for (word, bit) in nonzero.iter_mut().zip(bits) {
+                *word |= (bit as u32) << plane;
+            }
+        }
+    }
+    // A zero word under a nonzero mask bit means the stream desynced.
+    if nonzero.contains(&0) {
+        return Err(corrupt("nonzero-masked word decoded to zero"));
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut next = nonzero.into_iter();
+    for m in mask {
+        out.push(if m { next.next().expect("k words decoded") } else { 0 });
+    }
+    Ok(out)
+}
+
+/// Write one plane of `k` bits, choosing the cheapest of the four schemes
+/// deterministically (ties prefer the simpler tag, in tag order).
+fn encode_plane(bits: &[bool], w: &mut BitWriter) {
+    let ones = bits.iter().filter(|&&b| b).count();
+    if ones == 0 {
+        w.put_bits(TAG_ZERO, 2);
+        return;
+    }
+    if ones == bits.len() {
+        w.put_bits(TAG_ONE, 2);
+        return;
+    }
+    let tokens = rle_tokens(bits);
+    let rle_cost = 1 + 8 * tokens.len();
+    if rle_cost < bits.len() {
+        w.put_bits(TAG_RLE, 2);
+        w.put_bit(bits[0]);
+        for t in tokens {
+            w.put_bits(t as u64, 8);
+        }
+    } else {
+        w.put_bits(TAG_RAW, 2);
+        for &b in bits {
+            w.put_bit(b);
+        }
+    }
+}
+
+fn decode_plane(r: &mut BitReader<'_>, k: usize) -> Result<Vec<bool>> {
+    let tag = r.get_bits(2).ok_or_else(|| corrupt("truncated plane tag"))?;
+    match tag {
+        TAG_ZERO => Ok(vec![false; k]),
+        TAG_ONE => Ok(vec![true; k]),
+        TAG_RAW => {
+            let mut bits = Vec::with_capacity(k);
+            for _ in 0..k {
+                bits.push(r.get_bit().ok_or_else(|| corrupt("truncated raw plane"))?);
+            }
+            Ok(bits)
+        }
+        TAG_RLE => {
+            let mut value = r.get_bit().ok_or_else(|| corrupt("truncated RLE plane"))?;
+            let mut bits = Vec::with_capacity(k);
+            while bits.len() < k {
+                let run = r.get_bits(8).ok_or_else(|| corrupt("truncated RLE run"))? as usize;
+                if bits.len() + run > k {
+                    return Err(corrupt("RLE run overflows the plane"));
+                }
+                bits.extend(std::iter::repeat_n(value, run));
+                // A MAX_RUN token is a continuation (same value); anything
+                // shorter — including an explicit 0 — ends the run and
+                // flips. Mirrors [`rle_tokens`] exactly.
+                if run != MAX_RUN {
+                    value = !value;
+                }
+            }
+            Ok(bits)
+        }
+        _ => unreachable!("2-bit tag"),
+    }
+}
+
+/// Tokenize `bits` as alternating runs, one byte per token. Token
+/// [`MAX_RUN`] means "[`MAX_RUN`] bits, same value continues"; any shorter
+/// token (0 allowed) ends the current run and flips the value. A run
+/// that is an exact multiple of [`MAX_RUN`] therefore ends with a 0 token
+/// — unless it is the plane's last run, where the decoder stops at `k`
+/// bits on its own.
+fn rle_tokens(bits: &[bool]) -> Vec<u8> {
+    let mut runs = Vec::new();
+    let mut current = bits[0];
+    let mut len = 0usize;
+    for &b in bits {
+        if b == current {
+            len += 1;
+        } else {
+            runs.push(len);
+            current = b;
+            len = 1;
+        }
+    }
+    runs.push(len);
+
+    let last = runs.len() - 1;
+    let mut tokens = Vec::new();
+    for (i, mut run) in runs.into_iter().enumerate() {
+        while run >= MAX_RUN {
+            tokens.push(MAX_RUN as u8);
+            run -= MAX_RUN;
+        }
+        if run > 0 || i < last {
+            tokens.push(run as u8);
+        }
+    }
+    tokens
+}
+
+/// The EBPC activation codec: lossless, host-entropy-only.
+///
+/// As a [`Codec`] its *numeric* path is the identity — on the device there
+/// is nothing to compute (no bit shifts, §3.1), so the lowered graph is a
+/// pass-through and host/device bit-identity is trivial. The real
+/// compression happens in [`Codec::encode_bytes`]/[`Codec::decode_bytes`],
+/// which the activation-spill subsystem calls on the host. Consequently
+/// [`Codec::compression_ratio`] reports 1.0 (the numeric-path ratio);
+/// measured byte ratios come from the encoded stream length.
+#[derive(Debug, Clone)]
+pub struct EbpcCodec {
+    len: usize,
+}
+
+impl EbpcCodec {
+    /// New EBPC codec over units of `len` values (the spill packer pads
+    /// flattened activations to a multiple of `len`; padding zeros cost one
+    /// mask bit each).
+    pub fn new(len: usize) -> Result<Self> {
+        if len == 0 {
+            return Err(CoreError::BadResolution { n: len, block: 1 });
+        }
+        Ok(EbpcCodec { len })
+    }
+
+    /// Unit length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false — constructor rejects `len == 0`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn check(&self, t: &Tensor) -> Result<()> {
+        let d = t.dims();
+        if d.is_empty() || d[d.len() - 1] != self.len {
+            return Err(CoreError::Tensor(aicomp_tensor::TensorError::ShapeMismatch {
+                op: "ebpc",
+                lhs: d.to_vec(),
+                rhs: vec![self.len],
+            }));
+        }
+        Ok(())
+    }
+}
+
+impl Codec for EbpcCodec {
+    fn spec(&self) -> CodecSpec {
+        CodecSpec::Ebpc { len: self.len }
+    }
+    /// Identity (see the type-level docs): the device stage moves data.
+    fn compress(&self, input: &Tensor) -> Result<Tensor> {
+        self.check(input)?;
+        Ok(input.clone())
+    }
+    fn decompress(&self, compressed: &Tensor) -> Result<Tensor> {
+        self.check(compressed)?;
+        Ok(compressed.clone())
+    }
+    /// Numeric-path ratio (the bitstream ratio is data-dependent).
+    fn compression_ratio(&self) -> f64 {
+        1.0
+    }
+    fn input_shape(&self) -> Vec<usize> {
+        vec![self.len]
+    }
+    fn compressed_shape(&self) -> Vec<usize> {
+        vec![self.len]
+    }
+    /// Pure data movement — zero FLOPs on device (§3.1: the bit-plane work
+    /// cannot be expressed there at all).
+    fn compress_flops(&self) -> u64 {
+        0
+    }
+    fn decompress_flops(&self) -> u64 {
+        0
+    }
+    fn encode_bytes(&self, input: &Tensor) -> Result<Vec<u8>> {
+        self.check(input)?;
+        let words: Vec<u32> = input.data().iter().map(|v| v.to_bits()).collect();
+        Ok(encode_words(&words))
+    }
+    fn decode_bytes(&self, bytes: &[u8], dims: &[usize]) -> Result<Tensor> {
+        let count: usize = dims.iter().product();
+        let words = decode_words(bytes, count)?;
+        let data: Vec<f32> = words.into_iter().map(f32::from_bits).collect();
+        Ok(Tensor::from_vec(data, dims.to_vec())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relu_like(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Tensor::seeded_rng(seed);
+        Tensor::rand_uniform([n], -1.0, 1.0, &mut rng)
+            .data()
+            .iter()
+            .map(|&v| if v > 0.0 { v } else { 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn words_roundtrip_bit_exact() {
+        let vals = relu_like(1000, 3);
+        let words: Vec<u32> = vals.iter().map(|v| v.to_bits()).collect();
+        let bytes = encode_words(&words);
+        assert_eq!(decode_words(&bytes, words.len()).unwrap(), words);
+    }
+
+    #[test]
+    fn all_zero_input_compresses_to_mask_only() {
+        let words = vec![0u32; 4096];
+        let bytes = encode_words(&words);
+        // 4096 mask bits = 512 bytes, no planes.
+        assert_eq!(bytes.len(), 512);
+        assert_eq!(decode_words(&bytes, 4096).unwrap(), words);
+    }
+
+    #[test]
+    fn sparse_activations_beat_raw() {
+        let vals = relu_like(4096, 7); // ~half zeros
+        let words: Vec<u32> = vals.iter().map(|v| v.to_bits()).collect();
+        let bytes = encode_words(&words);
+        assert!(bytes.len() * 2 < words.len() * 4, "{} vs {}", bytes.len(), words.len() * 4);
+    }
+
+    #[test]
+    fn special_float_values_survive() {
+        let vals = [0.0f32, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, f32::MIN_POSITIVE];
+        let words: Vec<u32> = vals.iter().map(|v| v.to_bits()).collect();
+        let bytes = encode_words(&words);
+        assert_eq!(decode_words(&bytes, words.len()).unwrap(), words);
+    }
+
+    #[test]
+    fn long_runs_cross_the_255_cap() {
+        // 300 identical nonzero words: every set plane is TAG_ONE, every
+        // clear plane TAG_ZERO — also exercise a mixed plane longer than
+        // MAX_RUN via a tail of a second value.
+        let mut words = vec![0x0000_0001u32; 300];
+        words.extend(vec![0x8000_0001u32; 300]);
+        let bytes = encode_words(&words);
+        assert_eq!(decode_words(&bytes, words.len()).unwrap(), words);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let words: Vec<u32> = (1..200u32).collect();
+        let mut bytes = encode_words(&words);
+        bytes.truncate(bytes.len() / 3);
+        assert!(decode_words(&bytes, words.len()).is_err());
+    }
+
+    #[test]
+    fn codec_is_identity_on_tensors() {
+        let c = EbpcCodec::new(64).unwrap();
+        let mut rng = Tensor::seeded_rng(5);
+        let x = Tensor::rand_uniform([3usize, 64], -1.0, 1.0, &mut rng);
+        let y = c.compress(&x).unwrap();
+        assert_eq!(y, x);
+        assert_eq!(c.roundtrip(&x).unwrap(), x);
+        assert!(c.compress(&Tensor::zeros([3, 60])).is_err());
+    }
+
+    #[test]
+    fn codec_bytes_roundtrip_bit_exact() {
+        let c = EbpcCodec::new(50).unwrap();
+        let mut rng = Tensor::seeded_rng(9);
+        let x = Tensor::rand_uniform([4usize, 50], -2.0, 2.0, &mut rng).map(|v| {
+            if v > 0.0 {
+                v
+            } else {
+                0.0
+            }
+        });
+        let bytes = c.encode_bytes(&x).unwrap();
+        let back = c.decode_bytes(&bytes, x.dims()).unwrap();
+        let a: Vec<u32> = x.data().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = back.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+}

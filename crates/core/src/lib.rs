@@ -32,9 +32,12 @@
 //! channel of every sample is compressed independently and in parallel,
 //! exactly as the paper's `torch.matmul` broadcast does.
 
+pub mod bitio;
 pub mod chop1d;
 pub mod codec;
 pub mod compressor;
+pub mod ebpc;
+pub mod fmap;
 pub mod matrices;
 pub mod metrics;
 pub mod partial;
@@ -48,6 +51,8 @@ pub mod zfp_transform;
 pub use chop1d::Chop1d;
 pub use codec::{build_codec, Codec, CodecSpec};
 pub use compressor::{ChopCompressor, DctChop};
+pub use ebpc::EbpcCodec;
+pub use fmap::FmapCodec;
 pub use partial::PartialSerialized;
 pub use scatter_gather::ScatterGatherChop;
 pub use transform::BlockTransform;
@@ -65,6 +70,8 @@ pub enum CoreError {
     BadSubdivision { n: usize, s: usize },
     /// A codec spec string failed to parse.
     BadSpec { spec: String, why: String },
+    /// A host-side byte stream (entropy stage) is malformed or truncated.
+    Corrupt(String),
     /// Underlying tensor error (shape mismatch etc.).
     Tensor(TensorError),
 }
@@ -84,6 +91,7 @@ impl std::fmt::Display for CoreError {
             CoreError::BadSpec { spec, why } => {
                 write!(f, "bad codec spec {spec:?}: {why}")
             }
+            CoreError::Corrupt(why) => write!(f, "corrupt stream: {why}"),
             CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
         }
     }

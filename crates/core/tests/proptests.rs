@@ -6,7 +6,7 @@ use aicomp_core::partial::PartialSerialized;
 use aicomp_core::scatter_gather::ScatterGatherChop;
 use aicomp_core::transform::{dct2, idct2};
 use aicomp_core::zfp_transform::ZfpTransform;
-use aicomp_core::{Codec, CodecSpec};
+use aicomp_core::{Codec, CodecSpec, EbpcCodec, FmapCodec};
 use aicomp_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -97,14 +97,16 @@ proptest! {
 /// subdivisions that still tile into whole blocks; Zfp chop factors
 /// within its 4-wide block).
 fn spec_strategy() -> impl Strategy<Value = CodecSpec> {
-    (0usize..5, 0usize..3, 1usize..=8).prop_map(|(family, size, cf)| {
+    (0usize..7, 0usize..3, 1usize..=8).prop_map(|(family, size, cf)| {
         let n = [8usize, 16, 32][size];
         match family {
             0 => CodecSpec::Dct2d { n, cf },
             1 => CodecSpec::Chop1d { len: n * 2, cf },
             2 => CodecSpec::Partial { n: [16usize, 32, 32][size], cf, s: 2 },
             3 => CodecSpec::ScatterGather { n, cf },
-            _ => CodecSpec::Zfp { n, cf: 1 + (cf - 1) % 4 },
+            4 => CodecSpec::Zfp { n, cf: 1 + (cf - 1) % 4 },
+            5 => CodecSpec::Ebpc { len: n * n },
+            _ => CodecSpec::Fmap { n, cf, q: 1 + (cf * size) % aicomp_core::fmap::MAX_Q },
         }
     })
 }
@@ -120,6 +122,8 @@ fn legacy_build(spec: CodecSpec) -> Box<dyn Codec> {
         CodecSpec::Zfp { n, cf } => {
             Box::new(ChopCompressor::with_transform(&ZfpTransform::new(), n, cf).unwrap())
         }
+        CodecSpec::Ebpc { len } => Box::new(EbpcCodec::new(len).unwrap()),
+        CodecSpec::Fmap { n, cf, q } => Box::new(FmapCodec::new(n, cf, q).unwrap()),
     }
 }
 
@@ -172,5 +176,51 @@ proptest! {
         let r2: Vec<u32> =
             legacy.decompress(&y_legacy).unwrap().data().iter().map(|v| v.to_bits()).collect();
         prop_assert_eq!(r1, r2);
+    }
+
+    /// The EBPC byte stream is lossless down to the bit pattern for any
+    /// word sequence, including NaN payloads and signed zeros.
+    #[test]
+    fn ebpc_words_roundtrip(words in prop::collection::vec(any::<u32>(), 0..512)) {
+        let bytes = aicomp_core::ebpc::encode_words(&words);
+        let back = aicomp_core::ebpc::decode_words(&bytes, words.len()).unwrap();
+        prop_assert_eq!(back, words);
+    }
+
+    /// EBPC as a tensor codec: `decode_bytes(encode_bytes(x))` is
+    /// bit-identical to the input for arbitrary floats.
+    #[test]
+    fn ebpc_bytes_roundtrip(v in prop::collection::vec(-1e6f32..1e6, 64)) {
+        let codec = EbpcCodec::new(64).unwrap();
+        let x = Tensor::from_vec(v, [1usize, 64]).unwrap();
+        let bytes = codec.encode_bytes(&x).unwrap();
+        let back = codec.decode_bytes(&bytes, x.dims()).unwrap();
+        let a: Vec<u32> = x.data().iter().map(|f| f.to_bits()).collect();
+        let b: Vec<u32> = back.data().iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The feature-map codec's reconstruction stays within its declared
+    /// quantization error bound of the unquantized Chop reconstruction.
+    #[test]
+    fn fmap_error_within_declared_bound(
+        v in prop::collection::vec(-16.0f32..16.0, 256),
+        cf in 1usize..=8,
+        q in 4usize..=12,
+    ) {
+        let fmap = FmapCodec::new(16, cf, q).unwrap();
+        let chop = ChopCompressor::new(16, cf).unwrap();
+        let x = Tensor::from_vec(v, [1usize, 1, 16, 16]).unwrap();
+        let rq = fmap.roundtrip(&x).unwrap();
+        let rc = chop.roundtrip(&x).unwrap();
+        let bound = fmap.quantization_error_bound();
+        let worst = rq
+            .data()
+            .iter()
+            .zip(rc.data().iter())
+            .map(|(a, b)| (a - b).abs() as f64)
+            .fold(0.0f64, f64::max);
+        // Small fp slack: the bound is derived in exact arithmetic.
+        prop_assert!(worst <= bound * 1.01 + 1e-4, "worst {worst} > bound {bound}");
     }
 }

@@ -9,9 +9,9 @@ use crate::tape::{Tape, Var};
 impl Tape {
     /// 2-D convolution: `x [B,C,H,W]`, `w [OC,C,KH,KW]`, `b [OC]`.
     pub fn conv2d(&mut self, x: Var, w: Var, b: Var, stride: usize, pad: usize) -> Var {
-        let xv = self.value(x).clone();
-        let wv = self.value(w).clone();
-        let bv = self.value(b).clone();
+        let xv = self.value(x);
+        let wv = self.value(w);
+        let bv = self.value(b);
         let (bs, c, h, wd) = {
             let d = xv.dims();
             (d[0], d[1], d[2], d[3])
@@ -42,10 +42,14 @@ impl Tape {
             }
         }
 
+        // The column matrix is KH·KW× the input — by far the largest
+        // saved tensor in a conv net; stash puts it under the spill policy.
+        let cols = self.stash(cols);
         self.push(
             out,
             vec![x.0, w.0, b.0],
             Some(Box::new(move |g: &Tensor| {
+                let cols = cols.get();
                 let plane = oh * ow;
                 // dB: sum over batch and spatial.
                 let mut db = vec![0.0f32; oc];
@@ -79,7 +83,7 @@ impl Tape {
 
     /// 2×2 max pooling with stride 2 on `[B,C,H,W]` (H, W even).
     pub fn maxpool2(&mut self, x: Var) -> Var {
-        let xv = self.value(x).clone();
+        let xv = self.value(x);
         let d = xv.dims();
         let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
         assert!(h % 2 == 0 && w % 2 == 0, "maxpool2 requires even dims");
@@ -124,7 +128,7 @@ impl Tape {
 
     /// 2×2 average pooling with stride 2.
     pub fn avgpool2(&mut self, x: Var) -> Var {
-        let xv = self.value(x).clone();
+        let xv = self.value(x);
         let d = xv.dims();
         let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
         assert!(h % 2 == 0 && w % 2 == 0, "avgpool2 requires even dims");
@@ -169,7 +173,7 @@ impl Tape {
 
     /// Global average pooling: `[B,C,H,W] → [B,C]`.
     pub fn global_avgpool(&mut self, x: Var) -> Var {
-        let xv = self.value(x).clone();
+        let xv = self.value(x);
         let d = xv.dims();
         let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
         let plane = h * w;
@@ -196,7 +200,7 @@ impl Tape {
 
     /// Nearest-neighbour 2× upsampling.
     pub fn upsample2(&mut self, x: Var) -> Var {
-        let xv = self.value(x).clone();
+        let xv = self.value(x);
         let d = xv.dims();
         let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
         let (oh, ow) = (h * 2, w * 2);
@@ -230,8 +234,8 @@ impl Tape {
 
     /// Channel concat of two `[B,C?,H,W]` tensors (UNet skip connections).
     pub fn concat_channels(&mut self, a: Var, b: Var) -> Var {
-        let av = self.value(a).clone();
-        let bv = self.value(b).clone();
+        let av = self.value(a);
+        let bv = self.value(b);
         let v = av.concat_channels(&bv).expect("concat shapes");
         let (bs, c1, h, w) = {
             let d = av.dims();
@@ -274,9 +278,9 @@ impl Tape {
         beta: Var,
         eps: f32,
     ) -> (Var, Vec<f32>, Vec<f32>) {
-        let xv = self.value(x).clone();
-        let gv = self.value(gamma).clone();
-        let bv = self.value(beta).clone();
+        let xv = self.value(x);
+        let gv = self.value(gamma);
+        let bv = self.value(beta);
         let d = xv.dims();
         let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
         let m = (b * h * w) as f32; // reduction size per channel
@@ -323,7 +327,8 @@ impl Tape {
                 }
             }
         }
-        let xhat_t = Tensor::from_vec(xhat, d.to_vec()).expect("xhat shape");
+        // x̂ is input-sized — stash it under the spill policy.
+        let xhat_t = self.stash(Tensor::from_vec(xhat, d.to_vec()).expect("xhat shape"));
         let value = Tensor::from_vec(out, d.to_vec()).expect("bn shape");
 
         let mean_out = mean.clone();
@@ -332,6 +337,7 @@ impl Tape {
             value,
             vec![x.0, gamma.0, beta.0],
             Some(Box::new(move |g: &Tensor| {
+                let xhat_t = xhat_t.get();
                 // Standard BN backward:
                 // dβ_c = Σ g, dγ_c = Σ g·x̂,
                 // dx = γ/σ · (g − mean(g) − x̂·mean(g·x̂))  per channel.
@@ -388,9 +394,9 @@ impl Tape {
         running_var: &[f32],
         eps: f32,
     ) -> Var {
-        let xv = self.value(x).clone();
-        let gv = self.value(gamma).clone();
-        let bv = self.value(beta).clone();
+        let xv = self.value(x);
+        let gv = self.value(gamma);
+        let bv = self.value(beta);
         let d = xv.dims();
         let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
         assert_eq!(running_mean.len(), c, "running mean per channel");
@@ -410,12 +416,13 @@ impl Tape {
                 }
             }
         }
-        let xhat_t = Tensor::from_vec(xhat, d.to_vec()).expect("xhat shape");
+        let xhat_t = self.stash(Tensor::from_vec(xhat, d.to_vec()).expect("xhat shape"));
         let value = Tensor::from_vec(out, d.to_vec()).expect("bn eval shape");
         self.push(
             value,
             vec![x.0, gamma.0, beta.0],
             Some(Box::new(move |g: &Tensor| {
+                let xhat_t = xhat_t.get();
                 let mut dx = vec![0.0f32; g.numel()];
                 let mut dgamma = vec![0.0f32; c];
                 let mut dbeta = vec![0.0f32; c];

@@ -15,6 +15,8 @@
 //! * [`optim`] — SGD with momentum and Adam.
 //! * [`compressed`] — lossy-compression hooks for activations and
 //!   gradients (the paper's future-work targets).
+//! * [`spill`] — activation spilling: saved forward tensors compressed
+//!   through any `aicomp-core` codec, with memory-ledger accounting.
 //!
 //! Design: parameters are [`Param`] handles (shared, interior-mutable).
 //! Each training step builds a fresh [`Tape`], binds the parameters,
@@ -27,9 +29,11 @@ pub mod init;
 pub mod layers;
 pub mod losses;
 pub mod optim;
+pub mod spill;
 pub mod tape;
 
 pub use compressed::{CompressedGradients, LossyBackward, LossyFn};
 pub use layers::{BatchNorm2d, Conv2d, Linear};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use spill::{gradient_error, SpillLedger, SpillPolicy};
 pub use tape::{Param, Tape, Var};

@@ -7,17 +7,19 @@ use crate::tape::{Tape, Var};
 impl Tape {
     /// Mean squared error between a prediction var and a fixed target.
     pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Var {
-        let pv = self.value(pred).clone();
+        let pv = self.value(pred);
         assert_eq!(pv.dims(), target.dims(), "mse target shape");
         let n = pv.numel() as f32;
         let loss = pv.mse(target).expect("same shapes") as f32;
-        let diff = pv.sub(target).expect("same shapes");
+        // The residual is prediction-sized — spill-eligible like any
+        // other saved activation.
+        let diff = self.stash(pv.sub(target).expect("same shapes"));
         self.push(
             Tensor::from_vec(vec![loss], [1usize]).expect("scalar"),
             vec![pred.0],
             Some(Box::new(move |g: &Tensor| {
                 // d/dp mean((p-t)²) = 2(p-t)/n
-                vec![diff.scale(2.0 / n * g.data()[0])]
+                vec![diff.get().scale(2.0 / n * g.data()[0])]
             })),
         )
     }
@@ -25,7 +27,7 @@ impl Tape {
     /// Softmax + cross-entropy over logits `[B, K]` with integer labels.
     /// Returns the mean loss (scalar var).
     pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
-        let lv = self.value(logits).clone();
+        let lv = self.value(logits);
         let (b, k) = (lv.dims()[0], lv.dims()[1]);
         assert_eq!(labels.len(), b, "one label per row");
         // Stable softmax.
@@ -43,14 +45,14 @@ impl Tape {
             loss -= (p as f64).ln();
         }
         loss /= b as f64;
-        let probs_t = Tensor::from_vec(probs, [b, k]).expect("probs shape");
+        let probs_t = self.stash(Tensor::from_vec(probs, [b, k]).expect("probs shape"));
         let labels = labels.to_vec();
         self.push(
             Tensor::from_vec(vec![loss as f32], [1usize]).expect("scalar"),
             vec![logits.0],
             Some(Box::new(move |g: &Tensor| {
                 // dL/dlogits = (softmax − onehot)/B
-                let mut d = probs_t.clone();
+                let mut d = (*probs_t.get()).clone();
                 {
                     let data = d.data_mut();
                     for (r, &lbl) in labels.iter().enumerate() {
@@ -65,7 +67,7 @@ impl Tape {
     /// Binary cross-entropy on probabilities in (0,1) against a 0/1 target
     /// mask of the same shape — the pixel-segmentation loss (slstr_cloud).
     pub fn bce_loss(&mut self, probs: Var, target: &Tensor) -> Var {
-        let pv = self.value(probs).clone();
+        let pv = self.value(probs);
         assert_eq!(pv.dims(), target.dims(), "bce target shape");
         let n = pv.numel() as f32;
         let eps = 1e-7f32;
@@ -76,10 +78,14 @@ impl Tape {
         }
         loss /= n as f64;
         let target = target.clone();
+        // Backward reads the probability node through its shared slot
+        // rather than a private clone.
+        let sp = self.saved(probs);
         self.push(
             Tensor::from_vec(vec![loss as f32], [1usize]).expect("scalar"),
             vec![probs.0],
             Some(Box::new(move |g: &Tensor| {
+                let pv = sp.get();
                 let mut d = Tensor::zeros(pv.dims().to_vec());
                 for i in 0..pv.numel() {
                     let p = pv.data()[i].clamp(eps, 1.0 - eps);

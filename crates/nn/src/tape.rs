@@ -1,9 +1,18 @@
 //! The eager tape-based reverse-mode autograd engine.
+//!
+//! Saved forward tensors live in shared [`Saved`] slots: a node's output
+//! and the backward closures that need it reference one slot instead of
+//! holding deep clones, so residency accounting measures real memory. When
+//! a [`SpillPolicy`](crate::spill::SpillPolicy) is installed
+//! ([`Tape::set_spill_policy`]), eligible slots hold a compressed byte
+//! stream instead of the tensor and rematerialize on access.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use aicomp_tensor::Tensor;
+
+use crate::spill::SpillPolicy;
 
 /// A trainable parameter: value + gradient accumulator, shared between the
 /// layer that owns it, the tapes that use it, and the optimizer.
@@ -90,8 +99,68 @@ impl Var {
 /// gradients of its parents (same order as `parents`).
 pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
 
+/// One saved tensor slot, shared between the tape node that produced it
+/// and every backward closure that reads it. The slot either holds the
+/// tensor live (behind an `Rc`, so sharing is free) or holds the
+/// compressed byte stream a spill policy produced; reads of a spilled
+/// slot rematerialize a transient copy through the policy's codec.
+#[derive(Clone)]
+pub struct Saved {
+    slot: Rc<RefCell<Slot>>,
+    policy: Option<Rc<RefCell<SpillPolicy>>>,
+}
+
+enum Slot {
+    Live(Rc<Tensor>),
+    Spilled { bytes: Vec<u8>, dims: Vec<usize> },
+}
+
+impl Saved {
+    /// A live slot outside any spill policy.
+    pub(crate) fn live(t: Tensor) -> Self {
+        Saved { slot: Rc::new(RefCell::new(Slot::Live(Rc::new(t)))), policy: None }
+    }
+
+    /// A slot governed by `policy` (if any): eligible tensors are
+    /// compressed immediately and keep only the stream resident.
+    pub(crate) fn with_policy(t: Tensor, policy: Option<Rc<RefCell<SpillPolicy>>>) -> Self {
+        let spilled = policy.as_ref().and_then(|p| p.borrow_mut().try_spill(&t));
+        let slot = match spilled {
+            Some(bytes) => Slot::Spilled { bytes, dims: t.dims().to_vec() },
+            None => Slot::Live(Rc::new(t)),
+        };
+        Saved { slot: Rc::new(RefCell::new(slot)), policy }
+    }
+
+    /// Read the tensor: free for a live slot, one rematerialization
+    /// (decompress through the policy's codec) for a spilled one.
+    pub fn get(&self) -> Rc<Tensor> {
+        let slot = self.slot.borrow();
+        match &*slot {
+            Slot::Live(t) => Rc::clone(t),
+            Slot::Spilled { bytes, dims } => {
+                let p = self.policy.as_ref().expect("spilled slots carry their policy");
+                Rc::new(p.borrow_mut().restore(bytes, dims))
+            }
+        }
+    }
+
+    /// The tensor's dims, without rematerializing.
+    pub fn dims(&self) -> Vec<usize> {
+        match &*self.slot.borrow() {
+            Slot::Live(t) => t.dims().to_vec(),
+            Slot::Spilled { dims, .. } => dims.clone(),
+        }
+    }
+
+    /// True when the slot holds a compressed stream, not the tensor.
+    pub fn is_spilled(&self) -> bool {
+        matches!(&*self.slot.borrow(), Slot::Spilled { .. })
+    }
+}
+
 pub(crate) struct TapeNode {
-    pub value: Tensor,
+    pub value: Saved,
     pub parents: Vec<usize>,
     pub backward: Option<BackwardFn>,
     /// Bound parameter (leaf) — backward accumulates here.
@@ -102,12 +171,25 @@ pub(crate) struct TapeNode {
 #[derive(Default)]
 pub struct Tape {
     pub(crate) nodes: Vec<TapeNode>,
+    spill: Option<Rc<RefCell<SpillPolicy>>>,
 }
 
 impl Tape {
     /// Empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape { nodes: Vec::new(), spill: None }
+    }
+
+    /// Install a spill policy: saved activations recorded *after* this
+    /// call go through [`SpillPolicy::try_spill`]. Leaves (inputs and
+    /// parameters) are never spilled.
+    pub fn set_spill_policy(&mut self, p: Rc<RefCell<SpillPolicy>>) {
+        self.spill = Some(p);
+    }
+
+    /// The installed spill policy, if any.
+    pub fn spill_policy(&self) -> Option<Rc<RefCell<SpillPolicy>>> {
+        self.spill.clone()
     }
 
     /// Number of recorded nodes.
@@ -120,9 +202,21 @@ impl Tape {
         self.nodes.is_empty()
     }
 
-    /// The value of a var.
-    pub fn value(&self, v: Var) -> &Tensor {
-        &self.nodes[v.0].value
+    /// The value of a var (rematerializes if the slot was spilled).
+    pub fn value(&self, v: Var) -> Rc<Tensor> {
+        self.nodes[v.0].value.get()
+    }
+
+    /// The shared saved-slot handle for a var — what backward closures
+    /// capture instead of deep tensor clones.
+    pub(crate) fn saved(&self, v: Var) -> Saved {
+        self.nodes[v.0].value.clone()
+    }
+
+    /// Put a forward-derived tensor (im2col columns, cached softmax
+    /// probabilities, …) under the same spill policy as node outputs.
+    pub(crate) fn stash(&self, t: Tensor) -> Saved {
+        Saved::with_policy(t, self.spill.clone())
     }
 
     pub(crate) fn push(
@@ -131,6 +225,12 @@ impl Tape {
         parents: Vec<usize>,
         backward: Option<BackwardFn>,
     ) -> Var {
+        // Leaves stay live; only computed activations are spill-eligible.
+        let value = if parents.is_empty() {
+            Saved::live(value)
+        } else {
+            Saved::with_policy(value, self.spill.clone())
+        };
         self.nodes.push(TapeNode { value, parents, backward, param: None });
         Var(self.nodes.len() - 1)
     }
@@ -142,7 +242,7 @@ impl Tape {
 
     /// Parameter leaf: backward accumulates into the param's grad.
     pub fn param(&mut self, p: &Param) -> Var {
-        let value = p.value();
+        let value = Saved::live(p.value());
         self.nodes.push(TapeNode {
             value,
             parents: vec![],
@@ -156,26 +256,26 @@ impl Tape {
 
     /// `a + b` (same shapes).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b)).expect("add shapes");
+        let v = self.value(a).add(&self.value(b)).expect("add shapes");
         self.push(v, vec![a.0, b.0], Some(Box::new(|g: &Tensor| vec![g.clone(), g.clone()])))
     }
 
     /// `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b)).expect("sub shapes");
+        let v = self.value(a).sub(&self.value(b)).expect("sub shapes");
         self.push(v, vec![a.0, b.0], Some(Box::new(|g: &Tensor| vec![g.clone(), g.scale(-1.0)])))
     }
 
     /// Hadamard `a * b`.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let av = self.value(a).clone();
-        let bv = self.value(b).clone();
-        let v = av.mul(&bv).expect("mul shapes");
+        let sa = self.saved(a);
+        let sb = self.saved(b);
+        let v = sa.get().mul(&sb.get()).expect("mul shapes");
         self.push(
             v,
             vec![a.0, b.0],
             Some(Box::new(move |g: &Tensor| {
-                vec![g.mul(&bv).expect("shapes"), g.mul(&av).expect("shapes")]
+                vec![g.mul(&sb.get()).expect("shapes"), g.mul(&sa.get()).expect("shapes")]
             })),
         )
     }
@@ -188,13 +288,13 @@ impl Tape {
 
     /// ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let av = self.value(a).clone();
-        let v = av.map(|x| x.max(0.0));
+        let sa = self.saved(a);
+        let v = sa.get().map(|x| x.max(0.0));
         self.push(
             v,
             vec![a.0],
             Some(Box::new(move |g: &Tensor| {
-                let mask = av.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                let mask = sa.get().map(|x| if x > 0.0 { 1.0 } else { 0.0 });
                 vec![g.mul(&mask).expect("shapes")]
             })),
         )
@@ -202,44 +302,41 @@ impl Tape {
 
     /// Leaky ReLU with slope `alpha` for negatives.
     pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
-        let av = self.value(a).clone();
-        let v = av.map(|x| if x > 0.0 { x } else { alpha * x });
+        let sa = self.saved(a);
+        let v = sa.get().map(|x| if x > 0.0 { x } else { alpha * x });
         self.push(
             v,
             vec![a.0],
             Some(Box::new(move |g: &Tensor| {
-                let mask = av.map(|x| if x > 0.0 { 1.0 } else { alpha });
+                let mask = sa.get().map(|x| if x > 0.0 { 1.0 } else { alpha });
                 vec![g.mul(&mask).expect("shapes")]
             })),
         )
     }
 
-    /// Sigmoid.
+    /// Sigmoid. Backward reads the node's own output through its shared
+    /// slot, so no second copy of the activation is held.
     pub fn sigmoid(&mut self, a: Var) -> Var {
         let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
-        let out = v.clone();
-        self.push(
-            v,
-            vec![a.0],
-            Some(Box::new(move |g: &Tensor| {
-                let d = out.map(|s| s * (1.0 - s));
-                vec![g.mul(&d).expect("shapes")]
-            })),
-        )
+        let out = self.push(v, vec![a.0], None);
+        let saved = self.saved(out);
+        self.nodes[out.0].backward = Some(Box::new(move |g: &Tensor| {
+            let d = saved.get().map(|s| s * (1.0 - s));
+            vec![g.mul(&d).expect("shapes")]
+        }));
+        out
     }
 
-    /// Tanh.
+    /// Tanh. Like [`Tape::sigmoid`], backward shares the output's slot.
     pub fn tanh(&mut self, a: Var) -> Var {
         let v = self.value(a).map(|x| x.tanh());
-        let out = v.clone();
-        self.push(
-            v,
-            vec![a.0],
-            Some(Box::new(move |g: &Tensor| {
-                let d = out.map(|t| 1.0 - t * t);
-                vec![g.mul(&d).expect("shapes")]
-            })),
-        )
+        let out = self.push(v, vec![a.0], None);
+        let saved = self.saved(out);
+        self.nodes[out.0].backward = Some(Box::new(move |g: &Tensor| {
+            let d = saved.get().map(|t| 1.0 - t * t);
+            vec![g.mul(&d).expect("shapes")]
+        }));
+        out
     }
 
     /// Reshape (gradient reshapes back).
@@ -272,15 +369,15 @@ impl Tape {
 
     /// 2-D matmul: `a [m,k] · b [k,n]`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let av = self.value(a).clone();
-        let bv = self.value(b).clone();
-        let v = av.matmul(&bv).expect("matmul shapes");
+        let sa = self.saved(a);
+        let sb = self.saved(b);
+        let v = sa.get().matmul(&sb.get()).expect("matmul shapes");
         self.push(
             v,
             vec![a.0, b.0],
             Some(Box::new(move |g: &Tensor| {
-                let da = g.matmul(&bv.transpose().expect("2d")).expect("shapes");
-                let db = av.transpose().expect("2d").matmul(g).expect("shapes");
+                let da = g.matmul(&sb.get().transpose().expect("2d")).expect("shapes");
+                let db = sa.get().transpose().expect("2d").matmul(g).expect("shapes");
                 vec![da, db]
             })),
         )
@@ -288,10 +385,10 @@ impl Tape {
 
     /// Linear layer op: `x [m,k] · w [k,n] + bias [n]`.
     pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
-        let xv = self.value(x).clone();
-        let wv = self.value(w).clone();
-        let bv = self.value(b).clone();
-        let mut v = xv.matmul(&wv).expect("linear shapes");
+        let sx = self.saved(x);
+        let sw = self.saved(w);
+        let bv = self.value(b);
+        let mut v = sx.get().matmul(&sw.get()).expect("linear shapes");
         let (m, n) = (v.dims()[0], v.dims()[1]);
         {
             let data = v.data_mut();
@@ -305,8 +402,8 @@ impl Tape {
             v,
             vec![x.0, w.0, b.0],
             Some(Box::new(move |g: &Tensor| {
-                let dx = g.matmul(&wv.transpose().expect("2d")).expect("shapes");
-                let dw = xv.transpose().expect("2d").matmul(g).expect("shapes");
+                let dx = g.matmul(&sw.get().transpose().expect("2d")).expect("shapes");
+                let dw = sx.get().transpose().expect("2d").matmul(g).expect("shapes");
                 let n = g.dims()[1];
                 let mut db = vec![0.0f32; n];
                 for row in g.data().chunks_exact(n) {
@@ -327,7 +424,7 @@ impl Tape {
     pub fn backward(&mut self, loss: Var) -> Vec<Option<Tensor>> {
         let n = self.nodes.len();
         let mut grads: Vec<Option<Tensor>> = vec![None; n];
-        let seed = Tensor::ones(self.nodes[loss.0].value.dims().to_vec());
+        let seed = Tensor::ones(self.nodes[loss.0].value.dims());
         grads[loss.0] = Some(seed);
 
         for i in (0..n).rev() {
@@ -535,6 +632,61 @@ mod tests {
             tape.backward(loss);
         }
         assert!((p.grad().data()[0] - 1.0).abs() < 1e-6); // 2 × 0.5
+    }
+
+    #[test]
+    fn lossless_spill_policy_is_invisible_to_training() {
+        // The same graph with and without an EBPC spill policy must
+        // produce bit-identical values and gradients — EBPC's byte
+        // stream is lossless.
+        use crate::spill::SpillPolicy;
+        use aicomp_core::CodecSpec;
+
+        let x = sample(128, 21);
+        let run = |spill: bool| {
+            let mut tape = Tape::new();
+            if spill {
+                let codec = CodecSpec::Ebpc { len: 64 }.build().unwrap();
+                tape.set_spill_policy(Rc::new(RefCell::new(SpillPolicy::new(codec, 16))));
+            }
+            let v = tape.input(x.clone());
+            let m = tape.reshape(v, vec![16, 8]);
+            let w = tape.input(Tensor::full([8, 8], 0.25));
+            let y = tape.matmul(m, w);
+            let s = tape.sigmoid(y);
+            let q = tape.mul(s, s);
+            let loss = tape.mean_all(q);
+            let loss_val = tape.value(loss).data()[0];
+            let grads = tape.backward(loss);
+            let ledger = tape.spill_policy().map(|p| p.borrow().ledger());
+            (loss_val, grads[v.0].clone().unwrap(), ledger)
+        };
+        let (l0, g0, _) = run(false);
+        let (l1, g1, ledger) = run(true);
+        assert_eq!(l0.to_bits(), l1.to_bits());
+        let a: Vec<u32> = g0.data().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = g1.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+        let ledger = ledger.unwrap();
+        assert!(ledger.spilled_tensors > 0, "activations were spilled");
+        assert!(ledger.remats > 0, "backward rematerialized them");
+    }
+
+    #[test]
+    fn leaves_are_never_spilled() {
+        use crate::spill::SpillPolicy;
+        use aicomp_core::CodecSpec;
+
+        let mut tape = Tape::new();
+        let codec = CodecSpec::Ebpc { len: 64 }.build().unwrap();
+        tape.set_spill_policy(Rc::new(RefCell::new(SpillPolicy::new(codec, 1))));
+        let x = tape.input(sample(256, 22));
+        let p = Param::new(sample(256, 23), "w");
+        let pv = tape.param(&p);
+        assert!(!tape.saved(x).is_spilled());
+        assert!(!tape.saved(pv).is_spilled());
+        let y = tape.add(x, pv);
+        assert!(tape.saved(y).is_spilled(), "computed activation spills");
     }
 
     #[test]

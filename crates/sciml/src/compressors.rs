@@ -61,6 +61,10 @@ impl DataCompressor for Box<dyn Codec> {
             // The ZFP *transform* variant (§6) — distinct from the
             // bit-plane `ZfpFixedRate` baseline's "zfp" series.
             CodecSpec::Zfp { .. } => "zfpt",
+            // Activation codecs: EBPC is numerically lossless on device
+            // (its entropy stage is host-only), fmap is quantized Chop.
+            CodecSpec::Ebpc { .. } => "ebpc",
+            CodecSpec::Fmap { .. } => "fmap",
         };
         format!("{family}_cr{:.2}", self.compression_ratio())
     }

@@ -27,4 +27,7 @@ pub mod tasks;
 
 pub use compressors::DataCompressor;
 pub use data::{Dataset, DatasetKind};
-pub use tasks::{BatchSource, Benchmark, EpochMetrics, SourceError, TrainConfig, TrainResult};
+pub use tasks::{
+    BatchSource, Benchmark, EpochMetrics, SourceError, SpillOptions, SpillReport, TrainConfig,
+    TrainResult,
+};

@@ -10,6 +10,11 @@
 //! chop denoises the evaluation inputs exactly as it denoises the training
 //! inputs. Targets and labels are never compressed.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use aicomp_core::CodecSpec;
+use aicomp_nn::spill::{gradient_error, SpillLedger, SpillPolicy};
 use aicomp_nn::{Adam, Optimizer, Tape};
 use aicomp_tensor::Tensor;
 
@@ -236,8 +241,93 @@ fn generate_datasets(config: &TrainConfig) -> (Dataset, Dataset) {
 pub fn train(config: &TrainConfig, compressor: &dyn DataCompressor) -> TrainResult {
     let (train_ds, test_ds) = generate_datasets(config);
     let mut source = CompressorSource { compressor, train: &train_ds, test: &test_ds };
-    train_impl(config, &mut source, &train_ds, &test_ds)
+    train_impl(config, &mut source, &train_ds, &test_ds, None)
         .expect("the in-memory compressor source is infallible")
+}
+
+/// How [`train_with_spill`] compresses saved activations.
+#[derive(Debug, Clone)]
+pub struct SpillOptions {
+    /// Codec for the spilled activation streams.
+    pub spec: CodecSpec,
+    /// Saved tensors below this element count stay live (biases, batch
+    /// statistics — compressing them costs more than it saves).
+    pub min_numel: usize,
+    /// Measure gradient error against a no-spill reference backward on
+    /// the first batch of every epoch. The probe's extra forward pass
+    /// double-updates batch-norm running statistics (training-mode
+    /// outputs are unaffected — those use batch moments), so leave this
+    /// off when comparing losses bit-exactly against a no-spill run.
+    pub probe_gradients: bool,
+}
+
+impl SpillOptions {
+    /// Defaults: spill tensors of ≥ 512 elements, no gradient probe.
+    pub fn new(spec: CodecSpec) -> Self {
+        SpillOptions { spec, min_numel: 512, probe_gradients: false }
+    }
+}
+
+/// What activation spilling did over a whole training run.
+#[derive(Debug, Clone)]
+pub struct SpillReport {
+    /// Canonical codec name.
+    pub codec: String,
+    /// Aggregated residency accounting across every training batch.
+    pub ledger: SpillLedger,
+    /// Worst relative L2 gradient error observed by the probe (`None`
+    /// when probing was off).
+    pub max_gradient_error: Option<f64>,
+    /// Number of probed batches.
+    pub probes: usize,
+}
+
+/// Per-run spill machinery threaded through the epoch loop.
+struct SpillDriver {
+    policy: Rc<RefCell<SpillPolicy>>,
+    probe: bool,
+    max_err: f64,
+    probes: usize,
+}
+
+impl SpillDriver {
+    fn new(opts: &SpillOptions) -> Self {
+        let codec = opts.spec.build().expect("spill codec spec is valid");
+        SpillDriver {
+            policy: Rc::new(RefCell::new(SpillPolicy::new(codec, opts.min_numel))),
+            probe: opts.probe_gradients,
+            max_err: 0.0,
+            probes: 0,
+        }
+    }
+
+    fn into_report(self) -> SpillReport {
+        let policy = self.policy.borrow();
+        SpillReport {
+            codec: policy.codec_name(),
+            ledger: policy.ledger(),
+            max_gradient_error: (self.probes > 0).then_some(self.max_err),
+            probes: self.probes,
+        }
+    }
+}
+
+/// Train with saved activations spilled through `opts.spec` — the Fig. 1
+/// activation-compression target. The spill policy governs *training*
+/// tapes only; evaluation runs without one (no backward pass, nothing to
+/// save). With a lossless codec (`ebpc-*`) and `probe_gradients` off, the
+/// returned losses are bit-identical to [`train`] on the same config.
+pub fn train_with_spill(
+    config: &TrainConfig,
+    compressor: &dyn DataCompressor,
+    opts: &SpillOptions,
+) -> (TrainResult, SpillReport) {
+    let (train_ds, test_ds) = generate_datasets(config);
+    let mut source = CompressorSource { compressor, train: &train_ds, test: &test_ds };
+    let mut driver = SpillDriver::new(opts);
+    let result = train_impl(config, &mut source, &train_ds, &test_ds, Some(&mut driver))
+        .expect("the in-memory compressor source is infallible");
+    (result, driver.into_report())
 }
 
 /// Train a benchmark with inputs from an external [`BatchSource`] (e.g. a
@@ -252,7 +342,7 @@ pub fn train_from_source(
     source: &mut dyn BatchSource,
 ) -> Result<TrainResult, SourceError> {
     let (train_ds, test_ds) = generate_datasets(config);
-    train_impl(config, source, &train_ds, &test_ds)
+    train_impl(config, source, &train_ds, &test_ds, None)
 }
 
 fn train_impl(
@@ -260,37 +350,70 @@ fn train_impl(
     source: &mut dyn BatchSource,
     train_ds: &Dataset,
     test_ds: &Dataset,
+    spill: Option<&mut SpillDriver>,
 ) -> Result<TrainResult, SourceError> {
     let mut rng = Tensor::seeded_rng(config.seed.wrapping_add(2));
 
     match config.benchmark {
         Benchmark::Classify => {
             let net = ResNetLite::new(&mut rng);
-            run_loop(config, source, train_ds, test_ds, net.params(), |tape, batch, train| {
-                let x = tape.input(batch.clone());
-                net.forward_mode(tape, x, train)
-            })
+            run_loop(
+                config,
+                source,
+                train_ds,
+                test_ds,
+                net.params(),
+                spill,
+                |tape, batch, train| {
+                    let x = tape.input(batch.clone());
+                    net.forward_mode(tape, x, train)
+                },
+            )
         }
         Benchmark::EmDenoise => {
             let net = EncoderDecoder::new(1, &mut rng);
-            run_loop(config, source, train_ds, test_ds, net.params(), |tape, batch, train| {
-                let x = tape.input(batch.clone());
-                net.forward_mode(tape, x, train)
-            })
+            run_loop(
+                config,
+                source,
+                train_ds,
+                test_ds,
+                net.params(),
+                spill,
+                |tape, batch, train| {
+                    let x = tape.input(batch.clone());
+                    net.forward_mode(tape, x, train)
+                },
+            )
         }
         Benchmark::OpticalDamage => {
             let net = Autoencoder::new(&mut rng);
-            run_loop(config, source, train_ds, test_ds, net.params(), |tape, batch, train| {
-                let x = tape.input(batch.clone());
-                net.forward_mode(tape, x, train)
-            })
+            run_loop(
+                config,
+                source,
+                train_ds,
+                test_ds,
+                net.params(),
+                spill,
+                |tape, batch, train| {
+                    let x = tape.input(batch.clone());
+                    net.forward_mode(tape, x, train)
+                },
+            )
         }
         Benchmark::SlstrCloud => {
             let net = UNetLite::new(3, &mut rng);
-            run_loop(config, source, train_ds, test_ds, net.params(), |tape, batch, train| {
-                let x = tape.input(batch.clone());
-                net.forward_mode(tape, x, train)
-            })
+            run_loop(
+                config,
+                source,
+                train_ds,
+                test_ds,
+                net.params(),
+                spill,
+                |tape, batch, train| {
+                    let x = tape.input(batch.clone());
+                    net.forward_mode(tape, x, train)
+                },
+            )
         }
     }
 }
@@ -303,6 +426,7 @@ fn run_loop(
     train_ds: &Dataset,
     test_ds: &Dataset,
     params: Vec<aicomp_nn::Param>,
+    mut spill: Option<&mut SpillDriver>,
     forward: impl Fn(&mut Tape, &Tensor, bool) -> aicomp_nn::Var,
 ) -> Result<TrainResult, SourceError> {
     let mut opt = Adam::new(params, config.lr);
@@ -315,11 +439,36 @@ fn run_loop(
             let (start, end) = batch_range(b, config.batch_size, train_ds.len());
             let batch = source.train_batch(start, end)?;
 
+            // Gradient-error probe: reference no-spill backward on the
+            // first batch of each epoch, then discard its gradients.
+            let g_ref = match &spill {
+                Some(d) if d.probe && b == 0 => {
+                    let mut tape = Tape::new();
+                    let pred = forward(&mut tape, &batch, true);
+                    let loss =
+                        benchmark_loss(&mut tape, config.benchmark, pred, train_ds, start, end);
+                    tape.backward(loss);
+                    let grads: Vec<Tensor> = opt.params().iter().map(|p| p.grad()).collect();
+                    opt.zero_grad();
+                    Some(grads)
+                }
+                _ => None,
+            };
+
             let mut tape = Tape::new();
+            if let Some(d) = &spill {
+                tape.set_spill_policy(Rc::clone(&d.policy));
+            }
             let pred = forward(&mut tape, &batch, true);
             let loss = benchmark_loss(&mut tape, config.benchmark, pred, train_ds, start, end);
             train_loss += tape.value(loss).data()[0] as f64;
             tape.backward(loss);
+            if let (Some(d), Some(g_ref)) = (&mut spill, g_ref) {
+                let got: Vec<Tensor> = opt.params().iter().map(|p| p.grad()).collect();
+                let err = gradient_error(&got, &g_ref);
+                d.max_err = d.max_err.max(err);
+                d.probes += 1;
+            }
             opt.step();
         }
         train_loss /= nbatches.max(1) as f64;
@@ -501,6 +650,41 @@ mod tests {
             assert_eq!(a.train_loss, b.train_loss);
             assert_eq!(a.test_loss, b.test_loss);
         }
+    }
+
+    #[test]
+    fn lossless_spill_reproduces_train_bit_exactly() {
+        // EBPC spilling round-trips every saved activation bit-exactly,
+        // so the whole training trajectory must match no-spill — the
+        // acceptance bar for the activation-compression subsystem.
+        let mut cfg = tiny(Benchmark::OpticalDamage);
+        cfg.epochs = 1;
+        let base = train(&cfg, &NoCompression);
+        let opts = SpillOptions::new(CodecSpec::Ebpc { len: 256 });
+        let (r, report) = train_with_spill(&cfg, &NoCompression, &opts);
+        for (a, b) in base.epochs.iter().zip(&r.epochs) {
+            assert_eq!(a.train_loss, b.train_loss, "train loss drifted under lossless spill");
+            assert_eq!(a.test_loss, b.test_loss, "test loss drifted under lossless spill");
+        }
+        assert!(report.ledger.spilled_tensors > 0, "no activations were spilled");
+        assert!(report.ledger.remats > 0, "spilled activations were never read back");
+        assert!(report.max_gradient_error.is_none(), "probe was off");
+    }
+
+    #[test]
+    fn lossy_spill_reports_cr_and_gradient_error() {
+        let mut cfg = tiny(Benchmark::EmDenoise);
+        cfg.epochs = 1;
+        let mut opts = SpillOptions::new(CodecSpec::Fmap { n: 32, cf: 4, q: 8 });
+        opts.probe_gradients = true;
+        let (r, report) = train_with_spill(&cfg, &NoCompression, &opts);
+        assert!(r.final_test_loss().is_finite());
+        assert_eq!(report.codec, "fmap-n32-cf4-q8");
+        assert_eq!(report.probes, 1, "one probe per epoch");
+        let cr = report.ledger.compression_ratio();
+        assert!(cr >= 2.0, "measured activation CR {cr} < 2");
+        let err = report.max_gradient_error.expect("probe ran");
+        assert!(err.is_finite() && err > 0.0, "lossy codec gradient error {err}");
     }
 
     #[test]

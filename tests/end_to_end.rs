@@ -31,6 +31,8 @@ fn all_variants_lower_and_agree() {
         CodecSpec::Partial { n: 32, cf: 4, s: 2 },
         CodecSpec::Chop1d { len: 64, cf: 3 },
         CodecSpec::ScatterGather { n: 32, cf: 5 },
+        CodecSpec::Ebpc { len: 64 },
+        CodecSpec::Fmap { n: 32, cf: 4, q: 6 },
     ];
     let slices = 4usize;
     for spec in specs {
@@ -71,6 +73,22 @@ fn all_platforms_agree_numerically() {
         assert!(got.outputs[0].allclose(&expect, 1e-4), "{platform}");
         let rec = dep.decompress(&got.outputs[0]).unwrap();
         assert!(rec.outputs[0].allclose(&host.roundtrip(&x).unwrap(), 1e-4), "{platform}");
+    }
+
+    // The activation codecs make the same portability claim: identical
+    // numerics on every platform, bit-for-bit (EBPC's device stage is the
+    // identity; fmap is two folded matmuls plus a round).
+    for spec in [CodecSpec::Ebpc { len: 1024 }, CodecSpec::Fmap { n: 32, cf: 4, q: 6 }] {
+        let host = spec.build().unwrap();
+        let dims: Vec<usize> = std::iter::once(6usize).chain(host.input_shape()).collect();
+        let mut rng = Tensor::seeded_rng(5);
+        let act = Tensor::rand_uniform(dims.as_slice(), -1.0, 1.0, &mut rng);
+        let want = host.compress(&act).unwrap();
+        for platform in Platform::ALL {
+            let dep = CompressorDeployment::from_spec(platform, spec, 6).unwrap();
+            let got = dep.compress(&act).unwrap();
+            assert_bits_eq(&got.outputs[0], &want, &format!("{spec} on {platform}"));
+        }
     }
 }
 
