@@ -4,6 +4,7 @@
 //! loadgen [--addr <ip:port> | --store <file.dcz>] [--clients 32] [--requests 16]
 //!         [--coarse 0.5] [--cf <coarser>] [--seed 7] [--verify <file.dcz>]
 //!         [--chaos <seed>] [--timeout <ms>] [--retries <attempts>]
+//!         [--backend <threads|epoll>]
 //! ```
 //!
 //! Spawns `--clients` threads, each with its own connection, issuing
@@ -28,6 +29,11 @@
 //! retry/reconnect its way to the same bits. Fault decisions are keyed on
 //! byte positions, so two runs with the same seed against the same store
 //! print an identical `chaos-counters:` line — CI diffs it.
+//!
+//! `--backend` selects the self-hosted server's transport (thread-per-
+//! connection or the epoll event loop); it is ignored with `--addr`. The
+//! stats frame's readiness section (wakeups, frames/wakeup, slab bytes
+//! shared) is how the two are told apart from the outside.
 
 use std::collections::HashMap;
 use std::net::ToSocketAddrs;
@@ -38,8 +44,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aicomp_serve::{
-    Client, ErrorCode, FetchedChunk, RobustClient, RobustConfig, ServeConfig, ServeError, Server,
-    ServerHandle, WireFaultPlan,
+    Backend, Client, ErrorCode, FetchedChunk, RobustClient, RobustConfig, ServeConfig, ServeError,
+    Server, ServerHandle, WireFaultPlan,
 };
 use aicomp_store::writer::pack_file;
 use aicomp_store::{DczReader, RetryPolicy, StoreOptions};
@@ -153,6 +159,7 @@ fn run() -> Result<bool, String> {
     };
     let timeout_ms: u64 = parse(&args, "--timeout", 10_000)?;
     let retries: u32 = parse(&args, "--retries", 6)?;
+    let backend: Backend = parse(&args, "--backend", Backend::default())?;
 
     // Resolve the server: external (--addr), self-hosted over --store, or
     // self-hosted over a generated container.
@@ -171,8 +178,8 @@ fn run() -> Result<bool, String> {
                 }
             };
             verify_path.get_or_insert_with(|| path.clone());
-            let server = Server::bind("127.0.0.1:0", &[path], ServeConfig::default())
-                .map_err(|e| e.to_string())?;
+            let config = ServeConfig { backend, ..ServeConfig::default() };
+            let server = Server::bind("127.0.0.1:0", &[path], config).map_err(|e| e.to_string())?;
             let h = server.spawn();
             let addr = h.addr().to_string();
             handle = Some(h);
@@ -192,8 +199,9 @@ fn run() -> Result<bool, String> {
         None => None,
     };
     println!(
-        "driving {addr}: {} chunks of {} samples, stored cf {stored_cf}, \
+        "driving {addr}{}: {} chunks of {} samples, stored cf {stored_cf}, \
          {clients} clients x {requests} requests, {:.0}% coarse (cf {coarse_cf}){}",
+        if handle.is_some() { format!(" (self-hosted, {backend} backend)") } else { String::new() },
         info.chunks,
         info.chunk_size,
         coarse_frac * 100.0,

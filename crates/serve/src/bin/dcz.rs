@@ -40,7 +40,7 @@ use std::time::Duration;
 
 use aicomp_core::CodecSpec;
 use aicomp_sciml::{Dataset, DatasetKind};
-use aicomp_serve::{RobustClient, RobustConfig, ServeConfig, Server, WireFaultPlan};
+use aicomp_serve::{Backend, RobustClient, RobustConfig, ServeConfig, Server, WireFaultPlan};
 use aicomp_store::writer::{DczFileWriter, StoreOptions};
 use aicomp_store::{deep_verify, repair, ChunkStatus, DczReader, RetryPolicy};
 use aicomp_tensor::Tensor;
@@ -87,6 +87,7 @@ fn usage() -> String {
      \x20 verify   --input <file.dcz> [--deep]   (--deep: per-chunk health report)\n\
      \x20 repair   --input <file.dcz> --out <salvaged.dcz>\n\
      \x20 serve    --store <file.dcz> [--store <more.dcz> ...] [--addr <ip:port>] \
+     [--backend <threads|epoll>] \
      [--workers <N>] [--queue <depth>] [--batch <max>] [--cache <chunks>] [--shards <N>] \
      [--idle-timeout <ms, 0 = never>] [--max-conns <N>] [--chaos <seed, 0 = off>]\n\
      \x20 fetch    --addr <ip:port> [--addr <replica> ...] --container <id> --chunk <index> \
@@ -392,11 +393,13 @@ fn serve(args: &[String]) -> Result<(), String> {
             plan.stall = Duration::from_millis(1);
             plan
         }),
+        backend: parse(args, "--backend", Backend::default())?,
     };
     let addr = addr_of(args);
+    let backend = config.backend;
     let server = Server::bind(addr.as_str(), &stores, config).map_err(|e| e.to_string())?;
     let bound = server.local_addr();
-    println!("serving {} container(s) on {bound}:", stores.len());
+    println!("serving {} container(s) on {bound} ({backend} backend):", stores.len());
     if chaos_seed != 0 {
         println!("  CHAOS: injecting wire faults on every connection (seed {chaos_seed})");
     }

@@ -24,16 +24,22 @@ use aicomp_tensor::Tensor;
 pub type CacheKey = (u32, u32, u8);
 
 #[derive(Debug)]
-struct Entry {
-    data: Arc<Tensor>,
+struct Entry<V> {
+    data: V,
     /// Monotonic per-shard use stamp; smallest = least recently used.
     last_used: u64,
 }
 
-#[derive(Debug, Default)]
-struct Shard {
-    map: HashMap<CacheKey, Entry>,
+#[derive(Debug)]
+struct Shard<V> {
+    map: HashMap<CacheKey, Entry<V>>,
     clock: u64,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard { map: HashMap::new(), clock: 0 }
+    }
 }
 
 /// Counter snapshot for the stats frame.
@@ -63,21 +69,25 @@ impl CacheSnapshot {
     }
 }
 
-/// Sharded LRU of decoded chunks.
+/// Sharded LRU of decoded chunks. Generic over the cached value — the
+/// server stores encoded [`crate::proto::ResponseSlab`]s (so cache hits
+/// skip re-encoding, not just re-decoding); the default `Arc<Tensor>`
+/// keeps the decoded-tensor shape available (and the proptests below
+/// exercise it).
 #[derive(Debug)]
-pub struct ChunkCache {
-    shards: Vec<Mutex<Shard>>,
+pub struct ChunkCache<V = Arc<Tensor>> {
+    shards: Vec<Mutex<Shard<V>>>,
     per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
 
-impl ChunkCache {
+impl<V: Clone> ChunkCache<V> {
     /// Cache holding at most `capacity` entries total, spread over
     /// `shards` locks. `capacity = 0` disables caching (every lookup
     /// misses, inserts are dropped).
-    pub fn new(capacity: usize, shards: usize) -> ChunkCache {
+    pub fn new(capacity: usize, shards: usize) -> ChunkCache<V> {
         let shards = shards.max(1).min(capacity.max(1));
         ChunkCache {
             per_shard: capacity.div_ceil(shards).min(capacity),
@@ -88,7 +98,7 @@ impl ChunkCache {
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> MutexGuard<'_, Shard> {
+    fn shard(&self, key: &CacheKey) -> MutexGuard<'_, Shard<V>> {
         // FNV-1a over the key fields; shards are independent LRUs.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in [key.0 as u64, key.1 as u64, key.2 as u64] {
@@ -101,7 +111,7 @@ impl ChunkCache {
     }
 
     /// Look `key` up, bumping its recency on a hit.
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<Tensor>> {
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
         if self.per_shard == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -112,7 +122,7 @@ impl ChunkCache {
         match shard.map.get_mut(key) {
             Some(e) => {
                 e.last_used = clock;
-                let data = Arc::clone(&e.data);
+                let data = e.data.clone();
                 drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(data)
@@ -127,7 +137,7 @@ impl ChunkCache {
 
     /// Insert (or replace) `key`, evicting least-recently-used entries of
     /// the same shard to stay within capacity.
-    pub fn insert(&self, key: CacheKey, data: Arc<Tensor>) {
+    pub fn insert(&self, key: CacheKey, data: V) {
         if self.per_shard == 0 {
             return;
         }

@@ -1,0 +1,1015 @@
+//! Event-driven server backend: nonblocking sockets + `epoll` readiness.
+//!
+//! This is the second transport behind `dcz serve --backend epoll`. It
+//! drives exactly the same sans-I/O [`crate::proto::ServerConn`]
+//! machines, admission queue, worker pool, batcher, and cache as the
+//! thread-per-connection backend — a connection here costs a state
+//! machine and a few buffers, not a stack. The split mirrors what
+//! sans-I/O protocol stacks (e.g. IronRDP's session crates) do: the
+//! machine decides *what* every byte and deadline means; this module
+//! only decides *when* — readiness, timers, and write backpressure.
+//!
+//! Three pieces, no runtime dependency (the workspace is `std`-only, so
+//! `epoll`/`eventfd` are reached through a raw syscall shim, `sys`):
+//!
+//! * the **event loop**: a level-triggered `epoll` set over the listener,
+//!   every connection, and an `eventfd`; each wakeup reads until
+//!   `WouldBlock`, feeds the machines, and histograms
+//!   frames-per-wakeup into the stats frame;
+//! * the **timer wheel**: supervision deadlines (handshake / idle /
+//!   slow-frame) become wheel entries with lazy cancellation via
+//!   per-connection generation counters — a fired stale entry is simply
+//!   ignored, so re-arming never scans;
+//! * the **completion hub**: workers finish jobs on their own threads
+//!   and must wake the loop; `CompletionHub::complete` pushes the
+//!   result and writes the `eventfd`, and the loop drains both on the
+//!   next wakeup.
+//!
+//! Responses stay ordered per connection even though workers complete
+//! out of order: every delivered request allocates a FIFO *reply slot*,
+//! and bytes only move to the socket when the slot at the head is
+//! filled — the same order the blocking backend produces by construction.
+//!
+//! Graceful shutdown preserves the crate's invariant that every admitted
+//! request is answered: the loop stops accepting and reading, keeps
+//! running until all reply slots are filled and all outboxes flushed,
+//! and only then returns (after which `Server::run` closes the queue and
+//! joins the workers).
+
+use std::sync::{Arc, Mutex};
+
+use crate::server::{JobResult, Shared};
+
+/// Is the epoll backend available on this build target? (`Server::bind`
+/// answers a typed error when it is not.)
+pub fn supported() -> bool {
+    cfg!(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))
+}
+
+/// One finished worker job addressed to `(connection token, reply slot)`.
+pub(crate) struct Completion {
+    pub(crate) token: u64,
+    pub(crate) seq: u64,
+    pub(crate) result: JobResult,
+}
+
+/// Where workers deliver results destined for the event loop: a locked
+/// list plus an `eventfd` wakeup, so a completion on a worker thread
+/// interrupts an `epoll_pwait` immediately instead of waiting out the
+/// poll timeout.
+pub(crate) struct CompletionHub {
+    done: Mutex<Vec<Completion>>,
+    efd: i32,
+}
+
+impl CompletionHub {
+    /// Deliver one finished job and wake the loop.
+    pub(crate) fn complete(&self, token: u64, seq: u64, result: JobResult) {
+        {
+            let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+            done.push(Completion { token, seq, result });
+        }
+        // Failure only means the loop is already awake or gone; the
+        // completion itself is safely queued either way.
+        let _ = sys::write_all_fd(self.efd, &1u64.to_le_bytes());
+    }
+
+    /// Take everything delivered so far and clear the `eventfd`.
+    fn drain(&self) -> Vec<Completion> {
+        let mut buf = [0u8; 8];
+        let _ = sys::read_fd(self.efd, &mut buf);
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *done)
+    }
+}
+
+impl Drop for CompletionHub {
+    fn drop(&mut self) {
+        if self.efd >= 0 {
+            let _ = sys::close_fd(self.efd);
+        }
+    }
+}
+
+/// Serve on `listener` until shutdown, then drain. Panics if the epoll
+/// syscalls are unavailable — `Server::bind` already rejected the
+/// backend on unsupported platforms, so this is unreachable there.
+pub(crate) fn run_event_loop(listener: &std::net::TcpListener, shared: &Arc<Shared>) {
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    imp::run(listener, shared);
+    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    {
+        let _ = (listener, shared);
+        unreachable!("Server::bind rejects the epoll backend on unsupported platforms");
+    }
+}
+
+// ----------------------------------------------------------- timer wheel
+
+/// Granularity of the supervision timer wheel.
+const TICK_MS: u64 = 10;
+/// Wheel slots: 256 × 10 ms = one revolution every 2.56 s. Deadlines
+/// further out simply survive revolutions (an entry only fires once its
+/// absolute due time passes).
+const WHEEL_SLOTS: u64 = 256;
+
+struct TimerEntry {
+    due: std::time::Instant,
+    token: u64,
+    gen: u64,
+}
+
+/// Hashed timer wheel with lazy cancellation: `schedule` is O(1), and a
+/// re-armed deadline just bumps the connection's generation so the old
+/// entry is ignored when its slot comes around.
+struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    epoch: std::time::Instant,
+    /// First tick index not yet processed.
+    next_tick: u64,
+}
+
+impl TimerWheel {
+    fn new(epoch: std::time::Instant) -> TimerWheel {
+        TimerWheel { slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(), epoch, next_tick: 0 }
+    }
+
+    fn ticks(&self, at: std::time::Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_millis() as u64 / TICK_MS
+    }
+
+    fn schedule(&mut self, due: std::time::Instant, token: u64, gen: u64) {
+        // A due time already past lands in the next processed slot.
+        let tick = self.ticks(due).max(self.next_tick);
+        self.slots[(tick % WHEEL_SLOTS) as usize].push(TimerEntry { due, token, gen });
+    }
+
+    /// Advance to `now`, returning every `(token, gen)` whose due time
+    /// has passed. Entries scheduled revolutions ahead stay in place.
+    fn tick(&mut self, now: std::time::Instant) -> Vec<(u64, u64)> {
+        let now_tick = self.ticks(now);
+        let mut fired = Vec::new();
+        while self.next_tick <= now_tick {
+            let slot = &mut self.slots[(self.next_tick % WHEEL_SLOTS) as usize];
+            let mut keep = Vec::new();
+            for e in slot.drain(..) {
+                if e.due <= now {
+                    fired.push((e.token, e.gen));
+                } else {
+                    keep.push(e);
+                }
+            }
+            *slot = keep;
+            self.next_tick += 1;
+        }
+        fired
+    }
+}
+
+// ------------------------------------------------------------- event loop
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod imp {
+    use std::collections::{HashMap, VecDeque};
+    use std::io::{ErrorKind, Read, Write};
+    use std::net::TcpListener;
+    use std::os::fd::AsRawFd;
+    use std::sync::atomic::Ordering;
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    use super::{sys, Completion, CompletionHub, TimerWheel};
+    use crate::chaos::{FaultyStream, Wire};
+    use crate::proto::{Action, DeadlineKind, ResponseSlab, ServerConn};
+    use crate::protocol::{encode_response, Request, Response};
+    use crate::server::{
+        admit_fetch, answer_inline, count_close, reject_at_accept, Admission, ReplyTo, Shared,
+    };
+    use crate::stats::Endpoint;
+
+    const TOKEN_LISTENER: u64 = 0;
+    const TOKEN_HUB: u64 = 1;
+    const FIRST_CONN_TOKEN: u64 = 2;
+
+    /// One reply slot: responses leave in allocation order, regardless
+    /// of the order workers finish.
+    struct Slot {
+        seq: u64,
+        state: SlotState,
+        /// Admission time of a queued fetch, so its latency is recorded
+        /// when the completion lands (matching the blocking backend,
+        /// which measures across its worker rendezvous).
+        fetch_t0: Option<Instant>,
+    }
+
+    enum SlotState {
+        /// Waiting on a worker completion.
+        Empty,
+        /// An encoded frame ready to write.
+        Bytes(Vec<u8>),
+        /// A shared slab ready to write at this checksum mode.
+        Slab(Arc<ResponseSlab>, bool),
+    }
+
+    /// A buffer mid-write (nonblocking sockets accept partial writes).
+    enum OutBuf {
+        Bytes(Vec<u8>, usize),
+        Slab { slab: Arc<ResponseSlab>, checksum: bool, at: usize },
+    }
+
+    impl OutBuf {
+        /// Advance the logical write offset — for slabs the wire image
+        /// is `header ++ body ++ [trailer]` without ever materializing
+        /// the concatenation.
+        fn advance(&mut self, n: usize) {
+            match self {
+                OutBuf::Bytes(_, at) | OutBuf::Slab { at, .. } => *at += n,
+            }
+        }
+    }
+
+    struct EpConn {
+        stream: Box<dyn Wire>,
+        fd: i32,
+        conn: ServerConn,
+        pending: VecDeque<Slot>,
+        next_seq: u64,
+        outbox: VecDeque<OutBuf>,
+        /// Currently registered epoll interest mask.
+        interest: u32,
+        opened: Instant,
+        last_frame: Instant,
+        partial_since: Option<Instant>,
+        /// Active deadline (kind, due, generation); stale wheel entries
+        /// carry an older generation and are ignored.
+        deadline: Option<(DeadlineKind, Instant)>,
+        gen: u64,
+        /// A `Close` action was emitted: stop reading, flush, then drop.
+        closing: bool,
+        /// I/O failure: drop immediately, nothing more to say.
+        dead: bool,
+    }
+
+    impl EpConn {
+        fn alloc_slot(&mut self) -> u64 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.pending.push_back(Slot { seq, state: SlotState::Empty, fetch_t0: None });
+            seq
+        }
+
+        fn fill(&mut self, seq: u64, state: SlotState) {
+            if let Some(slot) = self.pending.iter_mut().find(|s| s.seq == seq) {
+                slot.state = state;
+            }
+        }
+
+        fn idle(&self) -> bool {
+            self.pending.is_empty() && self.outbox.is_empty()
+        }
+    }
+
+    /// Encode a response frame at the connection's checksum mode (an
+    /// oversized frame is dropped, like `ServerConn`'s best-effort error
+    /// sends — chunk payloads never take this path, they ride slabs).
+    fn encode_resp(resp: &Response, checksum: bool) -> SlotState {
+        let (op, body) = encode_response(resp);
+        match crate::proto::encode_frame(op, &body, checksum) {
+            Ok(bytes) => SlotState::Bytes(bytes),
+            Err(_) => SlotState::Bytes(Vec::new()),
+        }
+    }
+
+    pub(super) fn run(listener: &TcpListener, shared: &Arc<Shared>) {
+        listener.set_nonblocking(true).expect("non-blocking listener");
+        let epfd = sys::epoll_create1().expect("epoll_create1");
+        let efd = sys::eventfd().expect("eventfd");
+        let hub = Arc::new(CompletionHub { done: Mutex::new(Vec::new()), efd });
+        let lfd = listener.as_raw_fd();
+        sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, lfd, sys::EPOLLIN, TOKEN_LISTENER)
+            .expect("register listener");
+        sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, efd, sys::EPOLLIN, TOKEN_HUB)
+            .expect("register eventfd");
+
+        let mut conns: HashMap<u64, EpConn> = HashMap::new();
+        let mut wheel = TimerWheel::new(Instant::now());
+        let mut next_token = FIRST_CONN_TOKEN;
+        let mut conn_index: u64 = 0;
+        let mut draining = false;
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; 64];
+
+        loop {
+            if !draining && shared.shutdown.load(Ordering::Relaxed) {
+                // Stop accepting and reading; answer what was admitted.
+                draining = true;
+                let _ = sys::epoll_ctl(epfd, sys::EPOLL_CTL_DEL, lfd, 0, 0);
+                let tokens: Vec<u64> = conns.keys().copied().collect();
+                for t in tokens {
+                    let c = conns.get_mut(&t).unwrap();
+                    if !service(shared, &hub, epfd, &mut wheel, t, c, draining) {
+                        drop_conn(shared, &mut conns, t);
+                    }
+                }
+            }
+            if draining && conns.is_empty() {
+                break;
+            }
+
+            let n = match sys::epoll_pwait(epfd, &mut events, TICK_MS_TIMEOUT) {
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => 0,
+                Err(_) => break,
+            };
+            let mut frames: usize = 0;
+            for ev in events.iter().take(n).copied() {
+                match ev.data {
+                    TOKEN_LISTENER if !draining => {
+                        accept_burst(
+                            shared,
+                            listener,
+                            epfd,
+                            &mut conns,
+                            &mut wheel,
+                            &mut next_token,
+                            &mut conn_index,
+                        );
+                    }
+                    TOKEN_LISTENER => {}
+                    TOKEN_HUB => {
+                        for Completion { token, seq, result } in hub.drain() {
+                            let Some(c) = conns.get_mut(&token) else { continue };
+                            let checksum = c.conn.checksummed();
+                            let t0 =
+                                c.pending.iter().find(|s| s.seq == seq).and_then(|s| s.fetch_t0);
+                            match result {
+                                Ok(slab) => c.fill(seq, SlotState::Slab(slab, checksum)),
+                                Err((code, message)) => c.fill(
+                                    seq,
+                                    encode_resp(&Response::Error { code, message }, checksum),
+                                ),
+                            }
+                            if let Some(t0) = t0 {
+                                shared.stats.record_request(Endpoint::Fetch, t0.elapsed());
+                            }
+                            if !service(shared, &hub, epfd, &mut wheel, token, c, draining) {
+                                drop_conn(shared, &mut conns, token);
+                            }
+                        }
+                    }
+                    token => {
+                        let Some(c) = conns.get_mut(&token) else { continue };
+                        if ev.events
+                            & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR)
+                            != 0
+                            && !c.closing
+                            && !draining
+                        {
+                            frames += read_ready(c);
+                        }
+                        if ev.events & sys::EPOLLOUT != 0 {
+                            write_ready(c);
+                        }
+                        if !service(shared, &hub, epfd, &mut wheel, token, c, draining) {
+                            drop_conn(shared, &mut conns, token);
+                        }
+                    }
+                }
+            }
+            if n > 0 {
+                shared.stats.record_wakeup(frames);
+            }
+
+            let now = Instant::now();
+            for (token, gen) in wheel.tick(now) {
+                let Some(c) = conns.get_mut(&token) else { continue };
+                let valid = c.gen == gen && !c.closing && !c.dead;
+                let Some((kind, due)) = c.deadline else { continue };
+                if !valid || due > now {
+                    continue;
+                }
+                shared.stats.timer_expirations.fetch_add(1, Ordering::Relaxed);
+                c.conn.expire(kind);
+                c.deadline = None;
+                if !service(shared, &hub, epfd, &mut wheel, token, c, draining) {
+                    drop_conn(shared, &mut conns, token);
+                }
+            }
+        }
+
+        let _ = sys::close_fd(epfd);
+    }
+
+    /// Poll timeout: one wheel tick, which also bounds how stale the
+    /// shutdown-flag check can get.
+    const TICK_MS_TIMEOUT: i32 = super::TICK_MS as i32;
+
+    fn accept_burst(
+        shared: &Arc<Shared>,
+        listener: &TcpListener,
+        epfd: i32,
+        conns: &mut HashMap<u64, EpConn>,
+        wheel: &mut TimerWheel,
+        next_token: &mut u64,
+        conn_index: &mut u64,
+    ) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if conns.len() >= shared.config.max_conns.max(1) {
+                        reject_at_accept(shared, stream);
+                        continue;
+                    }
+                    let index = *conn_index;
+                    *conn_index += 1;
+                    let stream: Box<dyn Wire> = match shared.config.chaos {
+                        Some(plan) if plan.is_active() => {
+                            Box::new(FaultyStream::new(stream, plan.derive(index)))
+                        }
+                        _ => Box::new(stream),
+                    };
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let Some(fd) = stream.raw_fd() else { continue };
+                    let token = *next_token;
+                    *next_token += 1;
+                    if sys::epoll_ctl(
+                        epfd,
+                        sys::EPOLL_CTL_ADD,
+                        fd,
+                        sys::EPOLLIN | sys::EPOLLRDHUP,
+                        token,
+                    )
+                    .is_err()
+                    {
+                        continue;
+                    }
+                    shared.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.conns_active.fetch_add(1, Ordering::Relaxed);
+                    let now = Instant::now();
+                    let mut c = EpConn {
+                        stream,
+                        fd,
+                        conn: ServerConn::new(),
+                        pending: VecDeque::new(),
+                        next_seq: 0,
+                        outbox: VecDeque::new(),
+                        interest: sys::EPOLLIN | sys::EPOLLRDHUP,
+                        opened: now,
+                        last_frame: now,
+                        partial_since: None,
+                        deadline: None,
+                        gen: 0,
+                        closing: false,
+                        dead: false,
+                    };
+                    rearm_deadline(shared, wheel, token, &mut c);
+                    conns.insert(token, c);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Read until `WouldBlock`/EOF, feeding the machine. Returns how
+    /// many complete frames this wakeup parsed (for the histogram).
+    fn read_ready(c: &mut EpConn) -> usize {
+        let before = c.conn.frames_parsed();
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match c.stream.read(&mut buf) {
+                Ok(0) => {
+                    c.conn.on_eof();
+                    break;
+                }
+                Ok(n) => {
+                    c.conn.on_bytes(&buf[..n]);
+                    if c.conn.is_closed() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    c.dead = true;
+                    break;
+                }
+            }
+        }
+        let parsed = (c.conn.frames_parsed() - before) as usize;
+        if parsed > 0 {
+            c.last_frame = Instant::now();
+        }
+        c.partial_since = if c.conn.has_partial_frame() {
+            c.partial_since.or_else(|| Some(Instant::now()))
+        } else {
+            None
+        };
+        parsed
+    }
+
+    /// Write the outbox until it empties or the socket pushes back.
+    fn write_ready(c: &mut EpConn) {
+        while let Some(front) = c.outbox.front_mut() {
+            // Build the current segment view without concatenating.
+            let (seg, done_after): (&[u8], bool) = match front {
+                OutBuf::Bytes(b, at) => (&b[*at..], true),
+                OutBuf::Slab { slab, checksum, at } => {
+                    let header = slab.header(*checksum);
+                    let body = slab.body();
+                    let hlen = header.len();
+                    if *at < hlen {
+                        // Header is tiny; write it from a stack copy.
+                        let h = header;
+                        match c.stream.write(&h[*at..]) {
+                            Ok(0) => {
+                                c.dead = true;
+                                return;
+                            }
+                            Ok(n) => {
+                                front.advance(n);
+                                continue;
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                c.dead = true;
+                                return;
+                            }
+                        }
+                    } else if *at < hlen + body.len() {
+                        (&body[*at - hlen..], false)
+                    } else if *checksum {
+                        let trailer = slab.trailer();
+                        let off = *at - hlen - body.len();
+                        match c.stream.write(&trailer[off..]) {
+                            Ok(0) => {
+                                c.dead = true;
+                                return;
+                            }
+                            Ok(n) => {
+                                let total = slab.wire_len(true);
+                                front.advance(n);
+                                let finished = match front {
+                                    OutBuf::Slab { at, .. } => *at >= total,
+                                    OutBuf::Bytes(..) => true,
+                                };
+                                if finished {
+                                    c.outbox.pop_front();
+                                }
+                                continue;
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                c.dead = true;
+                                return;
+                            }
+                        }
+                    } else {
+                        c.outbox.pop_front();
+                        continue;
+                    }
+                }
+            };
+            if seg.is_empty() {
+                c.outbox.pop_front();
+                continue;
+            }
+            match c.stream.write(seg) {
+                Ok(0) => {
+                    c.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    let finished = n == seg.len() && done_after;
+                    front.advance(n);
+                    if finished {
+                        c.outbox.pop_front();
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    c.dead = true;
+                    return;
+                }
+            }
+        }
+        let _ = c.stream.flush();
+    }
+
+    /// Process machine actions, move filled head slots to the outbox,
+    /// write, update epoll interest, and re-arm the deadline. Returns
+    /// `false` when the connection should be dropped.
+    fn service(
+        shared: &Arc<Shared>,
+        hub: &Arc<CompletionHub>,
+        epfd: i32,
+        wheel: &mut TimerWheel,
+        token: u64,
+        c: &mut EpConn,
+        draining: bool,
+    ) -> bool {
+        process_actions(shared, hub, token, c);
+        flush_slots(shared, c);
+        write_ready(c);
+        if c.dead || ((c.closing || draining) && c.idle()) {
+            return false;
+        }
+        update_interest(epfd, token, c, draining);
+        rearm_deadline(shared, wheel, token, c);
+        true
+    }
+
+    fn drop_conn(shared: &Shared, conns: &mut HashMap<u64, EpConn>, token: u64) {
+        // Dropping the stream closes the fd, which also removes it from
+        // the epoll set.
+        if conns.remove(&token).is_some() {
+            shared.stats.conns_active.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Turn machine actions into reply slots (preserving response order
+    /// across out-of-order worker completions) and admit fetches.
+    fn process_actions(shared: &Arc<Shared>, hub: &Arc<CompletionHub>, token: u64, c: &mut EpConn) {
+        while let Some(action) = c.conn.next_action() {
+            match action {
+                Action::Send(bytes) => {
+                    let seq = c.alloc_slot();
+                    c.fill(seq, SlotState::Bytes(bytes));
+                }
+                Action::SendSlab { slab, checksum } => {
+                    let seq = c.alloc_slot();
+                    c.fill(seq, SlotState::Slab(slab, checksum));
+                }
+                Action::Deliver(req) => {
+                    let checksum = c.conn.checksummed();
+                    let seq = c.alloc_slot();
+                    if let Some(resp) = answer_inline(shared, &req) {
+                        c.fill(seq, encode_resp(&resp, checksum));
+                        continue;
+                    }
+                    let Request::Fetch { container, chunk, read_cf, deadline_ms } = req else {
+                        // `ServerConn` never delivers Hello.
+                        continue;
+                    };
+                    let t0 = Instant::now();
+                    let expires =
+                        (deadline_ms > 0).then(|| t0 + Duration::from_millis(deadline_ms as u64));
+                    let reply = || ReplyTo::Event { token, seq, hub: Arc::clone(hub) };
+                    match admit_fetch(shared, container, chunk, read_cf, expires, reply) {
+                        Admission::Ready(slab) => {
+                            shared.stats.record_request(Endpoint::Fetch, t0.elapsed());
+                            c.fill(seq, SlotState::Slab(slab, checksum));
+                        }
+                        Admission::Rejected(resp) => {
+                            shared.stats.record_request(Endpoint::Fetch, t0.elapsed());
+                            c.fill(seq, encode_resp(&resp, checksum));
+                        }
+                        Admission::Queued => {
+                            if let Some(slot) = c.pending.iter_mut().find(|s| s.seq == seq) {
+                                slot.fetch_t0 = Some(t0);
+                            }
+                        }
+                    }
+                }
+                Action::Close(reason) => {
+                    count_close(shared, reason);
+                    c.closing = true;
+                }
+            }
+        }
+    }
+
+    /// Move filled slots at the queue head into the outbox — responses
+    /// leave strictly in request order.
+    fn flush_slots(shared: &Shared, c: &mut EpConn) {
+        while let Some(slot) = c.pending.front() {
+            if matches!(slot.state, SlotState::Empty) {
+                break;
+            }
+            let slot = c.pending.pop_front().unwrap();
+            match slot.state {
+                SlotState::Empty => unreachable!(),
+                SlotState::Bytes(b) => c.outbox.push_back(OutBuf::Bytes(b, 0)),
+                SlotState::Slab(slab, checksum) => {
+                    shared
+                        .stats
+                        .slab_bytes_shared
+                        .fetch_add(slab.body().len() as u64, Ordering::Relaxed);
+                    c.outbox.push_back(OutBuf::Slab { slab, checksum, at: 0 });
+                }
+            }
+        }
+    }
+
+    fn update_interest(epfd: i32, token: u64, c: &mut EpConn, draining: bool) {
+        let mut want = 0u32;
+        if !c.closing && !draining {
+            want |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if !c.outbox.is_empty() {
+            want |= sys::EPOLLOUT;
+        }
+        if want != c.interest {
+            if sys::epoll_ctl(epfd, sys::EPOLL_CTL_MOD, c.fd, want, token).is_err() {
+                c.dead = true;
+            }
+            c.interest = want;
+        }
+    }
+
+    /// Recompute which supervision deadline applies (same precedence as
+    /// the blocking backend: partial frame → slow-loris; no version →
+    /// handshake; else idle) and re-arm the wheel if it changed.
+    fn rearm_deadline(shared: &Shared, wheel: &mut TimerWheel, token: u64, c: &mut EpConn) {
+        let want = if c.closing || c.dead {
+            None
+        } else if let Some(t0) = c.partial_since {
+            Some((DeadlineKind::Frame, t0 + shared.config.frame_deadline))
+        } else if c.conn.version().is_none() {
+            Some((DeadlineKind::Handshake, c.opened + shared.config.handshake_timeout))
+        } else {
+            shared.config.idle_timeout.map(|t| (DeadlineKind::Idle, c.last_frame + t))
+        };
+        if want != c.deadline {
+            c.gen += 1;
+            c.deadline = want;
+            if let Some((_, due)) = want {
+                wheel.schedule(due, token, c.gen);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ syscall shim
+
+/// Raw `epoll`/`eventfd` syscalls via inline assembly — the workspace is
+/// dependency-free, so there is no `libc` crate to lean on. Linux only;
+/// every wrapper maps the kernel's `-errno` convention into
+/// `std::io::Error` so callers use the familiar `ErrorKind` taxonomy.
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub(crate) mod sys {
+    use std::io;
+
+    pub(crate) const EPOLLIN: u32 = 0x1;
+    pub(crate) const EPOLLOUT: u32 = 0x4;
+    pub(crate) const EPOLLERR: u32 = 0x8;
+    pub(crate) const EPOLLHUP: u32 = 0x10;
+    pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+    pub(crate) const EPOLL_CTL_ADD: i32 = 1;
+    pub(crate) const EPOLL_CTL_DEL: i32 = 2;
+    pub(crate) const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i64 = 0x80000;
+    const EFD_CLOEXEC: i64 = 0x80000;
+    const EFD_NONBLOCK: i64 = 0x800;
+
+    /// Mirror of the kernel's `struct epoll_event`. Packed on x86_64
+    /// only (the kernel ABI differs by architecture).
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub(crate) struct EpollEvent {
+        pub(crate) events: u32,
+        pub(crate) data: u64,
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const READ: i64 = 0;
+        pub const WRITE: i64 = 1;
+        pub const CLOSE: i64 = 3;
+        pub const EPOLL_CTL: i64 = 233;
+        pub const EPOLL_PWAIT: i64 = 281;
+        pub const EVENTFD2: i64 = 290;
+        pub const EPOLL_CREATE1: i64 = 291;
+    }
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const READ: i64 = 63;
+        pub const WRITE: i64 = 64;
+        pub const CLOSE: i64 = 57;
+        pub const EPOLL_CREATE1: i64 = 20;
+        pub const EPOLL_CTL: i64 = 21;
+        pub const EPOLL_PWAIT: i64 = 22;
+        pub const EVENTFD2: i64 = 19;
+    }
+
+    /// # Safety
+    /// Arguments must satisfy the invoked syscall's contract (valid
+    /// pointers with correct lengths, owned fds).
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(n: i64, a: i64, b: i64, c: i64, d: i64, e: i64, f: i64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            out("rcx") _,
+            out("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// # Safety
+    /// Arguments must satisfy the invoked syscall's contract.
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(n: i64, a: i64, b: i64, c: i64, d: i64, e: i64, f: i64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// Kernel `-errno` → `io::Error`.
+    fn check(ret: i64) -> io::Result<i64> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error((-ret) as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub(crate) fn epoll_create1() -> io::Result<i32> {
+        // SAFETY: no pointers; flags-only syscall.
+        check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })
+            .map(|r| r as i32)
+    }
+
+    pub(crate) fn epoll_ctl(epfd: i32, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        let ev = EpollEvent { events, data };
+        let evp = if op == EPOLL_CTL_DEL { std::ptr::null() } else { &ev as *const EpollEvent };
+        // SAFETY: `evp` points at a live EpollEvent (or is NULL for DEL,
+        // which the kernel accepts since 2.6.9).
+        check(unsafe {
+            syscall6(nr::EPOLL_CTL, epfd as i64, op as i64, fd as i64, evp as i64, 0, 0)
+        })
+        .map(|_| ())
+    }
+
+    pub(crate) fn epoll_pwait(
+        epfd: i32,
+        events: &mut [EpollEvent],
+        timeout_ms: i32,
+    ) -> io::Result<usize> {
+        // SAFETY: `events` is a live mutable slice; NULL sigmask means
+        // "don't change the signal mask" (sigsetsize is then ignored,
+        // but the kernel still validates it — pass the real size).
+        check(unsafe {
+            syscall6(
+                nr::EPOLL_PWAIT,
+                epfd as i64,
+                events.as_mut_ptr() as i64,
+                events.len() as i64,
+                timeout_ms as i64,
+                0,
+                8,
+            )
+        })
+        .map(|n| n as usize)
+    }
+
+    pub(crate) fn eventfd() -> io::Result<i32> {
+        // SAFETY: no pointers.
+        check(unsafe { syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) })
+            .map(|r| r as i32)
+    }
+
+    pub(crate) fn read_fd(fd: i32, buf: &mut [u8]) -> io::Result<usize> {
+        // SAFETY: `buf` is a live mutable slice of the stated length.
+        check(unsafe {
+            syscall6(nr::READ, fd as i64, buf.as_mut_ptr() as i64, buf.len() as i64, 0, 0, 0)
+        })
+        .map(|n| n as usize)
+    }
+
+    pub(crate) fn write_all_fd(fd: i32, buf: &[u8]) -> io::Result<()> {
+        let mut at = 0;
+        while at < buf.len() {
+            // SAFETY: the slice is live for the duration of the call.
+            let n = check(unsafe {
+                syscall6(
+                    nr::WRITE,
+                    fd as i64,
+                    buf[at..].as_ptr() as i64,
+                    (buf.len() - at) as i64,
+                    0,
+                    0,
+                    0,
+                )
+            })?;
+            at += n as usize;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn close_fd(fd: i32) -> io::Result<()> {
+        // SAFETY: callers only close fds they own.
+        check(unsafe { syscall6(nr::CLOSE, fd as i64, 0, 0, 0, 0, 0) }).map(|_| ())
+    }
+}
+
+/// Stub shim for platforms without the epoll backend: `supported()`
+/// answers `false`, `Server::bind` rejects the backend, and the only
+/// callers left (the completion hub's wake/cleanup) no-op.
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+pub(crate) mod sys {
+    use std::io;
+
+    pub(crate) fn read_fd(_fd: i32, _buf: &mut [u8]) -> io::Result<usize> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    pub(crate) fn write_all_fd(_fd: i32, _buf: &[u8]) -> io::Result<()> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    pub(crate) fn close_fd(_fd: i32) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn wheel_fires_at_due_time_not_slot_time() {
+        let epoch = Instant::now();
+        let mut wheel = TimerWheel::new(epoch);
+        // Two entries in the same slot, one revolution apart.
+        let near = epoch + Duration::from_millis(40);
+        let far = near + Duration::from_millis(TICK_MS * WHEEL_SLOTS);
+        wheel.schedule(near, 7, 1);
+        wheel.schedule(far, 8, 1);
+        assert!(wheel.tick(epoch + Duration::from_millis(20)).is_empty());
+        let fired = wheel.tick(epoch + Duration::from_millis(60));
+        assert_eq!(fired, vec![(7, 1)], "only the near entry is due");
+        let fired = wheel.tick(far + Duration::from_millis(TICK_MS));
+        assert_eq!(fired, vec![(8, 1)], "the far entry waits a revolution");
+    }
+
+    #[test]
+    fn wheel_past_due_fires_on_next_tick() {
+        let epoch = Instant::now();
+        let mut wheel = TimerWheel::new(epoch);
+        let now = epoch + Duration::from_millis(500);
+        wheel.tick(now);
+        // Scheduling something already past must still fire promptly.
+        wheel.schedule(now - Duration::from_millis(100), 3, 9);
+        let fired = wheel.tick(now + Duration::from_millis(TICK_MS));
+        assert_eq!(fired, vec![(3, 9)]);
+    }
+
+    #[test]
+    fn stale_generations_are_distinguishable() {
+        let epoch = Instant::now();
+        let mut wheel = TimerWheel::new(epoch);
+        let due = epoch + Duration::from_millis(30);
+        wheel.schedule(due, 5, 1);
+        wheel.schedule(due, 5, 2); // re-armed: gen bumped
+        let fired = wheel.tick(due + Duration::from_millis(TICK_MS));
+        // Both entries fire; the caller drops the stale generation.
+        assert!(fired.contains(&(5, 1)) && fired.contains(&(5, 2)));
+    }
+
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[test]
+    fn eventfd_wakes_epoll() {
+        let epfd = sys::epoll_create1().unwrap();
+        let efd = sys::eventfd().unwrap();
+        sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, efd, sys::EPOLLIN, 42).unwrap();
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing written yet: a zero-timeout wait returns no events.
+        assert_eq!(sys::epoll_pwait(epfd, &mut events, 0).unwrap(), 0);
+        sys::write_all_fd(efd, &1u64.to_le_bytes()).unwrap();
+        let n = sys::epoll_pwait(epfd, &mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let data = { events[0] }.data;
+        assert_eq!(data, 42);
+        let mut buf = [0u8; 8];
+        assert_eq!(sys::read_fd(efd, &mut buf).unwrap(), 8);
+        assert_eq!(u64::from_le_bytes(buf), 1);
+        sys::close_fd(efd).unwrap();
+        sys::close_fd(epfd).unwrap();
+    }
+}

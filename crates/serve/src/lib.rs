@@ -34,7 +34,17 @@
 //!
 //! Module map:
 //!
-//! * [`protocol`] — wire frames, opcodes, error codes (`PROTOCOL.md`).
+//! * [`proto`] — the sans-I/O protocol core: incremental
+//!   [`FrameDecoder`], per-role connection state machines
+//!   ([`ServerConn`], [`ClientConn`]), and zero-copy [`ResponseSlab`]s —
+//!   the *one* implementation of framing, CRC, and version negotiation
+//!   that every transport drives.
+//! * [`protocol`] — wire frames, opcodes, error codes (`PROTOCOL.md`);
+//!   its blocking read/write helpers are thin adapters over [`proto`].
+//! * [`epoll`] — event-driven server backend: nonblocking sockets +
+//!   `epoll` readiness via a raw syscall shim (no runtime deps), a
+//!   timer wheel for supervision deadlines, and an `eventfd` completion
+//!   channel from the worker pool.
 //! * [`queue`] — bounded MPMC admission queue with non-blocking
 //!   `try_push` (the load-shedding edge) and batch-draining `try_pop`.
 //! * [`cache`] — sharded LRU over decoded chunks, hit/miss/eviction
@@ -54,6 +64,8 @@
 pub mod cache;
 pub mod chaos;
 pub mod client;
+pub mod epoll;
+pub mod proto;
 pub mod protocol;
 pub mod queue;
 pub mod robust;
@@ -63,11 +75,15 @@ pub mod stats;
 pub use cache::{CacheKey, CacheSnapshot, ChunkCache};
 pub use chaos::{FaultyStream, Wire, WireCounters, WireFaultPlan};
 pub use client::{Client, FetchedChunk};
+pub use proto::{
+    Action, ClientConn, ClientEvent, CloseReason, DeadlineKind, FrameDecoder, ResponseSlab,
+    ServerConn,
+};
 pub use protocol::{
     ContainerInfo, ErrorCode, Request, Response, MAX_FRAME, MIN_PROTO_VERSION, PROTO_VERSION,
 };
 pub use robust::{BreakerState, RobustClient, RobustConfig, RobustCounters};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{Backend, ServeConfig, Server, ServerHandle};
 pub use stats::{EndpointStats, StatsReport};
 
 /// Errors from the service and its client.

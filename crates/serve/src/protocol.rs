@@ -26,8 +26,6 @@
 
 use std::io::{ErrorKind, Read, Write};
 
-use aicomp_store::crc::crc32;
-
 use crate::stats::StatsReport;
 use crate::{Result, ServeError};
 
@@ -233,7 +231,7 @@ const OP_SHUTDOWN: u8 = 0x06;
 // Response opcodes.
 const OP_R_HELLO: u8 = 0x81;
 const OP_R_INFO: u8 = 0x82;
-const OP_R_CHUNK: u8 = 0x83;
+pub(crate) const OP_R_CHUNK: u8 = 0x83;
 const OP_R_STATS: u8 = 0x84;
 const OP_R_PONG: u8 = 0x85;
 const OP_R_SHUTDOWN: u8 = 0x86;
@@ -453,61 +451,39 @@ pub fn decode_response(op: u8, body: &[u8]) -> Result<Response> {
     Ok(resp)
 }
 
-/// CRC-32 of a frame's `opcode ++ body` (the v2 trailing checksum).
-pub(crate) fn frame_crc(op: u8, body: &[u8]) -> u32 {
-    let mut buf = Vec::with_capacity(1 + body.len());
-    buf.push(op);
-    buf.extend_from_slice(body);
-    crc32(&buf)
-}
-
 /// Write one `(opcode, body)` frame; `checksum` appends the v2 trailing
-/// CRC-32 (and counts it in `len`).
+/// CRC-32 (and counts it in `len`). Thin blocking adapter over the
+/// sans-I/O [`crate::proto::encode_frame`] — the one framing encoder.
 pub fn write_frame(w: &mut impl Write, op: u8, body: &[u8], checksum: bool) -> Result<()> {
-    let len = 1u32 + body.len() as u32 + if checksum { 4 } else { 0 };
-    if len > MAX_FRAME {
-        return Err(ServeError::Protocol(format!("frame of {len} bytes exceeds {MAX_FRAME}")));
-    }
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(&[op])?;
-    w.write_all(body)?;
-    if checksum {
-        w.write_all(&frame_crc(op, body).to_le_bytes())?;
-    }
+    w.write_all(&crate::proto::encode_frame(op, body, checksum)?)?;
     w.flush()?;
     Ok(())
 }
 
 /// Read one `(opcode, body)` frame, verifying the trailing CRC-32 when
 /// `checksum`; `Ok(None)` on clean EOF at a frame boundary (the peer
-/// closed between frames).
+/// closed between frames). Thin blocking adapter over the sans-I/O
+/// [`crate::proto::FrameDecoder`] — the one framing parser.
 pub fn read_frame(r: &mut impl Read, checksum: bool) -> Result<Option<(u8, Vec<u8>)>> {
-    let mut len = [0u8; 4];
-    match r.read_exact(&mut len) {
-        Ok(()) => {}
-        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
-    }
-    let len = u32::from_le_bytes(len);
-    let min = if checksum { 5 } else { 1 };
-    if len < min || len > MAX_FRAME {
-        return Err(ServeError::Protocol(format!("bad frame length {len}")));
-    }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
-    let op = body[0];
-    body.remove(0);
-    if checksum {
-        let tail = body.split_off(body.len() - 4);
-        let want = u32::from_le_bytes(tail.try_into().unwrap());
-        let got = frame_crc(op, &body);
-        if got != want {
-            return Err(ServeError::Protocol(format!(
-                "frame checksum mismatch (got {got:#010x}, want {want:#010x})"
-            )));
+    let mut dec = crate::proto::FrameDecoder::new();
+    let mut tmp = [0u8; 64 * 1024];
+    loop {
+        if let Some(frame) = dec.pop(checksum)? {
+            return Ok(Some(frame));
+        }
+        match r.read(&mut tmp) {
+            Ok(0) => {
+                return if dec.has_partial() {
+                    Err(ServeError::Protocol("EOF mid-frame".into()))
+                } else {
+                    Ok(None)
+                };
+            }
+            Ok(n) => dec.push(&tmp[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
         }
     }
-    Ok(Some((op, body)))
 }
 
 /// Write a [`Request`] frame at `version` (checksummed at v2+).
@@ -533,23 +509,24 @@ pub fn read_response(r: &mut impl Read, checksum: bool) -> Result<Option<Respons
 /// Run the client half of the `Hello` exchange on a fresh stream: offer
 /// `want`, return the version the server granted. Both hello frames are
 /// v1-framed (no CRC) — they precede version agreement — and the server
-/// may grant a version ≤ `want` (it never upgrades a client).
+/// may grant a version ≤ `want` (it never upgrades a client). Blocking
+/// adapter over the sans-I/O [`crate::proto::ClientConn`] machine, which
+/// owns the grant-validation rules.
 pub fn client_handshake<S: Read + Write>(stream: &mut S, want: u16) -> Result<u16> {
-    write_request(stream, &Request::Hello { version: want.min(PROTO_VERSION) }, 1)?;
-    match read_response(stream, false)? {
-        Some(Response::Hello { version }) => {
-            if version < MIN_PROTO_VERSION || version > want.min(PROTO_VERSION) {
-                return Err(ServeError::Protocol(format!(
-                    "server granted unusable protocol version {version}"
-                )));
-            }
-            Ok(version)
+    let mut conn = crate::proto::ClientConn::new(want);
+    stream.write_all(&conn.hello_bytes())?;
+    stream.flush()?;
+    let mut tmp = [0u8; 4096];
+    loop {
+        if let Some(crate::proto::ClientEvent::Negotiated(version)) = conn.next_event() {
+            return Ok(version);
         }
-        Some(Response::Error { code, message }) => Err(ServeError::Server { code, message }),
-        Some(other) => {
-            Err(ServeError::Protocol(format!("expected hello acknowledgement, got {other:?}")))
+        match stream.read(&mut tmp) {
+            Ok(0) => conn.on_eof()?,
+            Ok(n) => conn.on_bytes(&tmp[..n])?,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
         }
-        None => Err(ServeError::Protocol("connection closed during handshake".into())),
     }
 }
 

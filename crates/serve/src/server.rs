@@ -36,7 +36,7 @@
 //! `Overloaded` rejection at accept time.
 
 use std::collections::HashMap;
-use std::io::{ErrorKind, Read};
+use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,11 +50,50 @@ use aicomp_tensor::Tensor;
 
 use crate::cache::ChunkCache;
 use crate::chaos::{FaultyStream, Wire, WireFaultPlan};
-use crate::protocol::{
-    self, ContainerInfo, ErrorCode, Request, Response, MAX_FRAME, MIN_PROTO_VERSION, PROTO_VERSION,
-};
+use crate::proto::{Action, CloseReason, DeadlineKind, ResponseSlab, ServerConn};
+use crate::protocol::{self, ContainerInfo, ErrorCode, Request, Response};
 use crate::queue::{Mpmc, PushError};
 use crate::stats::{Endpoint, ServeStats};
+
+/// Which transport drives the connection state machines.
+///
+/// Both backends run the *same* [`ServerConn`] sans-I/O machines, worker
+/// pool, batcher, cache, and admission queue — they differ only in how
+/// bytes and deadlines reach the machines, so their wire behavior is
+/// identical by construction (asserted by the backend-equivalence
+/// integration test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// One blocking thread per connection (the original model — simple,
+    /// portable, fine for hundreds of connections).
+    #[default]
+    Threads,
+    /// One event loop over nonblocking sockets + `epoll` readiness with
+    /// timer-wheel supervision (see [`crate::epoll`]) — connections cost
+    /// a state machine, not a stack. Linux only.
+    Epoll,
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Backend, String> {
+        match s {
+            "threads" => Ok(Backend::Threads),
+            "epoll" => Ok(Backend::Epoll),
+            other => Err(format!("unknown backend {other:?} (expected threads|epoll)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Threads => "threads",
+            Backend::Epoll => "epoll",
+        })
+    }
+}
 
 /// Tunables for [`Server::bind`]. `Default` is sized for tests and small
 /// deployments; the `dcz serve` CLI exposes each as a flag.
@@ -86,6 +125,8 @@ pub struct ServeConfig {
     /// Test/CI knob: wrap every accepted connection in a [`FaultyStream`]
     /// seeded per connection (`plan.derive(i)`) — server-side wire chaos.
     pub chaos: Option<WireFaultPlan>,
+    /// Transport backend driving the connection machines.
+    pub backend: Backend,
 }
 
 impl Default for ServeConfig {
@@ -102,14 +143,37 @@ impl Default for ServeConfig {
             frame_deadline: Duration::from_secs(30),
             max_conns: 256,
             chaos: None,
+            backend: Backend::Threads,
         }
     }
 }
 
-/// What a worker sends back for one admitted fetch.
-type JobResult = std::result::Result<Arc<Tensor>, (ErrorCode, String)>;
+/// What a worker sends back for one admitted fetch: the encoded,
+/// shareable reply slab, or a typed error.
+pub(crate) type JobResult = std::result::Result<Arc<ResponseSlab>, (ErrorCode, String)>;
 /// Reply slots of every request waiting on one chunk.
-type Waiters = Vec<mpsc::SyncSender<JobResult>>;
+type Waiters = Vec<ReplyTo>;
+
+/// Where a worker delivers one job's result — a blocking rendezvous
+/// (threads backend) or the epoll loop's completion hub (which wakes the
+/// loop through its `eventfd`).
+pub(crate) enum ReplyTo {
+    /// Blocking connection thread parked on the receiver.
+    Sync(mpsc::SyncSender<JobResult>),
+    /// Reply slot `seq` of connection `token` in an epoll loop.
+    Event { token: u64, seq: u64, hub: Arc<crate::epoll::CompletionHub> },
+}
+
+impl ReplyTo {
+    fn send(&self, result: JobResult) {
+        match self {
+            ReplyTo::Sync(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplyTo::Event { token, seq, hub } => hub.complete(*token, *seq, result),
+        }
+    }
+}
 
 /// One admitted cache miss: decode `chunk` of `container` at `read_cf`
 /// (already resolved — never 0) and send the result to `reply`. A job
@@ -117,12 +181,12 @@ type Waiters = Vec<mpsc::SyncSender<JobResult>>;
 /// `DeadlineExceeded` instead of decoded — by then the client has (or
 /// should have) moved on, so decoding would burn a worker pass on an
 /// answer nobody reads.
-struct Job {
+pub(crate) struct Job {
     container: u32,
     chunk: u32,
     read_cf: u8,
     expires: Option<Instant>,
-    reply: mpsc::SyncSender<JobResult>,
+    reply: ReplyTo,
 }
 
 /// One served container: the shared reader plus its per-fidelity codecs
@@ -145,14 +209,16 @@ impl Container {
     }
 }
 
-/// State shared by the listener, connection threads, and workers.
-struct Shared {
+/// State shared by the listener/event loop, connection threads, and
+/// workers. The cache stores *encoded* reply slabs, so a hit skips both
+/// the decode and the re-encode, and fan-out is an `Arc` bump.
+pub(crate) struct Shared {
     containers: Vec<Container>,
-    queue: Mpmc<Job>,
-    cache: ChunkCache,
-    stats: ServeStats,
-    shutdown: AtomicBool,
-    config: ServeConfig,
+    pub(crate) queue: Mpmc<Job>,
+    pub(crate) cache: ChunkCache<Arc<ResponseSlab>>,
+    pub(crate) stats: ServeStats,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) config: ServeConfig,
 }
 
 /// A bound (but not yet accepting) server. [`Server::run`] blocks the
@@ -180,6 +246,13 @@ impl Server {
         stores: &[impl AsRef<Path>],
         config: ServeConfig,
     ) -> crate::Result<Server> {
+        if config.backend == Backend::Epoll && !crate::epoll::supported() {
+            return Err(crate::ServeError::Protocol(
+                "the epoll backend requires linux (x86_64 or aarch64); \
+                 use --backend threads on this platform"
+                    .into(),
+            ));
+        }
         let mut containers = Vec::with_capacity(stores.len());
         for p in stores {
             containers.push(Container {
@@ -215,54 +288,14 @@ impl Server {
     }
 
     /// Accept and serve until a `Shutdown` frame (or a handle) sets the
-    /// flag, then tear down in order: join connections, close the queue,
-    /// join workers.
+    /// flag, then tear down in order: drain connections, close the
+    /// queue, join workers. Dispatches to the configured [`Backend`];
+    /// both run the same state machines and worker pool.
     pub fn run(self) {
         let Server { listener, shared, workers, .. } = self;
-        listener.set_nonblocking(true).expect("non-blocking listener");
-        let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
-        let mut conn_index: u64 = 0;
-        while !shared.shutdown.load(Ordering::Relaxed) {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    conns.retain(|h| !h.is_finished());
-                    if conns.len() >= shared.config.max_conns.max(1) {
-                        shared.stats.conns_rejected.fetch_add(1, Ordering::Relaxed);
-                        // Typed, v1-framed rejection any client version can
-                        // parse, sent without reading the Hello first.
-                        let mut s = stream;
-                        let _ = protocol::write_response(
-                            &mut s,
-                            &err(ErrorCode::Overloaded, "connection limit reached"),
-                            false,
-                        );
-                        continue;
-                    }
-                    shared.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
-                    shared.stats.conns_active.fetch_add(1, Ordering::Relaxed);
-                    let shared = Arc::clone(&shared);
-                    let index = conn_index;
-                    conn_index += 1;
-                    conns.push(thread::spawn(move || {
-                        match shared.config.chaos {
-                            Some(plan) if plan.is_active() => {
-                                handle_conn(&shared, FaultyStream::new(stream, plan.derive(index)))
-                            }
-                            _ => handle_conn(&shared, stream),
-                        }
-                        shared.stats.conns_active.fetch_sub(1, Ordering::Relaxed);
-                    }));
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(5));
-                }
-                Err(_) => thread::sleep(Duration::from_millis(5)),
-            }
-        }
-        // Connections answer their in-flight request, then exit at the
-        // next frame boundary (they poll the same flag).
-        for c in conns {
-            let _ = c.join();
+        match shared.config.backend {
+            Backend::Threads => run_threads(&listener, &shared),
+            Backend::Epoll => crate::epoll::run_event_loop(&listener, &shared),
         }
         // Every job a connection admitted has been replied to by now, so
         // closing the queue lets workers drain the (empty) backlog and exit.
@@ -307,6 +340,61 @@ impl ServerHandle {
     }
 }
 
+/// The thread-per-connection accept loop (the `Backend::Threads`
+/// transport): nonblocking listener polled at 5 ms, one blocking thread
+/// per accepted connection driving a [`ServerConn`] machine.
+fn run_threads(listener: &TcpListener, shared: &Arc<Shared>) {
+    listener.set_nonblocking(true).expect("non-blocking listener");
+    let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+    let mut conn_index: u64 = 0;
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                conns.retain(|h| !h.is_finished());
+                if conns.len() >= shared.config.max_conns.max(1) {
+                    reject_at_accept(shared, stream);
+                    continue;
+                }
+                shared.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                shared.stats.conns_active.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                let index = conn_index;
+                conn_index += 1;
+                conns.push(thread::spawn(move || {
+                    match shared.config.chaos {
+                        Some(plan) if plan.is_active() => {
+                            handle_conn(&shared, FaultyStream::new(stream, plan.derive(index)))
+                        }
+                        _ => handle_conn(&shared, stream),
+                    }
+                    shared.stats.conns_active.fetch_sub(1, Ordering::Relaxed);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Connections answer their in-flight request, then exit at the
+    // next frame boundary (they poll the same flag).
+    for c in conns {
+        let _ = c.join();
+    }
+}
+
+/// Typed, v1-framed `Overloaded` rejection any client version can parse,
+/// sent without reading the Hello first (shared by both backends).
+pub(crate) fn reject_at_accept(shared: &Shared, stream: std::net::TcpStream) {
+    shared.stats.conns_rejected.fetch_add(1, Ordering::Relaxed);
+    let mut s = stream;
+    let _ = protocol::write_response(
+        &mut s,
+        &err(ErrorCode::Overloaded, "connection limit reached"),
+        false,
+    );
+}
+
 fn classify(e: &StoreError) -> ErrorCode {
     match e {
         StoreError::InvalidArg(_) | StoreError::Unsupported(_) => ErrorCode::BadRequest,
@@ -315,7 +403,7 @@ fn classify(e: &StoreError) -> ErrorCode {
     }
 }
 
-fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+pub(crate) fn err(code: ErrorCode, message: impl Into<String>) -> Response {
     Response::Error { code, message: message.into() }
 }
 
@@ -345,7 +433,10 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Decode one `(container, fidelity)` group in a single codec pass.
+/// Decode one `(container, fidelity)` group in a single codec pass and
+/// encode each decoded chunk into **one** shared [`ResponseSlab`] — the
+/// only per-chunk memcpy on the reply path. Every waiter (including
+/// deduped duplicates) receives an `Arc` of the same slab.
 fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
     // Containers/chunks/fidelities were validated at admission.
     let cont = &shared.containers[container as usize];
@@ -358,7 +449,7 @@ fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
     for j in group {
         if j.expires.is_some_and(|e| e <= now) {
             shared.stats.deadline_rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = j.reply.send(Err((
+            j.reply.send(Err((
                 ErrorCode::DeadlineExceeded,
                 format!("chunk {}: deadline expired before decode", j.chunk),
             )));
@@ -375,7 +466,7 @@ fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
         let key = (container, chunk, cf);
         if let Some(hit) = shared.cache.get(&key) {
             for s in &senders {
-                let _ = s.send(Ok(Arc::clone(&hit)));
+                s.send(Ok(Arc::clone(&hit)));
             }
             continue;
         }
@@ -387,9 +478,9 @@ fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
         match read {
             Ok(coeffs) => batch.push((chunk, senders, coeffs)),
             Err(e) => {
-                let reply = Err((classify(&e), format!("chunk {chunk}: {e}")));
+                let err = (classify(&e), format!("chunk {chunk}: {e}"));
                 for s in &senders {
-                    let _ = s.send(reply.clone());
+                    s.send(Err(err.clone()));
                 }
             }
         }
@@ -401,7 +492,7 @@ fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
     let fail_all = |batch: &[(u32, Waiters, Tensor)], code: ErrorCode, message: String| {
         for (_, senders, _) in batch {
             for s in senders {
-                let _ = s.send(Err((code, message.clone())));
+                s.send(Err((code, message.clone())));
             }
         }
     };
@@ -437,17 +528,23 @@ fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
     for (chunk, senders, coeffs) in &batch {
         let n_samples = coeffs.dims()[0];
         match decoded.slice0(at, at + n_samples) {
-            Ok(part) => {
-                let part = Arc::new(part);
-                shared.cache.insert((container, *chunk, cf), Arc::clone(&part));
-                for s in senders {
-                    let _ = s.send(Ok(Arc::clone(&part)));
+            Ok(part) => match encode_chunk_slab(shared, cont, container, *chunk, cf, &part) {
+                Ok(slab) => {
+                    shared.cache.insert((container, *chunk, cf), Arc::clone(&slab));
+                    for s in senders {
+                        s.send(Ok(Arc::clone(&slab)));
+                    }
                 }
-            }
+                Err(err) => {
+                    for s in senders {
+                        s.send(Err(err.clone()));
+                    }
+                }
+            },
             Err(e) => {
-                let reply = Err((ErrorCode::Internal, format!("batch split: {e}")));
+                let err = (ErrorCode::Internal, format!("batch split: {e}"));
                 for s in senders {
-                    let _ = s.send(reply.clone());
+                    s.send(Err(err.clone()));
                 }
             }
         }
@@ -455,240 +552,282 @@ fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
     }
 }
 
-// ------------------------------------------------------------ connections
-
-/// What one supervised frame-read attempt produced.
-enum FrameEvent {
-    /// A complete, integrity-checked `(opcode, body)` frame.
-    Frame(u8, Vec<u8>),
-    /// Peer closed cleanly at a frame boundary.
-    Eof,
-    /// The server's shutdown flag went up.
-    Shutdown,
-    /// No frame *started* before the idle/handshake deadline.
-    IdleTimeout,
-    /// A frame started but did not finish within `frame_deadline` —
-    /// the slow-loris case the old accumulation loop let run forever.
-    FrameTimeout,
+/// Encode one decoded chunk into its shared reply slab (the single
+/// encode; `slab_bytes_copied` counts it).
+fn encode_chunk_slab(
+    shared: &Shared,
+    cont: &Container,
+    container: u32,
+    chunk: u32,
+    cf: u8,
+    part: &Tensor,
+) -> std::result::Result<Arc<ResponseSlab>, (ErrorCode, String)> {
+    let d = part.dims();
+    if d.len() != 4 {
+        return Err((
+            ErrorCode::Internal,
+            format!("decoded chunk {chunk} of container {container} has {} dims", d.len()),
+        ));
+    }
+    let first_sample = cont.reader.index()[chunk as usize].first_sample;
+    let slab = ResponseSlab::chunk(
+        first_sample,
+        [d[0] as u32, d[1] as u32, d[2] as u32, d[3] as u32],
+        cf,
+        part.data(),
+    );
+    shared.stats.slab_bytes_copied.fetch_add(slab.body().len() as u64, Ordering::Relaxed);
+    Ok(Arc::new(slab))
 }
 
-/// Read one frame, accumulating across 50 ms read timeouts so a timeout
-/// never desynchronizes the stream, enforcing both deadlines, and (when
-/// `checksum`) verifying the v2 trailing CRC-32. `Err` means the stream
-/// is desynchronized or broken — malformed length, CRC mismatch,
-/// mid-frame EOF, or I/O failure.
-fn read_frame_supervised(
-    stream: &mut impl Read,
-    buf: &mut Vec<u8>,
-    shutdown: &AtomicBool,
-    idle_deadline: Option<Instant>,
-    frame_deadline: Duration,
-    checksum: bool,
-) -> crate::Result<FrameEvent> {
-    // A partial frame may already be buffered from the previous read;
-    // its clock starts now — we cannot know when its first byte landed.
-    let mut started: Option<Instant> = (!buf.is_empty()).then(Instant::now);
-    let min_len = if checksum { 5 } else { 1 };
+// ------------------------------------------------------------ connections
+
+/// One blocking connection thread (the `Backend::Threads` transport)
+/// driving a [`ServerConn`] machine: 50 ms read timeouts keep the
+/// deadline clocks ticking, the machine decides *what* every event
+/// means, and this loop only moves bytes and time.
+fn handle_conn<S: Wire>(shared: &Shared, mut stream: S) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut conn = ServerConn::new();
+    // Handshake clock runs from accept; the idle clock restarts at each
+    // completed frame; the slow-loris clock runs while a frame is
+    // started but unfinished.
+    let opened = Instant::now();
+    let mut last_frame = opened;
+    let mut partial_since: Option<Instant> = None;
     loop {
-        if buf.len() >= 4 {
-            let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
-            if len < min_len || len > MAX_FRAME {
-                return Err(crate::ServeError::Protocol(format!("bad frame length {len}")));
-            }
-            if buf.len() >= 4 + len as usize {
-                let mut frame: Vec<u8> = buf.drain(..4 + len as usize).collect();
-                frame.drain(..4);
-                let op = frame.remove(0);
-                if checksum {
-                    let tail = frame.split_off(frame.len() - 4);
-                    let want = u32::from_le_bytes(tail.try_into().unwrap());
-                    let got = protocol::frame_crc(op, &frame);
-                    if got != want {
-                        return Err(crate::ServeError::Protocol(format!(
-                            "frame checksum mismatch (got {got:#010x}, want {want:#010x})"
-                        )));
-                    }
-                }
-                return Ok(FrameEvent::Frame(op, frame));
-            }
+        if drain_actions(shared, &mut conn, &mut stream) {
+            return;
         }
-        if shutdown.load(Ordering::Relaxed) {
-            return Ok(FrameEvent::Shutdown);
+        // Shutdown is honored at frame boundaries: every parsed request
+        // was answered by the drain above.
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
         }
         let now = Instant::now();
-        match started {
-            Some(t0) if now.duration_since(t0) >= frame_deadline => {
-                return Ok(FrameEvent::FrameTimeout);
+        if let Some(t0) = partial_since {
+            if now.duration_since(t0) >= shared.config.frame_deadline {
+                conn.expire(DeadlineKind::Frame);
+                drain_actions(shared, &mut conn, &mut stream);
+                return;
             }
-            None if idle_deadline.is_some_and(|d| now >= d) => {
-                return Ok(FrameEvent::IdleTimeout);
+        } else if conn.version().is_none() {
+            if now.duration_since(opened) >= shared.config.handshake_timeout {
+                conn.expire(DeadlineKind::Handshake);
+                drain_actions(shared, &mut conn, &mut stream);
+                return;
             }
-            _ => {}
+        } else if let Some(idle) = shared.config.idle_timeout {
+            if now.duration_since(last_frame) >= idle {
+                conn.expire(DeadlineKind::Idle);
+                drain_actions(shared, &mut conn, &mut stream);
+                return;
+            }
         }
         let mut tmp = [0u8; 64 * 1024];
         match stream.read(&mut tmp) {
             Ok(0) => {
-                return if buf.is_empty() {
-                    Ok(FrameEvent::Eof)
-                } else {
-                    Err(crate::ServeError::Protocol("EOF mid-frame".into()))
-                };
+                conn.on_eof();
+                drain_actions(shared, &mut conn, &mut stream);
+                return;
             }
             Ok(n) => {
-                if buf.is_empty() {
-                    started = Some(Instant::now());
+                let before = conn.frames_parsed();
+                conn.on_bytes(&tmp[..n]);
+                if conn.frames_parsed() > before {
+                    last_frame = Instant::now();
                 }
-                buf.extend_from_slice(&tmp[..n]);
+                partial_since = if conn.has_partial_frame() {
+                    partial_since.or_else(|| Some(Instant::now()))
+                } else {
+                    None
+                };
             }
             Err(e)
                 if matches!(
                     e.kind(),
                     ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
                 ) => {}
-            Err(e) => return Err(e.into()),
-        }
-    }
-}
-
-fn handle_conn<S: Wire>(shared: &Shared, mut stream: S) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut buf = Vec::new();
-    // Negotiated protocol version; `None` until the Hello exchange lands.
-    let mut version: Option<u16> = None;
-    let opened = Instant::now();
-    loop {
-        let checksum = version.map(protocol::frames_checksummed).unwrap_or(false);
-        let idle_deadline = match version {
-            // Handshake clock runs from accept, not from loop entry.
-            None => Some(opened + shared.config.handshake_timeout),
-            Some(_) => shared.config.idle_timeout.map(|t| Instant::now() + t),
-        };
-        let event = read_frame_supervised(
-            &mut stream,
-            &mut buf,
-            &shared.shutdown,
-            idle_deadline,
-            shared.config.frame_deadline,
-            checksum,
-        );
-        let (op, body) = match event {
-            Ok(FrameEvent::Frame(op, body)) => (op, body),
-            // Clean close or shutdown: drop the connection (every
-            // *parsed* request was already answered).
-            Ok(FrameEvent::Eof) | Ok(FrameEvent::Shutdown) => return,
-            Ok(FrameEvent::IdleTimeout) => {
-                let (counter, what) = if version.is_none() {
-                    (&shared.stats.handshake_timeouts, "handshake deadline exceeded")
-                } else {
-                    (&shared.stats.idle_closed, "idle timeout exceeded")
-                };
-                counter.fetch_add(1, Ordering::Relaxed);
-                let _ = protocol::write_response(
-                    &mut stream,
-                    &err(ErrorCode::DeadlineExceeded, what),
-                    checksum,
-                );
-                return;
-            }
-            Ok(FrameEvent::FrameTimeout) => {
-                shared.stats.slow_closed.fetch_add(1, Ordering::Relaxed);
-                let _ = protocol::write_response(
-                    &mut stream,
-                    &err(ErrorCode::DeadlineExceeded, "frame read deadline exceeded"),
-                    checksum,
-                );
-                return;
-            }
-            Err(crate::ServeError::Protocol(msg)) => {
-                // Malformed length, CRC mismatch, or mid-frame EOF: the
-                // byte stream can no longer be trusted, so answer typed
-                // (best-effort) and close.
-                shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
-                let _ =
-                    protocol::write_response(&mut stream, &err(ErrorCode::BadFrame, msg), checksum);
-                return;
-            }
             Err(_) => return, // I/O failure: nothing to say it to.
-        };
-        let req = match protocol::decode_request(op, &body, version.unwrap_or(1)) {
-            Ok(r) => r,
-            Err(e) => {
-                let _ = protocol::write_response(
-                    &mut stream,
-                    &err(ErrorCode::BadRequest, e.to_string()),
-                    checksum,
-                );
-                return;
-            }
-        };
-        let Some(negotiated) = version else {
-            let resp = match req {
-                Request::Hello { version: v }
-                    if (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&v) =>
-                {
-                    // Serve the client at *its* version — v1 clients keep
-                    // working against a v2 server.
-                    version = Some(v);
-                    Response::Hello { version: v }
-                }
-                Request::Hello { version: v } => err(
-                    ErrorCode::BadRequest,
-                    format!(
-                        "client speaks version {v}, server speaks \
-                         {MIN_PROTO_VERSION}..={PROTO_VERSION}"
-                    ),
-                ),
-                _ => err(ErrorCode::BadRequest, "first frame must be Hello"),
-            };
-            let fatal = version.is_none();
-            // Hello replies are always v1-framed: no version exists yet.
-            if protocol::write_response(&mut stream, &resp, false).is_err() || fatal {
-                return;
-            }
-            continue;
-        };
-        let resp = match req {
-            Request::Hello { .. } => err(ErrorCode::BadRequest, "duplicate Hello"),
-            Request::Ping => Response::Pong,
-            Request::Shutdown => {
-                shared.shutdown.store(true, Ordering::Relaxed);
-                Response::ShuttingDown
-            }
-            Request::Info { container } => {
-                let t0 = Instant::now();
-                let resp = info(shared, container);
-                shared.stats.record_request(Endpoint::Info, t0.elapsed());
-                resp
-            }
-            Request::Stats => {
-                let t0 = Instant::now();
-                let resp = Response::Stats(shared.stats.snapshot(
-                    shared.queue.len() as u32,
-                    shared.queue.capacity() as u32,
-                    shared.cache.snapshot(),
-                ));
-                shared.stats.record_request(Endpoint::Stats, t0.elapsed());
-                resp
-            }
-            Request::Fetch { container, chunk, read_cf, deadline_ms } => {
-                let t0 = Instant::now();
-                let expires =
-                    (deadline_ms > 0).then(|| t0 + Duration::from_millis(deadline_ms as u64));
-                let resp = fetch(shared, container, chunk, read_cf, expires);
-                shared.stats.record_request(Endpoint::Fetch, t0.elapsed());
-                resp
-            }
-        };
-        if protocol::write_response(&mut stream, &resp, protocol::frames_checksummed(negotiated))
-            .is_err()
-        {
-            return;
         }
     }
 }
 
-fn info(shared: &Shared, container: u32) -> Response {
+/// Flush every queued [`Action`] to the stream, answering delivered
+/// requests inline (Fetch blocks on the worker rendezvous). Returns
+/// `true` when the connection is done (a `Close` action or a write
+/// failure).
+fn drain_actions<S: Wire>(shared: &Shared, conn: &mut ServerConn, stream: &mut S) -> bool {
+    while let Some(action) = conn.next_action() {
+        match action {
+            Action::Send(bytes) => {
+                if stream.write_all(&bytes).and_then(|_| stream.flush()).is_err() {
+                    return true;
+                }
+            }
+            Action::SendSlab { slab, checksum } => {
+                shared
+                    .stats
+                    .slab_bytes_shared
+                    .fetch_add(slab.body().len() as u64, Ordering::Relaxed);
+                let written = stream
+                    .write_all(&slab.header(checksum))
+                    .and_then(|_| stream.write_all(slab.body()))
+                    .and_then(|_| if checksum { stream.write_all(&slab.trailer()) } else { Ok(()) })
+                    .and_then(|_| stream.flush());
+                if written.is_err() {
+                    return true;
+                }
+            }
+            Action::Deliver(req) => handle_request(shared, conn, req),
+            Action::Close(reason) => {
+                count_close(shared, reason);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Bump the per-reason supervision counter for a typed close.
+pub(crate) fn count_close(shared: &Shared, reason: CloseReason) {
+    let counter = match reason {
+        CloseReason::BadFrame => &shared.stats.bad_frames,
+        CloseReason::HandshakeTimeout => &shared.stats.handshake_timeouts,
+        CloseReason::Idle => &shared.stats.idle_closed,
+        CloseReason::SlowFrame => &shared.stats.slow_closed,
+        CloseReason::PeerClosed | CloseReason::BadHandshake | CloseReason::BadRequest => return,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Answer one delivered request on the blocking backend. Fetch admits
+/// through [`admit_fetch`] and parks on the worker rendezvous; replies
+/// go back into the machine so framing stays in one place.
+fn handle_request(shared: &Shared, conn: &mut ServerConn, req: Request) {
+    if let Some(resp) = answer_inline(shared, &req) {
+        conn.push_response(&resp);
+        return;
+    }
+    let Request::Fetch { container, chunk, read_cf, deadline_ms } = req else {
+        // `ServerConn` answers duplicate Hellos itself and never
+        // delivers them.
+        return;
+    };
+    let t0 = Instant::now();
+    let expires = (deadline_ms > 0).then(|| t0 + Duration::from_millis(deadline_ms as u64));
+    let (tx, rx) = mpsc::sync_channel(1);
+    match admit_fetch(shared, container, chunk, read_cf, expires, || ReplyTo::Sync(tx)) {
+        Admission::Ready(slab) => conn.push_slab(slab),
+        Admission::Rejected(resp) => conn.push_response(&resp),
+        Admission::Queued => match rx.recv() {
+            Ok(Ok(slab)) => conn.push_slab(slab),
+            Ok(Err((code, message))) => conn.push_response(&Response::Error { code, message }),
+            // A worker died mid-job; its reply sender was dropped.
+            Err(_) => conn.push_response(&err(ErrorCode::Internal, "worker abandoned the request")),
+        },
+    }
+    shared.stats.record_request(Endpoint::Fetch, t0.elapsed());
+}
+
+/// Answer the requests that never touch the worker pool (both backends
+/// serve these inline on the connection's thread/loop). `None` means
+/// Fetch — the backends admit those differently.
+pub(crate) fn answer_inline(shared: &Shared, req: &Request) -> Option<Response> {
+    Some(match req {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            Response::ShuttingDown
+        }
+        Request::Info { container } => {
+            let t0 = Instant::now();
+            let resp = info(shared, *container);
+            shared.stats.record_request(Endpoint::Info, t0.elapsed());
+            resp
+        }
+        Request::Stats => {
+            let t0 = Instant::now();
+            let resp = Response::Stats(shared.stats.snapshot(
+                shared.queue.len() as u32,
+                shared.queue.capacity() as u32,
+                shared.cache.snapshot(),
+            ));
+            shared.stats.record_request(Endpoint::Stats, t0.elapsed());
+            resp
+        }
+        Request::Hello { .. } | Request::Fetch { .. } => return None,
+    })
+}
+
+/// How [`admit_fetch`] disposed of one fetch.
+pub(crate) enum Admission {
+    /// Cache hit — the shared slab, ready to send.
+    Ready(Arc<ResponseSlab>),
+    /// Admitted to the worker queue; the result arrives at the job's
+    /// [`ReplyTo`].
+    Queued,
+    /// Validation failure or load shed — answer with this and move on
+    /// (boxed: `Response` dwarfs the other variants).
+    Rejected(Box<Response>),
+}
+
+/// Validate and admit one fetch: resolve `read_cf = 0` to the stored
+/// fidelity, serve cache hits immediately, shed on a full queue with a
+/// typed `Overloaded`. `reply` is only built when the job actually
+/// queues.
+pub(crate) fn admit_fetch(
+    shared: &Shared,
+    container: u32,
+    chunk: u32,
+    read_cf: u8,
+    expires: Option<Instant>,
+    reply: impl FnOnce() -> ReplyTo,
+) -> Admission {
+    let Some(cont) = shared.containers.get(container as usize) else {
+        return Admission::Rejected(Box::new(err(
+            ErrorCode::NotFound,
+            format!("container {container} (server has {})", shared.containers.len()),
+        )));
+    };
+    if chunk as usize >= cont.reader.chunk_count() {
+        return Admission::Rejected(Box::new(err(
+            ErrorCode::NotFound,
+            format!("chunk {chunk} (container has {})", cont.reader.chunk_count()),
+        )));
+    }
+    let stored = cont.reader.header().cf() as u8;
+    let cf = if read_cf == 0 { stored } else { read_cf };
+    if cf > stored {
+        return Admission::Rejected(Box::new(err(
+            ErrorCode::BadRequest,
+            format!("read chop factor {read_cf} outside 1..={stored}"),
+        )));
+    }
+    if let Some(hit) = shared.cache.get(&(container, chunk, cf)) {
+        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        return Admission::Ready(hit);
+    }
+    match shared.queue.try_push(Job { container, chunk, read_cf: cf, expires, reply: reply() }) {
+        Ok(()) => {
+            shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            Admission::Queued
+        }
+        Err(PushError::Full(_)) => {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            Admission::Rejected(Box::new(err(
+                ErrorCode::Overloaded,
+                format!("admission queue full ({})", shared.queue.capacity()),
+            )))
+        }
+        Err(PushError::Closed(_)) => {
+            Admission::Rejected(Box::new(err(ErrorCode::ShuttingDown, "server is draining")))
+        }
+    }
+}
+
+pub(crate) fn info(shared: &Shared, container: u32) -> Response {
     let Some(cont) = shared.containers.get(container as usize) else {
         return err(
             ErrorCode::NotFound,
@@ -705,76 +844,6 @@ fn info(shared: &Shared, container: u32) -> Response {
         cf: h.cf() as u8,
         codec: h.codec.to_string(),
     })
-}
-
-fn fetch(
-    shared: &Shared,
-    container: u32,
-    chunk: u32,
-    read_cf: u8,
-    expires: Option<Instant>,
-) -> Response {
-    let Some(cont) = shared.containers.get(container as usize) else {
-        return err(
-            ErrorCode::NotFound,
-            format!("container {container} (server has {})", shared.containers.len()),
-        );
-    };
-    if chunk as usize >= cont.reader.chunk_count() {
-        return err(
-            ErrorCode::NotFound,
-            format!("chunk {chunk} (container has {})", cont.reader.chunk_count()),
-        );
-    }
-    let stored = cont.reader.header().cf() as u8;
-    let cf = if read_cf == 0 { stored } else { read_cf };
-    if cf > stored {
-        return err(
-            ErrorCode::BadRequest,
-            format!("read chop factor {read_cf} outside 1..={stored}"),
-        );
-    }
-    let first_sample = cont.reader.index()[chunk as usize].first_sample;
-
-    let data = match shared.cache.get(&(container, chunk, cf)) {
-        Some(hit) => {
-            shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-            hit
-        }
-        None => {
-            let (tx, rx) = mpsc::sync_channel(1);
-            match shared.queue.try_push(Job { container, chunk, read_cf: cf, expires, reply: tx }) {
-                Ok(()) => {}
-                Err(PushError::Full(_)) => {
-                    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-                    return err(
-                        ErrorCode::Overloaded,
-                        format!("admission queue full ({})", shared.queue.capacity()),
-                    );
-                }
-                Err(PushError::Closed(_)) => {
-                    return err(ErrorCode::ShuttingDown, "server is draining");
-                }
-            }
-            shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-            match rx.recv() {
-                Ok(Ok(t)) => t,
-                Ok(Err((code, message))) => return Response::Error { code, message },
-                // A worker died mid-job; its reply sender was dropped.
-                Err(_) => return err(ErrorCode::Internal, "worker abandoned the request"),
-            }
-        }
-    };
-    let d = data.dims();
-    if d.len() != 4 {
-        return err(ErrorCode::Internal, format!("decoded chunk has {} dims", d.len()));
-    }
-    Response::Chunk {
-        first_sample,
-        dims: [d[0] as u32, d[1] as u32, d[2] as u32, d[3] as u32],
-        read_cf: cf,
-        data: data.data().to_vec(),
-    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,10 @@ const LATENCY_BUCKETS: usize = 26;
 /// Linear batch-size buckets: bucket `i` counts passes of `i + 1` chunks;
 /// the last absorbs everything larger.
 const BATCH_BUCKETS: usize = 32;
+/// Frames-per-wakeup buckets (epoll backend): bucket `i` counts readiness
+/// wakeups that parsed `i` complete frames (0 = timer/completion-only
+/// wakeups); the last absorbs everything larger.
+const WAKEUP_BUCKETS: usize = 16;
 
 /// Request classes tracked separately in the stats frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,9 +97,21 @@ pub struct ServeStats {
     pub bad_frames: AtomicU64,
     /// Fetches shed with `DeadlineExceeded` before decoding.
     pub deadline_rejected: AtomicU64,
+    /// Readiness-loop wakeups (epoll backend; 0 under threads).
+    pub wakeups: AtomicU64,
+    /// Timer-wheel deadlines that fired while still armed (epoll
+    /// backend's handshake/idle/slow-loris supervision).
+    pub timer_expirations: AtomicU64,
+    /// Bytes encoded into response slabs (one per distinct decode/encode
+    /// — the only memcpy of a chunk reply body).
+    pub slab_bytes_copied: AtomicU64,
+    /// Bytes served *from* shared slabs (every chunk reply; the ratio
+    /// shared/copied is the mean fan-out per encode).
+    pub slab_bytes_shared: AtomicU64,
     requests: [AtomicU64; ENDPOINTS],
     latency: [LatencyHistogram; ENDPOINTS],
     batch: [AtomicU64; BATCH_BUCKETS],
+    frames_per_wakeup: [AtomicU64; WAKEUP_BUCKETS],
 }
 
 impl Default for ServeStats {
@@ -120,10 +136,21 @@ impl ServeStats {
             slow_closed: AtomicU64::new(0),
             bad_frames: AtomicU64::new(0),
             deadline_rejected: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            timer_expirations: AtomicU64::new(0),
+            slab_bytes_copied: AtomicU64::new(0),
+            slab_bytes_shared: AtomicU64::new(0),
             requests: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: std::array::from_fn(|_| LatencyHistogram::new()),
             batch: std::array::from_fn(|_| AtomicU64::new(0)),
+            frames_per_wakeup: std::array::from_fn(|_| AtomicU64::new(0)),
         }
+    }
+
+    /// Record one readiness wakeup that parsed `frames` complete frames.
+    pub fn record_wakeup(&self, frames: usize) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        self.frames_per_wakeup[frames.min(WAKEUP_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one completed request on `endpoint` taking `elapsed`.
@@ -169,7 +196,16 @@ impl ServeStats {
             slow_closed: self.slow_closed.load(Ordering::Relaxed),
             bad_frames: self.bad_frames.load(Ordering::Relaxed),
             deadline_rejected: self.deadline_rejected.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            timer_expirations: self.timer_expirations.load(Ordering::Relaxed),
+            slab_bytes_copied: self.slab_bytes_copied.load(Ordering::Relaxed),
+            slab_bytes_shared: self.slab_bytes_shared.load(Ordering::Relaxed),
             batch_sizes: self.batch.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            frames_per_wakeup: self
+                .frames_per_wakeup
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
             endpoints: (0..ENDPOINTS)
                 .map(|i| EndpointStats {
                     requests: self.requests[i].load(Ordering::Relaxed),
@@ -230,9 +266,20 @@ pub struct StatsReport {
     pub bad_frames: u64,
     /// Fetches shed with `DeadlineExceeded` before decoding.
     pub deadline_rejected: u64,
+    /// Readiness-loop wakeups (0 under the threads backend).
+    pub wakeups: u64,
+    /// Timer-wheel deadlines that fired while still armed.
+    pub timer_expirations: u64,
+    /// Bytes encoded into response slabs (one copy per encode).
+    pub slab_bytes_copied: u64,
+    /// Bytes served from shared slabs (shared/copied = mean fan-out).
+    pub slab_bytes_shared: u64,
     /// Linear histogram: `batch_sizes[i]` passes decoded `i + 1` chunks
     /// (last bucket absorbs larger).
     pub batch_sizes: Vec<u64>,
+    /// Linear histogram: `frames_per_wakeup[i]` wakeups parsed `i`
+    /// complete frames (last bucket absorbs larger).
+    pub frames_per_wakeup: Vec<u64>,
     /// Per-endpoint counters, indexed by [`Endpoint`].
     pub endpoints: Vec<EndpointStats>,
 }
@@ -254,6 +301,27 @@ impl StatsReport {
             0.0
         } else {
             self.chunks_decoded as f64 / self.decompress_passes as f64
+        }
+    }
+
+    /// Mean complete frames parsed per readiness wakeup (0.0 when the
+    /// threads backend served — it never wakes the readiness loop).
+    pub fn mean_frames_per_wakeup(&self) -> f64 {
+        if self.wakeups == 0 {
+            return 0.0;
+        }
+        let frames: u64 =
+            self.frames_per_wakeup.iter().enumerate().map(|(i, &c)| i as u64 * c).sum();
+        frames as f64 / self.wakeups as f64
+    }
+
+    /// Mean connections each encoded slab byte was served to (1.0 = no
+    /// sharing; higher = zero-copy fan-out is paying).
+    pub fn slab_share_ratio(&self) -> f64 {
+        if self.slab_bytes_copied == 0 {
+            0.0
+        } else {
+            self.slab_bytes_shared as f64 / self.slab_bytes_copied as f64
         }
     }
 
@@ -298,11 +366,19 @@ impl StatsReport {
             self.slow_closed,
             self.bad_frames,
             self.deadline_rejected,
+            self.wakeups,
+            self.timer_expirations,
+            self.slab_bytes_copied,
+            self.slab_bytes_shared,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
         out.push(self.batch_sizes.len() as u8);
         for v in &self.batch_sizes {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.push(self.frames_per_wakeup.len() as u8);
+        for v in &self.frames_per_wakeup {
             out.extend_from_slice(&v.to_le_bytes());
         }
         out.push(self.endpoints.len() as u8);
@@ -319,7 +395,7 @@ impl StatsReport {
     pub(crate) fn decode(r: &mut BodyReader<'_>) -> Result<StatsReport> {
         let queue_depth = r.u32()?;
         let queue_capacity = r.u32()?;
-        let mut fixed = [0u64; 17];
+        let mut fixed = [0u64; 21];
         for slot in &mut fixed {
             *slot = r.u64()?;
         }
@@ -327,6 +403,11 @@ impl StatsReport {
         let mut batch_sizes = Vec::with_capacity(n_batch);
         for _ in 0..n_batch {
             batch_sizes.push(r.u64()?);
+        }
+        let n_wake = r.u8()? as usize;
+        let mut frames_per_wakeup = Vec::with_capacity(n_wake);
+        for _ in 0..n_wake {
+            frames_per_wakeup.push(r.u64()?);
         }
         let n_eps = r.u8()? as usize;
         let mut endpoints = Vec::with_capacity(n_eps);
@@ -359,7 +440,12 @@ impl StatsReport {
             slow_closed: fixed[14],
             bad_frames: fixed[15],
             deadline_rejected: fixed[16],
+            wakeups: fixed[17],
+            timer_expirations: fixed[18],
+            slab_bytes_copied: fixed[19],
+            slab_bytes_shared: fixed[20],
             batch_sizes,
+            frames_per_wakeup,
             endpoints,
         })
     }
@@ -401,6 +487,20 @@ impl std::fmt::Display for StatsReport {
             self.bad_frames,
             self.deadline_rejected
         )?;
+        writeln!(
+            f,
+            "readiness  {} wakeups ({:.2} frames/wakeup), {} timer expirations",
+            self.wakeups,
+            self.mean_frames_per_wakeup(),
+            self.timer_expirations
+        )?;
+        writeln!(
+            f,
+            "slabs      {} bytes encoded, {} bytes served ({:.2}x shared)",
+            self.slab_bytes_copied,
+            self.slab_bytes_shared,
+            self.slab_share_ratio()
+        )?;
         for (i, name) in ENDPOINT_NAMES.iter().enumerate() {
             let Some(ep) = self.endpoints.get(i) else { continue };
             let endpoint = match i {
@@ -435,6 +535,12 @@ mod tests {
         stats.slow_closed.store(1, Ordering::Relaxed);
         stats.bad_frames.store(3, Ordering::Relaxed);
         stats.deadline_rejected.store(5, Ordering::Relaxed);
+        stats.slab_bytes_copied.store(4096, Ordering::Relaxed);
+        stats.slab_bytes_shared.store(12288, Ordering::Relaxed);
+        stats.timer_expirations.store(2, Ordering::Relaxed);
+        stats.record_wakeup(0);
+        stats.record_wakeup(3);
+        stats.record_wakeup(500); // clamps into the last bucket
         stats.record_request(Endpoint::Fetch, Duration::from_micros(350));
         stats.record_request(Endpoint::Fetch, Duration::from_millis(12));
         stats.record_request(Endpoint::Info, Duration::from_micros(40));
@@ -490,8 +596,34 @@ mod tests {
     fn display_mentions_every_section() {
         let report = ServeStats::new().snapshot(0, 8, CacheSnapshot::default());
         let text = report.to_string();
-        for needle in ["queue", "admission", "cache", "batching", "conns", "discipline", "fetch"] {
+        for needle in [
+            "queue",
+            "admission",
+            "cache",
+            "batching",
+            "conns",
+            "discipline",
+            "readiness",
+            "slabs",
+            "fetch",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn wakeup_histogram_and_slab_ratio() {
+        let stats = ServeStats::new();
+        stats.record_wakeup(0);
+        stats.record_wakeup(0);
+        stats.record_wakeup(2);
+        stats.slab_bytes_copied.store(100, Ordering::Relaxed);
+        stats.slab_bytes_shared.store(250, Ordering::Relaxed);
+        let report = stats.snapshot(0, 1, CacheSnapshot::default());
+        assert_eq!(report.wakeups, 3);
+        assert_eq!(report.frames_per_wakeup[0], 2);
+        assert_eq!(report.frames_per_wakeup[2], 1);
+        assert!((report.mean_frames_per_wakeup() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((report.slab_share_ratio() - 2.5).abs() < 1e-9);
     }
 }
