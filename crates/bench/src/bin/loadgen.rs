@@ -5,6 +5,7 @@
 //!         [--coarse 0.5] [--cf <coarser>] [--seed 7] [--verify <file.dcz>]
 //!         [--chaos <seed>] [--timeout <ms>] [--retries <attempts>]
 //!         [--backend <threads|epoll>]
+//!         [--tenant <id> --weight <class> | --tenants <n>]
 //! ```
 //!
 //! Spawns `--clients` threads, each with its own connection, issuing
@@ -34,8 +35,20 @@
 //! connection or the epoll event loop); it is ignored with `--addr`. The
 //! stats frame's readiness section (wakeups, frames/wakeup, slab bytes
 //! shared) is how the two are told apart from the outside.
+//!
+//! QoS modes: `--tenant <id> --weight <class>` files every connection
+//! under one tenant (the aggressor/victim halves of the CI `qos-smoke`
+//! job), while `--tenants <n>` round-robins clients over tenants
+//! `1..=n` — each client keeps its own splitmix64 request stream, so any
+//! one tenant's traffic replays from the seed alone. Either mode reports
+//! per-tenant ok/shed/degraded counts and p50/p99 latency, prints one
+//! machine-diffable `qos-counters:` line (CI greps the victim's
+//! `shed=0`), and appends a seeded record to `BENCH_serve.json`. Replies
+//! the brownout governor degraded are verified against the reference
+//! decode *at the fidelity they declare* — degradation must never mean
+//! wrong bits, only coarser ones.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::ToSocketAddrs;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -85,20 +98,20 @@ fn synthetic_container() -> Result<PathBuf, String> {
     Ok(path)
 }
 
-/// Bit patterns of every chunk at both exercised fidelities, decoded
+/// Bit patterns of every chunk at *every* fidelity `1..=stored`, decoded
 /// directly (no server) — the ground truth fetches are compared against.
+/// All fidelities, not just the two requested ones, because a browned-out
+/// server may answer any coarser prefix; the reply is checked at the
+/// fidelity its `served_cf` declares.
 fn reference_bits(
     path: &PathBuf,
     chunks: u32,
-    fidelities: [u8; 2],
+    stored_cf: u8,
 ) -> Result<HashMap<(u32, u8), Vec<u32>>, String> {
     let mut reader = DczReader::open(path).map_err(|e| e.to_string())?;
     let mut map = HashMap::new();
     for chunk in 0..chunks {
-        for cf in fidelities {
-            if map.contains_key(&(chunk, cf)) {
-                continue;
-            }
+        for cf in 1..=stored_cf {
             let t = reader
                 .decompress_chunk_at(chunk as usize, cf as usize)
                 .map_err(|e| e.to_string())?;
@@ -108,19 +121,37 @@ fn reference_bits(
     Ok(map)
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct Outcome {
     ok: usize,
     shed: usize,
     deadline: usize,
     failed: usize,
     mismatched: usize,
+    degraded: usize,
     retries: u64,
     reconnects: u64,
     failovers: u64,
     breaker_opens: u64,
     disruptions: u64,
     latencies: Vec<Duration>,
+}
+
+impl Outcome {
+    fn absorb(&mut self, other: &mut Outcome) {
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.deadline += other.deadline;
+        self.failed += other.failed;
+        self.mismatched += other.mismatched;
+        self.degraded += other.degraded;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
+        self.failovers += other.failovers;
+        self.breaker_opens += other.breaker_opens;
+        self.disruptions += other.disruptions;
+        self.latencies.append(&mut other.latencies);
+    }
 }
 
 /// One worker's fetch path: a plain [`Client`] in the normal benchmark, a
@@ -160,6 +191,22 @@ fn run() -> Result<bool, String> {
     let timeout_ms: u64 = parse(&args, "--timeout", 10_000)?;
     let retries: u32 = parse(&args, "--retries", 6)?;
     let backend: Backend = parse(&args, "--backend", Backend::default())?;
+    let tenant: u32 = parse(&args, "--tenant", 0)?;
+    let weight: u8 = parse(&args, "--weight", 1)?;
+    let tenants: u32 = parse(&args, "--tenants", 0)?;
+    if tenants > 0 && arg(&args, "--tenant").is_some() {
+        return Err("--tenants (round-robin) and --tenant (fixed) are mutually exclusive".into());
+    }
+    let qos_mode = tenants > 0 || arg(&args, "--tenant").is_some();
+    // Which tenant a client thread identifies as: round-robin over
+    // `1..=tenants`, or the one fixed `--tenant` for every thread.
+    let tenant_of = move |id: usize| -> u32 {
+        if tenants > 0 {
+            (id as u32 % tenants) + 1
+        } else {
+            tenant
+        }
+    };
 
     // Resolve the server: external (--addr), self-hosted over --store, or
     // self-hosted over a generated container.
@@ -195,7 +242,7 @@ fn run() -> Result<bool, String> {
         return Err(format!("--cf {coarse_cf} exceeds the stored chop factor {stored_cf}"));
     }
     let expected = match &verify_path {
-        Some(p) => Some(Arc::new(reference_bits(p, info.chunks, [stored_cf, coarse_cf])?)),
+        Some(p) => Some(Arc::new(reference_bits(p, info.chunks, stored_cf)?)),
         None => None,
     };
     println!(
@@ -214,6 +261,7 @@ fn run() -> Result<bool, String> {
             let addr = addr.clone();
             let expected = expected.clone();
             let chunks = info.chunks;
+            let my_tenant = tenant_of(id);
             std::thread::spawn(move || -> Result<Outcome, String> {
                 let mut rng = seed ^ (id as u64).wrapping_mul(0x0DDB_1A5E_5BAD_5EED);
                 let mut client = match chaos {
@@ -240,13 +288,18 @@ fn run() -> Result<bool, String> {
                             timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
                             seed: cs ^ (id as u64).wrapping_mul(0x0DDB_1A5E_5BAD_5EED),
                             chaos: Some(plan),
+                            tenant: my_tenant,
+                            weight,
                             ..RobustConfig::default()
                         };
                         Fetcher::Robust(Box::new(
                             RobustClient::new(&[sock], config).map_err(|e| e.to_string())?,
                         ))
                     }
-                    None => Fetcher::Plain(Client::connect(&addr).map_err(|e| e.to_string())?),
+                    None => Fetcher::Plain(
+                        Client::connect_tenant(&addr, my_tenant, weight)
+                            .map_err(|e| e.to_string())?,
+                    ),
                 };
                 let mut out = Outcome::default();
                 for _ in 0..requests {
@@ -258,9 +311,19 @@ fn run() -> Result<bool, String> {
                         Ok(got) => {
                             out.latencies.push(t.elapsed());
                             out.ok += 1;
+                            // A requested cf of 0 means "stored fidelity";
+                            // anything served below what was asked for is a
+                            // brownout degradation (counted, not failed).
+                            let asked = if cf == 0 { stored_cf } else { cf };
+                            if got.served_cf < asked {
+                                out.degraded += 1;
+                            }
                             if let Some(exp) = &expected {
+                                // Verify at the fidelity the reply declares:
+                                // degraded bits must equal a direct decode
+                                // at that coarser chop factor.
                                 let bits: Vec<u32> = got.data.iter().map(|v| v.to_bits()).collect();
-                                if exp[&(chunk, got.read_cf)] != bits {
+                                if exp.get(&(chunk, got.served_cf)) != Some(&bits) {
                                     out.mismatched += 1;
                                 }
                             }
@@ -288,27 +351,23 @@ fn run() -> Result<bool, String> {
         })
         .collect();
 
-    let mut total = Outcome::default();
-    for t in threads {
-        let out = t.join().map_err(|_| "client thread panicked".to_string())??;
-        total.ok += out.ok;
-        total.shed += out.shed;
-        total.deadline += out.deadline;
-        total.failed += out.failed;
-        total.mismatched += out.mismatched;
-        total.retries += out.retries;
-        total.reconnects += out.reconnects;
-        total.failovers += out.failovers;
-        total.breaker_opens += out.breaker_opens;
-        total.disruptions += out.disruptions;
-        total.latencies.extend(out.latencies);
+    let mut per_tenant: BTreeMap<u32, Outcome> = BTreeMap::new();
+    for (id, t) in threads.into_iter().enumerate() {
+        let mut out = t.join().map_err(|_| "client thread panicked".to_string())??;
+        per_tenant.entry(tenant_of(id)).or_default().absorb(&mut out);
     }
     let wall = t0.elapsed();
+    let mut total = Outcome::default();
+    for out in per_tenant.values_mut() {
+        out.latencies.sort_unstable();
+        total.absorb(&mut out.clone());
+    }
     total.latencies.sort_unstable();
 
     println!(
-        "{} ok, {} shed, {} failed, {} bit-mismatched in {:.3} s ({:.0} fetches/s)",
+        "{} ok ({} degraded), {} shed, {} failed, {} bit-mismatched in {:.3} s ({:.0} fetches/s)",
         total.ok,
+        total.degraded,
         total.shed,
         total.failed,
         total.mismatched,
@@ -331,6 +390,32 @@ fn run() -> Result<bool, String> {
         total.reconnects,
         total.breaker_opens,
     );
+    if qos_mode {
+        for (t, out) in &per_tenant {
+            println!(
+                "tenant {t}: {} ok ({} degraded), {} shed, {} failed; p50 {:.3} ms, p99 {:.3} ms",
+                out.ok,
+                out.degraded,
+                out.shed,
+                out.failed,
+                quantile(&out.latencies, 0.50).as_secs_f64() * 1e3,
+                quantile(&out.latencies, 0.99).as_secs_f64() * 1e3,
+            );
+        }
+        // One machine-greppable line; counts only (latencies are not
+        // deterministic). The CI qos-smoke job greps the victim tenant's
+        // `shed=0` out of this.
+        let fields: Vec<String> = per_tenant
+            .iter()
+            .map(|(t, o)| {
+                format!(
+                    "t{t}_ok={} t{t}_shed={} t{t}_degraded={} t{t}_failed={} t{t}_mismatched={}",
+                    o.ok, o.shed, o.degraded, o.failed, o.mismatched
+                )
+            })
+            .collect();
+        println!("qos-counters: seed={seed} {}", fields.join(" "));
+    }
     if let Some(cs) = chaos {
         // One machine-diffable line: every field is a pure function of the
         // seed and the store, so CI runs twice and asserts equality.
@@ -351,6 +436,28 @@ fn run() -> Result<bool, String> {
     }
     let stats = control.stats().map_err(|e| e.to_string())?;
     println!("server stats:\n{stats}");
+
+    // Perf-trajectory log: one flat record per run so later sessions can
+    // diff serving throughput/latency over time (seeded → comparable).
+    let log = aicomp_bench::append_bench_record(
+        "serve",
+        &[("bin", "loadgen"), ("backend", &backend.to_string())],
+        &[
+            ("seed", seed as f64),
+            ("clients", clients as f64),
+            ("requests", requests as f64),
+            ("tenants", tenants as f64),
+            ("ok", total.ok as f64),
+            ("shed", total.shed as f64),
+            ("degraded", total.degraded as f64),
+            ("failed", total.failed as f64),
+            ("mismatched", total.mismatched as f64),
+            ("fetches_per_s", total.ok as f64 / wall.as_secs_f64().max(1e-9)),
+            ("p50_ms", quantile(&total.latencies, 0.50).as_secs_f64() * 1e3),
+            ("p99_ms", quantile(&total.latencies, 0.99).as_secs_f64() * 1e3),
+        ],
+    );
+    println!("appended run record to {}", log.display());
 
     if let Some(h) = handle {
         control.shutdown().map_err(|e| e.to_string())?;

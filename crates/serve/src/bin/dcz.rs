@@ -40,7 +40,9 @@ use std::time::Duration;
 
 use aicomp_core::CodecSpec;
 use aicomp_sciml::{Dataset, DatasetKind};
-use aicomp_serve::{Backend, RobustClient, RobustConfig, ServeConfig, Server, WireFaultPlan};
+use aicomp_serve::{
+    Backend, BrownoutConfig, RobustClient, RobustConfig, ServeConfig, Server, WireFaultPlan,
+};
 use aicomp_store::writer::{DczFileWriter, StoreOptions};
 use aicomp_store::{deep_verify, repair, ChunkStatus, DczReader, RetryPolicy};
 use aicomp_tensor::Tensor;
@@ -89,9 +91,12 @@ fn usage() -> String {
      \x20 serve    --store <file.dcz> [--store <more.dcz> ...] [--addr <ip:port>] \
      [--backend <threads|epoll>] \
      [--workers <N>] [--queue <depth>] [--batch <max>] [--cache <chunks>] [--shards <N>] \
-     [--idle-timeout <ms, 0 = never>] [--max-conns <N>] [--chaos <seed, 0 = off>]\n\
+     [--idle-timeout <ms, 0 = never>] [--max-conns <N>] [--chaos <seed, 0 = off>] \
+     [--quantum <pops>] [--tenant-inflight <N, 0 = unlimited>] \
+     [--tenant-bytes <B, 0 = unlimited>] [--brownout]\n\
      \x20 fetch    --addr <ip:port> [--addr <replica> ...] --container <id> --chunk <index> \
-     [--cf <coarser, 0 = stored>] [--out <raw.f32>] [--timeout <ms>] [--retries <N>]\n\
+     [--cf <coarser, 0 = stored>] [--out <raw.f32>] [--timeout <ms>] [--retries <N>] \
+     [--tenant <id>] [--weight <class>]\n\
      \x20 stats    --addr <ip:port> [--timeout <ms>] [--retries <N>]\n\
      \x20 shutdown --addr <ip:port> [--timeout <ms>] [--retries <N>]"
         .into()
@@ -121,6 +126,8 @@ fn robust_client(args: &[String]) -> Result<RobustClient, String> {
     let config = RobustConfig {
         retry: RetryPolicy { max_attempts: retries.max(1), backoff: Duration::from_millis(50) },
         timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        tenant: parse(args, "--tenant", 0)?,
+        weight: parse(args, "--weight", 1)?,
         ..RobustConfig::default()
     };
     RobustClient::new(&resolved, config).map_err(|e| e.to_string())
@@ -394,6 +401,12 @@ fn serve(args: &[String]) -> Result<(), String> {
             plan
         }),
         backend: parse(args, "--backend", Backend::default())?,
+        quantum: parse(args, "--quantum", 4)?,
+        tenant_inflight: parse(args, "--tenant-inflight", 0)?,
+        tenant_bytes: parse(args, "--tenant-bytes", 0)?,
+        // `--brownout` enables the governor at its default hysteresis;
+        // the watermarks are tuned relative to queue depth, not absolute.
+        brownout: args.iter().any(|a| a == "--brownout").then(BrownoutConfig::default),
     };
     let addr = addr_of(args);
     let backend = config.backend;
@@ -425,6 +438,12 @@ fn fetch(args: &[String]) -> Result<(), String> {
          at chop factor {} (first sample {})",
         got.read_cf, got.first_sample
     );
+    if got.degraded() {
+        println!(
+            "  BROWNOUT: asked for chop factor {}, served at {} (re-fetch when pressure clears)",
+            got.requested_cf, got.served_cf
+        );
+    }
     if let Some(out) = arg(args, "--out") {
         let mut file = BufWriter::new(File::create(&out).map_err(|e| e.to_string())?);
         for v in &got.data {

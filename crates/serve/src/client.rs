@@ -14,8 +14,8 @@ use aicomp_tensor::Tensor;
 
 use crate::chaos::Wire;
 use crate::protocol::{
-    client_handshake, frames_checksummed, read_response, write_request, ContainerInfo, Request,
-    Response, PROTO_VERSION,
+    client_handshake, client_handshake_tenant, frames_checksummed, read_response, write_request,
+    ContainerInfo, Request, Response, PROTO_VERSION,
 };
 use crate::stats::StatsReport;
 use crate::{Result, ServeError};
@@ -30,6 +30,12 @@ pub struct FetchedChunk {
     /// Chop factor the server decoded at (a `read_cf` of 0 resolves to
     /// the container's stored fidelity).
     pub read_cf: u8,
+    /// Fidelity the reply itself declares (equals `read_cf`; carried
+    /// explicitly so brownout degradation is never silent).
+    pub served_cf: u8,
+    /// The chop factor this client asked for (0 = stored fidelity) —
+    /// kept client-side so [`FetchedChunk::degraded`] needs no lookup.
+    pub requested_cf: u8,
     /// Row-major samples.
     pub data: Vec<f32>,
 }
@@ -38,6 +44,14 @@ impl FetchedChunk {
     /// Samples in this chunk.
     pub fn samples(&self) -> usize {
         self.dims[0] as usize
+    }
+
+    /// Was this reply served below the fidelity it asked for (brownout)?
+    /// A request for the stored fidelity (`read_cf = 0`) can't be judged
+    /// without the container header, so it reports `false` here — check
+    /// `served_cf` against `Info.cf` if you need that case.
+    pub fn degraded(&self) -> bool {
+        self.requested_cf != 0 && self.served_cf < self.requested_cf
     }
 
     /// Reassemble the payload as a `[S, C, n, n]` tensor.
@@ -80,6 +94,17 @@ impl Client {
         let mut stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         let version = client_handshake(&mut stream, want)?;
+        Ok(Client { stream: Box::new(stream), version })
+    }
+
+    /// [`Client::connect`], identifying as `tenant` at `weight` in the
+    /// handshake — the connection's fetches land in that tenant's
+    /// weighted-fair lane and count against its quotas. A weight of 0 is
+    /// treated as 1.
+    pub fn connect_tenant(addr: impl ToSocketAddrs, tenant: u32, weight: u8) -> Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let version = client_handshake_tenant(&mut stream, PROTO_VERSION, tenant, weight)?;
         Ok(Client { stream: Box::new(stream), version })
     }
 
@@ -154,9 +179,10 @@ impl Client {
         deadline: Option<Duration>,
     ) -> Result<FetchedChunk> {
         let deadline_ms = deadline.map_or(0, |d| d.as_millis().clamp(1, u32::MAX as u128) as u32);
+        let requested_cf = read_cf;
         match self.roundtrip(&Request::Fetch { container, chunk, read_cf, deadline_ms })? {
-            Response::Chunk { first_sample, dims, read_cf, data } => {
-                Ok(FetchedChunk { first_sample, dims, read_cf, data })
+            Response::Chunk { first_sample, dims, read_cf, data, served_cf } => {
+                Ok(FetchedChunk { first_sample, dims, read_cf, served_cf, requested_cf, data })
             }
             other => Err(unexpected("Chunk", &other)),
         }
@@ -165,7 +191,7 @@ impl Client {
     /// Fetch the server's counters and histograms.
     pub fn stats(&mut self) -> Result<StatsReport> {
         match self.roundtrip(&Request::Stats)? {
-            Response::Stats(report) => Ok(report),
+            Response::Stats(report) => Ok(*report),
             other => Err(unexpected("Stats", &other)),
         }
     }

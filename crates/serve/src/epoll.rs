@@ -280,16 +280,41 @@ mod imp {
         }
     }
 
-    pub(super) fn run(listener: &TcpListener, shared: &Arc<Shared>) {
-        listener.set_nonblocking(true).expect("non-blocking listener");
-        let epfd = sys::epoll_create1().expect("epoll_create1");
-        let efd = sys::eventfd().expect("eventfd");
+    /// Create the epoll set + eventfd and register the listener and hub.
+    /// Every failure is returned (with the fds opened so far released)
+    /// instead of aborting the process — `run` then refuses to serve and
+    /// `Server::run` still closes the queue and joins the workers.
+    fn setup(listener: &TcpListener) -> std::io::Result<(i32, Arc<CompletionHub>)> {
+        listener.set_nonblocking(true)?;
+        let epfd = sys::epoll_create1()?;
+        let efd = match sys::eventfd() {
+            Ok(e) => e,
+            Err(e) => {
+                let _ = sys::close_fd(epfd);
+                return Err(e);
+            }
+        };
+        // From here the hub's Drop owns (and closes) the eventfd.
         let hub = Arc::new(CompletionHub { done: Mutex::new(Vec::new()), efd });
         let lfd = listener.as_raw_fd();
-        sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, lfd, sys::EPOLLIN, TOKEN_LISTENER)
-            .expect("register listener");
-        sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, efd, sys::EPOLLIN, TOKEN_HUB)
-            .expect("register eventfd");
+        if let Err(e) = sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, lfd, sys::EPOLLIN, TOKEN_LISTENER)
+            .and_then(|_| sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, efd, sys::EPOLLIN, TOKEN_HUB))
+        {
+            let _ = sys::close_fd(epfd);
+            return Err(e);
+        }
+        Ok((epfd, hub))
+    }
+
+    pub(super) fn run(listener: &TcpListener, shared: &Arc<Shared>) {
+        let (epfd, hub) = match setup(listener) {
+            Ok(ok) => ok,
+            Err(e) => {
+                eprintln!("serve: epoll backend setup failed, refusing to serve: {e}");
+                return;
+            }
+        };
+        let lfd = listener.as_raw_fd();
 
         let mut conns: HashMap<u64, EpConn> = HashMap::new();
         let mut wheel = TimerWheel::new(Instant::now());
@@ -305,7 +330,7 @@ mod imp {
                 let _ = sys::epoll_ctl(epfd, sys::EPOLL_CTL_DEL, lfd, 0, 0);
                 let tokens: Vec<u64> = conns.keys().copied().collect();
                 for t in tokens {
-                    let c = conns.get_mut(&t).unwrap();
+                    let Some(c) = conns.get_mut(&t) else { continue };
                     if !service(shared, &hub, epfd, &mut wheel, t, c, draining) {
                         drop_conn(shared, &mut conns, t);
                     }
@@ -659,8 +684,11 @@ mod imp {
                     let t0 = Instant::now();
                     let expires =
                         (deadline_ms > 0).then(|| t0 + Duration::from_millis(deadline_ms as u64));
+                    let (tenant, weight) = (c.conn.tenant(), c.conn.weight());
                     let reply = || ReplyTo::Event { token, seq, hub: Arc::clone(hub) };
-                    match admit_fetch(shared, container, chunk, read_cf, expires, reply) {
+                    match admit_fetch(
+                        shared, tenant, weight, container, chunk, read_cf, expires, reply,
+                    ) {
                         Admission::Ready(slab) => {
                             shared.stats.record_request(Endpoint::Fetch, t0.elapsed());
                             c.fill(seq, SlotState::Slab(slab, checksum));
@@ -687,13 +715,13 @@ mod imp {
     /// Move filled slots at the queue head into the outbox — responses
     /// leave strictly in request order.
     fn flush_slots(shared: &Shared, c: &mut EpConn) {
-        while let Some(slot) = c.pending.front() {
-            if matches!(slot.state, SlotState::Empty) {
-                break;
-            }
-            let slot = c.pending.pop_front().unwrap();
+        while c.pending.front().is_some_and(|s| !matches!(s.state, SlotState::Empty)) {
+            let Some(slot) = c.pending.pop_front() else { break };
             match slot.state {
-                SlotState::Empty => unreachable!(),
+                // Unreachable (the loop guard checked the head), but a
+                // logic slip here must not tear down the whole loop —
+                // stop flushing this connection instead.
+                SlotState::Empty => break,
                 SlotState::Bytes(b) => c.outbox.push_back(OutBuf::Bytes(b, 0)),
                 SlotState::Slab(slab, checksum) => {
                     shared

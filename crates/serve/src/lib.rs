@@ -27,10 +27,17 @@
 //!   decompression happens once per chunk and fans out through a sharded
 //!   LRU [`cache`] of decoded chunks keyed `(container, chunk, fidelity)`.
 //!
-//! Overload is a typed answer, not a hang: admission is a bounded MPMC
-//! [`queue`] fed by `try_push` — when it is full the client gets an
-//! [`ErrorCode::Overloaded`] reply immediately (never a silent drop), and
-//! the shed count is visible in the stats frame.
+//! Overload is a typed answer, not a hang — and shedding is the *last*
+//! resort, not the first. Admission runs through a weighted-fair
+//! per-tenant [`queue`] ([`Wfq`]): each connection's `Hello` names a
+//! tenant and weight class, lanes drain by deficit-round-robin, and
+//! per-tenant quotas shed only the offender with a typed
+//! [`ErrorCode::Overloaded`] (never a silent drop). Before shedding at
+//! all, the [`server`]'s brownout governor steps served fidelity down —
+//! coarse chop factors are cheap ring-prefix reads (§3.2), so the server
+//! degrades resolution before availability, and every reply carries its
+//! `served_cf` so degradation is explicit. Shed and brownout counts are
+//! visible in the stats frame.
 //!
 //! Module map:
 //!
@@ -45,8 +52,10 @@
 //!   `epoll` readiness via a raw syscall shim (no runtime deps), a
 //!   timer wheel for supervision deadlines, and an `eventfd` completion
 //!   channel from the worker pool.
-//! * [`queue`] — bounded MPMC admission queue with non-blocking
-//!   `try_push` (the load-shedding edge) and batch-draining `try_pop`.
+//! * [`queue`] — admission queues: the original bounded MPMC and the
+//!   weighted-fair [`Wfq`] (per-tenant lanes, deficit-round-robin drain,
+//!   quotas, a priority lane for cheap ring-prefix fetches); `try_push`
+//!   is the load-shedding edge, `try_pop` feeds the batcher.
 //! * [`cache`] — sharded LRU over decoded chunks, hit/miss/eviction
 //!   counters.
 //! * [`stats`] — latency/batch histograms and the serializable
@@ -82,9 +91,10 @@ pub use proto::{
 pub use protocol::{
     ContainerInfo, ErrorCode, Request, Response, MAX_FRAME, MIN_PROTO_VERSION, PROTO_VERSION,
 };
+pub use queue::{Mpmc, PushError, TenantQuota, Wfq};
 pub use robust::{BreakerState, RobustClient, RobustConfig, RobustCounters};
-pub use server::{Backend, ServeConfig, Server, ServerHandle};
-pub use stats::{EndpointStats, StatsReport};
+pub use server::{Backend, BrownoutConfig, ServeConfig, Server, ServerHandle};
+pub use stats::{EndpointStats, StatsReport, TenantStats};
 
 /// Errors from the service and its client.
 #[derive(Debug)]

@@ -150,9 +150,13 @@ impl ResponseSlab {
         ResponseSlab { op, body: body.into(), crc }
     }
 
-    /// Encode a `Response::Chunk` body directly from tensor data.
+    /// Encode a `Response::Chunk` body directly from tensor data. The
+    /// trailing `served_cf` always equals the decoded fidelity — a slab
+    /// is cached and shared across requests, so it can only describe what
+    /// it *contains*; degradation is judged against what each client
+    /// *asked* for.
     pub fn chunk(first_sample: u64, dims: [u32; 4], read_cf: u8, data: &[f32]) -> ResponseSlab {
-        let mut b = Vec::with_capacity(8 + 16 + 1 + data.len() * 4);
+        let mut b = Vec::with_capacity(8 + 16 + 1 + data.len() * 4 + 1);
         b.extend_from_slice(&first_sample.to_le_bytes());
         for d in dims {
             b.extend_from_slice(&d.to_le_bytes());
@@ -161,6 +165,7 @@ impl ResponseSlab {
         for v in data {
             b.extend_from_slice(&v.to_le_bytes());
         }
+        b.push(read_cf); // served_cf (see `Response::Chunk`)
         ResponseSlab::new(crate::protocol::OP_R_CHUNK, b)
     }
 
@@ -275,6 +280,8 @@ pub struct ServerConn {
     decoder: FrameDecoder,
     phase: Phase,
     version: Option<u16>,
+    tenant: u32,
+    weight: u8,
     actions: std::collections::VecDeque<Action>,
     frames: u64,
 }
@@ -292,9 +299,23 @@ impl ServerConn {
             decoder: FrameDecoder::new(),
             phase: Phase::Handshake,
             version: None,
+            tenant: 0,
+            weight: 1,
             actions: std::collections::VecDeque::new(),
             frames: 0,
         }
+    }
+
+    /// Tenant id the `Hello` declared (`0` — the default tenant — until
+    /// the handshake lands, or when the client never declared one).
+    pub fn tenant(&self) -> u32 {
+        self.tenant
+    }
+
+    /// Admission weight class the `Hello` declared (a declared `0` is
+    /// normalized to `1` — zero-weight tenants would starve themselves).
+    pub fn weight(&self) -> u8 {
+        self.weight
     }
 
     /// Total complete frames parsed so far. Transports diff this across
@@ -390,20 +411,22 @@ impl ServerConn {
         };
         match self.phase {
             Phase::Handshake => match req {
-                Request::Hello { version: v }
+                Request::Hello { version: v, tenant, weight }
                     if (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&v) =>
                 {
                     // Serve the client at *its* version — v1 clients keep
                     // working against a v2 server. Hello replies are
                     // always v1-framed: no version exists yet.
                     self.version = Some(v);
+                    self.tenant = tenant;
+                    self.weight = weight.max(1);
                     self.phase = Phase::Steady;
                     let (rop, rbody) = encode_response(&Response::Hello { version: v });
                     if let Ok(bytes) = encode_frame(rop, &rbody, false) {
                         self.actions.push_back(Action::Send(bytes));
                     }
                 }
-                Request::Hello { version: v } => {
+                Request::Hello { version: v, .. } => {
                     self.send_error(
                         ErrorCode::BadRequest,
                         format!(
@@ -510,6 +533,10 @@ pub struct ClientConn {
     decoder: FrameDecoder,
     /// Version offered in the `Hello` (capped at [`PROTO_VERSION`]).
     want: u16,
+    /// Tenant id declared in the `Hello` (`0` = the default tenant).
+    tenant: u32,
+    /// Weight class declared in the `Hello`.
+    weight: u8,
     /// Version the server granted; `None` until the ack lands.
     version: Option<u16>,
     events: std::collections::VecDeque<ClientEvent>,
@@ -518,11 +545,18 @@ pub struct ClientConn {
 
 impl ClientConn {
     /// Start a handshake offering `want` (capped at this build's
-    /// [`PROTO_VERSION`]).
+    /// [`PROTO_VERSION`]) as the default tenant at weight 1.
     pub fn new(want: u16) -> ClientConn {
+        ClientConn::with_tenant(want, 0, 1)
+    }
+
+    /// Start a handshake declaring a tenant id and admission weight.
+    pub fn with_tenant(want: u16, tenant: u32, weight: u8) -> ClientConn {
         ClientConn {
             decoder: FrameDecoder::new(),
             want: want.min(PROTO_VERSION),
+            tenant,
+            weight: weight.max(1),
             version: None,
             events: std::collections::VecDeque::new(),
             eof: false,
@@ -536,8 +570,8 @@ impl ClientConn {
 
     /// The opening `Hello` frame (always v1-framed).
     pub fn hello_bytes(&self) -> Vec<u8> {
-        let (op, body) = encode_request(&Request::Hello { version: self.want }, 1)
-            .expect("hello encodes at any version");
+        let hello = Request::Hello { version: self.want, tenant: self.tenant, weight: self.weight };
+        let (op, body) = encode_request(&hello, 1).expect("hello encodes at any version");
         encode_frame(op, &body, false).expect("hello frame fits")
     }
 
@@ -688,10 +722,34 @@ mod tests {
     }
 
     #[test]
+    fn server_conn_captures_tenant_and_weight_from_hello() {
+        // Declared tenancy lands on the connection.
+        let mut conn = ServerConn::new();
+        conn.on_bytes(&ClientConn::with_tenant(2, 42, 5).hello_bytes());
+        assert_eq!(conn.version(), Some(2));
+        assert_eq!(conn.tenant(), 42);
+        assert_eq!(conn.weight(), 5);
+
+        // A bare (pre-QoS) Hello body defaults to tenant 0, weight 1.
+        let mut conn = ServerConn::new();
+        let mut body = crate::protocol::PROTO_MAGIC.to_vec();
+        body.extend_from_slice(&2u16.to_le_bytes());
+        conn.on_bytes(&encode_frame(0x01, &body, false).unwrap());
+        assert_eq!(conn.version(), Some(2));
+        assert_eq!(conn.tenant(), 0);
+        assert_eq!(conn.weight(), 1);
+
+        // A declared weight of 0 is normalized to 1.
+        let mut conn = ServerConn::new();
+        conn.on_bytes(&ClientConn::with_tenant(2, 7, 0).hello_bytes());
+        assert_eq!(conn.weight(), 1);
+    }
+
+    #[test]
     fn server_conn_rejects_bad_handshakes_fatally() {
         // Version out of range.
         let mut conn = ServerConn::new();
-        let (op, body) = encode_request(&Request::Hello { version: 99 }, 1).unwrap();
+        let (op, body) = encode_request(&Request::hello(99), 1).unwrap();
         conn.on_bytes(&encode_frame(op, &body, false).unwrap());
         let actions = drain(&mut conn);
         assert!(matches!(actions.last(), Some(Action::Close(CloseReason::BadHandshake))));
@@ -709,7 +767,7 @@ mod tests {
         conn.on_bytes(&hello_frame(2));
         drain(&mut conn);
         // A second hello, framed at v2 like any steady-state frame.
-        let (op, body) = encode_request(&Request::Hello { version: 2 }, 2).unwrap();
+        let (op, body) = encode_request(&Request::hello(2), 2).unwrap();
         conn.on_bytes(&encode_frame(op, &body, true).unwrap());
         let actions = drain(&mut conn);
         assert_eq!(actions.len(), 1);
@@ -826,9 +884,10 @@ mod tests {
             dims: [2, 1, 4, 4],
             read_cf: 3,
             data: (0..32).map(|i| i as f32 / 3.0 - 5.0).collect(),
+            served_cf: 3,
         };
         let (data, first_sample, dims, read_cf) = match &resp {
-            Response::Chunk { first_sample, dims, read_cf, data } => {
+            Response::Chunk { first_sample, dims, read_cf, data, .. } => {
                 (data.clone(), *first_sample, *dims, *read_cf)
             }
             _ => unreachable!(),

@@ -139,6 +139,13 @@ pub enum Request {
     Hello {
         /// The client's [`PROTO_VERSION`].
         version: u16,
+        /// Tenant id for multi-tenant QoS accounting (`0` = the default
+        /// tenant). Optional-trailing on the wire: a bare pre-QoS `Hello`
+        /// decodes as tenant `0`.
+        tenant: u32,
+        /// Weight class for deficit-round-robin admission; `0` is treated
+        /// as `1`. Optional-trailing alongside `tenant`.
+        weight: u8,
     },
     /// Describe a container (geometry, codec, fidelity range).
     Info {
@@ -164,6 +171,14 @@ pub enum Request {
     Ping,
     /// Begin graceful shutdown: stop accepting, drain in-flight work.
     Shutdown,
+}
+
+impl Request {
+    /// A `Hello` for the default tenant (`0`) at weight `1` — what every
+    /// tenancy-unaware client sends.
+    pub fn hello(version: u16) -> Request {
+        Request::Hello { version, tenant: 0, weight: 1 }
+    }
 }
 
 /// Geometry and codec of one served container (the `Info` reply).
@@ -205,9 +220,16 @@ pub enum Response {
         read_cf: u8,
         /// Row-major samples (`dims` product many values).
         data: Vec<f32>,
+        /// Fidelity the server actually served (equals `read_cf`; carried
+        /// explicitly so a brownout-degraded reply is flagged, never
+        /// silent — the client compares it against what it *requested*).
+        /// Optional-trailing on the wire: a pre-QoS `Chunk` decodes with
+        /// `served_cf == read_cf`.
+        served_cf: u8,
     },
-    /// Counters and histograms snapshot.
-    Stats(StatsReport),
+    /// Counters and histograms snapshot (boxed: the per-tenant ledger
+    /// makes the report by far the largest variant).
+    Stats(Box<StatsReport>),
     /// `Ping` acknowledgement.
     Pong,
     /// `Shutdown` acknowledgement: the server is draining.
@@ -290,6 +312,12 @@ impl<'a> BodyReader<'a> {
         Ok(raw.chunks_exact(4).map(|b| f32::from_le_bytes(b.try_into().unwrap())).collect())
     }
 
+    /// Bytes not yet consumed — how optional-trailing fields (the QoS
+    /// additions to `Hello` and `Chunk`) detect their own presence.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
     pub(crate) fn finish(self) -> Result<()> {
         if self.at == self.buf.len() {
             Ok(())
@@ -314,9 +342,11 @@ pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
 pub fn encode_request(req: &Request, version: u16) -> Result<(u8, Vec<u8>)> {
     let mut b = Vec::new();
     let op = match req {
-        Request::Hello { version } => {
+        Request::Hello { version, tenant, weight } => {
             b.extend_from_slice(&PROTO_MAGIC);
             b.extend_from_slice(&version.to_le_bytes());
+            b.extend_from_slice(&tenant.to_le_bytes());
+            b.push(*weight);
             OP_HELLO
         }
         Request::Info { container } => {
@@ -353,7 +383,11 @@ pub fn decode_request(op: u8, body: &[u8], version: u16) -> Result<Request> {
             if magic != PROTO_MAGIC {
                 return Err(ServeError::Protocol(format!("bad hello magic {magic:02x?}")));
             }
-            Request::Hello { version: r.u16()? }
+            let version = r.u16()?;
+            // Tenancy fields are optional-trailing: a bare (pre-QoS)
+            // Hello is the default tenant at weight 1.
+            let (tenant, weight) = if r.remaining() > 0 { (r.u32()?, r.u8()?) } else { (0, 1) };
+            Request::Hello { version, tenant, weight }
         }
         OP_INFO => Request::Info { container: r.u32()? },
         OP_FETCH => Request::Fetch {
@@ -389,16 +423,19 @@ pub fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
             put_string(&mut b, &info.codec);
             OP_R_INFO
         }
-        Response::Chunk { first_sample, dims, read_cf, data } => {
+        Response::Chunk { first_sample, dims, read_cf, data, served_cf } => {
             b.extend_from_slice(&first_sample.to_le_bytes());
             for d in dims {
                 b.extend_from_slice(&d.to_le_bytes());
             }
             b.push(*read_cf);
-            b.reserve(data.len() * 4);
+            b.reserve(data.len() * 4 + 1);
             for v in data {
                 b.extend_from_slice(&v.to_le_bytes());
             }
+            // Trailing: `dims` fixes the payload length, so the decoder
+            // detects the extra byte by `remaining()`, not by guessing.
+            b.push(*served_cf);
             OP_R_CHUNK
         }
         Response::Stats(report) => {
@@ -439,9 +476,11 @@ pub fn decode_response(op: u8, body: &[u8]) -> Result<Response> {
                     .ok_or_else(|| ServeError::Protocol("chunk dims overflow".into()))
             })?;
             let data = r.f32s(count)?;
-            Response::Chunk { first_sample, dims, read_cf, data }
+            // A pre-QoS Chunk body ends at the payload: served == decoded.
+            let served_cf = if r.remaining() > 0 { r.u8()? } else { read_cf };
+            Response::Chunk { first_sample, dims, read_cf, data, served_cf }
         }
-        OP_R_STATS => Response::Stats(StatsReport::decode(&mut r)?),
+        OP_R_STATS => Response::Stats(Box::new(StatsReport::decode(&mut r)?)),
         OP_R_PONG => Response::Pong,
         OP_R_SHUTDOWN => Response::ShuttingDown,
         OP_R_ERROR => Response::Error { code: ErrorCode::from_u8(r.u8()?)?, message: r.string()? },
@@ -513,7 +552,19 @@ pub fn read_response(r: &mut impl Read, checksum: bool) -> Result<Option<Respons
 /// adapter over the sans-I/O [`crate::proto::ClientConn`] machine, which
 /// owns the grant-validation rules.
 pub fn client_handshake<S: Read + Write>(stream: &mut S, want: u16) -> Result<u16> {
-    let mut conn = crate::proto::ClientConn::new(want);
+    client_handshake_tenant(stream, want, 0, 1)
+}
+
+/// [`client_handshake`], identifying as `tenant` at `weight` — the QoS
+/// identity the server files this connection's fetches under. Tenant 0 at
+/// weight 1 is the anonymous default every pre-QoS client lands in.
+pub fn client_handshake_tenant<S: Read + Write>(
+    stream: &mut S,
+    want: u16,
+    tenant: u32,
+    weight: u8,
+) -> Result<u16> {
+    let mut conn = crate::proto::ClientConn::with_tenant(want, tenant, weight);
     stream.write_all(&conn.hello_bytes())?;
     stream.flush()?;
     let mut tmp = [0u8; 4096];
@@ -561,7 +612,8 @@ mod tests {
 
     #[test]
     fn requests_roundtrip() {
-        roundtrip_request(Request::Hello { version: PROTO_VERSION });
+        roundtrip_request(Request::hello(PROTO_VERSION));
+        roundtrip_request(Request::Hello { version: PROTO_VERSION, tenant: 7, weight: 4 });
         roundtrip_request(Request::Info { container: 3 });
         roundtrip_request(Request::Fetch { container: 1, chunk: 42, read_cf: 2, deadline_ms: 0 });
         roundtrip_request(Request::Stats);
@@ -590,6 +642,15 @@ mod tests {
             dims: [2, 1, 4, 4],
             read_cf: 4,
             data: (0..32).map(|i| i as f32 / 7.0 - 2.0).collect(),
+            served_cf: 4,
+        });
+        // A brownout-degraded reply carries its served fidelity.
+        roundtrip_response(Response::Chunk {
+            first_sample: 0,
+            dims: [1, 1, 2, 2],
+            read_cf: 2,
+            data: vec![0.5, -0.5, 1.5, -1.5],
+            served_cf: 2,
         });
         roundtrip_response(Response::Pong);
         roundtrip_response(Response::ShuttingDown);
@@ -597,6 +658,34 @@ mod tests {
             code: ErrorCode::Overloaded,
             message: "queue full (64)".into(),
         });
+    }
+
+    #[test]
+    fn pre_qos_frames_decode_with_default_tenancy_fields() {
+        // A bare Hello (magic + version, no tenant/weight) is what every
+        // pre-QoS client sent; it must keep decoding as tenant 0 weight 1.
+        let mut bare = PROTO_MAGIC.to_vec();
+        bare.extend_from_slice(&2u16.to_le_bytes());
+        assert_eq!(
+            decode_request(OP_HELLO, &bare, 1).unwrap(),
+            Request::Hello { version: 2, tenant: 0, weight: 1 }
+        );
+        // A truncated tenancy suffix is a typed error, not a default.
+        bare.extend_from_slice(&[1, 0]);
+        assert!(decode_request(OP_HELLO, &bare, 1).is_err());
+
+        // A Chunk body that ends at the payload (no trailing served_cf)
+        // decodes with served == decoded fidelity.
+        let full = Response::Chunk {
+            first_sample: 4,
+            dims: [1, 1, 2, 2],
+            read_cf: 3,
+            data: vec![1.0, 2.0, 3.0, 4.0],
+            served_cf: 3,
+        };
+        let (op, mut body) = encode_response(&full);
+        body.pop(); // drop the trailing served_cf byte
+        assert_eq!(decode_response(op, &body).unwrap(), full);
     }
 
     #[test]

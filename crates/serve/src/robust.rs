@@ -40,7 +40,7 @@ use aicomp_store::{RetryPolicy, SplitMix64};
 
 use crate::chaos::{FaultyStream, WireCounters, WireFaultPlan};
 use crate::client::{Client, FetchedChunk};
-use crate::protocol::{client_handshake, ContainerInfo, PROTO_VERSION};
+use crate::protocol::{client_handshake_tenant, ContainerInfo, PROTO_VERSION};
 use crate::stats::StatsReport;
 use crate::{Result, ServeError};
 
@@ -65,6 +65,10 @@ pub struct RobustConfig {
     /// handshake with `chaos.derive(k)` for the k-th connection — the
     /// client side of a chaos test.
     pub chaos: Option<WireFaultPlan>,
+    /// Tenant id offered in every handshake (0 = the anonymous lane).
+    pub tenant: u32,
+    /// Weight class offered in every handshake (0 is treated as 1).
+    pub weight: u8,
 }
 
 impl Default for RobustConfig {
@@ -77,6 +81,8 @@ impl Default for RobustConfig {
             seed: 0,
             version: PROTO_VERSION,
             chaos: None,
+            tenant: 0,
+            weight: 1,
         }
     }
 }
@@ -101,6 +107,11 @@ pub struct RobustCounters {
     pub probes: AtomicU64,
     /// Calls abandoned because the overall budget ran out.
     pub deadline_hits: AtomicU64,
+    /// Replies served below the fidelity they asked for (brownout).
+    pub degraded: AtomicU64,
+    /// Extra full-fidelity attempts issued by [`RobustClient::fetch_full`]
+    /// after a degraded reply.
+    pub refetches: AtomicU64,
 }
 
 impl RobustCounters {
@@ -244,13 +255,44 @@ impl RobustClient {
     }
 
     /// Fetch one decompressed chunk (retried/failed-over; see module doc).
+    /// A browned-out server may answer below `read_cf`; the reply's
+    /// [`FetchedChunk::degraded`] flag says so and the `degraded` counter
+    /// tallies it — use [`RobustClient::fetch_full`] to insist.
     pub fn fetch(&mut self, container: u32, chunk: u32, read_cf: u8) -> Result<FetchedChunk> {
-        self.call(|client, remaining| {
+        let got = self.call(|client, remaining| {
             // Forward the remaining budget as the server-side deadline on
             // v2 links, so queued work we stopped waiting for is shed.
             let deadline = remaining.filter(|_| client.version() >= 2);
             client.fetch_deadline(container, chunk, read_cf, deadline)
-        })
+        })?;
+        if got.degraded() {
+            self.counters.bump(&self.counters.degraded);
+        }
+        Ok(got)
+    }
+
+    /// [`RobustClient::fetch`], re-asking (up to `max_refetches` extra
+    /// attempts) while the server answers below the requested fidelity.
+    /// Brownout is transient by design — pressure clears, the governor
+    /// steps back up — so a bounded re-fetch usually lands the full-
+    /// fidelity bytes. Returns the best reply seen (the last one) even if
+    /// still degraded; callers check [`FetchedChunk::degraded`].
+    pub fn fetch_full(
+        &mut self,
+        container: u32,
+        chunk: u32,
+        read_cf: u8,
+        max_refetches: u32,
+    ) -> Result<FetchedChunk> {
+        let mut got = self.fetch(container, chunk, read_cf)?;
+        for _ in 0..max_refetches {
+            if !got.degraded() {
+                break;
+            }
+            self.counters.bump(&self.counters.refetches);
+            got = self.fetch(container, chunk, read_cf)?;
+        }
+        Ok(got)
     }
 
     /// Describe one served container (retried/failed-over).
@@ -369,12 +411,11 @@ impl RobustClient {
             }
             // Every breaker is open: wait for the earliest probe window
             // instead of burning attempts that cannot be admitted.
-            let earliest = self
-                .endpoints
-                .iter()
-                .map(|e| e.breaker.open_until)
-                .min()
-                .expect("at least one endpoint");
+            // (`new` rejects empty endpoint lists, but a typed error here
+            // keeps an impossible state from taking the process down.)
+            let Some(earliest) = self.endpoints.iter().map(|e| e.breaker.open_until).min() else {
+                return Err(ServeError::Protocol("RobustClient has no endpoints".into()));
+            };
             let nap = earliest.saturating_duration_since(now);
             if let Some(r) = remaining {
                 if nap >= r {
@@ -403,7 +444,11 @@ impl RobustClient {
             ep.ever_connected = true;
             ep.conn = Some(client);
         }
-        let conn = self.endpoints[index].conn.as_mut().expect("just ensured");
+        // Ensured non-None just above; stay typed rather than panicking
+        // on a refactor slip — this path runs inside training loops.
+        let Some(conn) = self.endpoints[index].conn.as_mut() else {
+            return Err(ServeError::Protocol("connection vanished after open".into()));
+        };
         conn.set_op_timeout(remaining)?;
         op(conn, remaining)
     }
@@ -416,6 +461,7 @@ impl RobustClient {
         let stream = TcpStream::connect(self.endpoints[index].addr)?;
         let _ = stream.set_nodelay(true);
         let want = self.config.version.min(PROTO_VERSION);
+        let (tenant, weight) = (self.config.tenant, self.config.weight);
         match self.config.chaos {
             Some(plan) if plan.is_active() => {
                 let mut faulty = FaultyStream::with_counters(
@@ -423,14 +469,14 @@ impl RobustClient {
                     WireFaultPlan::none(),
                     Arc::clone(&self.wire),
                 );
-                let negotiated = client_handshake(&mut faulty, want)?;
+                let negotiated = client_handshake_tenant(&mut faulty, want, tenant, weight)?;
                 faulty.set_plan(plan.derive(self.conn_seq));
                 self.conn_seq += 1;
                 Ok(Client::from_parts(Box::new(faulty), negotiated))
             }
             _ => {
                 let mut stream = stream;
-                let negotiated = client_handshake(&mut stream, want)?;
+                let negotiated = client_handshake_tenant(&mut stream, want, tenant, weight)?;
                 Ok(Client::from_parts(Box::new(stream), negotiated))
             }
         }

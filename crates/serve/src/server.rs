@@ -34,12 +34,23 @@
 //! connection with a typed error and a dedicated counter in the stats
 //! frame, and `max_conns` bounds the thread count with a typed
 //! `Overloaded` rejection at accept time.
+//!
+//! Admission is **multi-tenant**: each connection's `Hello` names a
+//! tenant and weight class, fetches land in that tenant's lane of a
+//! weighted-fair [`Wfq`] drained by deficit-round-robin (so one
+//! aggressive tenant fills *its* lane, not the shared pipe), and
+//! per-tenant in-flight/byte quotas shed the offender with a typed
+//! `Overloaded` while everyone else keeps flowing. Under sustained
+//! pressure the [`Brownout`] governor steps served fidelity down —
+//! coarse chop factors are cheap ring-*prefix* reads (paper §3.2) — and
+//! replies carry their `served_cf` so degradation is explicit, never
+//! silent. Shedding is the last resort, not the first.
 
 use std::collections::HashMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -52,7 +63,7 @@ use crate::cache::ChunkCache;
 use crate::chaos::{FaultyStream, Wire, WireFaultPlan};
 use crate::proto::{Action, CloseReason, DeadlineKind, ResponseSlab, ServerConn};
 use crate::protocol::{self, ContainerInfo, ErrorCode, Request, Response};
-use crate::queue::{Mpmc, PushError};
+use crate::queue::{PushError, TenantQuota, Wfq};
 use crate::stats::{Endpoint, ServeStats};
 
 /// Which transport drives the connection state machines.
@@ -127,6 +138,20 @@ pub struct ServeConfig {
     pub chaos: Option<WireFaultPlan>,
     /// Transport backend driving the connection machines.
     pub backend: Backend,
+    /// Deficit-round-robin quantum: pops a weight-1 tenant may take per
+    /// scheduling round (a weight-`w` tenant gets `w × quantum`).
+    pub quantum: u64,
+    /// Per-tenant cap on requests in flight (queued + decoding but not
+    /// yet answered); `0` is unlimited. Excess is shed with a typed
+    /// `Overloaded` naming the tenant — the offender pays, not the pool.
+    pub tenant_inflight: usize,
+    /// Per-tenant cap on estimated in-flight reply bytes; `0` is
+    /// unlimited.
+    pub tenant_bytes: u64,
+    /// Brownout governor: degrade served fidelity under pressure instead
+    /// of shedding. `None` (the default) disables it — fetches are served
+    /// at exactly the fidelity they asked for.
+    pub brownout: Option<BrownoutConfig>,
 }
 
 impl Default for ServeConfig {
@@ -144,6 +169,101 @@ impl Default for ServeConfig {
             max_conns: 256,
             chaos: None,
             backend: Backend::Threads,
+            quantum: 4,
+            tenant_inflight: 0,
+            tenant_bytes: 0,
+            brownout: None,
+        }
+    }
+}
+
+/// Hysteresis controller for fidelity brownout. Each *step* lowers the
+/// served chop factor by one — a cheaper ring-prefix read (§3.2) — so
+/// under overload the server trades resolution for throughput before it
+/// trades availability. Watermarks are queue-fill fractions; the gap
+/// between them (plus `dwell`) is the hysteresis that prevents level
+/// flapping at the boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownoutConfig {
+    /// Step fidelity *down* when the queue fill fraction reaches this.
+    pub high_watermark: f64,
+    /// Step fidelity back *up* when the fill fraction drops to this.
+    pub low_watermark: f64,
+    /// A worker pass slower than this also counts as pressure (queue
+    /// depth alone misses a slow disk or huge batches).
+    pub slow_batch: Duration,
+    /// Minimum time between level changes in either direction.
+    pub dwell: Duration,
+    /// Most fidelity steps the governor may take (served cf never drops
+    /// below 1 regardless).
+    pub max_steps: u8,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            high_watermark: 0.75,
+            low_watermark: 0.25,
+            slow_batch: Duration::from_millis(200),
+            dwell: Duration::from_millis(250),
+            max_steps: 2,
+        }
+    }
+}
+
+/// Runtime state of the brownout governor: the current level (fidelity
+/// steps currently shaved off every fetch) plus the dwell clock. Inert
+/// when the config is `None` — `level()` is pinned at 0 and observations
+/// are no-ops, so brownout-off servers behave exactly as before.
+pub(crate) struct Brownout {
+    config: Option<BrownoutConfig>,
+    level: AtomicU32,
+    last_change: Mutex<Instant>,
+}
+
+impl Brownout {
+    fn new(config: Option<BrownoutConfig>) -> Brownout {
+        Brownout { config, level: AtomicU32::new(0), last_change: Mutex::new(Instant::now()) }
+    }
+
+    /// Fidelity steps currently applied to every admitted fetch.
+    pub(crate) fn level(&self) -> u8 {
+        if self.config.is_none() {
+            return 0;
+        }
+        self.level.load(Ordering::Relaxed).min(u32::from(u8::MAX)) as u8
+    }
+
+    /// Feed one observation (queue depth at admission, or a finished
+    /// worker pass with its wall time) and maybe step the level. Steps
+    /// serialize on the dwell clock's mutex so concurrent observations
+    /// can't double-step.
+    pub(crate) fn observe(
+        &self,
+        depth: usize,
+        capacity: usize,
+        batch: Option<Duration>,
+        stats: &ServeStats,
+    ) {
+        let Some(cfg) = &self.config else { return };
+        let fill = depth as f64 / capacity.max(1) as f64;
+        let slow = batch.is_some_and(|d| d >= cfg.slow_batch);
+        let pressure = slow || fill >= cfg.high_watermark;
+        let relieved = !slow && fill <= cfg.low_watermark;
+        let mut last = self.last_change.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        if now.duration_since(*last) < cfg.dwell {
+            return;
+        }
+        let lvl = self.level.load(Ordering::Relaxed);
+        if pressure && lvl < u32::from(cfg.max_steps) {
+            self.level.store(lvl + 1, Ordering::Relaxed);
+            *last = now;
+            stats.brownout_steps_down.fetch_add(1, Ordering::Relaxed);
+        } else if relieved && lvl > 0 {
+            self.level.store(lvl - 1, Ordering::Relaxed);
+            *last = now;
+            stats.brownout_steps_up.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -151,8 +271,28 @@ impl Default for ServeConfig {
 /// What a worker sends back for one admitted fetch: the encoded,
 /// shareable reply slab, or a typed error.
 pub(crate) type JobResult = std::result::Result<Arc<ResponseSlab>, (ErrorCode, String)>;
+
+/// One request waiting on a chunk: its reply slot plus the tenant
+/// accounting needed to release the quota the moment it is answered.
+struct Waiter {
+    reply: ReplyTo,
+    tenant: u32,
+    cost: u64,
+}
+
+impl Waiter {
+    /// Deliver the result and release this request's slice of its
+    /// tenant's in-flight quota — the single place both happen, so the
+    /// conservation invariant (answered exactly once, released exactly
+    /// once) holds on every exit path out of the batcher.
+    fn finish(&self, shared: &Shared, result: JobResult) {
+        self.reply.send(result);
+        shared.queue.complete(self.tenant, self.cost);
+    }
+}
+
 /// Reply slots of every request waiting on one chunk.
-type Waiters = Vec<ReplyTo>;
+type Waiters = Vec<Waiter>;
 
 /// Where a worker delivers one job's result — a blocking rendezvous
 /// (threads backend) or the epoll loop's completion hub (which wakes the
@@ -187,6 +327,11 @@ pub(crate) struct Job {
     read_cf: u8,
     expires: Option<Instant>,
     reply: ReplyTo,
+    /// Admitting tenant — `Wfq::complete` releases its quota when the
+    /// reply is sent.
+    tenant: u32,
+    /// Estimated reply bytes charged against the tenant's byte quota.
+    cost: u64,
 }
 
 /// One served container: the shared reader plus its per-fidelity codecs
@@ -214,11 +359,12 @@ impl Container {
 /// the decode and the re-encode, and fan-out is an `Arc` bump.
 pub(crate) struct Shared {
     containers: Vec<Container>,
-    pub(crate) queue: Mpmc<Job>,
+    pub(crate) queue: Wfq<Job>,
     pub(crate) cache: ChunkCache<Arc<ResponseSlab>>,
     pub(crate) stats: ServeStats,
     pub(crate) shutdown: AtomicBool,
     pub(crate) config: ServeConfig,
+    pub(crate) brownout: Brownout,
 }
 
 /// A bound (but not yet accepting) server. [`Server::run`] blocks the
@@ -260,25 +406,33 @@ impl Server {
                 codecs: Mutex::new(HashMap::new()),
             });
         }
+        let quota =
+            TenantQuota { max_inflight: config.tenant_inflight, max_bytes: config.tenant_bytes };
         let shared = Arc::new(Shared {
             containers,
-            queue: Mpmc::new(config.queue_depth),
+            queue: Wfq::new(config.queue_depth, config.quantum, quota),
             cache: ChunkCache::new(config.cache_entries, config.cache_shards),
             stats: ServeStats::new(),
             shutdown: AtomicBool::new(false),
+            brownout: Brownout::new(config.brownout),
             config: config.clone(),
         });
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let worker_shared = Arc::clone(&shared);
+            // A failed spawn is a typed bind error, not a process abort;
+            // closing the queue lets any workers that did start exit.
+            let handle = thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+                .map_err(|e| {
+                    shared.queue.close();
+                    crate::ServeError::Io(e)
+                })?;
+            workers.push(handle);
+        }
         Ok(Server { listener, addr, shared, workers })
     }
 
@@ -344,7 +498,12 @@ impl ServerHandle {
 /// transport): nonblocking listener polled at 5 ms, one blocking thread
 /// per accepted connection driving a [`ServerConn`] machine.
 fn run_threads(listener: &TcpListener, shared: &Arc<Shared>) {
-    listener.set_nonblocking(true).expect("non-blocking listener");
+    // Failing to unblock the listener would turn the shutdown poll into a
+    // hang — refuse to serve instead of aborting the process.
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("serve: cannot set listener non-blocking, refusing to serve: {e}");
+        return;
+    }
     let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
     let mut conn_index: u64 = 0;
     while !shared.shutdown.load(Ordering::Relaxed) {
@@ -413,6 +572,8 @@ fn worker_loop(shared: &Shared) {
     while let Some(first) = shared.queue.pop() {
         // Dynamic batching: greedily drain everything already waiting, up
         // to the pass bound — under load one pass serves many clients.
+        // The weighted-fair pop order means the drain takes each tenant's
+        // deficit-round-robin share, not whoever arrived first.
         let mut jobs = vec![first];
         while jobs.len() < shared.config.batch_max.max(1) {
             match shared.queue.try_pop() {
@@ -423,6 +584,7 @@ fn worker_loop(shared: &Shared) {
         if let Some(d) = shared.config.worker_delay {
             thread::sleep(d);
         }
+        let t0 = Instant::now();
         let mut groups: HashMap<(u32, u8), Vec<Job>> = HashMap::new();
         for j in jobs {
             groups.entry((j.container, j.read_cf)).or_default().push(j);
@@ -430,6 +592,14 @@ fn worker_loop(shared: &Shared) {
         for ((container, cf), group) in groups {
             process_group(shared, container, cf, group);
         }
+        // Pass wall time feeds the brownout governor: a slow pass is
+        // pressure even when the queue looks shallow.
+        shared.brownout.observe(
+            shared.queue.len(),
+            shared.queue.capacity(),
+            Some(t0.elapsed()),
+            &shared.stats,
+        );
     }
 }
 
@@ -447,15 +617,19 @@ fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
     let now = Instant::now();
     let mut waiters: HashMap<u32, Waiters> = HashMap::new();
     for j in group {
+        let w = Waiter { reply: j.reply, tenant: j.tenant, cost: j.cost };
         if j.expires.is_some_and(|e| e <= now) {
             shared.stats.deadline_rejected.fetch_add(1, Ordering::Relaxed);
-            j.reply.send(Err((
-                ErrorCode::DeadlineExceeded,
-                format!("chunk {}: deadline expired before decode", j.chunk),
-            )));
+            w.finish(
+                shared,
+                Err((
+                    ErrorCode::DeadlineExceeded,
+                    format!("chunk {}: deadline expired before decode", j.chunk),
+                )),
+            );
             continue;
         }
-        waiters.entry(j.chunk).or_default().push(j.reply);
+        waiters.entry(j.chunk).or_default().push(w);
     }
 
     // Re-check the cache under the key a sibling worker may have filled
@@ -466,7 +640,7 @@ fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
         let key = (container, chunk, cf);
         if let Some(hit) = shared.cache.get(&key) {
             for s in &senders {
-                s.send(Ok(Arc::clone(&hit)));
+                s.finish(shared, Ok(Arc::clone(&hit)));
             }
             continue;
         }
@@ -480,7 +654,7 @@ fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
             Err(e) => {
                 let err = (classify(&e), format!("chunk {chunk}: {e}"));
                 for s in &senders {
-                    s.send(Err(err.clone()));
+                    s.finish(shared, Err(err.clone()));
                 }
             }
         }
@@ -492,7 +666,7 @@ fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
     let fail_all = |batch: &[(u32, Waiters, Tensor)], code: ErrorCode, message: String| {
         for (_, senders, _) in batch {
             for s in senders {
-                s.send(Err((code, message.clone())));
+                s.finish(shared, Err((code, message.clone())));
             }
         }
     };
@@ -532,19 +706,19 @@ fn process_group(shared: &Shared, container: u32, cf: u8, group: Vec<Job>) {
                 Ok(slab) => {
                     shared.cache.insert((container, *chunk, cf), Arc::clone(&slab));
                     for s in senders {
-                        s.send(Ok(Arc::clone(&slab)));
+                        s.finish(shared, Ok(Arc::clone(&slab)));
                     }
                 }
                 Err(err) => {
                     for s in senders {
-                        s.send(Err(err.clone()));
+                        s.finish(shared, Err(err.clone()));
                     }
                 }
             },
             Err(e) => {
                 let err = (ErrorCode::Internal, format!("batch split: {e}"));
                 for s in senders {
-                    s.send(Err(err.clone()));
+                    s.finish(shared, Err(err.clone()));
                 }
             }
         }
@@ -717,8 +891,11 @@ fn handle_request(shared: &Shared, conn: &mut ServerConn, req: Request) {
     };
     let t0 = Instant::now();
     let expires = (deadline_ms > 0).then(|| t0 + Duration::from_millis(deadline_ms as u64));
+    let (tenant, weight) = (conn.tenant(), conn.weight());
     let (tx, rx) = mpsc::sync_channel(1);
-    match admit_fetch(shared, container, chunk, read_cf, expires, || ReplyTo::Sync(tx)) {
+    match admit_fetch(shared, tenant, weight, container, chunk, read_cf, expires, || {
+        ReplyTo::Sync(tx)
+    }) {
         Admission::Ready(slab) => conn.push_slab(slab),
         Admission::Rejected(resp) => conn.push_response(&resp),
         Admission::Queued => match rx.recv() {
@@ -749,11 +926,13 @@ pub(crate) fn answer_inline(shared: &Shared, req: &Request) -> Option<Response> 
         }
         Request::Stats => {
             let t0 = Instant::now();
-            let resp = Response::Stats(shared.stats.snapshot(
+            let resp = Response::Stats(Box::new(shared.stats.snapshot(
                 shared.queue.len() as u32,
                 shared.queue.capacity() as u32,
                 shared.cache.snapshot(),
-            ));
+                shared.brownout.level(),
+                &shared.queue.depths(),
+            )));
             shared.stats.record_request(Endpoint::Stats, t0.elapsed());
             resp
         }
@@ -773,12 +952,22 @@ pub(crate) enum Admission {
     Rejected(Box<Response>),
 }
 
-/// Validate and admit one fetch: resolve `read_cf = 0` to the stored
-/// fidelity, serve cache hits immediately, shed on a full queue with a
-/// typed `Overloaded`. `reply` is only built when the job actually
-/// queues.
+/// Validate and admit one fetch for `tenant`: resolve `read_cf = 0` to
+/// the stored fidelity, apply the brownout fidelity cap, serve cache
+/// hits immediately, and shed with a typed `Overloaded` only when the
+/// global queue is full or the tenant is over quota. `reply` is only
+/// built when the job actually queues.
+///
+/// Brownout applies *before* the cache lookup, so the cache key, the
+/// batcher's `(container, cf)` grouping, and the reply's `served_cf`
+/// all see the same effective fidelity — a degraded reply is
+/// indistinguishable from an honest coarse fetch at that level, which
+/// is exactly the §3.2 prefix property.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn admit_fetch(
     shared: &Shared,
+    tenant: u32,
+    weight: u8,
     container: u32,
     chunk: u32,
     read_cf: u8,
@@ -797,28 +986,60 @@ pub(crate) fn admit_fetch(
             format!("chunk {chunk} (container has {})", cont.reader.chunk_count()),
         )));
     }
-    let stored = cont.reader.header().cf() as u8;
-    let cf = if read_cf == 0 { stored } else { read_cf };
-    if cf > stored {
+    let h = cont.reader.header();
+    let stored = h.cf() as u8;
+    let resolved = if read_cf == 0 { stored } else { read_cf };
+    if resolved > stored {
         return Admission::Rejected(Box::new(err(
             ErrorCode::BadRequest,
             format!("read chop factor {read_cf} outside 1..={stored}"),
         )));
     }
+    shared.brownout.observe(shared.queue.len(), shared.queue.capacity(), None, &shared.stats);
+    let cf = resolved.saturating_sub(shared.brownout.level()).max(1);
+    // Counted only on accepted fetches: a degraded request that is then
+    // shed produced no degraded *reply*.
+    let count_degraded = || {
+        if cf < resolved {
+            shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
+            shared.stats.tenant_degraded(tenant, weight);
+        }
+    };
     if let Some(hit) = shared.cache.get(&(container, chunk, cf)) {
         shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.tenant_accepted(tenant, weight);
+        count_degraded();
         return Admission::Ready(hit);
     }
-    match shared.queue.try_push(Job { container, chunk, read_cf: cf, expires, reply: reply() }) {
+    // Quota charge: the decoded reply payload, estimated from container
+    // geometry (an upper bound — the tail chunk may be shorter).
+    let cost = (h.chunk_size as u64 * h.channels as u64 * (h.n() * h.n()) as u64) * 4;
+    // Coarser-than-stored fetches are cheap ring-prefix reads — they ride
+    // the priority lane so brownout relief is not stuck behind the very
+    // backlog it is trying to drain.
+    let priority = cf < stored;
+    let job = Job { container, chunk, read_cf: cf, expires, reply: reply(), tenant, cost };
+    match shared.queue.try_push(tenant, weight, cost, priority, job) {
         Ok(()) => {
             shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            shared.stats.tenant_accepted(tenant, weight);
+            count_degraded();
             Admission::Queued
         }
         Err(PushError::Full(_)) => {
             shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.tenant_shed(tenant, weight);
             Admission::Rejected(Box::new(err(
                 ErrorCode::Overloaded,
                 format!("admission queue full ({})", shared.queue.capacity()),
+            )))
+        }
+        Err(PushError::Quota(_)) => {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.tenant_shed(tenant, weight);
+            Admission::Rejected(Box::new(err(
+                ErrorCode::Overloaded,
+                format!("tenant {tenant} over its in-flight quota"),
             )))
         }
         Err(PushError::Closed(_)) => {
@@ -960,7 +1181,7 @@ mod tests {
         // Wrong version (0 and 99 are both outside the served range).
         for bad in [0u16, 99] {
             let mut s = TcpStream::connect(handle.addr()).unwrap();
-            protocol::write_request(&mut s, &Request::Hello { version: bad }, 1).unwrap();
+            protocol::write_request(&mut s, &Request::hello(bad), 1).unwrap();
             match protocol::read_response(&mut s, false).unwrap().unwrap() {
                 Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
                 other => panic!("expected error, got {other:?}"),
@@ -1011,6 +1232,93 @@ mod tests {
         let mut c = Client::connect(addr).unwrap();
         let stats = c.stats().unwrap();
         assert_eq!(stats.shed, shed as u64);
+        handle.shutdown_and_join();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn brownout_degrades_fidelity_and_flags_served_cf() {
+        // Watermarks that always read as pressure and a zero dwell force
+        // the governor to its max level immediately — every fetch is
+        // served 2 fidelity steps down, flagged, and bit-identical to a
+        // direct ring-prefix read at that level.
+        let config = ServeConfig {
+            brownout: Some(BrownoutConfig {
+                high_watermark: 0.0,
+                low_watermark: -1.0,
+                slow_batch: Duration::from_secs(3600),
+                dwell: Duration::ZERO,
+                max_steps: 2,
+            }),
+            ..ServeConfig::default()
+        };
+        let (path, handle) = start("brownout", config);
+        let mut direct = aicomp_store::DczReader::open(&path).unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        // Two admissions ratchet the level 0 → 1 → 2 (one step per
+        // observation); from the third fetch on the level is pinned.
+        c.fetch(0, 0, 4).unwrap();
+        c.fetch(0, 0, 4).unwrap();
+        for chunk in 0..direct.chunk_count() as u32 {
+            let got = c.fetch(0, chunk, 4).unwrap();
+            assert_eq!(got.served_cf, 2, "stored cf 4 minus 2 brownout steps");
+            assert_eq!(got.read_cf, 2);
+            assert!(got.degraded(), "served below the requested fidelity must be flagged");
+            let want = direct.decompress_chunk_at(chunk as usize, 2).unwrap();
+            let a: Vec<u32> = got.data.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "degraded chunk {chunk} must bit-match a direct cf-2 read");
+        }
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.brownout_level, 2);
+        assert_eq!(stats.brownout_steps_down, 2);
+        assert_eq!(stats.brownout_steps_up, 0);
+        assert_eq!(stats.shed, 0, "brownout degrades instead of shedding");
+        assert!(stats.degraded >= direct.chunk_count() as u64);
+        handle.shutdown_and_join();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tenant_quota_sheds_the_offender_only() {
+        // A tenant may hold at most one request in flight. A slow worker
+        // keeps the first fetch in flight while a second connection of
+        // the *same* tenant tries to queue another distinct chunk — that
+        // one sheds with a typed Overloaded; a different tenant admits
+        // fine through the same (deep) global queue.
+        let config = ServeConfig {
+            workers: 1,
+            batch_max: 1,
+            cache_entries: 0,
+            worker_delay: Some(Duration::from_millis(150)),
+            tenant_inflight: 1,
+            ..ServeConfig::default()
+        };
+        let (path, handle) = start("quota", config);
+        let addr = handle.addr();
+        let hog = std::thread::spawn(move || {
+            let mut c = Client::connect_tenant(addr, 7, 1).unwrap();
+            c.fetch(0, 0, 0).unwrap()
+        });
+        thread::sleep(Duration::from_millis(50));
+        let mut same = Client::connect_tenant(addr, 7, 1).unwrap();
+        match same.fetch(0, 1, 0) {
+            Err(e) if e.is_overloaded() => {}
+            other => panic!("expected a tenant-quota shed, got {other:?}"),
+        }
+        let mut other = Client::connect_tenant(addr, 8, 1).unwrap();
+        other.fetch(0, 2, 0).unwrap();
+        hog.join().unwrap();
+        // With the hog answered its quota is released and the same
+        // tenant admits again.
+        same.fetch(0, 1, 0).unwrap();
+        let stats = same.stats().unwrap();
+        assert_eq!(stats.shed, 1);
+        let t7 = stats.tenants.iter().find(|t| t.tenant == 7).unwrap();
+        assert_eq!(t7.shed, 1);
+        assert_eq!(t7.accepted, 2);
+        let t8 = stats.tenants.iter().find(|t| t.tenant == 8).unwrap();
+        assert_eq!(t8.shed, 0);
         handle.shutdown_and_join();
         std::fs::remove_file(&path).ok();
     }

@@ -9,7 +9,9 @@
 //! its mass above bucket 1 is the direct evidence that the dynamic
 //! batcher is coalescing requests into shared decompress passes.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::cache::CacheSnapshot;
@@ -108,10 +110,30 @@ pub struct ServeStats {
     /// Bytes served *from* shared slabs (every chunk reply; the ratio
     /// shared/copied is the mean fan-out per encode).
     pub slab_bytes_shared: AtomicU64,
+    /// Fetches served below the fidelity they resolved to — the brownout
+    /// governor stepped them down (each reply carries its `served_cf`).
+    pub degraded: AtomicU64,
+    /// Brownout level increments (fidelity stepped *down* under pressure).
+    pub brownout_steps_down: AtomicU64,
+    /// Brownout level decrements (fidelity recovered as pressure cleared).
+    pub brownout_steps_up: AtomicU64,
     requests: [AtomicU64; ENDPOINTS],
     latency: [LatencyHistogram; ENDPOINTS],
     batch: [AtomicU64; BATCH_BUCKETS],
     frames_per_wakeup: [AtomicU64; WAKEUP_BUCKETS],
+    /// Per-tenant admission counters, keyed by tenant id. A mutex (not
+    /// atomics) because the tenant set is dynamic; the critical section
+    /// is a hash probe + integer bump.
+    tenants: Mutex<HashMap<u32, TenantCounters>>,
+}
+
+/// Live per-tenant counters behind the [`ServeStats`] tenant mutex.
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantCounters {
+    weight: u8,
+    accepted: u64,
+    shed: u64,
+    degraded: u64,
 }
 
 impl Default for ServeStats {
@@ -140,11 +162,37 @@ impl ServeStats {
             timer_expirations: AtomicU64::new(0),
             slab_bytes_copied: AtomicU64::new(0),
             slab_bytes_shared: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            brownout_steps_down: AtomicU64::new(0),
+            brownout_steps_up: AtomicU64::new(0),
             requests: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: std::array::from_fn(|_| LatencyHistogram::new()),
             batch: std::array::from_fn(|_| AtomicU64::new(0)),
             frames_per_wakeup: std::array::from_fn(|_| AtomicU64::new(0)),
+            tenants: Mutex::new(HashMap::new()),
         }
+    }
+
+    fn tenant_entry(&self, tenant: u32, weight: u8, bump: impl FnOnce(&mut TenantCounters)) {
+        let mut map = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = map.entry(tenant).or_default();
+        entry.weight = weight.max(1);
+        bump(entry);
+    }
+
+    /// Count one accepted fetch for `tenant` (queue or cache).
+    pub fn tenant_accepted(&self, tenant: u32, weight: u8) {
+        self.tenant_entry(tenant, weight, |t| t.accepted += 1);
+    }
+
+    /// Count one shed fetch for `tenant` (global queue full or quota).
+    pub fn tenant_shed(&self, tenant: u32, weight: u8) {
+        self.tenant_entry(tenant, weight, |t| t.shed += 1);
+    }
+
+    /// Count one fetch served below its resolved fidelity for `tenant`.
+    pub fn tenant_degraded(&self, tenant: u32, weight: u8) {
+        self.tenant_entry(tenant, weight, |t| t.degraded += 1);
     }
 
     /// Record one readiness wakeup that parsed `frames` complete frames.
@@ -170,12 +218,49 @@ impl ServeStats {
     }
 
     /// Freeze everything into a wire-ready [`StatsReport`].
+    /// `lanes` is the scheduler's `(tenant, weight, queued, inflight)`
+    /// snapshot ([`crate::queue::Wfq::depths`]) — merged with the
+    /// admission counters into one per-tenant section.
     pub fn snapshot(
         &self,
         queue_depth: u32,
         queue_capacity: u32,
         cache: CacheSnapshot,
+        brownout_level: u8,
+        lanes: &[(u32, u8, usize, usize)],
     ) -> StatsReport {
+        let mut tenants: Vec<TenantStats> = {
+            let map = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter()
+                .map(|(&tenant, c)| TenantStats {
+                    tenant,
+                    weight: c.weight,
+                    accepted: c.accepted,
+                    shed: c.shed,
+                    degraded: c.degraded,
+                    queued: 0,
+                    inflight: 0,
+                })
+                .collect()
+        };
+        for &(tenant, weight, queued, inflight) in lanes {
+            match tenants.iter_mut().find(|t| t.tenant == tenant) {
+                Some(t) => {
+                    t.queued = queued as u64;
+                    t.inflight = inflight as u64;
+                }
+                None => tenants.push(TenantStats {
+                    tenant,
+                    weight,
+                    accepted: 0,
+                    shed: 0,
+                    degraded: 0,
+                    queued: queued as u64,
+                    inflight: inflight as u64,
+                }),
+            }
+        }
+        tenants.sort_by_key(|t| t.tenant);
         StatsReport {
             queue_depth,
             queue_capacity,
@@ -200,6 +285,11 @@ impl ServeStats {
             timer_expirations: self.timer_expirations.load(Ordering::Relaxed),
             slab_bytes_copied: self.slab_bytes_copied.load(Ordering::Relaxed),
             slab_bytes_shared: self.slab_bytes_shared.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            brownout_level,
+            brownout_steps_down: self.brownout_steps_down.load(Ordering::Relaxed),
+            brownout_steps_up: self.brownout_steps_up.load(Ordering::Relaxed),
+            tenants,
             batch_sizes: self.batch.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             frames_per_wakeup: self
                 .frames_per_wakeup
@@ -223,6 +313,26 @@ pub struct EndpointStats {
     pub requests: u64,
     /// Log2-µs latency histogram (see [`StatsReport::quantile_us`]).
     pub latency_us: Vec<u64>,
+}
+
+/// Per-tenant slice of the stats frame: admission counters merged with
+/// the weighted-fair scheduler's live lane depths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant id from the `Hello` handshake (`0` = default tenant).
+    pub tenant: u32,
+    /// Last declared weight class.
+    pub weight: u8,
+    /// Fetches accepted (queue or cache).
+    pub accepted: u64,
+    /// Fetches shed (global queue full or per-tenant quota).
+    pub shed: u64,
+    /// Fetches served below their resolved fidelity (brownout).
+    pub degraded: u64,
+    /// Jobs waiting in this tenant's lane at snapshot time.
+    pub queued: u64,
+    /// Requests in flight (queued + decoding, not yet answered).
+    pub inflight: u64,
 }
 
 /// Snapshot of the server's counters — the body of a `Stats` reply.
@@ -274,6 +384,17 @@ pub struct StatsReport {
     pub slab_bytes_copied: u64,
     /// Bytes served from shared slabs (shared/copied = mean fan-out).
     pub slab_bytes_shared: u64,
+    /// Fetches served below their resolved fidelity (brownout).
+    pub degraded: u64,
+    /// Brownout level at snapshot time (fidelity steps currently shaved
+    /// off every fetch; 0 = full fidelity).
+    pub brownout_level: u8,
+    /// Times the governor stepped fidelity down.
+    pub brownout_steps_down: u64,
+    /// Times the governor stepped fidelity back up.
+    pub brownout_steps_up: u64,
+    /// Per-tenant counters and lane depths, sorted by tenant id.
+    pub tenants: Vec<TenantStats>,
     /// Linear histogram: `batch_sizes[i]` passes decoded `i + 1` chunks
     /// (last bucket absorbs larger).
     pub batch_sizes: Vec<u64>,
@@ -370,6 +491,9 @@ impl StatsReport {
             self.timer_expirations,
             self.slab_bytes_copied,
             self.slab_bytes_shared,
+            self.degraded,
+            self.brownout_steps_down,
+            self.brownout_steps_up,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -389,13 +513,24 @@ impl StatsReport {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         }
+        // Trailing QoS section (a pre-QoS decoder would reject the extra
+        // bytes; a pre-QoS *frame* decodes with the defaults below).
+        out.push(self.brownout_level);
+        out.extend_from_slice(&(self.tenants.len().min(u16::MAX as usize) as u16).to_le_bytes());
+        for t in self.tenants.iter().take(u16::MAX as usize) {
+            out.extend_from_slice(&t.tenant.to_le_bytes());
+            out.push(t.weight);
+            for v in [t.accepted, t.shed, t.degraded, t.queued, t.inflight] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
     }
 
     /// Parse the wire encoding produced by `encode`.
     pub(crate) fn decode(r: &mut BodyReader<'_>) -> Result<StatsReport> {
         let queue_depth = r.u32()?;
         let queue_capacity = r.u32()?;
-        let mut fixed = [0u64; 21];
+        let mut fixed = [0u64; 24];
         for slot in &mut fixed {
             *slot = r.u64()?;
         }
@@ -420,6 +555,27 @@ impl StatsReport {
             }
             endpoints.push(EndpointStats { requests, latency_us });
         }
+        // Optional-trailing QoS section: a frame from a pre-QoS server
+        // simply ends here and reports level 0 / no tenants.
+        let (brownout_level, tenants) = if r.remaining() > 0 {
+            let level = r.u8()?;
+            let n = r.u16()? as usize;
+            let mut tenants = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                tenants.push(TenantStats {
+                    tenant: r.u32()?,
+                    weight: r.u8()?,
+                    accepted: r.u64()?,
+                    shed: r.u64()?,
+                    degraded: r.u64()?,
+                    queued: r.u64()?,
+                    inflight: r.u64()?,
+                });
+            }
+            (level, tenants)
+        } else {
+            (0, Vec::new())
+        };
         Ok(StatsReport {
             queue_depth,
             queue_capacity,
@@ -444,6 +600,11 @@ impl StatsReport {
             timer_expirations: fixed[18],
             slab_bytes_copied: fixed[19],
             slab_bytes_shared: fixed[20],
+            degraded: fixed[21],
+            brownout_steps_down: fixed[22],
+            brownout_steps_up: fixed[23],
+            brownout_level,
+            tenants,
             batch_sizes,
             frames_per_wakeup,
             endpoints,
@@ -455,6 +616,19 @@ impl std::fmt::Display for StatsReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "queue      {}/{} waiting", self.queue_depth, self.queue_capacity)?;
         writeln!(f, "admission  {} accepted, {} shed", self.accepted, self.shed)?;
+        writeln!(
+            f,
+            "brownout   level {}, {} steps down, {} steps up, {} degraded replies",
+            self.brownout_level, self.brownout_steps_down, self.brownout_steps_up, self.degraded
+        )?;
+        writeln!(f, "tenants    {} tracked", self.tenants.len())?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "  tenant {:<8} w{} — {} accepted, {} shed, {} degraded, {} queued, {} in flight",
+                t.tenant, t.weight, t.accepted, t.shed, t.degraded, t.queued, t.inflight
+            )?;
+        }
         writeln!(
             f,
             "cache      {} hits / {} misses ({:.1}% hit), {} evictions, {}/{} entries",
@@ -547,8 +721,22 @@ mod tests {
         stats.record_batch(1);
         stats.record_batch(7);
         stats.record_batch(500); // clamps into the last bucket
+        stats.degraded.store(9, Ordering::Relaxed);
+        stats.brownout_steps_down.store(4, Ordering::Relaxed);
+        stats.brownout_steps_up.store(2, Ordering::Relaxed);
+        stats.tenant_accepted(7, 3);
+        stats.tenant_accepted(7, 3);
+        stats.tenant_shed(42, 1);
+        stats.tenant_degraded(7, 3);
         let cache = CacheSnapshot { hits: 30, misses: 10, evictions: 2, entries: 5, capacity: 64 };
-        let report = stats.snapshot(3, 64, cache);
+        let report = stats.snapshot(3, 64, cache, 1, &[(7, 3, 2, 5), (9, 2, 1, 1)]);
+
+        assert_eq!(report.brownout_level, 1);
+        let t7 = report.tenants.iter().find(|t| t.tenant == 7).unwrap();
+        assert_eq!((t7.accepted, t7.shed, t7.degraded, t7.queued, t7.inflight), (2, 0, 1, 2, 5));
+        let t9 = report.tenants.iter().find(|t| t.tenant == 9).unwrap();
+        assert_eq!((t9.accepted, t9.queued, t9.inflight), (0, 1, 1), "lane-only tenant included");
+        assert!(report.tenants.iter().any(|t| t.tenant == 42));
 
         let mut wire = Vec::new();
         report.encode(&mut wire);
@@ -559,13 +747,29 @@ mod tests {
     }
 
     #[test]
+    fn pre_qos_report_decodes_with_defaults() {
+        // A stats body that ends after the endpoint section (what a
+        // pre-QoS server emits) must decode as level 0 / no tenants.
+        let report = ServeStats::new().snapshot(0, 8, CacheSnapshot::default(), 0, &[]);
+        let mut wire = Vec::new();
+        report.encode(&mut wire);
+        wire.truncate(wire.len() - 3); // drop the empty trailing QoS section
+        let mut r = BodyReader::new(&wire);
+        let decoded = StatsReport::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded.brownout_level, 0);
+        assert!(decoded.tenants.is_empty());
+        assert_eq!(decoded, report, "defaults equal an empty QoS section");
+    }
+
+    #[test]
     fn quantiles_bound_recorded_latencies() {
         let stats = ServeStats::new();
         for _ in 0..99 {
             stats.record_request(Endpoint::Fetch, Duration::from_micros(100));
         }
         stats.record_request(Endpoint::Fetch, Duration::from_millis(50));
-        let report = stats.snapshot(0, 1, CacheSnapshot::default());
+        let report = stats.snapshot(0, 1, CacheSnapshot::default(), 0, &[]);
         let p50 = report.quantile_us(Endpoint::Fetch, 0.5).unwrap();
         let p99 = report.quantile_us(Endpoint::Fetch, 0.99).unwrap();
         // p50 lands in the 100 µs bucket (≤ 128 µs); p99 must not be
@@ -584,7 +788,7 @@ mod tests {
         stats.record_batch(1);
         stats.record_batch(1);
         stats.record_batch(4);
-        let report = stats.snapshot(0, 1, CacheSnapshot::default());
+        let report = stats.snapshot(0, 1, CacheSnapshot::default(), 0, &[]);
         assert_eq!(report.batch_sizes[0], 2);
         assert_eq!(report.batch_sizes[3], 1);
         assert_eq!(report.decompress_passes, 3);
@@ -594,7 +798,7 @@ mod tests {
 
     #[test]
     fn display_mentions_every_section() {
-        let report = ServeStats::new().snapshot(0, 8, CacheSnapshot::default());
+        let report = ServeStats::new().snapshot(0, 8, CacheSnapshot::default(), 0, &[]);
         let text = report.to_string();
         for needle in [
             "queue",
@@ -619,7 +823,7 @@ mod tests {
         stats.record_wakeup(2);
         stats.slab_bytes_copied.store(100, Ordering::Relaxed);
         stats.slab_bytes_shared.store(250, Ordering::Relaxed);
-        let report = stats.snapshot(0, 1, CacheSnapshot::default());
+        let report = stats.snapshot(0, 1, CacheSnapshot::default(), 0, &[]);
         assert_eq!(report.wakeups, 3);
         assert_eq!(report.frames_per_wakeup[0], 2);
         assert_eq!(report.frames_per_wakeup[2], 1);

@@ -1,0 +1,121 @@
+//! Scheduler laws for the weighted-fair admission queue ([`Wfq`]).
+//!
+//! Two properties pin the QoS story down harder than any example test:
+//!
+//! * **Conservation** — every `Ok` push is returned by *exactly one* pop,
+//!   under arbitrary interleavings of pushes, pops, quota sheds, and
+//!   capacity sheds. This is the answered-exactly-once contract the
+//!   server's reply path builds on: lose an item and a client hangs,
+//!   duplicate one and a client gets two replies.
+//! * **Starvation bound** — while tenant *t* has work queued, at most
+//!   `Σ_{j≠t} weight_j × quantum` other pops occur before *t*'s next pop
+//!   (deficits don't bank across empty lanes, so the bound is exact, not
+//!   amortized). This is the theorem behind the chaos test's "an
+//!   aggressor cannot starve a victim": the victim's wait is bounded by
+//!   the *other* tenants' weights, never by the aggressor's queue depth.
+
+use aicomp_serve::{PushError, TenantQuota, Wfq};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary op streams (push/pop, 4 tenants, mixed weights and
+    /// priorities, tight capacity + in-flight quota so both shed paths
+    /// fire) conserve items: admitted = popped, as multisets.
+    #[test]
+    fn every_admitted_item_pops_exactly_once(
+        ops in prop::collection::vec(
+            (any::<bool>(), any::<u8>(), any::<u8>(), any::<bool>()),
+            1..256,
+        ),
+    ) {
+        let q = Wfq::new(8, 2, TenantQuota { max_inflight: 5, max_bytes: 0 });
+        let mut admitted = Vec::new();
+        let mut popped = Vec::new();
+        let mut next_id = 0u32;
+        for (is_push, tsel, w, prio) in ops {
+            if is_push {
+                let tenant = u32::from(tsel % 4);
+                let id = next_id;
+                next_id += 1;
+                match q.try_push(tenant, (w % 3) + 1, 1, prio, (tenant, id)) {
+                    Ok(()) => admitted.push((tenant, id)),
+                    Err(PushError::Full(item) | PushError::Quota(item)) => {
+                        // A shed must hand the exact item back (the server
+                        // turns it into the typed Overloaded reply).
+                        prop_assert_eq!(item, (tenant, id));
+                    }
+                    Err(PushError::Closed(_)) => prop_assert!(false, "queue never closed"),
+                }
+            } else if let Some((t, id)) = q.try_pop() {
+                q.complete(t, 1);
+                popped.push((t, id));
+            }
+        }
+        while let Some((t, id)) = q.try_pop() {
+            q.complete(t, 1);
+            popped.push((t, id));
+        }
+        admitted.sort_unstable();
+        popped.sort_unstable();
+        prop_assert_eq!(admitted, popped);
+        prop_assert_eq!(q.try_pop(), None);
+        prop_assert!(q.is_empty());
+    }
+
+    /// Fill 2–4 lanes with random weights and backlogs, drain completely,
+    /// and check every tenant's service gaps against the DRR bound:
+    /// before each of tenant t's pops (while t is still backlogged), at
+    /// most `Σ_{j≠t} weight_j × quantum` other pops have intervened.
+    #[test]
+    fn drr_service_gap_respects_the_starvation_bound(
+        lanes in prop::collection::vec((any::<u8>(), any::<u8>()), 2..5),
+        qsel in any::<u8>(),
+    ) {
+        let quantum = u64::from(qsel % 3) + 1;
+        let lanes: Vec<(u8, usize)> =
+            lanes.iter().map(|&(w, c)| ((w % 4) + 1, usize::from(c % 20) + 1)).collect();
+        let q = Wfq::new(256, quantum, TenantQuota::default());
+        // Worst-case arrival order for the later tenants: each earlier
+        // tenant's entire backlog is queued ahead of them.
+        for (t, &(weight, count)) in lanes.iter().enumerate() {
+            for i in 0..count {
+                q.try_push(t as u32, weight, 1, i % 3 == 0, t as u32).unwrap();
+            }
+        }
+        let mut order = Vec::new();
+        while let Some(t) = q.try_pop() {
+            order.push(t);
+        }
+        prop_assert_eq!(order.len(), lanes.iter().map(|&(_, c)| c).sum::<usize>());
+        let total_weight: u64 = lanes.iter().map(|&(w, _)| u64::from(w)).sum();
+        for (t, &(weight, _)) in lanes.iter().enumerate() {
+            let bound = (total_weight - u64::from(weight)) * quantum;
+            let positions: Vec<usize> = order
+                .iter()
+                .enumerate()
+                .filter(|&(_, &x)| x == t as u32)
+                .map(|(i, _)| i)
+                .collect();
+            // The gap before the first pop and between consecutive pops;
+            // after the lane's last item the bound no longer applies.
+            let mut prev: Option<usize> = None;
+            for &p in &positions {
+                let gap = match prev {
+                    None => p as u64,
+                    Some(q_) => (p - q_ - 1) as u64,
+                };
+                prop_assert!(
+                    gap <= bound,
+                    "tenant {} waited {} pops (bound {}) at position {}",
+                    t,
+                    gap,
+                    bound,
+                    p
+                );
+                prev = Some(p);
+            }
+        }
+    }
+}

@@ -218,7 +218,7 @@ fn silent_and_slow_loris_connections_are_cut_with_typed_closes() {
     // deadline — the unbounded accumulation loop this replaces would have
     // held the buffer forever.
     let mut loris = TcpStream::connect(addr).unwrap();
-    write_request(&mut loris, &Request::Hello { version: 1 }, 1).unwrap();
+    write_request(&mut loris, &Request::hello(1), 1).unwrap();
     match read_response(&mut loris, false).unwrap() {
         Some(Response::Hello { version: 1 }) => {}
         other => panic!("expected v1 grant, got {other:?}"),
@@ -232,7 +232,7 @@ fn silent_and_slow_loris_connections_are_cut_with_typed_closes() {
     // A malformed frame length is a typed BadFrame close, not a 64 MiB
     // allocation.
     let mut evil = TcpStream::connect(addr).unwrap();
-    write_request(&mut evil, &Request::Hello { version: 1 }, 1).unwrap();
+    write_request(&mut evil, &Request::hello(1), 1).unwrap();
     assert!(matches!(
         read_response(&mut evil, false).unwrap(),
         Some(Response::Hello { version: 1 })
