@@ -1,7 +1,8 @@
 //! `loadgen` — concurrent load generator for the `aicomp-serve` service.
 //!
 //! ```text
-//! loadgen [--addr <ip:port> | --store <file.dcz>] [--clients 32] [--requests 16]
+//! loadgen [--addr <ip:port> | --store <file.dcz> | --cluster <a,b,c>]
+//!         [--clients 32] [--requests 16]
 //!         [--coarse 0.5] [--cf <coarser>] [--seed 7] [--verify <file.dcz>]
 //!         [--chaos <seed>] [--timeout <ms>] [--retries <attempts>]
 //!         [--backend <threads|epoll>]
@@ -47,9 +48,18 @@
 //! the brownout governor degraded are verified against the reference
 //! decode *at the fidelity they declare* — degradation must never mean
 //! wrong bits, only coarser ones.
+//!
+//! `--cluster <addr,addr,...>` drives a sharded cluster (e.g. one started
+//! by `dcz cluster`): every client is a ring-routing [`RobustClient`]
+//! seeded with those members, so fetches go to each key's owning shard,
+//! typed `WrongShard` redirects are consumed by a map refresh, and dead
+//! shards fail over within the key's replica set. The run prints one
+//! machine-greppable `cluster-counters:` line with redirect/refresh/
+//! failover totals and per-shard routed counts (`s0=… s1=…`) — the CI
+//! `cluster-smoke` job asserts `failed=0` through a shard kill.
 
 use std::collections::{BTreeMap, HashMap};
-use std::net::ToSocketAddrs;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
@@ -134,6 +144,10 @@ struct Outcome {
     failovers: u64,
     breaker_opens: u64,
     disruptions: u64,
+    redirects: u64,
+    map_refreshes: u64,
+    /// Ring-routed fetches served by each shard (cluster mode).
+    routed: Vec<u64>,
     latencies: Vec<Duration>,
 }
 
@@ -150,6 +164,14 @@ impl Outcome {
         self.failovers += other.failovers;
         self.breaker_opens += other.breaker_opens;
         self.disruptions += other.disruptions;
+        self.redirects += other.redirects;
+        self.map_refreshes += other.map_refreshes;
+        if self.routed.len() < other.routed.len() {
+            self.routed.resize(other.routed.len(), 0);
+        }
+        for (slot, n) in self.routed.iter_mut().zip(&other.routed) {
+            *slot += n;
+        }
         self.latencies.append(&mut other.latencies);
     }
 }
@@ -198,6 +220,33 @@ fn run() -> Result<bool, String> {
         return Err("--tenants (round-robin) and --tenant (fixed) are mutually exclusive".into());
     }
     let qos_mode = tenants > 0 || arg(&args, "--tenant").is_some();
+    // Cluster mode: comma-separated seed members of a sharded cluster.
+    let cluster_seeds: Option<Vec<SocketAddr>> = match arg(&args, "--cluster") {
+        Some(list) => {
+            if chaos.is_some() {
+                return Err("--cluster and --chaos are mutually exclusive".into());
+            }
+            if arg(&args, "--addr").is_some() || arg(&args, "--store").is_some() {
+                return Err("--cluster drives an external cluster; drop --addr/--store \
+                     (use --verify <file.dcz> for bit checks)"
+                    .into());
+            }
+            let mut seeds = Vec::new();
+            for part in list.split(',').filter(|p| !p.is_empty()) {
+                let sock = part
+                    .to_socket_addrs()
+                    .map_err(|e| format!("{part}: {e}"))?
+                    .next()
+                    .ok_or_else(|| format!("{part}: no address"))?;
+                seeds.push(sock);
+            }
+            if seeds.is_empty() {
+                return Err("--cluster needs at least one seed address".into());
+            }
+            Some(seeds)
+        }
+        None => None,
+    };
     // Which tenant a client thread identifies as: round-robin over
     // `1..=tenants`, or the one fixed `--tenant` for every thread.
     let tenant_of = move |id: usize| -> u32 {
@@ -213,9 +262,12 @@ fn run() -> Result<bool, String> {
     let mut handle: Option<ServerHandle> = None;
     let mut generated: Option<PathBuf> = None;
     let mut verify_path: Option<PathBuf> = arg(&args, "--verify").map(PathBuf::from);
-    let addr = match arg(&args, "--addr") {
-        Some(a) => a,
-        None => {
+    let addr = match (&cluster_seeds, arg(&args, "--addr")) {
+        // Cluster mode: the control connection (info/stats) goes to the
+        // first seed; the workers route by the shard map.
+        (Some(seeds), _) => seeds[0].to_string(),
+        (None, Some(a)) => a,
+        (None, None) => {
             let path = match arg(&args, "--store") {
                 Some(s) => PathBuf::from(s),
                 None => {
@@ -260,12 +312,32 @@ fn run() -> Result<bool, String> {
         .map(|id| {
             let addr = addr.clone();
             let expected = expected.clone();
+            let seeds = cluster_seeds.clone();
             let chunks = info.chunks;
             let my_tenant = tenant_of(id);
             std::thread::spawn(move || -> Result<Outcome, String> {
                 let mut rng = seed ^ (id as u64).wrapping_mul(0x0DDB_1A5E_5BAD_5EED);
-                let mut client = match chaos {
-                    Some(cs) => {
+                let mut client = match (seeds, chaos) {
+                    (Some(sv), _) => {
+                        // Ring mode: route by the shard map, consume
+                        // WrongShard redirects, fail over within each
+                        // key's replica set.
+                        let config = RobustConfig {
+                            retry: RetryPolicy {
+                                max_attempts: retries.max(1),
+                                backoff: Duration::from_millis(5),
+                            },
+                            timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+                            seed: seed ^ (id as u64).wrapping_mul(0x0DDB_1A5E_5BAD_5EED),
+                            tenant: my_tenant,
+                            weight,
+                            ..RobustConfig::default()
+                        };
+                        Fetcher::Robust(Box::new(
+                            RobustClient::new_ring(&sv, config).map_err(|e| e.to_string())?,
+                        ))
+                    }
+                    (None, Some(cs)) => {
                         let sock = addr
                             .to_socket_addrs()
                             .map_err(|e| e.to_string())?
@@ -296,7 +368,7 @@ fn run() -> Result<bool, String> {
                             RobustClient::new(&[sock], config).map_err(|e| e.to_string())?,
                         ))
                     }
-                    None => Fetcher::Plain(
+                    (None, None) => Fetcher::Plain(
                         Client::connect_tenant(&addr, my_tenant, weight)
                             .map_err(|e| e.to_string())?,
                     ),
@@ -345,6 +417,9 @@ fn run() -> Result<bool, String> {
                     out.failovers = c.failovers.load(Ordering::Relaxed);
                     out.breaker_opens = c.breaker_opens.load(Ordering::Relaxed);
                     out.disruptions = r.wire_counters().disruptions();
+                    out.redirects = c.redirects.load(Ordering::Relaxed);
+                    out.map_refreshes = c.map_refreshes.load(Ordering::Relaxed);
+                    out.routed = r.routed_counts().iter().map(|(_, n)| *n).collect();
                 }
                 Ok(out)
             })
@@ -416,6 +491,27 @@ fn run() -> Result<bool, String> {
             .collect();
         println!("qos-counters: seed={seed} {}", fields.join(" "));
     }
+    if let Some(seeds) = &cluster_seeds {
+        // One machine-greppable line (counts only). Routed counts are a
+        // pure function of the seed, the keys, and the map — identical
+        // across runs against a healthy cluster; failovers/redirects stay
+        // exact under the controlled kill of the integration test.
+        let shards: Vec<String> =
+            total.routed.iter().enumerate().map(|(i, n)| format!("s{i}={n}")).collect();
+        println!(
+            "cluster-counters: seed={seed} seeds={} ok={} shed={} failed={} mismatched={} \
+             redirects={} refreshes={} failovers={} {}",
+            seeds.len(),
+            total.ok,
+            total.shed,
+            total.failed,
+            total.mismatched,
+            total.redirects,
+            total.map_refreshes,
+            total.failovers,
+            shards.join(" "),
+        );
+    }
     if let Some(cs) = chaos {
         // One machine-diffable line: every field is a pure function of the
         // seed and the store, so CI runs twice and asserts equality.
@@ -447,6 +543,8 @@ fn run() -> Result<bool, String> {
             ("clients", clients as f64),
             ("requests", requests as f64),
             ("tenants", tenants as f64),
+            ("shards", cluster_seeds.as_ref().map_or(0.0, |s| s.len() as f64)),
+            ("redirects", total.redirects as f64),
             ("ok", total.ok as f64),
             ("shed", total.shed as f64),
             ("degraded", total.degraded as f64),

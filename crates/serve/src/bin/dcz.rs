@@ -9,6 +9,7 @@
 //! dcz verify   --input data.dcz [--deep]
 //! dcz repair   --input broken.dcz --out salvaged.dcz
 //! dcz serve    --store data.dcz [--store more.dcz ...] [--addr 127.0.0.1:7440] [--workers 4]
+//! dcz cluster  --store data.dcz -n 3 [--addr-base 127.0.0.1:7450] [--replication 2]
 //! dcz fetch    --addr 127.0.0.1:7440 --container 0 --chunk 3 [--cf 2] [--out chunk.f32]
 //! dcz stats    --addr 127.0.0.1:7440
 //! dcz shutdown --addr 127.0.0.1:7440
@@ -31,6 +32,12 @@
 //! containers (batched decompression, decoded-chunk cache, load shedding;
 //! wire format in `crates/serve/PROTOCOL.md`); `fetch`/`stats`/`shutdown`
 //! are its client-side counterparts.
+//!
+//! `cluster` launches N shards of a consistent-hash cluster over the same
+//! containers on consecutive ports: every shard serves the shared
+//! [`ShardMap`] and redirects misdirected keys with a typed `WrongShard`.
+//! `fetch --ring` routes through the map (each `--addr` is a seed member)
+//! instead of treating the addresses as replicas of one server.
 
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
@@ -41,7 +48,8 @@ use std::time::Duration;
 use aicomp_core::CodecSpec;
 use aicomp_sciml::{Dataset, DatasetKind};
 use aicomp_serve::{
-    Backend, BrownoutConfig, RobustClient, RobustConfig, ServeConfig, Server, WireFaultPlan,
+    Backend, BrownoutConfig, RobustClient, RobustConfig, ServeConfig, Server, ShardMap,
+    ShardMember, ShardRole, WireFaultPlan,
 };
 use aicomp_store::writer::{DczFileWriter, StoreOptions};
 use aicomp_store::{deep_verify, repair, ChunkStatus, DczReader, RetryPolicy};
@@ -78,7 +86,8 @@ fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Resul
 }
 
 fn usage() -> String {
-    "usage: dcz <codecs|gen|pack|unpack|inspect|verify|repair|serve|fetch|stats|shutdown> [flags]\n\
+    "usage: dcz <codecs|gen|pack|unpack|inspect|verify|repair|serve|cluster|fetch|stats|shutdown> \
+     [flags]\n\
      \x20 codecs   [--n <resolution>] [--cf <chop factor>]   (list the codec registry)\n\
      \x20 gen      --dataset <classify|em_denoise|optical_damage|slstr_cloud> \
      --count <N> --seed <S> --out <raw.f32>\n\
@@ -94,7 +103,12 @@ fn usage() -> String {
      [--idle-timeout <ms, 0 = never>] [--max-conns <N>] [--chaos <seed, 0 = off>] \
      [--quantum <pops>] [--tenant-inflight <N, 0 = unlimited>] \
      [--tenant-bytes <B, 0 = unlimited>] [--brownout]\n\
+     \x20 cluster  --store <file.dcz> [--store <more.dcz> ...] -n <shards> \
+     [--addr-base <ip:port, fixed — port 0 rejected>] [--backend <threads|epoll>] \
+     [--seed <ring seed>] [--vnodes <per member>] [--replication <R>] [--epoch <nonzero>] \
+     [--workers <N>] [--queue <depth>] [--batch <max>] [--cache <chunks>] [--shards <N>]\n\
      \x20 fetch    --addr <ip:port> [--addr <replica> ...] --container <id> --chunk <index> \
+     [--ring  (addresses are cluster seeds; route by the shard map)] \
      [--cf <coarser, 0 = stored>] [--out <raw.f32>] [--timeout <ms>] [--retries <N>] \
      [--tenant <id>] [--weight <class>]\n\
      \x20 stats    --addr <ip:port> [--timeout <ms>] [--retries <N>]\n\
@@ -130,7 +144,13 @@ fn robust_client(args: &[String]) -> Result<RobustClient, String> {
         weight: parse(args, "--weight", 1)?,
         ..RobustConfig::default()
     };
-    RobustClient::new(&resolved, config).map_err(|e| e.to_string())
+    // `--ring`: the addresses are seed members of a sharded cluster, not
+    // replicas of one server — route fetches by the shard map.
+    if args.iter().any(|a| a == "--ring") {
+        RobustClient::new_ring(&resolved, config).map_err(|e| e.to_string())
+    } else {
+        RobustClient::new(&resolved, config).map_err(|e| e.to_string())
+    }
 }
 
 fn main() -> ExitCode {
@@ -151,6 +171,7 @@ fn main() -> ExitCode {
         "verify" => verify(&args),
         "repair" => repair_cmd(&args),
         "serve" => serve(&args),
+        "cluster" => cluster(&args),
         "fetch" => fetch(&args),
         "stats" => stats(&args),
         "shutdown" => shutdown(&args),
@@ -407,6 +428,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         // `--brownout` enables the governor at its default hysteresis;
         // the watermarks are tuned relative to queue depth, not absolute.
         brownout: args.iter().any(|a| a == "--brownout").then(BrownoutConfig::default),
+        shard: None,
     };
     let addr = addr_of(args);
     let backend = config.backend;
@@ -422,6 +444,80 @@ fn serve(args: &[String]) -> Result<(), String> {
     println!("stop with: dcz shutdown --addr {bound}");
     server.run();
     println!("shut down cleanly");
+    Ok(())
+}
+
+/// Launch an `n`-shard consistent-hash cluster over the same containers
+/// on consecutive ports. Every shard gets the same [`ShardMap`] (member
+/// `shard{i}` at `base + i`) and its own index; each stops on its own
+/// `Shutdown` frame, and the command returns when all have drained.
+fn cluster(args: &[String]) -> Result<(), String> {
+    let stores = arg_all(args, "--store");
+    if stores.is_empty() {
+        return Err("at least one --store <file.dcz> is required".into());
+    }
+    let n: usize = parse(args, "-n", 3)?;
+    if n == 0 {
+        return Err("a cluster needs at least one shard (-n 1)".into());
+    }
+    let base = arg(args, "--addr-base").unwrap_or_else(|| "127.0.0.1:7450".into());
+    let base: std::net::SocketAddr =
+        base.parse().map_err(|e| format!("bad --addr-base {base:?}: {e}"))?;
+    // The map must name dialable addresses *before* any server binds, so
+    // ephemeral ports cannot work here — the OS would assign them after
+    // the map is already fixed.
+    if base.port() == 0 {
+        return Err("--addr-base needs a fixed port (the shard map is built before binding)".into());
+    }
+    let seed: u64 = parse(args, "--seed", 7)?;
+    let vnodes: u16 = parse(args, "--vnodes", 128)?;
+    let replication: u8 = parse(args, "--replication", 2)?;
+    let epoch: u64 = parse(args, "--epoch", 1)?;
+    if epoch == 0 {
+        return Err("--epoch 0 is reserved for solo servers; a cluster map starts at 1".into());
+    }
+    let mut members = Vec::with_capacity(n);
+    for i in 0..n {
+        let port = base
+            .port()
+            .checked_add(i as u16)
+            .ok_or_else(|| format!("port {} + {i} overflows", base.port()))?;
+        members.push(ShardMember {
+            name: format!("shard{i}"),
+            addr: std::net::SocketAddr::new(base.ip(), port).to_string(),
+        });
+    }
+    let map = ShardMap::new(epoch, seed, vnodes, replication, members);
+    let backend: Backend = parse(args, "--backend", Backend::default())?;
+    println!(
+        "cluster of {n} shard(s) over {} container(s) \
+         (epoch {epoch}, seed {seed}, {vnodes} vnodes, replication {}):",
+        stores.len(),
+        map.replication
+    );
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let config = ServeConfig {
+            workers: parse(args, "--workers", 4)?,
+            queue_depth: parse(args, "--queue", 64)?,
+            batch_max: parse(args, "--batch", 16)?,
+            cache_entries: parse(args, "--cache", 256)?,
+            cache_shards: parse(args, "--shards", 8)?,
+            backend,
+            shard: Some(ShardRole { map: map.clone(), index: i }),
+            ..ServeConfig::default()
+        };
+        let addr = map.members[i].addr.clone();
+        let server =
+            Server::bind(addr.as_str(), &stores, config).map_err(|e| format!("{addr}: {e}"))?;
+        println!("  {} {} ({backend} backend)", map.members[i].name, server.local_addr());
+        handles.push(server.spawn());
+    }
+    println!("stop each shard with: dcz shutdown --addr <its ip:port>");
+    for h in handles {
+        h.join();
+    }
+    println!("cluster shut down cleanly");
     Ok(())
 }
 

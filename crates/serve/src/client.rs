@@ -135,6 +135,12 @@ impl Client {
     fn read(&mut self) -> Result<Response> {
         match read_response(&mut self.stream, frames_checksummed(self.version))? {
             Some(Response::Error { code, message }) => Err(ServeError::Server { code, message }),
+            // A shard redirect is typed all the way up: the ring-aware
+            // RobustClient catches it and re-routes; plain callers see
+            // where the key lives instead of a generic failure.
+            Some(Response::WrongShard { epoch, owner }) => {
+                Err(ServeError::WrongShard { epoch, owner })
+            }
             Some(resp) => Ok(resp),
             None => Err(ServeError::Protocol("server closed the connection".into())),
         }
@@ -196,6 +202,16 @@ impl Client {
         }
     }
 
+    /// Fetch the cluster's shard map. Every member answers with the same
+    /// map; a solo server answers with its implicit one-member map at
+    /// epoch 0.
+    pub fn shard_map(&mut self) -> Result<crate::shard::ShardMap> {
+        match self.roundtrip(&Request::ShardMap)? {
+            Response::ShardMap(map) => Ok(map),
+            other => Err(unexpected("ShardMap", &other)),
+        }
+    }
+
     /// Ask the server to shut down gracefully.
     pub fn shutdown(&mut self) -> Result<()> {
         match self.roundtrip(&Request::Shutdown)? {
@@ -214,6 +230,8 @@ fn unexpected(wanted: &str, got: &Response) -> ServeError {
         Response::Stats(_) => "Stats",
         Response::Pong => "Pong",
         Response::ShuttingDown => "ShuttingDown",
+        Response::ShardMap(_) => "ShardMap",
+        Response::WrongShard { .. } => "WrongShard",
         Response::Error { .. } => "Error",
     };
     ServeError::Protocol(format!("expected a {wanted} reply, got {name}"))

@@ -476,7 +476,7 @@ mod imp {
                     let mut c = EpConn {
                         stream,
                         fd,
-                        conn: ServerConn::new(),
+                        conn: ServerConn::with_shard_epoch(shared.shard.map.epoch),
                         pending: VecDeque::new(),
                         next_seq: 0,
                         outbox: VecDeque::new(),

@@ -67,8 +67,11 @@
 //! * [`chaos`] — seeded, deterministic wire-fault injection
 //!   ([`FaultyStream`]): the network analogue of the store's `FaultPlan`.
 //! * [`robust`] — [`RobustClient`]: bounded retry with backoff,
-//!   reconnect, per-endpoint circuit breakers, and replica failover over
-//!   the idempotent read path.
+//!   reconnect, per-endpoint circuit breakers, replica failover over the
+//!   idempotent read path, and shard-aware ring routing.
+//! * [`shard`] — consistent-hash cluster layout: the seeded [`ShardMap`]
+//!   ring (virtual nodes, ordered replica sets) every cluster member
+//!   serves as a typed frame and every ring client routes by.
 
 pub mod cache;
 pub mod chaos;
@@ -79,6 +82,7 @@ pub mod protocol;
 pub mod queue;
 pub mod robust;
 pub mod server;
+pub mod shard;
 pub mod stats;
 
 pub use cache::{CacheKey, CacheSnapshot, ChunkCache};
@@ -93,7 +97,8 @@ pub use protocol::{
 };
 pub use queue::{Mpmc, PushError, TenantQuota, Wfq};
 pub use robust::{BreakerState, RobustClient, RobustConfig, RobustCounters};
-pub use server::{Backend, BrownoutConfig, ServeConfig, Server, ServerHandle};
+pub use server::{Backend, BrownoutConfig, ServeConfig, Server, ServerHandle, ShardRole};
+pub use shard::{ShardMap, ShardMember};
 pub use stats::{EndpointStats, StatsReport, TenantStats};
 
 /// Errors from the service and its client.
@@ -112,6 +117,17 @@ pub enum ServeError {
     },
     /// Container-layer failure while starting the server.
     Store(aicomp_store::StoreError),
+    /// The server answered a fetch with a typed shard redirect: it does
+    /// not serve that key under the map at `epoch`. Not a failure of the
+    /// request — the ring-aware [`RobustClient`] consumes this
+    /// internally (refresh map, re-route); it only surfaces to callers
+    /// that fetched from a cluster member without ring routing.
+    WrongShard {
+        /// Epoch of the map the server routed by.
+        epoch: u64,
+        /// Shard index of the key's primary owner under that map.
+        owner: u32,
+    },
 }
 
 impl ServeError {
@@ -132,6 +148,9 @@ impl ServeError {
             ServeError::Io(_) | ServeError::Protocol(_) => true,
             ServeError::Server { code, .. } => code.is_retryable(),
             ServeError::Store(_) => false,
+            // Blind retry against the same server gets the same redirect
+            // — only the routing layer (refresh + re-route) can help.
+            ServeError::WrongShard { .. } => false,
         }
     }
 }
@@ -143,6 +162,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServeError::Server { code, message } => write!(f, "server error ({code}): {message}"),
             ServeError::Store(e) => write!(f, "store error: {e}"),
+            ServeError::WrongShard { epoch, owner } => {
+                write!(f, "wrong shard: key is owned by shard {owner} under map epoch {epoch}")
+            }
         }
     }
 }

@@ -282,6 +282,7 @@ pub struct ServerConn {
     version: Option<u16>,
     tenant: u32,
     weight: u8,
+    shard_epoch: u64,
     actions: std::collections::VecDeque<Action>,
     frames: u64,
 }
@@ -293,14 +294,24 @@ impl Default for ServerConn {
 }
 
 impl ServerConn {
-    /// Fresh connection in the handshake phase.
+    /// Fresh connection in the handshake phase (solo server: the Hello
+    /// ack advertises no shard epoch).
     pub fn new() -> ServerConn {
+        ServerConn::with_shard_epoch(0)
+    }
+
+    /// Fresh connection whose Hello ack advertises `shard_epoch` — how a
+    /// cluster member tells every client, at handshake time, that a
+    /// shard map exists and which version it routes by. Epoch 0 (solo)
+    /// keeps the ack byte-identical to the pre-shard protocol.
+    pub fn with_shard_epoch(shard_epoch: u64) -> ServerConn {
         ServerConn {
             decoder: FrameDecoder::new(),
             phase: Phase::Handshake,
             version: None,
             tenant: 0,
             weight: 1,
+            shard_epoch,
             actions: std::collections::VecDeque::new(),
             frames: 0,
         }
@@ -421,7 +432,10 @@ impl ServerConn {
                     self.tenant = tenant;
                     self.weight = weight.max(1);
                     self.phase = Phase::Steady;
-                    let (rop, rbody) = encode_response(&Response::Hello { version: v });
+                    let (rop, rbody) = encode_response(&Response::Hello {
+                        version: v,
+                        shard_epoch: self.shard_epoch,
+                    });
                     if let Ok(bytes) = encode_frame(rop, &rbody, false) {
                         self.actions.push_back(Action::Send(bytes));
                     }
@@ -539,6 +553,9 @@ pub struct ClientConn {
     weight: u8,
     /// Version the server granted; `None` until the ack lands.
     version: Option<u16>,
+    /// Shard-map epoch the server's Hello ack advertised (`0` = solo
+    /// server or pre-shard peer — no cluster to route across).
+    shard_epoch: u64,
     events: std::collections::VecDeque<ClientEvent>,
     eof: bool,
 }
@@ -558,6 +575,7 @@ impl ClientConn {
             tenant,
             weight: weight.max(1),
             version: None,
+            shard_epoch: 0,
             events: std::collections::VecDeque::new(),
             eof: false,
         }
@@ -566,6 +584,13 @@ impl ClientConn {
     /// The granted protocol version (`None` until negotiated).
     pub fn version(&self) -> Option<u16> {
         self.version
+    }
+
+    /// Shard-map epoch the handshake advertised; `0` until negotiated,
+    /// and `0` after it when the server is solo (or pre-shard). Nonzero
+    /// means "fetch the shard map before routing".
+    pub fn shard_epoch(&self) -> u64 {
+        self.shard_epoch
     }
 
     /// The opening `Hello` frame (always v1-framed).
@@ -622,13 +647,14 @@ impl ClientConn {
                     let resp = crate::protocol::decode_response(op, &body)?;
                     if self.version.is_none() {
                         match resp {
-                            Response::Hello { version } => {
+                            Response::Hello { version, shard_epoch } => {
                                 if version < MIN_PROTO_VERSION || version > self.want {
                                     return Err(ServeError::Protocol(format!(
                                         "server granted unusable protocol version {version}"
                                     )));
                                 }
                                 self.version = Some(version);
+                                self.shard_epoch = shard_epoch;
                                 self.events.push_back(ClientEvent::Negotiated(version));
                             }
                             Response::Error { code, message } => {
@@ -863,7 +889,7 @@ mod tests {
     fn client_conn_rejects_bad_grants() {
         // Grant above the offer.
         let mut client = ClientConn::new(1);
-        let (op, body) = encode_response(&Response::Hello { version: 2 });
+        let (op, body) = encode_response(&Response::Hello { version: 2, shard_epoch: 0 });
         let err = client.on_bytes(&encode_frame(op, &body, false).unwrap()).unwrap_err();
         assert!(err.to_string().contains("unusable protocol version"));
         // Non-hello handshake reply.
@@ -875,6 +901,106 @@ mod tests {
         let mut client = ClientConn::new(2);
         let err = client.on_eof().unwrap_err();
         assert!(err.to_string().contains("closed during handshake"));
+    }
+
+    /// Relay every `Send` action from the server machine into the client
+    /// machine — the no-socket "wire" the shard tests drive.
+    fn relay(server: &mut ServerConn, client: &mut ClientConn) {
+        while let Some(a) = server.next_action() {
+            if let Action::Send(bytes) = a {
+                client.on_bytes(&bytes).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn shard_epoch_rides_the_handshake_through_both_machines() {
+        // A cluster member advertises its epoch in the Hello ack.
+        let mut server = ServerConn::with_shard_epoch(5);
+        let mut client = ClientConn::new(2);
+        server.on_bytes(&client.hello_bytes());
+        relay(&mut server, &mut client);
+        assert!(matches!(client.next_event(), Some(ClientEvent::Negotiated(2))));
+        assert_eq!(client.shard_epoch(), 5);
+
+        // A solo server (epoch 0) advertises nothing — including to v1
+        // clients, whose ack stays byte-identical to the pre-shard one.
+        for want in [1, 2] {
+            let mut server = ServerConn::new();
+            let mut client = ClientConn::new(want);
+            server.on_bytes(&client.hello_bytes());
+            relay(&mut server, &mut client);
+            assert!(matches!(client.next_event(), Some(ClientEvent::Negotiated(v)) if v == want));
+            assert_eq!(client.shard_epoch(), 0);
+        }
+    }
+
+    #[test]
+    fn wrong_shard_redirect_round_trips_machine_to_machine() {
+        use crate::shard::{ShardMap, ShardMember};
+        // The full redirect conversation, no sockets: a misdirected
+        // fetch is answered WrongShard, the client fetches the map and
+        // recomputes the owner — which matches the redirect.
+        let map = ShardMap::new(
+            2,
+            77,
+            64,
+            2,
+            vec![
+                ShardMember { name: "shard0".into(), addr: "a:1".into() },
+                ShardMember { name: "shard1".into(), addr: "b:2".into() },
+                ShardMember { name: "shard2".into(), addr: "c:3".into() },
+            ],
+        );
+        // Find a key shard 0 does not serve.
+        let (container, chunk) =
+            (0..100u32).map(|k| (0, k)).find(|&(c, k)| !map.serves(0, c, k)).unwrap();
+        let owner = map.owner(container, chunk);
+
+        let mut server = ServerConn::with_shard_epoch(map.epoch);
+        let mut client = ClientConn::new(2);
+        server.on_bytes(&client.hello_bytes());
+        relay(&mut server, &mut client);
+        assert!(matches!(client.next_event(), Some(ClientEvent::Negotiated(2))));
+
+        // Misdirected fetch → the application (here: the test, standing
+        // in for `admit_fetch`) answers with the typed redirect.
+        let fetch = Request::Fetch { container, chunk, read_cf: 0, deadline_ms: 0 };
+        server.on_bytes(&client.request_bytes(&fetch).unwrap());
+        match server.next_action() {
+            Some(Action::Deliver(req)) => assert_eq!(req, fetch),
+            other => panic!("expected fetch delivery, got {other:?}"),
+        }
+        server.push_response(&Response::WrongShard { epoch: map.epoch, owner: owner as u32 });
+        relay(&mut server, &mut client);
+        let redirected_to = match client.next_event() {
+            Some(ClientEvent::Response(r)) => match *r {
+                Response::WrongShard { epoch, owner } => {
+                    assert_eq!(epoch, map.epoch);
+                    owner
+                }
+                other => panic!("expected WrongShard, got {other:?}"),
+            },
+            other => panic!("expected a response, got {other:?}"),
+        };
+
+        // The client refreshes its map over the same machine pair...
+        server.on_bytes(&client.request_bytes(&Request::ShardMap).unwrap());
+        match server.next_action() {
+            Some(Action::Deliver(Request::ShardMap)) => {}
+            other => panic!("expected map request delivery, got {other:?}"),
+        }
+        server.push_response(&Response::ShardMap(map.clone()));
+        relay(&mut server, &mut client);
+        let fetched = match client.next_event() {
+            Some(ClientEvent::Response(r)) => match *r {
+                Response::ShardMap(m) => m,
+                other => panic!("expected ShardMap, got {other:?}"),
+            },
+            other => panic!("expected a response, got {other:?}"),
+        };
+        // ...and re-routes to exactly the shard the redirect named.
+        assert_eq!(fetched.owner(container, chunk) as u32, redirected_to);
     }
 
     #[test]

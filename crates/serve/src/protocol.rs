@@ -1,7 +1,7 @@
 //! Wire protocol: length-prefixed binary frames (narrative in `PROTOCOL.md`).
 //!
 //! Every frame is `[len: u32 LE][opcode: u8][body]`. Requests use opcodes
-//! `0x01..=0x06`, responses `0x81..=0x86` plus the error frame `0x7F`. All
+//! `0x01..=0x07`, responses `0x81..=0x88` plus the error frame `0x7F`. All
 //! integers are little-endian; strings are `u16` length + UTF-8 bytes;
 //! chunk payloads are raw little-endian `f32`.
 //!
@@ -26,6 +26,7 @@
 
 use std::io::{ErrorKind, Read, Write};
 
+use crate::shard::ShardMap;
 use crate::stats::StatsReport;
 use crate::{Result, ServeError};
 
@@ -171,6 +172,10 @@ pub enum Request {
     Ping,
     /// Begin graceful shutdown: stop accepting, drain in-flight work.
     Shutdown,
+    /// Fetch the cluster's current [`ShardMap`] (any member answers with
+    /// the same map; a solo server answers with its implicit one-member
+    /// map at epoch 0).
+    ShardMap,
 }
 
 impl Request {
@@ -207,6 +212,13 @@ pub enum Response {
     Hello {
         /// The server's [`PROTO_VERSION`].
         version: u16,
+        /// Epoch of the shard map this server belongs to. Optional-
+        /// trailing on the wire, and written only when nonzero — a solo
+        /// (unsharded) server's Hello ack is byte-identical to the
+        /// pre-shard one, and pre-shard acks decode as epoch 0. A
+        /// nonzero epoch tells the client to fetch the [`ShardMap`]
+        /// before routing fetches.
+        shard_epoch: u64,
     },
     /// Container description.
     Info(ContainerInfo),
@@ -234,6 +246,19 @@ pub enum Response {
     Pong,
     /// `Shutdown` acknowledgement: the server is draining.
     ShuttingDown,
+    /// The cluster's shard map (the `Request::ShardMap` reply; boxed
+    /// indirectly by the contained vectors, small on the wire).
+    ShardMap(ShardMap),
+    /// This server does not serve the requested `(container, chunk)` key
+    /// under the shard map at `epoch` — a typed redirect, not an error
+    /// code: the client refreshes its map (if stale) and re-routes to
+    /// `owner`. The request was rejected before any disk or worker time.
+    WrongShard {
+        /// Epoch of the map the server routed by.
+        epoch: u64,
+        /// Shard index of the key's primary owner under that map.
+        owner: u32,
+    },
     /// Typed failure.
     Error {
         /// Machine-readable class.
@@ -250,6 +275,7 @@ const OP_FETCH: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_PING: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
+const OP_SHARD_MAP: u8 = 0x07;
 // Response opcodes.
 const OP_R_HELLO: u8 = 0x81;
 const OP_R_INFO: u8 = 0x82;
@@ -257,6 +283,8 @@ pub(crate) const OP_R_CHUNK: u8 = 0x83;
 const OP_R_STATS: u8 = 0x84;
 const OP_R_PONG: u8 = 0x85;
 const OP_R_SHUTDOWN: u8 = 0x86;
+const OP_R_SHARD_MAP: u8 = 0x87;
+const OP_R_WRONG_SHARD: u8 = 0x88;
 const OP_R_ERROR: u8 = 0x7F;
 
 /// Byte-wise body reader with protocol-typed errors.
@@ -369,6 +397,7 @@ pub fn encode_request(req: &Request, version: u16) -> Result<(u8, Vec<u8>)> {
         Request::Stats => OP_STATS,
         Request::Ping => OP_PING,
         Request::Shutdown => OP_SHUTDOWN,
+        Request::ShardMap => OP_SHARD_MAP,
     };
     Ok((op, b))
 }
@@ -399,6 +428,7 @@ pub fn decode_request(op: u8, body: &[u8], version: u16) -> Result<Request> {
         OP_STATS => Request::Stats,
         OP_PING => Request::Ping,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_SHARD_MAP => Request::ShardMap,
         other => return Err(ServeError::Protocol(format!("unknown request opcode {other:#04x}"))),
     };
     r.finish()?;
@@ -409,8 +439,14 @@ pub fn decode_request(op: u8, body: &[u8], version: u16) -> Result<Request> {
 pub fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
     let mut b = Vec::new();
     let op = match resp {
-        Response::Hello { version } => {
+        Response::Hello { version, shard_epoch } => {
             b.extend_from_slice(&version.to_le_bytes());
+            // Trailing, and only when nonzero: a solo server's ack stays
+            // byte-identical to the pre-shard protocol, and pre-shard
+            // servers' acks decode as epoch 0 (no cluster).
+            if *shard_epoch != 0 {
+                b.extend_from_slice(&shard_epoch.to_le_bytes());
+            }
             OP_R_HELLO
         }
         Response::Info(info) => {
@@ -444,6 +480,15 @@ pub fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
         }
         Response::Pong => OP_R_PONG,
         Response::ShuttingDown => OP_R_SHUTDOWN,
+        Response::ShardMap(map) => {
+            map.encode(&mut b);
+            OP_R_SHARD_MAP
+        }
+        Response::WrongShard { epoch, owner } => {
+            b.extend_from_slice(&epoch.to_le_bytes());
+            b.extend_from_slice(&owner.to_le_bytes());
+            OP_R_WRONG_SHARD
+        }
         Response::Error { code, message } => {
             b.push(code.to_u8());
             put_string(&mut b, message);
@@ -457,7 +502,11 @@ pub fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
 pub fn decode_response(op: u8, body: &[u8]) -> Result<Response> {
     let mut r = BodyReader::new(body);
     let resp = match op {
-        OP_R_HELLO => Response::Hello { version: r.u16()? },
+        OP_R_HELLO => Response::Hello {
+            version: r.u16()?,
+            // Optional-trailing: a pre-shard ack ends at the version.
+            shard_epoch: if r.remaining() > 0 { r.u64()? } else { 0 },
+        },
         OP_R_INFO => Response::Info(ContainerInfo {
             samples: r.u64()?,
             chunks: r.u32()?,
@@ -483,6 +532,8 @@ pub fn decode_response(op: u8, body: &[u8]) -> Result<Response> {
         OP_R_STATS => Response::Stats(Box::new(StatsReport::decode(&mut r)?)),
         OP_R_PONG => Response::Pong,
         OP_R_SHUTDOWN => Response::ShuttingDown,
+        OP_R_SHARD_MAP => Response::ShardMap(ShardMap::decode(&mut r)?),
+        OP_R_WRONG_SHARD => Response::WrongShard { epoch: r.u64()?, owner: r.u32()? },
         OP_R_ERROR => Response::Error { code: ErrorCode::from_u8(r.u8()?)?, message: r.string()? },
         other => return Err(ServeError::Protocol(format!("unknown response opcode {other:#04x}"))),
     };
@@ -619,6 +670,7 @@ mod tests {
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Ping);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::ShardMap);
         // Nonzero deadlines exist only at v2.
         let dl = Request::Fetch { container: 0, chunk: 1, read_cf: 0, deadline_ms: 250 };
         roundtrip_request_at(dl.clone(), 2);
@@ -627,7 +679,8 @@ mod tests {
 
     #[test]
     fn responses_roundtrip() {
-        roundtrip_response(Response::Hello { version: 1 });
+        roundtrip_response(Response::Hello { version: 1, shard_epoch: 0 });
+        roundtrip_response(Response::Hello { version: 2, shard_epoch: 9 });
         roundtrip_response(Response::Info(ContainerInfo {
             samples: 100,
             chunks: 13,
@@ -654,10 +707,42 @@ mod tests {
         });
         roundtrip_response(Response::Pong);
         roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::ShardMap(crate::shard::ShardMap::new(
+            4,
+            0xFEED,
+            128,
+            2,
+            vec![
+                crate::shard::ShardMember { name: "shard0".into(), addr: "127.0.0.1:7450".into() },
+                crate::shard::ShardMember { name: "shard1".into(), addr: "127.0.0.1:7451".into() },
+                crate::shard::ShardMember { name: "shard2".into(), addr: "127.0.0.1:7452".into() },
+            ],
+        )));
+        roundtrip_response(Response::WrongShard { epoch: 4, owner: 2 });
         roundtrip_response(Response::Error {
             code: ErrorCode::Overloaded,
             message: "queue full (64)".into(),
         });
+    }
+
+    #[test]
+    fn shard_epoch_is_optional_trailing_on_the_hello_ack() {
+        // A solo (epoch-0) ack writes no trailing bytes — byte-identical
+        // to the pre-shard protocol.
+        let (op, body) = encode_response(&Response::Hello { version: 2, shard_epoch: 0 });
+        assert_eq!(body.len(), 2, "epoch 0 must not appear on the wire");
+        // And a bare pre-shard ack decodes as epoch 0.
+        assert_eq!(
+            decode_response(op, &body).unwrap(),
+            Response::Hello { version: 2, shard_epoch: 0 }
+        );
+        // A cluster member's ack carries its epoch.
+        let (op, body) = encode_response(&Response::Hello { version: 2, shard_epoch: 3 });
+        assert_eq!(body.len(), 10);
+        assert_eq!(
+            decode_response(op, &body).unwrap(),
+            Response::Hello { version: 2, shard_epoch: 3 }
+        );
     }
 
     #[test]

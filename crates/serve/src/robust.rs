@@ -26,12 +26,25 @@
 //!   client sleeps until the earliest half-open eligibility instead of
 //!   spinning.
 //!
+//! A fourth mechanism serves clusters. [`RobustClient::new`] treats its
+//! addresses as **replicas of one shard** — interchangeable servers over
+//! the same full keyspace, tried sticky-first. [`RobustClient::new_ring`]
+//! treats them as **seed members of a sharded cluster**: the client
+//! fetches the cluster's [`ShardMap`] (lazily, or when a typed
+//! `WrongShard` redirect proves its copy stale), routes every fetch to
+//! the key's replica set in primary-first order, and falls back to the
+//! key's other replicas — through the same breakers — when the primary
+//! is down. The two modes must not be conflated: failover among replicas
+//! of one shard is safe for *any* key, while failover among ring members
+//! is only safe within one key's replica set (any other member would
+//! just answer `WrongShard`).
+//!
 //! Every decision is observable: [`RobustCounters`] tallies attempts,
-//! retries, reconnects, failovers, breaker opens, probes, and deadline
-//! hits, and the chaos tests assert these match the injected fault
-//! counts exactly.
+//! retries, reconnects, failovers, breaker opens, probes, deadline
+//! hits, redirects, and map refreshes, and the chaos tests assert these
+//! match the injected fault counts exactly.
 
-use std::net::{SocketAddr, TcpStream};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -41,6 +54,7 @@ use aicomp_store::{RetryPolicy, SplitMix64};
 use crate::chaos::{FaultyStream, WireCounters, WireFaultPlan};
 use crate::client::{Client, FetchedChunk};
 use crate::protocol::{client_handshake_tenant, ContainerInfo, PROTO_VERSION};
+use crate::shard::ShardMap;
 use crate::stats::StatsReport;
 use crate::{Result, ServeError};
 
@@ -112,6 +126,12 @@ pub struct RobustCounters {
     /// Extra full-fidelity attempts issued by [`RobustClient::fetch_full`]
     /// after a degraded reply.
     pub refetches: AtomicU64,
+    /// Typed `WrongShard` redirects consumed by ring routing (each one
+    /// triggers a map refresh and a re-route).
+    pub redirects: AtomicU64,
+    /// Shard-map fetches in ring mode (the lazy initial load plus every
+    /// post-redirect refresh).
+    pub map_refreshes: AtomicU64,
 }
 
 impl RobustCounters {
@@ -188,9 +208,25 @@ struct Endpoint {
     ever_connected: bool,
 }
 
+impl Endpoint {
+    fn new(addr: SocketAddr) -> Endpoint {
+        Endpoint { addr, conn: None, breaker: Breaker::new(), ever_connected: false }
+    }
+}
+
+/// Ring-mode state: the installed cluster map (lazy — `None` until the
+/// first fetch or explicit refresh) plus per-shard routing tallies.
+struct Ring {
+    map: Option<ShardMap>,
+    /// Fetches served by each shard *under ring routing* (blind
+    /// pre-map asks against a seed are not tallied — they are not routed).
+    routed: Vec<u64>,
+}
+
 /// A client over one or more replica endpoints with retry, circuit
-/// breaking, and failover. Single-threaded (like [`Client`]); spawn one
-/// per worker thread.
+/// breaking, and failover — and, in ring mode
+/// ([`RobustClient::new_ring`]), shard-aware routing over a cluster.
+/// Single-threaded (like [`Client`]); spawn one per worker thread.
 pub struct RobustClient {
     endpoints: Vec<Endpoint>,
     config: RobustConfig,
@@ -199,6 +235,7 @@ pub struct RobustClient {
     rng: SplitMix64,
     conn_seq: u64,
     preferred: usize,
+    ring: Option<Ring>,
 }
 
 impl std::fmt::Debug for RobustClient {
@@ -211,31 +248,44 @@ impl std::fmt::Debug for RobustClient {
 }
 
 impl RobustClient {
-    /// Build a client over `addrs` (tried in order; the first is the
-    /// initial preferred replica). Connections are opened lazily, per
-    /// endpoint, on first use.
+    /// Build a client over `addrs` as **replicas of one shard**:
+    /// interchangeable servers over the same full keyspace, tried in
+    /// order (the first is the initial preferred replica), with failover
+    /// safe for *any* key. For the members of a sharded cluster — where
+    /// each server owns only part of the keyspace and failing over to an
+    /// arbitrary member would just earn a `WrongShard` redirect — use
+    /// [`RobustClient::new_ring`] instead. Connections are opened lazily,
+    /// per endpoint, on first use.
     pub fn new(addrs: &[SocketAddr], config: RobustConfig) -> Result<RobustClient> {
         if addrs.is_empty() {
             return Err(ServeError::Protocol("RobustClient needs at least one endpoint".into()));
         }
         let rng = SplitMix64(config.seed ^ 0xC1EC_0B8A_5EED_0001);
         Ok(RobustClient {
-            endpoints: addrs
-                .iter()
-                .map(|&addr| Endpoint {
-                    addr,
-                    conn: None,
-                    breaker: Breaker::new(),
-                    ever_connected: false,
-                })
-                .collect(),
+            endpoints: addrs.iter().map(|&addr| Endpoint::new(addr)).collect(),
             config,
             counters: Arc::new(RobustCounters::default()),
             wire: Arc::new(WireCounters::default()),
             rng,
             conn_seq: 0,
             preferred: 0,
+            ring: None,
         })
+    }
+
+    /// Build a **ring-routing** client over `seeds` — the dialable
+    /// addresses of some (any) members of a sharded cluster. The first
+    /// fetch asks a seed blind; the seed either serves the key (it was a
+    /// replica for it) or answers a typed `WrongShard`, at which point
+    /// the client fetches the cluster's [`ShardMap`], rebuilds its
+    /// endpoint set to the full membership, and routes every subsequent
+    /// fetch to the key's replica set in primary-first order. Failover
+    /// stays *within* one key's replica set; a stale map is corrected by
+    /// the next redirect, never by guessing.
+    pub fn new_ring(seeds: &[SocketAddr], config: RobustConfig) -> Result<RobustClient> {
+        let mut client = RobustClient::new(seeds, config)?;
+        client.ring = Some(Ring { map: None, routed: Vec::new() });
+        Ok(client)
     }
 
     /// The recovery counters (shared; keep a clone across calls).
@@ -259,7 +309,10 @@ impl RobustClient {
     /// [`FetchedChunk::degraded`] flag says so and the `degraded` counter
     /// tallies it — use [`RobustClient::fetch_full`] to insist.
     pub fn fetch(&mut self, container: u32, chunk: u32, read_cf: u8) -> Result<FetchedChunk> {
-        let got = self.call(|client, remaining| {
+        if self.ring.is_some() {
+            return self.fetch_ring(container, chunk, read_cf);
+        }
+        let (got, _) = self.call_routed(None, |client, remaining| {
             // Forward the remaining budget as the server-side deadline on
             // v2 links, so queued work we stopped waiting for is shed.
             let deadline = remaining.filter(|_| client.version() >= 2);
@@ -269,6 +322,117 @@ impl RobustClient {
             self.counters.bump(&self.counters.degraded);
         }
         Ok(got)
+    }
+
+    /// Ring-mode fetch: route to the key's replica set when a map is
+    /// installed, ask the seed blind when it isn't, and consume typed
+    /// `WrongShard` redirects by refreshing the map and re-routing. The
+    /// hop budget covers the blind first ask plus an epoch race — a
+    /// cluster still redirecting after that disagrees with its own map,
+    /// and the redirect surfaces to the caller.
+    fn fetch_ring(&mut self, container: u32, chunk: u32, read_cf: u8) -> Result<FetchedChunk> {
+        const MAX_HOPS: usize = 3;
+        let mut last: Option<ServeError> = None;
+        for _ in 0..MAX_HOPS {
+            let pin: Option<Vec<usize>> = self
+                .ring
+                .as_ref()
+                .and_then(|r| r.map.as_ref())
+                .map(|m| m.replicas(container, chunk));
+            let result = self.call_routed(pin.as_deref(), |client, remaining| {
+                let deadline = remaining.filter(|_| client.version() >= 2);
+                client.fetch_deadline(container, chunk, read_cf, deadline)
+            });
+            match result {
+                Ok((got, index)) => {
+                    if pin.is_some() {
+                        if let Some(slot) = self.ring.as_mut().and_then(|r| r.routed.get_mut(index))
+                        {
+                            *slot += 1;
+                        }
+                    }
+                    if got.degraded() {
+                        self.counters.bump(&self.counters.degraded);
+                    }
+                    return Ok(got);
+                }
+                Err(e @ ServeError::WrongShard { .. }) => {
+                    self.counters.bump(&self.counters.redirects);
+                    self.refresh_map()?;
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| ServeError::Protocol("redirect loop with no error".into())))
+    }
+
+    /// Fetch the cluster map from whichever endpoint answers first and
+    /// install it (no-op for a stale answer — a lower epoch than the one
+    /// already installed).
+    fn refresh_map(&mut self) -> Result<()> {
+        self.counters.bump(&self.counters.map_refreshes);
+        let (map, _) = self.call_routed(None, |client, _| client.shard_map())?;
+        self.install_map(map)
+    }
+
+    /// Adopt `map`: rebuild the endpoint set to the full membership in
+    /// shard-index order (endpoint index == shard index from here on),
+    /// preserving each surviving address's live connection and breaker
+    /// state across the refresh.
+    fn install_map(&mut self, map: ShardMap) -> Result<()> {
+        let Some(ring) = self.ring.as_ref() else {
+            return Ok(());
+        };
+        if ring.map.as_ref().is_some_and(|cur| map.epoch < cur.epoch) {
+            return Ok(());
+        }
+        let mut addrs: Vec<SocketAddr> = Vec::with_capacity(map.members.len());
+        for m in &map.members {
+            let addr = match m.addr.parse() {
+                Ok(a) => a,
+                Err(_) => {
+                    m.addr.to_socket_addrs().ok().and_then(|mut it| it.next()).ok_or_else(|| {
+                        ServeError::Protocol(format!(
+                            "shard map member {:?} has undialable address {:?}",
+                            m.name, m.addr
+                        ))
+                    })?
+                }
+            };
+            addrs.push(addr);
+        }
+        let mut old = std::mem::take(&mut self.endpoints);
+        self.endpoints = addrs
+            .into_iter()
+            .map(|addr| match old.iter().position(|e| e.addr == addr) {
+                Some(i) => old.swap_remove(i),
+                None => Endpoint::new(addr),
+            })
+            .collect();
+        self.preferred = 0;
+        let ring = self.ring.as_mut().expect("checked above");
+        ring.routed.resize(map.members.len(), 0);
+        ring.map = Some(map);
+        Ok(())
+    }
+
+    /// The installed cluster map, in ring mode after the first
+    /// fetch/refresh (`None` in replica mode or before the lazy load).
+    pub fn ring_map(&self) -> Option<&ShardMap> {
+        self.ring.as_ref().and_then(|r| r.map.as_ref())
+    }
+
+    /// Per-shard `(member name, fetches served)` tallies for ring-routed
+    /// fetches — how this client's traffic spread over the cluster.
+    /// Empty in replica mode or before the map is installed.
+    pub fn routed_counts(&self) -> Vec<(String, u64)> {
+        match (&self.ring, self.ring_map()) {
+            (Some(ring), Some(map)) => {
+                map.members.iter().zip(&ring.routed).map(|(m, &n)| (m.name.clone(), n)).collect()
+            }
+            _ => Vec::new(),
+        }
     }
 
     /// [`RobustClient::fetch`], re-asking (up to `max_refetches` extra
@@ -316,11 +480,21 @@ impl RobustClient {
         self.call(|client, _| client.shutdown())
     }
 
-    /// The retry/failover engine shared by every request kind.
-    fn call<T>(
+    /// The retry/failover engine over the sticky endpoint rotation.
+    fn call<T>(&mut self, op: impl FnMut(&mut Client, Option<Duration>) -> Result<T>) -> Result<T> {
+        self.call_routed(None, op).map(|(v, _)| v)
+    }
+
+    /// The retry/failover engine shared by every request kind. With a
+    /// `pin`, attempts are confined to those endpoint indices in that
+    /// order (ring mode: a key's replica set, primary first) instead of
+    /// the sticky rotation. Returns the successful value *and* the
+    /// endpoint index that served it (ring mode tallies it per shard).
+    fn call_routed<T>(
         &mut self,
+        pin: Option<&[usize]>,
         mut op: impl FnMut(&mut Client, Option<Duration>) -> Result<T>,
-    ) -> Result<T> {
+    ) -> Result<(T, usize)> {
         let start = Instant::now();
         let budget = |start: Instant, timeout: Option<Duration>| -> Option<Option<Duration>> {
             // None = budget exhausted; Some(r) = r remaining (None = ∞).
@@ -346,7 +520,7 @@ impl RobustClient {
                     None => nap,
                 });
             }
-            let index = match self.pick_endpoint(remaining) {
+            let index = match self.pick_endpoint(remaining, pin) {
                 Ok(i) => i,
                 Err(e) => {
                     self.counters.bump(&self.counters.deadline_hits);
@@ -359,7 +533,7 @@ impl RobustClient {
             match result {
                 Ok(v) => {
                     self.endpoints[index].breaker.on_success();
-                    return Ok(v);
+                    return Ok((v, index));
                 }
                 Err(e) => {
                     let drop_conn = matches!(e, ServeError::Io(_) | ServeError::Protocol(_));
@@ -389,31 +563,54 @@ impl RobustClient {
             .unwrap_or_else(|| ServeError::Protocol("retry budget of zero attempts".into())))
     }
 
-    /// Choose the endpoint for the next attempt: sticky preferred, else
-    /// the next replica whose breaker admits traffic (counted as a
-    /// failover), else sleep until the earliest breaker can half-open.
-    fn pick_endpoint(&mut self, remaining: Option<Duration>) -> Result<usize> {
+    /// Choose the endpoint for the next attempt. Unpinned: sticky
+    /// preferred, else the next replica whose breaker admits traffic
+    /// (counted as a failover). Pinned: the first index in `pin` whose
+    /// breaker admits, in the given (primary-first) order — serving from
+    /// any non-primary is counted as a failover, and the sticky
+    /// preference is untouched (it is per-key, not global). Either way,
+    /// when every candidate breaker is open, sleep until the earliest
+    /// can half-open.
+    fn pick_endpoint(
+        &mut self,
+        remaining: Option<Duration>,
+        pin: Option<&[usize]>,
+    ) -> Result<usize> {
         let n = self.endpoints.len();
         loop {
             let now = Instant::now();
-            for off in 0..n {
-                let i = (self.preferred + off) % n;
+            let order: Vec<usize> = match pin {
+                Some(p) => p.iter().copied().filter(|&i| i < n).collect(),
+                None => (0..n).map(|off| (self.preferred + off) % n).collect(),
+            };
+            for (k, &i) in order.iter().enumerate() {
                 if self.endpoints[i].breaker.admits(now) {
                     if self.endpoints[i].breaker.state == BreakerState::HalfOpen {
                         self.counters.bump(&self.counters.probes);
                     }
-                    if i != self.preferred {
-                        self.counters.bump(&self.counters.failovers);
-                        self.preferred = i;
+                    match pin {
+                        None => {
+                            if i != self.preferred {
+                                self.counters.bump(&self.counters.failovers);
+                                self.preferred = i;
+                            }
+                        }
+                        Some(_) => {
+                            if k != 0 {
+                                self.counters.bump(&self.counters.failovers);
+                            }
+                        }
                     }
                     return Ok(i);
                 }
             }
-            // Every breaker is open: wait for the earliest probe window
-            // instead of burning attempts that cannot be admitted.
-            // (`new` rejects empty endpoint lists, but a typed error here
-            // keeps an impossible state from taking the process down.)
-            let Some(earliest) = self.endpoints.iter().map(|e| e.breaker.open_until).min() else {
+            // Every candidate breaker is open: wait for the earliest
+            // probe window instead of burning attempts that cannot be
+            // admitted. (`new` rejects empty endpoint lists, but a typed
+            // error here keeps an impossible state from taking the
+            // process down.)
+            let Some(earliest) = order.iter().map(|&i| self.endpoints[i].breaker.open_until).min()
+            else {
                 return Err(ServeError::Protocol("RobustClient has no endpoints".into()));
             };
             let nap = earliest.saturating_duration_since(now);

@@ -64,6 +64,7 @@ use crate::chaos::{FaultyStream, Wire, WireFaultPlan};
 use crate::proto::{Action, CloseReason, DeadlineKind, ResponseSlab, ServerConn};
 use crate::protocol::{self, ContainerInfo, ErrorCode, Request, Response};
 use crate::queue::{PushError, TenantQuota, Wfq};
+use crate::shard::ShardMap;
 use crate::stats::{Endpoint, ServeStats};
 
 /// Which transport drives the connection state machines.
@@ -152,6 +153,11 @@ pub struct ServeConfig {
     /// of shedding. `None` (the default) disables it — fetches are served
     /// at exactly the fidelity they asked for.
     pub brownout: Option<BrownoutConfig>,
+    /// This server's place in a cluster: the shared [`ShardMap`] plus
+    /// which member it is. `None` (the default) runs solo — the server
+    /// serves every key under the implicit epoch-0 map and never
+    /// redirects.
+    pub shard: Option<ShardRole>,
 }
 
 impl Default for ServeConfig {
@@ -173,8 +179,23 @@ impl Default for ServeConfig {
             tenant_inflight: 0,
             tenant_bytes: 0,
             brownout: None,
+            shard: None,
         }
     }
+}
+
+/// One cluster member's identity: the map every member shares plus this
+/// server's index into it. Fetches for keys outside `map.replicas(..)`
+/// of `index` are answered with a typed `WrongShard` redirect *before*
+/// any container lookup or read — a shard touches only the chunk ranges
+/// it owns, so its cache and batcher concentrate on ~1/N of the keyspace
+/// (the Eq. 5/7 batch-amortization argument, DESIGN.md §8.3).
+#[derive(Debug, Clone)]
+pub struct ShardRole {
+    /// The cluster-wide map (identical on every member).
+    pub map: ShardMap,
+    /// This server's shard index into `map.members`.
+    pub index: usize,
 }
 
 /// Hysteresis controller for fidelity brownout. Each *step* lowers the
@@ -365,6 +386,13 @@ pub(crate) struct Shared {
     pub(crate) shutdown: AtomicBool,
     pub(crate) config: ServeConfig,
     pub(crate) brownout: Brownout,
+    /// This server's cluster identity — the configured role, or the
+    /// implicit solo map at epoch 0 (which serves everything, so the
+    /// admission shard check never fires).
+    pub(crate) shard: ShardRole,
+    /// `(container, chunk)` keys this shard serves under its map,
+    /// precomputed at bind (0 for a solo server) — the stats figure.
+    pub(crate) shard_owned: u64,
 }
 
 /// A bound (but not yet accepting) server. [`Server::run`] blocks the
@@ -408,6 +436,33 @@ impl Server {
         }
         let quota =
             TenantQuota { max_inflight: config.tenant_inflight, max_bytes: config.tenant_bytes };
+        // Bind before building the shared state: a solo server's implicit
+        // shard map names the *bound* address (port 0 resolves here).
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shard = match &config.shard {
+            Some(role) => {
+                if role.index >= role.map.len() {
+                    return Err(crate::ServeError::Protocol(format!(
+                        "shard index {} outside the {}-member map",
+                        role.index,
+                        role.map.len()
+                    )));
+                }
+                role.clone()
+            }
+            None => ShardRole { map: ShardMap::solo(&addr.to_string()), index: 0 },
+        };
+        // Precompute the owned-key count for the stats frame. A solo map
+        // owns everything trivially; report 0 there so the figure only
+        // carries signal in a real cluster.
+        let shard_owned = if shard.map.epoch == 0 {
+            0
+        } else {
+            let chunks: Vec<u32> =
+                containers.iter().map(|c| c.reader.chunk_count() as u32).collect();
+            shard.map.owned_keys(shard.index, &chunks)
+        };
         let shared = Arc::new(Shared {
             containers,
             queue: Wfq::new(config.queue_depth, config.quantum, quota),
@@ -416,9 +471,9 @@ impl Server {
             shutdown: AtomicBool::new(false),
             brownout: Brownout::new(config.brownout),
             config: config.clone(),
+            shard,
+            shard_owned,
         });
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
             let worker_shared = Arc::clone(&shared);
@@ -763,7 +818,7 @@ fn encode_chunk_slab(
 fn handle_conn<S: Wire>(shared: &Shared, mut stream: S) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut conn = ServerConn::new();
+    let mut conn = ServerConn::with_shard_epoch(shared.shard.map.epoch);
     // Handshake clock runs from accept; the idle clock restarts at each
     // completed frame; the slow-loris clock runs while a frame is
     // started but unfinished.
@@ -932,9 +987,15 @@ pub(crate) fn answer_inline(shared: &Shared, req: &Request) -> Option<Response> 
                 shared.cache.snapshot(),
                 shared.brownout.level(),
                 &shared.queue.depths(),
+                shared.shard_owned,
+                shared.shard.map.epoch,
             )));
             shared.stats.record_request(Endpoint::Stats, t0.elapsed());
             resp
+        }
+        Request::ShardMap => {
+            shared.stats.shard_map_fetches.fetch_add(1, Ordering::Relaxed);
+            Response::ShardMap(shared.shard.map.clone())
         }
         Request::Hello { .. } | Request::Fetch { .. } => return None,
     })
@@ -974,6 +1035,17 @@ pub(crate) fn admit_fetch(
     expires: Option<Instant>,
     reply: impl FnOnce() -> ReplyTo,
 ) -> Admission {
+    // Shard ownership is checked before anything else — a misdirected key
+    // is rejected without touching the container, so a cluster member
+    // only ever reads (and caches) the chunk ranges it serves. The solo
+    // map serves every key, so standalone servers never take this branch.
+    if !shared.shard.map.serves(shared.shard.index, container, chunk) {
+        shared.stats.misdirected.fetch_add(1, Ordering::Relaxed);
+        return Admission::Rejected(Box::new(Response::WrongShard {
+            epoch: shared.shard.map.epoch,
+            owner: shared.shard.map.owner(container, chunk) as u32,
+        }));
+    }
     let Some(cont) = shared.containers.get(container as usize) else {
         return Admission::Rejected(Box::new(err(
             ErrorCode::NotFound,

@@ -1,0 +1,314 @@
+//! Consistent-hash sharding: the cluster half of ROADMAP item 2.
+//!
+//! A [`ShardMap`] is a seeded, deterministic consistent-hash ring with
+//! virtual nodes mapping every `(container, chunk)` key to an ordered
+//! replica set of cluster members. The map is tiny (a few strings and
+//! integers), versioned by an `epoch`, and travels on the wire as one
+//! typed frame (`Response::ShardMap`, see `PROTOCOL.md`) — every shard
+//! serves the same map, and a client holding a stale one is corrected by
+//! a typed `WrongShard` redirect rather than wrong data.
+//!
+//! Why sharding at all: the paper's batch-amortization argument (Eq. 5/7,
+//! Fig. 13) says decompression throughput comes from coalescing many
+//! requests for the *same* chunk into one two-matmul pass. A uniform
+//! smear of the keyspace across a fleet defeats that: every node sees
+//! every chunk rarely, so batches stay small and caches stay cold.
+//! Consistent hashing concentrates each key on one primary (plus a short
+//! replica chain for failover), so each node's working set is ~1/N of
+//! the keyspace and its decoded-chunk cache and batcher see the full
+//! request density for the keys it owns (DESIGN.md §8.3).
+//!
+//! Determinism is load-bearing: ring points hash the member *names*
+//! (never their socket addresses), so ownership is a pure function of
+//! `(seed, vnodes, member names)` — two runs of a test cluster on
+//! different ephemeral ports assign every key identically, which is what
+//! makes the cluster tests' redirect counters reproducible run-to-run.
+
+use crate::protocol::{put_string, BodyReader};
+use crate::{Result, ServeError};
+
+/// One cluster member: a stable name (hashed onto the ring) and the
+/// socket address clients dial to reach it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMember {
+    /// Stable identity hashed onto the ring — survives restarts and
+    /// address changes. Renaming a member reassigns its keys; moving it
+    /// to a new address does not.
+    pub name: String,
+    /// Dialable `ip:port` for this member.
+    pub addr: String,
+}
+
+/// An epoch-numbered consistent-hash ring over the cluster members.
+///
+/// The ring is rebuilt from the scalar fields on construction (and after
+/// wire decode): `vnodes` points per member, each at
+/// `hash(seed, name, vnode_index)`. A key `(container, chunk)` hashes to
+/// a point and is owned by the first member clockwise; its replica set
+/// is the first `replication` *distinct* members clockwise, primary
+/// first. Removing one member deletes only that member's points, so only
+/// the keys it owned move (~1/N of the keyspace) — the minimal-movement
+/// property the `shard.rs` integration tests assert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Map version: a client's map is stale iff its epoch is below the
+    /// server's. Epoch 0 is reserved for the implicit single-node map —
+    /// a solo server's Hello ack omits the field entirely.
+    pub epoch: u64,
+    /// Ring seed: reshuffles every assignment when changed.
+    pub seed: u64,
+    /// Virtual nodes per member (more = better balance, bigger ring).
+    pub vnodes: u16,
+    /// Replica-set size per key (capped at the member count).
+    pub replication: u8,
+    /// The cluster members, in shard-index order (a member's position in
+    /// this vector *is* its shard index everywhere in the protocol).
+    pub members: Vec<ShardMember>,
+    /// Sorted ring: `(point, shard index)`, rebuilt, never serialized.
+    ring: Vec<(u64, u32)>,
+}
+
+impl ShardMap {
+    /// Build a map and its ring. `replication` is clamped to
+    /// `1..=members.len()`.
+    pub fn new(
+        epoch: u64,
+        seed: u64,
+        vnodes: u16,
+        replication: u8,
+        members: Vec<ShardMember>,
+    ) -> ShardMap {
+        let mut map = ShardMap {
+            epoch,
+            seed,
+            vnodes: vnodes.max(1),
+            replication: replication.max(1).min(members.len().max(1) as u8),
+            members,
+            ring: Vec::new(),
+        };
+        map.rebuild();
+        map
+    }
+
+    /// The implicit map of a server running outside any cluster: one
+    /// member owning everything, at the reserved epoch 0.
+    pub fn solo(addr: &str) -> ShardMap {
+        ShardMap::new(0, 0, 1, 1, vec![ShardMember { name: "solo".into(), addr: addr.into() }])
+    }
+
+    /// Members on the ring.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// No members at all (a decoded map may be empty; routing on an
+    /// empty map is a caller error surfaced by [`ShardMap::replicas`]).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    fn rebuild(&mut self) {
+        self.ring.clear();
+        self.ring.reserve(self.members.len() * self.vnodes as usize);
+        for (idx, m) in self.members.iter().enumerate() {
+            for v in 0..self.vnodes {
+                self.ring.push((point(self.seed, m.name.as_bytes(), v as u64), idx as u32));
+            }
+        }
+        // Tie-break equal points by shard index so the ring order is a
+        // pure function of the inputs even under (astronomically rare)
+        // hash collisions.
+        self.ring.sort_unstable();
+    }
+
+    /// Shard index of the key's primary owner. Panics on an empty map.
+    pub fn owner(&self, container: u32, chunk: u32) -> usize {
+        self.replicas(container, chunk)[0]
+    }
+
+    /// Ordered replica set for a key: the first `replication` *distinct*
+    /// shards clockwise from the key's ring point, primary first. Panics
+    /// on an empty map (there is nowhere to route).
+    pub fn replicas(&self, container: u32, chunk: u32) -> Vec<usize> {
+        assert!(!self.ring.is_empty(), "routing on an empty shard map");
+        let key = key_point(self.seed, container, chunk);
+        // First vnode strictly clockwise of (or at) the key's point.
+        let start = self.ring.partition_point(|&(p, _)| p < key);
+        let mut out = Vec::with_capacity(self.replication as usize);
+        for i in 0..self.ring.len() {
+            let (_, shard) = self.ring[(start + i) % self.ring.len()];
+            if !out.contains(&(shard as usize)) {
+                out.push(shard as usize);
+                if out.len() == self.replication as usize {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Does `shard` serve this key (primary or replica)?
+    pub fn serves(&self, shard: usize, container: u32, chunk: u32) -> bool {
+        self.replicas(container, chunk).contains(&shard)
+    }
+
+    /// Count the `(container, chunk)` keys `shard` serves across the
+    /// given container geometries (`chunks[i]` = chunk count of
+    /// container `i`) — the "owned keys" figure in the stats frame.
+    pub fn owned_keys(&self, shard: usize, chunks: &[u32]) -> u64 {
+        let mut owned = 0;
+        for (container, &n) in chunks.iter().enumerate() {
+            for chunk in 0..n {
+                if self.serves(shard, container as u32, chunk) {
+                    owned += 1;
+                }
+            }
+        }
+        owned
+    }
+
+    /// Serialize the map (scalars + members; the ring is rebuilt on
+    /// decode). Layout in `PROTOCOL.md`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&self.vnodes.to_le_bytes());
+        out.push(self.replication);
+        out.extend_from_slice(&(self.members.len() as u16).to_le_bytes());
+        for m in &self.members {
+            put_string(out, &m.name);
+            put_string(out, &m.addr);
+        }
+    }
+
+    /// Parse a map from a body reader and rebuild its ring.
+    pub(crate) fn decode(r: &mut BodyReader<'_>) -> Result<ShardMap> {
+        let epoch = r.u64()?;
+        let seed = r.u64()?;
+        let vnodes = r.u16()?;
+        let replication = r.u8()?;
+        let count = r.u16()? as usize;
+        let mut members = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = r.string()?;
+            let addr = r.string()?;
+            members.push(ShardMember { name, addr });
+        }
+        if members.is_empty() {
+            return Err(ServeError::Protocol("shard map has no members".into()));
+        }
+        Ok(ShardMap::new(epoch, seed, vnodes, replication, members))
+    }
+}
+
+/// SplitMix64-style finalizer over a seeded accumulation of bytes: a
+/// pure-arithmetic hash so ring placement is identical on every platform
+/// and toolchain (no `DefaultHasher`, whose algorithm is unspecified).
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Ring point of one virtual node: `hash(seed, member name, vnode)`.
+fn point(seed: u64, name: &[u8], vnode: u64) -> u64 {
+    let mut acc = mix(seed ^ 0x5AD0_0C0D_E5EE_D001);
+    for &b in name {
+        acc = mix(acc ^ b as u64);
+    }
+    mix(acc ^ vnode.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Ring point of one `(container, chunk)` key.
+fn key_point(seed: u64, container: u32, chunk: u32) -> u64 {
+    mix(mix(seed ^ 0x5AD0_0C0D_E5EE_D002) ^ ((container as u64) << 32 | chunk as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: usize) -> Vec<ShardMember> {
+        (0..n)
+            .map(|i| ShardMember {
+                name: format!("shard{i}"),
+                addr: format!("127.0.0.1:{}", 7450 + i),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_primary_first() {
+        let map = ShardMap::new(1, 42, 64, 2, members(4));
+        for container in 0..3u32 {
+            for chunk in 0..50u32 {
+                let reps = map.replicas(container, chunk);
+                assert_eq!(reps.len(), 2);
+                assert_ne!(reps[0], reps[1]);
+                assert_eq!(reps[0], map.owner(container, chunk));
+                assert!(map.serves(reps[0], container, chunk));
+                assert!(map.serves(reps[1], container, chunk));
+            }
+        }
+    }
+
+    #[test]
+    fn replication_caps_at_member_count() {
+        let map = ShardMap::new(1, 7, 16, 9, members(3));
+        assert_eq!(map.replication, 3);
+        let reps = map.replicas(0, 0);
+        assert_eq!(reps.len(), 3);
+    }
+
+    #[test]
+    fn ownership_ignores_addresses() {
+        // Same names, different ports: identical assignment. This is the
+        // property that makes the ephemeral-port cluster tests seedable.
+        let a = ShardMap::new(1, 9, 32, 2, members(3));
+        let moved: Vec<ShardMember> = members(3)
+            .into_iter()
+            .map(|m| ShardMember { addr: format!("10.0.0.1:{}", 9000), ..m })
+            .collect();
+        let b = ShardMap::new(1, 9, 32, 2, moved);
+        for chunk in 0..100 {
+            assert_eq!(a.replicas(0, chunk), b.replicas(0, chunk));
+        }
+    }
+
+    #[test]
+    fn solo_map_owns_everything_at_epoch_zero() {
+        let map = ShardMap::solo("127.0.0.1:7440");
+        assert_eq!(map.epoch, 0);
+        for chunk in 0..20 {
+            assert_eq!(map.replicas(3, chunk), vec![0]);
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_rebuilds_an_identical_ring() {
+        let map = ShardMap::new(3, 0xDEAD_BEEF, 128, 2, members(5));
+        let mut wire = Vec::new();
+        map.encode(&mut wire);
+        let mut r = BodyReader::new(&wire);
+        let back = ShardMap::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, map, "decoded map (including rebuilt ring) must match");
+        for chunk in 0..200 {
+            assert_eq!(back.replicas(1, chunk), map.replicas(1, chunk));
+        }
+    }
+
+    #[test]
+    fn empty_member_list_is_a_decode_error() {
+        let map = ShardMap::new(1, 1, 8, 1, members(1));
+        let mut wire = Vec::new();
+        map.encode(&mut wire);
+        // Zero out the member count (offset: 8 epoch + 8 seed + 2 vnodes
+        // + 1 replication).
+        wire[19] = 0;
+        wire[20] = 0;
+        wire.truncate(21);
+        let mut r = BodyReader::new(&wire);
+        assert!(ShardMap::decode(&mut r).is_err());
+    }
+}

@@ -117,6 +117,11 @@ pub struct ServeStats {
     pub brownout_steps_down: AtomicU64,
     /// Brownout level decrements (fidelity recovered as pressure cleared).
     pub brownout_steps_up: AtomicU64,
+    /// Fetches rejected with a typed `WrongShard` redirect: the key is
+    /// not this shard's under the current map (misdirected requests).
+    pub misdirected: AtomicU64,
+    /// `ShardMap` requests answered (clients refreshing their routing).
+    pub shard_map_fetches: AtomicU64,
     requests: [AtomicU64; ENDPOINTS],
     latency: [LatencyHistogram; ENDPOINTS],
     batch: [AtomicU64; BATCH_BUCKETS],
@@ -165,6 +170,8 @@ impl ServeStats {
             degraded: AtomicU64::new(0),
             brownout_steps_down: AtomicU64::new(0),
             brownout_steps_up: AtomicU64::new(0),
+            misdirected: AtomicU64::new(0),
+            shard_map_fetches: AtomicU64::new(0),
             requests: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: std::array::from_fn(|_| LatencyHistogram::new()),
             batch: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -220,7 +227,11 @@ impl ServeStats {
     /// Freeze everything into a wire-ready [`StatsReport`].
     /// `lanes` is the scheduler's `(tenant, weight, queued, inflight)`
     /// snapshot ([`crate::queue::Wfq::depths`]) — merged with the
-    /// admission counters into one per-tenant section.
+    /// admission counters into one per-tenant section. `shard_owned` and
+    /// `shard_epoch` describe the server's shard role (0/0 for a solo
+    /// server: every key owned is reported as 0 because there is no ring
+    /// to own a fraction of — see `Shared::shard_owned`).
+    #[allow(clippy::too_many_arguments)]
     pub fn snapshot(
         &self,
         queue_depth: u32,
@@ -228,6 +239,8 @@ impl ServeStats {
         cache: CacheSnapshot,
         brownout_level: u8,
         lanes: &[(u32, u8, usize, usize)],
+        shard_owned: u64,
+        shard_epoch: u64,
     ) -> StatsReport {
         let mut tenants: Vec<TenantStats> = {
             let map = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
@@ -289,6 +302,10 @@ impl ServeStats {
             brownout_level,
             brownout_steps_down: self.brownout_steps_down.load(Ordering::Relaxed),
             brownout_steps_up: self.brownout_steps_up.load(Ordering::Relaxed),
+            shard_owned,
+            shard_epoch,
+            shard_misdirected: self.misdirected.load(Ordering::Relaxed),
+            shard_map_fetches: self.shard_map_fetches.load(Ordering::Relaxed),
             tenants,
             batch_sizes: self.batch.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             frames_per_wakeup: self
@@ -393,6 +410,15 @@ pub struct StatsReport {
     pub brownout_steps_down: u64,
     /// Times the governor stepped fidelity back up.
     pub brownout_steps_up: u64,
+    /// `(container, chunk)` keys this server serves (primary or replica)
+    /// under its shard map; 0 on a solo server.
+    pub shard_owned: u64,
+    /// Epoch of the shard map this server routes by (0 = solo).
+    pub shard_epoch: u64,
+    /// Fetches rejected with a `WrongShard` redirect.
+    pub shard_misdirected: u64,
+    /// `ShardMap` requests answered.
+    pub shard_map_fetches: u64,
     /// Per-tenant counters and lane depths, sorted by tenant id.
     pub tenants: Vec<TenantStats>,
     /// Linear histogram: `batch_sizes[i]` passes decoded `i + 1` chunks
@@ -524,6 +550,13 @@ impl StatsReport {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         }
+        // Trailing shard section, chained after QoS with the same
+        // interop rule: pre-shard frames simply end before it.
+        for v in
+            [self.shard_owned, self.shard_epoch, self.shard_misdirected, self.shard_map_fetches]
+        {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
     }
 
     /// Parse the wire encoding produced by `encode`.
@@ -576,6 +609,10 @@ impl StatsReport {
         } else {
             (0, Vec::new())
         };
+        // Optional-trailing shard section: pre-shard frames end at the
+        // QoS section and report a solo, never-misdirected server.
+        let (shard_owned, shard_epoch, shard_misdirected, shard_map_fetches) =
+            if r.remaining() > 0 { (r.u64()?, r.u64()?, r.u64()?, r.u64()?) } else { (0, 0, 0, 0) };
         Ok(StatsReport {
             queue_depth,
             queue_capacity,
@@ -604,6 +641,10 @@ impl StatsReport {
             brownout_steps_down: fixed[22],
             brownout_steps_up: fixed[23],
             brownout_level,
+            shard_owned,
+            shard_epoch,
+            shard_misdirected,
+            shard_map_fetches,
             tenants,
             batch_sizes,
             frames_per_wakeup,
@@ -620,6 +661,11 @@ impl std::fmt::Display for StatsReport {
             f,
             "brownout   level {}, {} steps down, {} steps up, {} degraded replies",
             self.brownout_level, self.brownout_steps_down, self.brownout_steps_up, self.degraded
+        )?;
+        writeln!(
+            f,
+            "shard      map epoch {}, {} owned keys, {} misdirected, {} map fetches",
+            self.shard_epoch, self.shard_owned, self.shard_misdirected, self.shard_map_fetches
         )?;
         writeln!(f, "tenants    {} tracked", self.tenants.len())?;
         for t in &self.tenants {
@@ -728,10 +774,21 @@ mod tests {
         stats.tenant_accepted(7, 3);
         stats.tenant_shed(42, 1);
         stats.tenant_degraded(7, 3);
+        stats.misdirected.store(6, Ordering::Relaxed);
+        stats.shard_map_fetches.store(2, Ordering::Relaxed);
         let cache = CacheSnapshot { hits: 30, misses: 10, evictions: 2, entries: 5, capacity: 64 };
-        let report = stats.snapshot(3, 64, cache, 1, &[(7, 3, 2, 5), (9, 2, 1, 1)]);
+        let report = stats.snapshot(3, 64, cache, 1, &[(7, 3, 2, 5), (9, 2, 1, 1)], 11, 4);
 
         assert_eq!(report.brownout_level, 1);
+        assert_eq!(
+            (
+                report.shard_owned,
+                report.shard_epoch,
+                report.shard_misdirected,
+                report.shard_map_fetches
+            ),
+            (11, 4, 6, 2)
+        );
         let t7 = report.tenants.iter().find(|t| t.tenant == 7).unwrap();
         assert_eq!((t7.accepted, t7.shed, t7.degraded, t7.queued, t7.inflight), (2, 0, 1, 2, 5));
         let t9 = report.tenants.iter().find(|t| t.tenant == 9).unwrap();
@@ -750,10 +807,11 @@ mod tests {
     fn pre_qos_report_decodes_with_defaults() {
         // A stats body that ends after the endpoint section (what a
         // pre-QoS server emits) must decode as level 0 / no tenants.
-        let report = ServeStats::new().snapshot(0, 8, CacheSnapshot::default(), 0, &[]);
+        let report = ServeStats::new().snapshot(0, 8, CacheSnapshot::default(), 0, &[], 0, 0);
         let mut wire = Vec::new();
         report.encode(&mut wire);
-        wire.truncate(wire.len() - 3); // drop the empty trailing QoS section
+        // Drop the shard section (32 bytes) and the empty QoS section (3).
+        wire.truncate(wire.len() - 35);
         let mut r = BodyReader::new(&wire);
         let decoded = StatsReport::decode(&mut r).unwrap();
         r.finish().unwrap();
@@ -763,13 +821,48 @@ mod tests {
     }
 
     #[test]
+    fn pre_shard_report_decodes_with_a_solo_shard_section() {
+        // A frame from a pre-shard (PR 8) server ends at the QoS section;
+        // it must decode as a solo, never-misdirected server.
+        let stats = ServeStats::new();
+        stats.misdirected.store(5, Ordering::Relaxed);
+        stats.shard_map_fetches.store(1, Ordering::Relaxed);
+        let report = stats.snapshot(0, 8, CacheSnapshot::default(), 0, &[], 7, 2);
+        let mut wire = Vec::new();
+        report.encode(&mut wire);
+        wire.truncate(wire.len() - 32); // drop the trailing shard section
+        let mut r = BodyReader::new(&wire);
+        let decoded = StatsReport::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(
+            (
+                decoded.shard_owned,
+                decoded.shard_epoch,
+                decoded.shard_misdirected,
+                decoded.shard_map_fetches
+            ),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(
+            decoded,
+            StatsReport {
+                shard_owned: 0,
+                shard_epoch: 0,
+                shard_misdirected: 0,
+                shard_map_fetches: 0,
+                ..report
+            }
+        );
+    }
+
+    #[test]
     fn quantiles_bound_recorded_latencies() {
         let stats = ServeStats::new();
         for _ in 0..99 {
             stats.record_request(Endpoint::Fetch, Duration::from_micros(100));
         }
         stats.record_request(Endpoint::Fetch, Duration::from_millis(50));
-        let report = stats.snapshot(0, 1, CacheSnapshot::default(), 0, &[]);
+        let report = stats.snapshot(0, 1, CacheSnapshot::default(), 0, &[], 0, 0);
         let p50 = report.quantile_us(Endpoint::Fetch, 0.5).unwrap();
         let p99 = report.quantile_us(Endpoint::Fetch, 0.99).unwrap();
         // p50 lands in the 100 µs bucket (≤ 128 µs); p99 must not be
@@ -788,7 +881,7 @@ mod tests {
         stats.record_batch(1);
         stats.record_batch(1);
         stats.record_batch(4);
-        let report = stats.snapshot(0, 1, CacheSnapshot::default(), 0, &[]);
+        let report = stats.snapshot(0, 1, CacheSnapshot::default(), 0, &[], 0, 0);
         assert_eq!(report.batch_sizes[0], 2);
         assert_eq!(report.batch_sizes[3], 1);
         assert_eq!(report.decompress_passes, 3);
@@ -798,7 +891,7 @@ mod tests {
 
     #[test]
     fn display_mentions_every_section() {
-        let report = ServeStats::new().snapshot(0, 8, CacheSnapshot::default(), 0, &[]);
+        let report = ServeStats::new().snapshot(0, 8, CacheSnapshot::default(), 0, &[], 0, 0);
         let text = report.to_string();
         for needle in [
             "queue",
@@ -810,6 +903,7 @@ mod tests {
             "readiness",
             "slabs",
             "fetch",
+            "shard",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
@@ -823,7 +917,7 @@ mod tests {
         stats.record_wakeup(2);
         stats.slab_bytes_copied.store(100, Ordering::Relaxed);
         stats.slab_bytes_shared.store(250, Ordering::Relaxed);
-        let report = stats.snapshot(0, 1, CacheSnapshot::default(), 0, &[]);
+        let report = stats.snapshot(0, 1, CacheSnapshot::default(), 0, &[], 0, 0);
         assert_eq!(report.wakeups, 3);
         assert_eq!(report.frames_per_wakeup[0], 2);
         assert_eq!(report.frames_per_wakeup[2], 1);

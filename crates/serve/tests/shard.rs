@@ -1,0 +1,129 @@
+//! Property tests for the consistent-hash [`ShardMap`]: balance,
+//! minimal movement, and seed determinism — hand-rolled seeded sweeps
+//! (no proptest dependency), so every run replays exactly.
+
+use aicomp_serve::{ShardMap, ShardMember};
+
+fn members(n: usize) -> Vec<ShardMember> {
+    (0..n)
+        .map(|i| ShardMember { name: format!("shard{i}"), addr: format!("10.0.0.{i}:7450") })
+        .collect()
+}
+
+/// Primary-ownership histogram over a grid of `(container, chunk)` keys.
+fn ownership(map: &ShardMap, containers: u32, chunks: u32) -> Vec<u64> {
+    let mut counts = vec![0u64; map.len()];
+    for c in 0..containers {
+        for k in 0..chunks {
+            counts[map.owner(c, k)] += 1;
+        }
+    }
+    counts
+}
+
+#[test]
+fn vnodes_balance_the_keyspace_within_bounds() {
+    // 128 vnodes over 5 members, ~10k keys: every shard's primary share
+    // must sit within [0.5, 1.7]× the fair share, across many ring seeds.
+    // The bound is loose by design — consistent hashing trades perfect
+    // balance for minimal movement — but it rules out the pathologies
+    // (one shard owning half the ring, one shard starved).
+    let (containers, chunks) = (4u32, 2500u32);
+    let fair = (containers * chunks) as f64 / 5.0;
+    for seed in 0..20u64 {
+        let map = ShardMap::new(1, seed, 128, 2, members(5));
+        let counts = ownership(&map, containers, chunks);
+        for (shard, &n) in counts.iter().enumerate() {
+            let ratio = n as f64 / fair;
+            assert!(
+                (0.5..=1.7).contains(&ratio),
+                "seed {seed}: shard {shard} owns {n} keys ({ratio:.2}x the fair share)"
+            );
+        }
+    }
+}
+
+#[test]
+fn fewer_vnodes_balance_worse_than_more() {
+    // The vnode knob must actually buy balance: spread (max/min primary
+    // count) at 128 vnodes is no worse than at 1 vnode, summed over
+    // seeds. This pins the knob's *direction* without a brittle constant.
+    let spread = |vnodes: u16, seed: u64| {
+        let map = ShardMap::new(1, seed, vnodes, 2, members(5));
+        let counts = ownership(&map, 4, 2500);
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap().max(&1) as f64;
+        max / min
+    };
+    let few: f64 = (0..10).map(|s| spread(1, s)).sum();
+    let many: f64 = (0..10).map(|s| spread(128, s)).sum();
+    assert!(
+        many < few,
+        "128 vnodes must balance better than 1 across seeds (many {many:.2} vs few {few:.2})"
+    );
+}
+
+#[test]
+fn removing_one_member_moves_only_its_keys() {
+    // Drop the last member: every key whose primary survives keeps it
+    // (exactly — their ring points did not move), and the moved fraction
+    // is ~1/N of the keyspace, bounded in [0.5/N, 2/N].
+    let (containers, chunks) = (4u32, 2500u32);
+    let total = (containers * chunks) as f64;
+    for seed in 0..20u64 {
+        let five = ShardMap::new(1, seed, 128, 2, members(5));
+        let four = ShardMap::new(2, seed, 128, 2, members(4));
+        let mut moved = 0u64;
+        for c in 0..containers {
+            for k in 0..chunks {
+                let before = five.owner(c, k);
+                let after = four.owner(c, k);
+                if before == 4 {
+                    moved += 1;
+                } else {
+                    assert_eq!(
+                        before, after,
+                        "seed {seed}: key ({c}, {k}) moved although its owner survived"
+                    );
+                }
+            }
+        }
+        let frac = moved as f64 / total;
+        assert!(
+            (0.5 / 5.0..=2.0 / 5.0).contains(&frac),
+            "seed {seed}: removing 1 of 5 members moved {:.1}% of keys",
+            frac * 100.0
+        );
+    }
+}
+
+#[test]
+fn assignment_is_a_pure_function_of_the_seed() {
+    // Same seed → identical replica sets; different seeds → different
+    // assignments (for at least one key — in practice most).
+    let keys: Vec<(u32, u32)> = (0..4).flat_map(|c| (0..250).map(move |k| (c, k))).collect();
+    for seed in 0..20u64 {
+        let a = ShardMap::new(1, seed, 128, 2, members(5));
+        let b = ShardMap::new(1, seed, 128, 2, members(5));
+        for &(c, k) in &keys {
+            assert_eq!(a.replicas(c, k), b.replicas(c, k), "seed {seed} must replay exactly");
+        }
+    }
+    for seed in 0..20u64 {
+        let a = ShardMap::new(1, seed, 128, 2, members(5));
+        let b = ShardMap::new(1, seed + 1, 128, 2, members(5));
+        let differs = keys.iter().any(|&(c, k)| a.replicas(c, k) != b.replicas(c, k));
+        assert!(differs, "seeds {seed} and {} produced identical assignments", seed + 1);
+    }
+}
+
+#[test]
+fn owned_keys_counts_replica_coverage() {
+    // With replication R every key is served by exactly R shards, so the
+    // per-shard owned-keys figures must sum to R × total keys.
+    let map = ShardMap::new(1, 9, 64, 2, members(5));
+    let chunks: Vec<u32> = vec![40, 25, 10];
+    let total: u64 = chunks.iter().map(|&n| n as u64).sum();
+    let sum: u64 = (0..5).map(|s| map.owned_keys(s, &chunks)).sum();
+    assert_eq!(sum, 2 * total, "replication-2 coverage must be exactly double");
+}

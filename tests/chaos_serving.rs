@@ -220,7 +220,7 @@ fn silent_and_slow_loris_connections_are_cut_with_typed_closes() {
     let mut loris = TcpStream::connect(addr).unwrap();
     write_request(&mut loris, &Request::hello(1), 1).unwrap();
     match read_response(&mut loris, false).unwrap() {
-        Some(Response::Hello { version: 1 }) => {}
+        Some(Response::Hello { version: 1, .. }) => {}
         other => panic!("expected v1 grant, got {other:?}"),
     }
     loris.write_all(&[64, 0, 0, 0, 2]).unwrap(); // 64-byte frame, 1 byte sent
@@ -235,7 +235,7 @@ fn silent_and_slow_loris_connections_are_cut_with_typed_closes() {
     write_request(&mut evil, &Request::hello(1), 1).unwrap();
     assert!(matches!(
         read_response(&mut evil, false).unwrap(),
-        Some(Response::Hello { version: 1 })
+        Some(Response::Hello { version: 1, .. })
     ));
     evil.write_all(&(MAX_FRAME + 1).to_le_bytes()).unwrap();
     match read_response(&mut evil, false).unwrap() {
