@@ -7,6 +7,7 @@
 //!         [--chaos <seed>] [--timeout <ms>] [--retries <attempts>]
 //!         [--backend <threads|epoll>]
 //!         [--tenant <id> --weight <class> | --tenants <n>]
+//!         [--churn] [--hedge <fraction of --timeout>]
 //! ```
 //!
 //! Spawns `--clients` threads, each with its own connection, issuing
@@ -57,6 +58,20 @@
 //! machine-greppable `cluster-counters:` line with redirect/refresh/
 //! failover totals and per-shard routed counts (`s0=… s1=…`) — the CI
 //! `cluster-smoke` job asserts `failed=0` through a shard kill.
+//!
+//! `--churn` (cluster mode only) reconfigures the cluster mid-run: every
+//! client runs half its requests, all quiesce at a barrier, the control
+//! thread pushes an epoch+1 map that drops the last member to *every*
+//! member (the leaver included — it must start redirecting) and sweeps
+//! the old membership through the seeded [`FailureDetector`], then the
+//! clients run their second half against the shrunk cluster (their stale
+//! maps are corrected by typed `WrongShard` redirects). After the run
+//! the original roster is pushed back at epoch+2, so a second identical
+//! invocation starts from the same state — the `churn-counters:` line
+//! prints server-side counter *deltas* (pushes, drains, handoffs) plus
+//! client hedge totals, and CI runs the whole thing twice and diffs it.
+//! `--hedge <fraction>` arms hedged reads on every ring client (a slice
+//! of `--timeout`; see `RobustConfig::hedge_fraction`).
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -67,8 +82,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aicomp_serve::{
-    Backend, Client, ErrorCode, FetchedChunk, RobustClient, RobustConfig, ServeConfig, ServeError,
-    Server, ServerHandle, WireFaultPlan,
+    Backend, Client, ErrorCode, FailureDetector, FetchedChunk, RobustClient, RobustConfig,
+    ServeConfig, ServeError, Server, ServerHandle, ShardMap, WireFaultPlan,
 };
 use aicomp_store::writer::pack_file;
 use aicomp_store::{DczReader, RetryPolicy, StoreOptions};
@@ -146,6 +161,10 @@ struct Outcome {
     disruptions: u64,
     redirects: u64,
     map_refreshes: u64,
+    hedges_fired: u64,
+    hedges_won: u64,
+    hedges_lost: u64,
+    hedges_wasted: u64,
     /// Ring-routed fetches served by each shard (cluster mode).
     routed: Vec<u64>,
     latencies: Vec<Duration>,
@@ -166,6 +185,10 @@ impl Outcome {
         self.disruptions += other.disruptions;
         self.redirects += other.redirects;
         self.map_refreshes += other.map_refreshes;
+        self.hedges_fired += other.hedges_fired;
+        self.hedges_won += other.hedges_won;
+        self.hedges_lost += other.hedges_lost;
+        self.hedges_wasted += other.hedges_wasted;
         if self.routed.len() < other.routed.len() {
             self.routed.resize(other.routed.len(), 0);
         }
@@ -198,6 +221,85 @@ fn quantile(sorted: &[Duration], q: f64) -> Duration {
     }
     let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
+}
+
+/// Outcome of the mid-run reconfiguration push (`--churn`).
+struct ChurnReport {
+    dropped: String,
+    pause: Duration,
+    suspicions: u64,
+}
+
+/// Sum of the four reconfiguration counters (map pushes, rejected pushes,
+/// drained requests, handed-off keys) across every member of `map`. Two
+/// snapshots bracket the churn run; the delta replays exactly under a
+/// fixed seed, while the raw values are cumulative since each shard booted.
+fn reconfig_totals(map: &ShardMap) -> Result<[u64; 4], String> {
+    let mut t = [0u64; 4];
+    for m in &map.members {
+        let report = Client::connect(&m.addr)
+            .and_then(|mut c| c.stats())
+            .map_err(|e| format!("stats from {}: {e}", m.addr))?;
+        t[0] += report.map_pushes;
+        t[1] += report.map_push_rejected;
+        t[2] += report.drained;
+        t[3] += report.handoffs;
+    }
+    Ok(t)
+}
+
+/// The quiesced reconfiguration between the two load phases: push an
+/// epoch+1 map that drops the last member to *every* member (the leaver
+/// included — it must answer `WrongShard` for keys it no longer owns),
+/// then sweep the old membership through the seeded failure detector.
+/// Everyone is alive here, so the sweep reports zero suspicions — the
+/// nonzero detection path is exercised by the integration tests' shard
+/// kill and `dcz cluster suspect`.
+fn run_churn(cur: &ShardMap) -> Result<ChurnReport, String> {
+    let keep = cur.members[..cur.members.len() - 1].to_vec();
+    let dropped = cur.members.last().expect("validated non-empty").name.clone();
+    let next_map = ShardMap::new(
+        cur.epoch + 1,
+        cur.seed,
+        cur.vnodes,
+        cur.replication.min(keep.len() as u8),
+        keep,
+    );
+    let t0 = Instant::now();
+    for m in &cur.members {
+        let (epoch, installed) = Client::connect(&m.addr)
+            .and_then(|mut c| c.push_map(&next_map))
+            .map_err(|e| format!("map push to {}: {e}", m.addr))?;
+        if !installed {
+            return Err(format!(
+                "{} refused epoch {} (it is at {epoch}; is another churn run active?)",
+                m.addr, next_map.epoch
+            ));
+        }
+    }
+    let pause = t0.elapsed();
+    let mut det = FailureDetector::new(cur.members.len(), 50, 2);
+    for round in 0..2u64 {
+        for (i, m) in cur.members.iter().enumerate() {
+            let ok = Client::connect(&m.addr).and_then(|mut c| c.ping()).is_ok();
+            det.observe(i, ok, round * 50);
+        }
+    }
+    Ok(ChurnReport { dropped, pause, suspicions: det.suspicions() })
+}
+
+/// Undo the churn: push the original roster back at epoch+2 so a second
+/// identical invocation starts from the same membership (the run-twice
+/// determinism diff in CI depends on it).
+fn restore_members(cur: &ShardMap) -> Result<(), String> {
+    let restore =
+        ShardMap::new(cur.epoch + 2, cur.seed, cur.vnodes, cur.replication, cur.members.clone());
+    for m in &cur.members {
+        Client::connect(&m.addr)
+            .and_then(|mut c| c.push_map(&restore))
+            .map_err(|e| format!("restore push to {}: {e}", m.addr))?;
+    }
+    Ok(())
 }
 
 fn run() -> Result<bool, String> {
@@ -247,6 +349,21 @@ fn run() -> Result<bool, String> {
         }
         None => None,
     };
+    let churn = args.iter().any(|a| a == "--churn");
+    let hedge: f64 = parse(&args, "--hedge", 0.0)?;
+    if churn {
+        if cluster_seeds.is_none() {
+            return Err("--churn reconfigures a cluster; it requires --cluster".into());
+        }
+        if requests < 2 {
+            return Err(
+                "--churn splits each client's requests around the push; use --requests >= 2".into(),
+            );
+        }
+    }
+    if hedge > 0.0 && cluster_seeds.is_none() {
+        return Err("--hedge arms ring-mode hedged reads; it requires --cluster".into());
+    }
     // Which tenant a client thread identifies as: round-robin over
     // `1..=tenants`, or the one fixed `--tenant` for every thread.
     let tenant_of = move |id: usize| -> u32 {
@@ -307,6 +424,25 @@ fn run() -> Result<bool, String> {
         if expected.is_some() { ", verifying bits" } else { "" }
     );
 
+    // Churn bookkeeping: the initial map and a counter snapshot taken
+    // before any load, so the `churn-counters:` line can print pure
+    // deltas (the cluster's counters are cumulative since boot, and CI
+    // runs this twice expecting identical output).
+    let churn_base = if churn {
+        let map = control.shard_map().map_err(|e| e.to_string())?;
+        if map.members.len() < 2 {
+            return Err("--churn drops the last member; the cluster needs at least 2".into());
+        }
+        let before = reconfig_totals(&map)?;
+        Some((map, before))
+    } else {
+        None
+    };
+    // clients + 1 parties: every worker plus the control thread, which
+    // reconfigures the cluster while the workers are parked between
+    // their two load phases.
+    let barrier = Arc::new(std::sync::Barrier::new(clients + 1));
+
     let t0 = Instant::now();
     let threads: Vec<_> = (0..clients)
         .map(|id| {
@@ -315,6 +451,7 @@ fn run() -> Result<bool, String> {
             let seeds = cluster_seeds.clone();
             let chunks = info.chunks;
             let my_tenant = tenant_of(id);
+            let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || -> Result<Outcome, String> {
                 let mut rng = seed ^ (id as u64).wrapping_mul(0x0DDB_1A5E_5BAD_5EED);
                 let mut client = match (seeds, chaos) {
@@ -331,6 +468,7 @@ fn run() -> Result<bool, String> {
                             seed: seed ^ (id as u64).wrapping_mul(0x0DDB_1A5E_5BAD_5EED),
                             tenant: my_tenant,
                             weight,
+                            hedge_fraction: hedge,
                             ..RobustConfig::default()
                         };
                         Fetcher::Robust(Box::new(
@@ -374,7 +512,17 @@ fn run() -> Result<bool, String> {
                     ),
                 };
                 let mut out = Outcome::default();
-                for _ in 0..requests {
+                let phase1 = if churn { requests / 2 } else { requests };
+                for i in 0..requests {
+                    if churn && i == phase1 {
+                        // Quiesce for the reconfiguration: every admitted
+                        // request is already answered when the control
+                        // thread pushes the epoch-bumped map, then resume
+                        // against the shrunk cluster (this client's stale
+                        // map is corrected by a WrongShard redirect).
+                        barrier.wait();
+                        barrier.wait();
+                    }
                     let chunk = (next(&mut rng) % chunks as u64) as u32;
                     let coarse = (next(&mut rng) as f64 / u64::MAX as f64) < coarse_frac;
                     let cf = if coarse { coarse_cf } else { 0 };
@@ -419,12 +567,27 @@ fn run() -> Result<bool, String> {
                     out.disruptions = r.wire_counters().disruptions();
                     out.redirects = c.redirects.load(Ordering::Relaxed);
                     out.map_refreshes = c.map_refreshes.load(Ordering::Relaxed);
+                    out.hedges_fired = c.hedges_fired.load(Ordering::Relaxed);
+                    out.hedges_won = c.hedges_won.load(Ordering::Relaxed);
+                    out.hedges_lost = c.hedges_lost.load(Ordering::Relaxed);
+                    out.hedges_wasted = c.hedges_wasted.load(Ordering::Relaxed);
                     out.routed = r.routed_counts().iter().map(|(_, n)| *n).collect();
                 }
                 Ok(out)
             })
         })
         .collect();
+
+    let mut churn_report: Option<ChurnReport> = None;
+    if let Some((map, _)) = &churn_base {
+        barrier.wait();
+        // All workers are parked; reconfigure, then release them. The
+        // second wait happens even when the push failed, so the worker
+        // threads never hang — the error surfaces after they drain.
+        let result = run_churn(map);
+        barrier.wait();
+        churn_report = Some(result?);
+    }
 
     let mut per_tenant: BTreeMap<u32, Outcome> = BTreeMap::new();
     for (id, t) in threads.into_iter().enumerate() {
@@ -530,30 +693,84 @@ fn run() -> Result<bool, String> {
             total.disruptions,
         );
     }
+    let mut churn_fields: Vec<(&str, f64)> = Vec::new();
+    if let Some((map, before)) = &churn_base {
+        let report = churn_report.as_ref().expect("churn ran before the threads were joined");
+        // Put the roster back at epoch+2 so a re-run of the same command
+        // starts from the same membership, then read the counter deltas
+        // (the restore's own pushes and handoffs are part of the same
+        // deterministic schedule, so they are included in the line).
+        restore_members(map)?;
+        let after = reconfig_totals(map)?;
+        let delta: Vec<u64> = after.iter().zip(before.iter()).map(|(a, b)| a - b).collect();
+        println!(
+            "reconfiguration: dropped {} at epoch {}, push pause {:.3} ms, {} suspicions",
+            report.dropped,
+            map.epoch + 1,
+            report.pause.as_secs_f64() * 1e3,
+            report.suspicions,
+        );
+        // One machine-diffable line: every field is a pure function of
+        // the seed, the keys, and the push schedule (latency-free counts
+        // only) — the CI churn-smoke job runs twice and asserts equality.
+        println!(
+            "churn-counters: seed={seed} pushes={} rejected={} drained={} handoffs={} \
+             suspicions={} hedges_fired={} hedges_won={} hedges_lost={} hedges_wasted={}",
+            delta[0],
+            delta[1],
+            delta[2],
+            delta[3],
+            report.suspicions,
+            total.hedges_fired,
+            total.hedges_won,
+            total.hedges_lost,
+            total.hedges_wasted,
+        );
+        churn_fields.push(("map_pushes", delta[0] as f64));
+        churn_fields.push(("handoffs", delta[3] as f64));
+        churn_fields.push(("reconfig_pause_ms", report.pause.as_secs_f64() * 1e3));
+        churn_fields.push(("hedge_fraction", hedge));
+        churn_fields.push(("hedges_fired", total.hedges_fired as f64));
+        let win_rate = if total.hedges_fired > 0 {
+            total.hedges_won as f64 / total.hedges_fired as f64
+        } else {
+            0.0
+        };
+        churn_fields.push(("hedge_win_rate", win_rate));
+    }
     let stats = control.stats().map_err(|e| e.to_string())?;
     println!("server stats:\n{stats}");
 
     // Perf-trajectory log: one flat record per run so later sessions can
     // diff serving throughput/latency over time (seeded → comparable).
+    // Churn runs additionally record the reconfiguration pause and the
+    // hedge win rate; comparing the p99 of a `mode=churn` record with
+    // hedging on against its hedge-off twin is the tail-at-scale figure.
+    let mut nums: Vec<(&str, f64)> = vec![
+        ("seed", seed as f64),
+        ("clients", clients as f64),
+        ("requests", requests as f64),
+        ("tenants", tenants as f64),
+        ("shards", cluster_seeds.as_ref().map_or(0.0, |s| s.len() as f64)),
+        ("redirects", total.redirects as f64),
+        ("ok", total.ok as f64),
+        ("shed", total.shed as f64),
+        ("degraded", total.degraded as f64),
+        ("failed", total.failed as f64),
+        ("mismatched", total.mismatched as f64),
+        ("fetches_per_s", total.ok as f64 / wall.as_secs_f64().max(1e-9)),
+        ("p50_ms", quantile(&total.latencies, 0.50).as_secs_f64() * 1e3),
+        ("p99_ms", quantile(&total.latencies, 0.99).as_secs_f64() * 1e3),
+    ];
+    nums.extend(churn_fields);
     let log = aicomp_bench::append_bench_record(
         "serve",
-        &[("bin", "loadgen"), ("backend", &backend.to_string())],
         &[
-            ("seed", seed as f64),
-            ("clients", clients as f64),
-            ("requests", requests as f64),
-            ("tenants", tenants as f64),
-            ("shards", cluster_seeds.as_ref().map_or(0.0, |s| s.len() as f64)),
-            ("redirects", total.redirects as f64),
-            ("ok", total.ok as f64),
-            ("shed", total.shed as f64),
-            ("degraded", total.degraded as f64),
-            ("failed", total.failed as f64),
-            ("mismatched", total.mismatched as f64),
-            ("fetches_per_s", total.ok as f64 / wall.as_secs_f64().max(1e-9)),
-            ("p50_ms", quantile(&total.latencies, 0.50).as_secs_f64() * 1e3),
-            ("p99_ms", quantile(&total.latencies, 0.99).as_secs_f64() * 1e3),
+            ("bin", "loadgen"),
+            ("backend", &backend.to_string()),
+            ("mode", if churn { "churn" } else { "load" }),
         ],
+        &nums,
     );
     println!("appended run record to {}", log.display());
 

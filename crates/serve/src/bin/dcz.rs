@@ -10,6 +10,10 @@
 //! dcz repair   --input broken.dcz --out salvaged.dcz
 //! dcz serve    --store data.dcz [--store more.dcz ...] [--addr 127.0.0.1:7440] [--workers 4]
 //! dcz cluster  --store data.dcz -n 3 [--addr-base 127.0.0.1:7450] [--replication 2]
+//! dcz cluster push    --addr 127.0.0.1:7450,127.0.0.1:7451 --epoch 2 [--members s0@..,s1@..]
+//! dcz cluster join    --addr 127.0.0.1:7450 --name shard3 --member-addr 127.0.0.1:7453
+//! dcz cluster leave   --addr 127.0.0.1:7450,127.0.0.1:7451 --name shard2
+//! dcz cluster suspect --addr 127.0.0.1:7450,127.0.0.1:7451 [--beats 3] [--threshold 3]
 //! dcz fetch    --addr 127.0.0.1:7440 --container 0 --chunk 3 [--cf 2] [--out chunk.f32]
 //! dcz stats    --addr 127.0.0.1:7440
 //! dcz shutdown --addr 127.0.0.1:7440
@@ -38,6 +42,17 @@
 //! [`ShardMap`] and redirects misdirected keys with a typed `WrongShard`.
 //! `fetch --ring` routes through the map (each `--addr` is a seed member)
 //! instead of treating the addresses as replicas of one server.
+//!
+//! The `cluster` subcommands reconfigure a *running* cluster live:
+//! `push` installs an epoch-bumped map on every listed member (stale and
+//! conflicting pushes are typed rejections), `join`/`leave` fetch the
+//! current map, add or drop one member, and push the epoch+1 successor —
+//! including to the member joining (which boots solo with `serve
+//! --shard-name`) or leaving (which then answers every key with
+//! `WrongShard`, the drain-and-handoff rule). `suspect` sweeps the
+//! members with `Ping` beats through the seeded, clock-injected
+//! [`FailureDetector`] and reports who is suspected — the decision is a
+//! pure function of which probes answered, so it replays.
 
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
@@ -48,8 +63,8 @@ use std::time::Duration;
 use aicomp_core::CodecSpec;
 use aicomp_sciml::{Dataset, DatasetKind};
 use aicomp_serve::{
-    Backend, BrownoutConfig, RobustClient, RobustConfig, ServeConfig, Server, ShardMap,
-    ShardMember, ShardRole, WireFaultPlan,
+    Backend, BrownoutConfig, Client, FailureDetector, RobustClient, RobustConfig, ServeConfig,
+    Server, ShardMap, ShardMember, ShardRole, WireFaultPlan,
 };
 use aicomp_store::writer::{DczFileWriter, StoreOptions};
 use aicomp_store::{deep_verify, repair, ChunkStatus, DczReader, RetryPolicy};
@@ -98,19 +113,29 @@ fn usage() -> String {
      \x20 verify   --input <file.dcz> [--deep]   (--deep: per-chunk health report)\n\
      \x20 repair   --input <file.dcz> --out <salvaged.dcz>\n\
      \x20 serve    --store <file.dcz> [--store <more.dcz> ...] [--addr <ip:port>] \
-     [--backend <threads|epoll>] \
+     [--backend <threads|epoll>] [--shard-name <name, identity for a later cluster join>] \
      [--workers <N>] [--queue <depth>] [--batch <max>] [--cache <chunks>] [--shards <N>] \
      [--idle-timeout <ms, 0 = never>] [--max-conns <N>] [--chaos <seed, 0 = off>] \
      [--quantum <pops>] [--tenant-inflight <N, 0 = unlimited>] \
-     [--tenant-bytes <B, 0 = unlimited>] [--brownout]\n\
+     [--tenant-bytes <B, 0 = unlimited>] [--brownout] [--worker-delay <ms, 0 = off>]\n\
      \x20 cluster  --store <file.dcz> [--store <more.dcz> ...] -n <shards> \
      [--addr-base <ip:port, fixed — port 0 rejected>] [--backend <threads|epoll>] \
      [--seed <ring seed>] [--vnodes <per member>] [--replication <R>] [--epoch <nonzero>] \
-     [--workers <N>] [--queue <depth>] [--batch <max>] [--cache <chunks>] [--shards <N>]\n\
+     [--workers <N>] [--queue <depth>] [--batch <max>] [--cache <chunks>] [--shards <N>] \
+     [--worker-delay <ms> [--slow-shard <index, default: all shards>]  (hedging demos)]\n\
+     \x20 cluster push    --addr <member[,member...]> --epoch <E, above the live one> \
+     [--members <name@ip:port,...>  (default: the current membership)] \
+     [--seed <S>] [--vnodes <V>] [--replication <R>]\n\
+     \x20 cluster join    --addr <member[,member...]> --name <new member's name> \
+     --member-addr <its ip:port>   (pushes the epoch+1 map, newcomer included)\n\
+     \x20 cluster leave   --addr <member[,member...]> --name <leaving member>\n\
+     \x20 cluster suspect --addr <member[,member...]> [--beats <rounds>] \
+     [--threshold <missed beats>] [--interval <ms>] [--timeout <probe ms>]\n\
      \x20 fetch    --addr <ip:port> [--addr <replica> ...] --container <id> --chunk <index> \
      [--ring  (addresses are cluster seeds; route by the shard map)] \
      [--cf <coarser, 0 = stored>] [--out <raw.f32>] [--timeout <ms>] [--retries <N>] \
-     [--tenant <id>] [--weight <class>]\n\
+     [--tenant <id>] [--weight <class>] \
+     [--hedge <fraction of --timeout before the duplicate fires; ring mode>]\n\
      \x20 stats    --addr <ip:port> [--timeout <ms>] [--retries <N>]\n\
      \x20 shutdown --addr <ip:port> [--timeout <ms>] [--retries <N>]"
         .into()
@@ -142,6 +167,7 @@ fn robust_client(args: &[String]) -> Result<RobustClient, String> {
         timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
         tenant: parse(args, "--tenant", 0)?,
         weight: parse(args, "--weight", 1)?,
+        hedge_fraction: parse(args, "--hedge", 0.0)?,
         ..RobustConfig::default()
     };
     // `--ring`: the addresses are seed members of a sharded cluster, not
@@ -404,7 +430,10 @@ fn serve(args: &[String]) -> Result<(), String> {
         batch_max: parse(args, "--batch", 16)?,
         cache_entries: parse(args, "--cache", 256)?,
         cache_shards: parse(args, "--shards", 8)?,
-        worker_delay: None,
+        worker_delay: {
+            let ms: u64 = parse(args, "--worker-delay", 0)?;
+            (ms > 0).then(|| Duration::from_millis(ms))
+        },
         handshake_timeout: Duration::from_secs(5),
         idle_timeout: (idle_ms > 0).then(|| Duration::from_millis(idle_ms)),
         frame_deadline: Duration::from_secs(30),
@@ -429,6 +458,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         // the watermarks are tuned relative to queue depth, not absolute.
         brownout: args.iter().any(|a| a == "--brownout").then(BrownoutConfig::default),
         shard: None,
+        shard_name: arg(args, "--shard-name"),
     };
     let addr = addr_of(args);
     let backend = config.backend;
@@ -452,6 +482,15 @@ fn serve(args: &[String]) -> Result<(), String> {
 /// `shard{i}` at `base + i`) and its own index; each stops on its own
 /// `Shutdown` frame, and the command returns when all have drained.
 fn cluster(args: &[String]) -> Result<(), String> {
+    // Live-reconfiguration subcommands operate on an already-running
+    // cluster; everything else below launches a new one.
+    match args.get(1).map(|s| s.as_str()) {
+        Some("push") => return cluster_push(args),
+        Some("join") => return cluster_join(args),
+        Some("leave") => return cluster_leave(args),
+        Some("suspect") => return cluster_suspect(args),
+        _ => {}
+    }
     let stores = arg_all(args, "--store");
     if stores.is_empty() {
         return Err("at least one --store <file.dcz> is required".into());
@@ -495,6 +534,11 @@ fn cluster(args: &[String]) -> Result<(), String> {
         stores.len(),
         map.replication
     );
+    // A per-job delay on one shard (or all of them) makes the cluster a
+    // ready-made tail-latency demo: point `dcz fetch --ring --hedge` or
+    // `loadgen --hedge` at it and watch the duplicates win.
+    let delay_ms: u64 = parse(args, "--worker-delay", 0)?;
+    let slow: usize = parse(args, "--slow-shard", usize::MAX)?;
     let mut handles = Vec::with_capacity(n);
     for i in 0..n {
         let config = ServeConfig {
@@ -503,6 +547,8 @@ fn cluster(args: &[String]) -> Result<(), String> {
             batch_max: parse(args, "--batch", 16)?,
             cache_entries: parse(args, "--cache", 256)?,
             cache_shards: parse(args, "--shards", 8)?,
+            worker_delay: (delay_ms > 0 && (slow == usize::MAX || slow == i))
+                .then(|| Duration::from_millis(delay_ms)),
             backend,
             shard: Some(ShardRole { map: map.clone(), index: i }),
             ..ServeConfig::default()
@@ -519,6 +565,183 @@ fn cluster(args: &[String]) -> Result<(), String> {
     }
     println!("cluster shut down cleanly");
     Ok(())
+}
+
+/// Every `--addr`, comma-splitting each occurrence, so member lists read
+/// naturally either way: `--addr a,b,c` or `--addr a --addr b`.
+fn member_addrs(args: &[String]) -> Result<Vec<String>, String> {
+    let addrs: Vec<String> = arg_all(args, "--addr")
+        .iter()
+        .flat_map(|a| a.split(','))
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err("at least one --addr <ip:port> is required".into());
+    }
+    Ok(addrs)
+}
+
+/// Fetch the live [`ShardMap`] from the first listed member that answers.
+fn fetch_map(addrs: &[String]) -> Result<ShardMap, String> {
+    let mut last = String::new();
+    for a in addrs {
+        match Client::connect(a.as_str()).and_then(|mut c| c.shard_map()) {
+            Ok(map) => return Ok(map),
+            Err(e) => last = format!("{a}: {e}"),
+        }
+    }
+    Err(format!("no member answered a ShardMap request (last error: {last})"))
+}
+
+/// Parse `--members name@ip:port,name@ip:port,...`.
+fn parse_members(spec: &str) -> Result<Vec<ShardMember>, String> {
+    spec.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|m| {
+            let (name, addr) = m
+                .trim()
+                .split_once('@')
+                .ok_or_else(|| format!("bad member {m:?}: expected name@ip:port"))?;
+            Ok(ShardMember { name: name.to_string(), addr: addr.to_string() })
+        })
+        .collect()
+}
+
+/// Push `map` to every address, one plain connection each, reporting
+/// each member's typed answer. Fails if any push failed — partial
+/// installs are visible, not silent (the epoch rule makes a re-push of
+/// the same map idempotent, so retrying this command is safe).
+fn push_to_all(addrs: &[String], map: &ShardMap) -> Result<(), String> {
+    println!(
+        "pushing map epoch {} ({} member(s), replication {}) to {} server(s):",
+        map.epoch,
+        map.len(),
+        map.replication,
+        addrs.len()
+    );
+    let mut failed = 0;
+    for a in addrs {
+        match Client::connect(a.as_str()).and_then(|mut c| c.push_map(map)) {
+            Ok((epoch, true)) => println!("  {a}: installed (now at epoch {epoch})"),
+            Ok((epoch, false)) => println!("  {a}: already current (epoch {epoch})"),
+            Err(e) => {
+                failed += 1;
+                println!("  {a}: FAILED: {e}");
+            }
+        }
+    }
+    if failed > 0 {
+        Err(format!("{failed} push(es) failed"))
+    } else {
+        Ok(())
+    }
+}
+
+/// `dcz cluster push`: install an explicit epoch-bumped map on every
+/// listed member. Unspecified ring parameters are inherited from the
+/// live map, and `--members` defaults to the current membership — the
+/// bare form re-keys the ring (new seed/vnodes) without a roster change.
+fn cluster_push(args: &[String]) -> Result<(), String> {
+    let addrs = member_addrs(args)?;
+    let epoch: u64 = required(args, "--epoch")?.parse().map_err(|_| "bad --epoch".to_string())?;
+    let cur = fetch_map(&addrs)?;
+    let members = match arg(args, "--members") {
+        Some(spec) => parse_members(&spec)?,
+        None => cur.members.clone(),
+    };
+    let replication = parse(args, "--replication", cur.replication)?;
+    let map = ShardMap::new(
+        epoch,
+        parse(args, "--seed", cur.seed)?,
+        parse(args, "--vnodes", cur.vnodes)?,
+        replication.min(members.len() as u8),
+        members,
+    );
+    push_to_all(&addrs, &map)
+}
+
+/// `dcz cluster join`: add one member (booted solo with `dcz serve
+/// --shard-name <name>`) to the live map and push the epoch+1 successor
+/// to every old member *and* the newcomer, which adopts the cluster map
+/// in the same push.
+fn cluster_join(args: &[String]) -> Result<(), String> {
+    let addrs = member_addrs(args)?;
+    let name = required(args, "--name")?;
+    let member_addr = required(args, "--member-addr")?;
+    let cur = fetch_map(&addrs)?;
+    if cur.members.iter().any(|m| m.name == name) {
+        return Err(format!("member {name:?} is already in the map (epoch {})", cur.epoch));
+    }
+    let mut members = cur.members.clone();
+    members.push(ShardMember { name, addr: member_addr.clone() });
+    let map = ShardMap::new(cur.epoch + 1, cur.seed, cur.vnodes, cur.replication, members);
+    let mut targets = addrs;
+    if !targets.contains(&member_addr) {
+        targets.push(member_addr);
+    }
+    push_to_all(&targets, &map)
+}
+
+/// `dcz cluster leave`: drop one member and push the epoch+1 successor.
+/// The leaver gets the push too (when listed): under the new map it owns
+/// nothing, finishes its admitted in-flight work at the old epoch, and
+/// answers every key with a `WrongShard` redirect from then on.
+fn cluster_leave(args: &[String]) -> Result<(), String> {
+    let addrs = member_addrs(args)?;
+    let name = required(args, "--name")?;
+    let cur = fetch_map(&addrs)?;
+    let members: Vec<ShardMember> =
+        cur.members.iter().filter(|m| m.name != name).cloned().collect();
+    if members.len() == cur.members.len() {
+        return Err(format!("member {name:?} is not in the map (epoch {})", cur.epoch));
+    }
+    if members.is_empty() {
+        return Err("cannot remove the last member; shut the server down instead".into());
+    }
+    let replication = cur.replication.min(members.len() as u8);
+    let map = ShardMap::new(cur.epoch + 1, cur.seed, cur.vnodes, replication, members);
+    push_to_all(&addrs, &map)
+}
+
+/// `dcz cluster suspect`: sweep the members with `--beats` rounds of
+/// `Ping` through the seeded [`FailureDetector`]. The detector's clock
+/// is synthetic (`round × interval`), injected by this sweep — the
+/// verdict is a pure function of which probes answered, so two sweeps
+/// over the same cluster state print the same suspicions.
+fn cluster_suspect(args: &[String]) -> Result<(), String> {
+    let addrs = member_addrs(args)?;
+    let beats: u32 = parse(args, "--beats", 3)?;
+    let threshold: u32 = parse(args, "--threshold", 3)?;
+    let interval_ms: u64 = parse(args, "--interval", 100)?;
+    let probe_ms: u64 = parse(args, "--timeout", 250)?;
+    let probe = Duration::from_millis(probe_ms.max(1));
+    let mut detector = FailureDetector::new(addrs.len(), interval_ms, threshold);
+    for round in 0..beats.max(1) {
+        let now_ms = round as u64 * interval_ms;
+        for (i, a) in addrs.iter().enumerate() {
+            let ok = ping_once(a, probe);
+            if let Some(m) = detector.observe(i, ok, now_ms) {
+                println!("  {}: suspected at beat {}", addrs[m], round + 1);
+            }
+        }
+    }
+    for (i, a) in addrs.iter().enumerate() {
+        println!("  {a}: {}", if detector.is_suspected(i) { "SUSPECTED" } else { "alive" });
+    }
+    println!("suspicions={}", detector.suspicions());
+    Ok(())
+}
+
+/// One connect + `Ping` probe with a bounded reply wait.
+fn ping_once(addr: &str, timeout: Duration) -> bool {
+    let Ok(mut c) = Client::connect(addr) else {
+        return false;
+    };
+    if c.set_op_timeout(Some(timeout)).is_err() {
+        return false;
+    }
+    c.ping().is_ok()
 }
 
 fn fetch(args: &[String]) -> Result<(), String> {

@@ -115,6 +115,12 @@ pub struct WireFaultPlan {
     pub partial_write_rate: f64,
     /// Cap on bytes moved per call (slow-peer shaping); `None` = no cap.
     pub throttle_bytes: Option<usize>,
+    /// Arm the plan *before* the version handshake instead of after it,
+    /// so faults land in the `Hello`/`MapPush` window that the
+    /// arm-after-open discipline normally shields. Position draws and
+    /// per-connection derivation are unchanged — only the arming point
+    /// moves, so covered runs replay just like steady-state ones.
+    pub cover_handshake: bool,
 }
 
 impl Default for WireFaultPlan {
@@ -127,6 +133,7 @@ impl Default for WireFaultPlan {
             stall: Duration::from_millis(5),
             partial_write_rate: 0.0,
             throttle_bytes: None,
+            cover_handshake: false,
         }
     }
 }
@@ -157,7 +164,14 @@ impl WireFaultPlan {
             stall: Duration::from_millis(3),
             partial_write_rate: 0.05,
             throttle_bytes: None,
+            cover_handshake: false,
         }
+    }
+
+    /// This plan, armed before the handshake (see
+    /// [`WireFaultPlan::cover_handshake`]).
+    pub fn with_handshake_cover(self) -> Self {
+        WireFaultPlan { cover_handshake: true, ..self }
     }
 
     /// Derive the plan for stream number `index` (per-connection seeds for
@@ -642,5 +656,14 @@ mod tests {
         assert_ne!(base.derive(0).seed, base.derive(1).seed);
         assert_eq!(base.derive(3), base.derive(3));
         assert_eq!(base.derive(2).reset_every, base.reset_every);
+    }
+
+    #[test]
+    fn handshake_cover_survives_derivation() {
+        let base = WireFaultPlan::standard(11).with_handshake_cover();
+        assert!(base.cover_handshake);
+        assert!(base.derive(5).cover_handshake, "derive must keep the arming point");
+        assert!(!WireFaultPlan::none().cover_handshake);
+        assert!(!WireFaultPlan::standard(11).cover_handshake);
     }
 }

@@ -212,6 +212,26 @@ impl Client {
         }
     }
 
+    /// Push a new cluster map to the connected server (the admin plane
+    /// behind `dcz cluster push`). Returns the epoch the server is now
+    /// routing by and whether this push actually installed anything
+    /// (`false` = idempotent re-push of the map already live). Stale and
+    /// conflicting pushes come back as typed `BadRequest` server errors.
+    pub fn push_map(&mut self, map: &crate::shard::ShardMap) -> Result<(u64, bool)> {
+        match self.roundtrip(&Request::MapPush(map.clone()))? {
+            Response::MapPushed { epoch, installed } => Ok((epoch, installed)),
+            other => Err(unexpected("MapPushed", &other)),
+        }
+    }
+
+    /// Read one reply frame without writing a request — the
+    /// `RobustClient`'s drain hook for hedged reads, consuming a late
+    /// reply that a hedge-window timeout left in flight so the
+    /// connection's request/reply pairing realigns.
+    pub(crate) fn drain_reply(&mut self) -> Result<Response> {
+        self.read()
+    }
+
     /// Ask the server to shut down gracefully.
     pub fn shutdown(&mut self) -> Result<()> {
         match self.roundtrip(&Request::Shutdown)? {
@@ -231,6 +251,7 @@ fn unexpected(wanted: &str, got: &Response) -> ServeError {
         Response::Pong => "Pong",
         Response::ShuttingDown => "ShuttingDown",
         Response::ShardMap(_) => "ShardMap",
+        Response::MapPushed { .. } => "MapPushed",
         Response::WrongShard { .. } => "WrongShard",
         Response::Error { .. } => "Error",
     };

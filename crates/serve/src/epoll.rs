@@ -473,10 +473,11 @@ mod imp {
                     shared.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
                     shared.stats.conns_active.fetch_add(1, Ordering::Relaxed);
                     let now = Instant::now();
+                    let epoch = shared.shard.read().unwrap_or_else(|e| e.into_inner()).map.epoch;
                     let mut c = EpConn {
                         stream,
                         fd,
-                        conn: ServerConn::with_shard_epoch(shared.shard.map.epoch),
+                        conn: ServerConn::with_shard_epoch(epoch),
                         pending: VecDeque::new(),
                         next_seq: 0,
                         outbox: VecDeque::new(),

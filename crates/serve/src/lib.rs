@@ -68,10 +68,13 @@
 //!   ([`FaultyStream`]): the network analogue of the store's `FaultPlan`.
 //! * [`robust`] — [`RobustClient`]: bounded retry with backoff,
 //!   reconnect, per-endpoint circuit breakers, replica failover over the
-//!   idempotent read path, and shard-aware ring routing.
+//!   idempotent read path, shard-aware ring routing, and hedged reads
+//!   for tail tolerance.
 //! * [`shard`] — consistent-hash cluster layout: the seeded [`ShardMap`]
 //!   ring (virtual nodes, ordered replica sets) every cluster member
-//!   serves as a typed frame and every ring client routes by.
+//!   serves as a typed frame and every ring client routes by, the
+//!   [`MapInstall`] epoch-ordering rule for live map pushes, and the
+//!   clock-injected [`FailureDetector`] behind `dcz cluster suspect`.
 
 pub mod cache;
 pub mod chaos;
@@ -98,7 +101,7 @@ pub use protocol::{
 pub use queue::{Mpmc, PushError, TenantQuota, Wfq};
 pub use robust::{BreakerState, RobustClient, RobustConfig, RobustCounters};
 pub use server::{Backend, BrownoutConfig, ServeConfig, Server, ServerHandle, ShardRole};
-pub use shard::{ShardMap, ShardMember};
+pub use shard::{FailureDetector, MapInstall, ShardMap, ShardMember};
 pub use stats::{EndpointStats, StatsReport, TenantStats};
 
 /// Errors from the service and its client.

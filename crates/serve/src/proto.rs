@@ -955,7 +955,7 @@ mod tests {
         // Find a key shard 0 does not serve.
         let (container, chunk) =
             (0..100u32).map(|k| (0, k)).find(|&(c, k)| !map.serves(0, c, k)).unwrap();
-        let owner = map.owner(container, chunk);
+        let owner = map.owner(container, chunk).unwrap();
 
         let mut server = ServerConn::with_shard_epoch(map.epoch);
         let mut client = ClientConn::new(2);
@@ -1000,7 +1000,7 @@ mod tests {
             other => panic!("expected a response, got {other:?}"),
         };
         // ...and re-routes to exactly the shard the redirect named.
-        assert_eq!(fetched.owner(container, chunk) as u32, redirected_to);
+        assert_eq!(fetched.owner(container, chunk).unwrap() as u32, redirected_to);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Wire protocol: length-prefixed binary frames (narrative in `PROTOCOL.md`).
 //!
 //! Every frame is `[len: u32 LE][opcode: u8][body]`. Requests use opcodes
-//! `0x01..=0x07`, responses `0x81..=0x88` plus the error frame `0x7F`. All
+//! `0x01..=0x08`, responses `0x81..=0x89` plus the error frame `0x7F`. All
 //! integers are little-endian; strings are `u16` length + UTF-8 bytes;
 //! chunk payloads are raw little-endian `f32`.
 //!
@@ -176,6 +176,16 @@ pub enum Request {
     /// the same map; a solo server answers with its implicit one-member
     /// map at epoch 0).
     ShardMap,
+    /// Install a new, higher-epoch [`ShardMap`] on a running shard —
+    /// live reconfiguration. The body is the same encoding the
+    /// `Response::ShardMap` reply uses, so a map fetched from one member
+    /// can be re-pushed verbatim. Epoch-ordered: stale and same-epoch-
+    /// conflicting pushes answer a typed `BadRequest`; re-pushing the
+    /// exact current map is idempotent (`MapPushed { installed: false }`),
+    /// making client retries safe. Keys the shard is losing finish their
+    /// already-admitted work at the old epoch, then answer `WrongShard`
+    /// at the new one (drain-and-handoff — see `PROTOCOL.md`).
+    MapPush(ShardMap),
 }
 
 impl Request {
@@ -259,6 +269,16 @@ pub enum Response {
         /// Shard index of the key's primary owner under that map.
         owner: u32,
     },
+    /// `MapPush` acknowledgement: the epoch the server now routes by.
+    MapPushed {
+        /// Epoch of the map the server holds after processing the push.
+        epoch: u64,
+        /// Whether this push changed the routing table (`false` = the
+        /// pushed map was already installed; an idempotent re-push).
+        /// Optional-trailing on the wire and written only when `false`,
+        /// so a minimal ack decodes as a fresh install.
+        installed: bool,
+    },
     /// Typed failure.
     Error {
         /// Machine-readable class.
@@ -276,6 +296,7 @@ const OP_STATS: u8 = 0x04;
 const OP_PING: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
 const OP_SHARD_MAP: u8 = 0x07;
+const OP_MAP_PUSH: u8 = 0x08;
 // Response opcodes.
 const OP_R_HELLO: u8 = 0x81;
 const OP_R_INFO: u8 = 0x82;
@@ -285,6 +306,7 @@ const OP_R_PONG: u8 = 0x85;
 const OP_R_SHUTDOWN: u8 = 0x86;
 const OP_R_SHARD_MAP: u8 = 0x87;
 const OP_R_WRONG_SHARD: u8 = 0x88;
+const OP_R_MAP_PUSHED: u8 = 0x89;
 const OP_R_ERROR: u8 = 0x7F;
 
 /// Byte-wise body reader with protocol-typed errors.
@@ -398,6 +420,10 @@ pub fn encode_request(req: &Request, version: u16) -> Result<(u8, Vec<u8>)> {
         Request::Ping => OP_PING,
         Request::Shutdown => OP_SHUTDOWN,
         Request::ShardMap => OP_SHARD_MAP,
+        Request::MapPush(map) => {
+            map.encode(&mut b);
+            OP_MAP_PUSH
+        }
     };
     Ok((op, b))
 }
@@ -429,6 +455,7 @@ pub fn decode_request(op: u8, body: &[u8], version: u16) -> Result<Request> {
         OP_PING => Request::Ping,
         OP_SHUTDOWN => Request::Shutdown,
         OP_SHARD_MAP => Request::ShardMap,
+        OP_MAP_PUSH => Request::MapPush(ShardMap::decode(&mut r)?),
         other => return Err(ServeError::Protocol(format!("unknown request opcode {other:#04x}"))),
     };
     r.finish()?;
@@ -489,6 +516,15 @@ pub fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
             b.extend_from_slice(&owner.to_le_bytes());
             OP_R_WRONG_SHARD
         }
+        Response::MapPushed { epoch, installed } => {
+            b.extend_from_slice(&epoch.to_le_bytes());
+            // Trailing, and only on the idempotent path: the common ack
+            // (a fresh install) stays minimal and decodes as installed.
+            if !installed {
+                b.push(0);
+            }
+            OP_R_MAP_PUSHED
+        }
         Response::Error { code, message } => {
             b.push(code.to_u8());
             put_string(&mut b, message);
@@ -534,6 +570,11 @@ pub fn decode_response(op: u8, body: &[u8]) -> Result<Response> {
         OP_R_SHUTDOWN => Response::ShuttingDown,
         OP_R_SHARD_MAP => Response::ShardMap(ShardMap::decode(&mut r)?),
         OP_R_WRONG_SHARD => Response::WrongShard { epoch: r.u64()?, owner: r.u32()? },
+        OP_R_MAP_PUSHED => Response::MapPushed {
+            epoch: r.u64()?,
+            // Optional-trailing: a minimal ack is a fresh install.
+            installed: if r.remaining() > 0 { r.u8()? != 0 } else { true },
+        },
         OP_R_ERROR => Response::Error { code: ErrorCode::from_u8(r.u8()?)?, message: r.string()? },
         other => return Err(ServeError::Protocol(format!("unknown response opcode {other:#04x}"))),
     };
@@ -671,6 +712,16 @@ mod tests {
         roundtrip_request(Request::Ping);
         roundtrip_request(Request::Shutdown);
         roundtrip_request(Request::ShardMap);
+        roundtrip_request(Request::MapPush(crate::shard::ShardMap::new(
+            5,
+            0xFEED,
+            64,
+            2,
+            vec![
+                crate::shard::ShardMember { name: "s0".into(), addr: "127.0.0.1:7450".into() },
+                crate::shard::ShardMember { name: "s1".into(), addr: "127.0.0.1:7451".into() },
+            ],
+        )));
         // Nonzero deadlines exist only at v2.
         let dl = Request::Fetch { container: 0, chunk: 1, read_cf: 0, deadline_ms: 250 };
         roundtrip_request_at(dl.clone(), 2);
@@ -719,6 +770,8 @@ mod tests {
             ],
         )));
         roundtrip_response(Response::WrongShard { epoch: 4, owner: 2 });
+        roundtrip_response(Response::MapPushed { epoch: 5, installed: true });
+        roundtrip_response(Response::MapPushed { epoch: 5, installed: false });
         roundtrip_response(Response::Error {
             code: ErrorCode::Overloaded,
             message: "queue full (64)".into(),
@@ -742,6 +795,24 @@ mod tests {
         assert_eq!(
             decode_response(op, &body).unwrap(),
             Response::Hello { version: 2, shard_epoch: 3 }
+        );
+    }
+
+    #[test]
+    fn map_pushed_installed_flag_is_optional_trailing() {
+        // A fresh-install ack is the minimal form: epoch only.
+        let (op, body) = encode_response(&Response::MapPushed { epoch: 7, installed: true });
+        assert_eq!(body.len(), 8, "installed=true must not appear on the wire");
+        assert_eq!(
+            decode_response(op, &body).unwrap(),
+            Response::MapPushed { epoch: 7, installed: true }
+        );
+        // Only the idempotent re-push spends the trailing byte.
+        let (op, body) = encode_response(&Response::MapPushed { epoch: 7, installed: false });
+        assert_eq!(body.len(), 9);
+        assert_eq!(
+            decode_response(op, &body).unwrap(),
+            Response::MapPushed { epoch: 7, installed: false }
         );
     }
 

@@ -39,10 +39,23 @@
 //! is only safe within one key's replica set (any other member would
 //! just answer `WrongShard`).
 //!
+//! A fifth mechanism targets tail latency rather than failure: **hedged
+//! reads** (ring mode only, opt-in via
+//! [`RobustConfig::hedge_fraction`]). The primary attempt for a key is
+//! given only a *fraction* of the call budget at the socket; if no reply
+//! lands inside that hedge window, the same fetch fires at the next
+//! member of the key's replica set and the first reply wins. The slow
+//! primary is not punished — a hedge-window timeout never trips its
+//! breaker, and its late reply is *drained* (counted as wasted, not
+//! errored) before the connection is reused, so request/reply pairing
+//! stays aligned. Fetch is idempotent, so the duplicate ask is safe by
+//! construction.
+//!
 //! Every decision is observable: [`RobustCounters`] tallies attempts,
 //! retries, reconnects, failovers, breaker opens, probes, deadline
-//! hits, redirects, and map refreshes, and the chaos tests assert these
-//! match the injected fault counts exactly.
+//! hits, redirects, map refreshes, map pushes, and hedge outcomes
+//! (fired/won/lost/wasted), and the chaos tests assert these match the
+//! injected fault counts exactly.
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,7 +67,7 @@ use aicomp_store::{RetryPolicy, SplitMix64};
 use crate::chaos::{FaultyStream, WireCounters, WireFaultPlan};
 use crate::client::{Client, FetchedChunk};
 use crate::protocol::{client_handshake_tenant, ContainerInfo, PROTO_VERSION};
-use crate::shard::ShardMap;
+use crate::shard::{MapInstall, ShardMap};
 use crate::stats::StatsReport;
 use crate::{Result, ServeError};
 
@@ -83,6 +96,12 @@ pub struct RobustConfig {
     pub tenant: u32,
     /// Weight class offered in every handshake (0 is treated as 1).
     pub weight: u8,
+    /// Fraction of [`RobustConfig::timeout`] the primary replica gets
+    /// before the same fetch is hedged at the key's next replica
+    /// (`0.0` disables hedging; values are meaningful in `(0, 1)`).
+    /// Ring mode only, and inert without a `timeout` — the hedge window
+    /// is a slice of the call budget, so there must be one.
+    pub hedge_fraction: f64,
 }
 
 impl Default for RobustConfig {
@@ -97,6 +116,7 @@ impl Default for RobustConfig {
             chaos: None,
             tenant: 0,
             weight: 1,
+            hedge_fraction: 0.0,
         }
     }
 }
@@ -132,6 +152,20 @@ pub struct RobustCounters {
     /// Shard-map fetches in ring mode (the lazy initial load plus every
     /// post-redirect refresh).
     pub map_refreshes: AtomicU64,
+    /// `MapPush` frames a server acknowledged as installed (via
+    /// [`RobustClient::push_map`]; idempotent re-pushes not counted).
+    pub map_pushes: AtomicU64,
+    /// Hedges fired: primary attempts whose hedge window elapsed without
+    /// a reply, triggering a duplicate fetch at the next replica.
+    pub hedges_fired: AtomicU64,
+    /// Hedges where the duplicate fetch delivered the winning reply.
+    pub hedges_won: AtomicU64,
+    /// Hedges where the duplicate fetch failed too (the call's outcome
+    /// is the hedge's error).
+    pub hedges_lost: AtomicU64,
+    /// Late primary replies drained and discarded before their
+    /// connection was reused — work the cluster did twice.
+    pub hedges_wasted: AtomicU64,
 }
 
 impl RobustCounters {
@@ -206,11 +240,27 @@ struct Endpoint {
     conn: Option<Client>,
     breaker: Breaker,
     ever_connected: bool,
+    /// Replies still owed on `conn` by hedge-window timeouts — drained
+    /// (and counted wasted) before the connection carries a new request.
+    stale_pending: u32,
 }
 
 impl Endpoint {
     fn new(addr: SocketAddr) -> Endpoint {
-        Endpoint { addr, conn: None, breaker: Breaker::new(), ever_connected: false }
+        Endpoint {
+            addr,
+            conn: None,
+            breaker: Breaker::new(),
+            ever_connected: false,
+            stale_pending: 0,
+        }
+    }
+
+    /// Drop the connection (and with it any replies still in flight —
+    /// a fresh connection owes nothing).
+    fn drop_conn(&mut self) {
+        self.conn = None;
+        self.stale_pending = 0;
     }
 }
 
@@ -334,15 +384,19 @@ impl RobustClient {
         const MAX_HOPS: usize = 3;
         let mut last: Option<ServeError> = None;
         for _ in 0..MAX_HOPS {
-            let pin: Option<Vec<usize>> = self
-                .ring
-                .as_ref()
-                .and_then(|r| r.map.as_ref())
-                .map(|m| m.replicas(container, chunk));
-            let result = self.call_routed(pin.as_deref(), |client, remaining| {
-                let deadline = remaining.filter(|_| client.version() >= 2);
-                client.fetch_deadline(container, chunk, read_cf, deadline)
-            });
+            let pin: Option<Vec<usize>> = match self.ring.as_ref().and_then(|r| r.map.as_ref()) {
+                Some(m) => Some(m.replicas(container, chunk)?),
+                None => None,
+            };
+            let result = match pin.as_deref() {
+                Some(p) if self.hedge_window(p).is_some() => {
+                    self.fetch_hedged(p, container, chunk, read_cf)
+                }
+                _ => self.call_routed(pin.as_deref(), |client, remaining| {
+                    let deadline = remaining.filter(|_| client.version() >= 2);
+                    client.fetch_deadline(container, chunk, read_cf, deadline)
+                }),
+            };
             match result {
                 Ok((got, index)) => {
                     if pin.is_some() {
@@ -367,6 +421,97 @@ impl RobustClient {
         Err(last.unwrap_or_else(|| ServeError::Protocol("redirect loop with no error".into())))
     }
 
+    /// The hedge window for a routed fetch, when hedging applies: the
+    /// configured fraction of the call budget, needing a budget to slice
+    /// and at least one fallback replica to hedge at.
+    fn hedge_window(&self, pin: &[usize]) -> Option<Duration> {
+        if self.config.hedge_fraction <= 0.0 || pin.len() < 2 {
+            return None;
+        }
+        let window = self.config.timeout?.mul_f64(self.config.hedge_fraction.min(1.0));
+        (window > Duration::ZERO).then_some(window)
+    }
+
+    /// One hedged ring fetch. The primary attempt runs with the *socket*
+    /// read timeout clamped to the hedge window while the wire deadline
+    /// stays the full budget — the server should still finish the work;
+    /// it is the client that stops waiting early. When the window
+    /// elapses without a reply the connection is left parked (its late
+    /// reply is drained before the next request it carries) and the same
+    /// fetch re-fires, through the ordinary retry engine, at the key's
+    /// remaining replicas. Any other primary failure gets the ordinary
+    /// failure bookkeeping and falls back to the plain routed path.
+    fn fetch_hedged(
+        &mut self,
+        pin: &[usize],
+        container: u32,
+        chunk: u32,
+        read_cf: u8,
+    ) -> Result<(FetchedChunk, usize)> {
+        let op = |client: &mut Client, remaining: Option<Duration>| {
+            let deadline = remaining.filter(|_| client.version() >= 2);
+            client.fetch_deadline(container, chunk, read_cf, deadline)
+        };
+        let Some(window) = self.hedge_window(pin) else {
+            return self.call_routed(Some(pin), op);
+        };
+        let primary = pin[0];
+        // Hedge only a healthy primary: open breakers and half-open
+        // probes belong to the failover machinery, not this one.
+        if primary >= self.endpoints.len()
+            || self.endpoints[primary].breaker.state != BreakerState::Closed
+        {
+            return self.call_routed(Some(pin), op);
+        }
+        let full = self.config.timeout;
+        self.counters.bump(&self.counters.attempts);
+        let result = self.attempt_on(primary, Some(window), &mut |client, _| {
+            let deadline = full.filter(|_| client.version() >= 2);
+            client.fetch_deadline(container, chunk, read_cf, deadline)
+        });
+        match result {
+            Ok(got) => {
+                self.endpoints[primary].breaker.on_success();
+                Ok((got, primary))
+            }
+            Err(e) if hedge_timeout(&e) => {
+                // No reply inside the window: the primary is slow, not
+                // known broken — no breaker blame, connection kept (the
+                // reply it owes is still coming). Fire the duplicate.
+                self.counters.bump(&self.counters.hedges_fired);
+                self.endpoints[primary].stale_pending += 1;
+                let hedged = self.call_routed(Some(&pin[1..]), op);
+                match &hedged {
+                    Ok(_) => self.counters.bump(&self.counters.hedges_won),
+                    Err(_) => self.counters.bump(&self.counters.hedges_lost),
+                }
+                hedged
+            }
+            Err(e) => {
+                // A real failure inside the window: the same bookkeeping
+                // one call_routed attempt would do, then hand the call
+                // to the retry engine over the full replica set.
+                if matches!(e, ServeError::Io(_) | ServeError::Protocol(_)) {
+                    self.endpoints[primary].drop_conn();
+                }
+                if !e.is_retryable() {
+                    self.endpoints[primary].breaker.on_success();
+                    return Err(e);
+                }
+                let opened = self.endpoints[primary].breaker.on_failure(
+                    Instant::now(),
+                    self.config.breaker_threshold,
+                    self.config.breaker_cooldown,
+                    &mut self.rng,
+                );
+                if opened {
+                    self.counters.bump(&self.counters.breaker_opens);
+                }
+                self.call_routed(Some(pin), op)
+            }
+        }
+    }
+
     /// Fetch the cluster map from whichever endpoint answers first and
     /// install it (no-op for a stale answer — a lower epoch than the one
     /// already installed).
@@ -384,8 +529,22 @@ impl RobustClient {
         let Some(ring) = self.ring.as_ref() else {
             return Ok(());
         };
-        if ring.map.as_ref().is_some_and(|cur| map.epoch < cur.epoch) {
-            return Ok(());
+        if let Some(cur) = ring.map.as_ref() {
+            match ShardMap::plan_install(cur, &map) {
+                MapInstall::Install => {}
+                // Re-learning the installed map, or hearing an older one
+                // from a lagging member, changes nothing.
+                MapInstall::Idempotent | MapInstall::Stale => return Ok(()),
+                // Two different maps at one epoch means the cluster is
+                // inconsistent; routing by either would be a guess.
+                MapInstall::Conflict => {
+                    return Err(ServeError::Protocol(format!(
+                        "conflicting shard map: a member serves a different map at the \
+                         installed epoch {}",
+                        map.epoch
+                    )))
+                }
+            }
         }
         let mut addrs: Vec<SocketAddr> = Vec::with_capacity(map.members.len());
         for m in &map.members {
@@ -411,10 +570,28 @@ impl RobustClient {
             })
             .collect();
         self.preferred = 0;
-        let ring = self.ring.as_mut().expect("checked above");
-        ring.routed.resize(map.members.len(), 0);
-        ring.map = Some(map);
+        if let Some(ring) = self.ring.as_mut() {
+            ring.routed.resize(map.members.len(), 0);
+            ring.map = Some(map);
+        }
         Ok(())
+    }
+
+    /// Push `map` to the cluster (retried/failed-over like any call) and
+    /// adopt it locally in ring mode, so this client immediately routes
+    /// by what it pushed. Returns the epoch the answering server now
+    /// routes by and whether the push installed anything (`false` = the
+    /// map was already live there). Stale and conflicting pushes are
+    /// typed `BadRequest` server errors.
+    pub fn push_map(&mut self, map: &ShardMap) -> Result<(u64, bool)> {
+        let wire = map.clone();
+        let ((epoch, installed), _) =
+            self.call_routed(None, move |client, _| client.push_map(&wire))?;
+        if installed {
+            self.counters.bump(&self.counters.map_pushes);
+        }
+        self.install_map(map.clone())?;
+        Ok((epoch, installed))
     }
 
     /// The installed cluster map, in ring mode after the first
@@ -538,7 +715,7 @@ impl RobustClient {
                 Err(e) => {
                     let drop_conn = matches!(e, ServeError::Io(_) | ServeError::Protocol(_));
                     if drop_conn {
-                        self.endpoints[index].conn = None;
+                        self.endpoints[index].drop_conn();
                     }
                     if !e.is_retryable() {
                         // A fatal typed answer is a *healthy* server
@@ -631,6 +808,25 @@ impl RobustClient {
         remaining: Option<Duration>,
         op: &mut impl FnMut(&mut Client, Option<Duration>) -> Result<T>,
     ) -> Result<T> {
+        // Settle replies owed by earlier hedge-window timeouts before
+        // this connection carries a new request — a late reply drained
+        // here is a hedge's waste, not the answer to the next ask.
+        while self.endpoints[index].stale_pending > 0 {
+            self.endpoints[index].stale_pending -= 1;
+            self.counters.bump(&self.counters.hedges_wasted);
+            let full = self.config.timeout;
+            let drained = match self.endpoints[index].conn.as_mut() {
+                // A dropped connection owes nothing (drop_conn clears
+                // the debt; this arm is belt-and-braces).
+                None => break,
+                Some(conn) => conn.set_op_timeout(full).and_then(|()| conn.drain_reply()),
+            };
+            // A typed error frame is still a whole frame — the stream
+            // stays aligned. Only transport failures poison it.
+            if matches!(drained, Err(ServeError::Io(_)) | Err(ServeError::Protocol(_))) {
+                self.endpoints[index].drop_conn();
+            }
+        }
         if self.endpoints[index].conn.is_none() {
             let client = self.open(index)?;
             let ep = &mut self.endpoints[index];
@@ -653,7 +849,9 @@ impl RobustClient {
     /// Dial and handshake one connection. Under a chaos plan the
     /// handshake runs on the *clean* stream and the faults are armed
     /// after it (the arm-after-open discipline), so injected faults hit
-    /// steady-state traffic deterministically, not version negotiation.
+    /// steady-state traffic deterministically, not version negotiation —
+    /// unless the plan's `cover_handshake` flag moves the arming point
+    /// before the handshake, putting the `Hello` window in scope too.
     fn open(&mut self, index: usize) -> Result<Client> {
         let stream = TcpStream::connect(self.endpoints[index].addr)?;
         let _ = stream.set_nodelay(true);
@@ -666,10 +864,20 @@ impl RobustClient {
                     WireFaultPlan::none(),
                     Arc::clone(&self.wire),
                 );
-                let negotiated = client_handshake_tenant(&mut faulty, want, tenant, weight)?;
-                faulty.set_plan(plan.derive(self.conn_seq));
+                let derived = plan.derive(self.conn_seq);
                 self.conn_seq += 1;
-                Ok(Client::from_parts(Box::new(faulty), negotiated))
+                if plan.cover_handshake {
+                    // Arm first: the seq is consumed up front, so a
+                    // fault-killed handshake still advances the
+                    // per-connection schedule deterministically.
+                    faulty.set_plan(derived);
+                    let negotiated = client_handshake_tenant(&mut faulty, want, tenant, weight)?;
+                    Ok(Client::from_parts(Box::new(faulty), negotiated))
+                } else {
+                    let negotiated = client_handshake_tenant(&mut faulty, want, tenant, weight)?;
+                    faulty.set_plan(derived);
+                    Ok(Client::from_parts(Box::new(faulty), negotiated))
+                }
             }
             _ => {
                 let mut stream = stream;
@@ -678,6 +886,14 @@ impl RobustClient {
             }
         }
     }
+}
+
+/// Is this the socket-level "no reply inside the hedge window" signal?
+/// `SO_RCVTIMEO` surfaces as `WouldBlock` on Unix and `TimedOut` on
+/// Windows; both mean the wait elapsed, not that the peer failed.
+fn hedge_timeout(e: &ServeError) -> bool {
+    matches!(e, ServeError::Io(io)
+        if matches!(io.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut))
 }
 
 fn budget_exhausted(last_err: Option<ServeError>) -> ServeError {

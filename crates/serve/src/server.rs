@@ -51,7 +51,7 @@ use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -64,7 +64,7 @@ use crate::chaos::{FaultyStream, Wire, WireFaultPlan};
 use crate::proto::{Action, CloseReason, DeadlineKind, ResponseSlab, ServerConn};
 use crate::protocol::{self, ContainerInfo, ErrorCode, Request, Response};
 use crate::queue::{PushError, TenantQuota, Wfq};
-use crate::shard::ShardMap;
+use crate::shard::{MapInstall, ShardMap, ShardMember};
 use crate::stats::{Endpoint, ServeStats};
 
 /// Which transport drives the connection state machines.
@@ -158,6 +158,13 @@ pub struct ServeConfig {
     /// serves every key under the implicit epoch-0 map and never
     /// redirects.
     pub shard: Option<ShardRole>,
+    /// Stable member identity for a server started *outside* any map
+    /// (`shard: None`) that expects to be adopted by a later `MapPush` —
+    /// the join flow: the newcomer boots solo under this name, and the
+    /// first pushed map naming it makes it a serving member. Ignored when
+    /// `shard` is set (the role's member name wins); `None` boots as the
+    /// anonymous `"solo"`.
+    pub shard_name: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -180,6 +187,7 @@ impl Default for ServeConfig {
             tenant_bytes: 0,
             brownout: None,
             shard: None,
+            shard_name: None,
         }
     }
 }
@@ -306,9 +314,17 @@ impl Waiter {
     /// tenant's in-flight quota — the single place both happen, so the
     /// conservation invariant (answered exactly once, released exactly
     /// once) holds on every exit path out of the batcher.
+    ///
+    /// The quota is released *before* the reply leaves: the instant a
+    /// client holds the answer, the in-flight accounting has already let
+    /// go, so a quiesced observer (a stats poll, a map push counting its
+    /// drains) can never see a request that was in fact answered. The
+    /// reverse order raced under the epoll backend, where the loop can
+    /// write the completed reply to the socket before the worker thread
+    /// gets back to the accounting.
     fn finish(&self, shared: &Shared, result: JobResult) {
-        self.reply.send(result);
         shared.queue.complete(self.tenant, self.cost);
+        self.reply.send(result);
     }
 }
 
@@ -375,6 +391,27 @@ impl Container {
     }
 }
 
+/// The server's *live* cluster identity: the map it routes by right now
+/// plus where it sits in that map. Unlike the boot-time [`ShardRole`],
+/// the slot is mutable — a `MapPush` swaps the map (and possibly the
+/// index) on a running server under the `Shared::shard` write lock.
+pub(crate) struct ShardSlot {
+    /// Stable member name — survives every push; the index is re-derived
+    /// from it against each installed map (`usize::MAX` when the new map
+    /// no longer names this server: it then serves nothing and answers
+    /// every fetch with `WrongShard`, the post-handoff state of a member
+    /// that left).
+    pub(crate) name: String,
+    /// The map this server currently routes by.
+    pub(crate) map: ShardMap,
+    /// This server's index into `map.members` (out of range = not a
+    /// member).
+    pub(crate) index: usize,
+    /// `(container, chunk)` keys served under `map` (0 at epoch 0) —
+    /// the stats figure, recomputed at every install.
+    pub(crate) owned: u64,
+}
+
 /// State shared by the listener/event loop, connection threads, and
 /// workers. The cache stores *encoded* reply slabs, so a hit skips both
 /// the decode and the re-encode, and fan-out is an `Arc` bump.
@@ -386,13 +423,13 @@ pub(crate) struct Shared {
     pub(crate) shutdown: AtomicBool,
     pub(crate) config: ServeConfig,
     pub(crate) brownout: Brownout,
-    /// This server's cluster identity — the configured role, or the
-    /// implicit solo map at epoch 0 (which serves everything, so the
-    /// admission shard check never fires).
-    pub(crate) shard: ShardRole,
-    /// `(container, chunk)` keys this shard serves under its map,
-    /// precomputed at bind (0 for a solo server) — the stats figure.
-    pub(crate) shard_owned: u64,
+    /// This server's live cluster identity. A read lock guards every
+    /// admission-path ownership check; the write lock is taken only by
+    /// the (rare) `MapPush` install, so steady-state contention is nil.
+    pub(crate) shard: RwLock<ShardSlot>,
+    /// Chunk count per served container, frozen at bind — the key-space
+    /// geometry the owned/handoff figures are computed over.
+    pub(crate) chunk_counts: Vec<u32>,
 }
 
 /// A bound (but not yet accepting) server. [`Server::run`] blocks the
@@ -440,7 +477,9 @@ impl Server {
         // shard map names the *bound* address (port 0 resolves here).
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shard = match &config.shard {
+        let chunk_counts: Vec<u32> =
+            containers.iter().map(|c| c.reader.chunk_count() as u32).collect();
+        let slot = match &config.shard {
             Some(role) => {
                 if role.index >= role.map.len() {
                     return Err(crate::ServeError::Protocol(format!(
@@ -449,19 +488,39 @@ impl Server {
                         role.map.len()
                     )));
                 }
-                role.clone()
+                ShardSlot {
+                    name: role.map.members[role.index].name.clone(),
+                    map: role.map.clone(),
+                    index: role.index,
+                    owned: 0,
+                }
             }
-            None => ShardRole { map: ShardMap::solo(&addr.to_string()), index: 0 },
+            None => {
+                // Boot solo under the configured member name (or the
+                // anonymous "solo"): a one-member map owns every key
+                // whatever the name, and a later MapPush naming this
+                // server adopts it into the cluster by that name.
+                let name = config.shard_name.clone().unwrap_or_else(|| "solo".into());
+                let map = ShardMap::new(
+                    0,
+                    0,
+                    1,
+                    1,
+                    vec![ShardMember { name: name.clone(), addr: addr.to_string() }],
+                );
+                ShardSlot { name, map, index: 0, owned: 0 }
+            }
         };
         // Precompute the owned-key count for the stats frame. A solo map
         // owns everything trivially; report 0 there so the figure only
         // carries signal in a real cluster.
-        let shard_owned = if shard.map.epoch == 0 {
-            0
-        } else {
-            let chunks: Vec<u32> =
-                containers.iter().map(|c| c.reader.chunk_count() as u32).collect();
-            shard.map.owned_keys(shard.index, &chunks)
+        let slot = ShardSlot {
+            owned: if slot.map.epoch == 0 {
+                0
+            } else {
+                slot.map.owned_keys(slot.index, &chunk_counts)
+            },
+            ..slot
         };
         let shared = Arc::new(Shared {
             containers,
@@ -471,8 +530,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             brownout: Brownout::new(config.brownout),
             config: config.clone(),
-            shard,
-            shard_owned,
+            shard: RwLock::new(slot),
+            chunk_counts,
         });
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
@@ -818,7 +877,8 @@ fn encode_chunk_slab(
 fn handle_conn<S: Wire>(shared: &Shared, mut stream: S) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut conn = ServerConn::with_shard_epoch(shared.shard.map.epoch);
+    let epoch = shared.shard.read().unwrap_or_else(|e| e.into_inner()).map.epoch;
+    let mut conn = ServerConn::with_shard_epoch(epoch);
     // Handshake clock runs from accept; the idle clock restarts at each
     // completed frame; the slow-loris clock runs while a frame is
     // started but unfinished.
@@ -981,24 +1041,98 @@ pub(crate) fn answer_inline(shared: &Shared, req: &Request) -> Option<Response> 
         }
         Request::Stats => {
             let t0 = Instant::now();
+            let (shard_owned, shard_epoch) = {
+                let slot = shared.shard.read().unwrap_or_else(|e| e.into_inner());
+                (slot.owned, slot.map.epoch)
+            };
             let resp = Response::Stats(Box::new(shared.stats.snapshot(
                 shared.queue.len() as u32,
                 shared.queue.capacity() as u32,
                 shared.cache.snapshot(),
                 shared.brownout.level(),
                 &shared.queue.depths(),
-                shared.shard_owned,
-                shared.shard.map.epoch,
+                shard_owned,
+                shard_epoch,
             )));
             shared.stats.record_request(Endpoint::Stats, t0.elapsed());
             resp
         }
         Request::ShardMap => {
             shared.stats.shard_map_fetches.fetch_add(1, Ordering::Relaxed);
-            Response::ShardMap(shared.shard.map.clone())
+            Response::ShardMap(shared.shard.read().unwrap_or_else(|e| e.into_inner()).map.clone())
         }
+        Request::MapPush(map) => push_map(shared, map),
         Request::Hello { .. } | Request::Fetch { .. } => return None,
     })
+}
+
+/// Install a pushed [`ShardMap`] on this running server — the live-
+/// reconfiguration entry point, shared by both backends (it runs inline
+/// on the pushing connection's thread/loop, under the shard write lock).
+///
+/// Epoch-ordered: only a strictly higher epoch installs; a re-push of
+/// the exact current map is an idempotent ack; stale and same-epoch-
+/// conflicting pushes are typed `BadRequest` rejections (and counted).
+///
+/// Drain-and-handoff: work admitted before the install was validated
+/// against the *old* map and carries its reply slot with it, so it
+/// completes and is answered normally — at the old epoch — no matter
+/// what the new map says (`drained` counts those jobs). Keys this server
+/// serves under the old map but not the new one answer `WrongShard`
+/// from the very next admission on (`handoffs` counts them). Together:
+/// every admitted request is answered exactly once across the epoch
+/// boundary, and no key is ever served by a map that does not own it.
+pub(crate) fn push_map(shared: &Shared, map: &ShardMap) -> Response {
+    let mut slot = shared.shard.write().unwrap_or_else(|e| e.into_inner());
+    match ShardMap::plan_install(&slot.map, map) {
+        MapInstall::Idempotent => Response::MapPushed { epoch: slot.map.epoch, installed: false },
+        MapInstall::Stale => {
+            shared.stats.map_push_rejected.fetch_add(1, Ordering::Relaxed);
+            err(
+                ErrorCode::BadRequest,
+                format!(
+                    "stale map push: epoch {} is not above current {}",
+                    map.epoch, slot.map.epoch
+                ),
+            )
+        }
+        MapInstall::Conflict => {
+            shared.stats.map_push_rejected.fetch_add(1, Ordering::Relaxed);
+            err(
+                ErrorCode::BadRequest,
+                format!(
+                    "conflicting map push: epoch {} already installed with different contents",
+                    map.epoch
+                ),
+            )
+        }
+        MapInstall::Install => {
+            // Everything admitted so far finishes at the old epoch: the
+            // jobs carry their own reply slots and never re-consult the
+            // map, so the install only has to *count* them.
+            let draining: u64 =
+                shared.queue.depths().iter().map(|&(_, _, _, inflight)| inflight as u64).sum();
+            shared.stats.drained.fetch_add(draining, Ordering::Relaxed);
+            let index = map.members.iter().position(|m| m.name == slot.name).unwrap_or(usize::MAX);
+            let mut handoffs = 0u64;
+            for (container, &n) in shared.chunk_counts.iter().enumerate() {
+                for chunk in 0..n {
+                    if slot.map.serves(slot.index, container as u32, chunk)
+                        && !map.serves(index, container as u32, chunk)
+                    {
+                        handoffs += 1;
+                    }
+                }
+            }
+            shared.stats.handoffs.fetch_add(handoffs, Ordering::Relaxed);
+            slot.owned =
+                if index >= map.len() { 0 } else { map.owned_keys(index, &shared.chunk_counts) };
+            slot.index = index;
+            slot.map = map.clone();
+            shared.stats.map_pushes.fetch_add(1, Ordering::Relaxed);
+            Response::MapPushed { epoch: slot.map.epoch, installed: true }
+        }
+    }
 }
 
 /// How [`admit_fetch`] disposed of one fetch.
@@ -1039,12 +1173,23 @@ pub(crate) fn admit_fetch(
     // is rejected without touching the container, so a cluster member
     // only ever reads (and caches) the chunk ranges it serves. The solo
     // map serves every key, so standalone servers never take this branch.
-    if !shared.shard.map.serves(shared.shard.index, container, chunk) {
-        shared.stats.misdirected.fetch_add(1, Ordering::Relaxed);
-        return Admission::Rejected(Box::new(Response::WrongShard {
-            epoch: shared.shard.map.epoch,
-            owner: shared.shard.map.owner(container, chunk) as u32,
-        }));
+    // The read lock scopes to this check: once admitted, a job never
+    // re-consults the map — that is what lets a concurrent MapPush drain
+    // old-epoch work instead of orphaning it.
+    {
+        let slot = shared.shard.read().unwrap_or_else(|e| e.into_inner());
+        if !slot.map.serves(slot.index, container, chunk) {
+            shared.stats.misdirected.fetch_add(1, Ordering::Relaxed);
+            return match slot.map.owner(container, chunk) {
+                Ok(owner) => Admission::Rejected(Box::new(Response::WrongShard {
+                    epoch: slot.map.epoch,
+                    owner: owner as u32,
+                })),
+                // An empty map has no owner to point at — unroutable,
+                // but still a typed answer rather than a panic.
+                Err(e) => Admission::Rejected(Box::new(err(ErrorCode::Internal, e.to_string()))),
+            };
+        }
     }
     let Some(cont) = shared.containers.get(container as usize) else {
         return Admission::Rejected(Box::new(err(

@@ -121,16 +121,20 @@ impl ShardMap {
         self.ring.sort_unstable();
     }
 
-    /// Shard index of the key's primary owner. Panics on an empty map.
-    pub fn owner(&self, container: u32, chunk: u32) -> usize {
-        self.replicas(container, chunk)[0]
+    /// Shard index of the key's primary owner. A typed error on an empty
+    /// map — routing runs inside serving and training loops, so an
+    /// impossible map must never take the process down (PR 8 discipline).
+    pub fn owner(&self, container: u32, chunk: u32) -> Result<usize> {
+        Ok(self.replicas(container, chunk)?[0])
     }
 
     /// Ordered replica set for a key: the first `replication` *distinct*
-    /// shards clockwise from the key's ring point, primary first. Panics
-    /// on an empty map (there is nowhere to route).
-    pub fn replicas(&self, container: u32, chunk: u32) -> Vec<usize> {
-        assert!(!self.ring.is_empty(), "routing on an empty shard map");
+    /// shards clockwise from the key's ring point, primary first. A typed
+    /// error on an empty map (there is nowhere to route).
+    pub fn replicas(&self, container: u32, chunk: u32) -> Result<Vec<usize>> {
+        if self.ring.is_empty() {
+            return Err(ServeError::Protocol("routing on an empty shard map".into()));
+        }
         let key = key_point(self.seed, container, chunk);
         // First vnode strictly clockwise of (or at) the key's point.
         let start = self.ring.partition_point(|&(p, _)| p < key);
@@ -144,12 +148,37 @@ impl ShardMap {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
-    /// Does `shard` serve this key (primary or replica)?
+    /// Does `shard` serve this key (primary or replica)? `false` on an
+    /// empty map — nobody serves anything — and for out-of-range indices
+    /// (a member that left the cluster serves nothing under the new map).
     pub fn serves(&self, shard: usize, container: u32, chunk: u32) -> bool {
-        self.replicas(container, chunk).contains(&shard)
+        self.replicas(container, chunk).map(|r| r.contains(&shard)).unwrap_or(false)
+    }
+
+    /// Classify installing `new` over the currently-held `cur` — the one
+    /// epoch-ordering rule shared by the server push path and the client
+    /// map refresh, so both sides agree on what "stale" means:
+    ///
+    /// * a higher epoch installs;
+    /// * a byte-identical re-push of the current map is idempotent (a
+    ///   retried `MapPush` must not be an error);
+    /// * a lower epoch is stale;
+    /// * the *same* epoch with *different* contents is a conflict — two
+    ///   maps claiming one version number can never both be right, and
+    ///   silently picking one would split the cluster's routing.
+    pub fn plan_install(cur: &ShardMap, new: &ShardMap) -> MapInstall {
+        if new.epoch > cur.epoch {
+            MapInstall::Install
+        } else if new == cur {
+            MapInstall::Idempotent
+        } else if new.epoch < cur.epoch {
+            MapInstall::Stale
+        } else {
+            MapInstall::Conflict
+        }
     }
 
     /// Count the `(container, chunk)` keys `shard` serves across the
@@ -201,6 +230,102 @@ impl ShardMap {
     }
 }
 
+/// Outcome of [`ShardMap::plan_install`]: what holding map `cur` should
+/// do with an incoming map `new`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapInstall {
+    /// `new.epoch > cur.epoch`: install it.
+    Install,
+    /// Byte-identical to the current map: accept without reinstalling
+    /// (a retried push must be safe).
+    Idempotent,
+    /// `new.epoch < cur.epoch`: reject, the pusher is behind.
+    Stale,
+    /// Same epoch, different contents: reject loudly — two maps sharing
+    /// one epoch means the control plane is split.
+    Conflict,
+}
+
+/// Missed-heartbeat accrual failure detector — the sans-I/O half of
+/// liveness. The detector never reads a clock or a socket: the transport
+/// (test harness, `dcz cluster suspect`, loadgen churn mode) sends
+/// `Ping`s on its own schedule and reports each outcome here with an
+/// injected timestamp, exactly the pattern `proto.rs` uses for deadlines.
+/// That is what makes suspicion counts reproducible under seeded replay:
+/// two runs feeding the same observation sequence produce the same
+/// suspicions, regardless of wall-clock jitter.
+///
+/// A member is *suspected* after `threshold` consecutive failed beats;
+/// one successful beat clears it. Suspicion is advisory — it drives the
+/// operator (or churn harness) to push an epoch-bumped map routing
+/// around the suspect; the detector itself never mutates routing.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    interval_ms: u64,
+    threshold: u32,
+    /// Per-member: (consecutive misses, next beat due at, suspected).
+    beats: Vec<(u32, u64, bool)>,
+    suspicions: u64,
+}
+
+impl FailureDetector {
+    /// A detector over `members` members (indices follow the shard-index
+    /// convention of the map it watches). `interval_ms` spaces beats;
+    /// `threshold` consecutive misses mark a member suspected. Both are
+    /// clamped to at least 1.
+    pub fn new(members: usize, interval_ms: u64, threshold: u32) -> FailureDetector {
+        FailureDetector {
+            interval_ms: interval_ms.max(1),
+            threshold: threshold.max(1),
+            beats: vec![(0, 0, false); members],
+            suspicions: 0,
+        }
+    }
+
+    /// Members whose next beat is due at `now_ms` — the transport should
+    /// ping each and report the outcome via [`FailureDetector::observe`].
+    pub fn due(&self, now_ms: u64) -> Vec<usize> {
+        self.beats
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, due_at, _))| now_ms >= due_at)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Record one beat outcome for `member` at `now_ms`. Returns
+    /// `Some(member)` exactly when this observation *newly* crosses the
+    /// suspicion threshold (the caller's cue to bump the epoch), `None`
+    /// otherwise. Out-of-range members are ignored.
+    pub fn observe(&mut self, member: usize, ok: bool, now_ms: u64) -> Option<usize> {
+        let (misses, due_at, suspected) = self.beats.get_mut(member)?;
+        *due_at = now_ms + self.interval_ms;
+        if ok {
+            *misses = 0;
+            *suspected = false;
+            return None;
+        }
+        *misses += 1;
+        if *misses >= self.threshold && !*suspected {
+            *suspected = true;
+            self.suspicions += 1;
+            return Some(member);
+        }
+        None
+    }
+
+    /// Is `member` currently suspected?
+    pub fn is_suspected(&self, member: usize) -> bool {
+        self.beats.get(member).map(|&(_, _, s)| s).unwrap_or(false)
+    }
+
+    /// Total suspicion transitions since construction (a counter, not a
+    /// level: recovery then re-suspicion counts twice).
+    pub fn suspicions(&self) -> u64 {
+        self.suspicions
+    }
+}
+
 /// SplitMix64-style finalizer over a seeded accumulation of bytes: a
 /// pure-arithmetic hash so ring placement is identical on every platform
 /// and toolchain (no `DefaultHasher`, whose algorithm is unspecified).
@@ -242,10 +367,10 @@ mod tests {
         let map = ShardMap::new(1, 42, 64, 2, members(4));
         for container in 0..3u32 {
             for chunk in 0..50u32 {
-                let reps = map.replicas(container, chunk);
+                let reps = map.replicas(container, chunk).unwrap();
                 assert_eq!(reps.len(), 2);
                 assert_ne!(reps[0], reps[1]);
-                assert_eq!(reps[0], map.owner(container, chunk));
+                assert_eq!(reps[0], map.owner(container, chunk).unwrap());
                 assert!(map.serves(reps[0], container, chunk));
                 assert!(map.serves(reps[1], container, chunk));
             }
@@ -256,7 +381,7 @@ mod tests {
     fn replication_caps_at_member_count() {
         let map = ShardMap::new(1, 7, 16, 9, members(3));
         assert_eq!(map.replication, 3);
-        let reps = map.replicas(0, 0);
+        let reps = map.replicas(0, 0).unwrap();
         assert_eq!(reps.len(), 3);
     }
 
@@ -271,7 +396,7 @@ mod tests {
             .collect();
         let b = ShardMap::new(1, 9, 32, 2, moved);
         for chunk in 0..100 {
-            assert_eq!(a.replicas(0, chunk), b.replicas(0, chunk));
+            assert_eq!(a.replicas(0, chunk).unwrap(), b.replicas(0, chunk).unwrap());
         }
     }
 
@@ -280,7 +405,7 @@ mod tests {
         let map = ShardMap::solo("127.0.0.1:7440");
         assert_eq!(map.epoch, 0);
         for chunk in 0..20 {
-            assert_eq!(map.replicas(3, chunk), vec![0]);
+            assert_eq!(map.replicas(3, chunk).unwrap(), vec![0]);
         }
     }
 
@@ -294,8 +419,59 @@ mod tests {
         r.finish().unwrap();
         assert_eq!(back, map, "decoded map (including rebuilt ring) must match");
         for chunk in 0..200 {
-            assert_eq!(back.replicas(1, chunk), map.replicas(1, chunk));
+            assert_eq!(back.replicas(1, chunk).unwrap(), map.replicas(1, chunk).unwrap());
         }
+    }
+
+    #[test]
+    fn routing_on_an_empty_map_is_a_typed_error_not_a_panic() {
+        let map = ShardMap::new(1, 1, 8, 1, Vec::new());
+        assert!(map.replicas(0, 0).is_err());
+        assert!(map.owner(0, 0).is_err());
+        assert!(!map.serves(0, 0, 0));
+        assert_eq!(map.owned_keys(0, &[4, 4]), 0);
+    }
+
+    #[test]
+    fn plan_install_orders_by_epoch_and_flags_conflicts() {
+        let cur = ShardMap::new(2, 42, 64, 2, members(3));
+        let higher = ShardMap::new(3, 42, 64, 2, members(4));
+        let lower = ShardMap::new(1, 42, 64, 2, members(4));
+        let twin = ShardMap::new(2, 42, 64, 2, members(4));
+        assert_eq!(ShardMap::plan_install(&cur, &higher), MapInstall::Install);
+        assert_eq!(ShardMap::plan_install(&cur, &cur.clone()), MapInstall::Idempotent);
+        assert_eq!(ShardMap::plan_install(&cur, &lower), MapInstall::Stale);
+        assert_eq!(ShardMap::plan_install(&cur, &twin), MapInstall::Conflict);
+    }
+
+    #[test]
+    fn detector_suspects_after_threshold_and_recovers_on_one_beat() {
+        let mut det = FailureDetector::new(3, 100, 3);
+        assert_eq!(det.due(0), vec![0, 1, 2]);
+        // Two misses: below threshold, no suspicion.
+        assert_eq!(det.observe(1, false, 0), None);
+        assert_eq!(det.observe(1, false, 100), None);
+        assert!(!det.is_suspected(1));
+        // Third consecutive miss crosses the threshold exactly once.
+        assert_eq!(det.observe(1, false, 200), Some(1));
+        assert!(det.is_suspected(1));
+        assert_eq!(det.observe(1, false, 300), None, "already suspected: no re-fire");
+        assert_eq!(det.suspicions(), 1);
+        // One good beat clears it; re-suspicion counts again.
+        assert_eq!(det.observe(1, true, 400), None);
+        assert!(!det.is_suspected(1));
+        for t in 0..3 {
+            det.observe(1, false, 500 + t * 100);
+        }
+        assert_eq!(det.suspicions(), 2);
+        // Beats are spaced by the interval, per member: member 1 was last
+        // observed at 700, so it is due again at 800; members 0 and 2
+        // were never observed and are always due.
+        assert_eq!(det.due(750), vec![0, 2]);
+        assert_eq!(det.due(800), vec![0, 1, 2]);
+        // Out-of-range members are ignored, not a panic.
+        assert_eq!(det.observe(9, false, 0), None);
+        assert!(!det.is_suspected(9));
     }
 
     #[test]

@@ -122,6 +122,18 @@ pub struct ServeStats {
     pub misdirected: AtomicU64,
     /// `ShardMap` requests answered (clients refreshing their routing).
     pub shard_map_fetches: AtomicU64,
+    /// `MapPush` frames that installed a new shard map (live
+    /// reconfiguration; idempotent re-pushes are not counted).
+    pub map_pushes: AtomicU64,
+    /// `MapPush` frames rejected as stale or same-epoch-conflicting.
+    pub map_push_rejected: AtomicU64,
+    /// Jobs already admitted when a map push landed — they finish at the
+    /// old epoch (the drain half of drain-and-handoff).
+    pub drained: AtomicU64,
+    /// Keys this shard served under the old map but not the new one at
+    /// install time (the handoff half: those keys answer `WrongShard`
+    /// from the next request on).
+    pub handoffs: AtomicU64,
     requests: [AtomicU64; ENDPOINTS],
     latency: [LatencyHistogram; ENDPOINTS],
     batch: [AtomicU64; BATCH_BUCKETS],
@@ -172,6 +184,10 @@ impl ServeStats {
             brownout_steps_up: AtomicU64::new(0),
             misdirected: AtomicU64::new(0),
             shard_map_fetches: AtomicU64::new(0),
+            map_pushes: AtomicU64::new(0),
+            map_push_rejected: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            handoffs: AtomicU64::new(0),
             requests: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: std::array::from_fn(|_| LatencyHistogram::new()),
             batch: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -306,6 +322,10 @@ impl ServeStats {
             shard_epoch,
             shard_misdirected: self.misdirected.load(Ordering::Relaxed),
             shard_map_fetches: self.shard_map_fetches.load(Ordering::Relaxed),
+            map_pushes: self.map_pushes.load(Ordering::Relaxed),
+            map_push_rejected: self.map_push_rejected.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+            handoffs: self.handoffs.load(Ordering::Relaxed),
             tenants,
             batch_sizes: self.batch.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             frames_per_wakeup: self
@@ -419,6 +439,14 @@ pub struct StatsReport {
     pub shard_misdirected: u64,
     /// `ShardMap` requests answered.
     pub shard_map_fetches: u64,
+    /// Map pushes that installed a new epoch (live reconfigurations).
+    pub map_pushes: u64,
+    /// Map pushes rejected (stale epoch or same-epoch conflict).
+    pub map_push_rejected: u64,
+    /// Admitted jobs that finished at a superseded epoch (drains).
+    pub drained: u64,
+    /// Keys handed off to other shards across all installs.
+    pub handoffs: u64,
     /// Per-tenant counters and lane depths, sorted by tenant id.
     pub tenants: Vec<TenantStats>,
     /// Linear histogram: `batch_sizes[i]` passes decoded `i + 1` chunks
@@ -557,6 +585,11 @@ impl StatsReport {
         {
             out.extend_from_slice(&v.to_le_bytes());
         }
+        // Trailing reconfiguration section, chained after the shard one:
+        // pre-reconfig frames end before it and report zeros.
+        for v in [self.map_pushes, self.map_push_rejected, self.drained, self.handoffs] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
     }
 
     /// Parse the wire encoding produced by `encode`.
@@ -613,6 +646,10 @@ impl StatsReport {
         // QoS section and report a solo, never-misdirected server.
         let (shard_owned, shard_epoch, shard_misdirected, shard_map_fetches) =
             if r.remaining() > 0 { (r.u64()?, r.u64()?, r.u64()?, r.u64()?) } else { (0, 0, 0, 0) };
+        // Optional-trailing reconfiguration section: frames from servers
+        // without live map push end at the shard section.
+        let (map_pushes, map_push_rejected, drained, handoffs) =
+            if r.remaining() > 0 { (r.u64()?, r.u64()?, r.u64()?, r.u64()?) } else { (0, 0, 0, 0) };
         Ok(StatsReport {
             queue_depth,
             queue_capacity,
@@ -645,6 +682,10 @@ impl StatsReport {
             shard_epoch,
             shard_misdirected,
             shard_map_fetches,
+            map_pushes,
+            map_push_rejected,
+            drained,
+            handoffs,
             tenants,
             batch_sizes,
             frames_per_wakeup,
@@ -666,6 +707,11 @@ impl std::fmt::Display for StatsReport {
             f,
             "shard      map epoch {}, {} owned keys, {} misdirected, {} map fetches",
             self.shard_epoch, self.shard_owned, self.shard_misdirected, self.shard_map_fetches
+        )?;
+        writeln!(
+            f,
+            "reconfig   {} map pushes, {} rejected, {} drained, {} keys handed off",
+            self.map_pushes, self.map_push_rejected, self.drained, self.handoffs
         )?;
         writeln!(f, "tenants    {} tracked", self.tenants.len())?;
         for t in &self.tenants {
@@ -776,6 +822,10 @@ mod tests {
         stats.tenant_degraded(7, 3);
         stats.misdirected.store(6, Ordering::Relaxed);
         stats.shard_map_fetches.store(2, Ordering::Relaxed);
+        stats.map_pushes.store(3, Ordering::Relaxed);
+        stats.map_push_rejected.store(1, Ordering::Relaxed);
+        stats.drained.store(4, Ordering::Relaxed);
+        stats.handoffs.store(12, Ordering::Relaxed);
         let cache = CacheSnapshot { hits: 30, misses: 10, evictions: 2, entries: 5, capacity: 64 };
         let report = stats.snapshot(3, 64, cache, 1, &[(7, 3, 2, 5), (9, 2, 1, 1)], 11, 4);
 
@@ -788,6 +838,10 @@ mod tests {
                 report.shard_map_fetches
             ),
             (11, 4, 6, 2)
+        );
+        assert_eq!(
+            (report.map_pushes, report.map_push_rejected, report.drained, report.handoffs),
+            (3, 1, 4, 12)
         );
         let t7 = report.tenants.iter().find(|t| t.tenant == 7).unwrap();
         assert_eq!((t7.accepted, t7.shed, t7.degraded, t7.queued, t7.inflight), (2, 0, 1, 2, 5));
@@ -810,8 +864,9 @@ mod tests {
         let report = ServeStats::new().snapshot(0, 8, CacheSnapshot::default(), 0, &[], 0, 0);
         let mut wire = Vec::new();
         report.encode(&mut wire);
-        // Drop the shard section (32 bytes) and the empty QoS section (3).
-        wire.truncate(wire.len() - 35);
+        // Drop the reconfig section (32 bytes), the shard section (32),
+        // and the empty QoS section (3).
+        wire.truncate(wire.len() - 67);
         let mut r = BodyReader::new(&wire);
         let decoded = StatsReport::decode(&mut r).unwrap();
         r.finish().unwrap();
@@ -830,7 +885,7 @@ mod tests {
         let report = stats.snapshot(0, 8, CacheSnapshot::default(), 0, &[], 7, 2);
         let mut wire = Vec::new();
         report.encode(&mut wire);
-        wire.truncate(wire.len() - 32); // drop the trailing shard section
+        wire.truncate(wire.len() - 64); // drop the shard + reconfig sections
         let mut r = BodyReader::new(&wire);
         let decoded = StatsReport::decode(&mut r).unwrap();
         r.finish().unwrap();
@@ -852,6 +907,32 @@ mod tests {
                 shard_map_fetches: 0,
                 ..report
             }
+        );
+    }
+
+    #[test]
+    fn pre_reconfig_report_decodes_with_zero_churn() {
+        // A frame from a PR 9 (static-map) server ends at the shard
+        // section; the reconfiguration counters must default to zero.
+        let stats = ServeStats::new();
+        stats.map_pushes.store(2, Ordering::Relaxed);
+        stats.drained.store(3, Ordering::Relaxed);
+        stats.handoffs.store(9, Ordering::Relaxed);
+        let report = stats.snapshot(0, 8, CacheSnapshot::default(), 0, &[], 7, 2);
+        let mut wire = Vec::new();
+        report.encode(&mut wire);
+        wire.truncate(wire.len() - 32); // drop the trailing reconfig section
+        let mut r = BodyReader::new(&wire);
+        let decoded = StatsReport::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(
+            (decoded.map_pushes, decoded.map_push_rejected, decoded.drained, decoded.handoffs),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(
+            decoded,
+            StatsReport { map_pushes: 0, map_push_rejected: 0, drained: 0, handoffs: 0, ..report },
+            "only the reconfig section is defaulted; the shard section survives"
         );
     }
 
@@ -904,6 +985,7 @@ mod tests {
             "slabs",
             "fetch",
             "shard",
+            "reconfig",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

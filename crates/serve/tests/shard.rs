@@ -1,8 +1,10 @@
 //! Property tests for the consistent-hash [`ShardMap`]: balance,
-//! minimal movement, and seed determinism — hand-rolled seeded sweeps
-//! (no proptest dependency), so every run replays exactly.
+//! minimal movement, seed determinism, and the live-reconfiguration
+//! install rule (epoch ordering, conflict rejection, drain-and-handoff
+//! conservation) — hand-rolled seeded sweeps (no proptest dependency),
+//! so every run replays exactly.
 
-use aicomp_serve::{ShardMap, ShardMember};
+use aicomp_serve::{MapInstall, ShardMap, ShardMember};
 
 fn members(n: usize) -> Vec<ShardMember> {
     (0..n)
@@ -15,7 +17,7 @@ fn ownership(map: &ShardMap, containers: u32, chunks: u32) -> Vec<u64> {
     let mut counts = vec![0u64; map.len()];
     for c in 0..containers {
         for k in 0..chunks {
-            counts[map.owner(c, k)] += 1;
+            counts[map.owner(c, k).unwrap()] += 1;
         }
     }
     counts
@@ -76,8 +78,8 @@ fn removing_one_member_moves_only_its_keys() {
         let mut moved = 0u64;
         for c in 0..containers {
             for k in 0..chunks {
-                let before = five.owner(c, k);
-                let after = four.owner(c, k);
+                let before = five.owner(c, k).unwrap();
+                let after = four.owner(c, k).unwrap();
                 if before == 4 {
                     moved += 1;
                 } else {
@@ -106,14 +108,144 @@ fn assignment_is_a_pure_function_of_the_seed() {
         let a = ShardMap::new(1, seed, 128, 2, members(5));
         let b = ShardMap::new(1, seed, 128, 2, members(5));
         for &(c, k) in &keys {
-            assert_eq!(a.replicas(c, k), b.replicas(c, k), "seed {seed} must replay exactly");
+            assert_eq!(
+                a.replicas(c, k).unwrap(),
+                b.replicas(c, k).unwrap(),
+                "seed {seed} must replay exactly"
+            );
         }
     }
     for seed in 0..20u64 {
         let a = ShardMap::new(1, seed, 128, 2, members(5));
         let b = ShardMap::new(1, seed + 1, 128, 2, members(5));
-        let differs = keys.iter().any(|&(c, k)| a.replicas(c, k) != b.replicas(c, k));
+        let differs =
+            keys.iter().any(|&(c, k)| a.replicas(c, k).unwrap() != b.replicas(c, k).unwrap());
         assert!(differs, "seeds {seed} and {} produced identical assignments", seed + 1);
+    }
+}
+
+#[test]
+fn stale_pushes_never_regress_ownership() {
+    // Apply a shuffled stream of map pushes — newer maps, stale
+    // re-deliveries, duplicates — through the install rule. The installed
+    // epoch must be monotone throughout, and the final state must equal
+    // the newest push alone: stale arrivals change nothing, ever.
+    let order = [2usize, 0, 3, 1, 0, 2, 1, 3, 0];
+    for seed in 0..20u64 {
+        let maps: Vec<ShardMap> = (1..=4u64)
+            .map(|e| ShardMap::new(e, seed ^ (e << 8), 64, 2, members(3 + (e as usize % 3))))
+            .collect();
+        let mut installed = maps[0].clone();
+        for &i in &order {
+            let before = installed.epoch;
+            match ShardMap::plan_install(&installed, &maps[i]) {
+                MapInstall::Install => installed = maps[i].clone(),
+                MapInstall::Idempotent | MapInstall::Stale => {
+                    assert!(
+                        maps[i].epoch <= before,
+                        "seed {seed}: a refused push must not be newer than the installed map"
+                    );
+                }
+                MapInstall::Conflict => panic!("distinct-epoch pushes cannot conflict"),
+            }
+            assert!(installed.epoch >= before, "seed {seed}: install must be epoch-monotone");
+            assert!(
+                installed.epoch >= maps[i].epoch,
+                "seed {seed}: the installed map regressed below a seen push"
+            );
+        }
+        assert_eq!(installed, maps[3], "seed {seed}: the newest push must win regardless of order");
+    }
+}
+
+#[test]
+fn same_epoch_pushes_conflict_unless_identical() {
+    // Two maps at one epoch with any difference — ring seed, vnode count,
+    // replication, roster — must be flagged Conflict in both directions;
+    // only the bit-identical re-push is Idempotent.
+    for seed in 0..20u64 {
+        let base = ShardMap::new(5, seed, 64, 2, members(4));
+        let variants = [
+            ShardMap::new(5, seed ^ 1, 64, 2, members(4)),
+            ShardMap::new(5, seed, 32, 2, members(4)),
+            ShardMap::new(5, seed, 64, 3, members(4)),
+            ShardMap::new(5, seed, 64, 2, members(5)),
+        ];
+        assert_eq!(ShardMap::plan_install(&base, &base.clone()), MapInstall::Idempotent);
+        for v in &variants {
+            assert_eq!(
+                ShardMap::plan_install(&base, v),
+                MapInstall::Conflict,
+                "seed {seed}: a differing same-epoch map must conflict"
+            );
+            assert_eq!(
+                ShardMap::plan_install(v, &base),
+                MapInstall::Conflict,
+                "seed {seed}: conflict must be symmetric"
+            );
+        }
+        assert_eq!(
+            ShardMap::plan_install(&base, &ShardMap::new(4, seed, 64, 2, members(4))),
+            MapInstall::Stale
+        );
+        assert_eq!(
+            ShardMap::plan_install(&base, &ShardMap::new(6, seed, 64, 2, members(4))),
+            MapInstall::Install
+        );
+    }
+}
+
+#[test]
+fn push_drain_handoff_conserves_every_key() {
+    // The drain-and-handoff accounting behind a map push, over seeded
+    // old→new pairs (members leaving, joining, or both):
+    // (1) per shard, kept + handed-off keys exactly equals its old
+    //     holding — `owned_keys` and `serves` agree, nothing vanishes;
+    // (2) every handed-off key's primary under the new map really serves
+    //     it, so the `WrongShard` redirect answers the re-ask in one hop
+    //     (pop exactly once: old-epoch drain, then one routed answer);
+    // (3) cluster-wide coverage is conserved: every key is served by
+    //     exactly min(R, members) shards before and after the push.
+    let chunk_counts: Vec<u32> = vec![40, 25, 10];
+    let total: u64 = chunk_counts.iter().map(|&n| n as u64).sum();
+    for seed in 0..20u64 {
+        let old = ShardMap::new(1, seed, 64, 2, members(5));
+        for new_n in [3usize, 4, 6] {
+            let new = ShardMap::new(2, seed.wrapping_add(new_n as u64), 64, 2, members(new_n));
+            for shard in 0..old.len() {
+                let name = &old.members[shard].name;
+                let new_index = new.members.iter().position(|m| &m.name == name);
+                let (mut kept, mut lost) = (0u64, 0u64);
+                for (c, &n) in chunk_counts.iter().enumerate() {
+                    for k in 0..n {
+                        if !old.serves(shard, c as u32, k) {
+                            continue;
+                        }
+                        if new_index.is_some_and(|i| new.serves(i, c as u32, k)) {
+                            kept += 1;
+                        } else {
+                            lost += 1;
+                            let owner = new.owner(c as u32, k).unwrap();
+                            assert!(
+                                new.serves(owner, c as u32, k),
+                                "seed {seed}: redirect target must serve the handed-off key"
+                            );
+                        }
+                    }
+                }
+                assert_eq!(
+                    kept + lost,
+                    old.owned_keys(shard, &chunk_counts),
+                    "seed {seed}: shard {shard} keys unaccounted across the push"
+                );
+            }
+            let r_old = u64::from(old.replication.min(old.len() as u8));
+            let r_new = u64::from(new.replication.min(new.len() as u8));
+            let sum_old: u64 = (0..old.len()).map(|s| old.owned_keys(s, &chunk_counts)).sum();
+            let sum_new: u64 = (0..new.len()).map(|s| new.owned_keys(s, &chunk_counts)).sum();
+            assert_eq!(sum_old, r_old * total, "seed {seed}: pre-push coverage");
+            assert_eq!(sum_new, r_new * total, "seed {seed}: post-push coverage");
+        }
     }
 }
 
